@@ -1,0 +1,181 @@
+// Ablations for design choices called out in DESIGN.md — not paper
+// experiments, but the evidence behind implementation decisions.
+//
+//   1. blocked vs naive matmul       — why the LAPACK plugin counts as the
+//                                      "highly optimized" service of §6
+//   2. binding negotiation cost      — what open_channel() adds per setup,
+//                                      and why channels should be reused
+//   3. registry query scaling        — XPath-lite over N stored WSDL docs
+//                                      (the centralized registry's real
+//                                      bottleneck curve)
+//   4. lease sweep cost              — expire() over large registries
+//                                      (volatile-component bookkeeping)
+#include <benchmark/benchmark.h>
+
+#include "container/container.hpp"
+#include "plugins/linalg.hpp"
+#include "plugins/standard.hpp"
+#include "registry/xml_registry.hpp"
+#include "util/rng.hpp"
+#include "wsdl/descriptor.hpp"
+
+namespace {
+
+void BM_MatmulNaive(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  h2::Rng rng(1);
+  auto a = rng.doubles(n * n);
+  auto b = rng.doubles(n * n);
+  for (auto _ : state) {
+    auto c = h2::linalg::matmul_naive(a, b, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  h2::Rng rng(1);
+  auto a = rng.doubles(n * n);
+  auto b = rng.doubles(n * n);
+  for (auto _ : state) {
+    auto c = h2::linalg::matmul_blocked(a, b, n);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(256)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+// ---- binding negotiation overhead ---------------------------------------------
+
+struct NegotiationWorld {
+  h2::net::SimNetwork net;
+  h2::kernel::PluginRepository repo;
+  std::unique_ptr<h2::container::Container> host;
+  h2::wsdl::Definitions wsdl;
+
+  NegotiationWorld() {
+    (void)h2::plugins::register_standard_plugins(repo);
+    host = std::make_unique<h2::container::Container>("A", repo, net, *net.add_host("A"));
+    h2::container::DeployOptions options;
+    options.expose_soap = true;
+    options.expose_http = true;
+    options.expose_xdr = true;
+    auto id = host->deploy("ping", options);
+    wsdl = *host->describe(*id);
+  }
+};
+
+void BM_OpenChannelNegotiated(benchmark::State& state) {
+  NegotiationWorld world;
+  for (auto _ : state) {
+    auto channel = world.host->open_channel(world.wsdl);
+    if (!channel.ok()) state.SkipWithError("negotiation failed");
+    benchmark::DoNotOptimize(channel);
+  }
+  state.SetLabel("5 kinds tried, localobject wins");
+}
+BENCHMARK(BM_OpenChannelNegotiated);
+
+void BM_OpenChannelDirect(benchmark::State& state) {
+  NegotiationWorld world;
+  std::vector<h2::wsdl::BindingKind> pref{h2::wsdl::BindingKind::kLocalObject};
+  for (auto _ : state) {
+    auto channel = world.host->open_channel(world.wsdl, pref);
+    if (!channel.ok()) state.SkipWithError("open failed");
+    benchmark::DoNotOptimize(channel);
+  }
+  state.SetLabel("single kind");
+}
+BENCHMARK(BM_OpenChannelDirect);
+
+void BM_ChannelReuseVsReopen(benchmark::State& state) {
+  NegotiationWorld world;
+  bool reopen = state.range(0) == 1;
+  auto channel = std::move(*world.host->open_channel(world.wsdl));
+  std::vector<h2::Value> params{h2::Value::of_bytes({1, 2, 3}, "payload")};
+  for (auto _ : state) {
+    if (reopen) {
+      auto fresh = world.host->open_channel(world.wsdl);
+      benchmark::DoNotOptimize((*fresh)->invoke("ping", params));
+    } else {
+      benchmark::DoNotOptimize(channel->invoke("ping", params));
+    }
+  }
+  state.SetLabel(reopen ? "reopen-every-call" : "reuse-channel");
+}
+BENCHMARK(BM_ChannelReuseVsReopen)->Arg(0)->Arg(1);
+
+// ---- registry scaling -------------------------------------------------------------
+
+h2::wsdl::Definitions make_doc(int index) {
+  h2::wsdl::ServiceDescriptor d;
+  d.name = "Svc" + std::to_string(index);
+  d.operations.push_back({"run", {}, h2::ValueKind::kString});
+  std::vector<h2::wsdl::EndpointSpec> endpoints{
+      {index % 2 == 0 ? h2::wsdl::BindingKind::kSoap : h2::wsdl::BindingKind::kXdr,
+       "xdr://h" + std::to_string(index) + ":9000", {}}};
+  return *h2::wsdl::generate(d, endpoints);
+}
+
+void BM_RegistryXPathQuery(benchmark::State& state) {
+  h2::VirtualClock clock;
+  h2::reg::XmlRegistry registry(clock);
+  auto docs = static_cast<int>(state.range(0));
+  for (int i = 0; i < docs; ++i) (void)registry.add(make_doc(i));
+  for (auto _ : state) {
+    auto hits = registry.query("//binding/binding[@kind='xdr']");
+    if (!hits.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["docs"] = docs;
+  state.counters["hits"] = static_cast<double>(
+      registry.query("//binding/binding[@kind='xdr']")->size());
+}
+BENCHMARK(BM_RegistryXPathQuery)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RegistryFindService(benchmark::State& state) {
+  h2::VirtualClock clock;
+  h2::reg::XmlRegistry registry(clock);
+  auto docs = static_cast<int>(state.range(0));
+  for (int i = 0; i < docs; ++i) (void)registry.add(make_doc(i));
+  std::string target = "Svc" + std::to_string(docs / 2) + "Service";
+  for (auto _ : state) {
+    auto entry = registry.find_service(target);
+    if (!entry.ok()) state.SkipWithError("miss");
+    benchmark::DoNotOptimize(entry);
+  }
+  state.counters["docs"] = docs;
+}
+BENCHMARK(BM_RegistryFindService)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RegistryLeaseSweep(benchmark::State& state) {
+  auto docs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    h2::VirtualClock clock;
+    h2::reg::XmlRegistry registry(clock);
+    for (int i = 0; i < docs; ++i) {
+      // Half the entries carry a short lease.
+      (void)registry.add(make_doc(i), i % 2 == 0 ? h2::kSecond : 0);
+    }
+    clock.advance(2 * h2::kSecond);
+    state.ResumeTiming();
+    auto dropped = registry.expire();
+    if (dropped != static_cast<std::size_t>(docs) / 2 + static_cast<std::size_t>(docs % 2 != 0 ? 1 : 0) &&
+        dropped != static_cast<std::size_t>(docs) / 2) {
+      state.SkipWithError("unexpected sweep count");
+    }
+  }
+  state.counters["docs"] = docs;
+}
+BENCHMARK(BM_RegistryLeaseSweep)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,168 @@
+// EXP-DEPLOY — the paper's deployment claim (Section 5): "Due to the
+// static nature of electronic commerce services, deployment technologies
+// do not provide adequate support for automated service instantiation.
+// Solutions vary among different application servers and they usually
+// require human interaction." The Harness II answer is a "specialized
+// lightweight component container for volatile DVMs and short lived
+// applications".
+//
+// Two deployment pipelines for the same service, measured in virtual time:
+//
+//   heavyweight (business app-server style, Fig 3 done manually):
+//     1. upload service code to the host          (code_size over the wire)
+//     2. publish the interface document to a      (remote registry call)
+//        remote UDDI-like registry
+//     3. publish the access-point document        (second registry call —
+//        separately, as WSDL's abstract/concrete   the paper notes the two
+//        split encourages)                         documents are distinct)
+//     4. application-server redeploy cycle        (fixed 30 s of virtual
+//        with operator interaction                 time, the "human
+//                                                   interaction" stand-in)
+//
+//   lightweight (Harness II container):
+//     one deploy() call: in-process instantiation, endpoint binding,
+//     lease-scoped registration in the local registry.
+//
+// Reported: virtual time per deployment and per-deployment messages, with
+// #services swept. Expected shape: lightweight wins by orders of
+// magnitude and both scale linearly, with lightweight's slope ~0 network.
+#include <benchmark/benchmark.h>
+
+#include "container/container.hpp"
+#include "plugins/standard.hpp"
+#include "registry/lookup.hpp"
+#include "wsdl/io.hpp"
+
+namespace {
+
+constexpr h2::Nanos kOperatorCycle = 30 * h2::kSecond;  // redeploy + human
+constexpr std::size_t kCodeSize = 256 * 1024;           // service archive
+
+struct World {
+  h2::net::SimNetwork net;
+  h2::kernel::PluginRepository repo;
+  std::unique_ptr<h2::container::Container> host;
+  std::unique_ptr<h2::reg::RegistryNode> registry_node;  // remote UDDI stand-in
+
+  World() {
+    (void)h2::plugins::register_standard_plugins(repo);
+    auto a = net.add_host("apphost");
+    host = std::make_unique<h2::container::Container>("apphost", repo, net, *a);
+    auto r = net.add_host("uddi");
+    registry_node = std::make_unique<h2::reg::RegistryNode>(net, *r, net.clock());
+    (void)registry_node->start();
+  }
+};
+
+/// The heavyweight pipeline: every step is real traffic/virtual time.
+h2::Status heavyweight_deploy(World& world, const std::string& plugin) {
+  auto& net = world.net;
+  auto uddi_host = world.registry_node->host();
+  auto app_host = world.host->host();
+
+  // 1. upload the service archive to the application host.
+  h2::ByteBuffer archive(std::vector<std::uint8_t>(kCodeSize, 0x42));
+  if (auto s = net.send(uddi_host, app_host, 1, std::move(archive)); !s.ok()) return s;
+  net.pump();  // delivered (no server bound: the upload just costs time/bytes)
+
+  // Instantiate in the container (the runtime part of Fig 3 step 3).
+  h2::container::DeployOptions options;
+  options.expose_soap = true;
+  auto id = world.host->deploy(plugin, options);
+  if (!id.ok()) return id.error();
+  auto defs = *world.host->describe(*id);
+
+  // 2 + 3. publish interface and access documents as two separate remote
+  // registry interactions.
+  for (int document = 0; document < 2; ++document) {
+    h2::net::Endpoint endpoint{.scheme = "xdr",
+                               .host = "uddi",
+                               .port = h2::reg::kRegistryPort,
+                               .path = ""};
+    auto channel = h2::net::make_xdr_channel(net, app_host, endpoint);
+    std::vector<h2::Value> params{
+        h2::Value::of_string(h2::wsdl::to_xml_string(defs), "wsdl"),
+        h2::Value::of_int(0, "lease")};
+    auto result = channel->invoke("publish", params);
+    if (!result.ok()) return result.error();
+  }
+
+  // 4. the application-server redeploy cycle with operator in the loop.
+  net.clock().advance(kOperatorCycle);
+  return h2::Status::success();
+}
+
+/// The lightweight pipeline: one automated call.
+h2::Status lightweight_deploy(World& world, const std::string& plugin) {
+  h2::container::DeployOptions options;
+  options.expose_xdr = true;
+  options.lease = 60 * h2::kSecond;  // volatile by default
+  auto id = world.host->deploy(plugin, options);
+  if (!id.ok()) return id.error();
+  return h2::Status::success();
+}
+
+void BM_Deployment(benchmark::State& state) {
+  bool heavyweight = state.range(0) == 1;
+  auto services = static_cast<std::size_t>(state.range(1));
+  double virtual_us = 0;
+  double messages = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;  // fresh environment per iteration
+    state.ResumeTiming();
+    h2::Nanos t0 = world.net.clock().now();
+    auto m0 = world.net.stats().messages;
+    for (std::size_t i = 0; i < services; ++i) {
+      auto status = heavyweight ? heavyweight_deploy(world, "ping")
+                                : lightweight_deploy(world, "ping");
+      if (!status.ok()) {
+        state.SkipWithError(status.error().describe().c_str());
+        return;
+      }
+    }
+    virtual_us = static_cast<double>(world.net.clock().now() - t0) / 1e3;
+    messages = static_cast<double>(world.net.stats().messages - m0);
+  }
+  state.counters["virtual_us_total"] = virtual_us;
+  state.counters["virtual_us_per_service"] = virtual_us / static_cast<double>(services);
+  state.counters["messages"] = messages;
+  state.SetLabel(heavyweight ? "heavyweight" : "lightweight");
+}
+BENCHMARK(BM_Deployment)->Apply([](benchmark::internal::Benchmark* b) {
+  for (int heavyweight : {0, 1}) {
+    for (int services : {1, 4, 16}) b->Args({heavyweight, services});
+  }
+  b->Unit(benchmark::kMillisecond);
+});
+
+// Deploy-to-first-call latency for the lightweight path only: the number
+// that matters for "volatile DVMs and short lived applications".
+void BM_LightweightDeployToFirstCall(benchmark::State& state) {
+  double virtual_us = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    state.ResumeTiming();
+    h2::Nanos t0 = world.net.clock().now();
+    h2::container::DeployOptions options;
+    options.expose_xdr = true;
+    auto id = world.host->deploy("time", options);
+    auto defs = *world.host->describe(*id);
+    // First call arrives over the network binding (a remote client would).
+    std::vector<h2::wsdl::BindingKind> pref{h2::wsdl::BindingKind::kXdr};
+    auto channel = world.host->open_channel(defs, pref);
+    auto result = (*channel)->invoke("getTime", {});
+    if (!result.ok()) {
+      state.SkipWithError(result.error().describe().c_str());
+      return;
+    }
+    virtual_us = static_cast<double>(world.net.clock().now() - t0) / 1e3;
+  }
+  state.counters["virtual_us"] = virtual_us;
+}
+BENCHMARK(BM_LightweightDeployToFirstCall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

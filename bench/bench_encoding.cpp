@@ -1,0 +1,94 @@
+// EXP-ENC — the paper's data-encoding claim (Section 5): "the default
+// BASE64 encoding adopted by SOAP for XSD data types introduces
+// unacceptable overheads for scientific data both in terms of the network
+// bandwidth and the encoding/decoding time."
+//
+// Measures, for each payload codec and array size:
+//   - encode throughput (real CPU time, bytes/sec of payload)
+//   - decode throughput
+//   - wire expansion ratio (wire bytes / payload bytes) as a counter
+//
+// Expected shape: raw ≈ xdr ≫ soap-base64 > soap-xml in throughput;
+// expansion 1.0x for raw/xdr, ≥4/3x for soap-base64, worse for soap-xml.
+#include <benchmark/benchmark.h>
+
+#include "encoding/codec.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+enum CodecIndex : int { kRaw = 0, kXdr, kSoapB64, kSoapXml };
+
+std::unique_ptr<h2::enc::Codec> make_codec(int index) {
+  switch (index) {
+    case kRaw: return h2::enc::make_raw_codec();
+    case kXdr: return h2::enc::make_xdr_codec();
+    case kSoapB64: return h2::enc::make_soap_base64_codec();
+    default: return h2::enc::make_soap_xml_codec();
+  }
+}
+
+void args_product(benchmark::internal::Benchmark* bench) {
+  for (int codec : {kRaw, kXdr, kSoapB64, kSoapXml}) {
+    for (int elems : {128, 4096, 131072, 1 << 20}) {
+      bench->Args({codec, elems});
+    }
+  }
+}
+
+void BM_Encode(benchmark::State& state) {
+  auto codec = make_codec(static_cast<int>(state.range(0)));
+  auto n = static_cast<std::size_t>(state.range(1));
+  h2::Rng rng(1);
+  auto values = rng.doubles(n);
+  std::size_t wire_size = 0;
+  for (auto _ : state) {
+    auto wire = codec->encode(values);
+    wire_size = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 8));
+  state.counters["wire_expansion"] =
+      static_cast<double>(wire_size) / static_cast<double>(n * 8);
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_Encode)->Apply(args_product);
+
+void BM_Decode(benchmark::State& state) {
+  auto codec = make_codec(static_cast<int>(state.range(0)));
+  auto n = static_cast<std::size_t>(state.range(1));
+  h2::Rng rng(2);
+  auto values = rng.doubles(n);
+  auto wire = codec->encode(values);
+  for (auto _ : state) {
+    auto back = codec->decode(wire);
+    if (!back.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 8));
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_Decode)->Apply(args_product);
+
+// Round trip: what one marshal+unmarshal costs end to end — the number a
+// binding implementor cares about.
+void BM_EncodeDecodeRoundTrip(benchmark::State& state) {
+  auto codec = make_codec(static_cast<int>(state.range(0)));
+  auto n = static_cast<std::size_t>(state.range(1));
+  h2::Rng rng(3);
+  auto values = rng.doubles(n);
+  for (auto _ : state) {
+    auto back = codec->decode(codec->encode(values));
+    if (!back.ok()) state.SkipWithError("round trip failed");
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n * 8));
+  state.SetLabel(codec->name());
+}
+BENCHMARK(BM_EncodeDecodeRoundTrip)->Apply([](benchmark::internal::Benchmark* b) {
+  for (int codec : {kRaw, kXdr, kSoapB64, kSoapXml}) b->Args({codec, 65536});
+});
+
+}  // namespace
+
+BENCHMARK_MAIN();

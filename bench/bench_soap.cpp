@@ -1,0 +1,98 @@
+// EXP-SOAP — the per-message cost of XML messaging itself, behind the
+// paper's warning that SOAP "is suitable mostly for exchanging structured
+// data in reasonably small quantities". Envelope construction and parsing
+// throughput vs payload size, plus the underlying XML parser's raw rate —
+// the fixed tax every SOAP call pays before any network byte moves.
+#include <benchmark/benchmark.h>
+
+#include "soap/envelope.hpp"
+#include "util/rng.hpp"
+#include "wsdl/descriptor.hpp"
+#include "wsdl/io.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+void BM_SoapBuildRequest(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  h2::Rng rng(1);
+  std::vector<h2::Value> params{h2::Value::of_doubles(rng.doubles(n), "mata")};
+  std::size_t produced = 0;
+  for (auto _ : state) {
+    auto text = h2::soap::build_request("getResult", "urn:mm", params);
+    produced = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * produced));
+  state.counters["envelope_bytes"] = static_cast<double>(produced);
+}
+BENCHMARK(BM_SoapBuildRequest)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_SoapParseRequest(benchmark::State& state) {
+  auto n = static_cast<std::size_t>(state.range(0));
+  h2::Rng rng(2);
+  std::vector<h2::Value> params{h2::Value::of_doubles(rng.doubles(n), "mata")};
+  auto text = h2::soap::build_request("getResult", "urn:mm", params);
+  for (auto _ : state) {
+    auto call = h2::soap::parse_request(text);
+    if (!call.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(call);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_SoapParseRequest)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_SoapFaultRoundTrip(benchmark::State& state) {
+  h2::soap::Fault fault{"Server", "plugin not loaded", "node=B"};
+  for (auto _ : state) {
+    auto reply = h2::soap::parse_reply(h2::soap::build_fault(fault));
+    if (!reply.ok()) state.SkipWithError("fault round trip failed");
+    benchmark::DoNotOptimize(reply);
+  }
+}
+BENCHMARK(BM_SoapFaultRoundTrip);
+
+// Raw XML parser rate on a deeply-tagged document (the worst case for
+// element-per-item SOAP arrays).
+void BM_XmlParseItemList(benchmark::State& state) {
+  auto items = static_cast<std::size_t>(state.range(0));
+  std::string doc = "<array>";
+  for (std::size_t i = 0; i < items; ++i) {
+    doc += "<item>3.14159265</item>";
+  }
+  doc += "</array>";
+  for (auto _ : state) {
+    auto root = h2::xml::parse_element(doc);
+    if (!root.ok()) state.SkipWithError("xml parse failed");
+    benchmark::DoNotOptimize(root);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * doc.size()));
+  state.counters["items"] = static_cast<double>(items);
+}
+BENCHMARK(BM_XmlParseItemList)->Arg(100)->Arg(10000);
+
+// WSDL document round trip: generation tooling cost (wsdlgen substitute).
+void BM_WsdlGenerateParse(benchmark::State& state) {
+  h2::wsdl::ServiceDescriptor d;
+  d.name = "MatMul";
+  d.operations.push_back({"getResult",
+                          {{"mata", h2::ValueKind::kDoubleArray},
+                           {"matb", h2::ValueKind::kDoubleArray}},
+                          h2::ValueKind::kDoubleArray});
+  std::vector<h2::wsdl::EndpointSpec> endpoints{
+      {h2::wsdl::BindingKind::kSoap, "http://a:8080/mm", {}},
+      {h2::wsdl::BindingKind::kXdr, "xdr://a:9001", {}},
+  };
+  for (auto _ : state) {
+    auto defs = h2::wsdl::generate(d, endpoints);
+    auto text = h2::wsdl::to_xml_string(*defs);
+    auto back = h2::wsdl::parse(text);
+    if (!back.ok()) state.SkipWithError("wsdl round trip failed");
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_WsdlGenerateParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// The MatMul Web Service of the paper's Figure 8, exercised through every
+// binding it exposes (SOAP + local, plus the XDR binding the paper
+// proposes). Demonstrates Figure 5: the identical abstract call costs
+// radically different amounts depending on the binding, and the crossover
+// as matrices grow.
+//
+// Run:  ./matmul_service
+#include <cstdio>
+
+#include "core/harness2.hpp"
+#include "util/rng.hpp"
+#include "wsdl/io.hpp"
+
+int main() {
+  h2::Framework fw;
+  auto provider = *fw.create_container("hostA");
+  auto consumer = *fw.create_container("hostB");
+
+  // Deploy MatMul with all binding kinds, as Fig 8 describes ("we use both
+  // a standard SOAP and a local Java binding"), plus XDR.
+  h2::container::DeployOptions options;
+  options.expose_soap = true;
+  options.expose_xdr = true;
+  auto id = provider->deploy("mmul", options);
+  if (!id.ok()) {
+    std::fprintf(stderr, "deploy: %s\n", id.error().describe().c_str());
+    return 1;
+  }
+  auto defs = *provider->describe(*id);
+  std::printf("--- MatMul WSDL (paper Figure 8) ---\n%s\n------------------------------------\n",
+              h2::wsdl::to_xml_string(defs, /*pretty=*/true).c_str());
+
+  h2::Rng rng(7);
+  std::printf("%6s %-12s %14s %14s %12s\n", "n", "binding", "req bytes", "resp bytes",
+              "entities");
+  for (std::size_t n : {4u, 16u, 64u}) {
+    auto a = rng.doubles(n * n);
+    auto b = rng.doubles(n * n);
+    std::vector<h2::Value> params{h2::Value::of_doubles(a, "mata"),
+                                  h2::Value::of_doubles(b, "matb")};
+
+    struct Case {
+      h2::container::Container* from;
+      h2::wsdl::BindingKind kind;
+    } cases[] = {
+        {provider, h2::wsdl::BindingKind::kLocalObject},
+        {consumer, h2::wsdl::BindingKind::kXdr},
+        {consumer, h2::wsdl::BindingKind::kSoap},
+    };
+    std::vector<double> reference;
+    for (const Case& c : cases) {
+      std::vector<h2::wsdl::BindingKind> pref{c.kind};
+      auto channel = c.from->open_channel(defs, pref);
+      if (!channel.ok()) {
+        std::fprintf(stderr, "open_channel: %s\n", channel.error().describe().c_str());
+        return 1;
+      }
+      auto result = (*channel)->invoke("getResult", params);
+      if (!result.ok()) {
+        std::fprintf(stderr, "invoke: %s\n", result.error().describe().c_str());
+        return 1;
+      }
+      auto values = *result->as_doubles();
+      if (reference.empty()) {
+        reference = values;
+      } else if (values != reference) {
+        std::fprintf(stderr, "bindings disagree!\n");
+        return 1;
+      }
+      auto stats = (*channel)->last_stats();
+      std::printf("%6zu %-12s %14zu %14zu %12d\n", n, (*channel)->binding_name(),
+                  stats.request_bytes, stats.response_bytes, stats.entities_traversed);
+    }
+  }
+  std::printf("\nall bindings returned identical results; "
+              "SOAP moved the most bytes through the most entities,\n"
+              "the localobject binding moved none — the paper's localization "
+              "and encoding arguments in action.\n");
+  return 0;
+}

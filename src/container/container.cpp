@@ -1,0 +1,372 @@
+#include "container/container.hpp"
+
+#include "util/log.hpp"
+
+namespace h2::container {
+
+namespace {
+
+Logger& logger() {
+  static Logger log("container");
+  return log;
+}
+
+/// Pass-through dispatcher for binding servers: endpoints hold this (via
+/// shared_ptr) instead of the plugin itself, so the container retains sole
+/// ownership of the component. The container always tears the endpoint
+/// down before destroying the component, so the raw pointer cannot dangle.
+class ForwardDispatcher final : public net::Dispatcher {
+ public:
+  explicit ForwardDispatcher(net::Dispatcher* target) : target_(target) {}
+  Result<Value> dispatch(std::string_view operation,
+                         std::span<const Value> params) override {
+    return target_->dispatch(operation, params);
+  }
+
+ private:
+  net::Dispatcher* target_;
+};
+
+}  // namespace
+
+Container::Container(std::string name, const kernel::PluginRepository& repo,
+                     net::SimNetwork& net, net::HostId host)
+    : name_(std::move(name)),
+      repo_(repo),
+      net_(net),
+      host_(host),
+      kernel_(name_, repo, net, host),
+      registry_(net.clock()),
+      soap_server_(net, host, kSoapPort) {}
+
+Container::~Container() {
+  // Endpoints must die before the plugins they forward to.
+  for (auto& [id, deployed] : components_) {
+    deployed.xdr_server.reset();
+    deployed.plugin->shutdown();
+  }
+  soap_server_.stop();
+}
+
+Result<std::string> Container::deploy(std::string_view plugin_name,
+                                      const DeployOptions& options) {
+  return deploy_impl(plugin_name, options, nullptr);
+}
+
+Result<std::string> Container::deploy_with_state(std::string_view plugin_name,
+                                                 const DeployOptions& options,
+                                                 const Value& state) {
+  return deploy_impl(plugin_name, options, &state);
+}
+
+Result<std::string> Container::deploy_impl(std::string_view plugin_name,
+                                           const DeployOptions& options,
+                                           const Value* state) {
+  auto plugin = repo_.create(plugin_name, options.version);
+  if (!plugin.ok()) return plugin.error().context("container " + name_);
+  if (auto status = (*plugin)->init(kernel_); !status.ok()) {
+    return status.error().context("deploying '" + std::string(plugin_name) + "'");
+  }
+  if (state != nullptr) {
+    if (auto status = (*plugin)->restore_state(*state); !status.ok()) {
+      (*plugin)->shutdown();
+      return status.error().context("restoring state into '" +
+                                    std::string(plugin_name) + "'");
+    }
+  }
+
+  Deployed deployed;
+  deployed.record.instance_id =
+      std::string(plugin_name) + "-" + std::to_string(next_instance_++);
+  deployed.record.plugin_name = std::string(plugin_name);
+  deployed.record.exposure = options.exposure;
+  deployed.plugin = std::move(*plugin);
+  const std::string& id = deployed.record.instance_id;
+
+  // Fig 3, collapsed: bind access points, then publish interface + access
+  // into the (local) lookup system, then the component is live.
+  std::vector<wsdl::EndpointSpec> endpoints;
+  if (options.expose_localobject) {
+    endpoints.push_back({wsdl::BindingKind::kLocalObject,
+                         "localobject://" + name_ + "/" + id,
+                         {{"instance", id}}});
+  }
+  if (options.expose_local) {
+    endpoints.push_back({wsdl::BindingKind::kLocal,
+                         "local://" + name_,
+                         {{"class", std::string(plugin_name)}}});
+  }
+  if (options.expose_xdr) {
+    std::uint16_t port = next_xdr_port_++;
+    auto handle = net::serve_xdr(
+        net_, host_, port, std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+    if (!handle.ok()) {
+      deployed.plugin->shutdown();
+      return handle.error().context("xdr endpoint for " + id);
+    }
+    deployed.xdr_server.emplace(std::move(*handle));
+    endpoints.push_back({wsdl::BindingKind::kXdr,
+                         "xdr://" + net_.host_name(host_) + ":" + std::to_string(port),
+                         {}});
+  }
+  if (options.expose_soap || options.expose_http || options.expose_mime) {
+    if (!soap_server_.running()) {
+      if (auto status = soap_server_.start(); !status.ok()) {
+        deployed.xdr_server.reset();
+        deployed.plugin->shutdown();
+        return status.error().context("starting http server for " + id);
+      }
+    }
+  }
+  if (options.expose_soap) {
+    if (auto status = soap_server_.mount(
+            id, std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+        !status.ok()) {
+      deployed.xdr_server.reset();
+      deployed.plugin->shutdown();
+      return status.error();
+    }
+    deployed.soap_path = id;
+    endpoints.push_back({wsdl::BindingKind::kSoap,
+                         "http://" + net_.host_name(host_) + ":" +
+                             std::to_string(kSoapPort) + "/" + id,
+                         {}});
+  }
+  if (options.expose_http) {
+    std::string raw_path = id + ".raw";
+    if (auto status = soap_server_.mount_raw(
+            raw_path, std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+        !status.ok()) {
+      if (!deployed.soap_path.empty()) (void)soap_server_.unmount(deployed.soap_path);
+      deployed.xdr_server.reset();
+      deployed.plugin->shutdown();
+      return status.error();
+    }
+    deployed.http_path = raw_path;
+    endpoints.push_back({wsdl::BindingKind::kHttp,
+                         "http://" + net_.host_name(host_) + ":" +
+                             std::to_string(kSoapPort) + "/" + raw_path,
+                         {}});
+  }
+  if (options.expose_mime) {
+    std::string mime_path = id + ".mime";
+    if (auto status = soap_server_.mount_mime(
+            mime_path, std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+        !status.ok()) {
+      if (!deployed.soap_path.empty()) (void)soap_server_.unmount(deployed.soap_path);
+      if (!deployed.http_path.empty()) (void)soap_server_.unmount(deployed.http_path);
+      deployed.xdr_server.reset();
+      deployed.plugin->shutdown();
+      return status.error();
+    }
+    deployed.mime_path = mime_path;
+    endpoints.push_back({wsdl::BindingKind::kMime,
+                         "http://" + net_.host_name(host_) + ":" +
+                             std::to_string(kSoapPort) + "/" + mime_path,
+                         {}});
+  }
+
+  auto unwind = [&] {
+    if (!deployed.soap_path.empty()) (void)soap_server_.unmount(deployed.soap_path);
+    if (!deployed.http_path.empty()) (void)soap_server_.unmount(deployed.http_path);
+    if (!deployed.mime_path.empty()) (void)soap_server_.unmount(deployed.mime_path);
+    deployed.xdr_server.reset();
+    deployed.plugin->shutdown();
+  };
+  auto defs = wsdl::generate(deployed.plugin->descriptor(), endpoints);
+  if (!defs.ok()) {
+    unwind();
+    return defs.error().context("wsdl for " + id);
+  }
+  deployed.record.wsdl = std::move(*defs);
+
+  auto key = registry_.add(deployed.record.wsdl, options.lease);
+  if (!key.ok()) {
+    unwind();
+    return key.error();
+  }
+  registry_keys_[id] = *key;
+
+  logger().debug(name_ + ": deployed " + id);
+  std::string result_id = id;
+  components_[result_id] = std::move(deployed);
+  return result_id;
+}
+
+Status Container::undeploy(std::string_view instance_id) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("container " + name_ + ": no instance '" +
+                          std::string(instance_id) + "'");
+  }
+  Deployed& deployed = it->second;
+  if (!deployed.soap_path.empty()) (void)soap_server_.unmount(deployed.soap_path);
+  if (!deployed.http_path.empty()) (void)soap_server_.unmount(deployed.http_path);
+  if (!deployed.mime_path.empty()) (void)soap_server_.unmount(deployed.mime_path);
+  deployed.xdr_server.reset();
+  if (auto key = registry_keys_.find(instance_id); key != registry_keys_.end()) {
+    (void)registry_.remove(key->second);
+    registry_keys_.erase(key);
+  }
+  deployed.plugin->shutdown();
+  components_.erase(it);
+  published_keys_.erase(std::string(instance_id));
+  logger().debug(name_ + ": undeployed " + std::string(instance_id));
+  return Status::success();
+}
+
+std::vector<ComponentRecord> Container::components() const {
+  std::vector<ComponentRecord> out;
+  out.reserve(components_.size());
+  for (const auto& [id, deployed] : components_) out.push_back(deployed.record);
+  return out;
+}
+
+Result<wsdl::Definitions> Container::describe(std::string_view instance_id) const {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("container " + name_ + ": no instance '" +
+                          std::string(instance_id) + "'");
+  }
+  return it->second.record.wsdl;
+}
+
+Result<ComponentRecord> Container::find_local(std::string_view service_name) const {
+  auto entry = registry_.find_service(service_name);
+  if (!entry.ok()) return entry.error();
+  // Map the registry hit back to the component record.
+  for (const auto& [id, deployed] : components_) {
+    if (registry_keys_.count(id) && registry_keys_.at(id) == (*entry)->key) {
+      return deployed.record;
+    }
+  }
+  return err::internal("registry entry without component record");
+}
+
+Result<std::string> Container::publish(std::string_view instance_id,
+                                       reg::XmlRegistry& external, Nanos lease) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("publish: no instance '" + std::string(instance_id) + "'");
+  }
+  auto key = external.add(it->second.record.wsdl, lease);
+  if (!key.ok()) return key.error();
+  it->second.record.exposure = Exposure::kPublished;
+  published_keys_[std::string(instance_id)] = *key;
+  return key;
+}
+
+Status Container::unpublish(std::string_view instance_id, reg::XmlRegistry& external) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("unpublish: no instance '" + std::string(instance_id) + "'");
+  }
+  auto key = published_keys_.find(instance_id);
+  if (key == published_keys_.end()) {
+    return err::not_found("unpublish: instance '" + std::string(instance_id) +
+                          "' was not published");
+  }
+  auto status = external.remove(key->second);
+  published_keys_.erase(key);
+  it->second.record.exposure = Exposure::kPrivate;
+  return status;
+}
+
+Status Container::set_exposure(std::string_view instance_id, Exposure exposure) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("set_exposure: no instance '" + std::string(instance_id) + "'");
+  }
+  it->second.record.exposure = exposure;
+  return Status::success();
+}
+
+Result<net::Dispatcher*> Container::instance(std::string_view instance_id) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("container " + name_ + ": no live instance '" +
+                          std::string(instance_id) + "'");
+  }
+  return static_cast<net::Dispatcher*>(it->second.plugin.get());
+}
+
+Result<kernel::Plugin*> Container::component(std::string_view instance_id) {
+  auto it = components_.find(instance_id);
+  if (it == components_.end()) {
+    return err::not_found("container " + name_ + ": no live instance '" +
+                          std::string(instance_id) + "'");
+  }
+  return it->second.plugin.get();
+}
+
+Result<std::unique_ptr<net::Channel>> Container::try_open(const wsdl::Definitions& defs,
+                                                          const wsdl::Binding& binding,
+                                                          const wsdl::Port& port) {
+  auto endpoint = net::Endpoint::parse(port.address);
+  if (!endpoint.ok()) return endpoint.error();
+
+  switch (binding.kind) {
+    case wsdl::BindingKind::kLocalObject: {
+      if (endpoint->host != name_) {
+        return err::unavailable("localobject instance lives in container '" +
+                                endpoint->host + "', not here");
+      }
+      auto target = instance(endpoint->path);
+      if (!target.ok()) return target.error();
+      return net::make_local_channel(**target, /*instance_bound=*/true);
+    }
+    case wsdl::BindingKind::kLocal: {
+      if (endpoint->host != name_) {
+        return err::unavailable("local binding is for container '" + endpoint->host + "'");
+      }
+      auto cls = binding.properties.find("class");
+      if (cls == binding.properties.end()) {
+        return err::invalid_argument("local binding without class property");
+      }
+      // Prefer an already-deployed instance of the class...
+      for (auto& [id, deployed] : components_) {
+        if (deployed.record.plugin_name == cls->second) {
+          return net::make_local_channel(*deployed.plugin);
+        }
+      }
+      // ...otherwise the "port factory" path: instantiate one on demand
+      // (the paper's Java binding allows "instantiating a new object of
+      // the selected type", with automatic code retrieval).
+      DeployOptions options;
+      options.expose_soap = false;
+      options.expose_xdr = false;
+      auto id = deploy(cls->second, options);
+      if (!id.ok()) return id.error().context("local-binding instantiation");
+      return net::make_local_channel(*components_.at(*id).plugin);
+    }
+    case wsdl::BindingKind::kXdr:
+      return net::make_xdr_channel(net_, host_, *endpoint);
+    case wsdl::BindingKind::kHttp:
+      return net::make_http_channel(net_, host_, *endpoint);
+    case wsdl::BindingKind::kMime:
+      return net::make_mime_channel(net_, host_, *endpoint, defs.target_ns);
+    case wsdl::BindingKind::kSoap:
+      return net::make_soap_channel(net_, host_, *endpoint, defs.target_ns);
+  }
+  return err::unsupported("unknown binding kind");
+}
+
+Result<std::unique_ptr<net::Channel>> Container::open_channel(
+    const wsdl::Definitions& defs, std::span<const wsdl::BindingKind> preference) {
+  std::optional<Error> last_error;
+  for (wsdl::BindingKind kind : preference) {
+    for (const auto& service : defs.services) {
+      for (const auto& port : service.ports) {
+        const wsdl::Binding* binding = defs.find_binding(port.binding);
+        if (binding == nullptr || binding->kind != kind) continue;
+        auto channel = try_open(defs, *binding, port);
+        if (channel.ok()) return channel;
+        last_error = channel.error();
+      }
+    }
+  }
+  if (last_error.has_value()) return *last_error;
+  return err::not_found("no feasible binding for service '" + defs.name + "'");
+}
+
+}  // namespace h2::container

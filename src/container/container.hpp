@@ -1,0 +1,187 @@
+// The component container — the middle abstraction layer of Figure 6.
+// "A component container defines a local name space, lookup service and a
+// management service for other components ... a local shared environment
+// [that] can be leveraged by smart computational components to locally
+// aggregate available services and take advantage of local bindings to
+// achieve high performance."
+//
+// A container wraps a Harness kernel (the backplane with the baseline
+// plugin set) and adds what the kernel lacks:
+//   - multiple component *instances* per type (the kernel holds one plugin
+//     per name; the container instantiates freely and names each instance)
+//   - automated deployment (Fig 3's three steps — publish interface,
+//     publish access points, deploy runtime code — collapse into one call)
+//   - per-instance binding endpoints: soap (mounted on the container's
+//     HTTP server), xdr (own port), local, and the paper's novel
+//     localobject instance binding
+//   - a local XML registry and runtime-reviewable exposure control
+//     (private <-> published, per instance)
+//   - binding negotiation: open_channel() picks the cheapest feasible
+//     binding (localobject > local > xdr > soap), reproducing Fig 5.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "registry/xml_registry.hpp"
+#include "transport/rpc.hpp"
+#include "wsdl/io.hpp"
+
+namespace h2::container {
+
+/// Management service port (the container is itself a service).
+inline constexpr std::uint16_t kContainerPort = 7200;
+/// Default HTTP port for SOAP endpoints.
+inline constexpr std::uint16_t kSoapPort = 8080;
+/// First port handed to per-instance XDR endpoints.
+inline constexpr std::uint16_t kXdrPortBase = 9100;
+
+enum class Exposure { kPrivate, kPublished };
+
+/// Which endpoints a deployed component exposes, and how.
+struct DeployOptions {
+  bool expose_soap = false;
+  bool expose_http = false;  ///< raw HTTP binding (XDR body, no SOAP)
+  bool expose_mime = false;  ///< SOAP-with-Attachments multipart binding
+  bool expose_xdr = false;
+  bool expose_local = true;
+  bool expose_localobject = true;
+  Exposure exposure = Exposure::kPrivate;
+  Nanos lease = 0;          ///< local-registry lease; 0 = permanent
+  std::string version;      ///< plugin version ("" = latest)
+};
+
+/// Everything the container knows about one deployed instance.
+struct ComponentRecord {
+  std::string instance_id;
+  std::string plugin_name;
+  wsdl::Definitions wsdl;
+  Exposure exposure = Exposure::kPrivate;
+};
+
+class Container {
+ public:
+  /// `repo` and `net` must outlive the container. The container creates
+  /// its own kernel named after itself on `host`.
+  Container(std::string name, const kernel::PluginRepository& repo,
+            net::SimNetwork& net, net::HostId host);
+  ~Container();
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  // ---- identity -----------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  kernel::Kernel& kernel() { return kernel_; }
+  net::SimNetwork& network() { return net_; }
+  net::HostId host() const { return host_; }
+
+  // ---- component lifecycle ---------------------------------------------------
+
+  /// Deploys a new instance of `plugin_name`: instantiates it from the
+  /// repository, initializes it against this container's kernel, binds the
+  /// requested endpoints, generates its WSDL, and registers it in the
+  /// local name space. Returns the instance id.
+  Result<std::string> deploy(std::string_view plugin_name,
+                             const DeployOptions& options = {});
+
+  /// deploy() plus restore_state(state) on the fresh instance before its
+  /// endpoints go live — the receiving half of component migration.
+  Result<std::string> deploy_with_state(std::string_view plugin_name,
+                                        const DeployOptions& options,
+                                        const Value& state);
+
+  /// Stops an instance: unbinds endpoints, removes it from the local
+  /// registry (and leaves any external registrations to their leases).
+  Status undeploy(std::string_view instance_id);
+
+  std::vector<ComponentRecord> components() const;
+  std::size_t component_count() const { return components_.size(); }
+
+  /// The WSDL document for one instance.
+  Result<wsdl::Definitions> describe(std::string_view instance_id) const;
+
+  // ---- local name space / lookup ------------------------------------------------
+
+  /// The container's local lookup service.
+  reg::XmlRegistry& local_registry() { return registry_; }
+  const reg::XmlRegistry& local_registry() const { return registry_; }
+
+  /// Finds a *local* instance providing WSDL service `service_name`
+  /// ("MatMulService"); most recently deployed wins.
+  Result<ComponentRecord> find_local(std::string_view service_name) const;
+
+  // ---- exposure control ------------------------------------------------------------
+
+  /// Publishes an instance's WSDL into an external registry. The decision
+  /// is reviewable: unpublish() later removes it. Returns the external key.
+  Result<std::string> publish(std::string_view instance_id,
+                              reg::XmlRegistry& external, Nanos lease = 0);
+  Status unpublish(std::string_view instance_id, reg::XmlRegistry& external);
+
+  /// Flip exposure without touching any registry (bookkeeping only).
+  Status set_exposure(std::string_view instance_id, Exposure exposure);
+
+  // ---- instance access (the localobject binding) --------------------------------------
+
+  /// The dispatcher of a specific live instance — what the localobject
+  /// scheme resolves to ("the binding not only defines the object type but
+  /// also a specific instance").
+  Result<net::Dispatcher*> instance(std::string_view instance_id);
+
+  /// The live plugin object itself (mobility hooks live on it).
+  Result<kernel::Plugin*> component(std::string_view instance_id);
+
+  // ---- binding negotiation -----------------------------------------------------------
+
+  /// Opens the cheapest feasible channel to a service described by `defs`,
+  /// trying binding kinds in `preference` order. localobject and local
+  /// are only feasible when the port's address names *this* container and
+  /// the instance/type is present.
+  Result<std::unique_ptr<net::Channel>> open_channel(
+      const wsdl::Definitions& defs,
+      std::span<const wsdl::BindingKind> preference = kDefaultPreference);
+
+  /// localobject > local > xdr > http > mime > soap — Fig 5's cost order.
+  static constexpr wsdl::BindingKind kDefaultPreference[] = {
+      wsdl::BindingKind::kLocalObject, wsdl::BindingKind::kLocal,
+      wsdl::BindingKind::kXdr, wsdl::BindingKind::kHttp,
+      wsdl::BindingKind::kMime, wsdl::BindingKind::kSoap};
+
+ private:
+  struct Deployed {
+    ComponentRecord record;
+    std::unique_ptr<kernel::Plugin> plugin;
+    std::optional<net::ServerHandle> xdr_server;
+    std::string soap_path;  // empty if no soap endpoint
+    std::string http_path;  // empty if no raw http endpoint
+    std::string mime_path;  // empty if no mime endpoint
+  };
+
+  Result<std::string> deploy_impl(std::string_view plugin_name,
+                                  const DeployOptions& options, const Value* state);
+
+  Result<std::unique_ptr<net::Channel>> try_open(const wsdl::Definitions& defs,
+                                                 const wsdl::Binding& binding,
+                                                 const wsdl::Port& port);
+
+  std::string name_;
+  const kernel::PluginRepository& repo_;
+  net::SimNetwork& net_;
+  net::HostId host_;
+  kernel::Kernel kernel_;
+  reg::XmlRegistry registry_;
+  net::SoapHttpServer soap_server_;
+  std::map<std::string, Deployed, std::less<>> components_;
+  std::map<std::string, std::string, std::less<>> registry_keys_;  // instance -> local reg key
+  std::map<std::string, std::string, std::less<>> published_keys_;  // instance -> external key
+  std::uint16_t next_xdr_port_ = kXdrPortBase;
+  std::uint64_t next_instance_ = 1;
+};
+
+}  // namespace h2::container

@@ -1,0 +1,173 @@
+#include "container/management.hpp"
+
+#include "transport/marshal.hpp"
+#include "util/strings.hpp"
+
+namespace h2::container {
+
+ManagementService::ManagementService(Container& container)
+    : container_(container), mux_(std::make_shared<net::DispatcherMux>()) {
+  Container* c = &container_;
+  mux_->add("deploy", [c](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 3) {
+      return err::invalid_argument("deploy(plugin, expose_soap, expose_xdr)");
+    }
+    auto plugin = params[0].as_string();
+    if (!plugin.ok()) return plugin.error();
+    auto expose_soap = params[1].as_bool();
+    if (!expose_soap.ok()) return expose_soap.error();
+    auto expose_xdr = params[2].as_bool();
+    if (!expose_xdr.ok()) return expose_xdr.error();
+    DeployOptions options;
+    options.expose_soap = *expose_soap;
+    options.expose_xdr = *expose_xdr;
+    auto id = c->deploy(*plugin, options);
+    if (!id.ok()) return id.error();
+    return Value::of_string(std::move(*id), "return");
+  });
+  mux_->add("deploy_with_state", [c](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 4) {
+      return err::invalid_argument("deploy_with_state(plugin, soap, xdr, state)");
+    }
+    auto plugin = params[0].as_string();
+    if (!plugin.ok()) return plugin.error();
+    auto expose_soap = params[1].as_bool();
+    if (!expose_soap.ok()) return expose_soap.error();
+    auto expose_xdr = params[2].as_bool();
+    if (!expose_xdr.ok()) return expose_xdr.error();
+    auto state_bytes = params[3].as_bytes();
+    if (!state_bytes.ok()) return state_bytes.error();
+    enc::XdrReader reader(*state_bytes);
+    auto state = net::unmarshal_value(reader);
+    if (!state.ok()) return state.error().context("migrated state");
+    DeployOptions options;
+    options.expose_soap = *expose_soap;
+    options.expose_xdr = *expose_xdr;
+    auto id = c->deploy_with_state(*plugin, options, *state);
+    if (!id.ok()) return id.error();
+    return Value::of_string(std::move(*id), "return");
+  });
+  mux_->add("undeploy", [c](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("undeploy(instance)");
+    auto id = params[0].as_string();
+    if (!id.ok()) return id.error();
+    if (auto status = c->undeploy(*id); !status.ok()) return status.error();
+    return Value::of_void();
+  });
+  mux_->add("describe", [c](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("describe(instance)");
+    auto id = params[0].as_string();
+    if (!id.ok()) return id.error();
+    auto defs = c->describe(*id);
+    if (!defs.ok()) return defs.error();
+    return Value::of_string(wsdl::to_xml_string(*defs), "return");
+  });
+  mux_->add("find", [c](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("find(service)");
+    auto name = params[0].as_string();
+    if (!name.ok()) return name.error();
+    auto record = c->find_local(*name);
+    if (!record.ok()) return record.error();
+    return Value::of_string(wsdl::to_xml_string(record->wsdl), "return");
+  });
+  mux_->add("list", [c](std::span<const Value>) -> Result<Value> {
+    std::vector<std::string> ids;
+    for (const auto& record : c->components()) ids.push_back(record.instance_id);
+    return Value::of_string(str::join(ids, ","), "return");
+  });
+  mux_->add("ping", [c](std::span<const Value>) -> Result<Value> {
+    return Value::of_string(c->name(), "return");
+  });
+}
+
+Status ManagementService::start() {
+  if (server_.has_value()) return Status::success();
+  auto handle =
+      net::serve_xdr(container_.network(), container_.host(), kContainerPort, mux_);
+  if (!handle.ok()) return handle.error().context("management service");
+  server_.emplace(std::move(*handle));
+  return Status::success();
+}
+
+void ManagementService::stop() { server_.reset(); }
+
+RemoteContainer::RemoteContainer(net::SimNetwork& net, net::HostId from,
+                                 std::string container_host) {
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = std::move(container_host),
+                         .port = kContainerPort,
+                         .path = ""};
+  channel_ = net::make_xdr_channel(net, from, endpoint);
+}
+
+Result<Value> RemoteContainer::invoke(std::string_view operation,
+                                      std::span<const Value> params) {
+  return channel_->invoke(operation, params);
+}
+
+Result<std::string> RemoteContainer::deploy(std::string_view plugin_name,
+                                            bool expose_soap, bool expose_xdr) {
+  std::vector<Value> params{Value::of_string(std::string(plugin_name), "plugin"),
+                            Value::of_bool(expose_soap, "soap"),
+                            Value::of_bool(expose_xdr, "xdr")};
+  auto result = invoke("deploy", params);
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+Result<std::string> RemoteContainer::deploy_with_state(std::string_view plugin_name,
+                                                       bool expose_soap, bool expose_xdr,
+                                                       const Value& state) {
+  enc::XdrWriter writer;
+  net::marshal_value(writer, state);
+  auto frame = writer.take();
+  std::vector<Value> params{
+      Value::of_string(std::string(plugin_name), "plugin"),
+      Value::of_bool(expose_soap, "soap"), Value::of_bool(expose_xdr, "xdr"),
+      Value::of_bytes(std::vector<std::uint8_t>(frame.bytes().begin(), frame.bytes().end()),
+                      "state")};
+  auto result = invoke("deploy_with_state", params);
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+Status RemoteContainer::undeploy(std::string_view instance_id) {
+  std::vector<Value> params{Value::of_string(std::string(instance_id), "instance")};
+  auto result = invoke("undeploy", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<wsdl::Definitions> RemoteContainer::describe(std::string_view instance_id) {
+  std::vector<Value> params{Value::of_string(std::string(instance_id), "instance")};
+  auto result = invoke("describe", params);
+  if (!result.ok()) return result.error();
+  auto text = result->as_string();
+  if (!text.ok()) return text.error();
+  return wsdl::parse(*text);
+}
+
+Result<wsdl::Definitions> RemoteContainer::find(std::string_view service_name) {
+  std::vector<Value> params{Value::of_string(std::string(service_name), "service")};
+  auto result = invoke("find", params);
+  if (!result.ok()) return result.error();
+  auto text = result->as_string();
+  if (!text.ok()) return text.error();
+  return wsdl::parse(*text);
+}
+
+Result<std::vector<std::string>> RemoteContainer::list() {
+  auto result = invoke("list", {});
+  if (!result.ok()) return result.error();
+  auto text = result->as_string();
+  if (!text.ok()) return text.error();
+  return str::split_nonempty(*text, ',');
+}
+
+Result<std::string> RemoteContainer::ping() {
+  auto result = invoke("ping", {});
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+}  // namespace h2::container

@@ -1,0 +1,63 @@
+// The container's management service. "Containers constitute a special
+// category of services ... they are full-fledged services themselves":
+// this wraps a Container in a Dispatcher speaking deploy/undeploy/list/
+// describe/find, served over the XDR binding on kContainerPort, so remote
+// parties (notably the DVM layer and the Section 6 "upload his application
+// component to a container residing on that node" scenario) can drive it.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "container/container.hpp"
+
+namespace h2::container {
+
+class ManagementService {
+ public:
+  /// Borrows `container`; it must outlive the service.
+  explicit ManagementService(Container& container);
+
+  /// Binds on (container host, kContainerPort).
+  Status start();
+  void stop();
+  bool running() const { return server_.has_value(); }
+
+  /// The dispatcher itself (for local/in-process management and tests).
+  net::Dispatcher& dispatcher() { return *mux_; }
+
+ private:
+  Container& container_;
+  std::shared_ptr<net::DispatcherMux> mux_;
+  std::optional<net::ServerHandle> server_;
+};
+
+/// Client helper: drive a remote container's management service from
+/// `from_host`. Thin typed wrapper over an XDR channel.
+class RemoteContainer {
+ public:
+  RemoteContainer(net::SimNetwork& net, net::HostId from, std::string container_host);
+
+  /// Remote deploy; `expose_soap`/`expose_xdr` select network endpoints.
+  Result<std::string> deploy(std::string_view plugin_name, bool expose_soap,
+                             bool expose_xdr);
+  /// Remote deploy of a migrated component: ships `state` over the wire
+  /// and restores it into the fresh instance before it goes live.
+  Result<std::string> deploy_with_state(std::string_view plugin_name, bool expose_soap,
+                                        bool expose_xdr, const Value& state);
+  Status undeploy(std::string_view instance_id);
+  /// WSDL of a deployed instance.
+  Result<wsdl::Definitions> describe(std::string_view instance_id);
+  /// WSDL of a service by name from the remote local registry.
+  Result<wsdl::Definitions> find(std::string_view service_name);
+  /// Instance ids, comma-separated order of the remote container.
+  Result<std::vector<std::string>> list();
+  /// Liveness probe; returns the remote container name.
+  Result<std::string> ping();
+
+ private:
+  Result<Value> invoke(std::string_view operation, std::span<const Value> params);
+  std::unique_ptr<net::Channel> channel_;
+};
+
+}  // namespace h2::container

@@ -1,0 +1,67 @@
+#include "core/dynamic_proxy.hpp"
+
+namespace h2 {
+
+namespace {
+
+/// kInt widens to kDouble; everything else must match exactly.
+bool kind_compatible(ValueKind have, ValueKind want) {
+  if (have == want) return true;
+  return have == ValueKind::kInt && want == ValueKind::kDouble;
+}
+
+}  // namespace
+
+Result<DynamicProxy> DynamicProxy::create(
+    container::Container& from, const wsdl::Definitions& defs,
+    std::span<const wsdl::BindingKind> preference) {
+  if (auto status = wsdl::validate(defs); !status.ok()) {
+    return status.error().context("dynamic proxy");
+  }
+  auto descriptor = wsdl::descriptor_from(defs);
+  if (!descriptor.ok()) return descriptor.error().context("dynamic proxy");
+  auto channel = preference.empty() ? from.open_channel(defs)
+                                    : from.open_channel(defs, preference);
+  if (!channel.ok()) return channel.error().context("dynamic proxy");
+  return DynamicProxy(std::move(*descriptor), std::move(*channel));
+}
+
+Result<Value> DynamicProxy::invoke(std::string_view operation,
+                                   std::span<const Value> params) {
+  const wsdl::OperationSpec* spec = descriptor_.find_operation(operation);
+  if (spec == nullptr) {
+    return err::not_found("proxy: interface " + descriptor_.name +
+                          " has no operation '" + std::string(operation) + "'");
+  }
+  if (params.size() != spec->params.size()) {
+    return err::invalid_argument(
+        "proxy: " + spec->name + " takes " + std::to_string(spec->params.size()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  // Validate kinds and auto-name unnamed arguments from the message parts.
+  std::vector<Value> named;
+  named.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!kind_compatible(params[i].kind(), spec->params[i].type)) {
+      return err::invalid_argument(
+          "proxy: parameter '" + spec->params[i].name + "' of " + spec->name +
+          " wants " + wsdl::type_name(spec->params[i].type) + ", got " +
+          to_string(params[i].kind()));
+    }
+    Value v = params[i];
+    if (v.name().empty()) v.set_name(spec->params[i].name);
+    named.push_back(std::move(v));
+  }
+
+  auto result = channel_->invoke(operation, named);
+  if (!result.ok()) return result;
+
+  if (!kind_compatible(result->kind(), spec->result)) {
+    return err::internal("proxy: " + spec->name + " returned " +
+                         to_string(result->kind()) + ", interface promises " +
+                         wsdl::type_name(spec->result));
+  }
+  return result;
+}
+
+}  // namespace h2

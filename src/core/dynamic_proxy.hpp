@@ -1,0 +1,49 @@
+// WSIF-style dynamic stubs. The paper (Section 4) highlights IBM's Web
+// Services Invocation Framework: "a skeleton implementation for the
+// dynamic, run-time generation of Web Service stubs. Thus, it is possible
+// for a client both to select the type of protocol it wants to use to
+// access a service or to let the framework dynamically generate the
+// required stub."
+//
+// DynamicProxy is that stub generator: given a WSDL document, it recovers
+// the abstract interface (descriptor_from), negotiates a binding through
+// the caller's container, and then *type-checks every invocation against
+// the WSDL messages before any byte is marshaled* — parameter count,
+// parameter kinds (with int->double widening), and the result kind on the
+// way back. Unnamed arguments are auto-named from the message parts.
+#pragma once
+
+#include "container/container.hpp"
+#include "wsdl/descriptor.hpp"
+
+namespace h2 {
+
+class DynamicProxy {
+ public:
+  /// Generates a stub for `defs` usable from `from`. Binding selection
+  /// follows `preference` (container default order when empty).
+  static Result<DynamicProxy> create(
+      container::Container& from, const wsdl::Definitions& defs,
+      std::span<const wsdl::BindingKind> preference = {});
+
+  /// Typed invocation: validated against the WSDL before dispatch.
+  Result<Value> invoke(std::string_view operation, std::span<const Value> params);
+  Result<Value> invoke(std::string_view operation, std::initializer_list<Value> params) {
+    return invoke(operation, std::span<const Value>(params.begin(), params.size()));
+  }
+
+  /// The recovered abstract interface.
+  const wsdl::ServiceDescriptor& interface() const { return descriptor_; }
+  /// Which binding the framework selected.
+  const char* binding_name() const { return channel_->binding_name(); }
+  net::CallStats last_stats() const { return channel_->last_stats(); }
+
+ private:
+  DynamicProxy(wsdl::ServiceDescriptor descriptor, std::unique_ptr<net::Channel> channel)
+      : descriptor_(std::move(descriptor)), channel_(std::move(channel)) {}
+
+  wsdl::ServiceDescriptor descriptor_;
+  std::unique_ptr<net::Channel> channel_;
+};
+
+}  // namespace h2

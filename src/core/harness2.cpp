@@ -1,0 +1,84 @@
+#include "core/harness2.hpp"
+
+#include "plugins/standard.hpp"
+
+namespace h2 {
+
+const char* version() { return "2.0.0"; }
+
+std::unique_ptr<dvm::CoherencyProtocol> make_coherency(CoherencyMode mode,
+                                                       std::size_t k) {
+  switch (mode) {
+    case CoherencyMode::kFullSynchrony: return dvm::make_full_synchrony();
+    case CoherencyMode::kDecentralized: return dvm::make_decentralized();
+    case CoherencyMode::kNeighborhood: return dvm::make_neighborhood(k);
+  }
+  return dvm::make_full_synchrony();
+}
+
+Framework::Framework() : registry_(net_.clock()), uddi_(registry_) {
+  // The "system distribution": standard plugins plus the PVM emulation.
+  (void)plugins::register_standard_plugins(repo_);
+  (void)pvm::register_pvm_plugin(repo_);
+}
+
+Framework::~Framework() {
+  // DVMs borrow containers; drop them first.
+  dvms_.clear();
+  containers_.clear();
+}
+
+Result<container::Container*> Framework::create_container(const std::string& name) {
+  if (find_container(name) != nullptr) {
+    return err::already_exists("framework: container '" + name + "' exists");
+  }
+  auto host = net_.add_host(name);
+  if (!host.ok()) return host.error();
+  Managed managed;
+  managed.container = std::make_unique<container::Container>(name, repo_, net_, *host);
+  managed.management = std::make_unique<container::ManagementService>(*managed.container);
+  if (auto status = managed.management->start(); !status.ok()) {
+    return status.error();
+  }
+  containers_.push_back(std::move(managed));
+  return containers_.back().container.get();
+}
+
+container::Container* Framework::find_container(std::string_view name) {
+  for (auto& managed : containers_) {
+    if (managed.container->name() == name) return managed.container.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Framework::container_names() const {
+  std::vector<std::string> out;
+  for (const auto& managed : containers_) out.push_back(managed.container->name());
+  return out;
+}
+
+Result<dvm::Dvm*> Framework::create_dvm(const std::string& name, CoherencyMode mode,
+                                        std::size_t neighborhood_k) {
+  if (find_dvm(name) != nullptr) {
+    return err::already_exists("framework: dvm '" + name + "' exists");
+  }
+  dvms_.push_back(std::make_unique<dvm::Dvm>(name, make_coherency(mode, neighborhood_k)));
+  dvm_names_.push_back(name);
+  return dvms_.back().get();
+}
+
+dvm::Dvm* Framework::find_dvm(std::string_view name) {
+  for (auto& d : dvms_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+Result<std::unique_ptr<net::Channel>> Framework::connect(container::Container& from,
+                                                         std::string_view service_name) {
+  auto entry = registry_.find_service(service_name);
+  if (!entry.ok()) return entry.error().context("framework connect");
+  return from.open_channel((*entry)->defs);
+}
+
+}  // namespace h2

@@ -1,0 +1,100 @@
+// harness2::Framework — the public entry point of the library, assembling
+// the full Harness II stack of the paper:
+//
+//   SimNetwork            the (simulated) heterogeneous network of hosts
+//   PluginRepository      the plugin distribution (standard set + hpvmd)
+//   Container             per-host component containers (Fig 6, middle)
+//   Dvm                   distributed component containers (Fig 6, top)
+//   XmlRegistry/UddiFacade  the public lookup service (Fig 3/4)
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   h2::Framework fw;
+//   auto& a = *fw.create_container("hostA");
+//   auto& dvm = *fw.create_dvm("dvm1", h2::CoherencyMode::kFullSynchrony);
+//   dvm.add_node(a);
+//   auto id = a.deploy("time", {...});
+//   a.publish(*id, fw.global_registry());
+//   auto channel = fw.connect(b, "WSTimeService");
+//   channel->invoke("getTime", {});
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/management.hpp"
+#include "dvm/dvm.hpp"
+#include "pvm/hpvmd.hpp"
+#include "registry/uddi.hpp"
+
+namespace h2 {
+
+/// Selects the DVM state-management solution (Section 6). The DVM API is
+/// identical for all three.
+enum class CoherencyMode { kFullSynchrony, kDecentralized, kNeighborhood };
+
+/// Builds the protocol object for a mode (k is the neighborhood radius).
+std::unique_ptr<dvm::CoherencyProtocol> make_coherency(CoherencyMode mode,
+                                                       std::size_t k = 2);
+
+/// Library version.
+const char* version();
+
+class Framework {
+ public:
+  /// Creates an empty metacomputing environment: a simulated network, the
+  /// standard plugin repository (including hpvmd), and a global registry.
+  Framework();
+  ~Framework();
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  // ---- infrastructure --------------------------------------------------------
+
+  net::SimNetwork& network() { return net_; }
+  kernel::PluginRepository& repository() { return repo_; }
+  /// The public (UDDI-like) lookup service.
+  reg::XmlRegistry& global_registry() { return registry_; }
+  reg::UddiFacade& uddi() { return uddi_; }
+
+  // ---- hosts & containers ------------------------------------------------------
+
+  /// Creates a simulated host plus a component container on it, and starts
+  /// the container's management service. Returns a stable pointer.
+  Result<container::Container*> create_container(const std::string& name);
+
+  container::Container* find_container(std::string_view name);
+  std::vector<std::string> container_names() const;
+
+  // ---- DVMs --------------------------------------------------------------------
+
+  /// Creates a named DVM with the chosen coherency mode.
+  Result<dvm::Dvm*> create_dvm(const std::string& name, CoherencyMode mode,
+                               std::size_t neighborhood_k = 2);
+  dvm::Dvm* find_dvm(std::string_view name);
+
+  // ---- service resolution ---------------------------------------------------------
+
+  /// Looks `service_name` up in the global registry and opens the best
+  /// channel from `from`'s vantage point (Fig 4 + Fig 5 combined).
+  Result<std::unique_ptr<net::Channel>> connect(container::Container& from,
+                                                std::string_view service_name);
+
+ private:
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  reg::XmlRegistry registry_;
+  reg::UddiFacade uddi_;
+
+  struct Managed {
+    std::unique_ptr<container::Container> container;
+    std::unique_ptr<container::ManagementService> management;
+  };
+  std::vector<Managed> containers_;
+  std::vector<std::unique_ptr<dvm::Dvm>> dvms_;
+  std::vector<std::string> dvm_names_;
+};
+
+}  // namespace h2

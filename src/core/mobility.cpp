@@ -1,0 +1,35 @@
+#include "core/mobility.hpp"
+
+namespace h2::mobility {
+
+Result<MigrationReport> migrate_component(container::Container& from,
+                                          std::string_view instance_id,
+                                          const std::string& to_host,
+                                          bool expose_soap, bool expose_xdr) {
+  auto plugin = from.component(instance_id);
+  if (!plugin.ok()) return plugin.error().context("migrate");
+  std::string plugin_name = (*plugin)->info().name;
+
+  auto state = (*plugin)->save_state();
+  if (!state.ok()) return state.error().context("migrate: snapshot");
+
+  MigrationReport report;
+  report.state_bytes = state->bytes_view().size();
+
+  container::RemoteContainer target(from.network(), from.host(), to_host);
+  Nanos t0 = from.network().clock().now();
+  auto new_id = target.deploy_with_state(plugin_name, expose_soap, expose_xdr, *state);
+  if (!new_id.ok()) {
+    return new_id.error().context("migrate: target deployment (source untouched)");
+  }
+  report.wire_time = from.network().clock().now() - t0;
+  report.new_instance_id = std::move(*new_id);
+
+  // Only retire the source once the replacement is live.
+  if (auto status = from.undeploy(instance_id); !status.ok()) {
+    return status.error().context("migrate: retiring source after successful copy");
+  }
+  return report;
+}
+
+}  // namespace h2::mobility

@@ -1,0 +1,38 @@
+// Component mobility: "In mobile component frameworks the active
+// component (or agent) can sometimes avoid exchanging large amounts of
+// data by instead moving itself, and performing computations on the host
+// where data is stored" (Section 5) — and the Section 6 walkthrough ends
+// with the user "upload[ing] his application component to a container
+// residing on that node".
+//
+// migrate_component() performs the move: snapshot the instance's state
+// (Plugin::save_state), ship it over the wire to the target container's
+// management service, restore it into a fresh instance there, and retire
+// the original. The state travels through the real XDR channel, so the
+// cost of moving the component is charged to the virtual network exactly
+// like any other payload — which is what makes "move the code to the
+// data" a measurable trade-off rather than a free action.
+#pragma once
+
+#include "container/management.hpp"
+
+namespace h2::mobility {
+
+struct MigrationReport {
+  std::string new_instance_id;   ///< instance id inside the target container
+  std::size_t state_bytes = 0;   ///< size of the serialized state snapshot
+  Nanos wire_time = 0;           ///< virtual time the move cost on the wire
+};
+
+/// Moves instance `instance_id` from `from` into the container whose
+/// management service runs on host `to_host`. The new instance exposes
+/// network endpoints per `expose_soap`/`expose_xdr` (local/localobject are
+/// always exposed). On success the source instance is undeployed; on any
+/// failure the source is left untouched.
+Result<MigrationReport> migrate_component(container::Container& from,
+                                          std::string_view instance_id,
+                                          const std::string& to_host,
+                                          bool expose_soap = false,
+                                          bool expose_xdr = true);
+
+}  // namespace h2::mobility

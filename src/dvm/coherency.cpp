@@ -1,0 +1,161 @@
+#include "dvm/coherency.hpp"
+
+namespace h2::dvm {
+
+namespace {
+
+class FullSynchrony final : public CoherencyProtocol {
+ public:
+  const char* name() const override { return "full-synchrony"; }
+
+  Status update(std::span<DvmNode* const> members, std::size_t origin,
+                std::string_view key, std::string_view value) override {
+    members[origin]->state().set(std::string(key), std::string(value));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == origin) continue;
+      if (auto status = members[origin]->remote_set(*members[i], key, value);
+          !status.ok()) {
+        return status.error().context("full-synchrony replication to " +
+                                      members[i]->name());
+      }
+    }
+    return Status::success();
+  }
+
+  Result<std::string> query(std::span<DvmNode* const> members, std::size_t origin,
+                            std::string_view key) override {
+    auto value = members[origin]->state().get(key);
+    if (!value.has_value()) {
+      return err::not_found("state: no key '" + std::string(key) + "'");
+    }
+    return *value;
+  }
+
+  Status erase(std::span<DvmNode* const> members, std::size_t origin,
+               std::string_view key) override {
+    members[origin]->state().erase(key);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == origin) continue;
+      if (auto status = members[origin]->remote_del(*members[i], key); !status.ok()) {
+        return status.error().context("full-synchrony erase");
+      }
+    }
+    return Status::success();
+  }
+
+  Status on_join(std::span<DvmNode* const> members, std::size_t joined) override {
+    // Back-fill the newcomer so "the entire state information is
+    // replicated across all participating nodes" stays true after joins.
+    if (members.size() < 2) return Status::success();
+    std::size_t donor = joined == 0 ? 1 : 0;
+    for (const std::string& key : members[donor]->state().keys()) {
+      auto value = members[donor]->state().get(key);
+      if (!value.has_value()) continue;
+      if (auto status = members[donor]->remote_set(*members[joined], key, *value);
+          !status.ok()) {
+        return status.error().context("full-synchrony join back-fill");
+      }
+    }
+    return Status::success();
+  }
+};
+
+class Decentralized final : public CoherencyProtocol {
+ public:
+  const char* name() const override { return "decentralized"; }
+
+  Status update(std::span<DvmNode* const> members, std::size_t origin,
+                std::string_view key, std::string_view value) override {
+    // "State change events are not propagated to other nodes."
+    members[origin]->state().set(std::string(key), std::string(value));
+    return Status::success();
+  }
+
+  Result<std::string> query(std::span<DvmNode* const> members, std::size_t origin,
+                            std::string_view key) override {
+    if (auto value = members[origin]->state().get(key); value.has_value()) {
+      return *value;
+    }
+    // "Every request for state information triggers a distributed query
+    // spanning across the DVM."
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == origin) continue;
+      auto value = members[origin]->remote_get(*members[i], key);
+      if (value.ok()) return value;
+      if (value.error().code() != ErrorCode::kNotFound) return value.error();
+    }
+    return err::not_found("state: no key '" + std::string(key) + "' anywhere");
+  }
+
+  Status erase(std::span<DvmNode* const> members, std::size_t origin,
+               std::string_view key) override {
+    members[origin]->state().erase(key);
+    return Status::success();
+  }
+};
+
+class Neighborhood final : public CoherencyProtocol {
+ public:
+  explicit Neighborhood(std::size_t k) : k_(k) {}
+
+  const char* name() const override { return "neighborhood"; }
+
+  Status update(std::span<DvmNode* const> members, std::size_t origin,
+                std::string_view key, std::string_view value) override {
+    members[origin]->state().set(std::string(key), std::string(value));
+    for (std::size_t step = 1; step <= k_ && step < members.size(); ++step) {
+      std::size_t neighbor = (origin + step) % members.size();
+      if (auto status = members[origin]->remote_set(*members[neighbor], key, value);
+          !status.ok()) {
+        return status.error().context("neighborhood replication");
+      }
+    }
+    return Status::success();
+  }
+
+  Result<std::string> query(std::span<DvmNode* const> members, std::size_t origin,
+                            std::string_view key) override {
+    if (auto value = members[origin]->state().get(key); value.has_value()) {
+      return *value;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == origin) continue;
+      auto value = members[origin]->remote_get(*members[i], key);
+      if (value.ok()) return value;
+      if (value.error().code() != ErrorCode::kNotFound) return value.error();
+    }
+    return err::not_found("state: no key '" + std::string(key) + "' anywhere");
+  }
+
+  Status erase(std::span<DvmNode* const> members, std::size_t origin,
+               std::string_view key) override {
+    members[origin]->state().erase(key);
+    for (std::size_t step = 1; step <= k_ && step < members.size(); ++step) {
+      std::size_t neighbor = (origin + step) % members.size();
+      if (auto status = members[origin]->remote_del(*members[neighbor], key);
+          !status.ok()) {
+        return status.error().context("neighborhood erase");
+      }
+    }
+    return Status::success();
+  }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace
+
+std::unique_ptr<CoherencyProtocol> make_full_synchrony() {
+  return std::make_unique<FullSynchrony>();
+}
+
+std::unique_ptr<CoherencyProtocol> make_decentralized() {
+  return std::make_unique<Decentralized>();
+}
+
+std::unique_ptr<CoherencyProtocol> make_neighborhood(std::size_t k) {
+  return std::make_unique<Neighborhood>(k);
+}
+
+}  // namespace h2::dvm

@@ -1,0 +1,70 @@
+// Global-state coherency protocols (paper Section 6):
+//
+//   "In the full synchrony scheme, the entire state information is
+//    replicated across all participating nodes. All system events are
+//    synchronously distributed to maintain coherency. ... may be
+//    appropriate for relatively small DVMs running applications with many
+//    critical components.
+//
+//    In contrast, in a fully decentralized scheme state change events are
+//    not propagated to other nodes. Instead, every request for state
+//    information triggers a distributed query spanning across the DVM. ...
+//    appropriate for loosely coupled, massively distributed applications
+//    such as Seti@home.
+//
+//    Mixed solutions are possible as well. For example, mesh-structured
+//    applications may benefit from a scheme that provides full synchrony
+//    across small neighborhoods but facilitates distributed queries for
+//    farther hosts."
+//
+// All three are implemented behind one interface; the DVM API never
+// depends on which is plugged in ("they always expose the same functional
+// interface ... so that applications can be deployed and run on any
+// Harness II DVM regardless of the underlying state management solution").
+// bench_state_coherency (EXP-COHER) measures the update/query crossovers.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "dvm/state.hpp"
+
+namespace h2::dvm {
+
+class CoherencyProtocol {
+ public:
+  virtual ~CoherencyProtocol() = default;
+  virtual const char* name() const = 0;
+
+  /// A state change originated at members[origin].
+  virtual Status update(std::span<DvmNode* const> members, std::size_t origin,
+                        std::string_view key, std::string_view value) = 0;
+
+  /// A state query issued at members[origin].
+  virtual Result<std::string> query(std::span<DvmNode* const> members,
+                                    std::size_t origin, std::string_view key) = 0;
+
+  /// A deletion originated at members[origin].
+  virtual Status erase(std::span<DvmNode* const> members, std::size_t origin,
+                       std::string_view key) = 0;
+
+  /// A new member joined as members[joined]. Protocols that replicate
+  /// state proactively back-fill the newcomer here; the default does
+  /// nothing (decentralized semantics).
+  virtual Status on_join(std::span<DvmNode* const> members, std::size_t joined) {
+    (void)members;
+    (void)joined;
+    return Status::success();
+  }
+};
+
+/// Full replication, synchronous fan-out on every change; local reads.
+std::unique_ptr<CoherencyProtocol> make_full_synchrony();
+
+/// No propagation; every non-local read is a DVM-spanning query.
+std::unique_ptr<CoherencyProtocol> make_decentralized();
+
+/// Full synchrony within a ring k-neighborhood, distributed query beyond.
+std::unique_ptr<CoherencyProtocol> make_neighborhood(std::size_t k);
+
+}  // namespace h2::dvm

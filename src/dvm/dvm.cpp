@@ -1,0 +1,233 @@
+#include "dvm/dvm.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace h2::dvm {
+
+namespace {
+Logger& logger() {
+  static Logger log("dvm");
+  return log;
+}
+}  // namespace
+
+Dvm::Dvm(std::string name, std::unique_ptr<CoherencyProtocol> protocol)
+    : name_(std::move(name)), protocol_(std::move(protocol)) {}
+
+Dvm::~Dvm() {
+  for (auto& member : members_) {
+    if (member.node) member.node->stop();
+  }
+}
+
+std::vector<DvmNode*> Dvm::alive_members() const {
+  std::vector<DvmNode*> out;
+  for (const auto& member : members_) {
+    if (member.node && member.node->alive()) out.push_back(member.node.get());
+  }
+  return out;
+}
+
+Result<std::size_t> Dvm::alive_index(std::string_view node_name) const {
+  auto alive = alive_members();
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i]->name() == node_name) return i;
+  }
+  return err::not_found("dvm " + name_ + ": no alive node '" + std::string(node_name) +
+                        "'");
+}
+
+void Dvm::announce(std::string_view topic, const std::string& message) {
+  for (DvmNode* node : alive_members()) {
+    node->container().kernel().events().publish(topic, Value::of_string(message));
+  }
+}
+
+Result<std::size_t> Dvm::add_node(container::Container& container) {
+  for (const auto& member : members_) {
+    if (member.node && member.node->name() == container.name()) {
+      return err::already_exists("dvm " + name_ + ": node '" + container.name() +
+                                 "' already enrolled");
+    }
+  }
+  auto node = std::make_unique<DvmNode>(container);
+  if (auto status = node->start(); !status.ok()) {
+    return status.error().context("dvm " + name_);
+  }
+  members_.push_back(Member{std::move(node)});
+
+  auto alive = alive_members();
+  std::size_t index = alive.size() - 1;
+  if (auto status = protocol_->on_join(alive, index); !status.ok()) {
+    return status.error();
+  }
+  if (auto status = protocol_->update(alive, index, "node/" + container.name(), "alive");
+      !status.ok()) {
+    return status.error();
+  }
+  announce("dvm/membership", "joined:" + container.name());
+  logger().debug(name_ + ": node " + container.name() + " joined");
+  return index;
+}
+
+Status Dvm::remove_node(std::string_view node_name) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  auto alive = alive_members();
+  // Record the departure while the node can still participate in the
+  // protocol, then take it out of the membership.
+  (void)protocol_->update(alive, *index, "node/" + std::string(node_name), "left");
+  DvmNode* node = alive[*index];
+  node->stop();
+  node->set_alive(false);
+  announce("dvm/membership", "left:" + std::string(node_name));
+  return Status::success();
+}
+
+Status Dvm::mark_failed(std::string_view node_name) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  DvmNode* failed = alive_members()[*index];
+  failed->set_alive(false);  // exclude first: it may be unreachable
+  failed->stop();
+  auto survivors = alive_members();
+  if (!survivors.empty()) {
+    // Any survivor records the failure; errors here are secondary.
+    (void)protocol_->update(survivors, 0, "node/" + std::string(node_name), "failed");
+  }
+  announce("dvm/membership", "failed:" + std::string(node_name));
+  logger().warn(name_ + ": node " + std::string(node_name) + " marked failed");
+  return Status::success();
+}
+
+Result<std::vector<std::string>> Dvm::probe(std::string_view from_node) {
+  auto index = alive_index(from_node);
+  if (!index.ok()) return index.error();
+  auto alive = alive_members();
+  DvmNode* prober = alive[*index];
+  std::vector<std::string> failed;
+  for (DvmNode* peer : alive) {
+    if (peer == prober) continue;
+    if (prober->remote_ping(*peer).ok()) continue;
+    failed.push_back(peer->name());
+  }
+  for (const std::string& name : failed) {
+    (void)mark_failed(name);
+  }
+  return failed;
+}
+
+std::size_t Dvm::node_count() const { return alive_members().size(); }
+
+std::vector<std::string> Dvm::node_names() const {
+  std::vector<std::string> out;
+  for (DvmNode* node : alive_members()) out.push_back(node->name());
+  return out;
+}
+
+DvmNode* Dvm::node(std::string_view node_name) {
+  for (DvmNode* n : alive_members()) {
+    if (n->name() == node_name) return n;
+  }
+  return nullptr;
+}
+
+bool Dvm::is_member(std::string_view node_name) const {
+  return alive_index(node_name).ok();
+}
+
+Status Dvm::set(std::string_view node_name, std::string_view key,
+                std::string_view value) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  return protocol_->update(alive_members(), *index, key, value);
+}
+
+Result<std::string> Dvm::get(std::string_view node_name, std::string_view key) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  return protocol_->query(alive_members(), *index, key);
+}
+
+Status Dvm::erase(std::string_view node_name, std::string_view key) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  return protocol_->erase(alive_members(), *index, key);
+}
+
+Result<std::string> Dvm::deploy(std::string_view node_name, std::string_view plugin,
+                                const container::DeployOptions& options) {
+  DvmNode* target = node(node_name);
+  if (target == nullptr) {
+    return err::not_found("dvm " + name_ + ": no node '" + std::string(node_name) + "'");
+  }
+  auto instance = target->container().deploy(plugin, options);
+  if (!instance.ok()) return instance.error();
+  std::string qualified = name_ + "/" + std::string(node_name) + "/" + *instance;
+  if (auto status = set(node_name, "component/" + qualified, std::string(node_name));
+      !status.ok()) {
+    return status.error();
+  }
+  ++components_;
+  return qualified;
+}
+
+Status Dvm::deploy_everywhere(std::string_view plugin,
+                              const container::DeployOptions& options) {
+  for (const std::string& node_name : node_names()) {
+    auto qualified = deploy(node_name, plugin, options);
+    if (!qualified.ok()) {
+      return qualified.error().context("deploy_everywhere(" + std::string(plugin) + ")");
+    }
+  }
+  return Status::success();
+}
+
+Status Dvm::undeploy(std::string_view qualified_name) {
+  auto parts = str::split(std::string(qualified_name), '/');
+  if (parts.size() != 3 || parts[0] != name_) {
+    return err::invalid_argument("bad qualified component name '" +
+                                 std::string(qualified_name) + "'");
+  }
+  DvmNode* target = node(parts[1]);
+  if (target == nullptr) {
+    return err::not_found("dvm " + name_ + ": no node '" + parts[1] + "'");
+  }
+  if (auto status = target->container().undeploy(parts[2]); !status.ok()) return status;
+  (void)erase(parts[1], "component/" + std::string(qualified_name));
+  --components_;
+  return Status::success();
+}
+
+Result<std::string> Dvm::locate(std::string_view from_node,
+                                std::string_view qualified_name) {
+  return get(from_node, "component/" + std::string(qualified_name));
+}
+
+Result<wsdl::Definitions> Dvm::find_service(std::string_view service_name) const {
+  for (DvmNode* node : alive_members()) {
+    auto record = node->container().find_local(service_name);
+    if (record.ok()) return record->wsdl;
+  }
+  return err::not_found("dvm " + name_ + ": no service '" + std::string(service_name) +
+                        "' on any node");
+}
+
+DvmStatus Dvm::status() const {
+  DvmStatus out;
+  out.name = name_;
+  out.coherency = protocol_->name();
+  out.components = components_;
+  for (const auto& member : members_) {
+    if (!member.node) continue;
+    if (member.node->alive()) {
+      ++out.nodes_alive;
+    } else {
+      ++out.nodes_failed;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2::dvm

@@ -1,0 +1,119 @@
+// The Distributed Virtual Machine — the distributed component container of
+// Figure 6 (top layer) and the execution context of Figure 1. "It supplies
+// a unified name space, status query, lookup service and a management
+// point for a set of component containers. In effect, that level of
+// abstraction introduces the notion of a distributed global state."
+//
+// The DVM is constructed exactly as the paper describes: created with a
+// symbolic name, then nodes are added, then plugins/components are
+// deployed on nodes. Global state lives behind a pluggable
+// CoherencyProtocol; the DVM API is identical for all protocols.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dvm/coherency.hpp"
+
+namespace h2::dvm {
+
+/// Status snapshot returned by Dvm::status().
+struct DvmStatus {
+  std::string name;
+  std::size_t nodes_alive = 0;
+  std::size_t nodes_failed = 0;
+  std::size_t components = 0;
+  std::string coherency;
+};
+
+class Dvm {
+ public:
+  /// `name` is the DVM's symbolic name, unique in the Harness name space.
+  Dvm(std::string name, std::unique_ptr<CoherencyProtocol> protocol);
+  ~Dvm();
+
+  Dvm(const Dvm&) = delete;
+  Dvm& operator=(const Dvm&) = delete;
+
+  const std::string& name() const { return name_; }
+  const char* coherency() const { return protocol_->name(); }
+
+  // ---- membership ------------------------------------------------------------
+
+  /// Enrolls a container as a DVM node: starts its state service, records
+  /// membership in global state, and announces a "dvm/membership" event on
+  /// every member's kernel event bus. Container must outlive the DVM.
+  Result<std::size_t> add_node(container::Container& container);
+
+  /// Graceful removal: departure is recorded and announced.
+  Status remove_node(std::string_view node_name);
+
+  /// Failure handling: marks the node dead without talking to it (it may
+  /// be unreachable); membership state is updated on the survivors.
+  Status mark_failed(std::string_view node_name);
+
+  /// Heartbeat sweep: `from_node` probes every other alive member's state
+  /// service; unreachable members are marked failed (robustness — the
+  /// original Harness goal the plugin architecture serves). Returns the
+  /// names of nodes newly declared failed.
+  Result<std::vector<std::string>> probe(std::string_view from_node);
+
+  std::size_t node_count() const;  ///< alive nodes
+  std::vector<std::string> node_names() const;
+  DvmNode* node(std::string_view node_name);
+  bool is_member(std::string_view node_name) const;
+
+  // ---- distributed global state ------------------------------------------------
+
+  /// Writes a global state entry, originated at `node_name`.
+  Status set(std::string_view node_name, std::string_view key, std::string_view value);
+  /// Reads a global state entry from the vantage point of `node_name`.
+  Result<std::string> get(std::string_view node_name, std::string_view key);
+  /// Deletes a global state entry.
+  Status erase(std::string_view node_name, std::string_view key);
+
+  // ---- component deployment and the unified name space ---------------------------
+
+  /// Deploys a plugin on one node and records it in global state under
+  /// "component/<qualified-name>". Returns the qualified name
+  /// "<dvm>/<node>/<instance>".
+  Result<std::string> deploy(std::string_view node_name, std::string_view plugin,
+                             const container::DeployOptions& options = {});
+
+  /// Deploys a plugin on every alive node (the replicated baseline set of
+  /// Fig 1: message passing, process management, ... on all nodes).
+  Status deploy_everywhere(std::string_view plugin,
+                           const container::DeployOptions& options = {});
+
+  /// Undeploys a component by qualified name.
+  Status undeploy(std::string_view qualified_name);
+
+  /// Which node hosts a component (queried from `from_node`'s vantage).
+  Result<std::string> locate(std::string_view from_node,
+                             std::string_view qualified_name);
+
+  /// DVM-wide service lookup: searches every alive member's local registry
+  /// and returns the first WSDL match (the Fig 4 lookup service).
+  Result<wsdl::Definitions> find_service(std::string_view service_name) const;
+
+  // ---- status -----------------------------------------------------------------
+
+  DvmStatus status() const;
+
+ private:
+  struct Member {
+    std::unique_ptr<DvmNode> node;
+  };
+
+  std::vector<DvmNode*> alive_members() const;
+  Result<std::size_t> alive_index(std::string_view node_name) const;
+  void announce(std::string_view topic, const std::string& message);
+
+  std::string name_;
+  std::unique_ptr<CoherencyProtocol> protocol_;
+  std::vector<Member> members_;
+  std::size_t components_ = 0;
+};
+
+}  // namespace h2::dvm

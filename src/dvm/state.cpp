@@ -1,0 +1,87 @@
+#include "dvm/state.hpp"
+
+namespace h2::dvm {
+
+DvmNode::DvmNode(container::Container& container)
+    : container_(container),
+      state_(std::make_shared<StateStore>()),
+      service_(std::make_shared<net::DispatcherMux>()) {
+  auto state = state_;
+  service_->add("set", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("set(key, value)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    auto value = params[1].as_string();
+    if (!value.ok()) return value.error();
+    state->set(std::move(*key), std::move(*value));
+    return Value::of_void();
+  });
+  service_->add("get", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("get(key)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    auto value = state->get(*key);
+    if (!value.has_value()) return err::not_found("state: no key '" + *key + "'");
+    return Value::of_string(std::move(*value), "return");
+  });
+  service_->add("ping", [](std::span<const Value>) -> Result<Value> {
+    return Value::of_bool(true, "return");
+  });
+  service_->add("del", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("del(key)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    return Value::of_bool(state->erase(*key), "return");
+  });
+}
+
+Status DvmNode::start() {
+  if (server_.has_value()) return Status::success();
+  auto handle = net::serve_xdr(network(), host(), kStatePort, service_);
+  if (!handle.ok()) return handle.error().context("dvm node " + name());
+  server_.emplace(std::move(*handle));
+  return Status::success();
+}
+
+void DvmNode::stop() { server_.reset(); }
+
+Result<Value> DvmNode::invoke_on(DvmNode& target, std::string_view operation,
+                                 std::span<const Value> params) {
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = target.name(),
+                         .port = kStatePort,
+                         .path = ""};
+  auto channel = net::make_xdr_channel(network(), host(), endpoint);
+  return channel->invoke(operation, params);
+}
+
+Status DvmNode::remote_set(DvmNode& target, std::string_view key,
+                           std::string_view value) {
+  std::vector<Value> params{Value::of_string(std::string(key), "key"),
+                            Value::of_string(std::string(value), "value")};
+  auto result = invoke_on(target, "set", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<std::string> DvmNode::remote_get(DvmNode& target, std::string_view key) {
+  std::vector<Value> params{Value::of_string(std::string(key), "key")};
+  auto result = invoke_on(target, "get", params);
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+Status DvmNode::remote_ping(DvmNode& target) {
+  auto result = invoke_on(target, "ping", {});
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Status DvmNode::remote_del(DvmNode& target, std::string_view key) {
+  std::vector<Value> params{Value::of_string(std::string(key), "key")};
+  auto result = invoke_on(target, "del", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+}  // namespace h2::dvm

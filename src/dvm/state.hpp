@@ -1,0 +1,92 @@
+// Per-node DVM state: a string key/value store plus the network service
+// that exposes it to peer nodes (set/get/del over the XDR binding). The
+// coherency protocols in coherency.hpp are built from exactly these two
+// primitives — local access and remote access — combined in different
+// proportions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "transport/rpc.hpp"
+
+namespace h2::dvm {
+
+/// Well-known port of the DVM state service.
+inline constexpr std::uint16_t kStatePort = 7400;
+
+/// The local (per-node) slice of global DVM state.
+class StateStore {
+ public:
+  void set(std::string key, std::string value) { map_[std::move(key)] = std::move(value); }
+  std::optional<std::string> get(std::string_view key) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool erase(std::string_view key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    map_.erase(it);
+    return true;
+  }
+  std::size_t size() const { return map_.size(); }
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(map_.size());
+    for (const auto& [k, v] : map_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> map_;
+};
+
+/// One enrolled DVM member: a borrowed container plus this node's state
+/// store and its state service endpoint.
+class DvmNode {
+ public:
+  /// Borrows `container`; it must outlive the node.
+  explicit DvmNode(container::Container& container);
+
+  /// Binds the state service at (host, kStatePort).
+  Status start();
+  void stop();
+
+  container::Container& container() { return container_; }
+  const std::string& name() const { return container_.name(); }
+  net::HostId host() const { return container_.host(); }
+  net::SimNetwork& network() { return container_.network(); }
+  StateStore& state() { return *state_; }
+  const StateStore& state() const { return *state_; }
+
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  // ---- remote state access (used by the coherency protocols) -----------------
+
+  /// set on a peer node's store, issued from this node.
+  Status remote_set(DvmNode& target, std::string_view key, std::string_view value);
+  /// get from a peer node's store, issued from this node.
+  Result<std::string> remote_get(DvmNode& target, std::string_view key);
+  /// del on a peer node's store, issued from this node.
+  Status remote_del(DvmNode& target, std::string_view key);
+  /// Liveness probe of a peer's state service (the heartbeat primitive).
+  Status remote_ping(DvmNode& target);
+
+ private:
+  Result<Value> invoke_on(DvmNode& target, std::string_view operation,
+                          std::span<const Value> params);
+
+  container::Container& container_;
+  std::shared_ptr<StateStore> state_;
+  std::shared_ptr<net::DispatcherMux> service_;
+  std::optional<net::ServerHandle> server_;
+  bool alive_ = true;
+};
+
+}  // namespace h2::dvm

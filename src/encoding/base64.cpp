@@ -1,0 +1,93 @@
+#include "encoding/base64.hpp"
+
+#include <array>
+
+namespace h2::enc {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+constexpr auto kReverse = make_reverse_table();
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> input) {
+  std::string out;
+  out.reserve(base64_encoded_size(input.size()));
+  std::size_t i = 0;
+  while (i + 3 <= input.size()) {
+    std::uint32_t triple = (static_cast<std::uint32_t>(input[i]) << 16) |
+                           (static_cast<std::uint32_t>(input[i + 1]) << 8) |
+                           input[i + 2];
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
+    out.push_back(kAlphabet[triple & 0x3F]);
+    i += 3;
+  }
+  std::size_t rest = input.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(input[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(input[i]) << 16) |
+                      (static_cast<std::uint32_t>(input[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> base64_decode(std::string_view input) {
+  if (input.size() % 4 != 0) {
+    return err::parse("base64: length " + std::to_string(input.size()) +
+                      " is not a multiple of 4");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 4 * 3);
+  for (std::size_t i = 0; i < input.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t quad = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      char c = input[i + j];
+      if (c == '=') {
+        // Padding only legal in the last group, positions 2 or 3, and must
+        // be followed only by more '='.
+        if (i + 4 != input.size() || j < 2) {
+          return err::parse("base64: misplaced padding");
+        }
+        ++pad;
+        quad <<= 6;
+        continue;
+      }
+      if (pad > 0) return err::parse("base64: data after padding");
+      std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) {
+        return err::parse(std::string("base64: invalid character '") + c + "'");
+      }
+      quad = (quad << 6) | static_cast<std::uint32_t>(v);
+    }
+    out.push_back(static_cast<std::uint8_t>((quad >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((quad >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(quad & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace h2::enc

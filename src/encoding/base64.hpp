@@ -1,0 +1,28 @@
+// RFC 4648 BASE64 — the encoding whose overhead motivates the paper's
+// "data encoding issue" (Section 5): SOAP's default text encoding expands
+// binary payloads 4/3x and costs CPU on both ends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace h2::enc {
+
+/// Standard alphabet, '=' padding.
+std::string base64_encode(std::span<const std::uint8_t> input);
+
+/// Strict decode: rejects characters outside the alphabet (whitespace
+/// included) and malformed padding.
+Result<std::vector<std::uint8_t>> base64_decode(std::string_view input);
+
+/// Exact encoded length for `n` input bytes.
+constexpr std::size_t base64_encoded_size(std::size_t n) {
+  return ((n + 2) / 3) * 4;
+}
+
+}  // namespace h2::enc

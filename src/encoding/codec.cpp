@@ -1,0 +1,169 @@
+#include "encoding/codec.hpp"
+
+#include "encoding/base64.hpp"
+#include "encoding/xdr.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace h2::enc {
+
+namespace {
+
+class RawCodec final : public Codec {
+ public:
+  const char* name() const override { return "raw"; }
+
+  ByteBuffer encode(std::span<const double> values) const override {
+    ByteBuffer out;
+    out.reserve(4 + values.size() * 8);
+    out.write_u32_le(static_cast<std::uint32_t>(values.size()));
+    for (double v : values) out.write_f64_le(v);
+    return out;
+  }
+
+  Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
+    ByteBuffer buf(std::vector<std::uint8_t>(wire.bytes().begin(), wire.bytes().end()));
+    auto count = buf.read_u32_le();
+    if (!count.ok()) return count.error();
+    if (static_cast<std::size_t>(*count) * 8 != buf.remaining()) {
+      return err::parse("raw: count does not match payload size");
+    }
+    std::vector<double> out;
+    out.reserve(*count);
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto v = buf.read_f64_le();
+      if (!v.ok()) return v.error();
+      out.push_back(*v);
+    }
+    return out;
+  }
+
+  std::size_t wire_size(std::size_t n) const override { return 4 + n * 8; }
+};
+
+class XdrCodec final : public Codec {
+ public:
+  const char* name() const override { return "xdr"; }
+
+  ByteBuffer encode(std::span<const double> values) const override {
+    XdrWriter w;
+    w.put_f64_array(values);
+    return w.take();
+  }
+
+  Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
+    XdrReader r(wire.bytes());
+    auto values = r.get_f64_array();
+    if (!values.ok()) return values.error();
+    if (!r.exhausted()) return err::parse("xdr: trailing bytes after array");
+    return values;
+  }
+
+  std::size_t wire_size(std::size_t n) const override { return 4 + n * 8; }
+};
+
+class SoapXmlCodec final : public Codec {
+ public:
+  const char* name() const override { return "soap-xml"; }
+
+  ByteBuffer encode(std::span<const double> values) const override {
+    // Hand-rolled emission (no DOM) — this is the fast path a real SOAP
+    // stack would use, so the measured cost is the format's, not a DOM's.
+    std::string out;
+    out.reserve(32 + values.size() * 28);
+    out += "<array xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"xsd:double[";
+    out += std::to_string(values.size());
+    out += "]\">";
+    for (double v : values) {
+      out += "<item>";
+      out += str::format_double(v);
+      out += "</item>";
+    }
+    out += "</array>";
+    return ByteBuffer(out);
+  }
+
+  Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
+    auto root = xml::parse_element(wire.as_string_view());
+    if (!root.ok()) return root.error().context("soap-xml array");
+    std::vector<double> out;
+    for (const xml::Node* item : (*root)->children_named("item")) {
+      auto v = str::parse_double(str::trim(item->inner_text()));
+      if (!v.ok()) return v.error().context("soap-xml item");
+      out.push_back(*v);
+    }
+    return out;
+  }
+
+  std::size_t wire_size(std::size_t n) const override {
+    // Upper bound: framing + per-item tags + up to 24 chars of decimal text.
+    return 80 + n * (13 + 24);
+  }
+};
+
+class SoapBase64Codec final : public Codec {
+ public:
+  const char* name() const override { return "soap-base64"; }
+
+  ByteBuffer encode(std::span<const double> values) const override {
+    ByteBuffer raw;
+    raw.reserve(values.size() * 8);
+    for (double v : values) raw.write_f64_le(v);
+    std::string out;
+    out.reserve(96 + base64_encoded_size(raw.size()));
+    out += "<data xsi:type=\"xsd:base64Binary\" count=\"";
+    out += std::to_string(values.size());
+    out += "\">";
+    out += base64_encode(raw.bytes());
+    out += "</data>";
+    return ByteBuffer(out);
+  }
+
+  Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
+    auto root = xml::parse_element(wire.as_string_view());
+    if (!root.ok()) return root.error().context("soap-base64");
+    auto count_attr = (*root)->attr("count");
+    if (!count_attr) return err::parse("soap-base64: missing count attribute");
+    auto count = str::parse_u64(*count_attr);
+    if (!count.ok()) return count.error();
+    auto bytes = base64_decode(str::trim((*root)->inner_text()));
+    if (!bytes.ok()) return bytes.error();
+    if (bytes->size() != *count * 8) {
+      return err::parse("soap-base64: payload size does not match count");
+    }
+    ByteBuffer buf(std::move(*bytes));
+    std::vector<double> out;
+    out.reserve(*count);
+    for (std::uint64_t i = 0; i < *count; ++i) {
+      auto v = buf.read_f64_le();
+      if (!v.ok()) return v.error();
+      out.push_back(*v);
+    }
+    return out;
+  }
+
+  std::size_t wire_size(std::size_t n) const override {
+    return 60 + base64_encoded_size(n * 8);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_raw_codec() { return std::make_unique<RawCodec>(); }
+std::unique_ptr<Codec> make_xdr_codec() { return std::make_unique<XdrCodec>(); }
+std::unique_ptr<Codec> make_soap_xml_codec() { return std::make_unique<SoapXmlCodec>(); }
+std::unique_ptr<Codec> make_soap_base64_codec() {
+  return std::make_unique<SoapBase64Codec>();
+}
+
+std::vector<std::unique_ptr<Codec>> all_codecs() {
+  std::vector<std::unique_ptr<Codec>> out;
+  out.push_back(make_raw_codec());
+  out.push_back(make_xdr_codec());
+  out.push_back(make_soap_base64_codec());
+  out.push_back(make_soap_xml_codec());
+  return out;
+}
+
+}  // namespace h2::enc

@@ -1,0 +1,63 @@
+// A uniform interface over the payload encodings the paper compares:
+//
+//   raw           host-order binary         (lower bound; "local binding")
+//   xdr           RFC 4506 big-endian       (the proposed XDR binding)
+//   soap-xml      one <item> element per    (SOAP Section-5 array style)
+//                 value, decimal text
+//   soap-base64   xsd:base64Binary blob of  (SOAP's "default BASE64
+//                 IEEE bytes inside XML      encoding for XSD data types")
+//
+// bench_encoding (EXP-ENC) measures all four on the same double arrays;
+// the transport bindings reuse them for their payloads.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+
+namespace h2::enc {
+
+/// Encodes/decodes a flat array of doubles — the paper's canonical
+/// scientific payload ("plain arrays of numbers", Section 5).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Stable identifier ("raw", "xdr", "soap-xml", "soap-base64").
+  virtual const char* name() const = 0;
+
+  /// Serializes `values` into wire bytes.
+  virtual ByteBuffer encode(std::span<const double> values) const = 0;
+
+  /// Parses wire bytes produced by encode(). Never trusts lengths blindly.
+  virtual Result<std::vector<double>> decode(const ByteBuffer& wire) const = 0;
+
+  /// Exact number of wire bytes encode() would produce for n values
+  /// (soap-xml is value-dependent, so that one returns an upper bound).
+  virtual std::size_t wire_size(std::size_t n) const = 0;
+};
+
+/// Little-endian doubles behind a u32 count — what a same-address-space
+/// binding effectively pays (plus one memcpy).
+std::unique_ptr<Codec> make_raw_codec();
+
+/// XDR: big-endian doubles behind a u32 count, per RFC 4506.
+std::unique_ptr<Codec> make_xdr_codec();
+
+/// SOAP-style XML array: <array><item>1.5</item>...</array> with decimal
+/// text items, parsed by the real XML parser on decode.
+std::unique_ptr<Codec> make_soap_xml_codec();
+
+/// SOAP base64Binary: IEEE-754 LE bytes, base64ed, wrapped in one XML
+/// element — the cheaper of the two common SOAP choices, still paying the
+/// 4/3 expansion plus XML framing.
+std::unique_ptr<Codec> make_soap_base64_codec();
+
+/// All four codecs in comparison order.
+std::vector<std::unique_ptr<Codec>> all_codecs();
+
+}  // namespace h2::enc

@@ -1,0 +1,82 @@
+#include "encoding/value.hpp"
+
+namespace h2 {
+
+const char* to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kVoid: return "void";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kDouble: return "double";
+    case ValueKind::kString: return "string";
+    case ValueKind::kDoubleArray: return "double[]";
+    case ValueKind::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+namespace {
+Error kind_error(ValueKind want, ValueKind have) {
+  return err::invalid_argument(std::string("value is ") + to_string(have) +
+                               ", expected " + to_string(want));
+}
+}  // namespace
+
+Result<bool> Value::as_bool() const {
+  if (auto* v = std::get_if<bool>(&data_)) return *v;
+  return kind_error(ValueKind::kBool, kind());
+}
+
+Result<std::int64_t> Value::as_int() const {
+  if (auto* v = std::get_if<std::int64_t>(&data_)) return *v;
+  return kind_error(ValueKind::kInt, kind());
+}
+
+Result<double> Value::as_double() const {
+  if (auto* v = std::get_if<double>(&data_)) return *v;
+  // Widening int -> double is safe and common for numeric services.
+  if (auto* v = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*v);
+  return kind_error(ValueKind::kDouble, kind());
+}
+
+Result<std::string> Value::as_string() const {
+  if (auto* v = std::get_if<std::string>(&data_)) return *v;
+  return kind_error(ValueKind::kString, kind());
+}
+
+Result<std::vector<double>> Value::as_doubles() const {
+  if (auto* v = std::get_if<std::vector<double>>(&data_)) return *v;
+  return kind_error(ValueKind::kDoubleArray, kind());
+}
+
+Result<std::vector<std::uint8_t>> Value::as_bytes() const {
+  if (auto* v = std::get_if<std::vector<std::uint8_t>>(&data_)) return *v;
+  return kind_error(ValueKind::kBytes, kind());
+}
+
+std::span<const double> Value::doubles_view() const {
+  if (auto* v = std::get_if<std::vector<double>>(&data_)) return {v->data(), v->size()};
+  return {};
+}
+
+std::span<const std::uint8_t> Value::bytes_view() const {
+  if (auto* v = std::get_if<std::vector<std::uint8_t>>(&data_)) return {v->data(), v->size()};
+  return {};
+}
+
+std::string Value::describe() const {
+  switch (kind()) {
+    case ValueKind::kVoid: return "void";
+    case ValueKind::kBool: return std::get<bool>(data_) ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case ValueKind::kDouble: return std::to_string(std::get<double>(data_));
+    case ValueKind::kString: return "\"" + std::get<std::string>(data_) + "\"";
+    case ValueKind::kDoubleArray:
+      return "double[" + std::to_string(std::get<std::vector<double>>(data_).size()) + "]";
+    case ValueKind::kBytes:
+      return "bytes[" + std::to_string(std::get<std::vector<std::uint8_t>>(data_).size()) + "]";
+  }
+  return "?";
+}
+
+}  // namespace h2

@@ -1,0 +1,90 @@
+// The cross-binding value model. Every Harness II binding (soap, xdr,
+// local, localobject) marshals operation parameters and results as
+// h2::Value items; the binding decides the wire representation. The kind
+// set mirrors what the paper's services exchange: scalars for control
+// operations (WSTime), flat numeric arrays for scientific payloads
+// (MatMul, LAPACK), opaque bytes for application messages (PVM).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace h2 {
+
+enum class ValueKind {
+  kVoid,
+  kBool,
+  kInt,     // int64
+  kDouble,
+  kString,
+  kDoubleArray,
+  kBytes,
+};
+
+const char* to_string(ValueKind kind);
+
+/// A named, typed value. Copyable; arrays use value semantics so bindings
+/// can't alias each other's buffers across the (possibly simulated) wire.
+class Value {
+ public:
+  /// Unnamed void value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value of_void(std::string name = "") { return Value(std::move(name), std::monostate{}); }
+  static Value of_bool(bool v, std::string name = "") { return Value(std::move(name), v); }
+  static Value of_int(std::int64_t v, std::string name = "") { return Value(std::move(name), v); }
+  static Value of_double(double v, std::string name = "") { return Value(std::move(name), v); }
+  static Value of_string(std::string v, std::string name = "") {
+    return Value(std::move(name), std::move(v));
+  }
+  static Value of_doubles(std::vector<double> v, std::string name = "") {
+    return Value(std::move(name), std::move(v));
+  }
+  static Value of_bytes(std::vector<std::uint8_t> v, std::string name = "") {
+    return Value(std::move(name), std::move(v));
+  }
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(data_.index());
+  }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Typed accessors; kInvalidArgument on kind mismatch.
+  Result<bool> as_bool() const;
+  Result<std::int64_t> as_int() const;
+  Result<double> as_double() const;
+  Result<std::string> as_string() const;
+  Result<std::vector<double>> as_doubles() const;
+  Result<std::vector<std::uint8_t>> as_bytes() const;
+
+  /// Borrowing accessors for large payloads (empty span on mismatch).
+  std::span<const double> doubles_view() const;
+  std::span<const std::uint8_t> bytes_view() const;
+
+  bool operator==(const Value& other) const {
+    return name_ == other.name_ && data_ == other.data_;
+  }
+
+  /// Short human-readable form for logs/tests ("double[1024]", "42", ...).
+  std::string describe() const;
+
+ private:
+  using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                               std::string, std::vector<double>,
+                               std::vector<std::uint8_t>>;
+
+  Value(std::string name, Storage data)
+      : name_(std::move(name)), data_(std::move(data)) {}
+
+  std::string name_;
+  Storage data_;
+};
+
+}  // namespace h2

@@ -1,0 +1,143 @@
+#include "encoding/xdr.hpp"
+
+namespace h2::enc {
+
+void XdrWriter::put_opaque(std::span<const std::uint8_t> bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  put_opaque_fixed(bytes);
+}
+
+void XdrWriter::put_opaque_fixed(std::span<const std::uint8_t> bytes) {
+  buffer_.write_bytes(bytes);
+  buffer_.write_fill(xdr_padded(bytes.size()) - bytes.size());
+}
+
+void XdrWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.write_string(s);
+  buffer_.write_fill(xdr_padded(s.size()) - s.size());
+}
+
+void XdrWriter::put_f64_array(std::span<const double> values) {
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (double v : values) put_f64(v);
+}
+
+void XdrWriter::put_f32_array(std::span<const float> values) {
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (float v : values) put_f32(v);
+}
+
+void XdrWriter::put_i32_array(std::span<const std::int32_t> values) {
+  put_u32(static_cast<std::uint32_t>(values.size()));
+  for (std::int32_t v : values) put_i32(v);
+}
+
+Result<std::int32_t> XdrReader::get_i32() {
+  auto v = buffer_.read_u32_be();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int32_t>(*v);
+}
+
+Result<std::uint32_t> XdrReader::get_u32() { return buffer_.read_u32_be(); }
+
+Result<std::int64_t> XdrReader::get_i64() {
+  auto v = buffer_.read_u64_be();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int64_t>(*v);
+}
+
+Result<std::uint64_t> XdrReader::get_u64() { return buffer_.read_u64_be(); }
+
+Result<bool> XdrReader::get_bool() {
+  auto v = get_u32();
+  if (!v.ok()) return v.error();
+  if (*v > 1) return err::parse("xdr: boolean must be 0 or 1, got " + std::to_string(*v));
+  return *v == 1;
+}
+
+Result<float> XdrReader::get_f32() { return buffer_.read_f32_be(); }
+Result<double> XdrReader::get_f64() { return buffer_.read_f64_be(); }
+
+Status XdrReader::skip_padding(std::size_t payload) {
+  std::size_t pad = xdr_padded(payload) - payload;
+  for (std::size_t i = 0; i < pad; ++i) {
+    auto b = buffer_.read_u8();
+    if (!b.ok()) return b.error();
+    if (*b != 0) return err::parse("xdr: nonzero padding byte");
+  }
+  return Status::success();
+}
+
+Result<std::vector<std::uint8_t>> XdrReader::get_opaque() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  return get_opaque_fixed(*len);
+}
+
+Result<std::vector<std::uint8_t>> XdrReader::get_opaque_fixed(std::size_t n) {
+  auto bytes = buffer_.read_bytes(n);
+  if (!bytes.ok()) return bytes.error();
+  if (auto s = skip_padding(n); !s.ok()) return s.error();
+  return bytes;
+}
+
+Result<std::string> XdrReader::get_string() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  auto s = buffer_.read_string(*len);
+  if (!s.ok()) return s.error();
+  if (auto pad = skip_padding(*len); !pad.ok()) return pad.error();
+  return s;
+}
+
+Result<std::vector<double>> XdrReader::get_f64_array() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (static_cast<std::size_t>(*len) * 8 > remaining()) {
+    return err::parse("xdr: f64 array length " + std::to_string(*len) +
+                      " exceeds remaining bytes");
+  }
+  std::vector<double> out;
+  out.reserve(*len);
+  for (std::uint32_t i = 0; i < *len; ++i) {
+    auto v = get_f64();
+    if (!v.ok()) return v.error();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+Result<std::vector<float>> XdrReader::get_f32_array() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (static_cast<std::size_t>(*len) * 4 > remaining()) {
+    return err::parse("xdr: f32 array length exceeds remaining bytes");
+  }
+  std::vector<float> out;
+  out.reserve(*len);
+  for (std::uint32_t i = 0; i < *len; ++i) {
+    auto v = get_f32();
+    if (!v.ok()) return v.error();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+Result<std::vector<std::int32_t>> XdrReader::get_i32_array() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (static_cast<std::size_t>(*len) * 4 > remaining()) {
+    return err::parse("xdr: i32 array length exceeds remaining bytes");
+  }
+  std::vector<std::int32_t> out;
+  out.reserve(*len);
+  for (std::uint32_t i = 0; i < *len; ++i) {
+    auto v = get_i32();
+    if (!v.ok()) return v.error();
+    out.push_back(*v);
+  }
+  return out;
+}
+
+}  // namespace h2::enc

@@ -1,0 +1,86 @@
+// XDR (RFC 4506 wire format) reader/writer. This is the paper's proposed
+// high-performance binding encoding: "an XDR binding capable of delivering
+// numerical data on direct socket level connections... the only type of
+// complex data available is the array" (Section 5).
+//
+// All items are big-endian and padded to 4-byte alignment, byte-exact with
+// the RFC so the format is interoperable, not an approximation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+
+namespace h2::enc {
+
+/// Serializes values into a ByteBuffer in XDR order.
+class XdrWriter {
+ public:
+  XdrWriter() = default;
+  explicit XdrWriter(ByteBuffer buffer) : buffer_(std::move(buffer)) {}
+
+  void put_i32(std::int32_t v) { buffer_.write_u32_be(static_cast<std::uint32_t>(v)); }
+  void put_u32(std::uint32_t v) { buffer_.write_u32_be(v); }
+  void put_i64(std::int64_t v) { buffer_.write_u64_be(static_cast<std::uint64_t>(v)); }
+  void put_u64(std::uint64_t v) { buffer_.write_u64_be(v); }
+  void put_bool(bool v) { put_u32(v ? 1 : 0); }
+  void put_f32(float v) { buffer_.write_f32_be(v); }
+  void put_f64(double v) { buffer_.write_f64_be(v); }
+
+  /// Variable-length opaque: u32 length + bytes + zero padding to 4.
+  void put_opaque(std::span<const std::uint8_t> bytes);
+  /// Fixed-length opaque: bytes + zero padding to 4 (no length prefix).
+  void put_opaque_fixed(std::span<const std::uint8_t> bytes);
+  /// XDR string: same wire shape as variable opaque.
+  void put_string(std::string_view s);
+
+  /// Counted arrays (u32 length + items).
+  void put_f64_array(std::span<const double> values);
+  void put_f32_array(std::span<const float> values);
+  void put_i32_array(std::span<const std::int32_t> values);
+
+  const ByteBuffer& buffer() const { return buffer_; }
+  ByteBuffer take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  ByteBuffer buffer_;
+};
+
+/// Deserializes XDR items; every accessor checks bounds and padding.
+class XdrReader {
+ public:
+  explicit XdrReader(ByteBuffer buffer) : buffer_(std::move(buffer)) {}
+  explicit XdrReader(std::span<const std::uint8_t> bytes)
+      : buffer_(std::vector<std::uint8_t>(bytes.begin(), bytes.end())) {}
+
+  Result<std::int32_t> get_i32();
+  Result<std::uint32_t> get_u32();
+  Result<std::int64_t> get_i64();
+  Result<std::uint64_t> get_u64();
+  Result<bool> get_bool();
+  Result<float> get_f32();
+  Result<double> get_f64();
+  Result<std::vector<std::uint8_t>> get_opaque();
+  Result<std::vector<std::uint8_t>> get_opaque_fixed(std::size_t n);
+  Result<std::string> get_string();
+  Result<std::vector<double>> get_f64_array();
+  Result<std::vector<float>> get_f32_array();
+  Result<std::vector<std::int32_t>> get_i32_array();
+
+  std::size_t remaining() const { return buffer_.remaining(); }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  Status skip_padding(std::size_t payload);
+  ByteBuffer buffer_;
+};
+
+/// Pad `n` up to the next multiple of 4 (RFC 4506 §3).
+constexpr std::size_t xdr_padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+}  // namespace h2::enc

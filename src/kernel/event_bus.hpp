@@ -1,0 +1,45 @@
+// Topic-based synchronous event bus: the "general event management"
+// service plugins leverage from each other (Fig 2). Handlers run inline
+// on the publisher's thread; the bus is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "encoding/value.hpp"
+
+namespace h2::kernel {
+
+class EventBus {
+ public:
+  using SubscriptionId = std::uint64_t;
+  using Handler = std::function<void(const Value& payload)>;
+
+  /// Subscribes to an exact topic; returns an id for unsubscribe().
+  SubscriptionId subscribe(std::string topic, Handler handler);
+
+  /// Removes a subscription; false if the id is unknown.
+  bool unsubscribe(SubscriptionId id);
+
+  /// Delivers `payload` to every handler of `topic`, in subscription
+  /// order. Returns the number of handlers invoked.
+  std::size_t publish(std::string_view topic, const Value& payload);
+
+  std::size_t subscriber_count(std::string_view topic) const;
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Handler handler;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Subscription>, std::less<>> topics_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace h2::kernel

@@ -1,0 +1,84 @@
+#include "kernel/kernel.hpp"
+
+#include "util/log.hpp"
+
+namespace h2::kernel {
+
+namespace {
+Logger& logger() {
+  static Logger log("kernel");
+  return log;
+}
+}  // namespace
+
+Kernel::Kernel(std::string name, const PluginRepository& repo, net::SimNetwork& net,
+               net::HostId host)
+    : name_(std::move(name)), repo_(repo), net_(net), host_(host) {}
+
+Kernel::~Kernel() {
+  for (auto& [name, plugin] : plugins_) plugin->shutdown();
+}
+
+Result<Plugin*> Kernel::load(std::string_view plugin_name, std::string_view version) {
+  if (plugins_.count(plugin_name)) {
+    return err::already_exists("kernel " + name_ + ": plugin '" +
+                               std::string(plugin_name) + "' already loaded");
+  }
+  auto plugin = repo_.create(plugin_name, version);
+  if (!plugin.ok()) return plugin.error().context("kernel " + name_);
+
+  if (auto status = (*plugin)->init(*this); !status.ok()) {
+    return status.error().context("init of plugin '" + std::string(plugin_name) + "'");
+  }
+  Plugin* raw = plugin->get();
+  plugins_[std::string(plugin_name)] = std::move(*plugin);
+  logger().debug(name_ + ": loaded plugin " + std::string(plugin_name));
+  return raw;
+}
+
+Status Kernel::unload(std::string_view plugin_name) {
+  auto it = plugins_.find(plugin_name);
+  if (it == plugins_.end()) {
+    return err::not_found("kernel " + name_ + ": plugin '" +
+                          std::string(plugin_name) + "' not loaded");
+  }
+  it->second->shutdown();
+  plugins_.erase(it);
+  logger().debug(name_ + ": unloaded plugin " + std::string(plugin_name));
+  return Status::success();
+}
+
+Plugin* Kernel::find(std::string_view plugin_name) {
+  auto it = plugins_.find(plugin_name);
+  return it == plugins_.end() ? nullptr : it->second.get();
+}
+
+const Plugin* Kernel::find(std::string_view plugin_name) const {
+  auto it = plugins_.find(plugin_name);
+  return it == plugins_.end() ? nullptr : it->second.get();
+}
+
+std::vector<PluginInfo> Kernel::loaded() const {
+  std::vector<PluginInfo> out;
+  out.reserve(plugins_.size());
+  for (const auto& [name, plugin] : plugins_) out.push_back(plugin->info());
+  return out;
+}
+
+Result<net::Dispatcher*> Kernel::service(std::string_view plugin_name) {
+  Plugin* plugin = find(plugin_name);
+  if (plugin == nullptr) {
+    return err::not_found("kernel " + name_ + ": no service '" +
+                          std::string(plugin_name) + "'");
+  }
+  return static_cast<net::Dispatcher*>(plugin);
+}
+
+Result<Value> Kernel::call(std::string_view plugin_name, std::string_view operation,
+                           std::span<const Value> params) {
+  auto dispatcher = service(plugin_name);
+  if (!dispatcher.ok()) return dispatcher.error();
+  return (*dispatcher)->dispatch(operation, params);
+}
+
+}  // namespace h2::kernel

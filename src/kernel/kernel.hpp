@@ -1,0 +1,84 @@
+// The Harness kernel: the per-host software backplane into which plugins
+// are plugged (paper Section 3, Fig 1). It owns loaded plugin instances,
+// exposes them to each other through the service table, and carries the
+// event bus. A kernel is bound to one SimNetwork host so plugins can send
+// and receive network traffic.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/event_bus.hpp"
+#include "kernel/plugin.hpp"
+#include "transport/simnet.hpp"
+
+namespace h2::kernel {
+
+class Kernel {
+ public:
+  /// `repo` and `net` are borrowed and must outlive the kernel.
+  Kernel(std::string name, const PluginRepository& repo, net::SimNetwork& net,
+         net::HostId host);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // ---- identity ------------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  net::SimNetwork& network() { return net_; }
+  net::HostId host() const { return host_; }
+  const PluginRepository& repository() const { return repo_; }
+
+  // ---- plugin lifecycle ------------------------------------------------------
+
+  /// Instantiates `plugin_name` from the repository, calls init(), and
+  /// registers its service. One instance per plugin name per kernel.
+  /// On init() failure the plugin is discarded and the error returned.
+  Result<Plugin*> load(std::string_view plugin_name, std::string_view version = "");
+
+  /// Shuts down and removes a loaded plugin.
+  Status unload(std::string_view plugin_name);
+
+  /// Loaded plugin by name, or nullptr.
+  Plugin* find(std::string_view plugin_name);
+  const Plugin* find(std::string_view plugin_name) const;
+
+  std::vector<PluginInfo> loaded() const;
+  std::size_t plugin_count() const { return plugins_.size(); }
+
+  // ---- inter-plugin services ---------------------------------------------------
+
+  /// The service surface of a loaded plugin — how plugins leverage each
+  /// other ("plugins that implement a certain function can exploit the
+  /// services provided by other plugins already loaded within the same
+  /// Harness DVM").
+  Result<net::Dispatcher*> service(std::string_view plugin_name);
+
+  /// Invoke an operation on a sibling plugin in one step.
+  Result<Value> call(std::string_view plugin_name, std::string_view operation,
+                     std::span<const Value> params);
+
+  /// Brace-list convenience: kernel.call("table", "put", {k, v}).
+  Result<Value> call(std::string_view plugin_name, std::string_view operation,
+                     std::initializer_list<Value> params) {
+    return call(plugin_name, operation,
+                std::span<const Value>(params.begin(), params.size()));
+  }
+
+  EventBus& events() { return events_; }
+
+ private:
+  std::string name_;
+  const PluginRepository& repo_;
+  net::SimNetwork& net_;
+  net::HostId host_;
+  EventBus events_;
+  // map keeps unload order irrelevant; shutdown() is called in unload/dtor.
+  std::map<std::string, std::unique_ptr<Plugin>, std::less<>> plugins_;
+};
+
+}  // namespace h2::kernel

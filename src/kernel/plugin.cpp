@@ -1,0 +1,64 @@
+#include "kernel/plugin.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2::kernel {
+
+Status PluginRepository::add(std::string name, std::string version,
+                             PluginFactory factory) {
+  if (!str::is_identifier(name)) {
+    return err::invalid_argument("plugin name '" + name + "' invalid");
+  }
+  if (factory == nullptr) {
+    return err::invalid_argument("plugin '" + name + "' has null factory");
+  }
+  for (const auto& slot : factories_) {
+    if (slot.info.name == name && slot.info.version == version) {
+      return err::already_exists("plugin " + name + "@" + version + " already registered");
+    }
+  }
+  factories_.push_back({{std::move(name), std::move(version)}, std::move(factory)});
+  return Status::success();
+}
+
+Result<std::unique_ptr<Plugin>> PluginRepository::create(std::string_view name,
+                                                         std::string_view version) const {
+  const Slot* best = nullptr;
+  for (const auto& slot : factories_) {
+    if (slot.info.name != name) continue;
+    if (!version.empty()) {
+      if (slot.info.version == version) {
+        best = &slot;
+        break;
+      }
+      continue;
+    }
+    if (best == nullptr || slot.info.version > best->info.version) best = &slot;
+  }
+  if (best == nullptr) {
+    std::string what = "plugin '" + std::string(name) + "'";
+    if (!version.empty()) what += " version " + std::string(version);
+    return err::not_found(what + " not in repository");
+  }
+  auto plugin = best->factory();
+  if (plugin == nullptr) {
+    return err::internal("factory for '" + std::string(name) + "' returned null");
+  }
+  return plugin;
+}
+
+bool PluginRepository::has(std::string_view name) const {
+  for (const auto& slot : factories_) {
+    if (slot.info.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<PluginInfo> PluginRepository::available() const {
+  std::vector<PluginInfo> out;
+  out.reserve(factories_.size());
+  for (const auto& slot : factories_) out.push_back(slot.info);
+  return out;
+}
+
+}  // namespace h2::kernel

@@ -1,0 +1,97 @@
+// The Harness plugin model. A plugin is a component that plugs into a
+// kernel's software backplane, exposes a typed service surface (it *is* a
+// Dispatcher), publishes its abstract interface as a ServiceDescriptor
+// (from which WSDL is generated), and may leverage services of other
+// plugins already loaded in the same kernel — the paper's
+// "service-based leveraging of functionality among plugins" (Section 3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/rpc.hpp"
+#include "util/error.hpp"
+#include "wsdl/descriptor.hpp"
+
+namespace h2::kernel {
+
+class Kernel;
+
+struct PluginInfo {
+  std::string name;     ///< unique within a kernel ("p2p", "hpvmd", "mmul")
+  std::string version;  ///< semantic-ish version string ("1.0")
+
+  bool operator==(const PluginInfo&) const = default;
+};
+
+/// Base class for all Harness II plugins.
+class Plugin : public net::Dispatcher {
+ public:
+  ~Plugin() override = default;
+
+  virtual PluginInfo info() const = 0;
+
+  /// The abstract service interface (becomes the WSDL portType).
+  virtual wsdl::ServiceDescriptor descriptor() const = 0;
+
+  /// Called once after the plugin is plugged into `kernel`. This is where
+  /// a plugin acquires the services it leverages (Fig 2: hpvmd acquiring
+  /// spawn/transport/event/table). The kernel outlives the plugin.
+  virtual Status init(Kernel& kernel) {
+    (void)kernel;
+    return Status::success();
+  }
+
+  /// Called before unload; release acquired services here.
+  virtual void shutdown() {}
+
+  // ---- mobility hooks ---------------------------------------------------------
+  // "Mobile components may even move from one host to another during run
+  // time" (Section 5). A migratable plugin serializes its state into a
+  // Value here; the migration machinery ships it and restores it into a
+  // fresh instance on the target container. Stateless plugins keep the
+  // defaults (void state, trivially restorable).
+
+  /// Snapshot of this instance's state, in a binding-marshalable Value.
+  virtual Result<Value> save_state() { return Value::of_void("state"); }
+
+  /// Rebuilds state from a snapshot produced by save_state() of the same
+  /// plugin type. Default accepts only the void snapshot.
+  virtual Status restore_state(const Value& state) {
+    if (state.kind() == ValueKind::kVoid) return Status::success();
+    return err::unsupported("plugin '" + info().name + "' cannot restore state");
+  }
+};
+
+using PluginFactory = std::function<std::unique_ptr<Plugin>()>;
+
+/// A named store of plugin factories — the stand-in for Harness's plugin
+/// repositories ("some plug-ins are provided as part of the system
+/// distribution ... others might be obtained from third-party
+/// repositories"). Loading by name+version models dynamic code loading:
+/// it can miss, and versions matter.
+class PluginRepository {
+ public:
+  /// Registers a factory. Duplicate (name, version) is an error.
+  Status add(std::string name, std::string version, PluginFactory factory);
+
+  /// Instantiates `name`. Empty `version` selects the highest registered
+  /// version (lexicographic, which is fine for "1.0" < "1.1" < "2.0").
+  Result<std::unique_ptr<Plugin>> create(std::string_view name,
+                                         std::string_view version = "") const;
+
+  bool has(std::string_view name) const;
+  std::vector<PluginInfo> available() const;
+  std::size_t size() const { return factories_.size(); }
+
+ private:
+  struct Slot {
+    PluginInfo info;
+    PluginFactory factory;
+  };
+  std::vector<Slot> factories_;
+};
+
+}  // namespace h2::kernel

@@ -1,0 +1,280 @@
+// The small standard plugins: ping, time (WSTime, Fig 7), table lookup,
+// event-bus facade, and process spawn.
+#include <atomic>
+#include <map>
+
+#include "encoding/xdr.hpp"
+#include "kernel/kernel.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+// ---- ping ---------------------------------------------------------------------
+
+class PingPlugin final : public MuxPlugin {
+ public:
+  PingPlugin() {
+    add_op("ping", [this](std::span<const Value> params) -> Result<Value> {
+      ++count_;
+      if (params.empty()) return Value::of_bytes({}, "return");
+      auto payload = params[0].as_bytes();
+      if (!payload.ok()) return payload.error();
+      return Value::of_bytes(std::move(*payload), "return");
+    });
+    add_op("count", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(count_, "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"ping", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Ping";
+    d.operations.push_back({"ping", {{"payload", ValueKind::kBytes}}, ValueKind::kBytes});
+    d.operations.push_back({"count", {}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+// ---- time (WSTime) --------------------------------------------------------------
+
+class TimePlugin final : public MuxPlugin {
+ public:
+  TimePlugin() {
+    add_op("getTime", [this](std::span<const Value>) -> Result<Value> {
+      // Formats the kernel's (virtual) network time; deterministic in
+      // simulation, monotonic in all cases.
+      Nanos now = kernel_ != nullptr ? kernel_->network().clock().now() : 0;
+      Nanos secs = now / kSecond;
+      Nanos millis = (now % kSecond) / kMillisecond;
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "T+%lld.%03llds", static_cast<long long>(secs),
+                    static_cast<long long>(millis));
+      return Value::of_string(buf, "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    return Status::success();
+  }
+
+  kernel::PluginInfo info() const override { return {"time", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "WSTime";
+    d.operations.push_back({"getTime", {}, ValueKind::kString});
+    return d;
+  }
+
+ private:
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+// ---- table lookup -----------------------------------------------------------------
+
+class TablePlugin final : public MuxPlugin {
+ public:
+  TablePlugin() {
+    add_op("put", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("put(key, value)");
+      auto key = params[0].as_string();
+      if (!key.ok()) return key.error();
+      auto value = params[1].as_string();
+      if (!value.ok()) return value.error();
+      table_[std::move(*key)] = std::move(*value);
+      return Value::of_void();
+    });
+    add_op("get", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("get(key)");
+      auto key = params[0].as_string();
+      if (!key.ok()) return key.error();
+      auto it = table_.find(*key);
+      if (it == table_.end()) return err::not_found("table: no key '" + *key + "'");
+      return Value::of_string(it->second, "return");
+    });
+    add_op("remove", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("remove(key)");
+      auto key = params[0].as_string();
+      if (!key.ok()) return key.error();
+      return Value::of_bool(table_.erase(*key) > 0, "return");
+    });
+    add_op("size", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(static_cast<std::int64_t>(table_.size()), "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"table", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Table";
+    d.operations.push_back({"put",
+                            {{"key", ValueKind::kString}, {"value", ValueKind::kString}},
+                            ValueKind::kVoid});
+    d.operations.push_back({"get", {{"key", ValueKind::kString}}, ValueKind::kString});
+    d.operations.push_back({"remove", {{"key", ValueKind::kString}}, ValueKind::kBool});
+    d.operations.push_back({"size", {}, ValueKind::kInt});
+    return d;
+  }
+
+  // Mobility: a lookup table is trivially serializable key/value state.
+  Result<Value> save_state() override {
+    enc::XdrWriter w;
+    w.put_u32(static_cast<std::uint32_t>(table_.size()));
+    for (const auto& [key, value] : table_) {
+      w.put_string(key);
+      w.put_string(value);
+    }
+    auto bytes = w.take();
+    return Value::of_bytes(
+        std::vector<std::uint8_t>(bytes.bytes().begin(), bytes.bytes().end()), "state");
+  }
+
+  Status restore_state(const Value& state) override {
+    if (state.kind() == ValueKind::kVoid) return Status::success();
+    auto bytes = state.as_bytes();
+    if (!bytes.ok()) return bytes.error().context("table restore");
+    enc::XdrReader r(*bytes);
+    auto count = r.get_u32();
+    if (!count.ok()) return count.error();
+    std::map<std::string, std::string> restored;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto key = r.get_string();
+      if (!key.ok()) return key.error();
+      auto value = r.get_string();
+      if (!value.ok()) return value.error();
+      restored[std::move(*key)] = std::move(*value);
+    }
+    if (!r.exhausted()) return err::parse("table restore: trailing bytes");
+    table_ = std::move(restored);
+    return Status::success();
+  }
+
+ private:
+  std::map<std::string, std::string> table_;
+};
+
+// ---- event facade -----------------------------------------------------------------
+
+class EventPlugin final : public MuxPlugin {
+ public:
+  EventPlugin() {
+    add_op("publish", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("publish(topic, message)");
+      auto topic = params[0].as_string();
+      if (!topic.ok()) return topic.error();
+      if (kernel_ == nullptr) return err::internal("event plugin not initialized");
+      std::size_t delivered = kernel_->events().publish(*topic, params[1]);
+      return Value::of_int(static_cast<std::int64_t>(delivered), "return");
+    });
+    add_op("subscribers", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("subscribers(topic)");
+      auto topic = params[0].as_string();
+      if (!topic.ok()) return topic.error();
+      if (kernel_ == nullptr) return err::internal("event plugin not initialized");
+      return Value::of_int(
+          static_cast<std::int64_t>(kernel_->events().subscriber_count(*topic)), "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    return Status::success();
+  }
+
+  kernel::PluginInfo info() const override { return {"event", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Event";
+    d.operations.push_back({"publish",
+                            {{"topic", ValueKind::kString}, {"message", ValueKind::kString}},
+                            ValueKind::kInt});
+    d.operations.push_back({"subscribers", {{"topic", ValueKind::kString}}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+// ---- spawn (process management) ------------------------------------------------------
+
+class SpawnPlugin final : public MuxPlugin {
+ public:
+  SpawnPlugin() {
+    add_op("spawn", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("spawn(name)");
+      auto name = params[0].as_string();
+      if (!name.ok()) return name.error();
+      std::int64_t id = next_id_++;
+      tasks_[id] = {*name, true};
+      return Value::of_int(id, "return");
+    });
+    add_op("kill", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("kill(id)");
+      auto id = params[0].as_int();
+      if (!id.ok()) return id.error();
+      auto it = tasks_.find(*id);
+      if (it == tasks_.end() || !it->second.running) {
+        return Value::of_bool(false, "return");
+      }
+      it->second.running = false;
+      return Value::of_bool(true, "return");
+    });
+    add_op("status", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("status(id)");
+      auto id = params[0].as_int();
+      if (!id.ok()) return id.error();
+      auto it = tasks_.find(*id);
+      if (it == tasks_.end()) return Value::of_string("unknown", "return");
+      return Value::of_string(it->second.running ? "running" : "dead", "return");
+    });
+    add_op("count", [this](std::span<const Value>) -> Result<Value> {
+      std::int64_t running = 0;
+      for (const auto& [id, task] : tasks_) {
+        if (task.running) ++running;
+      }
+      return Value::of_int(running, "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"spawn", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Spawn";
+    d.operations.push_back({"spawn", {{"name", ValueKind::kString}}, ValueKind::kInt});
+    d.operations.push_back({"kill", {{"id", ValueKind::kInt}}, ValueKind::kBool});
+    d.operations.push_back({"status", {{"id", ValueKind::kInt}}, ValueKind::kString});
+    d.operations.push_back({"count", {}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  struct Task {
+    std::string name;
+    bool running = false;
+  };
+  std::map<std::int64_t, Task> tasks_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_ping_plugin() { return std::make_unique<PingPlugin>(); }
+std::unique_ptr<kernel::Plugin> make_time_plugin() { return std::make_unique<TimePlugin>(); }
+std::unique_ptr<kernel::Plugin> make_table_plugin() { return std::make_unique<TablePlugin>(); }
+std::unique_ptr<kernel::Plugin> make_event_plugin() { return std::make_unique<EventPlugin>(); }
+std::unique_ptr<kernel::Plugin> make_spawn_plugin() { return std::make_unique<SpawnPlugin>(); }
+
+}  // namespace h2::plugins

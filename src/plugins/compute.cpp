@@ -1,0 +1,192 @@
+// Compute plugins: the MatMul service of the paper's Figure 8 and a
+// stateful LAPACK-lite service for the Section 6 locality scenario. The
+// LAPACK plugin is the canonical target for the localobject binding: a
+// *specific instance* holds the factorized matrix, so clients must bind to
+// that instance, not merely to the type.
+#include "encoding/xdr.hpp"
+#include "kernel/kernel.hpp"
+#include "plugins/linalg.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+Result<std::pair<std::vector<double>, std::size_t>> square_arg(const Value& value) {
+  auto data = value.as_doubles();
+  if (!data.ok()) return data.error();
+  auto n = linalg::square_dim(data->size());
+  if (!n.ok()) return n.error();
+  return std::make_pair(std::move(*data), *n);
+}
+
+// ---- MatMul (Fig 8) -----------------------------------------------------------
+
+class MatMulPlugin final : public MuxPlugin {
+ public:
+  MatMulPlugin() {
+    add_op("getResult", [](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("getResult(mata, matb)");
+      auto a = square_arg(params[0]);
+      if (!a.ok()) return a.error().context("mata");
+      auto b = square_arg(params[1]);
+      if (!b.ok()) return b.error().context("matb");
+      if (a->second != b->second) {
+        return err::invalid_argument("matrix dimensions differ: " +
+                                     std::to_string(a->second) + " vs " +
+                                     std::to_string(b->second));
+      }
+      return Value::of_doubles(linalg::matmul_naive(a->first, b->first, a->second),
+                               "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"mmul", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "MatMul";
+    d.operations.push_back({"getResult",
+                            {{"mata", ValueKind::kDoubleArray},
+                             {"matb", ValueKind::kDoubleArray}},
+                            ValueKind::kDoubleArray});
+    return d;
+  }
+};
+
+// ---- LAPACK-lite ---------------------------------------------------------------
+
+class LapackPlugin final : public MuxPlugin {
+ public:
+  LapackPlugin() {
+    add_op("matmul", [](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("matmul(a, b)");
+      auto a = square_arg(params[0]);
+      if (!a.ok()) return a.error().context("a");
+      auto b = square_arg(params[1]);
+      if (!b.ok()) return b.error().context("b");
+      if (a->second != b->second) return err::invalid_argument("dimension mismatch");
+      return Value::of_doubles(linalg::matmul_blocked(a->first, b->first, a->second),
+                               "return");
+    });
+    add_op("setMatrix", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("setMatrix(a)");
+      auto a = square_arg(params[0]);
+      if (!a.ok()) return a.error();
+      matrix_ = std::move(a->first);
+      n_ = a->second;
+      factored_ = false;
+      return Value::of_void();
+    });
+    add_op("factor", [this](std::span<const Value>) -> Result<Value> {
+      if (n_ == 0) return err::invalid_argument("factor: no matrix set");
+      if (auto status = linalg::lu_factor(matrix_, n_, pivots_); !status.ok()) {
+        factored_ = false;
+        return status.error();
+      }
+      factored_ = true;
+      return Value::of_void();
+    });
+    add_op("solve", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("solve(b)");
+      if (!factored_) return err::invalid_argument("solve: matrix not factored");
+      auto b = params[0].as_doubles();
+      if (!b.ok()) return b.error();
+      if (b->size() != n_) {
+        return err::invalid_argument("solve: rhs has " + std::to_string(b->size()) +
+                                     " entries, matrix is " + std::to_string(n_) + "x" +
+                                     std::to_string(n_));
+      }
+      return Value::of_doubles(linalg::lu_solve(matrix_, pivots_, *b, n_), "return");
+    });
+    add_op("norm", [](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("norm(a)");
+      auto a = params[0].as_doubles();
+      if (!a.ok()) return a.error();
+      return Value::of_double(linalg::frobenius_norm(*a), "return");
+    });
+    add_op("dim", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(static_cast<std::int64_t>(n_), "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"lapack", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Lapack";
+    d.operations.push_back({"matmul",
+                            {{"a", ValueKind::kDoubleArray}, {"b", ValueKind::kDoubleArray}},
+                            ValueKind::kDoubleArray});
+    d.operations.push_back({"setMatrix", {{"a", ValueKind::kDoubleArray}}, ValueKind::kVoid});
+    d.operations.push_back({"factor", {}, ValueKind::kVoid});
+    d.operations.push_back({"solve", {{"b", ValueKind::kDoubleArray}}, ValueKind::kDoubleArray});
+    d.operations.push_back({"norm", {{"a", ValueKind::kDoubleArray}}, ValueKind::kDouble});
+    d.operations.push_back({"dim", {}, ValueKind::kInt});
+    return d;
+  }
+
+  // Mobility: the whole point of the paper's localobject binding is that
+  // this instance is stateful — so it is also the canonical migratable
+  // component. The snapshot is an XDR-encoded blob.
+  Result<Value> save_state() override {
+    enc::XdrWriter w;
+    w.put_u32(static_cast<std::uint32_t>(n_));
+    w.put_bool(factored_);
+    w.put_f64_array(matrix_);
+    w.put_u32(static_cast<std::uint32_t>(pivots_.size()));
+    for (std::size_t p : pivots_) w.put_u32(static_cast<std::uint32_t>(p));
+    auto bytes = w.take();
+    return Value::of_bytes(
+        std::vector<std::uint8_t>(bytes.bytes().begin(), bytes.bytes().end()), "state");
+  }
+
+  Status restore_state(const Value& state) override {
+    if (state.kind() == ValueKind::kVoid) return Status::success();
+    auto bytes = state.as_bytes();
+    if (!bytes.ok()) return bytes.error().context("lapack restore");
+    enc::XdrReader r(*bytes);
+    auto n = r.get_u32();
+    if (!n.ok()) return n.error();
+    auto factored = r.get_bool();
+    if (!factored.ok()) return factored.error();
+    auto matrix = r.get_f64_array();
+    if (!matrix.ok()) return matrix.error();
+    auto pivot_count = r.get_u32();
+    if (!pivot_count.ok()) return pivot_count.error();
+    std::vector<std::size_t> pivots;
+    pivots.reserve(*pivot_count);
+    for (std::uint32_t i = 0; i < *pivot_count; ++i) {
+      auto p = r.get_u32();
+      if (!p.ok()) return p.error();
+      pivots.push_back(*p);
+    }
+    if (!r.exhausted()) return err::parse("lapack restore: trailing bytes");
+    if (matrix->size() != static_cast<std::size_t>(*n) * *n) {
+      return err::parse("lapack restore: matrix size mismatch");
+    }
+    n_ = *n;
+    factored_ = *factored;
+    matrix_ = std::move(*matrix);
+    pivots_ = std::move(pivots);
+    return Status::success();
+  }
+
+ private:
+  std::vector<double> matrix_;   // holds LU after factor()
+  std::vector<std::size_t> pivots_;
+  std::size_t n_ = 0;
+  bool factored_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_mmul_plugin() {
+  return std::make_unique<MatMulPlugin>();
+}
+std::unique_ptr<kernel::Plugin> make_lapack_plugin() {
+  return std::make_unique<LapackPlugin>();
+}
+
+}  // namespace h2::plugins

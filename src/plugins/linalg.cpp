@@ -1,0 +1,141 @@
+#include "plugins/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace h2::linalg {
+
+Result<std::size_t> square_dim(std::size_t elements) {
+  auto n = static_cast<std::size_t>(std::llround(std::sqrt(static_cast<double>(elements))));
+  if (n * n != elements) {
+    return err::invalid_argument("array of " + std::to_string(elements) +
+                                 " elements is not a square matrix");
+  }
+  return n;
+}
+
+std::vector<double> matmul_naive(std::span<const double> a, std::span<const double> b,
+                                 std::size_t n) {
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+  return c;
+}
+
+std::vector<double> matmul_blocked(std::span<const double> a, std::span<const double> b,
+                                   std::size_t n, std::size_t block) {
+  std::vector<double> c(n * n, 0.0);
+  if (block == 0) block = 48;
+  // ikj order inside blocks keeps B accesses sequential.
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    std::size_t imax = std::min(ii + block, n);
+    for (std::size_t kk = 0; kk < n; kk += block) {
+      std::size_t kmax = std::min(kk + block, n);
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        std::size_t jmax = std::min(jj + block, n);
+        for (std::size_t i = ii; i < imax; ++i) {
+          for (std::size_t k = kk; k < kmax; ++k) {
+            double aik = a[i * n + k];
+            const double* brow = b.data() + k * n;
+            double* crow = c.data() + i * n;
+            for (std::size_t j = jj; j < jmax; ++j) {
+              crow[j] += aik * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Status lu_factor(std::vector<double>& a, std::size_t n, std::vector<std::size_t>& pivots) {
+  pivots.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pivots[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at/below the diagonal.
+    std::size_t pivot_row = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double mag = std::abs(a[row * n + col]);
+      if (mag > best) {
+        best = mag;
+        pivot_row = row;
+      }
+    }
+    if (best < 1e-12) {
+      return err::invalid_argument("lu_factor: matrix is singular at column " +
+                                   std::to_string(col));
+    }
+    if (pivot_row != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[col * n + j], a[pivot_row * n + j]);
+      }
+      std::swap(pivots[col], pivots[pivot_row]);
+    }
+    double diag = a[col * n + col];
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double factor = a[row * n + col] / diag;
+      a[row * n + col] = factor;  // L below the diagonal
+      for (std::size_t j = col + 1; j < n; ++j) {
+        a[row * n + j] -= factor * a[col * n + j];
+      }
+    }
+  }
+  return Status::success();
+}
+
+std::vector<double> lu_solve(std::span<const double> lu, std::span<const std::size_t> pivots,
+                             std::span<const double> b, std::size_t n) {
+  // Apply the permutation, then forward- and back-substitute.
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[pivots[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = x[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu[i * n + j] * x[j];
+    x[i] = sum;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu[ii * n + j] * x[j];
+    x[ii] = sum / lu[ii * n + ii];
+  }
+  return x;
+}
+
+double frobenius_norm(std::span<const double> a) {
+  double sum = 0.0;
+  for (double v : a) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+std::vector<double> matvec(std::span<const double> a, std::span<const double> x,
+                           std::size_t n) {
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += a[i * n + j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+}  // namespace h2::linalg

@@ -1,0 +1,45 @@
+// Dense linear algebra kernels backing the MatMul (Fig 8) and LAPACK-lite
+// plugins. Matrices are square, row-major, stored in flat double vectors.
+// Real computation, not stubs: the Section 6 scenario needs a service
+// whose cost grows O(n^3) so locality decisions matter.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace h2::linalg {
+
+/// Side length if `elements` is a square matrix, error otherwise.
+Result<std::size_t> square_dim(std::size_t elements);
+
+/// C = A * B, straightforward triple loop (the baseline "mmul" plugin).
+std::vector<double> matmul_naive(std::span<const double> a, std::span<const double> b,
+                                 std::size_t n);
+
+/// C = A * B with loop-order + blocking optimizations (the "highly
+/// optimized LAPACK service" of Section 6).
+std::vector<double> matmul_blocked(std::span<const double> a, std::span<const double> b,
+                                   std::size_t n, std::size_t block = 48);
+
+/// In-place LU factorization with partial pivoting (Doolittle). `pivots`
+/// receives the row permutation. Fails on (numerically) singular input.
+Status lu_factor(std::vector<double>& a, std::size_t n, std::vector<std::size_t>& pivots);
+
+/// Solves LUx = Pb given a factorization from lu_factor.
+std::vector<double> lu_solve(std::span<const double> lu, std::span<const std::size_t> pivots,
+                             std::span<const double> b, std::size_t n);
+
+/// Frobenius norm.
+double frobenius_norm(std::span<const double> a);
+
+/// max_i |a_i - b_i| ; infinity if sizes differ.
+double max_abs_diff(std::span<const double> a, std::span<const double> b);
+
+/// y = A x (matrix-vector).
+std::vector<double> matvec(std::span<const double> a, std::span<const double> x,
+                           std::size_t n);
+
+}  // namespace h2::linalg

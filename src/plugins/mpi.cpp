@@ -1,0 +1,149 @@
+// MPI emulation plugin. Section 3: "users may first load plugins that
+// emulate distributed computing environments (currently PVM, MPI, and
+// JavaSpaces plugins are available), thereby creating a framework within
+// which their legacy codes may run."
+//
+// The plugin provides the MPI point-to-point core over the p2p transport
+// plugin (one rank per configured host): rank/size, tagged send/recv
+// addressed by (source, destination, tag), and probe. Collective
+// operations are built *on top of* these primitives by the MpiComm facade
+// (see mpi_comm.hpp), mirroring how real MPI implementations layer
+// collectives over point-to-point.
+//
+// Mailbox key layout (p2p tags are i64):
+//   key = ((dest_rank * kMaxRanks + src_rank) << kTagBits) | user_tag
+#include "plugins/mpi_comm.hpp"
+
+#include "kernel/kernel.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+#include "util/strings.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+class MpiPlugin final : public MuxPlugin {
+ public:
+  MpiPlugin() {
+    add_op("init", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("init(hosts_csv)");
+      auto csv = params[0].as_string();
+      if (!csv.ok()) return csv.error();
+      auto hosts = str::split_nonempty(*csv, ',');
+      if (hosts.empty() || hosts.size() > mpi::kMaxRanks) {
+        return err::invalid_argument("init: 1.." + std::to_string(mpi::kMaxRanks) +
+                                     " hosts required");
+      }
+      std::string own = kernel_->network().host_name(kernel_->host());
+      rank_ = -1;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (hosts[i] == own) rank_ = static_cast<std::int64_t>(i);
+      }
+      if (rank_ < 0) {
+        return err::invalid_argument("init: own host '" + own + "' not in communicator");
+      }
+      hosts_ = std::move(hosts);
+      return Value::of_int(rank_, "return");
+    });
+    add_op("rank", [this](std::span<const Value>) -> Result<Value> {
+      if (auto status = require_init(); !status.ok()) return status.error();
+      return Value::of_int(rank_, "return");
+    });
+    add_op("size", [this](std::span<const Value>) -> Result<Value> {
+      if (auto status = require_init(); !status.ok()) return status.error();
+      return Value::of_int(static_cast<std::int64_t>(hosts_.size()), "return");
+    });
+    add_op("send", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 3) return err::invalid_argument("send(dest, tag, payload)");
+      auto dest = params[0].as_int();
+      if (!dest.ok()) return dest.error();
+      auto tag = params[1].as_int();
+      if (!tag.ok()) return tag.error();
+      if (auto status = check_rank(*dest); !status.ok()) return status.error();
+      if (auto status = check_tag(*tag); !status.ok()) return status.error();
+      std::vector<Value> p2p_params{
+          Value::of_string(hosts_[static_cast<std::size_t>(*dest)], "dest"),
+          Value::of_int(mpi::mailbox_key(*dest, rank_, *tag), "tag"), params[2]};
+      return kernel_->call("p2p", "send", p2p_params);
+    });
+    add_op("recv", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("recv(src, tag)");
+      return mailbox_op("recv", params);
+    });
+    add_op("probe", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("probe(src, tag)");
+      return mailbox_op("pending", params);
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    // Like hpvmd, the MPI emulation leverages the p2p transport plugin.
+    if (!kernel.service("p2p").ok()) {
+      return err::unavailable("mpi requires the 'p2p' plugin to be loaded");
+    }
+    return Status::success();
+  }
+
+  kernel::PluginInfo info() const override { return {"mpi", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Mpi";
+    d.operations.push_back({"init", {{"hosts", ValueKind::kString}}, ValueKind::kInt});
+    d.operations.push_back({"rank", {}, ValueKind::kInt});
+    d.operations.push_back({"size", {}, ValueKind::kInt});
+    d.operations.push_back({"send",
+                            {{"dest", ValueKind::kInt},
+                             {"tag", ValueKind::kInt},
+                             {"payload", ValueKind::kBytes}},
+                            ValueKind::kVoid});
+    d.operations.push_back(
+        {"recv", {{"src", ValueKind::kInt}, {"tag", ValueKind::kInt}}, ValueKind::kBytes});
+    d.operations.push_back(
+        {"probe", {{"src", ValueKind::kInt}, {"tag", ValueKind::kInt}}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  Status require_init() const {
+    if (rank_ < 0) return err::invalid_argument("mpi: communicator not initialized");
+    return Status::success();
+  }
+  Status check_rank(std::int64_t rank) const {
+    if (auto status = require_init(); !status.ok()) return status;
+    if (rank < 0 || rank >= static_cast<std::int64_t>(hosts_.size())) {
+      return err::invalid_argument("mpi: rank " + std::to_string(rank) + " out of range");
+    }
+    return Status::success();
+  }
+  static Status check_tag(std::int64_t tag) {
+    if (tag < 0 || tag > mpi::kMaxTag) {
+      return err::invalid_argument("mpi: tag out of range");
+    }
+    return Status::success();
+  }
+
+  Result<Value> mailbox_op(std::string_view p2p_op, std::span<const Value> params) {
+    auto src = params[0].as_int();
+    if (!src.ok()) return src.error();
+    auto tag = params[1].as_int();
+    if (!tag.ok()) return tag.error();
+    if (auto status = check_rank(*src); !status.ok()) return status.error();
+    if (auto status = check_tag(*tag); !status.ok()) return status.error();
+    std::vector<Value> p2p_params{
+        Value::of_int(mpi::mailbox_key(rank_, *src, *tag), "tag")};
+    return kernel_->call("p2p", std::string(p2p_op), p2p_params);
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+  std::vector<std::string> hosts_;
+  std::int64_t rank_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_mpi_plugin() { return std::make_unique<MpiPlugin>(); }
+
+}  // namespace h2::plugins

@@ -1,0 +1,167 @@
+#include "plugins/mpi_comm.hpp"
+
+#include <cstring>
+
+namespace h2::plugins::mpi {
+
+Result<MpiComm> MpiComm::init(kernel::Kernel& kernel, const std::string& hosts_csv) {
+  std::vector<Value> params{Value::of_string(hosts_csv, "hosts")};
+  auto rank = kernel.call("mpi", "init", params);
+  if (!rank.ok()) return rank.error().context("MpiComm::init");
+  auto size = kernel.call("mpi", "size", {});
+  if (!size.ok()) return size.error();
+  return MpiComm(kernel, *rank->as_int(), *size->as_int());
+}
+
+Result<Value> MpiComm::call(std::string_view op, std::span<const Value> params) {
+  return kernel_->call("mpi", op, params);
+}
+
+Status MpiComm::send(std::int64_t dest, std::int64_t tag,
+                     std::vector<std::uint8_t> payload) {
+  std::vector<Value> params{Value::of_int(dest, "dest"), Value::of_int(tag, "tag"),
+                            Value::of_bytes(std::move(payload), "payload")};
+  auto result = call("send", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<std::vector<std::uint8_t>> MpiComm::recv(std::int64_t src, std::int64_t tag) {
+  std::vector<Value> params{Value::of_int(src, "src"), Value::of_int(tag, "tag")};
+  auto result = call("recv", params);
+  if (!result.ok()) return result.error();
+  return result->as_bytes();
+}
+
+Result<std::int64_t> MpiComm::probe(std::int64_t src, std::int64_t tag) {
+  std::vector<Value> params{Value::of_int(src, "src"), Value::of_int(tag, "tag")};
+  auto result = call("probe", params);
+  if (!result.ok()) return result.error();
+  return result->as_int();
+}
+
+Status MpiComm::bcast(std::span<MpiComm> comms, std::int64_t root,
+                      std::vector<std::uint8_t>& buffer) {
+  auto n = static_cast<std::int64_t>(comms.size());
+  if (root < 0 || root >= n) return err::invalid_argument("bcast: bad root");
+  // Binomial tree over ranks relative to the root: in round k, ranks with
+  // relative index < 2^k forward to relative index + 2^k.
+  std::vector<std::vector<std::uint8_t>> staged(static_cast<std::size_t>(n));
+  staged[static_cast<std::size_t>(root)] = buffer;
+  for (std::int64_t span = 1; span < n; span *= 2) {
+    for (std::int64_t relative = 0; relative < span; ++relative) {
+      std::int64_t peer_relative = relative + span;
+      if (peer_relative >= n) break;
+      std::int64_t sender = (root + relative) % n;
+      std::int64_t receiver = (root + peer_relative) % n;
+      if (auto status = comms[static_cast<std::size_t>(sender)].send(
+              receiver, kCollectiveTag, staged[static_cast<std::size_t>(sender)]);
+          !status.ok()) {
+        return status;
+      }
+      auto received = comms[static_cast<std::size_t>(receiver)].recv(sender, kCollectiveTag);
+      if (!received.ok()) return received.error();
+      staged[static_cast<std::size_t>(receiver)] = std::move(*received);
+    }
+  }
+  buffer = staged[0];
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    if (staged[i] != buffer) {
+      return err::internal("bcast: rank " + std::to_string(i) + " diverged");
+    }
+  }
+  return Status::success();
+}
+
+Status MpiComm::barrier(std::span<MpiComm> comms) {
+  auto n = static_cast<std::int64_t>(comms.size());
+  // Gather-to-0...
+  for (std::int64_t rank = 1; rank < n; ++rank) {
+    if (auto status = comms[static_cast<std::size_t>(rank)].send(0, kCollectiveTag, {1});
+        !status.ok()) {
+      return status;
+    }
+    auto token = comms[0].recv(rank, kCollectiveTag);
+    if (!token.ok()) return token.error();
+  }
+  // ...then release.
+  for (std::int64_t rank = 1; rank < n; ++rank) {
+    if (auto status = comms[0].send(rank, kCollectiveTag, {2}); !status.ok()) {
+      return status;
+    }
+    auto token = comms[static_cast<std::size_t>(rank)].recv(0, kCollectiveTag);
+    if (!token.ok()) return token.error();
+  }
+  return Status::success();
+}
+
+namespace {
+std::vector<std::uint8_t> pack_double(double v) {
+  std::vector<std::uint8_t> out(sizeof(double));
+  std::memcpy(out.data(), &v, sizeof(double));
+  return out;
+}
+double unpack_double(std::span<const std::uint8_t> bytes) {
+  double v = 0;
+  std::memcpy(&v, bytes.data(), sizeof(double));
+  return v;
+}
+}  // namespace
+
+Result<double> MpiComm::reduce_sum(std::span<MpiComm> comms, std::int64_t root,
+                                   std::span<const double> contributions) {
+  auto n = static_cast<std::int64_t>(comms.size());
+  if (root < 0 || root >= n) return err::invalid_argument("reduce: bad root");
+  if (contributions.size() != comms.size()) {
+    return err::invalid_argument("reduce: one contribution per rank required");
+  }
+  double sum = contributions[static_cast<std::size_t>(root)];
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    if (rank == root) continue;
+    if (auto status = comms[static_cast<std::size_t>(rank)].send(
+            root, kCollectiveTag, pack_double(contributions[static_cast<std::size_t>(rank)]));
+        !status.ok()) {
+      return status.error();
+    }
+    auto bytes = comms[static_cast<std::size_t>(root)].recv(rank, kCollectiveTag);
+    if (!bytes.ok()) return bytes.error();
+    if (bytes->size() != sizeof(double)) return err::parse("reduce: bad payload");
+    sum += unpack_double(*bytes);
+  }
+  return sum;
+}
+
+Result<double> MpiComm::allreduce_sum(std::span<MpiComm> comms,
+                                      std::span<const double> contributions) {
+  auto sum = reduce_sum(comms, 0, contributions);
+  if (!sum.ok()) return sum;
+  auto buffer = pack_double(*sum);
+  if (auto status = bcast(comms, 0, buffer); !status.ok()) return status.error();
+  return unpack_double(buffer);
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> MpiComm::gather(
+    std::span<MpiComm> comms, std::int64_t root,
+    std::span<const std::vector<std::uint8_t>> contributions) {
+  auto n = static_cast<std::int64_t>(comms.size());
+  if (root < 0 || root >= n) return err::invalid_argument("gather: bad root");
+  if (contributions.size() != comms.size()) {
+    return err::invalid_argument("gather: one contribution per rank required");
+  }
+  std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(n));
+  out[static_cast<std::size_t>(root)] = contributions[static_cast<std::size_t>(root)];
+  for (std::int64_t rank = 0; rank < n; ++rank) {
+    if (rank == root) continue;
+    if (auto status = comms[static_cast<std::size_t>(rank)].send(
+            root, kCollectiveTag, contributions[static_cast<std::size_t>(rank)]);
+        !status.ok()) {
+      return status.error();
+    }
+    auto bytes = comms[static_cast<std::size_t>(root)].recv(rank, kCollectiveTag);
+    if (!bytes.ok()) return bytes.error();
+    out[static_cast<std::size_t>(rank)] = std::move(*bytes);
+  }
+  return out;
+}
+
+}  // namespace h2::plugins::mpi

@@ -1,0 +1,87 @@
+// MpiComm: the per-rank client facade over the "mpi" plugin, plus the
+// collective operations layered on point-to-point, the way real MPI
+// libraries do it. Because the simulation is single-threaded and
+// deterministic, collectives are expressed as *static* functions driven
+// over all ranks at once — the message patterns (binomial bcast, root
+// gather/reduce, barrier = gather + bcast) are the real ones and the wire
+// traffic is charged normally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace h2::plugins {
+
+/// Factory (registered as "mpi" in the standard repository).
+std::unique_ptr<kernel::Plugin> make_mpi_plugin();
+
+namespace mpi {
+
+inline constexpr std::int64_t kMaxRanks = 1024;
+inline constexpr std::int64_t kTagBits = 20;
+inline constexpr std::int64_t kMaxTag = (1 << kTagBits) - 1;
+
+/// The p2p mailbox key for messages src -> dest with user tag.
+constexpr std::int64_t mailbox_key(std::int64_t dest, std::int64_t src,
+                                   std::int64_t tag) {
+  return ((dest * kMaxRanks + src) << kTagBits) | tag;
+}
+
+/// Reserved tag used by the collective implementations.
+inline constexpr std::int64_t kCollectiveTag = kMaxTag;
+
+class MpiComm {
+ public:
+  /// Initializes the local rank against `kernel` (which must have the
+  /// "mpi" and "p2p" plugins loaded). `hosts_csv` lists the communicator
+  /// hosts in rank order, identical on every member.
+  static Result<MpiComm> init(kernel::Kernel& kernel, const std::string& hosts_csv);
+
+  std::int64_t rank() const { return rank_; }
+  std::int64_t size() const { return size_; }
+
+  /// MPI_Send (eager, non-blocking in the simulation).
+  Status send(std::int64_t dest, std::int64_t tag, std::vector<std::uint8_t> payload);
+  /// Non-blocking receive; kNotFound when nothing has arrived.
+  Result<std::vector<std::uint8_t>> recv(std::int64_t src, std::int64_t tag);
+  /// Number of waiting messages from (src, tag).
+  Result<std::int64_t> probe(std::int64_t src, std::int64_t tag);
+
+  // ---- collectives (drive all ranks: comms[i].rank() must equal i) -----------
+
+  /// MPI_Bcast of raw bytes via a binomial tree rooted at `root`.
+  static Status bcast(std::span<MpiComm> comms, std::int64_t root,
+                      std::vector<std::uint8_t>& buffer);
+
+  /// MPI_Barrier: gather-to-0 then broadcast-release.
+  static Status barrier(std::span<MpiComm> comms);
+
+  /// MPI_Reduce(sum) of one double per rank to `root`; returns the sum.
+  static Result<double> reduce_sum(std::span<MpiComm> comms, std::int64_t root,
+                                   std::span<const double> contributions);
+
+  /// MPI_Allreduce(sum) = reduce + bcast.
+  static Result<double> allreduce_sum(std::span<MpiComm> comms,
+                                      std::span<const double> contributions);
+
+  /// MPI_Gather of byte payloads to `root` (rank order preserved).
+  static Result<std::vector<std::vector<std::uint8_t>>> gather(
+      std::span<MpiComm> comms, std::int64_t root,
+      std::span<const std::vector<std::uint8_t>> contributions);
+
+ private:
+  MpiComm(kernel::Kernel& kernel, std::int64_t rank, std::int64_t size)
+      : kernel_(&kernel), rank_(rank), size_(size) {}
+
+  Result<Value> call(std::string_view op, std::span<const Value> params);
+
+  kernel::Kernel* kernel_;
+  std::int64_t rank_;
+  std::int64_t size_;
+};
+
+}  // namespace mpi
+}  // namespace h2::plugins

@@ -1,0 +1,26 @@
+// Convenience base: a Plugin whose dispatch() routes through an internal
+// DispatcherMux. Subclasses register operations in their constructor (or
+// init()) and fill in info()/descriptor().
+#pragma once
+
+#include "kernel/plugin.hpp"
+
+namespace h2::plugins {
+
+class MuxPlugin : public kernel::Plugin {
+ public:
+  Result<Value> dispatch(std::string_view operation,
+                         std::span<const Value> params) override {
+    return mux_.dispatch(operation, params);
+  }
+
+ protected:
+  void add_op(std::string operation, net::DispatcherMux::Fn handler) {
+    mux_.add(std::move(operation), std::move(handler));
+  }
+
+ private:
+  net::DispatcherMux mux_;
+};
+
+}  // namespace h2::plugins

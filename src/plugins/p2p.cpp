@@ -1,0 +1,121 @@
+// p2p: kernel-to-kernel message passing — the primitive transport service
+// every other distributed plugin (notably hpvmd, Fig 2) leverages.
+// Messages are (tag, bytes) pairs delivered into per-tag FIFO mailboxes on
+// the destination kernel; remote delivery travels the XDR binding over a
+// well-known port.
+#include <deque>
+#include <map>
+
+#include "kernel/kernel.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+class P2pPlugin final : public MuxPlugin {
+ public:
+  P2pPlugin() {
+    add_op("send", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 3) return err::invalid_argument("send(dest, tag, payload)");
+      auto dest = params[0].as_string();
+      if (!dest.ok()) return dest.error();
+      auto tag = params[1].as_int();
+      if (!tag.ok()) return tag.error();
+      auto payload = params[2].as_bytes();
+      if (!payload.ok()) return payload.error();
+      return send(*dest, *tag, std::move(*payload));
+    });
+    add_op("deliver", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("deliver(tag, payload)");
+      auto tag = params[0].as_int();
+      if (!tag.ok()) return tag.error();
+      auto payload = params[1].as_bytes();
+      if (!payload.ok()) return payload.error();
+      mailbox_[*tag].push_back(std::move(*payload));
+      return Value::of_void();
+    });
+    add_op("recv", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("recv(tag)");
+      auto tag = params[0].as_int();
+      if (!tag.ok()) return tag.error();
+      auto it = mailbox_.find(*tag);
+      if (it == mailbox_.end() || it->second.empty()) {
+        return err::not_found("p2p: no message with tag " + std::to_string(*tag));
+      }
+      Value out = Value::of_bytes(std::move(it->second.front()), "return");
+      it->second.pop_front();
+      return out;
+    });
+    add_op("pending", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("pending(tag)");
+      auto tag = params[0].as_int();
+      if (!tag.ok()) return tag.error();
+      auto it = mailbox_.find(*tag);
+      std::int64_t n = it == mailbox_.end() ? 0 : static_cast<std::int64_t>(it->second.size());
+      return Value::of_int(n, "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    // Expose the deliver operation to remote p2p peers. The forwarding
+    // dispatcher holds only a raw pointer; shutdown() (always invoked by
+    // the kernel before destruction) unbinds the port first.
+    auto forwarder = std::make_shared<net::DispatcherMux>();
+    forwarder->add("deliver", [this](std::span<const Value> params) {
+      return dispatch("deliver", params);
+    });
+    auto handle = net::serve_xdr(kernel.network(), kernel.host(), kP2pPort, forwarder);
+    if (!handle.ok()) return handle.error().context("p2p init");
+    server_.emplace(std::move(*handle));
+    return Status::success();
+  }
+
+  void shutdown() override { server_.reset(); }
+
+  kernel::PluginInfo info() const override { return {"p2p", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "P2p";
+    d.operations.push_back({"send",
+                            {{"dest", ValueKind::kString},
+                             {"tag", ValueKind::kInt},
+                             {"payload", ValueKind::kBytes}},
+                            ValueKind::kVoid});
+    d.operations.push_back({"recv", {{"tag", ValueKind::kInt}}, ValueKind::kBytes});
+    d.operations.push_back({"pending", {{"tag", ValueKind::kInt}}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  Result<Value> send(const std::string& dest, std::int64_t tag,
+                     std::vector<std::uint8_t> payload) {
+    if (kernel_ == nullptr) return err::internal("p2p not initialized");
+    // Local fast path: same kernel host delivers straight into the mailbox
+    // (the local-binding argument applied to messaging).
+    if (dest == kernel_->network().host_name(kernel_->host())) {
+      mailbox_[tag].push_back(std::move(payload));
+      return Value::of_void();
+    }
+    net::Endpoint endpoint{.scheme = "xdr", .host = dest, .port = kP2pPort, .path = ""};
+    auto channel = net::make_xdr_channel(kernel_->network(), kernel_->host(), endpoint);
+    std::vector<Value> params{Value::of_int(tag, "tag"),
+                              Value::of_bytes(std::move(payload), "payload")};
+    auto result = channel->invoke("deliver", params);
+    if (!result.ok()) return result.error().context("p2p send to " + dest);
+    return Value::of_void();
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+  std::map<std::int64_t, std::deque<std::vector<std::uint8_t>>> mailbox_;
+  std::optional<net::ServerHandle> server_;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_p2p_plugin() { return std::make_unique<P2pPlugin>(); }
+
+}  // namespace h2::plugins

@@ -1,0 +1,27 @@
+#include "plugins/standard.hpp"
+
+#include "plugins/mpi_comm.hpp"
+
+namespace h2::plugins {
+
+Status register_standard_plugins(kernel::PluginRepository& repo) {
+  struct Spec {
+    const char* name;
+    std::unique_ptr<kernel::Plugin> (*factory)();
+  };
+  static constexpr Spec kSpecs[] = {
+      {"ping", make_ping_plugin},   {"time", make_time_plugin},
+      {"table", make_table_plugin}, {"event", make_event_plugin},
+      {"spawn", make_spawn_plugin}, {"p2p", make_p2p_plugin},
+      {"mmul", make_mmul_plugin},   {"lapack", make_lapack_plugin},
+      {"mpi", make_mpi_plugin},     {"space", make_tuplespace_plugin},
+  };
+  for (const auto& spec : kSpecs) {
+    if (auto status = repo.add(spec.name, "1.0", spec.factory); !status.ok()) {
+      return status.error().context("registering standard plugins");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace h2::plugins

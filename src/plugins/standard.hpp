@@ -1,0 +1,36 @@
+// The standard plugin distribution (paper Fig 1): the baseline services
+// replicated on every node of a DVM (p2p message passing, process spawn,
+// table lookup, event management, ping) plus the paper's example services
+// (WSTime from Fig 7, MatMul from Fig 8) and a LAPACK-lite compute plugin
+// for the Section 6 locality scenario.
+//
+// Each factory is registered into a PluginRepository under these names:
+//   "ping"    echo / liveness               "time"   WSTime service
+//   "p2p"     kernel-to-kernel messaging    "mmul"   MatMul service
+//   "spawn"   process management            "lapack" dense linear algebra
+//   "table"   key/value lookup              "event"  event-bus facade
+#pragma once
+
+#include "kernel/plugin.hpp"
+
+namespace h2::plugins {
+
+/// Registers every standard plugin (version "1.0") into `repo`.
+Status register_standard_plugins(kernel::PluginRepository& repo);
+
+/// Individual factories (exposed for tests and custom repositories).
+std::unique_ptr<kernel::Plugin> make_ping_plugin();
+std::unique_ptr<kernel::Plugin> make_time_plugin();
+std::unique_ptr<kernel::Plugin> make_table_plugin();
+std::unique_ptr<kernel::Plugin> make_event_plugin();
+std::unique_ptr<kernel::Plugin> make_spawn_plugin();
+std::unique_ptr<kernel::Plugin> make_p2p_plugin();
+std::unique_ptr<kernel::Plugin> make_mmul_plugin();
+std::unique_ptr<kernel::Plugin> make_lapack_plugin();
+/// JavaSpaces-style tuple space ("space"). See tuplespace.cpp.
+std::unique_ptr<kernel::Plugin> make_tuplespace_plugin();
+
+/// Well-known port of the p2p plugin's inter-kernel message server.
+inline constexpr std::uint16_t kP2pPort = 7100;
+
+}  // namespace h2::plugins

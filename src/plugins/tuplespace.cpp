@@ -1,0 +1,137 @@
+// JavaSpaces-style tuple space plugin — the third environment emulation
+// the paper names ("currently PVM, MPI, and JavaSpaces plugins are
+// available"). Entries are (name, payload) tuples in per-name FIFO order:
+//
+//   write(name, payload)        -> entry id
+//   read(name)                  -> copy of the oldest matching entry
+//   take(name)                  -> removes and returns the oldest match
+//   count(name)                 -> matching entries
+//   writeLease(name, payload, lease_ns) -> entry id (expires)
+//
+// Leases follow the JavaSpaces model: entries written with a lease
+// disappear once the (virtual) clock passes their expiry.
+#include <deque>
+#include <map>
+
+#include "kernel/kernel.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+class TupleSpacePlugin final : public MuxPlugin {
+ public:
+  TupleSpacePlugin() {
+    add_op("write", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("write(name, payload)");
+      return write(params, /*lease=*/0);
+    });
+    add_op("writeLease", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 3) {
+        return err::invalid_argument("writeLease(name, payload, lease_ns)");
+      }
+      auto lease = params[2].as_int();
+      if (!lease.ok()) return lease.error();
+      if (*lease <= 0) return err::invalid_argument("writeLease: lease must be > 0");
+      return write(params.subspan(0, 2), *lease);
+    });
+    add_op("read", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("read(name)");
+      return fetch(params[0], /*remove=*/false);
+    });
+    add_op("take", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("take(name)");
+      return fetch(params[0], /*remove=*/true);
+    });
+    add_op("count", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("count(name)");
+      auto name = params[0].as_string();
+      if (!name.ok()) return name.error();
+      expire();
+      auto it = space_.find(*name);
+      std::int64_t n = it == space_.end() ? 0 : static_cast<std::int64_t>(it->second.size());
+      return Value::of_int(n, "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    return Status::success();
+  }
+
+  kernel::PluginInfo info() const override { return {"space", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "TupleSpace";
+    d.operations.push_back({"write",
+                            {{"name", ValueKind::kString}, {"payload", ValueKind::kBytes}},
+                            ValueKind::kInt});
+    d.operations.push_back({"writeLease",
+                            {{"name", ValueKind::kString},
+                             {"payload", ValueKind::kBytes},
+                             {"lease_ns", ValueKind::kInt}},
+                            ValueKind::kInt});
+    d.operations.push_back({"read", {{"name", ValueKind::kString}}, ValueKind::kBytes});
+    d.operations.push_back({"take", {{"name", ValueKind::kString}}, ValueKind::kBytes});
+    d.operations.push_back({"count", {{"name", ValueKind::kString}}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t id;
+    std::vector<std::uint8_t> payload;
+    Nanos expires;  // 0 = forever
+  };
+
+  Nanos now() const {
+    return kernel_ != nullptr ? kernel_->network().clock().now() : 0;
+  }
+
+  void expire() {
+    Nanos t = now();
+    for (auto& [name, entries] : space_) {
+      std::erase_if(entries,
+                    [t](const Entry& e) { return e.expires != 0 && e.expires <= t; });
+    }
+  }
+
+  Result<Value> write(std::span<const Value> params, Nanos lease) {
+    auto name = params[0].as_string();
+    if (!name.ok()) return name.error();
+    auto payload = params[1].as_bytes();
+    if (!payload.ok()) return payload.error();
+    std::int64_t id = next_id_++;
+    space_[*name].push_back(
+        Entry{id, std::move(*payload), lease == 0 ? 0 : now() + lease});
+    return Value::of_int(id, "return");
+  }
+
+  Result<Value> fetch(const Value& name_param, bool remove) {
+    auto name = name_param.as_string();
+    if (!name.ok()) return name.error();
+    expire();
+    auto it = space_.find(*name);
+    if (it == space_.end() || it->second.empty()) {
+      return err::not_found("space: no entry named '" + *name + "'");
+    }
+    Value out = Value::of_bytes(it->second.front().payload, "return");
+    if (remove) it->second.pop_front();
+    return out;
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+  std::map<std::string, std::deque<Entry>> space_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_tuplespace_plugin() {
+  return std::make_unique<TupleSpacePlugin>();
+}
+
+}  // namespace h2::plugins

@@ -1,0 +1,337 @@
+#include "pvm/hpvmd.hpp"
+
+#include "plugins/standard.hpp"
+#include "util/strings.hpp"
+
+namespace h2::pvm {
+
+namespace {
+
+class HpvmdPlugin final : public plugins::MuxPlugin {
+ public:
+  HpvmdPlugin() {
+    add_op("config", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("config(hosts_csv)");
+      auto csv = params[0].as_string();
+      if (!csv.ok()) return csv.error();
+      auto hosts = str::split_nonempty(*csv, ',');
+      if (hosts.empty()) return err::invalid_argument("config: empty host list");
+      std::string own = kernel_->network().host_name(kernel_->host());
+      my_index_ = -1;
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (hosts[i] == own) my_index_ = static_cast<std::int64_t>(i);
+      }
+      if (my_index_ < 0) {
+        return err::invalid_argument("config: own host '" + own +
+                                     "' not in virtual machine list");
+      }
+      hosts_ = std::move(hosts);
+      return Value::of_void();
+    });
+
+    add_op("local_spawn", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("local_spawn(task)");
+      auto task = params[0].as_string();
+      if (!task.ok()) return task.error();
+      return local_spawn(*task);
+    });
+
+    add_op("spawn", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("spawn(task, host)");
+      auto task = params[0].as_string();
+      if (!task.ok()) return task.error();
+      auto host = params[1].as_string();
+      if (!host.ok()) return host.error();
+      if (auto status = require_config(); !status.ok()) return status.error();
+      if (*host == hosts_[static_cast<std::size_t>(my_index_)]) {
+        return local_spawn(*task);
+      }
+      // Daemon-to-daemon: ask the remote hpvmd to spawn locally there.
+      auto channel = daemon_channel(*host);
+      if (!channel.ok()) return channel.error();
+      std::vector<Value> remote_params{Value::of_string(*task, "task")};
+      return (*channel)->invoke("local_spawn", remote_params);
+    });
+
+    add_op("send", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 3) return err::invalid_argument("send(dst_tid, tag, payload)");
+      auto dst = params[0].as_int();
+      if (!dst.ok()) return dst.error();
+      auto tag = params[1].as_int();
+      if (!tag.ok()) return tag.error();
+      if (*tag < 0 || *tag > kMaxUserTag) {
+        return err::invalid_argument("send: tag out of range");
+      }
+      auto host = host_of(*dst);
+      if (!host.ok()) return host.error();
+      // Leverage the p2p plugin for the actual transport.
+      std::vector<Value> p2p_params{Value::of_string(*host, "dest"),
+                                    Value::of_int(combined_tag(*dst, *tag), "tag"),
+                                    params[2]};
+      return kernel_->call("p2p", "send", p2p_params);
+    });
+
+    add_op("recv", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("recv(my_tid, tag)");
+      auto tid = params[0].as_int();
+      if (!tid.ok()) return tid.error();
+      auto tag = params[1].as_int();
+      if (!tag.ok()) return tag.error();
+      std::vector<Value> p2p_params{Value::of_int(combined_tag(*tid, *tag), "tag")};
+      return kernel_->call("p2p", "recv", p2p_params);
+    });
+
+    add_op("probe", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) return err::invalid_argument("probe(my_tid, tag)");
+      auto tid = params[0].as_int();
+      if (!tid.ok()) return tid.error();
+      auto tag = params[1].as_int();
+      if (!tag.ok()) return tag.error();
+      std::vector<Value> p2p_params{Value::of_int(combined_tag(*tid, *tag), "tag")};
+      return kernel_->call("p2p", "pending", p2p_params);
+    });
+
+    add_op("local_kill", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("local_kill(tid)");
+      return local_control(params[0], "kill");
+    });
+
+    add_op("kill", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("kill(tid)");
+      return route_control(params[0], "local_kill");
+    });
+
+    add_op("local_status", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("local_status(tid)");
+      return local_control(params[0], "status");
+    });
+
+    add_op("status", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("status(tid)");
+      return route_control(params[0], "local_status");
+    });
+
+    add_op("host_of", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("host_of(tid)");
+      auto tid = params[0].as_int();
+      if (!tid.ok()) return tid.error();
+      auto host = host_of(*tid);
+      if (!host.ok()) return host.error();
+      return Value::of_string(std::move(*host), "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    // Fig 2: hpvmd *leverages* these services; refuse to start without them.
+    for (const char* dep : {"p2p", "spawn", "table", "event"}) {
+      if (!kernel.service(dep).ok()) {
+        return err::unavailable(std::string("hpvmd requires the '") + dep +
+                                "' plugin to be loaded");
+      }
+    }
+    auto forwarder = std::make_shared<net::DispatcherMux>();
+    for (const char* op : {"local_spawn", "local_kill", "local_status"}) {
+      forwarder->add(op, [this, op](std::span<const Value> params) {
+        return dispatch(op, params);
+      });
+    }
+    auto handle = net::serve_xdr(kernel.network(), kernel.host(), kPvmPort, forwarder);
+    if (!handle.ok()) return handle.error().context("hpvmd init");
+    server_.emplace(std::move(*handle));
+    return Status::success();
+  }
+
+  void shutdown() override { server_.reset(); }
+
+  kernel::PluginInfo info() const override { return {"hpvmd", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Hpvmd";
+    d.operations.push_back({"config", {{"hosts", ValueKind::kString}}, ValueKind::kVoid});
+    d.operations.push_back({"spawn",
+                            {{"task", ValueKind::kString}, {"host", ValueKind::kString}},
+                            ValueKind::kInt});
+    d.operations.push_back({"send",
+                            {{"dst", ValueKind::kInt},
+                             {"tag", ValueKind::kInt},
+                             {"payload", ValueKind::kBytes}},
+                            ValueKind::kVoid});
+    d.operations.push_back(
+        {"recv", {{"tid", ValueKind::kInt}, {"tag", ValueKind::kInt}}, ValueKind::kBytes});
+    d.operations.push_back(
+        {"probe", {{"tid", ValueKind::kInt}, {"tag", ValueKind::kInt}}, ValueKind::kInt});
+    d.operations.push_back({"kill", {{"tid", ValueKind::kInt}}, ValueKind::kBool});
+    d.operations.push_back({"status", {{"tid", ValueKind::kInt}}, ValueKind::kString});
+    d.operations.push_back({"host_of", {{"tid", ValueKind::kInt}}, ValueKind::kString});
+    return d;
+  }
+
+ private:
+  Status require_config() const {
+    if (hosts_.empty() || my_index_ < 0) {
+      return err::invalid_argument("hpvmd: virtual machine not configured");
+    }
+    return Status::success();
+  }
+
+  Result<std::string> host_of(std::int64_t tid) const {
+    if (auto status = require_config(); !status.ok()) return status.error();
+    std::int64_t index = (tid >> kTidHostShift) - 1;
+    if (index < 0 || index >= static_cast<std::int64_t>(hosts_.size())) {
+      return err::invalid_argument("hpvmd: tid " + std::to_string(tid) +
+                                   " names no configured host");
+    }
+    return hosts_[static_cast<std::size_t>(index)];
+  }
+
+  Result<Value> local_spawn(const std::string& task) {
+    if (auto status = require_config(); !status.ok()) return status.error();
+    // Leverage the spawn plugin for process management.
+    std::vector<Value> spawn_params{Value::of_string(task, "name")};
+    auto job = kernel_->call("spawn", "spawn", spawn_params);
+    if (!job.ok()) return job.error().context("hpvmd spawn");
+    std::int64_t tid = ((my_index_ + 1) << kTidHostShift) | next_task_++;
+    // Leverage the table plugin for tid bookkeeping.
+    std::vector<Value> name_row{Value::of_string("pvm/tid/" + std::to_string(tid)),
+                                Value::of_string(task)};
+    if (auto status = kernel_->call("table", "put", name_row); !status.ok()) {
+      return status.error();
+    }
+    std::vector<Value> job_row{Value::of_string("pvm/job/" + std::to_string(tid)),
+                               Value::of_string(std::to_string(*job->as_int()))};
+    if (auto status = kernel_->call("table", "put", job_row); !status.ok()) {
+      return status.error();
+    }
+    // Leverage event management for notification.
+    kernel_->events().publish("pvm/spawn",
+                              Value::of_string(task + ":" + std::to_string(tid)));
+    return Value::of_int(tid, "return");
+  }
+
+  /// Dispatches kill/status for a *local* tid via the spawn plugin.
+  Result<Value> local_control(const Value& tid_value, std::string_view action) {
+    auto tid = tid_value.as_int();
+    if (!tid.ok()) return tid.error();
+    std::vector<Value> key{Value::of_string("pvm/job/" + std::to_string(*tid))};
+    auto job_text = kernel_->call("table", "get", key);
+    if (!job_text.ok()) {
+      if (action == "status") return Value::of_string("unknown", "return");
+      return Value::of_bool(false, "return");
+    }
+    auto job = str::parse_i64(*job_text->as_string());
+    if (!job.ok()) return job.error();
+    std::vector<Value> job_params{Value::of_int(*job)};
+    auto result = kernel_->call("spawn", std::string(action), job_params);
+    if (result.ok() && action == "kill") {
+      kernel_->events().publish("pvm/kill", Value::of_int(*tid));
+    }
+    return result;
+  }
+
+  /// Routes kill/status to the tid's owning daemon.
+  Result<Value> route_control(const Value& tid_value, std::string_view local_op) {
+    auto tid = tid_value.as_int();
+    if (!tid.ok()) return tid.error();
+    auto host = host_of(*tid);
+    if (!host.ok()) return host.error();
+    if (*host == hosts_[static_cast<std::size_t>(my_index_)]) {
+      std::vector<Value> params{tid_value};
+      return dispatch(local_op, params);
+    }
+    auto channel = daemon_channel(*host);
+    if (!channel.ok()) return channel.error();
+    std::vector<Value> params{tid_value};
+    return (*channel)->invoke(local_op, params);
+  }
+
+  Result<std::unique_ptr<net::Channel>> daemon_channel(const std::string& host) {
+    net::Endpoint endpoint{.scheme = "xdr", .host = host, .port = kPvmPort, .path = ""};
+    return net::make_xdr_channel(kernel_->network(), kernel_->host(), endpoint);
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+  std::vector<std::string> hosts_;
+  std::int64_t my_index_ = -1;
+  std::int64_t next_task_ = 1;
+  std::optional<net::ServerHandle> server_;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_hpvmd_plugin() {
+  return std::make_unique<HpvmdPlugin>();
+}
+
+Status register_pvm_plugin(kernel::PluginRepository& repo) {
+  return repo.add("hpvmd", "1.0", make_hpvmd_plugin);
+}
+
+Result<PvmTask> PvmTask::enroll(kernel::Kernel& kernel, const std::string& task_name) {
+  std::vector<Value> params{Value::of_string(task_name, "task")};
+  auto tid = kernel.call("hpvmd", "local_spawn", params);
+  if (!tid.ok()) return tid.error().context("pvm enroll");
+  auto id = tid->as_int();
+  if (!id.ok()) return id.error();
+  return PvmTask(kernel, *id);
+}
+
+Result<Value> PvmTask::call(std::string_view op, std::span<const Value> params) {
+  return kernel_->call("hpvmd", op, params);
+}
+
+Result<std::int64_t> PvmTask::spawn(const std::string& task_name,
+                                    const std::string& host) {
+  std::vector<Value> params{Value::of_string(task_name, "task"),
+                            Value::of_string(host, "host")};
+  auto result = call("spawn", params);
+  if (!result.ok()) return result.error();
+  return result->as_int();
+}
+
+Status PvmTask::send(std::int64_t dest_tid, std::int64_t tag,
+                     std::vector<std::uint8_t> payload) {
+  std::vector<Value> params{Value::of_int(dest_tid, "dst"), Value::of_int(tag, "tag"),
+                            Value::of_bytes(std::move(payload), "payload")};
+  auto result = call("send", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<std::vector<std::uint8_t>> PvmTask::recv(std::int64_t tag) {
+  std::vector<Value> params{Value::of_int(tid_, "tid"), Value::of_int(tag, "tag")};
+  auto result = call("recv", params);
+  if (!result.ok()) return result.error();
+  return result->as_bytes();
+}
+
+Result<std::int64_t> PvmTask::probe(std::int64_t tag) {
+  std::vector<Value> params{Value::of_int(tid_, "tid"), Value::of_int(tag, "tag")};
+  auto result = call("probe", params);
+  if (!result.ok()) return result.error();
+  return result->as_int();
+}
+
+Result<bool> PvmTask::kill(std::int64_t tid) {
+  std::vector<Value> params{Value::of_int(tid, "tid")};
+  auto result = call("kill", params);
+  if (!result.ok()) return result.error();
+  return result->as_bool();
+}
+
+Result<std::string> PvmTask::status(std::int64_t tid) {
+  std::vector<Value> params{Value::of_int(tid, "tid")};
+  auto result = call("status", params);
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+Result<std::string> PvmTask::host_of(std::int64_t tid) {
+  std::vector<Value> params{Value::of_int(tid, "tid")};
+  auto result = call("host_of", params);
+  if (!result.ok()) return result.error();
+  return result->as_string();
+}
+
+}  // namespace h2::pvm

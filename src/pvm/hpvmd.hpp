@@ -1,0 +1,82 @@
+// PVM emulation for Harness II — the paper's flagship demonstration of
+// plugin synergy (Section 3, Fig 2): "The hpvmd plugin emulates the PVM
+// daemon on each host, but leverages process spawning, message transport,
+// general event management, and table lookup from other plugins — both
+// within the same address space as well as in remote Harness kernels."
+//
+// Faithfully to that figure, HpvmdPlugin::init() *requires* the sibling
+// plugins "p2p", "spawn", "table" and "event" to be loaded in the same
+// kernel, and implements every PVM operation in terms of them:
+//
+//   pvm operation     leverages
+//   --------------    -------------------------------------------------
+//   spawn             spawn plugin (local), remote hpvmd via XDR binding
+//   send/recv/probe   p2p plugin mailboxes (combined tid+tag keys)
+//   tid bookkeeping   table plugin ("pvm/tid/<tid>" -> task name)
+//   notifications     event plugin / kernel event bus ("pvm/spawn", ...)
+//
+// Task ids follow PVM's encoding idea: tid = (host_index+1) << 18 | seq,
+// where host_index comes from the configured virtual machine host list.
+#pragma once
+
+#include <memory>
+
+#include "kernel/kernel.hpp"
+#include "plugins/mux_plugin.hpp"
+
+namespace h2::pvm {
+
+/// Port of the hpvmd daemon-to-daemon control channel.
+inline constexpr std::uint16_t kPvmPort = 7500;
+
+/// tid layout: high bits select the host, low 18 bits the per-host task.
+inline constexpr std::int64_t kTidHostShift = 18;
+/// p2p tag layout: combined = tid << 20 | user_tag (user tags < 2^20).
+inline constexpr std::int64_t kTagBits = 20;
+inline constexpr std::int64_t kMaxUserTag = (1 << kTagBits) - 1;
+
+/// Computes the p2p mailbox tag for (destination tid, user tag).
+constexpr std::int64_t combined_tag(std::int64_t tid, std::int64_t tag) {
+  return (tid << kTagBits) | tag;
+}
+
+/// Factory for the hpvmd plugin (register as "hpvmd" in a repository).
+std::unique_ptr<kernel::Plugin> make_hpvmd_plugin();
+
+/// Registers hpvmd@1.0 into `repo`.
+Status register_pvm_plugin(kernel::PluginRepository& repo);
+
+/// Typed client facade over a loaded hpvmd plugin — the pvm_*() API an
+/// application task would link against.
+class PvmTask {
+ public:
+  /// `kernel` must have hpvmd loaded (plus its Fig-2 dependencies).
+  static Result<PvmTask> enroll(kernel::Kernel& kernel, const std::string& task_name);
+
+  std::int64_t tid() const { return tid_; }
+
+  /// pvm_spawn: start `task_name` on `host` (a configured VM member).
+  Result<std::int64_t> spawn(const std::string& task_name, const std::string& host);
+  /// pvm_send: tagged bytes to another task.
+  Status send(std::int64_t dest_tid, std::int64_t tag,
+              std::vector<std::uint8_t> payload);
+  /// pvm_nrecv: non-blocking receive; kNotFound when no message waits.
+  Result<std::vector<std::uint8_t>> recv(std::int64_t tag);
+  /// pvm_probe: number of waiting messages for (my tid, tag).
+  Result<std::int64_t> probe(std::int64_t tag);
+  /// pvm_kill.
+  Result<bool> kill(std::int64_t tid);
+  /// Task status ("running"/"dead"/"unknown") resolved on the owning host.
+  Result<std::string> status(std::int64_t tid);
+  /// Which configured host owns a tid.
+  Result<std::string> host_of(std::int64_t tid);
+
+ private:
+  PvmTask(kernel::Kernel& kernel, std::int64_t tid) : kernel_(&kernel), tid_(tid) {}
+  Result<Value> call(std::string_view op, std::span<const Value> params);
+
+  kernel::Kernel* kernel_;
+  std::int64_t tid_;
+};
+
+}  // namespace h2::pvm

@@ -1,0 +1,213 @@
+#include "registry/lookup.hpp"
+
+#include "wsdl/io.hpp"
+
+namespace h2::reg {
+
+namespace {
+
+/// Builds the registry-service dispatcher for one node.
+std::shared_ptr<net::Dispatcher> make_registry_dispatcher(
+    std::shared_ptr<XmlRegistry> registry) {
+  auto mux = std::make_shared<net::DispatcherMux>();
+  mux->add("publish", [registry](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("publish(wsdl, lease)");
+    auto text = params[0].as_string();
+    if (!text.ok()) return text.error();
+    auto lease = params[1].as_int();
+    if (!lease.ok()) return lease.error();
+    auto defs = wsdl::parse(*text);
+    if (!defs.ok()) return defs.error();
+    auto key = registry->add(*defs, *lease);
+    if (!key.ok()) return key.error();
+    return Value::of_string(std::move(*key), "key");
+  });
+  mux->add("find", [registry](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("find(service)");
+    auto name = params[0].as_string();
+    if (!name.ok()) return name.error();
+    auto entry = registry->find_service(*name);
+    if (!entry.ok()) return entry.error();
+    return Value::of_string(wsdl::to_xml_string((*entry)->defs), "wsdl");
+  });
+  mux->add("remove", [registry](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("remove(key)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    if (auto status = registry->remove(*key); !status.ok()) return status.error();
+    return Value::of_void();
+  });
+  return mux;
+}
+
+/// Remote publish to `target` from `from` over the XDR binding.
+Status remote_publish(net::SimNetwork& net, net::HostId from, RegistryNode& target,
+                      const wsdl::Definitions& defs) {
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = net.host_name(target.host()),
+                         .port = kRegistryPort,
+                         .path = ""};
+  auto channel = net::make_xdr_channel(net, from, endpoint);
+  std::vector<Value> params{Value::of_string(wsdl::to_xml_string(defs), "wsdl"),
+                            Value::of_int(0, "lease")};
+  auto result = channel->invoke("publish", params);
+  if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+/// Remote find on `target` from `from`.
+Result<wsdl::Definitions> remote_find(net::SimNetwork& net, net::HostId from,
+                                      RegistryNode& target,
+                                      std::string_view service_name) {
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = net.host_name(target.host()),
+                         .port = kRegistryPort,
+                         .path = ""};
+  auto channel = net::make_xdr_channel(net, from, endpoint);
+  std::vector<Value> params{Value::of_string(std::string(service_name), "service")};
+  auto result = channel->invoke("find", params);
+  if (!result.ok()) return result.error();
+  auto text = result->as_string();
+  if (!text.ok()) return text.error();
+  return wsdl::parse(*text);
+}
+
+class CentralizedLookup final : public LookupStrategy {
+ public:
+  CentralizedLookup(std::vector<RegistryNode*> nodes, std::size_t center)
+      : nodes_(std::move(nodes)), center_(center) {}
+
+  Status publish(std::size_t from, const wsdl::Definitions& defs) override {
+    return remote_publish(nodes_[from]->network(), nodes_[from]->host(),
+                          *nodes_[center_], defs);
+  }
+
+  Result<wsdl::Definitions> lookup(std::size_t from,
+                                   std::string_view service_name) override {
+    return remote_find(nodes_[from]->network(), nodes_[from]->host(),
+                       *nodes_[center_], service_name);
+  }
+
+  const char* name() const override { return "centralized"; }
+
+ private:
+  std::vector<RegistryNode*> nodes_;
+  std::size_t center_;
+};
+
+class DecentralizedLookup final : public LookupStrategy {
+ public:
+  explicit DecentralizedLookup(std::vector<RegistryNode*> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  Status publish(std::size_t from, const wsdl::Definitions& defs) override {
+    // Fully localized registration: no network traffic at all.
+    auto key = nodes_[from]->registry().add(defs);
+    if (!key.ok()) return key.error();
+    return Status::success();
+  }
+
+  Result<wsdl::Definitions> lookup(std::size_t from,
+                                   std::string_view service_name) override {
+    // Local first, then an active distributed query across every node.
+    if (auto local = nodes_[from]->registry().find_service(service_name); local.ok()) {
+      return (*local)->defs;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == from) continue;
+      auto found = remote_find(nodes_[from]->network(), nodes_[from]->host(),
+                               *nodes_[i], service_name);
+      if (found.ok()) return found;
+      if (found.error().code() != ErrorCode::kNotFound) return found.error();
+    }
+    return err::not_found("decentralized lookup: service '" +
+                          std::string(service_name) + "' not found anywhere");
+  }
+
+  const char* name() const override { return "decentralized"; }
+
+ private:
+  std::vector<RegistryNode*> nodes_;
+};
+
+class NeighborhoodLookup final : public LookupStrategy {
+ public:
+  NeighborhoodLookup(std::vector<RegistryNode*> nodes, std::size_t k)
+      : nodes_(std::move(nodes)), k_(k) {}
+
+  Status publish(std::size_t from, const wsdl::Definitions& defs) override {
+    // Local registration plus synchronous replication to the k next ring
+    // neighbours — full synchrony inside the neighbourhood.
+    auto key = nodes_[from]->registry().add(defs);
+    if (!key.ok()) return key.error();
+    for (std::size_t step = 1; step <= k_ && step < nodes_.size(); ++step) {
+      std::size_t neighbor = (from + step) % nodes_.size();
+      if (auto status = remote_publish(nodes_[from]->network(), nodes_[from]->host(),
+                                       *nodes_[neighbor], defs);
+          !status.ok()) {
+        return status.error().context("neighborhood replication");
+      }
+    }
+    return Status::success();
+  }
+
+  Result<wsdl::Definitions> lookup(std::size_t from,
+                                   std::string_view service_name) override {
+    // Neighborhood data is already local (the provider replicated to us if
+    // we are within k of it); fall back to a distributed query for farther
+    // hosts, skipping our own ring-predecessors' replicas last.
+    if (auto local = nodes_[from]->registry().find_service(service_name); local.ok()) {
+      return (*local)->defs;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (i == from) continue;
+      auto found = remote_find(nodes_[from]->network(), nodes_[from]->host(),
+                               *nodes_[i], service_name);
+      if (found.ok()) return found;
+      if (found.error().code() != ErrorCode::kNotFound) return found.error();
+    }
+    return err::not_found("neighborhood lookup: service '" +
+                          std::string(service_name) + "' not found");
+  }
+
+  const char* name() const override { return "neighborhood"; }
+
+ private:
+  std::vector<RegistryNode*> nodes_;
+  std::size_t k_;
+};
+
+}  // namespace
+
+RegistryNode::RegistryNode(net::SimNetwork& net, net::HostId host, const Clock& clock)
+    : net_(net),
+      host_(host),
+      registry_(std::make_shared<XmlRegistry>(clock)),
+      dispatcher_(make_registry_dispatcher(registry_)) {}
+
+Status RegistryNode::start() {
+  if (server_.has_value()) return Status::success();
+  auto handle = net::serve_xdr(net_, host_, kRegistryPort, dispatcher_);
+  if (!handle.ok()) return handle.error();
+  server_.emplace(std::move(*handle));
+  return Status::success();
+}
+
+void RegistryNode::stop() { server_.reset(); }
+
+std::unique_ptr<LookupStrategy> make_centralized_lookup(
+    std::vector<RegistryNode*> nodes, std::size_t center) {
+  return std::make_unique<CentralizedLookup>(std::move(nodes), center);
+}
+
+std::unique_ptr<LookupStrategy> make_decentralized_lookup(
+    std::vector<RegistryNode*> nodes) {
+  return std::make_unique<DecentralizedLookup>(std::move(nodes));
+}
+
+std::unique_ptr<LookupStrategy> make_neighborhood_lookup(
+    std::vector<RegistryNode*> nodes, std::size_t k) {
+  return std::make_unique<NeighborhoodLookup>(std::move(nodes), k);
+}
+
+}  // namespace h2::reg

@@ -1,0 +1,70 @@
+#include "registry/uddi.hpp"
+
+namespace h2::reg {
+
+std::vector<BusinessService> UddiFacade::services_of(const Entry& entry) {
+  std::vector<BusinessService> out;
+  for (const auto& service : entry.defs.services) {
+    BusinessService row;
+    row.service_key = entry.key;
+    row.name = service.name;
+    row.business = entry.defs.name;
+    for (const auto& port : service.ports) {
+      const wsdl::Binding* binding = entry.defs.find_binding(port.binding);
+      if (binding == nullptr) continue;
+      row.bindings.push_back({port.address, wsdl::to_string(binding->kind)});
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<BusinessService> UddiFacade::find_service(std::string_view name) const {
+  std::vector<BusinessService> out;
+  for (const Entry* entry : registry_.entries()) {
+    for (auto& row : services_of(*entry)) {
+      if (row.name == name) out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+std::vector<BusinessService> UddiFacade::find_by_tmodel(wsdl::BindingKind kind) const {
+  std::string tmodel(wsdl::to_string(kind));
+  std::vector<BusinessService> out;
+  for (const Entry* entry : registry_.entries()) {
+    for (auto& row : services_of(*entry)) {
+      bool matches = false;
+      for (const auto& binding : row.bindings) {
+        if (binding.tmodel == tmodel) {
+          matches = true;
+          break;
+        }
+      }
+      if (matches) out.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Result<BusinessService> UddiFacade::get_service_detail(std::string_view service_key) const {
+  for (const Entry* entry : registry_.entries()) {
+    if (entry->key != service_key) continue;
+    auto rows = services_of(*entry);
+    if (rows.empty()) {
+      return err::not_found("uddi: entry has no services");
+    }
+    return rows.front();
+  }
+  return err::not_found("uddi: no entry with key '" + std::string(service_key) + "'");
+}
+
+std::vector<BusinessService> UddiFacade::all_services() const {
+  std::vector<BusinessService> out;
+  for (const Entry* entry : registry_.entries()) {
+    for (auto& row : services_of(*entry)) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace h2::reg

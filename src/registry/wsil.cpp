@@ -1,0 +1,81 @@
+#include "registry/wsil.hpp"
+
+#include "util/strings.hpp"
+#include "wsdl/io.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace h2::reg {
+
+std::string to_wsil(std::span<const InspectionEntry> entries) {
+  auto root = xml::Node::element("inspection");
+  root->set_attr("xmlns", kWsilNs);
+  for (const InspectionEntry& entry : entries) {
+    xml::Node* service = root->add_element("service");
+    service->add_element_with_text("abstract", entry.name);
+    xml::Node* description = service->add_element("description");
+    description->set_attr("referencedNamespace", "http://schemas.xmlsoap.org/wsdl/");
+    description->set_attr("location", entry.wsdl_location);
+  }
+  xml::WriteOptions options;
+  options.pretty = true;
+  return xml::write(*root, options);
+}
+
+Result<std::vector<InspectionEntry>> parse_wsil(std::string_view text) {
+  auto root = xml::parse_element(text);
+  if (!root.ok()) return root.error().context("wsil");
+  if ((*root)->local_name() != "inspection") {
+    return err::parse("wsil: root element is <" + std::string((*root)->name()) +
+                      ">, expected inspection");
+  }
+  std::vector<InspectionEntry> out;
+  for (const xml::Node* service : (*root)->children_named("service")) {
+    InspectionEntry entry;
+    if (const xml::Node* abstract = service->first_child("abstract")) {
+      entry.name = abstract->inner_text();
+    }
+    if (const xml::Node* description = service->first_child("description")) {
+      entry.wsdl_location = description->attr_or("location", "");
+    }
+    if (entry.wsdl_location.empty()) {
+      return err::parse("wsil: service '" + entry.name + "' has no description location");
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<InspectionEntry> inspect(const XmlRegistry& registry) {
+  std::vector<InspectionEntry> out;
+  for (const Entry* entry : registry.entries()) {
+    for (const auto& service : entry->defs.services) {
+      if (service.ports.empty()) continue;
+      out.push_back({service.name, service.ports.front().address + "?wsdl"});
+    }
+  }
+  return out;
+}
+
+Result<std::size_t> import_wsil(std::string_view wsil_text, const WsdlResolver& resolver,
+                                XmlRegistry& registry, Nanos lease) {
+  auto entries = parse_wsil(wsil_text);
+  if (!entries.ok()) return entries.error();
+  std::size_t imported = 0;
+  for (const InspectionEntry& entry : *entries) {
+    auto text = resolver(entry.wsdl_location);
+    if (!text.ok()) {
+      return text.error().context("wsil import of '" + entry.name + "'");
+    }
+    auto defs = wsdl::parse(*text);
+    if (!defs.ok()) {
+      return defs.error().context("wsil import of '" + entry.name + "'");
+    }
+    auto key = registry.add(*defs, lease);
+    if (!key.ok()) return key.error();
+    ++imported;
+  }
+  return imported;
+}
+
+}  // namespace h2::reg

@@ -1,0 +1,51 @@
+// WS-Inspection (WSIL) support. The paper's deployment discussion names
+// WSIL as the other flavour of lookup system next to UDDI ("depends on the
+// type of lookup service used (e.g. UDDI, WSIL, etc.)"). Where UDDI is a
+// central registry you query, WSIL is a *document you fetch from a
+// provider*: a flat list of services pointing at their WSDL descriptions.
+//
+// This module renders a registry (or any service list) as a WSIL document,
+// parses WSIL documents back, and imports them into an XmlRegistry given a
+// resolver that fetches the referenced WSDL text — the decentralized
+// "crawl the providers" discovery style.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "registry/xml_registry.hpp"
+
+namespace h2::reg {
+
+inline constexpr const char* kWsilNs = "http://schemas.xmlsoap.org/ws/2001/10/inspection/";
+
+/// One <service> row of an inspection document.
+struct InspectionEntry {
+  std::string name;           ///< <abstract> text (service name)
+  std::string wsdl_location;  ///< <description location="...">
+
+  bool operator==(const InspectionEntry&) const = default;
+};
+
+/// Renders entries as a WS-Inspection document.
+std::string to_wsil(std::span<const InspectionEntry> entries);
+
+/// Parses a WS-Inspection document.
+Result<std::vector<InspectionEntry>> parse_wsil(std::string_view text);
+
+/// Builds the inspection view of a registry: one entry per service, the
+/// location being the service's first port address suffixed with "?wsdl"
+/// (the conventional retrieval URL).
+std::vector<InspectionEntry> inspect(const XmlRegistry& registry);
+
+/// Fetches WSDL text for a location (network fetch, file read, ...).
+using WsdlResolver = std::function<Result<std::string>(const std::string& location)>;
+
+/// Imports every service listed in a WSIL document into `registry`,
+/// resolving each description with `resolver`. Returns the number of
+/// services imported; stops at the first resolution/parse failure.
+Result<std::size_t> import_wsil(std::string_view wsil_text, const WsdlResolver& resolver,
+                                XmlRegistry& registry, Nanos lease = 0);
+
+}  // namespace h2::reg

@@ -1,0 +1,94 @@
+#include "registry/xml_registry.hpp"
+
+#include "wsdl/io.hpp"
+#include "xml/xpath.hpp"
+
+namespace h2::reg {
+
+XmlRegistry::XmlRegistry(const Clock& clock) : clock_(clock) {}
+
+Result<std::string> XmlRegistry::add(const wsdl::Definitions& defs, Nanos lease) {
+  if (auto status = wsdl::validate(defs); !status.ok()) {
+    return status.error().context("registry add");
+  }
+  if (lease < 0) return err::invalid_argument("registry: negative lease");
+  std::string key = "reg-" + std::to_string(next_key_++);
+  Stored stored;
+  stored.entry.key = key;
+  stored.entry.defs = defs;
+  stored.entry.registered_at = clock_.now();
+  stored.entry.lease_expires = lease == 0 ? 0 : clock_.now() + lease;
+  stored.doc = wsdl::to_xml(defs);
+  stored_[key] = std::move(stored);
+  return key;
+}
+
+Status XmlRegistry::renew(std::string_view key, Nanos extension) {
+  auto it = stored_.find(key);
+  if (it == stored_.end() || !live(it->second)) {
+    return err::not_found("registry: no live entry '" + std::string(key) + "'");
+  }
+  if (extension <= 0) return err::invalid_argument("registry: non-positive extension");
+  it->second.entry.lease_expires = clock_.now() + extension;
+  return Status::success();
+}
+
+Status XmlRegistry::remove(std::string_view key) {
+  auto it = stored_.find(key);
+  if (it == stored_.end()) {
+    return err::not_found("registry: no entry '" + std::string(key) + "'");
+  }
+  stored_.erase(it);
+  return Status::success();
+}
+
+std::vector<const Entry*> XmlRegistry::entries() const {
+  std::vector<const Entry*> out;
+  for (const auto& [key, stored] : stored_) {
+    if (live(stored)) out.push_back(&stored.entry);
+  }
+  return out;
+}
+
+std::size_t XmlRegistry::size() const { return entries().size(); }
+
+Result<std::vector<const Entry*>> XmlRegistry::query(std::string_view xpath) const {
+  auto compiled = xml::XPath::compile(xpath);
+  if (!compiled.ok()) return compiled.error().context("registry query");
+  std::vector<const Entry*> out;
+  for (const auto& [key, stored] : stored_) {
+    if (!live(stored)) continue;
+    if (!compiled->select(*stored.doc).empty()) out.push_back(&stored.entry);
+  }
+  return out;
+}
+
+Result<const Entry*> XmlRegistry::find_service(std::string_view service_name) const {
+  const Entry* best = nullptr;
+  for (const auto& [key, stored] : stored_) {
+    if (!live(stored)) continue;
+    if (stored.entry.defs.find_service(service_name) == nullptr) continue;
+    if (best == nullptr || stored.entry.registered_at >= best->registered_at) {
+      best = &stored.entry;
+    }
+  }
+  if (best == nullptr) {
+    return err::not_found("registry: no service '" + std::string(service_name) + "'");
+  }
+  return best;
+}
+
+std::size_t XmlRegistry::expire() {
+  std::size_t dropped = 0;
+  for (auto it = stored_.begin(); it != stored_.end();) {
+    if (!live(it->second)) {
+      it = stored_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace h2::reg

@@ -1,0 +1,78 @@
+// The Harness II registry/lookup framework: stores WSDL documents and
+// answers queries "for specific nodes and values" of their XML form —
+// the paper's deployment plan item (1), verbatim. Designed for volatile
+// components: every registration can carry a lease, and expired leases
+// are purged, which is exactly what business registries like UDDI lacked
+// ("biased towards storing persistent information about long-lived
+// services rather than volatile information related to fluid components").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "wsdl/model.hpp"
+#include "xml/dom.hpp"
+
+namespace h2::reg {
+
+/// One stored registration.
+struct Entry {
+  std::string key;           ///< registration key (returned by register_service)
+  wsdl::Definitions defs;    ///< parsed document
+  Nanos registered_at = 0;
+  Nanos lease_expires = 0;   ///< 0 = permanent
+};
+
+class XmlRegistry {
+ public:
+  /// `clock` is borrowed and must outlive the registry (virtual time in
+  /// simulations, wall time otherwise).
+  explicit XmlRegistry(const Clock& clock);
+
+  /// Validates and stores a document. `lease` of 0 means permanent;
+  /// otherwise the entry expires `lease` ns from now. Returns the key.
+  Result<std::string> add(const wsdl::Definitions& defs, Nanos lease = 0);
+
+  /// Extends an existing lease by `extension` ns from *now*.
+  Status renew(std::string_view key, Nanos extension);
+
+  Status remove(std::string_view key);
+
+  /// All live (non-expired) entries.
+  std::vector<const Entry*> entries() const;
+  std::size_t size() const;
+
+  /// Entries whose WSDL XML matches `xpath` (at least one node selected).
+  /// This is the generic query the framework maps onto commercial
+  /// registries: e.g. "//binding/binding[@kind='xdr']" finds every
+  /// service reachable over the XDR binding.
+  Result<std::vector<const Entry*>> query(std::string_view xpath) const;
+
+  /// Convenience: entry whose <service name="..."> matches. Most recent
+  /// registration wins if several documents define the same service.
+  Result<const Entry*> find_service(std::string_view service_name) const;
+
+  /// Purges expired leases; returns how many were dropped.
+  std::size_t expire();
+
+ private:
+  struct Stored {
+    Entry entry;
+    std::unique_ptr<xml::Node> doc;  ///< cached XML for queries
+  };
+
+  bool live(const Stored& stored) const {
+    return stored.entry.lease_expires == 0 ||
+           stored.entry.lease_expires > clock_.now();
+  }
+
+  const Clock& clock_;
+  std::map<std::string, Stored, std::less<>> stored_;
+  std::uint64_t next_key_ = 1;
+};
+
+}  // namespace h2::reg

@@ -1,0 +1,222 @@
+#include "runner/runner_box.hpp"
+
+#include <deque>
+#include <map>
+
+namespace h2::runner {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+    case JobState::kKilled: return "killed";
+    case JobState::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+class RshBackend final : public ResourceBackend {
+ public:
+  explicit RshBackend(ResourceInfo info) : info_(std::move(info)) {}
+
+  const char* kind() const override { return "rsh"; }
+
+  Result<std::int64_t> run(const std::string& command) override {
+    if (command.empty()) return err::invalid_argument("rsh: empty command");
+    std::int64_t id = next_id_++;
+    jobs_[id] = JobState::kRunning;  // starts immediately, runs forever
+    return id;
+  }
+
+  Status terminate(std::int64_t job) override {
+    auto it = jobs_.find(job);
+    if (it == jobs_.end() || it->second != JobState::kRunning) {
+      return err::not_found("rsh: no running job " + std::to_string(job));
+    }
+    it->second = JobState::kKilled;
+    return Status::success();
+  }
+
+  JobState status(std::int64_t job) override {
+    auto it = jobs_.find(job);
+    return it == jobs_.end() ? JobState::kUnknown : it->second;
+  }
+
+  ResourceInfo info() const override { return info_; }
+
+  std::size_t running_count() override {
+    std::size_t n = 0;
+    for (const auto& [id, state] : jobs_) {
+      if (state == JobState::kRunning) ++n;
+    }
+    return n;
+  }
+
+ private:
+  ResourceInfo info_;
+  std::map<std::int64_t, JobState> jobs_;
+  std::int64_t next_id_ = 1;
+};
+
+class GridManagerBackend final : public ResourceBackend {
+ public:
+  GridManagerBackend(const Clock& clock, std::size_t slots, Nanos duration,
+                     ResourceInfo info)
+      : clock_(clock), slots_(slots == 0 ? 1 : slots), duration_(duration),
+        info_(std::move(info)) {}
+
+  const char* kind() const override { return "gridmgr"; }
+
+  Result<std::int64_t> run(const std::string& command) override {
+    if (command.empty()) return err::invalid_argument("gridmgr: empty command");
+    advance();
+    std::int64_t id = next_id_++;
+    jobs_[id] = Job{JobState::kQueued, 0};
+    queue_.push_back(id);
+    advance();  // may start immediately if a slot is free
+    return id;
+  }
+
+  Status terminate(std::int64_t job) override {
+    advance();
+    auto it = jobs_.find(job);
+    if (it == jobs_.end() ||
+        (it->second.state != JobState::kRunning && it->second.state != JobState::kQueued)) {
+      return err::not_found("gridmgr: no live job " + std::to_string(job));
+    }
+    it->second.state = JobState::kKilled;
+    return Status::success();
+  }
+
+  JobState status(std::int64_t job) override {
+    advance();
+    auto it = jobs_.find(job);
+    return it == jobs_.end() ? JobState::kUnknown : it->second.state;
+  }
+
+  ResourceInfo info() const override { return info_; }
+
+  std::size_t running_count() override {
+    advance();
+    std::size_t n = 0;
+    for (const auto& [id, j] : jobs_) {
+      if (j.state == JobState::kRunning) ++n;
+    }
+    return n;
+  }
+
+ private:
+  struct Job {
+    JobState state = JobState::kQueued;
+    Nanos started = 0;
+  };
+
+  /// Lazy scheduler: retire finished jobs, then promote queued jobs into
+  /// free slots. Called on every public entry point.
+  void advance() {
+    Nanos now = clock_.now();
+    std::size_t running = 0;
+    for (auto& [id, job] : jobs_) {
+      if (job.state == JobState::kRunning) {
+        if (now >= job.started + duration_) {
+          job.state = JobState::kFinished;
+        } else {
+          ++running;
+        }
+      }
+    }
+    while (running < slots_ && !queue_.empty()) {
+      std::int64_t id = queue_.front();
+      queue_.pop_front();
+      auto it = jobs_.find(id);
+      if (it == jobs_.end() || it->second.state != JobState::kQueued) continue;
+      it->second.state = JobState::kRunning;
+      it->second.started = now;
+      ++running;
+    }
+  }
+
+  const Clock& clock_;
+  std::size_t slots_;
+  Nanos duration_;
+  ResourceInfo info_;
+  std::map<std::int64_t, Job> jobs_;
+  std::deque<std::int64_t> queue_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<ResourceBackend> make_rsh_backend(ResourceInfo info) {
+  return std::make_unique<RshBackend>(std::move(info));
+}
+
+std::unique_ptr<ResourceBackend> make_grid_manager_backend(const Clock& clock,
+                                                           std::size_t slots,
+                                                           Nanos job_duration,
+                                                           ResourceInfo info) {
+  return std::make_unique<GridManagerBackend>(clock, slots, job_duration, std::move(info));
+}
+
+RunnerBox::RunnerBox(std::string name, std::unique_ptr<ResourceBackend> backend)
+    : name_(std::move(name)),
+      backend_(std::move(backend)),
+      mux_(std::make_shared<net::DispatcherMux>()) {
+  ResourceBackend* b = backend_.get();
+  mux_->add("run", [b](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("run(command)");
+    auto command = params[0].as_string();
+    if (!command.ok()) return command.error();
+    auto id = b->run(*command);
+    if (!id.ok()) return id.error();
+    return Value::of_int(*id, "return");
+  });
+  mux_->add("control", [b](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("control(id, action)");
+    auto id = params[0].as_int();
+    if (!id.ok()) return id.error();
+    auto action = params[1].as_string();
+    if (!action.ok()) return action.error();
+    if (*action != "kill") {
+      return err::unsupported("runner: unknown control action '" + *action + "'");
+    }
+    return Value::of_bool(b->terminate(*id).ok(), "return");
+  });
+  mux_->add("status", [b](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("status(id)");
+    auto id = params[0].as_int();
+    if (!id.ok()) return id.error();
+    return Value::of_string(to_string(b->status(*id)), "return");
+  });
+  mux_->add("info", [b, this](std::span<const Value>) -> Result<Value> {
+    return Value::of_string(name_ + ":" + b->kind() + ":" + b->info().describe(),
+                            "return");
+  });
+}
+
+wsdl::ServiceDescriptor RunnerBox::descriptor() {
+  wsdl::ServiceDescriptor d;
+  d.name = "RunnerBox";
+  d.operations.push_back({"run", {{"command", ValueKind::kString}}, ValueKind::kInt});
+  d.operations.push_back({"control",
+                          {{"id", ValueKind::kInt}, {"action", ValueKind::kString}},
+                          ValueKind::kBool});
+  d.operations.push_back({"status", {{"id", ValueKind::kInt}}, ValueKind::kString});
+  d.operations.push_back({"info", {}, ValueKind::kString});
+  return d;
+}
+
+Status RunnerBox::expose(net::SimNetwork& net, net::HostId host) {
+  if (server_.has_value()) return Status::success();
+  auto handle = net::serve_xdr(net, host, kRunnerPort, mux_);
+  if (!handle.ok()) return handle.error().context("runner box " + name_);
+  server_.emplace(std::move(*handle));
+  return Status::success();
+}
+
+void RunnerBox::unexpose() { server_.reset(); }
+
+}  // namespace h2::runner

@@ -1,0 +1,96 @@
+// The runner box: the paper's Resource Abstraction Layer (Fig 6, bottom).
+// "The runner box defines only the limited functionality required by the
+// Harness system to enroll a computational resource. The functionality ...
+// is minimized so that existing incompatible implementations of
+// computational resources (e.g. rsh daemon, grid resource managers etc.)
+// could be modeled as a single runner box Web Service."
+//
+// Accordingly: the RunnerBox API is run / control / status / info and
+// nothing more, and two deliberately *incompatible* backends live behind
+// it — an rsh-like daemon (immediate start, runs until killed) and a grid
+// manager (slot-limited queue, bounded job durations). Callers cannot
+// tell which one they got except through timing behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "transport/rpc.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "wsdl/descriptor.hpp"
+
+namespace h2::runner {
+
+/// Well-known port for exposed runner box services.
+inline constexpr std::uint16_t kRunnerPort = 7300;
+
+/// Static description of the underlying computational resource.
+struct ResourceInfo {
+  std::string arch = "x86_64";
+  std::string os = "linux";
+  int cpus = 1;
+
+  std::string describe() const {
+    return arch + "/" + os + "/" + std::to_string(cpus) + "cpu";
+  }
+};
+
+/// Job states reported by status().
+enum class JobState { kQueued, kRunning, kFinished, kKilled, kUnknown };
+const char* to_string(JobState state);
+
+/// One of the "existing incompatible implementations" the runner box
+/// papers over.
+class ResourceBackend {
+ public:
+  virtual ~ResourceBackend() = default;
+  virtual const char* kind() const = 0;
+
+  /// Submits a command; returns a job id.
+  virtual Result<std::int64_t> run(const std::string& command) = 0;
+  /// Kills a queued or running job.
+  virtual Status terminate(std::int64_t job) = 0;
+  virtual JobState status(std::int64_t job) = 0;
+  virtual ResourceInfo info() const = 0;
+  /// Number of currently running jobs.
+  virtual std::size_t running_count() = 0;
+};
+
+/// rsh-daemon-like: every run() starts immediately and runs until killed.
+std::unique_ptr<ResourceBackend> make_rsh_backend(ResourceInfo info = {});
+
+/// Grid-resource-manager-like: at most `slots` jobs run concurrently, each
+/// finishing after `job_duration` of (virtual) time; excess submissions
+/// queue. `clock` must outlive the backend.
+std::unique_ptr<ResourceBackend> make_grid_manager_backend(
+    const Clock& clock, std::size_t slots, Nanos job_duration, ResourceInfo info = {});
+
+/// The runner box service: the uniform minimal surface over any backend.
+/// Operations: run(command) -> id, control(id, action) -> bool (actions:
+/// "kill"), status(id) -> string, info() -> string.
+class RunnerBox {
+ public:
+  RunnerBox(std::string name, std::unique_ptr<ResourceBackend> backend);
+
+  const std::string& name() const { return name_; }
+  ResourceBackend& backend() { return *backend_; }
+  net::Dispatcher& dispatcher() { return *mux_; }
+
+  /// The abstract interface, for WSDL generation.
+  static wsdl::ServiceDescriptor descriptor();
+
+  /// Exposes the service over the XDR binding at (host, kRunnerPort).
+  Status expose(net::SimNetwork& net, net::HostId host);
+  void unexpose();
+
+ private:
+  std::string name_;
+  std::unique_ptr<ResourceBackend> backend_;
+  std::shared_ptr<net::DispatcherMux> mux_;
+  std::optional<net::ServerHandle> server_;
+};
+
+}  // namespace h2::runner

@@ -1,0 +1,293 @@
+#include "soap/envelope.hpp"
+
+#include "encoding/base64.hpp"
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace h2::soap {
+
+namespace {
+
+/// Builds the envelope skeleton and returns the Body element.
+xml::Node* make_skeleton(std::unique_ptr<xml::Node>& envelope) {
+  envelope = xml::Node::element("SOAP-ENV:Envelope");
+  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
+  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
+  envelope->set_attr("xmlns:xsd", kXsdNs);
+  envelope->set_attr("xmlns:xsi", kXsiNs);
+  return envelope->add_element("SOAP-ENV:Body");
+}
+
+void append_value(xml::Node& parent, const Value& value, std::string element_name) {
+  parent.add_child(value_to_xml(value, std::move(element_name)));
+}
+
+/// Finds the Body element of a parsed envelope, verifying namespaces.
+Result<const xml::Node*> find_body(const xml::Node& root) {
+  if (root.local_name() != "Envelope") {
+    return err::parse("soap: root element is <" + std::string(root.name()) +
+                      ">, expected Envelope");
+  }
+  auto ns = root.namespace_uri();
+  if (!ns || *ns != kEnvelopeNs) {
+    return err::parse("soap: Envelope not in SOAP 1.1 namespace");
+  }
+  const xml::Node* body = root.first_child("Body");
+  if (!body) return err::parse("soap: missing Body");
+  return body;
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Node> value_to_xml(const Value& value, std::string element_name) {
+  auto el = xml::Node::element(std::move(element_name));
+  switch (value.kind()) {
+    case ValueKind::kVoid:
+      el->set_attr("xsi:nil", "true");
+      break;
+    case ValueKind::kBool:
+      el->set_attr("xsi:type", "xsd:boolean");
+      el->add_text(value.as_bool().value() ? "true" : "false");
+      break;
+    case ValueKind::kInt:
+      el->set_attr("xsi:type", "xsd:long");
+      el->add_text(std::to_string(value.as_int().value()));
+      break;
+    case ValueKind::kDouble:
+      el->set_attr("xsi:type", "xsd:double");
+      el->add_text(str::format_double(value.as_double().value()));
+      break;
+    case ValueKind::kString:
+      el->set_attr("xsi:type", "xsd:string");
+      el->add_text(value.as_string().value());
+      break;
+    case ValueKind::kDoubleArray: {
+      auto items = value.doubles_view();
+      el->set_attr("xsi:type", "SOAP-ENC:Array");
+      el->set_attr("SOAP-ENC:arrayType",
+                   "xsd:double[" + std::to_string(items.size()) + "]");
+      for (double v : items) {
+        el->add_element_with_text("item", str::format_double(v));
+      }
+      break;
+    }
+    case ValueKind::kBytes:
+      el->set_attr("xsi:type", "xsd:base64Binary");
+      el->add_text(enc::base64_encode(value.bytes_view()));
+      break;
+  }
+  return el;
+}
+
+Result<Value> xml_to_value(const xml::Node& element) {
+  std::string name(element.local_name());
+  std::string type = element.attr_or("xsi:type", "");
+  // Normalize "prefix:local" -> local, since prefixes vary by producer.
+  if (auto colon = type.find(':'); colon != std::string::npos) {
+    type = type.substr(colon + 1);
+  }
+
+  if (element.attr("xsi:nil")) return Value::of_void(name);
+
+  if (type == "Array" || element.attr("SOAP-ENC:arrayType")) {
+    std::vector<double> values;
+    for (const xml::Node* item : element.children_named("item")) {
+      auto v = str::parse_double(str::trim(item->inner_text()));
+      if (!v.ok()) return v.error().context("soap array item in <" + name + ">");
+      values.push_back(*v);
+    }
+    return Value::of_doubles(std::move(values), name);
+  }
+  if (type == "base64Binary") {
+    auto bytes = enc::base64_decode(str::trim(element.inner_text()));
+    if (!bytes.ok()) return bytes.error().context("soap base64 in <" + name + ">");
+    return Value::of_bytes(std::move(*bytes), name);
+  }
+  if (type == "boolean") {
+    auto text = str::trim(element.inner_text());
+    if (text == "true" || text == "1") return Value::of_bool(true, name);
+    if (text == "false" || text == "0") return Value::of_bool(false, name);
+    return err::parse("soap: bad boolean '" + std::string(text) + "'");
+  }
+  if (type == "long" || type == "int" || type == "integer" || type == "short") {
+    auto v = str::parse_i64(str::trim(element.inner_text()));
+    if (!v.ok()) return v.error().context("soap integer in <" + name + ">");
+    return Value::of_int(*v, name);
+  }
+  if (type == "double" || type == "float" || type == "decimal") {
+    auto v = str::parse_double(str::trim(element.inner_text()));
+    if (!v.ok()) return v.error().context("soap double in <" + name + ">");
+    return Value::of_double(*v, name);
+  }
+  if (type == "string" || type.empty()) {
+    // Untyped simple content defaults to string (common SOAP practice).
+    return Value::of_string(element.inner_text(), name);
+  }
+  return err::unsupported("soap: unsupported xsi:type '" + type + "'");
+}
+
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params) {
+  return build_request(operation, service_ns, params, {});
+}
+
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params,
+                          std::span<const HeaderEntry> headers) {
+  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
+  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
+  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
+  envelope->set_attr("xmlns:xsd", kXsdNs);
+  envelope->set_attr("xmlns:xsi", kXsiNs);
+  if (!headers.empty()) {
+    // SOAP 1.1 §4.2: the Header element precedes the Body.
+    xml::Node* header = envelope->add_element("SOAP-ENV:Header");
+    int hdr_index = 0;
+    for (const HeaderEntry& entry : headers) {
+      std::string prefix = "h" + std::to_string(hdr_index++);
+      xml::Node* el = header->add_element(prefix + ":" + entry.name);
+      el->set_attr("xmlns:" + prefix, entry.ns);
+      if (entry.must_understand) el->set_attr("SOAP-ENV:mustUnderstand", "1");
+      if (!entry.actor.empty()) el->set_attr("SOAP-ENV:actor", entry.actor);
+      el->add_text(entry.value);
+    }
+  }
+  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
+  xml::Node* call = body->add_element("m:" + std::string(operation));
+  call->set_attr("xmlns:m", std::string(service_ns));
+  int position = 0;
+  for (const Value& p : params) {
+    std::string pname = p.name().empty() ? "arg" + std::to_string(position) : p.name();
+    append_value(*call, p, pname);
+    ++position;
+  }
+  return xml::write(*envelope);
+}
+
+std::string build_response(std::string_view operation, std::string_view service_ns,
+                           const Value& result) {
+  std::unique_ptr<xml::Node> envelope;
+  xml::Node* body = make_skeleton(envelope);
+  xml::Node* response = body->add_element("m:" + std::string(operation) + "Response");
+  response->set_attr("xmlns:m", std::string(service_ns));
+  append_value(*response, result, "return");
+  return xml::write(*envelope);
+}
+
+std::string build_fault(const Fault& fault) {
+  std::unique_ptr<xml::Node> envelope;
+  xml::Node* body = make_skeleton(envelope);
+  xml::Node* f = body->add_element("SOAP-ENV:Fault");
+  f->add_element_with_text("faultcode", "SOAP-ENV:" + fault.code);
+  f->add_element_with_text("faultstring", fault.message);
+  if (!fault.detail.empty()) {
+    f->add_element_with_text("detail", fault.detail);
+  }
+  return xml::write(*envelope);
+}
+
+namespace {
+
+/// Looks up an envelope-namespace attribute ("mustUnderstand"/"actor") on
+/// a header entry, regardless of the producer's prefix choice.
+std::optional<std::string> env_attr(const xml::Node& el, std::string_view local) {
+  for (const auto& attr : el.attributes()) {
+    auto colon = attr.name.find(':');
+    std::string_view attr_local =
+        colon == std::string::npos ? std::string_view(attr.name)
+                                   : std::string_view(attr.name).substr(colon + 1);
+    if (attr_local != local) continue;
+    std::string_view prefix =
+        colon == std::string::npos ? std::string_view{}
+                                   : std::string_view(attr.name).substr(0, colon);
+    auto ns = el.resolve_namespace(prefix);
+    if (ns && *ns == kEnvelopeNs) return attr.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<HeaderEntry> parse_headers(const xml::Node& root) {
+  std::vector<HeaderEntry> out;
+  const xml::Node* header = root.first_child("Header");
+  if (header == nullptr) return out;
+  for (const xml::Node* el : header->element_children()) {
+    HeaderEntry entry;
+    entry.name = std::string(el->local_name());
+    if (auto ns = el->namespace_uri()) entry.ns = std::string(*ns);
+    entry.value = el->inner_text();
+    if (auto mu = env_attr(*el, "mustUnderstand")) {
+      entry.must_understand = (*mu == "1" || *mu == "true");
+    }
+    if (auto actor = env_attr(*el, "actor")) entry.actor = *actor;
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RpcCall> parse_request(std::string_view envelope_xml) {
+  auto root = xml::parse_element(envelope_xml);
+  if (!root.ok()) return root.error().context("soap request");
+  auto body = find_body(**root);
+  if (!body.ok()) return body.error();
+
+  auto children = (*body)->element_children();
+  if (children.size() != 1) {
+    return err::parse("soap: request Body must contain exactly one operation element");
+  }
+  const xml::Node* call = children.front();
+  RpcCall out;
+  out.headers = parse_headers(**root);
+  out.operation = std::string(call->local_name());
+  if (auto ns = call->namespace_uri()) out.service_ns = std::string(*ns);
+  for (const xml::Node* param : call->element_children()) {
+    auto v = xml_to_value(*param);
+    if (!v.ok()) return v.error().context("parameter of " + out.operation);
+    out.params.push_back(std::move(*v));
+  }
+  return out;
+}
+
+Result<RpcReply> parse_reply(std::string_view envelope_xml) {
+  auto root = xml::parse_element(envelope_xml);
+  if (!root.ok()) return root.error().context("soap reply");
+  auto body = find_body(**root);
+  if (!body.ok()) return body.error();
+
+  auto children = (*body)->element_children();
+  if (children.size() != 1) {
+    return err::parse("soap: reply Body must contain exactly one element");
+  }
+  const xml::Node* payload = children.front();
+
+  if (payload->local_name() == "Fault") {
+    Fault fault;
+    if (const xml::Node* c = payload->first_child("faultcode")) {
+      std::string code = c->inner_text();
+      if (auto colon = code.find(':'); colon != std::string::npos) {
+        code = code.substr(colon + 1);
+      }
+      fault.code = code;
+    }
+    if (const xml::Node* s = payload->first_child("faultstring")) {
+      fault.message = s->inner_text();
+    }
+    if (const xml::Node* d = payload->first_child("detail")) {
+      fault.detail = d->inner_text();
+    }
+    return RpcReply{std::move(fault)};
+  }
+
+  auto returns = payload->element_children();
+  if (returns.empty()) {
+    // Void response: <opResponse/> with no return element.
+    return RpcReply{Value::of_void("return")};
+  }
+  auto v = xml_to_value(*returns.front());
+  if (!v.ok()) return v.error().context("soap return value");
+  return RpcReply{std::move(*v)};
+}
+
+}  // namespace h2::soap

@@ -1,0 +1,102 @@
+// SOAP 1.1 envelopes: RPC-style requests/responses and faults, built from
+// and parsed into the cross-binding h2::Value model. The XML produced here
+// is genuine SOAP 1.1 (Envelope/Body, SOAP-ENC arrays, xsi types); the
+// parser accepts anything this builder emits plus reasonable variations
+// (prefix choice, attribute order, whitespace).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "encoding/value.hpp"
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+
+namespace h2::soap {
+
+// Standard namespace URIs.
+inline constexpr const char* kEnvelopeNs = "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr const char* kEncodingNs = "http://schemas.xmlsoap.org/soap/encoding/";
+inline constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema";
+inline constexpr const char* kXsiNs = "http://www.w3.org/2001/XMLSchema-instance";
+
+/// SOAP 1.1 fault. `code` is the qualified fault code local part
+/// ("Client", "Server", "VersionMismatch", "MustUnderstand").
+struct Fault {
+  std::string code;
+  std::string message;  // <faultstring>
+  std::string detail;   // flattened <detail> text, optional
+
+  std::string describe() const { return code + ": " + message; }
+};
+
+/// One SOAP Header entry. `must_understand` maps to soap:mustUnderstand;
+/// a receiver that does not recognize such a header MUST fault with
+/// MustUnderstand (SOAP 1.1 §4.2.3) — enforced by SoapHttpServer.
+struct HeaderEntry {
+  std::string name;             ///< element local name ("TransactionId")
+  std::string ns;               ///< header namespace URI
+  std::string value;            ///< text content
+  bool must_understand = false;
+  std::string actor;            ///< optional SOAP-ENV:actor URI
+
+  bool operator==(const HeaderEntry&) const = default;
+};
+
+/// A decoded RPC request: the operation element's local name, its
+/// namespace URI, header entries, and the child parameters in order.
+struct RpcCall {
+  std::string operation;
+  std::string service_ns;
+  std::vector<HeaderEntry> headers;
+  std::vector<Value> params;
+};
+
+/// A decoded RPC reply: either the (single) return value or a fault.
+struct RpcReply {
+  std::variant<Value, Fault> payload;
+
+  bool is_fault() const { return std::holds_alternative<Fault>(payload); }
+  const Fault& fault() const { return std::get<Fault>(payload); }
+  const Value& value() const { return std::get<Value>(payload); }
+};
+
+// ---- building -----------------------------------------------------------------
+
+/// Serializes an RPC request envelope. `operation` becomes the body child
+/// element in namespace `service_ns`; params become its children.
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params);
+
+/// As above, with SOAP Header entries.
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params,
+                          std::span<const HeaderEntry> headers);
+
+/// Serializes an RPC response envelope (`<opResponse><return .../></op…>`).
+std::string build_response(std::string_view operation, std::string_view service_ns,
+                           const Value& result);
+
+/// Serializes a fault envelope.
+std::string build_fault(const Fault& fault);
+
+/// Converts one Value into its SOAP XML element (exposed for WSDL tooling
+/// and tests). `element_name` is used as the tag.
+std::unique_ptr<xml::Node> value_to_xml(const Value& value, std::string element_name);
+
+// ---- parsing -------------------------------------------------------------------
+
+/// Parses a request envelope into an RpcCall.
+Result<RpcCall> parse_request(std::string_view envelope_xml);
+
+/// Parses a response envelope into an RpcReply (result or fault).
+Result<RpcReply> parse_reply(std::string_view envelope_xml);
+
+/// Converts a SOAP parameter element back into a Value (type chosen from
+/// xsi:type, falling back to shape inference for untyped elements).
+Result<Value> xml_to_value(const xml::Node& element);
+
+}  // namespace h2::soap

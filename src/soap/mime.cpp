@@ -1,0 +1,286 @@
+#include "soap/mime.hpp"
+
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace h2::soap {
+
+namespace {
+
+constexpr const char* kBoundary = "h2-mime-boundary-7f3a91";
+
+/// True for kinds that travel as binary attachments.
+bool is_bulk(ValueKind kind) {
+  return kind == ValueKind::kDoubleArray || kind == ValueKind::kBytes;
+}
+
+/// Serializes a bulk value's raw attachment bytes.
+std::vector<std::uint8_t> bulk_bytes(const Value& value) {
+  if (value.kind() == ValueKind::kBytes) {
+    auto view = value.bytes_view();
+    return {view.begin(), view.end()};
+  }
+  ByteBuffer buffer;
+  for (double v : value.doubles_view()) buffer.write_f64_le(v);
+  return {buffer.bytes().begin(), buffer.bytes().end()};
+}
+
+struct Attachment {
+  std::string cid;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Converts a value into its envelope element, exporting bulk payloads
+/// into `attachments`.
+std::unique_ptr<xml::Node> value_to_part(const Value& value, std::string element_name,
+                                         std::vector<Attachment>& attachments) {
+  if (!is_bulk(value.kind())) {
+    return value_to_xml(value, std::move(element_name));
+  }
+  auto el = xml::Node::element(std::move(element_name));
+  std::string cid = "part" + std::to_string(attachments.size() + 1);
+  el->set_attr("href", "cid:" + cid);
+  el->set_attr("xsi:type", value.kind() == ValueKind::kDoubleArray
+                               ? "xsd:double[]"
+                               : "xsd:base64Binary");
+  attachments.push_back({std::move(cid), bulk_bytes(value)});
+  return el;
+}
+
+/// Assembles the multipart body from the envelope and attachments.
+MultipartMessage assemble(const std::string& envelope,
+                          const std::vector<Attachment>& attachments) {
+  MultipartMessage out;
+  out.content_type = std::string("multipart/related; type=\"text/xml\"; boundary=\"") +
+                     kBoundary + "\"";
+  std::string body;
+  body.reserve(envelope.size() + 256);
+  body += "--";
+  body += kBoundary;
+  body += "\r\nContent-Type: text/xml; charset=utf-8\r\nContent-ID: <root>\r\n\r\n";
+  body += envelope;
+  for (const Attachment& attachment : attachments) {
+    body += "\r\n--";
+    body += kBoundary;
+    body += "\r\nContent-Type: application/octet-stream\r\nContent-ID: <" +
+            attachment.cid + ">\r\n\r\n";
+    body.append(reinterpret_cast<const char*>(attachment.bytes.data()),
+                attachment.bytes.size());
+  }
+  body += "\r\n--";
+  body += kBoundary;
+  body += "--\r\n";
+  out.body = ByteBuffer(body);
+  return out;
+}
+
+/// Extracts the boundary parameter from a Content-Type value.
+Result<std::string> boundary_of(std::string_view content_type) {
+  auto pos = content_type.find("boundary=");
+  if (pos == std::string_view::npos) {
+    return err::parse("mime: Content-Type has no boundary parameter");
+  }
+  std::string_view rest = content_type.substr(pos + 9);
+  if (!rest.empty() && rest.front() == '"') {
+    auto close = rest.find('"', 1);
+    if (close == std::string_view::npos) return err::parse("mime: unterminated boundary");
+    return std::string(rest.substr(1, close - 1));
+  }
+  auto end = rest.find(';');
+  return std::string(str::trim(end == std::string_view::npos ? rest : rest.substr(0, end)));
+}
+
+struct Part {
+  std::string content_id;  // without <>
+  std::string content_type;
+  std::string_view body;
+};
+
+/// Splits a multipart/related body into parts.
+Result<std::vector<Part>> split_parts(std::string_view boundary,
+                                      std::span<const std::uint8_t> raw) {
+  std::string_view text(reinterpret_cast<const char*>(raw.data()), raw.size());
+  std::string open = "--" + std::string(boundary);
+  std::vector<Part> parts;
+
+  std::size_t pos = text.find(open);
+  if (pos == std::string_view::npos) return err::parse("mime: no opening boundary");
+  while (true) {
+    pos += open.size();
+    if (text.substr(pos, 2) == "--") return parts;  // closing boundary
+    if (text.substr(pos, 2) != "\r\n") return err::parse("mime: malformed boundary line");
+    pos += 2;
+    auto header_end = text.find("\r\n\r\n", pos);
+    if (header_end == std::string_view::npos) {
+      return err::parse("mime: part without header terminator");
+    }
+    Part part;
+    for (const auto& line : str::split(std::string(text.substr(pos, header_end - pos)), '\n')) {
+      auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string name = str::to_lower(str::trim(std::string_view(line).substr(0, colon)));
+      std::string value(str::trim(std::string_view(line).substr(colon + 1)));
+      if (name == "content-id") {
+        if (value.size() >= 2 && value.front() == '<' && value.back() == '>') {
+          value = value.substr(1, value.size() - 2);
+        }
+        part.content_id = value;
+      } else if (name == "content-type") {
+        part.content_type = value;
+      }
+    }
+    std::size_t body_start = header_end + 4;
+    auto next = text.find("\r\n" + open, body_start);
+    if (next == std::string_view::npos) return err::parse("mime: missing next boundary");
+    part.body = text.substr(body_start, next - body_start);
+    parts.push_back(std::move(part));
+    pos = next + 2;
+  }
+}
+
+const Part* find_part(const std::vector<Part>& parts, std::string_view cid) {
+  for (const Part& part : parts) {
+    if (part.content_id == cid) return &part;
+  }
+  return nullptr;
+}
+
+/// Rebuilds a value from an envelope element, resolving href attachments.
+Result<Value> part_to_value(const xml::Node& element, const std::vector<Part>& parts) {
+  auto href = element.attr("href");
+  if (!href) return xml_to_value(element);
+  if (!str::starts_with(*href, "cid:")) {
+    return err::parse("mime: unsupported href '" + std::string(*href) + "'");
+  }
+  const Part* part = find_part(parts, href->substr(4));
+  if (part == nullptr) {
+    return err::parse("mime: dangling attachment reference " + std::string(*href));
+  }
+  std::string name(element.local_name());
+  std::string type = element.attr_or("xsi:type", "xsd:base64Binary");
+  if (type == "xsd:double[]") {
+    if (part->body.size() % 8 != 0) {
+      return err::parse("mime: double[] attachment not a multiple of 8 bytes");
+    }
+    ByteBuffer buffer(part->body);
+    std::vector<double> values;
+    values.reserve(part->body.size() / 8);
+    while (buffer.remaining() > 0) {
+      auto v = buffer.read_f64_le();
+      if (!v.ok()) return v.error();
+      values.push_back(*v);
+    }
+    return Value::of_doubles(std::move(values), name);
+  }
+  return Value::of_bytes(std::vector<std::uint8_t>(part->body.begin(), part->body.end()),
+                         name);
+}
+
+/// Finds the root (envelope) part and the attachment list.
+Result<std::pair<std::string_view, std::vector<Part>>> open_message(
+    std::string_view content_type, std::span<const std::uint8_t> body) {
+  auto boundary = boundary_of(content_type);
+  if (!boundary.ok()) return boundary.error();
+  auto parts = split_parts(*boundary, body);
+  if (!parts.ok()) return parts.error();
+  if (parts->empty()) return err::parse("mime: no parts");
+  // SOAP-with-Attachments: the root part comes first (or is named <root>).
+  const Part* root = find_part(*parts, "root");
+  if (root == nullptr) root = &parts->front();
+  return std::make_pair(root->body, std::move(*parts));
+}
+
+}  // namespace
+
+MultipartMessage build_mime_request(std::string_view operation,
+                                    std::string_view service_ns,
+                                    std::span<const Value> params) {
+  std::vector<Attachment> attachments;
+  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
+  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
+  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
+  envelope->set_attr("xmlns:xsd", kXsdNs);
+  envelope->set_attr("xmlns:xsi", kXsiNs);
+  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
+  xml::Node* call = body->add_element("m:" + std::string(operation));
+  call->set_attr("xmlns:m", std::string(service_ns));
+  int position = 0;
+  for (const Value& p : params) {
+    std::string name = p.name().empty() ? "arg" + std::to_string(position) : p.name();
+    call->add_child(value_to_part(p, std::move(name), attachments));
+    ++position;
+  }
+  return assemble(xml::write(*envelope), attachments);
+}
+
+MultipartMessage build_mime_response(std::string_view operation,
+                                     std::string_view service_ns, const Value& result) {
+  std::vector<Attachment> attachments;
+  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
+  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
+  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
+  envelope->set_attr("xmlns:xsd", kXsdNs);
+  envelope->set_attr("xmlns:xsi", kXsiNs);
+  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
+  xml::Node* response = body->add_element("m:" + std::string(operation) + "Response");
+  response->set_attr("xmlns:m", std::string(service_ns));
+  response->add_child(value_to_part(result, "return", attachments));
+  return assemble(xml::write(*envelope), attachments);
+}
+
+MultipartMessage build_mime_fault(const Fault& fault) {
+  return assemble(build_fault(fault), {});
+}
+
+Result<RpcCall> parse_mime_request(std::string_view content_type,
+                                   std::span<const std::uint8_t> body) {
+  auto message = open_message(content_type, body);
+  if (!message.ok()) return message.error();
+  const auto& [envelope_text, parts] = *message;
+
+  auto root = xml::parse_element(envelope_text);
+  if (!root.ok()) return root.error().context("mime envelope");
+  const xml::Node* body_el = (*root)->first_child("Body");
+  if (body_el == nullptr) return err::parse("mime: envelope has no Body");
+  auto children = body_el->element_children();
+  if (children.size() != 1) return err::parse("mime: Body must hold one operation");
+  const xml::Node* call = children.front();
+
+  RpcCall out;
+  out.operation = std::string(call->local_name());
+  if (auto ns = call->namespace_uri()) out.service_ns = std::string(*ns);
+  for (const xml::Node* param : call->element_children()) {
+    auto value = part_to_value(*param, parts);
+    if (!value.ok()) return value.error().context("mime param");
+    out.params.push_back(std::move(*value));
+  }
+  return out;
+}
+
+Result<RpcReply> parse_mime_reply(std::string_view content_type,
+                                  std::span<const std::uint8_t> body) {
+  auto message = open_message(content_type, body);
+  if (!message.ok()) return message.error();
+  const auto& [envelope_text, parts] = *message;
+
+  auto root = xml::parse_element(envelope_text);
+  if (!root.ok()) return root.error().context("mime envelope");
+  const xml::Node* body_el = (*root)->first_child("Body");
+  if (body_el == nullptr) return err::parse("mime: envelope has no Body");
+  auto children = body_el->element_children();
+  if (children.size() != 1) return err::parse("mime: Body must hold one element");
+  const xml::Node* payload = children.front();
+
+  if (payload->local_name() == "Fault") {
+    // Delegate fault decoding to the plain-envelope parser.
+    return parse_reply(envelope_text);
+  }
+  auto returns = payload->element_children();
+  if (returns.empty()) return RpcReply{Value::of_void("return")};
+  auto value = part_to_value(*returns.front(), parts);
+  if (!value.ok()) return value.error().context("mime return");
+  return RpcReply{std::move(*value)};
+}
+
+}  // namespace h2::soap

@@ -1,0 +1,48 @@
+#include "transport/endpoint.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2::net {
+
+Result<Endpoint> Endpoint::parse(std::string_view uri) {
+  auto scheme_end = uri.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return err::parse("endpoint: missing scheme in '" + std::string(uri) + "'");
+  }
+  Endpoint out;
+  out.scheme = str::to_lower(uri.substr(0, scheme_end));
+  std::string_view rest = uri.substr(scheme_end + 3);
+  if (rest.empty()) return err::parse("endpoint: missing host in '" + std::string(uri) + "'");
+
+  auto path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (path_start != std::string_view::npos) {
+    out.path = std::string(rest.substr(path_start + 1));
+  }
+
+  auto colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    out.host = std::string(authority);
+  } else {
+    out.host = std::string(authority.substr(0, colon));
+    auto port = str::parse_u64(authority.substr(colon + 1));
+    if (!port.ok() || *port > 65535) {
+      return err::parse("endpoint: bad port in '" + std::string(uri) + "'");
+    }
+    out.port = static_cast<std::uint16_t>(*port);
+  }
+  if (out.host.empty()) {
+    return err::parse("endpoint: empty host in '" + std::string(uri) + "'");
+  }
+  return out;
+}
+
+std::string Endpoint::to_uri() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) out += ":" + std::to_string(port);
+  if (!path.empty()) out += "/" + path;
+  return out;
+}
+
+}  // namespace h2::net

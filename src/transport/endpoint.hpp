@@ -1,0 +1,31 @@
+// Endpoint URIs. Every WSDL port address in Harness II is one of:
+//   http://<host>:<port>/<path>      SOAP or raw HTTP binding
+//   xdr://<host>:<port>              direct socket-level XDR binding
+//   local://<container>              same-container type-level binding
+//   localobject://<container>/<id>   same-container instance binding
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace h2::net {
+
+struct Endpoint {
+  std::string scheme;  ///< "http", "xdr", "local", "localobject"
+  std::string host;    ///< sim host / container name
+  std::uint16_t port = 0;
+  std::string path;    ///< leading '/' stripped; instance id for localobject
+
+  /// Parses "scheme://host[:port][/path]".
+  static Result<Endpoint> parse(std::string_view uri);
+
+  /// Canonical URI form (inverse of parse()).
+  std::string to_uri() const;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+}  // namespace h2::net

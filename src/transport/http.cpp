@@ -1,0 +1,176 @@
+#include "transport/http.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2::net::http {
+
+namespace {
+
+/// Splits raw bytes into (head lines, body) at the first CRLFCRLF and
+/// validates Content-Length framing.
+struct RawMessage {
+  std::vector<std::string> lines;  // start line + header lines
+  std::string body;
+};
+
+Result<RawMessage> split_message(std::span<const std::uint8_t> bytes) {
+  std::string_view text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  auto head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    return err::parse("http: missing header terminator");
+  }
+  RawMessage out;
+  std::string_view head = text.substr(0, head_end);
+  std::size_t start = 0;
+  while (start <= head.size()) {
+    auto eol = head.find("\r\n", start);
+    std::string_view line =
+        eol == std::string_view::npos ? head.substr(start) : head.substr(start, eol - start);
+    out.lines.emplace_back(line);
+    if (eol == std::string_view::npos) break;
+    start = eol + 2;
+  }
+  if (out.lines.empty() || out.lines[0].empty()) {
+    return err::parse("http: empty start line");
+  }
+  out.body = std::string(text.substr(head_end + 4));
+  return out;
+}
+
+Result<Headers> parse_headers(const std::vector<std::string>& lines,
+                              const std::string& body) {
+  Headers headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto colon = lines[i].find(':');
+    if (colon == std::string::npos) {
+      return err::parse("http: malformed header line '" + lines[i] + "'");
+    }
+    std::string name(str::trim(std::string_view(lines[i]).substr(0, colon)));
+    std::string value(str::trim(std::string_view(lines[i]).substr(colon + 1)));
+    if (name.empty()) return err::parse("http: empty header name");
+    headers.set(std::move(name), std::move(value));
+  }
+  if (auto cl = headers.get("content-length")) {
+    auto n = str::parse_u64(*cl);
+    if (!n.ok()) return err::parse("http: bad Content-Length");
+    if (*n != body.size()) {
+      return err::parse("http: Content-Length " + std::string(*cl) + " != body size " +
+                        std::to_string(body.size()));
+    }
+  } else if (!body.empty()) {
+    return err::parse("http: body present without Content-Length");
+  }
+  return headers;
+}
+
+}  // namespace
+
+void Headers::set(std::string name, std::string value) {
+  entries_[str::to_lower(name)] = std::move(value);
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  auto it = entries_.find(str::to_lower(name));
+  if (it == entries_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+std::string Headers::get_or(std::string_view name, std::string_view fallback) const {
+  auto v = get(name);
+  return std::string(v ? *v : fallback);
+}
+
+ByteBuffer Request::serialize(std::string_view host) const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += method;
+  out += ' ';
+  out += target.empty() ? "/" : target;
+  out += " HTTP/1.1\r\nHost: ";
+  out += host;
+  out += "\r\n";
+  for (const auto& [name, value] : headers.entries()) {
+    if (name == "host" || name == "content-length") continue;
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return ByteBuffer(out);
+}
+
+ByteBuffer Response::serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  for (const auto& [name, value] : headers.entries()) {
+    if (name == "content-length") continue;
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return ByteBuffer(out);
+}
+
+Result<Request> parse_request(std::span<const std::uint8_t> bytes) {
+  auto raw = split_message(bytes);
+  if (!raw.ok()) return raw.error();
+  auto fields = str::split_nonempty(raw->lines[0], ' ');
+  if (fields.size() != 3) {
+    return err::parse("http: malformed request line '" + raw->lines[0] + "'");
+  }
+  if (fields[2] != "HTTP/1.1" && fields[2] != "HTTP/1.0") {
+    return err::parse("http: unsupported version '" + fields[2] + "'");
+  }
+  Request out;
+  out.method = fields[0];
+  out.target = fields[1];
+  auto headers = parse_headers(raw->lines, raw->body);
+  if (!headers.ok()) return headers.error();
+  out.headers = std::move(*headers);
+  out.body = std::move(raw->body);
+  return out;
+}
+
+Result<Response> parse_response(std::span<const std::uint8_t> bytes) {
+  auto raw = split_message(bytes);
+  if (!raw.ok()) return raw.error();
+  const std::string& line = raw->lines[0];
+  if (!str::starts_with(line, "HTTP/1.")) {
+    return err::parse("http: malformed status line '" + line + "'");
+  }
+  auto fields = str::split(line, ' ');
+  if (fields.size() < 2) return err::parse("http: malformed status line");
+  auto status = str::parse_i64(fields[1]);
+  if (!status.ok() || *status < 100 || *status > 599) {
+    return err::parse("http: bad status code in '" + line + "'");
+  }
+  Response out;
+  out.status = static_cast<int>(*status);
+  std::vector<std::string> reason_parts(fields.begin() + 2, fields.end());
+  out.reason = str::join(reason_parts, " ");
+  auto headers = parse_headers(raw->lines, raw->body);
+  if (!headers.ok()) return headers.error();
+  out.headers = std::move(*headers);
+  out.body = std::move(raw->body);
+  return out;
+}
+
+std::string_view reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace h2::net::http

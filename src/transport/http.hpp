@@ -1,0 +1,60 @@
+// Minimal but genuine HTTP/1.1 messages: request/response structs,
+// byte-exact serialization, and a strict parser (request line / status
+// line, case-insensitive headers, Content-Length framing). This is the
+// layer a SOAP call must traverse, and whose cost EXP-LOC measures for
+// co-located components.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/byte_buffer.hpp"
+#include "util/error.hpp"
+
+namespace h2::net::http {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  std::optional<std::string_view> get(std::string_view name) const;
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;  // keys stored lower-case
+};
+
+struct Request {
+  std::string method = "POST";
+  std::string target = "/";
+  Headers headers;
+  std::string body;
+
+  /// Serializes with Host, Content-Length (and Content-Type if set via
+  /// headers) — a complete valid HTTP/1.1 request.
+  ByteBuffer serialize(std::string_view host) const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  ByteBuffer serialize() const;
+};
+
+/// Parses a complete request (as delivered by SimNetwork in one unit).
+Result<Request> parse_request(std::span<const std::uint8_t> bytes);
+
+/// Parses a complete response.
+Result<Response> parse_response(std::span<const std::uint8_t> bytes);
+
+/// Canonical reason phrase for common status codes.
+std::string_view reason_for(int status);
+
+}  // namespace h2::net::http

@@ -1,0 +1,145 @@
+#include "transport/marshal.hpp"
+
+namespace h2::net {
+
+namespace {
+constexpr std::uint32_t kCallMagic = 0x48325251;   // "H2RQ"
+constexpr std::uint32_t kReplyMagic = 0x48325250;  // "H2RP"
+}  // namespace
+
+void marshal_value(enc::XdrWriter& writer, const Value& value) {
+  writer.put_string(value.name());
+  writer.put_u32(static_cast<std::uint32_t>(value.kind()));
+  switch (value.kind()) {
+    case ValueKind::kVoid:
+      break;
+    case ValueKind::kBool:
+      writer.put_bool(value.as_bool().value());
+      break;
+    case ValueKind::kInt:
+      writer.put_i64(value.as_int().value());
+      break;
+    case ValueKind::kDouble:
+      writer.put_f64(value.as_double().value());
+      break;
+    case ValueKind::kString:
+      writer.put_string(value.as_string().value());
+      break;
+    case ValueKind::kDoubleArray:
+      writer.put_f64_array(value.doubles_view());
+      break;
+    case ValueKind::kBytes:
+      writer.put_opaque(value.bytes_view());
+      break;
+  }
+}
+
+Result<Value> unmarshal_value(enc::XdrReader& reader) {
+  auto name = reader.get_string();
+  if (!name.ok()) return name.error().context("value name");
+  auto tag = reader.get_u32();
+  if (!tag.ok()) return tag.error().context("value kind");
+  switch (static_cast<ValueKind>(*tag)) {
+    case ValueKind::kVoid:
+      return Value::of_void(std::move(*name));
+    case ValueKind::kBool: {
+      auto v = reader.get_bool();
+      if (!v.ok()) return v.error();
+      return Value::of_bool(*v, std::move(*name));
+    }
+    case ValueKind::kInt: {
+      auto v = reader.get_i64();
+      if (!v.ok()) return v.error();
+      return Value::of_int(*v, std::move(*name));
+    }
+    case ValueKind::kDouble: {
+      auto v = reader.get_f64();
+      if (!v.ok()) return v.error();
+      return Value::of_double(*v, std::move(*name));
+    }
+    case ValueKind::kString: {
+      auto v = reader.get_string();
+      if (!v.ok()) return v.error();
+      return Value::of_string(std::move(*v), std::move(*name));
+    }
+    case ValueKind::kDoubleArray: {
+      auto v = reader.get_f64_array();
+      if (!v.ok()) return v.error();
+      return Value::of_doubles(std::move(*v), std::move(*name));
+    }
+    case ValueKind::kBytes: {
+      auto v = reader.get_opaque();
+      if (!v.ok()) return v.error();
+      return Value::of_bytes(std::move(*v), std::move(*name));
+    }
+  }
+  return err::parse("xdr frame: unknown value kind tag " + std::to_string(*tag));
+}
+
+ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params) {
+  enc::XdrWriter writer;
+  writer.put_u32(kCallMagic);
+  writer.put_string(operation);
+  writer.put_u32(static_cast<std::uint32_t>(params.size()));
+  for (const Value& p : params) marshal_value(writer, p);
+  return writer.take();
+}
+
+Result<UnmarshaledCall> unmarshal_call(std::span<const std::uint8_t> bytes) {
+  enc::XdrReader reader(bytes);
+  auto magic = reader.get_u32();
+  if (!magic.ok()) return magic.error();
+  if (*magic != kCallMagic) return err::parse("xdr frame: bad call magic");
+  UnmarshaledCall out;
+  auto op = reader.get_string();
+  if (!op.ok()) return op.error().context("call operation");
+  out.operation = std::move(*op);
+  auto count = reader.get_u32();
+  if (!count.ok()) return count.error();
+  out.params.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto v = unmarshal_value(reader);
+    if (!v.ok()) return v.error().context("call param " + std::to_string(i));
+    out.params.push_back(std::move(*v));
+  }
+  if (!reader.exhausted()) return err::parse("xdr frame: trailing bytes in call");
+  return out;
+}
+
+ByteBuffer marshal_reply(const Result<Value>& outcome) {
+  enc::XdrWriter writer;
+  writer.put_u32(kReplyMagic);
+  writer.put_bool(outcome.ok());
+  if (outcome.ok()) {
+    marshal_value(writer, *outcome);
+  } else {
+    writer.put_u32(static_cast<std::uint32_t>(outcome.error().code()));
+    writer.put_string(outcome.error().message());
+  }
+  return writer.take();
+}
+
+Result<Value> unmarshal_reply(std::span<const std::uint8_t> bytes) {
+  enc::XdrReader reader(bytes);
+  auto magic = reader.get_u32();
+  if (!magic.ok()) return magic.error();
+  if (*magic != kReplyMagic) return err::parse("xdr frame: bad reply magic");
+  auto ok = reader.get_bool();
+  if (!ok.ok()) return ok.error();
+  if (*ok) {
+    auto v = unmarshal_value(reader);
+    if (!v.ok()) return v.error().context("reply value");
+    if (!reader.exhausted()) return err::parse("xdr frame: trailing bytes in reply");
+    return v;
+  }
+  auto code = reader.get_u32();
+  if (!code.ok()) return code.error();
+  auto message = reader.get_string();
+  if (!message.ok()) return message.error();
+  if (*code > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+    return err::parse("xdr frame: unknown error code " + std::to_string(*code));
+  }
+  return Error(static_cast<ErrorCode>(*code), std::move(*message));
+}
+
+}  // namespace h2::net

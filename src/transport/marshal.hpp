@@ -1,0 +1,44 @@
+// XDR framing for the direct-socket binding: values, call frames and
+// reply frames. This is the wire format of the paper's proposed XDR
+// binding — no XML, no text, counted numeric arrays (Section 5).
+//
+// Frames:
+//   call  := magic "H2RQ" | string operation | u32 nparams | value*
+//   reply := magic "H2RP" | bool ok | (value | u32 errcode, string errmsg)
+//   value := string name | u32 kind-tag | payload(kind)
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "encoding/value.hpp"
+#include "encoding/xdr.hpp"
+#include "util/error.hpp"
+
+namespace h2::net {
+
+/// Appends one Value to an XDR stream.
+void marshal_value(enc::XdrWriter& writer, const Value& value);
+
+/// Reads one Value from an XDR stream.
+Result<Value> unmarshal_value(enc::XdrReader& reader);
+
+/// Builds a complete call frame.
+ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params);
+
+struct UnmarshaledCall {
+  std::string operation;
+  std::vector<Value> params;
+};
+Result<UnmarshaledCall> unmarshal_call(std::span<const std::uint8_t> bytes);
+
+/// Builds a reply frame carrying either a value or an error.
+ByteBuffer marshal_reply(const Result<Value>& outcome);
+
+/// Decodes a reply frame back into Result<Value> (remote errors come back
+/// with their original ErrorCode).
+Result<Value> unmarshal_reply(std::span<const std::uint8_t> bytes);
+
+}  // namespace h2::net

@@ -1,0 +1,150 @@
+// SimNetwork: the simulated multi-host substrate. The paper's evaluation
+// environment is a heterogeneous network of hosts; this container has one
+// CPU and no cluster, so hosts become in-process virtual nodes connected
+// by links with configurable latency and bandwidth, and time-on-the-wire
+// advances a deterministic VirtualClock. All payloads are real bytes that
+// travel through real framing/parsing code — only the clock is virtual.
+//
+// Determinism: the network is single-threaded by design. Synchronous
+// call() charges the round-trip cost immediately; asynchronous send() is
+// queued and delivered in timestamp order by pump().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace h2::net {
+
+using HostId = std::uint32_t;
+inline constexpr HostId kInvalidHost = 0xFFFFFFFF;
+
+/// One direction of a link. Cost of moving n bytes = latency + n/bandwidth.
+struct LinkSpec {
+  Nanos latency = 100 * kMicrosecond;        ///< one-way propagation delay
+  double bandwidth_bytes_per_sec = 100e6;    ///< ~fast-ethernet-class default
+
+  Nanos transfer_time(std::size_t bytes) const {
+    double seconds = static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+    return latency + static_cast<Nanos>(seconds * 1e9);
+  }
+};
+
+/// Loopback: what co-located processes pay through the TCP stack — far
+/// cheaper than a wire but not free (this is the paper's localization
+/// argument: an HTTP server + TCP/IP stack between co-located components
+/// is "an obvious overhead").
+inline LinkSpec loopback_link() {
+  return LinkSpec{.latency = 10 * kMicrosecond, .bandwidth_bytes_per_sec = 2e9};
+}
+
+/// Cumulative traffic counters (virtual-time benches read these).
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t calls = 0;      ///< synchronous round trips
+  std::uint64_t drops = 0;      ///< messages lost to partitions/dead ports
+};
+
+/// Request handler bound to a (host, port). Receives the request bytes,
+/// returns response bytes (ignored for one-way sends).
+using Handler = std::function<Result<ByteBuffer>(std::span<const std::uint8_t>)>;
+
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+
+  // ---- topology --------------------------------------------------------------
+
+  /// Adds a named host; names must be unique.
+  Result<HostId> add_host(const std::string& name);
+  Result<HostId> resolve(std::string_view name) const;
+  const std::string& host_name(HostId id) const;
+  std::size_t host_count() const { return hosts_.size(); }
+
+  /// Sets the (symmetric) link between two distinct hosts.
+  Status set_link(HostId a, HostId b, LinkSpec spec);
+  /// Link used when no explicit link was set between a pair.
+  void set_default_link(LinkSpec spec) { default_link_ = spec; }
+
+  /// Cuts / restores connectivity between two hosts.
+  Status partition(HostId a, HostId b);
+  Status heal(HostId a, HostId b);
+  bool reachable(HostId a, HostId b) const;
+
+  // ---- servers ----------------------------------------------------------------
+
+  /// Binds `handler` to (host, port). Fails if the port is taken.
+  Status listen(HostId host, std::uint16_t port, Handler handler);
+  Status close(HostId host, std::uint16_t port);
+  bool is_listening(HostId host, std::uint16_t port) const;
+
+  // ---- traffic ----------------------------------------------------------------
+
+  /// Synchronous round trip. Charges request transfer + response transfer
+  /// to the virtual clock (handler CPU time is not modeled). Same-host
+  /// calls use the loopback link.
+  Result<ByteBuffer> call(HostId from, HostId to, std::uint16_t port,
+                          std::span<const std::uint8_t> request);
+
+  /// One-way message, delivered at its arrival timestamp by pump().
+  Status send(HostId from, HostId to, std::uint16_t port, ByteBuffer payload);
+
+  /// Delivers all queued messages in arrival order, advancing the clock to
+  /// each arrival time. Returns the number delivered. Messages sent by
+  /// handlers during delivery are processed too (until quiescence).
+  std::size_t pump();
+
+  // ---- observability ----------------------------------------------------------
+
+  VirtualClock& clock() { return clock_; }
+  const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetStats{}; }
+
+  /// The effective link between two hosts (loopback when a == b).
+  LinkSpec link_between(HostId a, HostId b) const;
+
+ private:
+  struct Host {
+    std::string name;
+    std::map<std::uint16_t, Handler> servers;
+  };
+
+  struct Pending {
+    Nanos arrival;
+    std::uint64_t sequence;  // FIFO tie-break for equal arrival times
+    HostId to;
+    std::uint16_t port;
+    ByteBuffer payload;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Status check_host(HostId id) const;
+  static std::uint64_t pair_key(HostId a, HostId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Host> hosts_;
+  std::map<std::uint64_t, LinkSpec> links_;
+  std::map<std::uint64_t, bool> partitioned_;
+  LinkSpec default_link_;
+  VirtualClock clock_;
+  NetStats stats_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace h2::net

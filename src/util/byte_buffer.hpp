@@ -1,0 +1,112 @@
+// Growable byte buffer with separate read/write cursors, used as the
+// universal carrier between codecs (XDR, BASE64, SOAP) and transports
+// (HTTP, XDR sockets, SimNetwork links). Numeric accessors exist in both
+// big-endian (network/XDR order) and little-endian (host-raw) flavours so
+// wire formats are byte-exact rather than memcpy-of-struct approximations.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace h2 {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit ByteBuffer(std::string_view text)
+      : data_(text.begin(), text.end()) {}
+
+  // ---- introspection -------------------------------------------------------
+
+  /// Total bytes written so far (independent of the read cursor).
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  /// Bytes remaining between the read cursor and the end.
+  std::size_t remaining() const { return data_.size() - read_pos_; }
+  std::size_t read_position() const { return read_pos_; }
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::span<const std::uint8_t> bytes() const { return {data_.data(), data_.size()}; }
+  std::span<const std::uint8_t> unread() const {
+    return {data_.data() + read_pos_, remaining()};
+  }
+
+  /// Whole contents viewed as text (for HTTP/XML payloads).
+  std::string_view as_string_view() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+  std::string to_string() const { return std::string(as_string_view()); }
+
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  /// Moves the read cursor. Positions past the end are clamped.
+  void seek(std::size_t pos) { read_pos_ = pos > data_.size() ? data_.size() : pos; }
+
+  // ---- writing -------------------------------------------------------------
+
+  void write_u8(std::uint8_t v) { data_.push_back(v); }
+  void write_bytes(std::span<const std::uint8_t> bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void write_string(std::string_view s) {
+    data_.insert(data_.end(), s.begin(), s.end());
+  }
+  /// Appends `count` copies of `fill` (XDR padding, HTTP spacing).
+  void write_fill(std::size_t count, std::uint8_t fill = 0) {
+    data_.insert(data_.end(), count, fill);
+  }
+
+  void write_u16_be(std::uint16_t v);
+  void write_u32_be(std::uint32_t v);
+  void write_u64_be(std::uint64_t v);
+  void write_u32_le(std::uint32_t v);
+  void write_u64_le(std::uint64_t v);
+  /// IEEE-754 bits in big-endian byte order (XDR float/double encoding).
+  void write_f32_be(float v);
+  void write_f64_be(double v);
+  void write_f64_le(double v);
+
+  // ---- reading -------------------------------------------------------------
+  // All reads return Result and never read past the end.
+
+  Result<std::uint8_t> read_u8();
+  Result<std::uint16_t> read_u16_be();
+  Result<std::uint32_t> read_u32_be();
+  Result<std::uint64_t> read_u64_be();
+  Result<std::uint32_t> read_u32_le();
+  Result<std::uint64_t> read_u64_le();
+  Result<float> read_f32_be();
+  Result<double> read_f64_be();
+  Result<double> read_f64_le();
+
+  /// Copies `n` bytes out; fails with kParseError if fewer remain.
+  Result<std::vector<std::uint8_t>> read_bytes(std::size_t n);
+  Result<std::string> read_string(std::size_t n);
+  /// Advances the cursor without copying.
+  Status skip(std::size_t n);
+
+ private:
+  Status ensure(std::size_t n) const {
+    if (remaining() < n) {
+      return err::parse("byte buffer underrun: need " + std::to_string(n) +
+                        " bytes, have " + std::to_string(remaining()));
+    }
+    return Status::success();
+  }
+
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace h2

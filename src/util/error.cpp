@@ -1,0 +1,25 @@
+#include "util/error.hpp"
+
+namespace h2 {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::describe() const {
+  return std::string(to_string(code_)) + ": " + message_;
+}
+
+}  // namespace h2

@@ -1,0 +1,119 @@
+// Error and Result types used throughout harness2 for recoverable failures
+// (parse errors, lookup misses, transport faults). Exceptions are reserved
+// for programmer error; anything a caller can reasonably handle flows
+// through Result<T>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace h2 {
+
+/// Broad failure categories. Each subsystem maps its failures onto these so
+/// callers can switch on category without string matching.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kParseError,        ///< malformed XML / WSDL / HTTP / SOAP input
+  kNotFound,          ///< lookup miss: plugin, service, node, binding...
+  kAlreadyExists,     ///< duplicate registration
+  kUnavailable,       ///< transport down, node dead, container stopped
+  kTimeout,           ///< operation exceeded its deadline
+  kPermissionDenied,  ///< exposure policy forbids access
+  kUnsupported,       ///< binding/protocol not implemented by the peer
+  kInternal,          ///< invariant violation escaped to the API boundary
+};
+
+/// Human-readable name of an ErrorCode (stable, for logs and tests).
+const char* to_string(ErrorCode code);
+
+/// A failure: category + message + optional nested context frames added as
+/// the error bubbles up (`Error::context` prepends like a mini backtrace).
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns a copy with `what` prepended: "what: <old message>".
+  Error context(const std::string& what) const {
+    return Error(code_, what + ": " + message_);
+  }
+
+  /// "<code-name>: <message>" for logs.
+  std::string describe() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// Minimal expected<T, Error>. Intentionally small: harness2 only needs
+/// value/error, `ok()`, accessors, and map-free monadic helpers.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}      // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Precondition: ok(). Violation terminates (std::get throws).
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Error access. Precondition: !ok().
+  const Error& error() const { return std::get<Error>(data_); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue: success carries nothing.
+class Status {
+ public:
+  Status() = default;                                    // success
+  Status(Error error) : error_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return *error_; }
+
+  static Status success() { return Status(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience constructors so call sites read as `h2::err::not_found(...)`.
+namespace err {
+inline Error invalid_argument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+inline Error parse(std::string m) { return {ErrorCode::kParseError, std::move(m)}; }
+inline Error not_found(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+inline Error already_exists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+inline Error unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+inline Error timeout(std::string m) { return {ErrorCode::kTimeout, std::move(m)}; }
+inline Error permission_denied(std::string m) { return {ErrorCode::kPermissionDenied, std::move(m)}; }
+inline Error unsupported(std::string m) { return {ErrorCode::kUnsupported, std::move(m)}; }
+inline Error internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+}  // namespace err
+
+}  // namespace h2

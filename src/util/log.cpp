@@ -1,0 +1,61 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace h2 {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogConfig& LogConfig::instance() {
+  static LogConfig config;
+  return config;
+}
+
+LogConfig::LogConfig() {
+  sink_ = [](std::string_view line) {
+    std::cerr << line << '\n';
+  };
+}
+
+void LogConfig::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel LogConfig::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void LogConfig::set_sink(Sink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void LogConfig::emit(std::string_view line) {
+  Sink sink;
+  {
+    std::lock_guard lock(mu_);
+    sink = sink_;
+  }
+  if (sink) sink(line);
+}
+
+void Logger::log(LogLevel level, std::string_view message) const {
+  if (!enabled(level)) return;
+  std::ostringstream os;
+  os << '[' << to_string(level) << "] " << name_ << ": " << message;
+  LogConfig::instance().emit(os.str());
+}
+
+}  // namespace h2

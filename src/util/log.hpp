@@ -1,0 +1,62 @@
+// Thread-safe leveled logger. Subsystems log through named `Logger`
+// instances ("kernel", "dvm/coherency", ...); a process-wide level gate
+// keeps test and benchmark output quiet by default.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace h2 {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logging configuration. A sink receives fully formatted
+/// lines; the default sink writes to stderr.
+class LogConfig {
+ public:
+  static LogConfig& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  using Sink = std::function<void(std::string_view line)>;
+  /// Replaces the sink (tests install a capturing sink). Thread-safe.
+  void set_sink(Sink sink);
+  void emit(std::string_view line);
+
+ private:
+  LogConfig();
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Lightweight named logger; cheap to construct, holds only its name.
+class Logger {
+ public:
+  explicit Logger(std::string name) : name_(std::move(name)) {}
+
+  bool enabled(LogLevel level) const {
+    return level >= LogConfig::instance().level();
+  }
+
+  void log(LogLevel level, std::string_view message) const;
+
+  void trace(std::string_view m) const { log(LogLevel::kTrace, m); }
+  void debug(std::string_view m) const { log(LogLevel::kDebug, m); }
+  void info(std::string_view m) const { log(LogLevel::kInfo, m); }
+  void warn(std::string_view m) const { log(LogLevel::kWarn, m); }
+  void error(std::string_view m) const { log(LogLevel::kError, m); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace h2

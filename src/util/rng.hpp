@@ -1,0 +1,34 @@
+// Deterministic random source for workload generators and property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace h2 {
+
+/// xoshiro256** — fast, good-quality, deterministic PRNG. All workload
+/// generators take an explicit Rng so benchmark runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform in [0, 1).
+  double next_double();
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// n doubles in [lo, hi) — the standard numeric-array payload generator.
+  std::vector<double> doubles(std::size_t n, double lo = -1.0, double hi = 1.0);
+  /// n random bytes.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace h2

@@ -1,0 +1,124 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace h2::str {
+
+std::vector<std::string> split(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      break;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> split_nonempty(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  for (auto& piece : split(input, sep)) {
+    if (!piece.empty()) out.push_back(std::move(piece));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return err::parse("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return err::parse("not an unsigned integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> parse_double(std::string_view s) {
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    return err::parse("not a double: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string format_double(double v) {
+  // %.17g always round-trips; trim to shortest by retrying shorter widths.
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::from_chars(buf, buf + std::char_traits<char>::length(buf), back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+bool is_identifier(std::string_view name) {
+  if (name.empty()) return false;
+  auto first = static_cast<unsigned char>(name[0]);
+  if (!(std::isalpha(first) || first == '_')) return false;
+  for (char cc : name.substr(1)) {
+    auto c = static_cast<unsigned char>(cc);
+    if (!(std::isalnum(c) || c == '_' || c == '.' || c == '-')) return false;
+  }
+  return true;
+}
+
+}  // namespace h2::str

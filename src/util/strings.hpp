@@ -1,0 +1,44 @@
+// Small string utilities shared by the XML, HTTP, and WSDL parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace h2::str {
+
+/// Splits on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view input, char sep);
+
+/// Splits on `sep`, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view input, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// ASCII-only case transforms (enough for HTTP header names).
+std::string to_lower(std::string_view s);
+bool iequals(std::string_view a, std::string_view b);
+
+/// Strict decimal parse of the whole string; no sign for the unsigned form.
+Result<std::int64_t> parse_i64(std::string_view s);
+Result<std::uint64_t> parse_u64(std::string_view s);
+Result<double> parse_double(std::string_view s);
+
+/// Canonical shortest-round-trip formatting of a double.
+std::string format_double(double v);
+
+/// True if `name` is a valid XML NCName-ish identifier (letter/underscore
+/// start, then letters/digits/._-). Used to validate service and plugin names.
+bool is_identifier(std::string_view name);
+
+}  // namespace h2::str

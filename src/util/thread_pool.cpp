@@ -1,0 +1,31 @@
+#include "util/thread_pool.hpp"
+
+namespace h2 {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] {
+      while (auto task = queue_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::post(std::function<void()> task) {
+  return queue_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace h2

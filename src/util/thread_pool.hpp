@@ -1,0 +1,46 @@
+// Fixed-size worker pool. Used for asynchronous component deployment and
+// background lease expiry; sized small because determinism matters more
+// than parallel speedup in the simulation.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "util/sync_queue.hpp"
+
+namespace h2 {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; returns false if the pool is already shut down.
+  bool post(std::function<void()> task);
+
+  /// Enqueues and returns a future for the callable's result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto future = task->get_future();
+    post([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent.
+  void shutdown();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  SyncQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace h2

@@ -1,0 +1,74 @@
+#include "util/uuid.hpp"
+
+#include <mutex>
+#include <random>
+
+namespace h2 {
+
+UuidGenerator::UuidGenerator() {
+  std::random_device rd;
+  state_[0] = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  state_[1] = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+  if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+}
+
+UuidGenerator::UuidGenerator(std::uint64_t seed) {
+  // splitmix64 expansion of the seed into the xoroshiro state.
+  auto mix = [&seed]() {
+    seed += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  state_[0] = mix();
+  state_[1] = mix();
+  if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+}
+
+std::uint64_t UuidGenerator::next_u64() {
+  // xoroshiro128+
+  std::uint64_t s0 = state_[0];
+  std::uint64_t s1 = state_[1];
+  std::uint64_t result = s0 + s1;
+  s1 ^= s0;
+  state_[0] = ((s0 << 55) | (s0 >> 9)) ^ s1 ^ (s1 << 14);
+  state_[1] = (s1 << 36) | (s1 >> 28);
+  return result;
+}
+
+std::string UuidGenerator::next() {
+  std::uint64_t hi = next_u64();
+  std::uint64_t lo = next_u64();
+  // Set version (4) and variant (10xx) bits.
+  hi = (hi & 0xFFFFFFFFFFFF0FFFULL) | 0x0000000000004000ULL;
+  lo = (lo & 0x3FFFFFFFFFFFFFFFULL) | 0x8000000000000000ULL;
+
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  auto emit = [&](std::uint64_t v, int nibbles) {
+    for (int i = nibbles - 1; i >= 0; --i) {
+      out.push_back(hex[(v >> (i * 4)) & 0xF]);
+    }
+  };
+  emit(hi >> 32, 8);
+  out.push_back('-');
+  emit((hi >> 16) & 0xFFFF, 4);
+  out.push_back('-');
+  emit(hi & 0xFFFF, 4);
+  out.push_back('-');
+  emit(lo >> 48, 4);
+  out.push_back('-');
+  emit(lo & 0xFFFFFFFFFFFFULL, 12);
+  return out;
+}
+
+std::string new_uuid() {
+  static UuidGenerator gen;
+  static std::mutex mu;
+  std::lock_guard lock(mu);
+  return gen.next();
+}
+
+}  // namespace h2

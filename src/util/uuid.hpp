@@ -1,0 +1,30 @@
+// UUID generation for DVM names, component instance ids, lease tokens.
+// Deterministic when seeded (tests), random-device-seeded otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace h2 {
+
+/// Generates RFC-4122-shaped version-4 UUID strings
+/// ("xxxxxxxx-xxxx-4xxx-yxxx-xxxxxxxxxxxx"). Not cryptographic.
+class UuidGenerator {
+ public:
+  /// Seeded from std::random_device.
+  UuidGenerator();
+  /// Deterministic stream for reproducible tests/benchmarks.
+  explicit UuidGenerator(std::uint64_t seed);
+
+  std::string next();
+
+ private:
+  std::uint64_t state_[2];
+  std::uint64_t next_u64();
+};
+
+/// Process-wide generator (thread-safe) for call sites that do not need
+/// determinism.
+std::string new_uuid();
+
+}  // namespace h2

@@ -1,0 +1,121 @@
+#include "wsdl/descriptor.hpp"
+
+#include "util/strings.hpp"
+
+namespace h2::wsdl {
+
+const OperationSpec* ServiceDescriptor::find_operation(std::string_view op) const {
+  for (const auto& o : operations) {
+    if (o.name == op) return &o;
+  }
+  return nullptr;
+}
+
+Result<Definitions> generate(const ServiceDescriptor& service,
+                             std::span<const EndpointSpec> endpoints) {
+  if (!str::is_identifier(service.name)) {
+    return err::invalid_argument("service name '" + service.name + "' invalid");
+  }
+  if (service.operations.empty()) {
+    return err::invalid_argument("service " + service.name + " has no operations");
+  }
+
+  Definitions defs;
+  defs.name = service.name;
+  defs.target_ns = service.target_ns.empty()
+                       ? "urn:harness2:services:" + service.name
+                       : service.target_ns;
+
+  PortType port_type;
+  port_type.name = service.name + "PortType";
+
+  for (const auto& op : service.operations) {
+    Message request;
+    request.name = op.name + "Request";
+    for (const auto& param : op.params) {
+      request.parts.push_back({param.name, param.type});
+    }
+    defs.messages.push_back(std::move(request));
+
+    Operation operation;
+    operation.name = op.name;
+    operation.input_message = op.name + "Request";
+    if (op.result != ValueKind::kVoid) {
+      Message response;
+      response.name = op.name + "Response";
+      response.parts.push_back({"return", op.result});
+      defs.messages.push_back(std::move(response));
+      operation.output_message = op.name + "Response";
+    }
+    port_type.operations.push_back(std::move(operation));
+  }
+  defs.port_types.push_back(std::move(port_type));
+
+  Service svc;
+  svc.name = service.name + "Service";
+  int index = 0;
+  for (const auto& endpoint : endpoints) {
+    std::string kind_name(to_string(endpoint.kind));
+    // Distinguish multiple endpoints of the same kind with an index suffix.
+    std::string suffix = kind_name + (index > 0 ? std::to_string(index) : "");
+    Binding binding;
+    binding.name = service.name + "_" + suffix + "_Binding";
+    binding.port_type = service.name + "PortType";
+    binding.kind = endpoint.kind;
+    binding.properties = endpoint.properties;
+    defs.bindings.push_back(std::move(binding));
+
+    Port port;
+    port.name = service.name + "_" + suffix + "_Port";
+    port.binding = service.name + "_" + suffix + "_Binding";
+    port.address = endpoint.address;
+    svc.ports.push_back(std::move(port));
+    ++index;
+  }
+  defs.services.push_back(std::move(svc));
+
+  if (auto status = validate(defs); !status.ok()) {
+    return status.error().context("generated WSDL for " + service.name);
+  }
+  return defs;
+}
+
+Result<ServiceDescriptor> descriptor_from(const Definitions& defs) {
+  if (defs.port_types.empty()) {
+    return err::invalid_argument("wsdl document has no port types");
+  }
+  const PortType& pt = defs.port_types.front();
+
+  ServiceDescriptor out;
+  out.target_ns = defs.target_ns;
+  // Strip the conventional suffix if present so generate(descriptor_from(x))
+  // round-trips names.
+  out.name = str::ends_with(pt.name, "PortType")
+                 ? pt.name.substr(0, pt.name.size() - 8)
+                 : pt.name;
+
+  for (const auto& op : pt.operations) {
+    OperationSpec spec;
+    spec.name = op.name;
+    const Message* input = defs.find_message(op.input_message);
+    if (!input) {
+      return err::invalid_argument("operation " + op.name +
+                                   " references missing message " + op.input_message);
+    }
+    for (const auto& part : input->parts) {
+      spec.params.push_back({part.name, part.type});
+    }
+    if (!op.output_message.empty()) {
+      const Message* output = defs.find_message(op.output_message);
+      if (!output) {
+        return err::invalid_argument("operation " + op.name +
+                                     " references missing message " + op.output_message);
+      }
+      if (!output->parts.empty()) spec.result = output->parts.front().type;
+    }
+    out.operations.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace h2::wsdl

@@ -1,0 +1,60 @@
+// ServiceDescriptor: the programmatic description of a component's typed
+// interface, and the generator that turns it into a complete WSDL document.
+// This substitutes for the paper's wsdlgen/servicegen tools (Sections 4-5):
+// describe the service in code, emit WSDL with the requested bindings, and
+// recover the abstract interface from any WSDL document (the
+// "extract the abstract interface description" direction).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wsdl/model.hpp"
+
+namespace h2::wsdl {
+
+struct ParamSpec {
+  std::string name;
+  ValueKind type = ValueKind::kVoid;
+
+  bool operator==(const ParamSpec&) const = default;
+};
+
+struct OperationSpec {
+  std::string name;
+  std::vector<ParamSpec> params;
+  ValueKind result = ValueKind::kVoid;
+
+  bool operator==(const OperationSpec&) const = default;
+};
+
+/// The abstract (binding-independent) interface of one service.
+struct ServiceDescriptor {
+  std::string name;       ///< e.g. "WSTime", "MatMul"
+  std::string target_ns;  ///< defaults to "urn:harness2:services:<name>"
+  std::vector<OperationSpec> operations;
+
+  const OperationSpec* find_operation(std::string_view op) const;
+  bool operator==(const ServiceDescriptor&) const = default;
+};
+
+/// One concrete endpoint to emit into the generated document.
+struct EndpointSpec {
+  BindingKind kind = BindingKind::kSoap;
+  std::string address;
+  std::map<std::string, std::string> properties;  ///< extra binding props
+};
+
+/// Generates a complete, validated WSDL document for `service` exposing
+/// every endpoint in `endpoints`. Naming follows the paper's examples:
+/// messages "<op>Request"/"<op>Response", port type "<name>PortType",
+/// service "<name>Service", one binding+port pair per endpoint.
+Result<Definitions> generate(const ServiceDescriptor& service,
+                             std::span<const EndpointSpec> endpoints);
+
+/// Recovers the abstract interface from a WSDL document (first port type).
+/// This is what a dynamic stub generator consumes.
+Result<ServiceDescriptor> descriptor_from(const Definitions& defs);
+
+}  // namespace h2::wsdl

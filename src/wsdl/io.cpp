@@ -1,0 +1,228 @@
+#include "wsdl/io.hpp"
+
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace h2::wsdl {
+
+namespace {
+
+/// Strips an optional namespace prefix from a reference ("tns:foo" -> "foo").
+std::string strip_prefix(std::string_view ref) {
+  auto colon = ref.find(':');
+  return std::string(colon == std::string_view::npos ? ref : ref.substr(colon + 1));
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Node> to_xml(const Definitions& defs) {
+  auto root = xml::Node::element("definitions");
+  root->set_attr("name", defs.name);
+  root->set_attr("targetNamespace", defs.target_ns);
+  root->set_attr("xmlns", kWsdlNs);
+  root->set_attr("xmlns:tns", defs.target_ns);
+  root->set_attr("xmlns:soap", kSoapBindingNs);
+  root->set_attr("xmlns:http", kHttpBindingNs);
+  root->set_attr("xmlns:mime", kMimeBindingNs);
+  root->set_attr("xmlns:h2", kHarnessBindingNs);
+  root->set_attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+
+  for (const auto& message : defs.messages) {
+    xml::Node* m = root->add_element("message");
+    m->set_attr("name", message.name);
+    for (const auto& part : message.parts) {
+      xml::Node* p = m->add_element("part");
+      p->set_attr("name", part.name);
+      p->set_attr("type", type_name(part.type));
+    }
+  }
+
+  for (const auto& port_type : defs.port_types) {
+    xml::Node* pt = root->add_element("portType");
+    pt->set_attr("name", port_type.name);
+    for (const auto& operation : port_type.operations) {
+      xml::Node* op = pt->add_element("operation");
+      op->set_attr("name", operation.name);
+      op->add_element("input")->set_attr("message", "tns:" + operation.input_message);
+      if (!operation.output_message.empty()) {
+        op->add_element("output")->set_attr("message", "tns:" + operation.output_message);
+      }
+    }
+  }
+
+  for (const auto& binding : defs.bindings) {
+    xml::Node* b = root->add_element("binding");
+    b->set_attr("name", binding.name);
+    b->set_attr("type", "tns:" + binding.port_type);
+    switch (binding.kind) {
+      case BindingKind::kSoap: {
+        xml::Node* ext = b->add_element("soap:binding");
+        ext->set_attr("style", "rpc");
+        ext->set_attr("transport",
+                      binding.properties.count("transport")
+                          ? binding.properties.at("transport")
+                          : "http://schemas.xmlsoap.org/soap/http");
+        break;
+      }
+      case BindingKind::kHttp: {
+        xml::Node* ext = b->add_element("http:binding");
+        ext->set_attr("verb", binding.properties.count("verb")
+                                  ? binding.properties.at("verb")
+                                  : "POST");
+        break;
+      }
+      case BindingKind::kMime: {
+        xml::Node* ext = b->add_element("mime:binding");
+        ext->set_attr("type", "multipart/related");
+        break;
+      }
+      case BindingKind::kLocal:
+      case BindingKind::kLocalObject:
+      case BindingKind::kXdr: {
+        xml::Node* ext = b->add_element("h2:binding");
+        ext->set_attr("kind", to_string(binding.kind));
+        for (const auto& [key, value] : binding.properties) {
+          ext->set_attr(key, value);
+        }
+        break;
+      }
+    }
+  }
+
+  for (const auto& service : defs.services) {
+    xml::Node* s = root->add_element("service");
+    s->set_attr("name", service.name);
+    for (const auto& port : service.ports) {
+      xml::Node* p = s->add_element("port");
+      p->set_attr("name", port.name);
+      p->set_attr("binding", "tns:" + port.binding);
+      const Binding* binding = defs.find_binding(port.binding);
+      const char* address_tag =
+          binding && binding->kind == BindingKind::kSoap ? "soap:address" : "h2:address";
+      p->add_element(address_tag)->set_attr("location", port.address);
+    }
+  }
+
+  return root;
+}
+
+std::string to_xml_string(const Definitions& defs, bool pretty) {
+  xml::WriteOptions options;
+  options.pretty = pretty;
+  return xml::write(*to_xml(defs), options);
+}
+
+Result<Definitions> from_xml(const xml::Node& root) {
+  if (root.local_name() != "definitions") {
+    return err::parse("wsdl: root element is <" + std::string(root.name()) +
+                      ">, expected definitions");
+  }
+  Definitions defs;
+  defs.name = root.attr_or("name", "unnamed");
+  defs.target_ns = root.attr_or("targetNamespace", "");
+
+  for (const xml::Node* m : root.children_named("message")) {
+    Message message;
+    message.name = m->attr_or("name", "");
+    for (const xml::Node* p : m->children_named("part")) {
+      Part part;
+      part.name = p->attr_or("name", "");
+      auto type = type_from_name(p->attr_or("type", "xsd:anyType"));
+      if (!type.ok()) return type.error().context("wsdl message " + message.name);
+      part.type = *type;
+      message.parts.push_back(std::move(part));
+    }
+    defs.messages.push_back(std::move(message));
+  }
+
+  for (const xml::Node* pt : root.children_named("portType")) {
+    PortType port_type;
+    port_type.name = pt->attr_or("name", "");
+    for (const xml::Node* op : pt->children_named("operation")) {
+      Operation operation;
+      operation.name = op->attr_or("name", "");
+      if (const xml::Node* in = op->first_child("input")) {
+        operation.input_message = strip_prefix(in->attr_or("message", ""));
+      }
+      if (const xml::Node* out = op->first_child("output")) {
+        operation.output_message = strip_prefix(out->attr_or("message", ""));
+      }
+      port_type.operations.push_back(std::move(operation));
+    }
+    defs.port_types.push_back(std::move(port_type));
+  }
+
+  for (const xml::Node* b : root.children_named("binding")) {
+    Binding binding;
+    binding.name = b->attr_or("name", "");
+    binding.port_type = strip_prefix(b->attr_or("type", ""));
+
+    bool extension_found = false;
+    for (const xml::Node* ext : b->element_children()) {
+      if (ext->local_name() != "binding") continue;
+      extension_found = true;
+      auto ns = ext->namespace_uri();
+      if (ns && *ns == kSoapBindingNs) {
+        binding.kind = BindingKind::kSoap;
+        // Defaults are not stored, so generate->parse round-trips equal.
+        if (auto t = ext->attr("transport");
+            t && *t != "http://schemas.xmlsoap.org/soap/http") {
+          binding.properties["transport"] = *t;
+        }
+      } else if (ns && *ns == kHttpBindingNs) {
+        binding.kind = BindingKind::kHttp;
+        if (auto v = ext->attr("verb"); v && *v != "POST") {
+          binding.properties["verb"] = *v;
+        }
+      } else if (ns && *ns == kMimeBindingNs) {
+        binding.kind = BindingKind::kMime;
+      } else if (ns && *ns == kHarnessBindingNs) {
+        auto kind = binding_kind_from_string(ext->attr_or("kind", ""));
+        if (!kind.ok()) return kind.error().context("wsdl binding " + binding.name);
+        binding.kind = *kind;
+        for (const auto& attr : ext->attributes()) {
+          if (attr.name != "kind" && !str::starts_with(attr.name, "xmlns")) {
+            binding.properties[attr.name] = attr.value;
+          }
+        }
+      } else {
+        return err::parse("wsdl: binding " + binding.name +
+                          " has extension in unknown namespace");
+      }
+      break;
+    }
+    if (!extension_found) {
+      return err::parse("wsdl: binding " + binding.name + " has no extension element");
+    }
+    defs.bindings.push_back(std::move(binding));
+  }
+
+  for (const xml::Node* s : root.children_named("service")) {
+    Service service;
+    service.name = s->attr_or("name", "");
+    for (const xml::Node* p : s->children_named("port")) {
+      Port port;
+      port.name = p->attr_or("name", "");
+      port.binding = strip_prefix(p->attr_or("binding", ""));
+      for (const xml::Node* addr : p->element_children()) {
+        if (addr->local_name() == "address") {
+          port.address = addr->attr_or("location", "");
+          break;
+        }
+      }
+      service.ports.push_back(std::move(port));
+    }
+    defs.services.push_back(std::move(service));
+  }
+
+  return defs;
+}
+
+Result<Definitions> parse(std::string_view wsdl_text) {
+  auto root = xml::parse_element(wsdl_text);
+  if (!root.ok()) return root.error().context("wsdl");
+  return from_xml(**root);
+}
+
+}  // namespace h2::wsdl

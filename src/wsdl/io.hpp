@@ -1,0 +1,27 @@
+// WSDL <-> XML serialization. to_xml emits documents shaped like the
+// paper's Figures 7 and 8; from_xml parses anything to_xml produces plus
+// prefix/order variations. The registry stores and queries this XML form.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+#include "wsdl/model.hpp"
+#include "xml/dom.hpp"
+
+namespace h2::wsdl {
+
+/// Serializes to a standalone WSDL document element.
+std::unique_ptr<xml::Node> to_xml(const Definitions& defs);
+
+/// Serializes straight to text (pretty-printed when `pretty`).
+std::string to_xml_string(const Definitions& defs, bool pretty = false);
+
+/// Parses a <definitions> element (already-parsed DOM form).
+Result<Definitions> from_xml(const xml::Node& root);
+
+/// Parses WSDL text.
+Result<Definitions> parse(std::string_view wsdl_text);
+
+}  // namespace h2::wsdl

@@ -1,0 +1,211 @@
+#include "wsdl/model.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace h2::wsdl {
+
+const char* to_string(BindingKind kind) {
+  switch (kind) {
+    case BindingKind::kSoap: return "soap";
+    case BindingKind::kHttp: return "http";
+    case BindingKind::kMime: return "mime";
+    case BindingKind::kLocal: return "local";
+    case BindingKind::kLocalObject: return "localobject";
+    case BindingKind::kXdr: return "xdr";
+  }
+  return "?";
+}
+
+Result<BindingKind> binding_kind_from_string(std::string_view name) {
+  if (name == "soap") return BindingKind::kSoap;
+  if (name == "http") return BindingKind::kHttp;
+  if (name == "mime") return BindingKind::kMime;
+  if (name == "local") return BindingKind::kLocal;
+  if (name == "localobject") return BindingKind::kLocalObject;
+  if (name == "xdr") return BindingKind::kXdr;
+  return err::parse("unknown binding kind '" + std::string(name) + "'");
+}
+
+std::string type_name(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kVoid: return "xsd:anyType";  // nil-able void
+    case ValueKind::kBool: return "xsd:boolean";
+    case ValueKind::kInt: return "xsd:long";
+    case ValueKind::kDouble: return "xsd:double";
+    case ValueKind::kString: return "xsd:string";
+    case ValueKind::kDoubleArray: return "xsd:double[]";
+    case ValueKind::kBytes: return "xsd:base64Binary";
+  }
+  return "xsd:anyType";
+}
+
+Result<ValueKind> type_from_name(std::string_view name) {
+  if (name == "xsd:anyType") return ValueKind::kVoid;
+  if (name == "xsd:boolean") return ValueKind::kBool;
+  if (name == "xsd:long" || name == "xsd:int") return ValueKind::kInt;
+  if (name == "xsd:double" || name == "xsd:float") return ValueKind::kDouble;
+  if (name == "xsd:string") return ValueKind::kString;
+  if (name == "xsd:double[]") return ValueKind::kDoubleArray;
+  if (name == "xsd:base64Binary") return ValueKind::kBytes;
+  return err::parse("unknown WSDL type '" + std::string(name) + "'");
+}
+
+const Operation* PortType::find_operation(std::string_view op) const {
+  for (const auto& o : operations) {
+    if (o.name == op) return &o;
+  }
+  return nullptr;
+}
+
+const Port* Service::find_port(std::string_view port_name) const {
+  for (const auto& p : ports) {
+    if (p.name == port_name) return &p;
+  }
+  return nullptr;
+}
+
+const Message* Definitions::find_message(std::string_view n) const {
+  for (const auto& m : messages) {
+    if (m.name == n) return &m;
+  }
+  return nullptr;
+}
+
+const PortType* Definitions::find_port_type(std::string_view n) const {
+  for (const auto& pt : port_types) {
+    if (pt.name == n) return &pt;
+  }
+  return nullptr;
+}
+
+const Binding* Definitions::find_binding(std::string_view n) const {
+  for (const auto& b : bindings) {
+    if (b.name == n) return &b;
+  }
+  return nullptr;
+}
+
+const Service* Definitions::find_service(std::string_view n) const {
+  for (const auto& s : services) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Port*> Definitions::ports_with_kind(BindingKind kind) const {
+  std::vector<const Port*> out;
+  for (const auto& service : services) {
+    for (const auto& port : service.ports) {
+      const Binding* binding = find_binding(port.binding);
+      if (binding && binding->kind == kind) out.push_back(&port);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status check_unique(const std::vector<std::string>& names, const char* what) {
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names) {
+    if (!str::is_identifier(n)) {
+      return err::invalid_argument(std::string(what) + " name '" + n +
+                                   "' is not a valid identifier");
+    }
+    if (!seen.insert(n).second) {
+      return err::invalid_argument(std::string("duplicate ") + what + " name '" + n + "'");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace
+
+Status validate(const Definitions& defs) {
+  if (!str::is_identifier(defs.name)) {
+    return err::invalid_argument("definitions name '" + defs.name + "' invalid");
+  }
+  if (defs.target_ns.empty()) {
+    return err::invalid_argument("definitions must have a target namespace");
+  }
+
+  std::vector<std::string> names;
+  for (const auto& m : defs.messages) names.push_back(m.name);
+  if (auto s = check_unique(names, "message"); !s.ok()) return s;
+  names.clear();
+  for (const auto& pt : defs.port_types) names.push_back(pt.name);
+  if (auto s = check_unique(names, "portType"); !s.ok()) return s;
+  names.clear();
+  for (const auto& b : defs.bindings) names.push_back(b.name);
+  if (auto s = check_unique(names, "binding"); !s.ok()) return s;
+  names.clear();
+  for (const auto& svc : defs.services) names.push_back(svc.name);
+  if (auto s = check_unique(names, "service"); !s.ok()) return s;
+
+  for (const auto& m : defs.messages) {
+    std::vector<std::string> part_names;
+    for (const auto& p : m.parts) part_names.push_back(p.name);
+    if (auto s = check_unique(part_names, "part"); !s.ok()) {
+      return s.error().context("in message " + m.name);
+    }
+  }
+
+  for (const auto& pt : defs.port_types) {
+    std::vector<std::string> op_names;
+    for (const auto& op : pt.operations) {
+      op_names.push_back(op.name);
+      if (!defs.find_message(op.input_message)) {
+        return err::invalid_argument("operation " + pt.name + "." + op.name +
+                                     " references missing input message '" +
+                                     op.input_message + "'");
+      }
+      if (!op.output_message.empty() && !defs.find_message(op.output_message)) {
+        return err::invalid_argument("operation " + pt.name + "." + op.name +
+                                     " references missing output message '" +
+                                     op.output_message + "'");
+      }
+    }
+    if (auto s = check_unique(op_names, "operation"); !s.ok()) {
+      return s.error().context("in portType " + pt.name);
+    }
+  }
+
+  for (const auto& b : defs.bindings) {
+    if (!defs.find_port_type(b.port_type)) {
+      return err::invalid_argument("binding " + b.name +
+                                   " references missing portType '" + b.port_type + "'");
+    }
+    if (b.kind == BindingKind::kLocal && !b.properties.count("class")) {
+      return err::invalid_argument("local binding " + b.name +
+                                   " must declare a 'class' property");
+    }
+    if (b.kind == BindingKind::kLocalObject && !b.properties.count("instance")) {
+      return err::invalid_argument("localobject binding " + b.name +
+                                   " must declare an 'instance' property");
+    }
+  }
+
+  for (const auto& svc : defs.services) {
+    std::vector<std::string> port_names;
+    for (const auto& port : svc.ports) {
+      port_names.push_back(port.name);
+      if (!defs.find_binding(port.binding)) {
+        return err::invalid_argument("port " + svc.name + "." + port.name +
+                                     " references missing binding '" + port.binding + "'");
+      }
+      if (port.address.empty()) {
+        return err::invalid_argument("port " + svc.name + "." + port.name +
+                                     " has no address");
+      }
+    }
+    if (auto s = check_unique(port_names, "port"); !s.ok()) {
+      return s.error().context("in service " + svc.name);
+    }
+  }
+
+  return Status::success();
+}
+
+}  // namespace h2::wsdl

@@ -1,0 +1,141 @@
+// WSDL 1.1 document model specialised to what Harness II uses: messages,
+// port types, operations, bindings (with extensibility elements) and
+// services/ports. The paper's two WSDL figures (WSTime, Fig 7; MatMul,
+// Fig 8) round-trip through this model; the registry stores documents in
+// this form and queries their XML serialization.
+//
+// Binding kinds follow Section 5:
+//   soap        SOAP over HTTP (the standardized W3C binding)
+//   http        raw HTTP GET/POST binding
+//   local       the paper's "Java binding": same-container, type-level —
+//               the runtime may instantiate a fresh provider instance
+//   localobject the paper's novel "JavaObject scheme": binds to a
+//               *specific pre-existing stateful instance* in the container
+//   xdr         numeric arrays over a direct socket-level connection
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encoding/value.hpp"
+#include "util/error.hpp"
+
+namespace h2::wsdl {
+
+inline constexpr const char* kWsdlNs = "http://schemas.xmlsoap.org/wsdl/";
+inline constexpr const char* kSoapBindingNs = "http://schemas.xmlsoap.org/wsdl/soap/";
+inline constexpr const char* kHttpBindingNs = "http://schemas.xmlsoap.org/wsdl/http/";
+inline constexpr const char* kMimeBindingNs = "http://schemas.xmlsoap.org/wsdl/mime/";
+/// Namespace for the Harness II binding extensions (local/localobject/xdr).
+inline constexpr const char* kHarnessBindingNs = "urn:harness2:bindings";
+
+enum class BindingKind { kSoap, kHttp, kMime, kLocal, kLocalObject, kXdr };
+
+const char* to_string(BindingKind kind);
+Result<BindingKind> binding_kind_from_string(std::string_view name);
+
+/// Maps a Value kind to its WSDL type string and back.
+/// kDoubleArray maps to "xsd:double[]" (rendered as a SOAP-ENC array type
+/// in soap bindings and a counted array in xdr bindings).
+std::string type_name(ValueKind kind);
+Result<ValueKind> type_from_name(std::string_view name);
+
+/// One named, typed message part.
+struct Part {
+  std::string name;
+  ValueKind type = ValueKind::kVoid;
+
+  bool operator==(const Part&) const = default;
+};
+
+/// An abstract message: a named list of parts.
+struct Message {
+  std::string name;
+  std::vector<Part> parts;
+
+  bool operator==(const Message&) const = default;
+};
+
+/// A request/response operation referencing input/output messages by name.
+/// `output_message` empty means a one-way operation.
+struct Operation {
+  std::string name;
+  std::string input_message;
+  std::string output_message;
+
+  bool operator==(const Operation&) const = default;
+};
+
+/// A named group of operations (the abstract interface).
+struct PortType {
+  std::string name;
+  std::vector<Operation> operations;
+
+  const Operation* find_operation(std::string_view op) const;
+  bool operator==(const PortType&) const = default;
+};
+
+/// The association of a port type with a concrete access mechanism.
+/// `properties` carries the binding's extensibility attributes:
+///   soap:        "transport", per-op soapAction is synthesized
+///   local:       "class" (component type to instantiate)
+///   localobject: "instance" (component instance id — the paper's scheme)
+///   xdr:         none required
+struct Binding {
+  std::string name;
+  std::string port_type;
+  BindingKind kind = BindingKind::kSoap;
+  std::map<std::string, std::string> properties;
+
+  bool operator==(const Binding&) const = default;
+};
+
+/// A concrete endpoint: binding + address URI
+/// (e.g. "http://hostA:8080/time", "xdr://hostA:9001", "local://kernelA",
+///  "localobject://kernelA/<instance-id>").
+struct Port {
+  std::string name;
+  std::string binding;
+  std::string address;
+
+  bool operator==(const Port&) const = default;
+};
+
+/// A named collection of ports for one logical service.
+struct Service {
+  std::string name;
+  std::vector<Port> ports;
+
+  const Port* find_port(std::string_view name) const;
+  bool operator==(const Service&) const = default;
+};
+
+/// A complete WSDL document (<definitions>).
+struct Definitions {
+  std::string name;
+  std::string target_ns;
+  std::vector<Message> messages;
+  std::vector<PortType> port_types;
+  std::vector<Binding> bindings;
+  std::vector<Service> services;
+
+  const Message* find_message(std::string_view name) const;
+  const PortType* find_port_type(std::string_view name) const;
+  const Binding* find_binding(std::string_view name) const;
+  const Service* find_service(std::string_view name) const;
+
+  /// All ports across all services whose binding has `kind`.
+  std::vector<const Port*> ports_with_kind(BindingKind kind) const;
+
+  bool operator==(const Definitions&) const = default;
+};
+
+/// Structural validation: unique names; operations reference existing
+/// messages; bindings reference existing port types; ports reference
+/// existing bindings; required binding properties present; identifiers
+/// well-formed. Returns the first problem found.
+Status validate(const Definitions& defs);
+
+}  // namespace h2::wsdl

@@ -1,0 +1,164 @@
+#include "xml/dom.hpp"
+
+namespace h2::xml {
+
+std::unique_ptr<Node> Node::element(std::string name) {
+  auto n = std::make_unique<Node>(NodeType::kElement);
+  n->name_ = std::move(name);
+  return n;
+}
+
+std::unique_ptr<Node> Node::text(std::string value) {
+  auto n = std::make_unique<Node>(NodeType::kText);
+  n->text_ = std::move(value);
+  return n;
+}
+
+std::unique_ptr<Node> Node::comment(std::string value) {
+  auto n = std::make_unique<Node>(NodeType::kComment);
+  n->text_ = std::move(value);
+  return n;
+}
+
+std::unique_ptr<Node> Node::cdata(std::string value) {
+  auto n = std::make_unique<Node>(NodeType::kCData);
+  n->text_ = std::move(value);
+  return n;
+}
+
+std::string_view Node::local_name() const {
+  auto pos = name_.find(':');
+  if (pos == std::string::npos) return name_;
+  return std::string_view(name_).substr(pos + 1);
+}
+
+std::string_view Node::prefix() const {
+  auto pos = name_.find(':');
+  if (pos == std::string::npos) return {};
+  return std::string_view(name_).substr(0, pos);
+}
+
+std::string Node::inner_text() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->type() == NodeType::kText || child->type() == NodeType::kCData) {
+      out += child->text();
+    }
+  }
+  return out;
+}
+
+std::optional<std::string_view> Node::attr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string Node::attr_or(std::string_view name, std::string_view fallback) const {
+  auto v = attr(name);
+  return std::string(v ? *v : fallback);
+}
+
+void Node::set_attr(std::string name, std::string value) {
+  for (auto& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::move(name), std::move(value)});
+}
+
+bool Node::remove_attr(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->name == name) {
+      attrs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Node* Node::add_child(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::add_element(std::string name) {
+  return add_child(Node::element(std::move(name)));
+}
+
+Node* Node::add_element_with_text(std::string name, std::string text) {
+  Node* el = add_element(std::move(name));
+  el->add_text(std::move(text));
+  return el;
+}
+
+Node* Node::add_text(std::string value) {
+  return add_child(Node::text(std::move(value)));
+}
+
+const Node* Node::first_child(std::string_view local) const {
+  for (const auto& child : children_) {
+    if (child->is_element() && child->local_name() == local) return child.get();
+  }
+  return nullptr;
+}
+
+Node* Node::first_child(std::string_view local) {
+  return const_cast<Node*>(std::as_const(*this).first_child(local));
+}
+
+std::vector<const Node*> Node::children_named(std::string_view local) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element() && child->local_name() == local) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::vector<const Node*> Node::element_children() const {
+  std::vector<const Node*> out;
+  for (const auto& child : children_) {
+    if (child->is_element()) out.push_back(child.get());
+  }
+  return out;
+}
+
+bool Node::remove_child(const Node* node) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->get() == node) {
+      children_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Node> Node::clone() const {
+  auto copy = std::make_unique<Node>(type_);
+  copy->name_ = name_;
+  copy->text_ = text_;
+  copy->attrs_ = attrs_;
+  for (const auto& child : children_) {
+    copy->add_child(child->clone());
+  }
+  return copy;
+}
+
+std::optional<std::string_view> Node::resolve_namespace(std::string_view prefix) const {
+  std::string attr_name = prefix.empty() ? "xmlns" : "xmlns:" + std::string(prefix);
+  for (const Node* n = this; n != nullptr; n = n->parent_) {
+    if (!n->is_element()) continue;
+    if (auto v = n->attr(attr_name)) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Node::namespace_uri() const {
+  return resolve_namespace(prefix());
+}
+
+}  // namespace h2::xml

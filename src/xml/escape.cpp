@@ -1,0 +1,99 @@
+#include "xml/escape.hpp"
+
+#include <cstdint>
+
+namespace h2::xml {
+
+namespace {
+
+std::string escape_impl(std::string_view raw, bool attr) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (attr) { out += "&quot;"; break; }
+        out.push_back(c);
+        break;
+      case '\'':
+        if (attr) { out += "&apos;"; break; }
+        out.push_back(c);
+        break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Appends `cp` as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) { return escape_impl(raw, false); }
+std::string escape_attr(std::string_view raw) { return escape_impl(raw, true); }
+
+Result<std::string> decode_entities(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    char c = encoded[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    std::size_t semi = encoded.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return err::parse("unterminated entity reference");
+    }
+    std::string_view name = encoded.substr(i + 1, semi - i - 1);
+    if (name == "amp") out.push_back('&');
+    else if (name == "lt") out.push_back('<');
+    else if (name == "gt") out.push_back('>');
+    else if (name == "quot") out.push_back('"');
+    else if (name == "apos") out.push_back('\'');
+    else if (!name.empty() && name[0] == '#') {
+      std::uint32_t cp = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string_view digits = name.substr(hex ? 2 : 1);
+      if (digits.empty()) return err::parse("empty character reference");
+      for (char d : digits) {
+        std::uint32_t v;
+        if (d >= '0' && d <= '9') v = static_cast<std::uint32_t>(d - '0');
+        else if (hex && d >= 'a' && d <= 'f') v = static_cast<std::uint32_t>(d - 'a' + 10);
+        else if (hex && d >= 'A' && d <= 'F') v = static_cast<std::uint32_t>(d - 'A' + 10);
+        else return err::parse("bad character reference: &" + std::string(name) + ";");
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) return err::parse("character reference out of range");
+      }
+      append_utf8(out, cp);
+    } else {
+      return err::parse("unknown entity: &" + std::string(name) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace h2::xml

@@ -1,0 +1,21 @@
+// XML character escaping and entity decoding.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace h2::xml {
+
+/// Escapes &, <, > (text content).
+std::string escape_text(std::string_view raw);
+
+/// Escapes &, <, >, ", ' (attribute values).
+std::string escape_attr(std::string_view raw);
+
+/// Decodes the five predefined entities plus decimal/hex character
+/// references (&#65; / &#x41;). Unknown entities are a parse error.
+Result<std::string> decode_entities(std::string_view encoded);
+
+}  // namespace h2::xml

@@ -1,0 +1,29 @@
+// Non-validating XML parser producing the h2::xml DOM. Handles elements,
+// attributes, namespaces (as plain attributes; resolution lives in the DOM),
+// text with entity references, CDATA, comments, processing instructions and
+// an optional XML declaration. DOCTYPE is skipped. Errors carry line/column.
+#pragma once
+
+#include <string_view>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+
+namespace h2::xml {
+
+struct ParseOptions {
+  /// Drop whitespace-only text nodes between elements (default on: WSDL
+  /// and SOAP consumers never care about indentation text).
+  bool ignore_whitespace_text = true;
+  /// Keep comment nodes in the tree.
+  bool keep_comments = false;
+};
+
+/// Parses a complete document (one root element).
+Result<Document> parse(std::string_view input, const ParseOptions& options = {});
+
+/// Parses a document and returns just the root element.
+Result<std::unique_ptr<Node>> parse_element(std::string_view input,
+                                            const ParseOptions& options = {});
+
+}  // namespace h2::xml

@@ -1,0 +1,24 @@
+// DOM → text serialization, compact or pretty-printed.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace h2::xml {
+
+struct WriteOptions {
+  /// Pretty-print with newlines and `indent_width`-space indentation.
+  bool pretty = false;
+  int indent_width = 2;
+  /// Emit the `<?xml version=... encoding=...?>` declaration.
+  bool declaration = false;
+};
+
+/// Serializes a subtree.
+std::string write(const Node& node, const WriteOptions& options = {});
+
+/// Serializes a whole document (declaration governed by options).
+std::string write(const Document& doc, const WriteOptions& options = {});
+
+}  // namespace h2::xml

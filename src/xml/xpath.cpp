@@ -1,0 +1,297 @@
+#include "xml/xpath.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace h2::xml {
+
+namespace {
+
+/// Collects `node` and all element descendants, document order.
+void collect_descendants(const Node& node, std::vector<const Node*>& out) {
+  out.push_back(&node);
+  for (const auto& child : node.children()) {
+    if (child->is_element()) collect_descendants(*child, out);
+  }
+}
+
+bool name_matches(const Node& node, std::string_view pattern) {
+  return pattern == "*" || node.local_name() == pattern;
+}
+
+}  // namespace
+
+Result<XPath> XPath::compile(std::string_view expression) {
+  XPath xp;
+  xp.expression_ = std::string(expression);
+  std::string_view rest = str::trim(expression);
+  if (rest.empty()) return err::invalid_argument("xpath: empty expression");
+
+  bool first = true;
+  while (!rest.empty()) {
+    Axis axis = Axis::kChild;
+    if (str::starts_with(rest, "//")) {
+      axis = Axis::kDescendant;
+      rest.remove_prefix(2);
+    } else if (str::starts_with(rest, "/")) {
+      if (first) xp.anchored_ = true;
+      rest.remove_prefix(1);
+    } else if (!first) {
+      return err::invalid_argument("xpath: expected '/' in '" + xp.expression_ + "'");
+    }
+    first = false;
+    if (rest.empty()) return err::invalid_argument("xpath: trailing '/'");
+
+    Step step;
+    step.axis = axis;
+
+    if (rest[0] == '@') {
+      rest.remove_prefix(1);
+      std::size_t end = 0;
+      while (end < rest.size() && rest[end] != '/' && rest[end] != '[') ++end;
+      step.kind = StepKind::kAttribute;
+      step.name = std::string(str::trim(rest.substr(0, end)));
+      if (step.name.empty()) return err::invalid_argument("xpath: empty attribute name");
+      rest.remove_prefix(end);
+      if (!str::trim(rest).empty()) {
+        return err::invalid_argument("xpath: @attr must be the final step");
+      }
+      xp.steps_.push_back(std::move(step));
+      break;
+    }
+
+    if (str::starts_with(rest, "text()")) {
+      step.kind = StepKind::kText;
+      rest.remove_prefix(6);
+      if (!str::trim(rest).empty()) {
+        return err::invalid_argument("xpath: text() must be the final step");
+      }
+      xp.steps_.push_back(std::move(step));
+      break;
+    }
+
+    // Element name (possibly "*").
+    std::size_t end = 0;
+    while (end < rest.size() && rest[end] != '/' && rest[end] != '[') ++end;
+    step.name = std::string(str::trim(rest.substr(0, end)));
+    if (step.name.empty()) return err::invalid_argument("xpath: empty step name");
+    rest.remove_prefix(end);
+
+    // Predicates.
+    while (!rest.empty() && rest[0] == '[') {
+      std::size_t close = rest.find(']');
+      if (close == std::string_view::npos) {
+        return err::invalid_argument("xpath: unterminated predicate");
+      }
+      std::string_view body = str::trim(rest.substr(1, close - 1));
+      rest.remove_prefix(close + 1);
+      if (body.empty()) return err::invalid_argument("xpath: empty predicate");
+
+      Predicate pred;
+      if (std::isdigit(static_cast<unsigned char>(body[0]))) {
+        auto n = str::parse_u64(body);
+        if (!n.ok() || *n == 0) {
+          return err::invalid_argument("xpath: bad position predicate [" +
+                                       std::string(body) + "]");
+        }
+        pred.kind = Predicate::Kind::kPosition;
+        pred.position = static_cast<std::size_t>(*n);
+      } else {
+        bool is_attr = body[0] == '@';
+        if (is_attr) body.remove_prefix(1);
+        std::size_t eq = body.find('=');
+        if (eq == std::string_view::npos) {
+          if (!is_attr) {
+            return err::invalid_argument("xpath: bare name predicate must be @attr");
+          }
+          pred.kind = Predicate::Kind::kAttrExists;
+          pred.name = std::string(str::trim(body));
+        } else {
+          pred.name = std::string(str::trim(body.substr(0, eq)));
+          std::string_view value = str::trim(body.substr(eq + 1));
+          if (value.size() < 2 || (value.front() != '\'' && value.front() != '"') ||
+              value.back() != value.front()) {
+            return err::invalid_argument("xpath: predicate value must be quoted");
+          }
+          pred.value = std::string(value.substr(1, value.size() - 2));
+          pred.kind = is_attr ? Predicate::Kind::kAttrEquals
+                              : Predicate::Kind::kChildTextEquals;
+        }
+        if (pred.name.empty()) return err::invalid_argument("xpath: empty predicate name");
+      }
+      step.predicates.push_back(std::move(pred));
+    }
+
+    xp.steps_.push_back(std::move(step));
+  }
+
+  if (xp.steps_.empty()) return err::invalid_argument("xpath: no steps");
+  return xp;
+}
+
+bool XPath::matches_predicates(const Node& node, const Step& step,
+                               std::vector<const Node*>&) const {
+  for (const auto& pred : step.predicates) {
+    switch (pred.kind) {
+      case Predicate::Kind::kAttrExists:
+        if (!node.attr(pred.name)) return false;
+        break;
+      case Predicate::Kind::kAttrEquals: {
+        auto v = node.attr(pred.name);
+        if (!v || *v != pred.value) return false;
+        break;
+      }
+      case Predicate::Kind::kChildTextEquals: {
+        bool found = false;
+        for (const Node* child : node.children_named(pred.name)) {
+          if (child->inner_text() == pred.value) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+        break;
+      }
+      case Predicate::Kind::kPosition:
+        // Position predicates are applied by the caller over the candidate
+        // list; handled in select().
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<const Node*> XPath::select(const Node& root) const {
+  std::vector<const Node*> current;
+
+  // Seed the node set for the first step.
+  const Step& first = steps_.front();
+  std::vector<const Node*> scratch;
+  auto apply_step = [&](const Step& step, const std::vector<const Node*>& in)
+      -> std::vector<const Node*> {
+    std::vector<const Node*> candidates;
+    for (const Node* node : in) {
+      if (step.axis == Axis::kDescendant) {
+        std::vector<const Node*> descendants;
+        for (const auto& child : node->children()) {
+          if (child->is_element()) collect_descendants(*child, descendants);
+        }
+        for (const Node* d : descendants) {
+          if (step.kind == StepKind::kElement && name_matches(*d, step.name) &&
+              matches_predicates(*d, step, scratch)) {
+            candidates.push_back(d);
+          }
+        }
+      } else {
+        for (const Node* child : node->element_children()) {
+          if (step.kind == StepKind::kElement && name_matches(*child, step.name) &&
+              matches_predicates(*child, step, scratch)) {
+            candidates.push_back(child);
+          }
+        }
+      }
+    }
+    return candidates;
+  };
+
+  auto apply_position = [](const Step& step, std::vector<const Node*> candidates) {
+    for (const auto& pred : step.predicates) {
+      if (pred.kind == Predicate::Kind::kPosition) {
+        if (pred.position <= candidates.size()) {
+          candidates = {candidates[pred.position - 1]};
+        } else {
+          candidates.clear();
+        }
+      }
+    }
+    return candidates;
+  };
+
+  std::size_t step_index = 0;
+  if (first.kind == StepKind::kElement) {
+    if (anchored_) {
+      // The first step names the root element itself.
+      if (name_matches(root, first.name) && matches_predicates(root, first, scratch)) {
+        current = {&root};
+      }
+      current = apply_position(first, std::move(current));
+      step_index = 1;
+    } else if (first.axis == Axis::kDescendant) {
+      std::vector<const Node*> all;
+      collect_descendants(root, all);
+      for (const Node* node : all) {
+        if (name_matches(*node, first.name) && matches_predicates(*node, first, scratch)) {
+          current.push_back(node);
+        }
+      }
+      current = apply_position(first, std::move(current));
+      step_index = 1;
+    } else {
+      // Relative path: evaluate against the root as context node.
+      current = {&root};
+    }
+  } else {
+    // Path like "//text()" or "@attr" directly: context is the root.
+    current = {&root};
+  }
+
+  for (; step_index < steps_.size(); ++step_index) {
+    const Step& step = steps_[step_index];
+    if (step.kind == StepKind::kElement) {
+      current = apply_position(step, apply_step(step, current));
+      if (current.empty()) break;
+    } else {
+      // Terminal @attr / text(): keep elements that own a match.
+      std::vector<const Node*> owners;
+      for (const Node* node : current) {
+        if (step.kind == StepKind::kAttribute) {
+          if (node->attr(step.name)) owners.push_back(node);
+        } else {
+          if (!node->inner_text().empty()) owners.push_back(node);
+        }
+      }
+      current = std::move(owners);
+      break;
+    }
+  }
+  return current;
+}
+
+std::vector<std::string> XPath::select_values(const Node& root) const {
+  std::vector<std::string> out;
+  const Step& last = steps_.back();
+  for (const Node* node : select(root)) {
+    if (last.kind == StepKind::kAttribute) {
+      if (auto v = node->attr(last.name)) out.emplace_back(*v);
+    } else {
+      out.push_back(node->inner_text());
+    }
+  }
+  return out;
+}
+
+const Node* XPath::select_first(const Node& root) const {
+  auto nodes = select(root);
+  return nodes.empty() ? nullptr : nodes.front();
+}
+
+std::optional<std::string> XPath::select_first_value(const Node& root) const {
+  auto values = select_values(root);
+  if (values.empty()) return std::nullopt;
+  return std::move(values.front());
+}
+
+Result<std::vector<const Node*>> select(const Node& root, std::string_view path) {
+  auto xp = XPath::compile(path);
+  if (!xp.ok()) return xp.error();
+  return xp->select(root);
+}
+
+Result<std::vector<std::string>> select_values(const Node& root, std::string_view path) {
+  auto xp = XPath::compile(path);
+  if (!xp.ok()) return xp.error();
+  return xp->select_values(root);
+}
+
+}  // namespace h2::xml

@@ -1,0 +1,85 @@
+// XPath-lite: the query language of the Harness II registry. The paper's
+// deployment plan item (1) calls for "a registry/lookup framework based on
+// the capability of querying XML documents for specific nodes and values";
+// this module implements that capability over the h2::xml DOM.
+//
+// Supported grammar (a practical subset of XPath 1.0 abbreviated syntax):
+//
+//   path      := ('/' | '//')? step (('/' | '//') step)*
+//   step      := (name | '*') predicate*      -- element step, local names
+//              | '@' name                     -- attribute step (terminal)
+//              | 'text()'                     -- text step (terminal)
+//   predicate := '[' '@' name ']'             -- attribute exists
+//              | '[' '@' name '=' quoted ']'  -- attribute equals
+//              | '[' name '=' quoted ']'      -- child element text equals
+//              | '[' integer ']'              -- 1-based position
+//
+// A leading '/' anchors the first step at the root element itself;
+// a leading '//' (or interior '//') selects descendants-or-self.
+// Element names match on *local* name so WSDL prefixes don't matter.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+
+namespace h2::xml {
+
+/// Compiled query; compile once, run against many documents (the registry
+/// does exactly this).
+class XPath {
+ public:
+  /// Compiles `expression`; fails on syntax errors.
+  static Result<XPath> compile(std::string_view expression);
+
+  /// Elements matched by the path. If the path ends in @attr or text(),
+  /// returns the elements *owning* the matched attribute/text.
+  std::vector<const Node*> select(const Node& root) const;
+
+  /// String results: attribute values for @attr-terminated paths, text
+  /// content for text()-terminated paths, inner_text() otherwise.
+  std::vector<std::string> select_values(const Node& root) const;
+
+  /// First match or nullptr / nullopt.
+  const Node* select_first(const Node& root) const;
+  std::optional<std::string> select_first_value(const Node& root) const;
+
+  const std::string& expression() const { return expression_; }
+
+ private:
+  enum class Axis { kChild, kDescendant };
+  enum class StepKind { kElement, kAttribute, kText };
+
+  struct Predicate {
+    enum class Kind { kAttrExists, kAttrEquals, kChildTextEquals, kPosition };
+    Kind kind;
+    std::string name;   // attribute or child element name
+    std::string value;  // comparison value
+    std::size_t position = 0;
+  };
+
+  struct Step {
+    Axis axis = Axis::kChild;
+    StepKind kind = StepKind::kElement;
+    std::string name;  // element local name, "*", or attribute name
+    std::vector<Predicate> predicates;
+  };
+
+  XPath() = default;
+
+  bool matches_predicates(const Node& node, const Step& step,
+                          std::vector<const Node*>& scratch) const;
+
+  std::string expression_;
+  bool anchored_ = false;  // leading single '/'
+  std::vector<Step> steps_;
+};
+
+/// One-shot helpers for call sites that don't reuse the query.
+Result<std::vector<const Node*>> select(const Node& root, std::string_view path);
+Result<std::vector<std::string>> select_values(const Node& root, std::string_view path);
+
+}  // namespace h2::xml

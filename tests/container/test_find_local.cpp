@@ -1,0 +1,64 @@
+// Local-namespace resolution semantics: most-recent instance wins, and
+// the record always maps back to a live component.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::container {
+namespace {
+
+class FindLocalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    host_ = std::make_unique<Container>("A", repo_, net_, *net_.add_host("A"));
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<Container> host_;
+};
+
+TEST_F(FindLocalTest, MostRecentInstanceWins) {
+  auto first = host_->deploy("lapack");
+  ASSERT_TRUE(first.ok());
+  net_.clock().advance(kSecond);  // registration timestamps must differ
+  auto second = host_->deploy("lapack");
+  ASSERT_TRUE(second.ok());
+  auto record = host_->find_local("LapackService");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->instance_id, *second);
+}
+
+TEST_F(FindLocalTest, FallsBackWhenNewestIsUndeployed) {
+  auto first = host_->deploy("lapack");
+  net_.clock().advance(kSecond);
+  auto second = host_->deploy("lapack");
+  ASSERT_TRUE(first.ok() && second.ok());
+  ASSERT_TRUE(host_->undeploy(*second).ok());
+  auto record = host_->find_local("LapackService");
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->instance_id, *first);
+}
+
+TEST_F(FindLocalTest, DifferentServicesCoexist) {
+  ASSERT_TRUE(host_->deploy("time").ok());
+  ASSERT_TRUE(host_->deploy("mmul").ok());
+  EXPECT_TRUE(host_->find_local("WSTimeService").ok());
+  EXPECT_TRUE(host_->find_local("MatMulService").ok());
+  EXPECT_FALSE(host_->find_local("LapackService").ok());
+}
+
+TEST_F(FindLocalTest, RecordPointsAtLiveInstance) {
+  auto id = host_->deploy("time");
+  ASSERT_TRUE(id.ok());
+  auto record = host_->find_local("WSTimeService");
+  ASSERT_TRUE(record.ok());
+  auto dispatcher = host_->instance(record->instance_id);
+  ASSERT_TRUE(dispatcher.ok());
+  EXPECT_TRUE((*dispatcher)->dispatch("getTime", {}).ok());
+}
+
+}  // namespace
+}  // namespace h2::container

@@ -1,0 +1,100 @@
+// Container-level tests for the raw HTTP binding exposure.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::container {
+namespace {
+
+class HttpExposureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    a_ = std::make_unique<Container>("A", repo_, net_, *net_.add_host("A"));
+    b_ = std::make_unique<Container>("B", repo_, net_, *net_.add_host("B"));
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<Container> a_, b_;
+};
+
+TEST_F(HttpExposureTest, HttpEndpointInWsdlAndCallable) {
+  DeployOptions options;
+  options.expose_http = true;
+  auto id = a_->deploy("mmul", options);
+  ASSERT_TRUE(id.ok()) << id.error().describe();
+  auto defs = *a_->describe(*id);
+  auto http_ports = defs.ports_with_kind(wsdl::BindingKind::kHttp);
+  ASSERT_EQ(http_ports.size(), 1u);
+  EXPECT_NE(http_ports[0]->address.find(".raw"), std::string::npos);
+
+  std::vector<wsdl::BindingKind> pref{wsdl::BindingKind::kHttp};
+  auto channel = b_->open_channel(defs, pref);
+  ASSERT_TRUE(channel.ok()) << channel.error().describe();
+  EXPECT_STREQ((*channel)->binding_name(), "http");
+  std::vector<Value> params{Value::of_doubles({2}, "mata"), Value::of_doubles({3}, "matb")};
+  auto result = (*channel)->invoke("getResult", params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->as_doubles(), (std::vector<double>{6}));
+}
+
+TEST_F(HttpExposureTest, NegotiationPrefersXdrOverHttpOverSoap) {
+  DeployOptions options;
+  options.expose_soap = true;
+  options.expose_http = true;
+  options.expose_xdr = true;
+  auto id = a_->deploy("ping", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+
+  auto negotiated = b_->open_channel(defs);
+  ASSERT_TRUE(negotiated.ok());
+  EXPECT_STREQ((*negotiated)->binding_name(), "xdr");
+
+  std::vector<wsdl::BindingKind> no_xdr{wsdl::BindingKind::kHttp,
+                                        wsdl::BindingKind::kSoap};
+  auto http_first = b_->open_channel(defs, no_xdr);
+  ASSERT_TRUE(http_first.ok());
+  EXPECT_STREQ((*http_first)->binding_name(), "http");
+}
+
+TEST_F(HttpExposureTest, SoapAndHttpShareTheServerPort) {
+  DeployOptions options;
+  options.expose_soap = true;
+  options.expose_http = true;
+  auto id = a_->deploy("time", options);
+  ASSERT_TRUE(id.ok());
+  // Both paths answer on kSoapPort.
+  EXPECT_TRUE(net_.is_listening(a_->host(), kSoapPort));
+  auto defs = *a_->describe(*id);
+  for (wsdl::BindingKind kind : {wsdl::BindingKind::kSoap, wsdl::BindingKind::kHttp}) {
+    std::vector<wsdl::BindingKind> pref{kind};
+    auto channel = b_->open_channel(defs, pref);
+    ASSERT_TRUE(channel.ok()) << wsdl::to_string(kind);
+    EXPECT_TRUE((*channel)->invoke("getTime", {}).ok()) << wsdl::to_string(kind);
+  }
+}
+
+TEST_F(HttpExposureTest, UndeployUnmountsBothPaths) {
+  DeployOptions options;
+  options.expose_soap = true;
+  options.expose_http = true;
+  auto id = a_->deploy("time", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+  ASSERT_TRUE(a_->undeploy(*id).ok());
+  for (wsdl::BindingKind kind : {wsdl::BindingKind::kSoap, wsdl::BindingKind::kHttp}) {
+    std::vector<wsdl::BindingKind> pref{kind};
+    auto channel = b_->open_channel(defs, pref);
+    if (channel.ok()) {
+      EXPECT_FALSE((*channel)->invoke("getTime", {}).ok()) << wsdl::to_string(kind);
+    }
+  }
+  // A re-deploy can reuse the paths.
+  EXPECT_TRUE(a_->deploy("time", options).ok());
+}
+
+}  // namespace
+}  // namespace h2::container

@@ -1,0 +1,98 @@
+#include "container/management.hpp"
+
+#include <gtest/gtest.h>
+
+#include "plugins/standard.hpp"
+
+namespace h2::container {
+namespace {
+
+class ManagementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_host_ = *net_.add_host("A");
+    b_host_ = *net_.add_host("B");
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    a_ = std::make_unique<Container>("A", repo_, net_, a_host_);
+    service_ = std::make_unique<ManagementService>(*a_);
+    ASSERT_TRUE(service_->start().ok());
+    remote_ = std::make_unique<RemoteContainer>(net_, b_host_, "A");
+  }
+
+  net::SimNetwork net_;
+  net::HostId a_host_ = 0, b_host_ = 0;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<Container> a_;
+  std::unique_ptr<ManagementService> service_;
+  std::unique_ptr<RemoteContainer> remote_;
+};
+
+TEST_F(ManagementTest, PingIdentifiesContainer) {
+  auto name = remote_->ping();
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "A");
+}
+
+TEST_F(ManagementTest, RemoteDeployAndList) {
+  auto id = remote_->deploy("time", /*expose_soap=*/false, /*expose_xdr=*/true);
+  ASSERT_TRUE(id.ok()) << id.error().describe();
+  EXPECT_EQ(a_->component_count(), 1u);
+  auto ids = remote_->list();
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 1u);
+  EXPECT_EQ((*ids)[0], *id);
+}
+
+TEST_F(ManagementTest, RemoteDeployUnknownPluginFails) {
+  EXPECT_FALSE(remote_->deploy("ghost", false, false).ok());
+}
+
+TEST_F(ManagementTest, RemoteDescribeReturnsUsableWsdl) {
+  auto id = remote_->deploy("mmul", false, true);
+  ASSERT_TRUE(id.ok());
+  auto defs = remote_->describe(*id);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_EQ(defs->name, "MatMul");
+  EXPECT_FALSE(defs->ports_with_kind(wsdl::BindingKind::kXdr).empty());
+  EXPECT_FALSE(remote_->describe("nope").ok());
+}
+
+TEST_F(ManagementTest, RemoteFindByServiceName) {
+  ASSERT_TRUE(remote_->deploy("time", false, true).ok());
+  auto defs = remote_->find("WSTimeService");
+  ASSERT_TRUE(defs.ok());
+  EXPECT_EQ(defs->name, "WSTime");
+  EXPECT_FALSE(remote_->find("Ghost").ok());
+}
+
+TEST_F(ManagementTest, RemoteUndeploy) {
+  auto id = remote_->deploy("ping", false, false);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(remote_->undeploy(*id).ok());
+  EXPECT_EQ(a_->component_count(), 0u);
+  EXPECT_FALSE(remote_->undeploy(*id).ok());
+}
+
+TEST_F(ManagementTest, Section6UploadAndRunNearTheService) {
+  // Remote-deploy the compute service, then remote-deploy the "client"
+  // next to it and verify the colocated call uses a local binding.
+  auto lapack_id = remote_->deploy("lapack", false, true);
+  ASSERT_TRUE(lapack_id.ok());
+  auto defs = remote_->describe(*lapack_id);
+  ASSERT_TRUE(defs.ok());
+  auto channel = a_->open_channel(*defs);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_STREQ((*channel)->binding_name(), "localobject");
+}
+
+TEST_F(ManagementTest, StopMakesServiceUnreachable) {
+  service_->stop();
+  EXPECT_FALSE(service_->running());
+  EXPECT_FALSE(remote_->ping().ok());
+  // Restart works.
+  ASSERT_TRUE(service_->start().ok());
+  EXPECT_TRUE(remote_->ping().ok());
+}
+
+}  // namespace
+}  // namespace h2::container

@@ -1,0 +1,117 @@
+// Container-level MIME binding: end-to-end calls, negotiation order, and
+// the wire-size comparison against plain SOAP for bulk payloads.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace h2::container {
+namespace {
+
+class MimeExposureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    a_ = std::make_unique<Container>("A", repo_, net_, *net_.add_host("A"));
+    b_ = std::make_unique<Container>("B", repo_, net_, *net_.add_host("B"));
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<Container> a_, b_;
+};
+
+TEST_F(MimeExposureTest, EndToEndMatMulOverMime) {
+  DeployOptions options;
+  options.expose_mime = true;
+  auto id = a_->deploy("mmul", options);
+  ASSERT_TRUE(id.ok()) << id.error().describe();
+  auto defs = *a_->describe(*id);
+  ASSERT_EQ(defs.ports_with_kind(wsdl::BindingKind::kMime).size(), 1u);
+
+  std::vector<wsdl::BindingKind> pref{wsdl::BindingKind::kMime};
+  auto channel = b_->open_channel(defs, pref);
+  ASSERT_TRUE(channel.ok()) << channel.error().describe();
+  EXPECT_STREQ((*channel)->binding_name(), "mime");
+
+  Rng rng(9);
+  std::size_t n = 8;
+  auto x = rng.doubles(n * n);
+  std::vector<Value> params{Value::of_doubles(x, "mata"),
+                            Value::of_doubles(x, "matb")};
+  auto result = (*channel)->invoke("getResult", params);
+  ASSERT_TRUE(result.ok()) << result.error().describe();
+  EXPECT_EQ(result->as_doubles()->size(), n * n);
+}
+
+TEST_F(MimeExposureTest, MimeMovesFewerBytesThanSoap) {
+  DeployOptions options;
+  options.expose_soap = true;
+  options.expose_mime = true;
+  auto id = a_->deploy("mmul", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+
+  Rng rng(10);
+  std::size_t n = 32;
+  std::vector<Value> params{Value::of_doubles(rng.doubles(n * n), "mata"),
+                            Value::of_doubles(rng.doubles(n * n), "matb")};
+
+  std::vector<wsdl::BindingKind> mime_pref{wsdl::BindingKind::kMime};
+  std::vector<wsdl::BindingKind> soap_pref{wsdl::BindingKind::kSoap};
+  auto mime = b_->open_channel(defs, mime_pref);
+  auto soap = b_->open_channel(defs, soap_pref);
+  ASSERT_TRUE(mime.ok() && soap.ok());
+  auto r1 = (*mime)->invoke("getResult", params);
+  auto r2 = (*soap)->invoke("getResult", params);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(*r1->as_doubles(), *r2->as_doubles());
+  EXPECT_LT((*mime)->last_stats().request_bytes,
+            (*soap)->last_stats().request_bytes / 2);
+  EXPECT_LT((*mime)->last_stats().response_bytes,
+            (*soap)->last_stats().response_bytes / 2);
+}
+
+TEST_F(MimeExposureTest, NegotiationPrefersMimeOverSoap) {
+  DeployOptions options;
+  options.expose_soap = true;
+  options.expose_mime = true;
+  auto id = a_->deploy("ping", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+  auto channel = b_->open_channel(defs);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_STREQ((*channel)->binding_name(), "mime");
+}
+
+TEST_F(MimeExposureTest, MimeFaultPropagates) {
+  DeployOptions options;
+  options.expose_mime = true;
+  auto id = a_->deploy("mmul", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+  std::vector<wsdl::BindingKind> pref{wsdl::BindingKind::kMime};
+  auto channel = b_->open_channel(defs, pref);
+  ASSERT_TRUE(channel.ok());
+  std::vector<Value> bad{Value::of_doubles({1, 2, 3}, "mata"),
+                         Value::of_doubles({1, 2, 3}, "matb")};
+  auto result = (*channel)->invoke("getResult", bad);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST_F(MimeExposureTest, UndeployUnmountsMimePath) {
+  DeployOptions options;
+  options.expose_mime = true;
+  auto id = a_->deploy("time", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *a_->describe(*id);
+  ASSERT_TRUE(a_->undeploy(*id).ok());
+  std::vector<wsdl::BindingKind> pref{wsdl::BindingKind::kMime};
+  auto channel = b_->open_channel(defs, pref);
+  ASSERT_TRUE(channel.ok());  // channel opens; the call must fail
+  EXPECT_FALSE((*channel)->invoke("getTime", {}).ok());
+}
+
+}  // namespace
+}  // namespace h2::container

@@ -1,0 +1,92 @@
+// Plugin versioning through the container: DeployOptions.version pins a
+// repository version; default picks the latest — the "plugins obtained
+// from third-party repositories" story where versions matter.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::container {
+namespace {
+
+/// A trivial plugin whose single operation reports its version.
+class VersionedPlugin final : public plugins::MuxPlugin {
+ public:
+  explicit VersionedPlugin(std::string version) : version_(std::move(version)) {
+    add_op("version", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_string(version_, "return");
+    });
+  }
+  kernel::PluginInfo info() const override { return {"solver", version_}; }
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Solver";
+    d.operations.push_back({"version", {}, ValueKind::kString});
+    return d;
+  }
+
+ private:
+  std::string version_;
+};
+
+class VersioningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* version : {"1.0", "1.5", "2.0"}) {
+      ASSERT_TRUE(repo_
+                      .add("solver", version,
+                           [version] { return std::make_unique<VersionedPlugin>(version); })
+                      .ok());
+    }
+    host_ = std::make_unique<Container>("A", repo_, net_, *net_.add_host("A"));
+  }
+
+  std::string deployed_version(const std::string& instance_id) {
+    auto d = *host_->instance(instance_id);
+    return *d->dispatch("version", {})->as_string();
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<Container> host_;
+};
+
+TEST_F(VersioningTest, DefaultDeploysLatest) {
+  auto id = host_->deploy("solver");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(deployed_version(*id), "2.0");
+}
+
+TEST_F(VersioningTest, PinnedVersionHonored) {
+  DeployOptions options;
+  options.version = "1.5";
+  auto id = host_->deploy("solver", options);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(deployed_version(*id), "1.5");
+}
+
+TEST_F(VersioningTest, UnknownVersionRejected) {
+  DeployOptions options;
+  options.version = "9.9";
+  auto id = host_->deploy("solver", options);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VersioningTest, SideBySideVersions) {
+  // Old and new versions coexist as separate instances — live upgrade.
+  DeployOptions old_options;
+  old_options.version = "1.0";
+  auto old_id = host_->deploy("solver", old_options);
+  auto new_id = host_->deploy("solver");
+  ASSERT_TRUE(old_id.ok() && new_id.ok());
+  EXPECT_EQ(deployed_version(*old_id), "1.0");
+  EXPECT_EQ(deployed_version(*new_id), "2.0");
+  // Retire the old one; the new instance is untouched.
+  ASSERT_TRUE(host_->undeploy(*old_id).ok());
+  EXPECT_EQ(deployed_version(*new_id), "2.0");
+}
+
+}  // namespace
+}  // namespace h2::container

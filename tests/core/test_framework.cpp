@@ -1,0 +1,126 @@
+#include "core/harness2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+TEST(Framework, VersionAndRepositoryPopulated) {
+  Framework fw;
+  EXPECT_STREQ(version(), "2.0.0");
+  // Standard plugins + hpvmd.
+  EXPECT_EQ(fw.repository().size(), 11u);
+  EXPECT_TRUE(fw.repository().has("hpvmd"));
+  EXPECT_TRUE(fw.repository().has("lapack"));
+}
+
+TEST(Framework, CreateContainersUniqueNames) {
+  Framework fw;
+  auto a = fw.create_container("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(fw.create_container("A").ok());
+  EXPECT_EQ(fw.find_container("A"), *a);
+  EXPECT_EQ(fw.find_container("B"), nullptr);
+  ASSERT_TRUE(fw.create_container("B").ok());
+  EXPECT_EQ(fw.container_names(), (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Framework, ManagementServiceStartedAutomatically) {
+  Framework fw;
+  auto a = fw.create_container("A");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(fw.network().is_listening((*a)->host(), container::kContainerPort));
+}
+
+TEST(Framework, CreateDvmAndEnroll) {
+  Framework fw;
+  auto a = fw.create_container("A");
+  auto b = fw.create_container("B");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto d = fw.create_dvm("dvm1", CoherencyMode::kFullSynchrony);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(fw.create_dvm("dvm1", CoherencyMode::kDecentralized).ok());
+  ASSERT_TRUE((*d)->add_node(**a).ok());
+  ASSERT_TRUE((*d)->add_node(**b).ok());
+  EXPECT_EQ((*d)->node_count(), 2u);
+  EXPECT_EQ(fw.find_dvm("dvm1"), *d);
+  EXPECT_EQ(fw.find_dvm("nope"), nullptr);
+}
+
+TEST(Framework, CoherencyFactoryCoversAllModes) {
+  EXPECT_STREQ(make_coherency(CoherencyMode::kFullSynchrony)->name(), "full-synchrony");
+  EXPECT_STREQ(make_coherency(CoherencyMode::kDecentralized)->name(), "decentralized");
+  EXPECT_STREQ(make_coherency(CoherencyMode::kNeighborhood, 3)->name(), "neighborhood");
+}
+
+TEST(Framework, PublishDiscoverConnectEndToEnd) {
+  // The whole paper in one test: deploy, publish into the global lookup
+  // service, discover from another node, invoke through the negotiated
+  // binding.
+  Framework fw;
+  auto provider = fw.create_container("provider");
+  auto consumer = fw.create_container("consumer");
+  ASSERT_TRUE(provider.ok() && consumer.ok());
+
+  container::DeployOptions options;
+  options.expose_xdr = true;
+  options.expose_soap = true;
+  auto id = (*provider)->deploy("mmul", options);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*provider)->publish(*id, fw.global_registry()).ok());
+
+  // Discovery through the UDDI facade works too.
+  auto rows = fw.uddi().find_service("MatMulService");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].bindings.size(), 4u);  // localobject, local, xdr, soap
+
+  auto channel = fw.connect(**consumer, "MatMulService");
+  ASSERT_TRUE(channel.ok()) << channel.error().describe();
+  EXPECT_STREQ((*channel)->binding_name(), "xdr");  // best feasible remotely
+
+  std::vector<Value> params{Value::of_doubles({1, 2, 3, 4}, "mata"),
+                            Value::of_doubles({5, 6, 7, 8}, "matb")};
+  auto result = (*channel)->invoke("getResult", params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->as_doubles(), (std::vector<double>{19, 22, 43, 50}));
+
+  // The provider itself gets the localobject fast path for the same entry.
+  auto self_channel = fw.connect(**provider, "MatMulService");
+  ASSERT_TRUE(self_channel.ok());
+  EXPECT_STREQ((*self_channel)->binding_name(), "localobject");
+}
+
+TEST(Framework, ConnectMissingServiceFails) {
+  Framework fw;
+  auto a = fw.create_container("A");
+  ASSERT_TRUE(a.ok());
+  auto channel = fw.connect(**a, "Ghost");
+  ASSERT_FALSE(channel.ok());
+  EXPECT_EQ(channel.error().code(), ErrorCode::kNotFound);
+}
+
+TEST(Framework, PvmOverFramework) {
+  Framework fw;
+  auto a = fw.create_container("hostA");
+  auto b = fw.create_container("hostB");
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (auto* c : {*a, *b}) {
+    for (const char* p : {"p2p", "spawn", "table", "event", "hpvmd"}) {
+      ASSERT_TRUE(c->kernel().load(p).ok()) << p;
+    }
+    std::vector<Value> config{Value::of_string("hostA,hostB", "hosts")};
+    ASSERT_TRUE(c->kernel().call("hpvmd", "config", config).ok());
+  }
+  auto console = pvm::PvmTask::enroll((*a)->kernel(), "console");
+  ASSERT_TRUE(console.ok());
+  auto worker = console->spawn("worker", "hostB");
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(console->send(*worker, 1, {7}).ok());
+  std::vector<Value> recv_params{Value::of_int(*worker, "tid"), Value::of_int(1, "tag")};
+  auto got = (*b)->kernel().call("hpvmd", "recv", recv_params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got->as_bytes())[0], 7);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,69 @@
+// The dynamic proxy must behave identically over every network binding —
+// the WSIF promise that protocol choice is a runtime decision, not a code
+// change.
+#include <gtest/gtest.h>
+
+#include "core/dynamic_proxy.hpp"
+#include "core/harness2.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+class ProxyBindings
+    : public ::testing::TestWithParam<wsdl::BindingKind> {
+ protected:
+  void SetUp() override {
+    provider_ = *fw_.create_container("provider");
+    consumer_ = *fw_.create_container("consumer");
+    container::DeployOptions options;
+    options.expose_soap = true;
+    options.expose_http = true;
+    options.expose_mime = true;
+    options.expose_xdr = true;
+    auto id = provider_->deploy("mmul", options);
+    ASSERT_TRUE(id.ok());
+    wsdl_ = *provider_->describe(*id);
+  }
+
+  Framework fw_;
+  container::Container* provider_ = nullptr;
+  container::Container* consumer_ = nullptr;
+  wsdl::Definitions wsdl_;
+};
+
+TEST_P(ProxyBindings, SameAnswerThroughEveryBinding) {
+  std::vector<wsdl::BindingKind> pref{GetParam()};
+  auto proxy = DynamicProxy::create(*consumer_, wsdl_, pref);
+  ASSERT_TRUE(proxy.ok()) << proxy.error().describe();
+  EXPECT_STREQ(proxy->binding_name(), wsdl::to_string(GetParam()));
+
+  Rng rng(77);
+  std::size_t n = 8;
+  auto a = rng.doubles(n * n);
+  auto result =
+      proxy->invoke("getResult", {Value::of_doubles(a), Value::of_doubles(a)});
+  ASSERT_TRUE(result.ok()) << result.error().describe();
+  EXPECT_EQ(result->as_doubles()->size(), n * n);
+}
+
+TEST_P(ProxyBindings, TypeValidationIsBindingIndependent) {
+  std::vector<wsdl::BindingKind> pref{GetParam()};
+  auto proxy = DynamicProxy::create(*consumer_, wsdl_, pref);
+  ASSERT_TRUE(proxy.ok());
+  auto bad = proxy->invoke("getResult", {Value::of_int(1), Value::of_int(2)});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(NetworkBindings, ProxyBindings,
+                         ::testing::Values(wsdl::BindingKind::kXdr,
+                                           wsdl::BindingKind::kHttp,
+                                           wsdl::BindingKind::kMime,
+                                           wsdl::BindingKind::kSoap),
+                         [](const ::testing::TestParamInfo<wsdl::BindingKind>& info) {
+                           return std::string(wsdl::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,116 @@
+// Coherency protocol edge cases: degenerate cluster sizes, oversized
+// neighborhoods, and erase visibility semantics.
+#include <gtest/gtest.h>
+
+#include "dvm/dvm.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::dvm {
+namespace {
+
+class CoherencyEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+  }
+
+  std::unique_ptr<Dvm> build(std::unique_ptr<CoherencyProtocol> protocol,
+                             std::size_t nodes) {
+    auto dvm = std::make_unique<Dvm>("edge", std::move(protocol));
+    for (std::size_t i = 0; i < nodes; ++i) {
+      std::string name = "e" + std::to_string(next_host_++);
+      containers_.push_back(std::make_unique<container::Container>(
+          name, repo_, net_, *net_.add_host(name)));
+      EXPECT_TRUE(dvm->add_node(*containers_.back()).ok());
+    }
+    return dvm;
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<container::Container>> containers_;
+  int next_host_ = 0;
+};
+
+TEST_F(CoherencyEdgeTest, SingleNodeDvmWorksUnderEveryProtocol) {
+  for (auto factory : {+[] { return make_full_synchrony(); },
+                       +[] { return make_decentralized(); },
+                       +[] { return make_neighborhood(3); }}) {
+    auto dvm = build(factory(), 1);
+    auto name = dvm->node_names()[0];
+    ASSERT_TRUE(dvm->set(name, "k", "v").ok());
+    EXPECT_EQ(*dvm->get(name, "k"), "v");
+    ASSERT_TRUE(dvm->erase(name, "k").ok());
+    EXPECT_FALSE(dvm->get(name, "k").ok());
+  }
+}
+
+TEST_F(CoherencyEdgeTest, NeighborhoodLargerThanClusterActsLikeFullSynchrony) {
+  auto dvm = build(make_neighborhood(10), 3);
+  auto names = dvm->node_names();
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  // Replicated to every other member, exactly once each.
+  EXPECT_EQ(net_.stats().calls, 2u);
+  for (const auto& name : names) {
+    EXPECT_TRUE(dvm->node(name)->state().get("k").has_value()) << name;
+  }
+  // Queries are local everywhere.
+  net_.reset_stats();
+  for (const auto& name : names) {
+    EXPECT_TRUE(dvm->get(name, "k").ok());
+  }
+  EXPECT_EQ(net_.stats().calls, 0u);
+}
+
+TEST_F(CoherencyEdgeTest, FullSynchronyEraseIsGlobal) {
+  auto dvm = build(make_full_synchrony(), 3);
+  auto names = dvm->node_names();
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  ASSERT_TRUE(dvm->erase(names[1], "k").ok());  // erase from a non-writer
+  for (const auto& name : names) {
+    EXPECT_FALSE(dvm->get(name, "k").ok()) << name;
+  }
+}
+
+TEST_F(CoherencyEdgeTest, NeighborhoodEraseCoversItsReplicas) {
+  auto dvm = build(make_neighborhood(1), 4);
+  auto names = dvm->node_names();
+  // Owner writes (replica lands on its ring successor), then owner erases.
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  ASSERT_TRUE(dvm->erase(names[0], "k").ok());
+  for (const auto& name : names) {
+    EXPECT_FALSE(dvm->get(name, "k").ok()) << name;
+  }
+}
+
+TEST_F(CoherencyEdgeTest, OverwriteVisibleEverywhere) {
+  for (auto factory : {+[] { return make_full_synchrony(); },
+                       +[] { return make_neighborhood(2); }}) {
+    auto dvm = build(factory(), 3);
+    auto names = dvm->node_names();
+    ASSERT_TRUE(dvm->set(names[0], "k", "old").ok());
+    ASSERT_TRUE(dvm->set(names[0], "k", "new").ok());
+    for (const auto& name : names) {
+      auto value = dvm->get(name, "k");
+      ASSERT_TRUE(value.ok()) << name;
+      EXPECT_EQ(*value, "new") << name;
+    }
+  }
+}
+
+TEST_F(CoherencyEdgeTest, ProtocolObjectsAreReusableAcrossMembershipChanges) {
+  auto dvm = build(make_full_synchrony(), 2);
+  auto names = dvm->node_names();
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  // Grow the cluster; the same protocol instance handles the new size.
+  containers_.push_back(std::make_unique<container::Container>(
+      "late", repo_, net_, *net_.add_host("late")));
+  ASSERT_TRUE(dvm->add_node(*containers_.back()).ok());
+  ASSERT_TRUE(dvm->set(names[0], "k2", "v2").ok());
+  EXPECT_EQ(*dvm->get("late", "k2"), "v2");
+  EXPECT_EQ(*dvm->get("late", "k"), "v");  // back-filled on join
+}
+
+}  // namespace
+}  // namespace h2::dvm

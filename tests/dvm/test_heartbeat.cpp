@@ -1,0 +1,100 @@
+// DVM heartbeat / failure detection: probe() discovers partitioned nodes
+// and converts them into membership failures.
+#include <gtest/gtest.h>
+
+#include "dvm/dvm.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::dvm {
+namespace {
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    dvm_ = std::make_unique<Dvm>("hb", make_full_synchrony());
+    for (const char* name : {"A", "B", "C", "D"}) {
+      auto host = *net_.add_host(name);
+      containers_.push_back(
+          std::make_unique<container::Container>(name, repo_, net_, host));
+      ASSERT_TRUE(dvm_->add_node(*containers_.back()).ok());
+    }
+  }
+
+  void isolate(const char* victim) {
+    for (const char* other : {"A", "B", "C", "D"}) {
+      if (std::string(other) == victim) continue;
+      ASSERT_TRUE(net_.partition(*net_.resolve(victim), *net_.resolve(other)).ok());
+    }
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<container::Container>> containers_;
+  std::unique_ptr<Dvm> dvm_;
+};
+
+TEST_F(HeartbeatTest, HealthyClusterReportsNothing) {
+  auto failed = dvm_->probe("A");
+  ASSERT_TRUE(failed.ok());
+  EXPECT_TRUE(failed->empty());
+  EXPECT_EQ(dvm_->node_count(), 4u);
+}
+
+TEST_F(HeartbeatTest, DetectsIsolatedNode) {
+  isolate("C");
+  auto failed = dvm_->probe("A");
+  ASSERT_TRUE(failed.ok());
+  ASSERT_EQ(failed->size(), 1u);
+  EXPECT_EQ((*failed)[0], "C");
+  EXPECT_EQ(dvm_->node_count(), 3u);
+  EXPECT_FALSE(dvm_->is_member("C"));
+  // The failure is recorded in survivor state.
+  auto state = dvm_->get("A", "node/C");
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, "failed");
+}
+
+TEST_F(HeartbeatTest, DetectsMultipleFailures) {
+  isolate("B");
+  isolate("D");
+  auto failed = dvm_->probe("A");
+  ASSERT_TRUE(failed.ok());
+  EXPECT_EQ(failed->size(), 2u);
+  EXPECT_EQ(dvm_->node_count(), 2u);
+}
+
+TEST_F(HeartbeatTest, SurvivorsStillCoherentAfterSweep) {
+  isolate("D");
+  ASSERT_TRUE(dvm_->probe("A").ok());
+  ASSERT_TRUE(dvm_->set("B", "post", "ok").ok());
+  auto value = dvm_->get("C", "post");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "ok");
+}
+
+TEST_F(HeartbeatTest, ProbeFromUnknownNodeFails) {
+  EXPECT_FALSE(dvm_->probe("Z").ok());
+}
+
+TEST_F(HeartbeatTest, ProbeIsIdempotent) {
+  isolate("C");
+  ASSERT_TRUE(dvm_->probe("A").ok());
+  auto second = dvm_->probe("A");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->empty());  // already removed, not re-reported
+}
+
+TEST_F(HeartbeatTest, MembershipEventOnDetection) {
+  int failures = 0;
+  containers_[0]->kernel().events().subscribe("dvm/membership", [&failures](const Value& v) {
+    auto text = v.as_string();
+    if (text.ok() && text->starts_with("failed:")) ++failures;
+  });
+  isolate("B");
+  ASSERT_TRUE(dvm_->probe("A").ok());
+  EXPECT_EQ(failures, 1);
+}
+
+}  // namespace
+}  // namespace h2::dvm

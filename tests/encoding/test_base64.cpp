@@ -1,0 +1,82 @@
+#include "encoding/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace h2::enc {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  // The canonical RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(bytes_of("")), "");
+  EXPECT_EQ(base64_encode(bytes_of("f")), "Zg==");
+  EXPECT_EQ(base64_encode(bytes_of("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(bytes_of("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(bytes_of("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(bytes_of("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(bytes_of("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeVectors) {
+  EXPECT_EQ(*base64_decode("Zm9vYmFy"), bytes_of("foobar"));
+  EXPECT_EQ(*base64_decode("Zg=="), bytes_of("f"));
+  EXPECT_EQ(*base64_decode(""), bytes_of(""));
+}
+
+TEST(Base64, DecodeRejectsBadLength) {
+  EXPECT_FALSE(base64_decode("Zm9").ok());
+  EXPECT_FALSE(base64_decode("A").ok());
+}
+
+TEST(Base64, DecodeRejectsBadCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!A==").ok());
+  EXPECT_FALSE(base64_decode("Zm9v\n Zm9v").ok());  // strict: no whitespace
+}
+
+TEST(Base64, DecodeRejectsMisplacedPadding) {
+  EXPECT_FALSE(base64_decode("=m9v").ok());
+  EXPECT_FALSE(base64_decode("Z=9v").ok());
+  EXPECT_FALSE(base64_decode("Zg==Zg==").ok());  // padding mid-stream
+}
+
+TEST(Base64, EncodedSizeFormula) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 100u, 8192u}) {
+    Rng rng(n + 1);
+    auto data = rng.bytes(n);
+    EXPECT_EQ(base64_encode(data).size(), base64_encoded_size(n));
+  }
+}
+
+TEST(Base64, ExpansionIsFourThirds) {
+  // The overhead the paper complains about: 4 output chars per 3 input bytes.
+  Rng rng(2);
+  auto data = rng.bytes(3000);
+  EXPECT_EQ(base64_encode(data).size(), 4000u);
+}
+
+TEST(Base64, RandomRoundTrips) {
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    auto data = rng.bytes(rng.next_below(257));
+    auto encoded = base64_encode(data);
+    auto decoded = base64_decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Base64, AllByteValues) {
+  std::vector<std::uint8_t> data(256);
+  for (int i = 0; i < 256; ++i) data[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+}  // namespace
+}  // namespace h2::enc

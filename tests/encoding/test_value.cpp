@@ -1,0 +1,76 @@
+#include "encoding/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+TEST(Value, DefaultIsVoid) {
+  Value v;
+  EXPECT_EQ(v.kind(), ValueKind::kVoid);
+  EXPECT_EQ(v.name(), "");
+}
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_EQ(*Value::of_bool(true).as_bool(), true);
+  EXPECT_EQ(*Value::of_int(-5).as_int(), -5);
+  EXPECT_EQ(*Value::of_double(2.5).as_double(), 2.5);
+  EXPECT_EQ(*Value::of_string("hi").as_string(), "hi");
+  EXPECT_EQ(*Value::of_doubles({1, 2}).as_doubles(), (std::vector<double>{1, 2}));
+  EXPECT_EQ(*Value::of_bytes({7, 8}).as_bytes(), (std::vector<std::uint8_t>{7, 8}));
+}
+
+TEST(Value, MismatchedAccessFails) {
+  auto v = Value::of_string("x");
+  EXPECT_FALSE(v.as_int().ok());
+  EXPECT_FALSE(v.as_doubles().ok());
+  EXPECT_EQ(v.as_int().error().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Value, IntWidensToDouble) {
+  EXPECT_EQ(*Value::of_int(3).as_double(), 3.0);
+}
+
+TEST(Value, DoubleDoesNotNarrowToInt) {
+  EXPECT_FALSE(Value::of_double(3.0).as_int().ok());
+}
+
+TEST(Value, Names) {
+  auto v = Value::of_double(1.0, "mata");
+  EXPECT_EQ(v.name(), "mata");
+  v.set_name("matb");
+  EXPECT_EQ(v.name(), "matb");
+}
+
+TEST(Value, EqualityIncludesNameAndData) {
+  EXPECT_EQ(Value::of_int(1, "a"), Value::of_int(1, "a"));
+  EXPECT_FALSE(Value::of_int(1, "a") == Value::of_int(1, "b"));
+  EXPECT_FALSE(Value::of_int(1) == Value::of_int(2));
+  EXPECT_FALSE(Value::of_int(1) == Value::of_double(1.0));
+}
+
+TEST(Value, ViewsBorrowWithoutCopy) {
+  auto v = Value::of_doubles({1.5, 2.5});
+  auto span = v.doubles_view();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[1], 2.5);
+  EXPECT_TRUE(Value::of_int(1).doubles_view().empty());
+  EXPECT_TRUE(Value::of_int(1).bytes_view().empty());
+}
+
+TEST(Value, Describe) {
+  EXPECT_EQ(Value::of_void().describe(), "void");
+  EXPECT_EQ(Value::of_bool(true).describe(), "true");
+  EXPECT_EQ(Value::of_string("s").describe(), "\"s\"");
+  EXPECT_EQ(Value::of_doubles({1, 2, 3}).describe(), "double[3]");
+  EXPECT_EQ(Value::of_bytes({1}).describe(), "bytes[1]");
+}
+
+TEST(ValueKindNames, Stable) {
+  EXPECT_STREQ(to_string(ValueKind::kVoid), "void");
+  EXPECT_STREQ(to_string(ValueKind::kDoubleArray), "double[]");
+  EXPECT_STREQ(to_string(ValueKind::kBytes), "bytes");
+}
+
+}  // namespace
+}  // namespace h2

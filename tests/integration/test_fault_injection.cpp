@@ -1,0 +1,140 @@
+// Fault-injection soak: random partitions, heals, heartbeats, and state
+// traffic against a live DVM. Invariants under every storm:
+//   - the surviving membership is exactly what the heartbeat reports
+//   - survivors always agree on state written after the last detection
+//   - no operation crashes; failures surface as clean Result errors
+#include <gtest/gtest.h>
+
+#include "dvm/dvm.hpp"
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace h2::dvm {
+namespace {
+
+class FaultInjectionTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr std::size_t kNodes = 6;
+
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    dvm_ = std::make_unique<Dvm>("storm", make_full_synchrony());
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      std::string name = "s" + std::to_string(i);
+      containers_.push_back(std::make_unique<container::Container>(
+          name, repo_, net_, *net_.add_host(name)));
+      ASSERT_TRUE(dvm_->add_node(*containers_.back()).ok());
+    }
+  }
+
+  /// Cuts `victim` off from every node still alive.
+  void isolate(const std::string& victim) {
+    for (const auto& name : dvm_->node_names()) {
+      if (name == victim) continue;
+      (void)net_.partition(*net_.resolve(victim), *net_.resolve(name));
+    }
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<container::Container>> containers_;
+  std::unique_ptr<Dvm> dvm_;
+};
+
+TEST_P(FaultInjectionTest, SurvivorsStayCoherentThroughRandomFailures) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  int epoch = 0;
+  // Kill up to kNodes-2 nodes, one per round, with state traffic between.
+  while (dvm_->node_count() > 2) {
+    auto names = dvm_->node_names();
+    // Normal traffic first.
+    for (int op = 0; op < 10; ++op) {
+      const std::string& origin = names[rng.next_below(names.size())];
+      ASSERT_TRUE(dvm_->set(origin, "epoch", std::to_string(epoch)).ok());
+    }
+    // Random victim dies.
+    std::string victim = names[rng.next_below(names.size())];
+    isolate(victim);
+    // A surviving prober notices. (Pick a prober that is not the victim.)
+    std::string prober;
+    for (const auto& name : names) {
+      if (name != victim) {
+        prober = name;
+        break;
+      }
+    }
+    auto failed = dvm_->probe(prober);
+    ASSERT_TRUE(failed.ok()) << failed.error().describe();
+    ASSERT_EQ(failed->size(), 1u);
+    EXPECT_EQ((*failed)[0], victim);
+
+    // Survivors agree on fresh state.
+    ++epoch;
+    auto survivors = dvm_->node_names();
+    ASSERT_TRUE(dvm_->set(survivors[0], "epoch", std::to_string(epoch)).ok());
+    for (const auto& name : survivors) {
+      auto value = dvm_->get(name, "epoch");
+      ASSERT_TRUE(value.ok()) << name;
+      EXPECT_EQ(*value, std::to_string(epoch)) << name;
+    }
+    // And the failure is on record everywhere.
+    for (const auto& name : survivors) {
+      auto state = dvm_->get(name, "node/" + victim);
+      ASSERT_TRUE(state.ok());
+      EXPECT_EQ(*state, "failed");
+    }
+  }
+  EXPECT_EQ(dvm_->status().nodes_failed, kNodes - 2);
+}
+
+TEST_P(FaultInjectionTest, HealedPartitionRestoresService) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
+  auto a = *net_.resolve("s0");
+  auto b = *net_.resolve("s1");
+  for (int round = 0; round < 6; ++round) {
+    if (rng.next_bool(0.5)) {
+      ASSERT_TRUE(net_.partition(a, b).ok());
+      // Full synchrony updates from s0 now fail cleanly...
+      auto status = dvm_->set("s0", "k", "v");
+      EXPECT_FALSE(status.ok());
+      EXPECT_EQ(status.error().code(), ErrorCode::kUnavailable);
+      ASSERT_TRUE(net_.heal(a, b).ok());
+    }
+    // ...and succeed whenever the link is up.
+    ASSERT_TRUE(dvm_->set("s0", "k", std::to_string(round)).ok());
+    auto value = dvm_->get("s1", "k");
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, std::to_string(round));
+  }
+}
+
+TEST_P(FaultInjectionTest, ComponentsOnDeadNodesAreUnreachableButOthersWork) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  container::DeployOptions options;
+  options.expose_xdr = true;
+  auto on_s2 = dvm_->deploy("s2", "ping", options);
+  auto on_s3 = dvm_->deploy("s3", "ping", options);
+  ASSERT_TRUE(on_s2.ok() && on_s3.ok());
+
+  isolate("s2");
+  ASSERT_TRUE(dvm_->probe("s0").ok());
+
+  auto wsdl_s2 = containers_[2]->describe("ping-1");
+  auto wsdl_s3 = containers_[3]->describe("ping-1");
+  ASSERT_TRUE(wsdl_s2.ok() && wsdl_s3.ok());
+
+  std::vector<wsdl::BindingKind> xdr_pref{wsdl::BindingKind::kXdr};
+  auto dead_channel = containers_[0]->open_channel(*wsdl_s2, xdr_pref);
+  ASSERT_TRUE(dead_channel.ok());
+  EXPECT_FALSE((*dead_channel)->invoke("ping", {}).ok());
+
+  auto live_channel = containers_[0]->open_channel(*wsdl_s3, xdr_pref);
+  ASSERT_TRUE(live_channel.ok());
+  EXPECT_TRUE((*live_channel)->invoke("ping", {}).ok());
+  (void)rng;
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, FaultInjectionTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace h2::dvm

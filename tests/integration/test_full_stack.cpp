@@ -1,0 +1,223 @@
+// Whole-system scenarios: every layer of the paper exercised together in
+// single tests — the kind of runs a downstream adopter would script.
+#include <gtest/gtest.h>
+
+#include "core/dynamic_proxy.hpp"
+#include "core/harness2.hpp"
+#include "core/mobility.hpp"
+#include "plugins/linalg.hpp"
+#include "pvm/hpvmd.hpp"
+#include "runner/runner_box.hpp"
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(FullStack, ScientificCampaignLifecycle) {
+  // A compute campaign: build a DVM, publish services, steer from outside,
+  // survive a node failure, and keep computing.
+  Framework fw;
+  std::vector<container::Container*> nodes;
+  for (const char* name : {"n0", "n1", "n2", "n3"}) {
+    nodes.push_back(*fw.create_container(name));
+  }
+  auto dvm = *fw.create_dvm("campaign", CoherencyMode::kNeighborhood);
+  for (auto* node : nodes) ASSERT_TRUE(dvm->add_node(*node).ok());
+
+  // Baseline plugins everywhere, compute services where they belong.
+  ASSERT_TRUE(dvm->deploy_everywhere("p2p").ok());
+  container::DeployOptions exposed;
+  exposed.expose_xdr = true;
+  exposed.expose_soap = true;
+  auto mmul_q = dvm->deploy("n1", "mmul", exposed);
+  ASSERT_TRUE(mmul_q.ok());
+
+  // Publish into the global registry; a consumer discovers and computes.
+  auto record = nodes[1]->find_local("MatMulService");
+  ASSERT_TRUE(record.ok());
+  ASSERT_TRUE(nodes[1]->publish(record->instance_id, fw.global_registry()).ok());
+
+  auto channel = fw.connect(*nodes[3], "MatMulService");
+  ASSERT_TRUE(channel.ok());
+  Rng rng(17);
+  std::size_t n = 16;
+  auto a = rng.doubles(n * n);
+  auto b = rng.doubles(n * n);
+  std::vector<Value> params{Value::of_doubles(a, "mata"), Value::of_doubles(b, "matb")};
+  auto expected = linalg::matmul_naive(a, b, n);
+  auto r1 = (*channel)->invoke("getResult", params);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_LT(linalg::max_abs_diff(*r1->as_doubles(), expected), 1e-12);
+
+  // Record progress in DVM global state from several nodes.
+  ASSERT_TRUE(dvm->set("n3", "progress/step", "1").ok());
+  ASSERT_TRUE(dvm->set("n0", "progress/owner", "n3").ok());
+
+  // A node that hosts nothing critical dies; the heartbeat notices.
+  for (const char* other : {"n0", "n1", "n3"}) {
+    ASSERT_TRUE(fw.network().partition(*fw.network().resolve("n2"),
+                                       *fw.network().resolve(other)).ok());
+  }
+  auto failed = dvm->probe("n0");
+  ASSERT_TRUE(failed.ok());
+  ASSERT_EQ(failed->size(), 1u);
+  EXPECT_EQ((*failed)[0], "n2");
+
+  // The campaign continues: state stays coherent, the service still works.
+  ASSERT_TRUE(dvm->set("n3", "progress/step", "2").ok());
+  auto step = dvm->get("n1", "progress/step");
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(*step, "2");
+  auto r2 = (*channel)->invoke("getResult", params);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2->as_doubles(), *r1->as_doubles());
+
+  auto status = dvm->status();
+  EXPECT_EQ(status.nodes_alive, 3u);
+  EXPECT_EQ(status.nodes_failed, 1u);
+}
+
+TEST(FullStack, MigrationUnderLoadKeepsAnswersConsistent) {
+  // Factor on one node, answer queries, migrate mid-stream, keep answering
+  // identically from the new home.
+  Framework fw;
+  auto origin = *fw.create_container("origin");
+  auto destination = *fw.create_container("destination");
+
+  container::DeployOptions options;
+  options.expose_xdr = true;
+  auto id = origin->deploy("lapack", options);
+  ASSERT_TRUE(id.ok());
+
+  std::size_t n = 12;
+  Rng rng(23);
+  auto matrix = rng.doubles(n * n);
+  for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] += static_cast<double>(n);
+  auto service = *origin->instance(*id);
+  std::vector<Value> set_params{Value::of_doubles(matrix, "a")};
+  ASSERT_TRUE(service->dispatch("setMatrix", set_params).ok());
+  ASSERT_TRUE(service->dispatch("factor", {}).ok());
+
+  auto rhs = rng.doubles(n);
+  std::vector<Value> solve_params{Value::of_doubles(rhs, "b")};
+  auto before = service->dispatch("solve", solve_params);
+  ASSERT_TRUE(before.ok());
+
+  auto report = mobility::migrate_component(*origin, *id, "destination");
+  ASSERT_TRUE(report.ok()) << report.error().describe();
+
+  // Old WSDL's xdr endpoint is dead (the component moved)...
+  auto moved_defs = *destination->describe(report->new_instance_id);
+  // ...but the new instance gives bit-identical answers.
+  auto after_channel = origin->open_channel(moved_defs);
+  ASSERT_TRUE(after_channel.ok());
+  auto after = (*after_channel)->invoke("solve", solve_params);
+  ASSERT_TRUE(after.ok()) << after.error().describe();
+  EXPECT_EQ(*after->as_doubles(), *before->as_doubles());
+}
+
+TEST(FullStack, PvmAppSteeredByThinClient) {
+  // A PVM application runs inside the DVM; a SOAP-only thin client watches
+  // its process table from outside.
+  Framework fw;
+  auto a = *fw.create_container("hostA");
+  auto b = *fw.create_container("hostB");
+  for (auto* node : {a, b}) {
+    for (const char* plugin : {"p2p", "spawn", "table", "event", "hpvmd"}) {
+      ASSERT_TRUE(node->kernel().load(plugin).ok());
+    }
+    std::vector<Value> config{Value::of_string("hostA,hostB", "hosts")};
+    ASSERT_TRUE(node->kernel().call("hpvmd", "config", config).ok());
+  }
+  auto console = *pvm::PvmTask::enroll(a->kernel(), "console");
+  auto worker = console.spawn("worker", "hostB");
+  ASSERT_TRUE(worker.ok());
+  ASSERT_TRUE(console.send(*worker, 1, {1, 2, 3}).ok());
+
+  // Expose hostB's hpvmd as a SOAP service for the thin client.
+  container::DeployOptions soap_only;
+  soap_only.expose_soap = true;
+  // (A *separate* spawn instance also shows up; the client watches the
+  // kernel's hpvmd via a dedicated dispatcher mount instead.)
+  auto thin = *fw.create_container("thin");
+  net::SoapHttpServer& server = *new net::SoapHttpServer(fw.network(), b->host(), 8099);
+  ASSERT_TRUE(server.start().ok());
+  struct KernelForward : net::Dispatcher {
+    kernel::Kernel* k;
+    explicit KernelForward(kernel::Kernel* kernel) : k(kernel) {}
+    Result<Value> dispatch(std::string_view op, std::span<const Value> p) override {
+      return k->call("hpvmd", op, p);
+    }
+  };
+  ASSERT_TRUE(server.mount("pvm", std::make_shared<KernelForward>(&b->kernel())).ok());
+
+  auto channel = net::make_soap_channel(fw.network(), thin->host(),
+                                        *net::Endpoint::parse("http://hostB:8099/pvm"),
+                                        "urn:h2:Hpvmd");
+  std::vector<Value> status_params{Value::of_int(*worker, "tid")};
+  auto status = channel->invoke("status", status_params);
+  ASSERT_TRUE(status.ok()) << status.error().describe();
+  EXPECT_EQ(*status->as_string(), "running");
+
+  std::vector<Value> probe_params{Value::of_int(*worker, "tid"), Value::of_int(1, "tag")};
+  auto pending = channel->invoke("probe", probe_params);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending->as_int(), 1);
+  server.stop();
+  delete &server;
+}
+
+TEST(FullStack, RunnerBoxesEnrollHeterogeneousResources) {
+  // Two incompatible resource managers enrolled behind runner boxes and
+  // driven uniformly over the network.
+  Framework fw;
+  auto user = *fw.create_container("user");
+  auto res1 = fw.network().add_host("res1");
+  auto res2 = fw.network().add_host("res2");
+  ASSERT_TRUE(res1.ok() && res2.ok());
+
+  runner::RunnerBox rsh_box("rsh-box", runner::make_rsh_backend());
+  runner::RunnerBox grid_box(
+      "grid-box", runner::make_grid_manager_backend(fw.network().clock(), 2,
+                                                    3600 * kSecond));
+  ASSERT_TRUE(rsh_box.expose(fw.network(), *res1).ok());
+  ASSERT_TRUE(grid_box.expose(fw.network(), *res2).ok());
+
+  for (const char* host : {"res1", "res2"}) {
+    net::Endpoint endpoint{.scheme = "xdr", .host = host,
+                           .port = runner::kRunnerPort, .path = ""};
+    auto channel = net::make_xdr_channel(fw.network(), user->host(), endpoint);
+    std::vector<Value> run_params{Value::of_string("solver --input data")};
+    auto job = channel->invoke("run", run_params);
+    ASSERT_TRUE(job.ok()) << host;
+    std::vector<Value> status_params{*job};
+    EXPECT_EQ(*channel->invoke("status", status_params)->as_string(), "running") << host;
+    std::vector<Value> kill_params{*job, Value::of_string("kill")};
+    EXPECT_TRUE(*channel->invoke("control", kill_params)->as_bool()) << host;
+  }
+}
+
+TEST(FullStack, TwoDvmsShareOneNetworkWithoutInterference) {
+  Framework fw;
+  auto a1 = *fw.create_container("a1");
+  auto a2 = *fw.create_container("a2");
+  auto b1 = *fw.create_container("b1");
+  auto b2 = *fw.create_container("b2");
+
+  auto dvm_a = *fw.create_dvm("alpha", CoherencyMode::kFullSynchrony);
+  auto dvm_b = *fw.create_dvm("beta", CoherencyMode::kDecentralized);
+  ASSERT_TRUE(dvm_a->add_node(*a1).ok());
+  ASSERT_TRUE(dvm_a->add_node(*a2).ok());
+  ASSERT_TRUE(dvm_b->add_node(*b1).ok());
+  ASSERT_TRUE(dvm_b->add_node(*b2).ok());
+
+  ASSERT_TRUE(dvm_a->set("a1", "shared-key", "from-alpha").ok());
+  ASSERT_TRUE(dvm_b->set("b1", "shared-key", "from-beta").ok());
+  EXPECT_EQ(*dvm_a->get("a2", "shared-key"), "from-alpha");
+  EXPECT_EQ(*dvm_b->get("b2", "shared-key"), "from-beta");
+  // Namespaces are disjoint: alpha never sees beta's membership.
+  EXPECT_FALSE(dvm_a->get("a1", "node/b1").ok());
+}
+
+}  // namespace
+}  // namespace h2

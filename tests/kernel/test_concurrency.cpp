@@ -1,0 +1,87 @@
+// Thread-safety checks for the components documented as thread-safe: the
+// event bus and the logger. (SimNetwork and layers above are deliberately
+// single-threaded; see DESIGN.md.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "kernel/event_bus.hpp"
+#include "util/log.hpp"
+
+namespace h2::kernel {
+namespace {
+
+TEST(EventBusConcurrency, ParallelPublishersAllDeliver) {
+  EventBus bus;
+  std::atomic<int> hits{0};
+  bus.subscribe("t", [&hits](const Value&) { hits.fetch_add(1); });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bus] {
+      for (int i = 0; i < kPerThread; ++i) {
+        bus.publish("t", Value::of_int(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hits.load(), kThreads * kPerThread);
+}
+
+TEST(EventBusConcurrency, SubscribeWhilePublishing) {
+  EventBus bus;
+  std::atomic<bool> stop{false};
+  std::atomic<int> delivered{0};
+  bus.subscribe("t", [&delivered](const Value&) { delivered.fetch_add(1); });
+
+  std::thread publisher([&bus, &stop] {
+    while (!stop.load()) bus.publish("t", Value::of_void());
+  });
+  // Make sure the publisher actually ran (single-core schedulers may not
+  // have started it yet), then churn subscriptions while it publishes.
+  while (delivered.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 200; ++i) {
+    auto id = bus.subscribe("other" + std::to_string(i % 7), [](const Value&) {});
+    EXPECT_TRUE(bus.unsubscribe(id));
+  }
+  stop.store(true);
+  publisher.join();
+  EXPECT_GT(delivered.load(), 0);
+  EXPECT_EQ(bus.subscriber_count("t"), 1u);
+}
+
+TEST(LoggerConcurrency, ParallelLogLinesAreAtomic) {
+  std::mutex mu;
+  std::vector<std::string> lines;
+  LogConfig::instance().set_level(LogLevel::kInfo);
+  LogConfig::instance().set_sink([&mu, &lines](std::string_view line) {
+    std::lock_guard lock(mu);
+    lines.emplace_back(line);
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Logger log("worker" + std::to_string(t));
+      for (int i = 0; i < kPerThread; ++i) log.info("line");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  LogConfig::instance().set_level(LogLevel::kWarn);
+  LogConfig::instance().set_sink([](std::string_view) {});
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const auto& line : lines) {
+    // Every line is a complete, well-formed record (no interleaving).
+    EXPECT_TRUE(line.starts_with("[INFO] worker")) << line;
+    EXPECT_TRUE(line.ends_with(": line")) << line;
+  }
+}
+
+}  // namespace
+}  // namespace h2::kernel

@@ -1,0 +1,189 @@
+#include "kernel/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "plugins/standard.hpp"
+
+namespace h2::kernel {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = *net_.add_host("A");
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    kernel_ = std::make_unique<Kernel>("A", repo_, net_, host_);
+  }
+  net::SimNetwork net_;
+  net::HostId host_ = 0;
+  PluginRepository repo_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(KernelTest, LoadAndFind) {
+  auto plugin = kernel_->load("ping");
+  ASSERT_TRUE(plugin.ok()) << plugin.error().describe();
+  EXPECT_EQ((*plugin)->info().name, "ping");
+  EXPECT_EQ(kernel_->find("ping"), *plugin);
+  EXPECT_EQ(kernel_->plugin_count(), 1u);
+}
+
+TEST_F(KernelTest, LoadUnknownPluginFails) {
+  auto plugin = kernel_->load("does-not-exist");
+  ASSERT_FALSE(plugin.ok());
+  EXPECT_EQ(plugin.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KernelTest, DoubleLoadRejected) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  auto again = kernel_->load("ping");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(KernelTest, UnloadThenReload) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  ASSERT_TRUE(kernel_->unload("ping").ok());
+  EXPECT_EQ(kernel_->find("ping"), nullptr);
+  EXPECT_FALSE(kernel_->unload("ping").ok());
+  EXPECT_TRUE(kernel_->load("ping").ok());  // reconfigurability
+}
+
+TEST_F(KernelTest, LoadedListsInfo) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  ASSERT_TRUE(kernel_->load("table").ok());
+  auto loaded = kernel_->loaded();
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].name, "ping");  // map order: ping < table
+  EXPECT_EQ(loaded[1].name, "table");
+}
+
+TEST_F(KernelTest, ServiceLookupAndCall) {
+  ASSERT_TRUE(kernel_->load("table").ok());
+  std::vector<Value> put_params{Value::of_string("k"), Value::of_string("v")};
+  ASSERT_TRUE(kernel_->call("table", "put", put_params).ok());
+  std::vector<Value> get_params{Value::of_string("k")};
+  auto got = kernel_->call("table", "get", get_params);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got->as_string(), "v");
+  EXPECT_FALSE(kernel_->service("missing").ok());
+  EXPECT_FALSE(kernel_->call("missing", "x", {}).ok());
+}
+
+TEST_F(KernelTest, VersionSelection) {
+  PluginRepository repo;
+  int v1_made = 0, v2_made = 0;
+  ASSERT_TRUE(repo.add("dual", "1.0", [&v1_made]() {
+                    ++v1_made;
+                    return plugins::make_ping_plugin();
+                  })
+                  .ok());
+  ASSERT_TRUE(repo.add("dual", "2.0", [&v2_made]() {
+                    ++v2_made;
+                    return plugins::make_ping_plugin();
+                  })
+                  .ok());
+  // Latest by default.
+  ASSERT_TRUE(repo.create("dual").ok());
+  EXPECT_EQ(v2_made, 1);
+  // Exact version on request.
+  ASSERT_TRUE(repo.create("dual", "1.0").ok());
+  EXPECT_EQ(v1_made, 1);
+  EXPECT_FALSE(repo.create("dual", "3.0").ok());
+}
+
+TEST_F(KernelTest, RepositoryRejectsDuplicatesAndBadNames) {
+  PluginRepository repo;
+  ASSERT_TRUE(repo.add("x", "1.0", plugins::make_ping_plugin).ok());
+  EXPECT_FALSE(repo.add("x", "1.0", plugins::make_ping_plugin).ok());
+  EXPECT_TRUE(repo.add("x", "1.1", plugins::make_ping_plugin).ok());
+  EXPECT_FALSE(repo.add("bad name", "1.0", plugins::make_ping_plugin).ok());
+  EXPECT_FALSE(repo.add("y", "1.0", nullptr).ok());
+  EXPECT_TRUE(repo.has("x"));
+  EXPECT_FALSE(repo.has("z"));
+  EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST_F(KernelTest, InitFailureDiscardsPlugin) {
+  // A plugin whose init fails must not be left in the kernel: p2p fails to
+  // init when its port is already bound.
+  ASSERT_TRUE(net_.listen(host_, plugins::kP2pPort,
+                          [](std::span<const std::uint8_t>) -> Result<ByteBuffer> {
+                            return ByteBuffer{};
+                          })
+                  .ok());
+  auto plugin = kernel_->load("p2p");
+  ASSERT_FALSE(plugin.ok());
+  EXPECT_EQ(kernel_->find("p2p"), nullptr);
+  EXPECT_EQ(kernel_->plugin_count(), 0u);
+}
+
+TEST_F(KernelTest, UnloadReleasesResources) {
+  ASSERT_TRUE(kernel_->load("p2p").ok());
+  EXPECT_TRUE(net_.is_listening(host_, plugins::kP2pPort));
+  ASSERT_TRUE(kernel_->unload("p2p").ok());
+  EXPECT_FALSE(net_.is_listening(host_, plugins::kP2pPort));
+  // Reload works now that the port is free again.
+  EXPECT_TRUE(kernel_->load("p2p").ok());
+}
+
+TEST_F(KernelTest, KernelDestructorShutsPluginsDown) {
+  {
+    Kernel scoped("B", repo_, net_, host_);
+    ASSERT_TRUE(scoped.load("p2p").ok());
+    EXPECT_TRUE(net_.is_listening(host_, plugins::kP2pPort));
+  }
+  EXPECT_FALSE(net_.is_listening(host_, plugins::kP2pPort));
+}
+
+TEST(EventBus, PublishReachesSubscribersInOrder) {
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe("t", [&order](const Value&) { order.push_back(1); });
+  bus.subscribe("t", [&order](const Value&) { order.push_back(2); });
+  EXPECT_EQ(bus.publish("t", Value::of_void()), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  EventBus bus;
+  int hits = 0;
+  auto id = bus.subscribe("t", [&hits](const Value&) { ++hits; });
+  bus.publish("t", Value::of_void());
+  EXPECT_TRUE(bus.unsubscribe(id));
+  EXPECT_FALSE(bus.unsubscribe(id));
+  bus.publish("t", Value::of_void());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, TopicsAreIsolated) {
+  EventBus bus;
+  int a_hits = 0;
+  bus.subscribe("a", [&a_hits](const Value&) { ++a_hits; });
+  EXPECT_EQ(bus.publish("b", Value::of_void()), 0u);
+  EXPECT_EQ(a_hits, 0);
+  EXPECT_EQ(bus.subscriber_count("a"), 1u);
+  EXPECT_EQ(bus.subscriber_count("b"), 0u);
+}
+
+TEST(EventBus, PayloadDelivered) {
+  EventBus bus;
+  std::string got;
+  bus.subscribe("t", [&got](const Value& v) { got = v.as_string().value_or(""); });
+  bus.publish("t", Value::of_string("payload"));
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(EventBus, SubscribeInsideHandlerDoesNotDeadlock) {
+  EventBus bus;
+  int nested = 0;
+  bus.subscribe("t", [&bus, &nested](const Value&) {
+    bus.subscribe("t2", [&nested](const Value&) { ++nested; });
+  });
+  bus.publish("t", Value::of_void());
+  bus.publish("t2", Value::of_void());
+  EXPECT_EQ(nested, 1);
+}
+
+}  // namespace
+}  // namespace h2::kernel

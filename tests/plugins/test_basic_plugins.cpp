@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hpp"
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace h2::plugins {
+namespace {
+
+class PluginTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = *net_.add_host("A");
+    ASSERT_TRUE(register_standard_plugins(repo_).ok());
+    kernel_ = std::make_unique<kernel::Kernel>("A", repo_, net_, host_);
+  }
+
+  Result<Value> call(std::string_view plugin, std::string_view op,
+                     std::vector<Value> params = {}) {
+    return kernel_->call(plugin, op, params);
+  }
+
+  net::SimNetwork net_;
+  net::HostId host_ = 0;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+TEST_F(PluginTest, PingEchoes) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  Rng rng(1);
+  auto payload = rng.bytes(64);
+  auto reply = call("ping", "ping", {Value::of_bytes(payload)});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply->as_bytes(), payload);
+  EXPECT_EQ(*call("ping", "count")->as_int(), 1);
+}
+
+TEST_F(PluginTest, PingRejectsWrongType) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  EXPECT_FALSE(call("ping", "ping", {Value::of_string("not bytes")}).ok());
+}
+
+TEST_F(PluginTest, TimeReflectsVirtualClock) {
+  ASSERT_TRUE(kernel_->load("time").ok());
+  auto t0 = call("time", "getTime");
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ(*t0->as_string(), "T+0.000s");
+  net_.clock().advance(2500 * kMillisecond);
+  auto t1 = call("time", "getTime");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(*t1->as_string(), "T+2.500s");
+}
+
+TEST_F(PluginTest, TableCrud) {
+  ASSERT_TRUE(kernel_->load("table").ok());
+  ASSERT_TRUE(call("table", "put", {Value::of_string("a"), Value::of_string("1")}).ok());
+  ASSERT_TRUE(call("table", "put", {Value::of_string("b"), Value::of_string("2")}).ok());
+  EXPECT_EQ(*call("table", "size")->as_int(), 2);
+  EXPECT_EQ(*call("table", "get", {Value::of_string("a")})->as_string(), "1");
+  // Overwrite.
+  ASSERT_TRUE(call("table", "put", {Value::of_string("a"), Value::of_string("9")}).ok());
+  EXPECT_EQ(*call("table", "get", {Value::of_string("a")})->as_string(), "9");
+  EXPECT_EQ(*call("table", "size")->as_int(), 2);
+  // Remove.
+  EXPECT_TRUE(*call("table", "remove", {Value::of_string("a")})->as_bool());
+  EXPECT_FALSE(*call("table", "remove", {Value::of_string("a")})->as_bool());
+  auto miss = call("table", "get", {Value::of_string("a")});
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PluginTest, EventPluginBridgesToBus) {
+  ASSERT_TRUE(kernel_->load("event").ok());
+  std::string got;
+  kernel_->events().subscribe("news", [&got](const Value& v) {
+    got = v.as_string().value_or("");
+  });
+  auto delivered =
+      call("event", "publish", {Value::of_string("news"), Value::of_string("hello")});
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(*delivered->as_int(), 1);
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(*call("event", "subscribers", {Value::of_string("news")})->as_int(), 1);
+  EXPECT_EQ(*call("event", "subscribers", {Value::of_string("none")})->as_int(), 0);
+}
+
+TEST_F(PluginTest, SpawnLifecycle) {
+  ASSERT_TRUE(kernel_->load("spawn").ok());
+  auto id = call("spawn", "spawn", {Value::of_string("worker")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*call("spawn", "status", {*id})->as_string(), "running");
+  EXPECT_EQ(*call("spawn", "count")->as_int(), 1);
+  EXPECT_TRUE(*call("spawn", "kill", {*id})->as_bool());
+  EXPECT_EQ(*call("spawn", "status", {*id})->as_string(), "dead");
+  EXPECT_FALSE(*call("spawn", "kill", {*id})->as_bool());  // already dead
+  EXPECT_EQ(*call("spawn", "count")->as_int(), 0);
+  EXPECT_EQ(*call("spawn", "status", {Value::of_int(999)})->as_string(), "unknown");
+}
+
+TEST_F(PluginTest, SpawnIdsUnique) {
+  ASSERT_TRUE(kernel_->load("spawn").ok());
+  auto a = call("spawn", "spawn", {Value::of_string("x")});
+  auto b = call("spawn", "spawn", {Value::of_string("x")});
+  EXPECT_NE(*a->as_int(), *b->as_int());
+}
+
+TEST_F(PluginTest, DescriptorsAreValidWsdlSources) {
+  for (const char* name : {"ping", "time", "table", "event", "spawn", "p2p",
+                           "mmul", "lapack", "mpi", "space"}) {
+    auto plugin = repo_.create(name);
+    ASSERT_TRUE(plugin.ok()) << name;
+    auto d = (*plugin)->descriptor();
+    EXPECT_FALSE(d.name.empty()) << name;
+    EXPECT_FALSE(d.operations.empty()) << name;
+    std::vector<wsdl::EndpointSpec> endpoints{
+        {wsdl::BindingKind::kSoap, "http://a:8080/" + std::string(name), {}}};
+    auto defs = wsdl::generate(d, endpoints);
+    EXPECT_TRUE(defs.ok()) << name << ": "
+                           << (defs.ok() ? "" : defs.error().describe());
+  }
+}
+
+TEST_F(PluginTest, UnknownOperationRejected) {
+  ASSERT_TRUE(kernel_->load("ping").ok());
+  auto r = call("ping", "frobnicate");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace h2::plugins

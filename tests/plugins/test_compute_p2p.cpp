@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hpp"
+#include "plugins/linalg.hpp"
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace h2::plugins {
+namespace {
+
+class TwoKernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_host_ = *net_.add_host("A");
+    b_host_ = *net_.add_host("B");
+    ASSERT_TRUE(register_standard_plugins(repo_).ok());
+    a_ = std::make_unique<kernel::Kernel>("A", repo_, net_, a_host_);
+    b_ = std::make_unique<kernel::Kernel>("B", repo_, net_, b_host_);
+  }
+
+  net::SimNetwork net_;
+  net::HostId a_host_ = 0, b_host_ = 0;
+  kernel::PluginRepository repo_;
+  std::unique_ptr<kernel::Kernel> a_, b_;
+};
+
+TEST_F(TwoKernelTest, P2pRemoteSendReceive) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  ASSERT_TRUE(b_->load("p2p").ok());
+  Rng rng(5);
+  auto payload = rng.bytes(128);
+
+  std::vector<Value> send_params{Value::of_string("B"), Value::of_int(7),
+                                 Value::of_bytes(payload)};
+  ASSERT_TRUE(a_->call("p2p", "send", send_params).ok());
+
+  std::vector<Value> tag7{Value::of_int(7)};
+  EXPECT_EQ(*b_->call("p2p", "pending", tag7)->as_int(), 1);
+  auto got = b_->call("p2p", "recv", tag7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got->as_bytes(), payload);
+  EXPECT_EQ(*b_->call("p2p", "pending", tag7)->as_int(), 0);
+}
+
+TEST_F(TwoKernelTest, P2pLocalLoopbackHasNoNetworkTraffic) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  net_.reset_stats();
+  std::vector<Value> params{Value::of_string("A"), Value::of_int(1),
+                            Value::of_bytes({1, 2, 3})};
+  ASSERT_TRUE(a_->call("p2p", "send", params).ok());
+  EXPECT_EQ(net_.stats().messages, 0u);
+  std::vector<Value> tag1{Value::of_int(1)};
+  EXPECT_EQ(*a_->call("p2p", "recv", tag1)->as_bytes(),
+            (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST_F(TwoKernelTest, P2pTagsAreIndependentFifos) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  auto send = [this](std::int64_t tag, std::uint8_t byte) {
+    std::vector<Value> params{Value::of_string("A"), Value::of_int(tag),
+                              Value::of_bytes({byte})};
+    ASSERT_TRUE(a_->call("p2p", "send", params).ok());
+  };
+  send(1, 10);
+  send(2, 20);
+  send(1, 11);
+  std::vector<Value> tag1{Value::of_int(1)}, tag2{Value::of_int(2)};
+  EXPECT_EQ((*a_->call("p2p", "recv", tag1)->as_bytes())[0], 10);
+  EXPECT_EQ((*a_->call("p2p", "recv", tag2)->as_bytes())[0], 20);
+  EXPECT_EQ((*a_->call("p2p", "recv", tag1)->as_bytes())[0], 11);
+}
+
+TEST_F(TwoKernelTest, P2pRecvEmptyIsNotFound) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  std::vector<Value> tag{Value::of_int(42)};
+  auto r = a_->call("p2p", "recv", tag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(TwoKernelTest, P2pSendToUnknownHostFails) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  std::vector<Value> params{Value::of_string("nowhere"), Value::of_int(1),
+                            Value::of_bytes({1})};
+  EXPECT_FALSE(a_->call("p2p", "send", params).ok());
+}
+
+TEST_F(TwoKernelTest, P2pSendToKernelWithoutP2pFails) {
+  ASSERT_TRUE(a_->load("p2p").ok());
+  // B never loaded p2p: no deliver server on its port.
+  std::vector<Value> params{Value::of_string("B"), Value::of_int(1),
+                            Value::of_bytes({1})};
+  auto r = a_->call("p2p", "send", params);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(TwoKernelTest, MatMulPluginComputes) {
+  ASSERT_TRUE(a_->load("mmul").ok());
+  std::vector<Value> params{Value::of_doubles({1, 2, 3, 4}, "mata"),
+                            Value::of_doubles({5, 6, 7, 8}, "matb")};
+  auto c = a_->call("mmul", "getResult", params);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c->as_doubles(), (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST_F(TwoKernelTest, MatMulRejectsBadShapes) {
+  ASSERT_TRUE(a_->load("mmul").ok());
+  std::vector<Value> not_square{Value::of_doubles({1, 2, 3}), Value::of_doubles({1, 2, 3})};
+  EXPECT_FALSE(a_->call("mmul", "getResult", not_square).ok());
+  std::vector<Value> mismatch{Value::of_doubles({1}), Value::of_doubles({1, 2, 3, 4})};
+  EXPECT_FALSE(a_->call("mmul", "getResult", mismatch).ok());
+  std::vector<Value> too_few{Value::of_doubles({1})};
+  EXPECT_FALSE(a_->call("mmul", "getResult", too_few).ok());
+}
+
+TEST_F(TwoKernelTest, LapackStatefulFactorSolve) {
+  ASSERT_TRUE(a_->load("lapack").ok());
+  // A well-conditioned 3x3 system.
+  std::vector<double> matrix{4, 1, 0, 1, 4, 1, 0, 1, 4};
+  std::vector<double> x_true{1, -2, 3};
+  auto b = linalg::matvec(matrix, x_true, 3);
+
+  ASSERT_TRUE(a_->call("lapack", "setMatrix", {Value::of_doubles(matrix)}).ok());
+  EXPECT_EQ(*a_->call("lapack", "dim", {})->as_int(), 3);
+  ASSERT_TRUE(a_->call("lapack", "factor", {}).ok());
+  auto x = a_->call("lapack", "solve", {Value::of_doubles(b)});
+  ASSERT_TRUE(x.ok()) << x.error().describe();
+  EXPECT_LT(linalg::max_abs_diff(*x->as_doubles(), x_true), 1e-10);
+}
+
+TEST_F(TwoKernelTest, LapackSolveRequiresFactor) {
+  ASSERT_TRUE(a_->load("lapack").ok());
+  EXPECT_FALSE(a_->call("lapack", "solve", {Value::of_doubles({1})}).ok());
+  ASSERT_TRUE(a_->call("lapack", "setMatrix", {Value::of_doubles({1})}).ok());
+  EXPECT_FALSE(a_->call("lapack", "solve", {Value::of_doubles({1})}).ok());
+}
+
+TEST_F(TwoKernelTest, LapackStateIsPerInstance) {
+  // Two kernels each load their own lapack instance; state must not leak —
+  // this is why the paper's localobject binding names an instance.
+  ASSERT_TRUE(a_->load("lapack").ok());
+  ASSERT_TRUE(b_->load("lapack").ok());
+  ASSERT_TRUE(a_->call("lapack", "setMatrix", {Value::of_doubles({2})}).ok());
+  EXPECT_EQ(*a_->call("lapack", "dim", {})->as_int(), 1);
+  EXPECT_EQ(*b_->call("lapack", "dim", {})->as_int(), 0);
+}
+
+TEST_F(TwoKernelTest, LapackRhsSizeChecked) {
+  ASSERT_TRUE(a_->load("lapack").ok());
+  ASSERT_TRUE(a_->call("lapack", "setMatrix",
+                       {Value::of_doubles({4, 1, 1, 4})})
+                  .ok());
+  ASSERT_TRUE(a_->call("lapack", "factor", {}).ok());
+  EXPECT_FALSE(a_->call("lapack", "solve", {Value::of_doubles({1, 2, 3})}).ok());
+}
+
+TEST_F(TwoKernelTest, LapackNorm) {
+  ASSERT_TRUE(a_->load("lapack").ok());
+  auto norm = a_->call("lapack", "norm", {Value::of_doubles({3, 4})});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_DOUBLE_EQ(*norm->as_double(), 5.0);
+}
+
+TEST_F(TwoKernelTest, LapackFactorRejectsSingularAndClearsState) {
+  ASSERT_TRUE(a_->load("lapack").ok());
+  ASSERT_TRUE(a_->call("lapack", "setMatrix",
+                       {Value::of_doubles({1, 2, 2, 4})})
+                  .ok());
+  EXPECT_FALSE(a_->call("lapack", "factor", {}).ok());
+  EXPECT_FALSE(a_->call("lapack", "solve", {Value::of_doubles({1, 2})}).ok());
+}
+
+}  // namespace
+}  // namespace h2::plugins

@@ -1,0 +1,113 @@
+#include "plugins/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace h2::linalg {
+namespace {
+
+std::vector<double> identity(std::size_t n) {
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  return a;
+}
+
+TEST(Linalg, SquareDim) {
+  EXPECT_EQ(*square_dim(1), 1u);
+  EXPECT_EQ(*square_dim(4), 2u);
+  EXPECT_EQ(*square_dim(9), 3u);
+  EXPECT_EQ(*square_dim(0), 0u);
+  EXPECT_FALSE(square_dim(2).ok());
+  EXPECT_FALSE(square_dim(10).ok());
+}
+
+TEST(Linalg, MatmulIdentity) {
+  Rng rng(1);
+  auto a = rng.doubles(16);
+  auto c = matmul_naive(a, identity(4), 4);
+  EXPECT_EQ(max_abs_diff(a, c), 0.0);
+  auto c2 = matmul_naive(identity(4), a, 4);
+  EXPECT_EQ(max_abs_diff(a, c2), 0.0);
+}
+
+TEST(Linalg, MatmulKnownValues) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  std::vector<double> a{1, 2, 3, 4}, b{5, 6, 7, 8};
+  auto c = matmul_naive(a, b, 2);
+  EXPECT_EQ(c, (std::vector<double>{19, 22, 43, 50}));
+}
+
+// Property: blocked and naive multiplication agree for many sizes,
+// including non-multiples of the block size.
+class MatmulAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulAgreement, BlockedMatchesNaive) {
+  std::size_t n = GetParam();
+  Rng rng(n);
+  auto a = rng.doubles(n * n);
+  auto b = rng.doubles(n * n);
+  auto naive = matmul_naive(a, b, n);
+  auto blocked = matmul_blocked(a, b, n, 8);
+  EXPECT_LT(max_abs_diff(naive, blocked), 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulAgreement,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 16, 17, 33, 64));
+
+TEST(Linalg, LuSolveRecoversKnownSolution) {
+  // Solve A x = b where x is known: build b = A x, factor, solve, compare.
+  for (std::size_t n : {1u, 2u, 5u, 20u, 50u}) {
+    Rng rng(n + 100);
+    auto a = rng.doubles(n * n, -1.0, 1.0);
+    // Diagonal dominance keeps the system well conditioned.
+    for (std::size_t i = 0; i < n; ++i) a[i * n + i] += static_cast<double>(n);
+    auto x_true = rng.doubles(n, -10.0, 10.0);
+    auto b = matvec(a, x_true, n);
+
+    auto lu = a;
+    std::vector<std::size_t> pivots;
+    ASSERT_TRUE(lu_factor(lu, n, pivots).ok()) << "n=" << n;
+    auto x = lu_solve(lu, pivots, b, n);
+    EXPECT_LT(max_abs_diff(x, x_true), 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Linalg, LuRejectsSingular) {
+  std::vector<double> singular{1, 2, 2, 4};  // rank 1
+  std::vector<std::size_t> pivots;
+  EXPECT_FALSE(lu_factor(singular, 2, pivots).ok());
+}
+
+TEST(Linalg, LuPivotsHandleZeroDiagonal) {
+  // [0 1; 1 0] is perfectly invertible but needs pivoting.
+  std::vector<double> a{0, 1, 1, 0};
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(lu_factor(a, 2, pivots).ok());
+  std::vector<double> b{3, 7};
+  auto x = lu_solve(a, pivots, b, 2);
+  // x = [7, 3]
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, FrobeniusNorm) {
+  EXPECT_DOUBLE_EQ(frobenius_norm(std::vector<double>{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(std::vector<double>{}), 0.0);
+}
+
+TEST(Linalg, MaxAbsDiff) {
+  EXPECT_EQ(max_abs_diff(std::vector<double>{1, 2}, std::vector<double>{1, 2.5}), 0.5);
+  EXPECT_TRUE(std::isinf(max_abs_diff(std::vector<double>{1}, std::vector<double>{1, 2})));
+}
+
+TEST(Linalg, Matvec) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> x{5, 6};
+  EXPECT_EQ(matvec(a, x, 2), (std::vector<double>{17, 39}));
+}
+
+}  // namespace
+}  // namespace h2::linalg

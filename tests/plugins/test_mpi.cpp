@@ -1,0 +1,168 @@
+// MPI emulation tests: point-to-point semantics and the collectives
+// layered over them, across a three-host communicator.
+#include "plugins/mpi_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace h2::plugins::mpi {
+namespace {
+
+class MpiTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kHostsCsv = "r0,r1,r2";
+
+  void SetUp() override {
+    ASSERT_TRUE(register_standard_plugins(repo_).ok());
+    for (const char* name : {"r0", "r1", "r2"}) {
+      auto host = *net_.add_host(name);
+      kernels_.push_back(std::make_unique<kernel::Kernel>(name, repo_, net_, host));
+      ASSERT_TRUE(kernels_.back()->load("p2p").ok());
+      ASSERT_TRUE(kernels_.back()->load("mpi").ok());
+    }
+    for (auto& k : kernels_) {
+      auto comm = MpiComm::init(*k, kHostsCsv);
+      ASSERT_TRUE(comm.ok()) << comm.error().describe();
+      comms_.push_back(*comm);
+    }
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<kernel::Kernel>> kernels_;
+  std::vector<MpiComm> comms_;
+};
+
+TEST_F(MpiTest, RankAndSizeAssigned) {
+  for (std::size_t i = 0; i < comms_.size(); ++i) {
+    EXPECT_EQ(comms_[i].rank(), static_cast<std::int64_t>(i));
+    EXPECT_EQ(comms_[i].size(), 3);
+  }
+}
+
+TEST_F(MpiTest, RequiresP2p) {
+  auto host = *net_.add_host("lonely");
+  kernel::Kernel k("lonely", repo_, net_, host);
+  auto r = k.load("mpi");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(MpiTest, InitValidation) {
+  auto host = *net_.add_host("outsider");
+  kernel::Kernel k("outsider", repo_, net_, host);
+  ASSERT_TRUE(k.load("p2p").ok());
+  ASSERT_TRUE(k.load("mpi").ok());
+  EXPECT_FALSE(MpiComm::init(k, "r0,r1").ok());  // own host missing
+  EXPECT_FALSE(MpiComm::init(k, "").ok());
+}
+
+TEST_F(MpiTest, SendRecvAddressedBySourceAndTag) {
+  ASSERT_TRUE(comms_[0].send(2, 5, {10}).ok());
+  ASSERT_TRUE(comms_[1].send(2, 5, {11}).ok());
+  // Rank 2 can receive selectively by source.
+  auto from1 = comms_[2].recv(1, 5);
+  ASSERT_TRUE(from1.ok());
+  EXPECT_EQ((*from1)[0], 11);
+  auto from0 = comms_[2].recv(0, 5);
+  ASSERT_TRUE(from0.ok());
+  EXPECT_EQ((*from0)[0], 10);
+}
+
+TEST_F(MpiTest, TagsIsolated) {
+  ASSERT_TRUE(comms_[0].send(1, 1, {1}).ok());
+  EXPECT_EQ(*comms_[1].probe(0, 2), 0);
+  EXPECT_EQ(*comms_[1].probe(0, 1), 1);
+  EXPECT_FALSE(comms_[1].recv(0, 2).ok());
+}
+
+TEST_F(MpiTest, SelfSendWorks) {
+  ASSERT_TRUE(comms_[1].send(1, 9, {42}).ok());
+  auto got = comms_[1].recv(1, 9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)[0], 42);
+}
+
+TEST_F(MpiTest, InvalidRanksAndTagsRejected) {
+  EXPECT_FALSE(comms_[0].send(5, 0, {}).ok());
+  EXPECT_FALSE(comms_[0].send(-1, 0, {}).ok());
+  EXPECT_FALSE(comms_[0].send(1, -1, {}).ok());
+  EXPECT_FALSE(comms_[0].send(1, kMaxTag + 1, {}).ok());
+  EXPECT_FALSE(comms_[0].recv(7, 0).ok());
+}
+
+TEST_F(MpiTest, BcastFromEveryRoot) {
+  for (std::int64_t root = 0; root < 3; ++root) {
+    std::vector<std::uint8_t> buffer;
+    if (root >= 0) buffer = {static_cast<std::uint8_t>(root + 1), 7, 9};
+    auto status = MpiComm::bcast(comms_, root, buffer);
+    ASSERT_TRUE(status.ok()) << "root " << root << ": " << status.error().describe();
+    EXPECT_EQ(buffer[0], root + 1);
+  }
+}
+
+TEST_F(MpiTest, BarrierCompletes) {
+  ASSERT_TRUE(MpiComm::barrier(comms_).ok());
+  // No stray messages remain on the collective tag.
+  for (auto& comm : comms_) {
+    for (std::int64_t src = 0; src < 3; ++src) {
+      EXPECT_EQ(*comm.probe(src, kCollectiveTag), 0);
+    }
+  }
+}
+
+TEST_F(MpiTest, ReduceSumToRoot) {
+  std::vector<double> contributions{1.5, 2.5, 3.0};
+  auto sum = MpiComm::reduce_sum(comms_, 1, contributions);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, 7.0);
+}
+
+TEST_F(MpiTest, AllreduceAgreesWithSerialSum) {
+  Rng rng(6);
+  auto contributions = rng.doubles(3);
+  auto sum = MpiComm::allreduce_sum(comms_, contributions);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_NEAR(*sum, contributions[0] + contributions[1] + contributions[2], 1e-12);
+}
+
+TEST_F(MpiTest, GatherPreservesRankOrder) {
+  std::vector<std::vector<std::uint8_t>> contributions{{0}, {1, 1}, {2, 2, 2}};
+  auto gathered = MpiComm::gather(comms_, 0, contributions);
+  ASSERT_TRUE(gathered.ok());
+  ASSERT_EQ(gathered->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*gathered)[i], contributions[i]) << i;
+  }
+}
+
+TEST_F(MpiTest, CollectiveValidation) {
+  std::vector<std::uint8_t> buffer{1};
+  EXPECT_FALSE(MpiComm::bcast(comms_, 7, buffer).ok());
+  std::vector<double> short_contrib{1.0};
+  EXPECT_FALSE(MpiComm::reduce_sum(comms_, 0, short_contrib).ok());
+}
+
+TEST_F(MpiTest, RingPipelineOverMpi) {
+  // The pvm_ring example's pattern, expressed in MPI terms.
+  std::vector<std::uint8_t> token{0};
+  ASSERT_TRUE(comms_[0].send(1, 3, token).ok());
+  for (int hop = 0; hop < 6; ++hop) {
+    std::int64_t self = (hop + 1) % 3;
+    std::int64_t prev = hop % 3;
+    auto received = comms_[static_cast<std::size_t>(self)].recv(prev, 3);
+    ASSERT_TRUE(received.ok()) << hop;
+    (*received)[0]++;
+    ASSERT_TRUE(comms_[static_cast<std::size_t>(self)]
+                    .send((self + 1) % 3, 3, *received)
+                    .ok());
+  }
+  auto final_token = comms_[1].recv(0, 3);
+  ASSERT_TRUE(final_token.ok());
+  EXPECT_EQ((*final_token)[0], 6);
+}
+
+}  // namespace
+}  // namespace h2::plugins::mpi

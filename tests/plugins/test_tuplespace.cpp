@@ -1,0 +1,150 @@
+// JavaSpaces-style tuple space plugin tests, including lease expiry on the
+// virtual clock and remote access through a container endpoint.
+#include <gtest/gtest.h>
+
+#include "container/container.hpp"
+#include "kernel/kernel.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+namespace {
+
+class TupleSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(register_standard_plugins(repo_).ok());
+    host_ = *net_.add_host("A");
+    kernel_ = std::make_unique<kernel::Kernel>("A", repo_, net_, host_);
+    ASSERT_TRUE(kernel_->load("space").ok());
+  }
+
+  Result<Value> call(std::string_view op, std::vector<Value> params) {
+    return kernel_->call("space", op, params);
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  net::HostId host_ = 0;
+  std::unique_ptr<kernel::Kernel> kernel_;
+};
+
+TEST_F(TupleSpaceTest, WriteReadTake) {
+  auto id = call("write", {Value::of_string("task"), Value::of_bytes({1, 2})});
+  ASSERT_TRUE(id.ok());
+  EXPECT_GT(*id->as_int(), 0);
+
+  // read copies, take removes.
+  auto r1 = call("read", {Value::of_string("task")});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1->as_bytes(), (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(*call("count", {Value::of_string("task")})->as_int(), 1);
+
+  auto t1 = call("take", {Value::of_string("task")});
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ(*call("count", {Value::of_string("task")})->as_int(), 0);
+  EXPECT_FALSE(call("take", {Value::of_string("task")}).ok());
+}
+
+TEST_F(TupleSpaceTest, FifoPerName) {
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(call("write", {Value::of_string("q"), Value::of_bytes({i})}).ok());
+  }
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    auto taken = call("take", {Value::of_string("q")});
+    ASSERT_TRUE(taken.ok());
+    EXPECT_EQ((*taken->as_bytes())[0], i);
+  }
+}
+
+TEST_F(TupleSpaceTest, NamesAreIsolated) {
+  ASSERT_TRUE(call("write", {Value::of_string("a"), Value::of_bytes({1})}).ok());
+  EXPECT_FALSE(call("read", {Value::of_string("b")}).ok());
+  EXPECT_EQ(*call("count", {Value::of_string("b")})->as_int(), 0);
+}
+
+TEST_F(TupleSpaceTest, LeaseExpiresOnVirtualClock) {
+  ASSERT_TRUE(call("writeLease", {Value::of_string("v"), Value::of_bytes({9}),
+                                  Value::of_int(kSecond)})
+                  .ok());
+  EXPECT_EQ(*call("count", {Value::of_string("v")})->as_int(), 1);
+  net_.clock().advance(kSecond / 2);
+  EXPECT_TRUE(call("read", {Value::of_string("v")}).ok());
+  net_.clock().advance(kSecond);
+  EXPECT_FALSE(call("read", {Value::of_string("v")}).ok());
+  EXPECT_EQ(*call("count", {Value::of_string("v")})->as_int(), 0);
+}
+
+TEST_F(TupleSpaceTest, PermanentEntriesOutliveLeasedOnes) {
+  ASSERT_TRUE(call("write", {Value::of_string("mix"), Value::of_bytes({1})}).ok());
+  ASSERT_TRUE(call("writeLease", {Value::of_string("mix"), Value::of_bytes({2}),
+                                  Value::of_int(kSecond)})
+                  .ok());
+  net_.clock().advance(2 * kSecond);
+  EXPECT_EQ(*call("count", {Value::of_string("mix")})->as_int(), 1);
+  auto survivor = call("take", {Value::of_string("mix")});
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ((*survivor->as_bytes())[0], 1);
+}
+
+TEST_F(TupleSpaceTest, BadLeaseRejected) {
+  EXPECT_FALSE(call("writeLease", {Value::of_string("v"), Value::of_bytes({1}),
+                                   Value::of_int(0)})
+                   .ok());
+  EXPECT_FALSE(call("writeLease", {Value::of_string("v"), Value::of_bytes({1}),
+                                   Value::of_int(-5)})
+                   .ok());
+}
+
+TEST_F(TupleSpaceTest, RemoteSpaceAsService) {
+  // A central space accessed by a remote worker — the JavaSpaces usage
+  // pattern, over a container endpoint.
+  container::Container space_host("spacehost", repo_, net_, *net_.add_host("spacehost"));
+  container::Container worker("worker", repo_, net_, *net_.add_host("worker"));
+  container::DeployOptions options;
+  options.expose_xdr = true;
+  auto id = space_host.deploy("space", options);
+  ASSERT_TRUE(id.ok());
+  auto defs = *space_host.describe(*id);
+
+  auto channel = worker.open_channel(defs);
+  ASSERT_TRUE(channel.ok());
+  std::vector<Value> write_params{Value::of_string("result", "name"),
+                                  Value::of_bytes({5, 5}, "payload")};
+  ASSERT_TRUE((*channel)->invoke("write", write_params).ok());
+
+  // A second worker takes it.
+  container::Container other("other", repo_, net_, *net_.add_host("other"));
+  auto channel2 = other.open_channel(defs);
+  ASSERT_TRUE(channel2.ok());
+  std::vector<Value> take_params{Value::of_string("result", "name")};
+  auto taken = (*channel2)->invoke("take", take_params);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(*taken->as_bytes(), (std::vector<std::uint8_t>{5, 5}));
+}
+
+TEST_F(TupleSpaceTest, MasterWorkerPattern) {
+  // The canonical tuple-space computation: master writes tasks, workers
+  // take, compute, write results; master collects.
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(call("write", {Value::of_string("task"), Value::of_bytes({i})}).ok());
+  }
+  while (true) {
+    auto task = call("take", {Value::of_string("task")});
+    if (!task.ok()) break;
+    std::uint8_t n = (*task->as_bytes())[0];
+    ASSERT_TRUE(call("write", {Value::of_string("result"),
+                               Value::of_bytes({static_cast<std::uint8_t>(n * n)})})
+                    .ok());
+  }
+  EXPECT_EQ(*call("count", {Value::of_string("result")})->as_int(), 5);
+  int sum = 0;
+  while (true) {
+    auto result = call("take", {Value::of_string("result")});
+    if (!result.ok()) break;
+    sum += (*result->as_bytes())[0];
+  }
+  EXPECT_EQ(sum, 1 + 4 + 9 + 16 + 25);
+}
+
+}  // namespace
+}  // namespace h2::plugins

@@ -1,0 +1,231 @@
+// PVM emulation tests: the Fig-2 layering (hpvmd on top of p2p / spawn /
+// table / event) and the pvm_* semantics across a three-host virtual
+// machine.
+#include "pvm/hpvmd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "plugins/standard.hpp"
+
+namespace h2::pvm {
+namespace {
+
+class PvmTestBase : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
+    ASSERT_TRUE(register_pvm_plugin(repo_).ok());
+    for (const char* name : {"hostA", "hostB", "hostC"}) {
+      auto host = *net_.add_host(name);
+      kernels_.push_back(std::make_unique<kernel::Kernel>(name, repo_, net_, host));
+    }
+  }
+
+  /// Loads the full Fig-2 stack on one kernel and configures the VM.
+  void boot(kernel::Kernel& k) {
+    for (const char* dep : {"p2p", "spawn", "table", "event"}) {
+      ASSERT_TRUE(k.load(dep).ok()) << dep;
+    }
+    ASSERT_TRUE(k.load("hpvmd").ok());
+    std::vector<Value> config{Value::of_string("hostA,hostB,hostC", "hosts")};
+    ASSERT_TRUE(k.call("hpvmd", "config", config).ok());
+  }
+
+  void boot_all() {
+    for (auto& k : kernels_) boot(*k);
+  }
+
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<kernel::Kernel>> kernels_;
+};
+
+TEST_F(PvmTestBase, RequiresSiblingPlugins) {
+  // Fig 2's dependency arrows are real: hpvmd refuses to load alone.
+  auto& k = *kernels_[0];
+  auto r = k.load("hpvmd");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+
+  // With only some dependencies it still refuses.
+  ASSERT_TRUE(k.load("p2p").ok());
+  ASSERT_TRUE(k.load("spawn").ok());
+  EXPECT_FALSE(k.load("hpvmd").ok());
+  ASSERT_TRUE(k.load("table").ok());
+  ASSERT_TRUE(k.load("event").ok());
+  EXPECT_TRUE(k.load("hpvmd").ok());
+}
+
+TEST_F(PvmTestBase, ConfigValidation) {
+  boot(*kernels_[0]);
+  auto& k = *kernels_[0];
+  std::vector<Value> empty{Value::of_string("", "hosts")};
+  EXPECT_FALSE(k.call("hpvmd", "config", empty).ok());
+  std::vector<Value> missing_self{Value::of_string("hostB,hostC", "hosts")};
+  EXPECT_FALSE(k.call("hpvmd", "config", missing_self).ok());
+}
+
+TEST_F(PvmTestBase, EnrollAssignsHostScopedTids) {
+  boot_all();
+  auto task_a = PvmTask::enroll(*kernels_[0], "console");
+  auto task_b = PvmTask::enroll(*kernels_[1], "worker");
+  ASSERT_TRUE(task_a.ok());
+  ASSERT_TRUE(task_b.ok());
+  EXPECT_NE(task_a->tid(), task_b->tid());
+  EXPECT_EQ(*task_a->host_of(task_a->tid()), "hostA");
+  EXPECT_EQ(*task_a->host_of(task_b->tid()), "hostB");
+}
+
+TEST_F(PvmTestBase, RemoteSpawnLandsOnTargetHost) {
+  boot_all();
+  auto console = PvmTask::enroll(*kernels_[0], "console");
+  ASSERT_TRUE(console.ok());
+  auto worker = console->spawn("worker", "hostC");
+  ASSERT_TRUE(worker.ok()) << worker.error().describe();
+  EXPECT_EQ(*console->host_of(*worker), "hostC");
+  // The spawn plugin on hostC actually holds the process.
+  EXPECT_EQ(*kernels_[2]->call("spawn", "count", {})->as_int(), 1);
+  EXPECT_EQ(*kernels_[0]->call("spawn", "count", {})->as_int(), 1);  // console only
+}
+
+TEST_F(PvmTestBase, SendRecvAcrossHosts) {
+  boot_all();
+  auto console = PvmTask::enroll(*kernels_[0], "console");
+  ASSERT_TRUE(console.ok());
+  auto worker_tid = console->spawn("worker", "hostB");
+  ASSERT_TRUE(worker_tid.ok());
+
+  std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  ASSERT_TRUE(console->send(*worker_tid, 9, payload).ok());
+
+  // The worker on hostB receives through its own hpvmd.
+  PvmTask worker_view = *PvmTask::enroll(*kernels_[1], "viewer");
+  (void)worker_view;  // enrolled to prove multiple tasks per host coexist
+  std::vector<Value> recv_params{Value::of_int(*worker_tid, "tid"), Value::of_int(9, "tag")};
+  auto got = kernels_[1]->call("hpvmd", "recv", recv_params);
+  ASSERT_TRUE(got.ok()) << got.error().describe();
+  EXPECT_EQ(*got->as_bytes(), payload);
+}
+
+TEST_F(PvmTestBase, ProbeCountsWaitingMessages) {
+  boot_all();
+  auto a = PvmTask::enroll(*kernels_[0], "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a->probe(5), 0);
+  ASSERT_TRUE(a->send(a->tid(), 5, {1}).ok());
+  ASSERT_TRUE(a->send(a->tid(), 5, {2}).ok());
+  EXPECT_EQ(*a->probe(5), 2);
+  ASSERT_TRUE(a->recv(5).ok());
+  EXPECT_EQ(*a->probe(5), 1);
+}
+
+TEST_F(PvmTestBase, MessagesOrderedPerTag) {
+  boot_all();
+  auto a = PvmTask::enroll(*kernels_[0], "a");
+  ASSERT_TRUE(a.ok());
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a->send(a->tid(), 3, {i}).ok());
+  }
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    auto m = a->recv(3);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ((*m)[0], i);
+  }
+}
+
+TEST_F(PvmTestBase, RecvEmptyIsNotFound) {
+  boot_all();
+  auto a = PvmTask::enroll(*kernels_[0], "a");
+  ASSERT_TRUE(a.ok());
+  auto m = a->recv(77);
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PvmTestBase, TagIsolationBetweenTasks) {
+  boot_all();
+  auto a = PvmTask::enroll(*kernels_[0], "a");
+  auto b = PvmTask::enroll(*kernels_[0], "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->send(b->tid(), 1, {42}).ok());
+  // a's own mailbox for tag 1 stays empty: messages are addressed by tid.
+  EXPECT_EQ(*a->probe(1), 0);
+  EXPECT_EQ(*b->probe(1), 1);
+}
+
+TEST_F(PvmTestBase, KillAndStatusAcrossHosts) {
+  boot_all();
+  auto console = PvmTask::enroll(*kernels_[0], "console");
+  ASSERT_TRUE(console.ok());
+  auto worker = console->spawn("worker", "hostC");
+  ASSERT_TRUE(worker.ok());
+  EXPECT_EQ(*console->status(*worker), "running");
+  EXPECT_TRUE(*console->kill(*worker));
+  EXPECT_EQ(*console->status(*worker), "dead");
+  EXPECT_FALSE(*console->kill(*worker));
+  EXPECT_EQ(*console->status(999999), "unknown");
+}
+
+TEST_F(PvmTestBase, SpawnEventsPublished) {
+  boot_all();
+  int spawns = 0;
+  kernels_[1]->events().subscribe("pvm/spawn", [&spawns](const Value&) { ++spawns; });
+  auto console = PvmTask::enroll(*kernels_[0], "console");
+  ASSERT_TRUE(console.ok());
+  ASSERT_TRUE(console->spawn("w1", "hostB").ok());
+  ASSERT_TRUE(console->spawn("w2", "hostB").ok());
+  EXPECT_EQ(spawns, 2);
+}
+
+TEST_F(PvmTestBase, TidTableLeveraged) {
+  boot_all();
+  auto console = PvmTask::enroll(*kernels_[0], "console");
+  ASSERT_TRUE(console.ok());
+  // The table plugin holds the tid bookkeeping (Fig 2's "table lookup").
+  std::vector<Value> key{Value::of_string("pvm/tid/" + std::to_string(console->tid()))};
+  auto name = kernels_[0]->call("table", "get", key);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name->as_string(), "console");
+}
+
+TEST_F(PvmTestBase, BadTagsAndTidsRejected) {
+  boot_all();
+  auto a = PvmTask::enroll(*kernels_[0], "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(a->send(a->tid(), -1, {}).ok());
+  EXPECT_FALSE(a->send(a->tid(), kMaxUserTag + 1, {}).ok());
+  EXPECT_FALSE(a->send(((99 + 1) << kTidHostShift) | 1, 0, {}).ok());  // bad host index
+  EXPECT_FALSE(a->host_of(0).ok());
+}
+
+TEST_F(PvmTestBase, TokenRing) {
+  // A miniature of the classic PVM ring demo across all three hosts.
+  boot_all();
+  std::vector<PvmTask> tasks;
+  const char* hosts[] = {"hostA", "hostB", "hostC"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto task = PvmTask::enroll(*kernels_[i], std::string("ring") + hosts[i]);
+    ASSERT_TRUE(task.ok());
+    tasks.push_back(*task);
+  }
+  constexpr std::int64_t kTag = 11;
+  std::vector<std::uint8_t> token{0};
+  ASSERT_TRUE(tasks[0].send(tasks[1].tid(), kTag, token).ok());
+  for (int lap = 0; lap < 3; ++lap) {
+    for (std::size_t i = 1; i <= 3; ++i) {
+      std::size_t self = i % 3;
+      auto received = tasks[self].recv(kTag);
+      ASSERT_TRUE(received.ok()) << "hop " << i << " lap " << lap;
+      (*received)[0]++;
+      std::size_t next = (self + 1) % 3;
+      ASSERT_TRUE(tasks[self].send(tasks[next].tid(), kTag, *received).ok());
+    }
+  }
+  auto final_token = tasks[1].recv(kTag);
+  ASSERT_TRUE(final_token.ok());
+  EXPECT_EQ((*final_token)[0], 9);  // 3 laps * 3 hops
+}
+
+}  // namespace
+}  // namespace h2::pvm

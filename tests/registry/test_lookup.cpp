@@ -1,0 +1,166 @@
+// Discovery-strategy tests over a SimNetwork cluster: all three strategies
+// must agree on results; their cost profiles must match the paper's
+// description (centralized pays network on registration AND lookup;
+// decentralized registers for free and pays on lookup; neighborhood pays
+// k replications and finds neighbours locally).
+#include "registry/lookup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+
+namespace h2::reg {
+namespace {
+
+wsdl::Definitions make_service(const std::string& name, const std::string& host) {
+  wsdl::ServiceDescriptor d;
+  d.name = name;
+  d.operations.push_back({"run", {}, ValueKind::kString});
+  std::vector<wsdl::EndpointSpec> endpoints{
+      {wsdl::BindingKind::kXdr, "xdr://" + host + ":9500", {}}};
+  return *wsdl::generate(d, endpoints);
+}
+
+class LookupTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 6;
+
+  void SetUp() override {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      auto id = *net_.add_host("node" + std::to_string(i));
+      nodes_.push_back(std::make_unique<RegistryNode>(net_, id, net_.clock()));
+      ASSERT_TRUE(nodes_.back()->start().ok());
+    }
+    for (auto& node : nodes_) raw_.push_back(node.get());
+  }
+
+  net::SimNetwork net_;
+  std::vector<std::unique_ptr<RegistryNode>> nodes_;
+  std::vector<RegistryNode*> raw_;
+};
+
+TEST_F(LookupTest, CentralizedPublishAndLookup) {
+  auto strategy = make_centralized_lookup(raw_, 0);
+  ASSERT_TRUE(strategy->publish(3, make_service("Alpha", "node3")).ok());
+  // Document lives only on the center.
+  EXPECT_EQ(nodes_[0]->registry().size(), 1u);
+  EXPECT_EQ(nodes_[3]->registry().size(), 0u);
+
+  auto found = strategy->lookup(5, "AlphaService");
+  ASSERT_TRUE(found.ok()) << found.error().describe();
+  EXPECT_EQ(found->name, "Alpha");
+}
+
+TEST_F(LookupTest, CentralizedLookupMiss) {
+  auto strategy = make_centralized_lookup(raw_, 0);
+  auto found = strategy->lookup(1, "Ghost");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LookupTest, CentralizedCenterIsSpof) {
+  auto strategy = make_centralized_lookup(raw_, 0);
+  ASSERT_TRUE(strategy->publish(1, make_service("Alpha", "node1")).ok());
+  // Partition the center from node 2: discovery fails even though the
+  // provider (node 1) is reachable — the single point of failure.
+  ASSERT_TRUE(net_.partition(nodes_[2]->host(), nodes_[0]->host()).ok());
+  EXPECT_FALSE(strategy->lookup(2, "AlphaService").ok());
+}
+
+TEST_F(LookupTest, DecentralizedRegistrationIsFree) {
+  auto strategy = make_decentralized_lookup(raw_);
+  net_.reset_stats();
+  ASSERT_TRUE(strategy->publish(2, make_service("Alpha", "node2")).ok());
+  EXPECT_EQ(net_.stats().messages, 0u);  // "fully localized"
+  EXPECT_EQ(nodes_[2]->registry().size(), 1u);
+}
+
+TEST_F(LookupTest, DecentralizedLookupFansOut) {
+  auto strategy = make_decentralized_lookup(raw_);
+  ASSERT_TRUE(strategy->publish(4, make_service("Alpha", "node4")).ok());
+  net_.reset_stats();
+  auto found = strategy->lookup(0, "AlphaService");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->name, "Alpha");
+  // The active lookup had to interrogate other nodes.
+  EXPECT_GT(net_.stats().messages, 0u);
+}
+
+TEST_F(LookupTest, DecentralizedLocalHitCostsNothing) {
+  auto strategy = make_decentralized_lookup(raw_);
+  ASSERT_TRUE(strategy->publish(1, make_service("Alpha", "node1")).ok());
+  net_.reset_stats();
+  auto found = strategy->lookup(1, "AlphaService");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+TEST_F(LookupTest, DecentralizedMissQueriesEveryone) {
+  auto strategy = make_decentralized_lookup(raw_);
+  net_.reset_stats();
+  EXPECT_FALSE(strategy->lookup(0, "Ghost").ok());
+  // A full sweep: one call (2 messages) per other node.
+  EXPECT_EQ(net_.stats().calls, kNodes - 1);
+}
+
+TEST_F(LookupTest, NeighborhoodReplicatesToKNeighbors) {
+  auto strategy = make_neighborhood_lookup(raw_, 2);
+  ASSERT_TRUE(strategy->publish(0, make_service("Alpha", "node0")).ok());
+  EXPECT_EQ(nodes_[0]->registry().size(), 1u);
+  EXPECT_EQ(nodes_[1]->registry().size(), 1u);
+  EXPECT_EQ(nodes_[2]->registry().size(), 1u);
+  EXPECT_EQ(nodes_[3]->registry().size(), 0u);
+}
+
+TEST_F(LookupTest, NeighborhoodNeighborHitIsLocal) {
+  auto strategy = make_neighborhood_lookup(raw_, 2);
+  ASSERT_TRUE(strategy->publish(0, make_service("Alpha", "node0")).ok());
+  net_.reset_stats();
+  auto found = strategy->lookup(2, "AlphaService");  // within the k=2 ring
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+TEST_F(LookupTest, NeighborhoodFarHostFallsBackToQuery) {
+  auto strategy = make_neighborhood_lookup(raw_, 1);
+  ASSERT_TRUE(strategy->publish(0, make_service("Alpha", "node0")).ok());
+  net_.reset_stats();
+  auto found = strategy->lookup(4, "AlphaService");  // outside the ring
+  ASSERT_TRUE(found.ok());
+  EXPECT_GT(net_.stats().messages, 0u);
+}
+
+TEST_F(LookupTest, NeighborhoodRingWraps) {
+  auto strategy = make_neighborhood_lookup(raw_, 2);
+  ASSERT_TRUE(strategy->publish(kNodes - 1, make_service("Omega", "node5")).ok());
+  EXPECT_EQ(nodes_[0]->registry().size(), 1u);  // wrap-around neighbour
+  EXPECT_EQ(nodes_[1]->registry().size(), 1u);
+}
+
+TEST_F(LookupTest, AllStrategiesAgreeOnContent) {
+  std::vector<std::unique_ptr<LookupStrategy>> strategies;
+  strategies.push_back(make_centralized_lookup(raw_, 0));
+  strategies.push_back(make_decentralized_lookup(raw_));
+  strategies.push_back(make_neighborhood_lookup(raw_, 2));
+  int index = 0;
+  for (auto& strategy : strategies) {
+    std::string name = std::string("Svc") + strategy->name();
+    ASSERT_TRUE(strategy->publish(1, make_service(name, "node1")).ok()) << strategy->name();
+    auto found = strategy->lookup(4, name + "Service");
+    ASSERT_TRUE(found.ok()) << strategy->name() << ": " << found.error().describe();
+    EXPECT_EQ(found->name, name);
+    ++index;
+  }
+}
+
+TEST_F(LookupTest, RegistryNodeStopUnbindsPort) {
+  EXPECT_TRUE(net_.is_listening(nodes_[0]->host(), kRegistryPort));
+  nodes_[0]->stop();
+  EXPECT_FALSE(net_.is_listening(nodes_[0]->host(), kRegistryPort));
+  // Centralized against a stopped center fails loudly.
+  auto strategy = make_centralized_lookup(raw_, 0);
+  EXPECT_FALSE(strategy->publish(1, make_service("X", "node1")).ok());
+}
+
+}  // namespace
+}  // namespace h2::reg

@@ -1,0 +1,91 @@
+#include "registry/uddi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+
+namespace h2::reg {
+namespace {
+
+class UddiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // MatMul with soap + xdr ports, WSTime with soap only.
+    wsdl::ServiceDescriptor mm;
+    mm.name = "MatMul";
+    mm.operations.push_back({"getResult",
+                             {{"mata", ValueKind::kDoubleArray},
+                              {"matb", ValueKind::kDoubleArray}},
+                             ValueKind::kDoubleArray});
+    std::vector<wsdl::EndpointSpec> mm_endpoints{
+        {wsdl::BindingKind::kSoap, "http://a:8080/mm", {}},
+        {wsdl::BindingKind::kXdr, "xdr://a:9001", {}},
+    };
+    mm_key_ = *registry_.add(*wsdl::generate(mm, mm_endpoints));
+
+    wsdl::ServiceDescriptor time;
+    time.name = "WSTime";
+    time.operations.push_back({"getTime", {}, ValueKind::kString});
+    std::vector<wsdl::EndpointSpec> time_endpoints{
+        {wsdl::BindingKind::kSoap, "http://b:8080/time", {}},
+    };
+    time_key_ = *registry_.add(*wsdl::generate(time, time_endpoints));
+  }
+
+  VirtualClock clock_;
+  XmlRegistry registry_{clock_};
+  UddiFacade uddi_{registry_};
+  std::string mm_key_, time_key_;
+};
+
+TEST_F(UddiTest, FindServiceByName) {
+  auto rows = uddi_.find_service("MatMulService");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].business, "MatMul");
+  EXPECT_EQ(rows[0].service_key, mm_key_);
+  ASSERT_EQ(rows[0].bindings.size(), 2u);
+  EXPECT_EQ(rows[0].bindings[0].tmodel, "soap");
+  EXPECT_EQ(rows[0].bindings[0].access_point, "http://a:8080/mm");
+  EXPECT_EQ(rows[0].bindings[1].tmodel, "xdr");
+}
+
+TEST_F(UddiTest, FindServiceMissName) {
+  EXPECT_TRUE(uddi_.find_service("MatMul").empty());  // exact name required
+  EXPECT_TRUE(uddi_.find_service("Ghost").empty());
+}
+
+TEST_F(UddiTest, FindByTmodel) {
+  auto xdr_rows = uddi_.find_by_tmodel(wsdl::BindingKind::kXdr);
+  ASSERT_EQ(xdr_rows.size(), 1u);
+  EXPECT_EQ(xdr_rows[0].name, "MatMulService");
+
+  auto soap_rows = uddi_.find_by_tmodel(wsdl::BindingKind::kSoap);
+  EXPECT_EQ(soap_rows.size(), 2u);
+
+  EXPECT_TRUE(uddi_.find_by_tmodel(wsdl::BindingKind::kLocal).empty());
+}
+
+TEST_F(UddiTest, GetServiceDetail) {
+  auto detail = uddi_.get_service_detail(time_key_);
+  ASSERT_TRUE(detail.ok());
+  EXPECT_EQ(detail->name, "WSTimeService");
+  EXPECT_FALSE(uddi_.get_service_detail("reg-404").ok());
+}
+
+TEST_F(UddiTest, AllServices) {
+  EXPECT_EQ(uddi_.all_services().size(), 2u);
+}
+
+TEST_F(UddiTest, ExpiredEntriesInvisible) {
+  wsdl::ServiceDescriptor v;
+  v.name = "Volatile";
+  v.operations.push_back({"f", {}, ValueKind::kVoid});
+  std::vector<wsdl::EndpointSpec> endpoints{{wsdl::BindingKind::kXdr, "xdr://c:9", {}}};
+  (void)registry_.add(*wsdl::generate(v, endpoints), kSecond);
+  EXPECT_EQ(uddi_.all_services().size(), 3u);
+  clock_.advance(2 * kSecond);
+  EXPECT_EQ(uddi_.all_services().size(), 2u);
+}
+
+}  // namespace
+}  // namespace h2::reg

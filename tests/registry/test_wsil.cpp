@@ -1,0 +1,126 @@
+#include "registry/wsil.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+#include "wsdl/io.hpp"
+
+namespace h2::reg {
+namespace {
+
+wsdl::Definitions make_service(const std::string& name, const std::string& address) {
+  wsdl::ServiceDescriptor d;
+  d.name = name;
+  d.operations.push_back({"run", {}, ValueKind::kString});
+  std::vector<wsdl::EndpointSpec> endpoints{{wsdl::BindingKind::kSoap, address, {}}};
+  return *wsdl::generate(d, endpoints);
+}
+
+TEST(Wsil, RoundTrip) {
+  std::vector<InspectionEntry> entries{
+      {"MatMulService", "http://a:8080/mm?wsdl"},
+      {"WSTimeService", "http://b:8080/time?wsdl"},
+  };
+  auto text = to_wsil(entries);
+  auto back = parse_wsil(text);
+  ASSERT_TRUE(back.ok()) << back.error().describe();
+  EXPECT_EQ(*back, entries);
+}
+
+TEST(Wsil, EmptyDocument) {
+  auto back = parse_wsil(to_wsil({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Wsil, RejectsWrongRoot) {
+  EXPECT_FALSE(parse_wsil("<notinspection/>").ok());
+  EXPECT_FALSE(parse_wsil("not xml at all").ok());
+}
+
+TEST(Wsil, RejectsServiceWithoutLocation) {
+  auto text = R"(<inspection xmlns="http://schemas.xmlsoap.org/ws/2001/10/inspection/">
+    <service><abstract>X</abstract></service></inspection>)";
+  EXPECT_FALSE(parse_wsil(text).ok());
+}
+
+TEST(Wsil, InspectRendersRegistryContents) {
+  VirtualClock clock;
+  XmlRegistry registry(clock);
+  (void)registry.add(make_service("Alpha", "http://a:8080/alpha"));
+  (void)registry.add(make_service("Beta", "http://b:8080/beta"));
+  auto entries = inspect(registry);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "AlphaService");
+  EXPECT_EQ(entries[0].wsdl_location, "http://a:8080/alpha?wsdl");
+  EXPECT_EQ(entries[1].name, "BetaService");
+}
+
+TEST(Wsil, ImportCrawlsIntoRegistry) {
+  // Provider side: registry -> WSIL document + a "fetch" map.
+  VirtualClock clock;
+  XmlRegistry provider(clock);
+  (void)provider.add(make_service("Alpha", "http://a:8080/alpha"));
+  (void)provider.add(make_service("Beta", "http://b:8080/beta"));
+  auto wsil = to_wsil(inspect(provider));
+
+  std::map<std::string, std::string> web;
+  for (const Entry* entry : provider.entries()) {
+    const auto& service = entry->defs.services.front();
+    web[service.ports.front().address + "?wsdl"] = wsdl::to_xml_string(entry->defs);
+  }
+
+  // Consumer side: crawl the document, resolve each description.
+  XmlRegistry consumer(clock);
+  int fetches = 0;
+  auto resolver = [&web, &fetches](const std::string& location) -> Result<std::string> {
+    ++fetches;
+    auto it = web.find(location);
+    if (it == web.end()) return err::not_found("404: " + location);
+    return it->second;
+  };
+  auto imported = import_wsil(wsil, resolver, consumer);
+  ASSERT_TRUE(imported.ok()) << imported.error().describe();
+  EXPECT_EQ(*imported, 2u);
+  EXPECT_EQ(fetches, 2);
+  EXPECT_TRUE(consumer.find_service("AlphaService").ok());
+  EXPECT_TRUE(consumer.find_service("BetaService").ok());
+}
+
+TEST(Wsil, ImportStopsOnBrokenLink) {
+  std::vector<InspectionEntry> entries{{"Ghost", "http://nowhere/ghost?wsdl"}};
+  VirtualClock clock;
+  XmlRegistry consumer(clock);
+  auto resolver = [](const std::string&) -> Result<std::string> {
+    return err::not_found("404");
+  };
+  auto imported = import_wsil(to_wsil(entries), resolver, consumer);
+  ASSERT_FALSE(imported.ok());
+  EXPECT_EQ(consumer.size(), 0u);
+}
+
+TEST(Wsil, ImportRejectsMalformedWsdl) {
+  std::vector<InspectionEntry> entries{{"Bad", "http://x/?wsdl"}};
+  VirtualClock clock;
+  XmlRegistry consumer(clock);
+  auto resolver = [](const std::string&) -> Result<std::string> {
+    return std::string("<garbage/>");
+  };
+  EXPECT_FALSE(import_wsil(to_wsil(entries), resolver, consumer).ok());
+}
+
+TEST(Wsil, ImportedEntriesHonorLease) {
+  VirtualClock clock;
+  XmlRegistry provider(clock);
+  (void)provider.add(make_service("Alpha", "http://a:8080/alpha"));
+  std::string text = wsdl::to_xml_string(provider.entries()[0]->defs);
+  XmlRegistry consumer(clock);
+  auto resolver = [&text](const std::string&) -> Result<std::string> { return text; };
+  ASSERT_TRUE(import_wsil(to_wsil(inspect(provider)), resolver, consumer, kSecond).ok());
+  EXPECT_EQ(consumer.size(), 1u);
+  clock.advance(2 * kSecond);
+  EXPECT_EQ(consumer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace h2::reg

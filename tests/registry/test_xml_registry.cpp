@@ -1,0 +1,146 @@
+#include "registry/xml_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+
+namespace h2::reg {
+namespace {
+
+wsdl::Definitions make_service(const std::string& name, wsdl::BindingKind kind,
+                               const std::string& address) {
+  wsdl::ServiceDescriptor d;
+  d.name = name;
+  d.operations.push_back({"run", {}, ValueKind::kString});
+  std::vector<wsdl::EndpointSpec> endpoints{{kind, address, {}}};
+  if (kind == wsdl::BindingKind::kLocal) endpoints[0].properties["class"] = name;
+  auto defs = wsdl::generate(d, endpoints);
+  EXPECT_TRUE(defs.ok());
+  return *defs;
+}
+
+class XmlRegistryTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  XmlRegistry registry_{clock_};
+};
+
+TEST_F(XmlRegistryTest, AddAndFind) {
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(registry_.size(), 1u);
+  auto entry = registry_.find_service("AlphaService");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->key, *key);
+}
+
+TEST_F(XmlRegistryTest, FindMissing) {
+  auto entry = registry_.find_service("Nope");
+  ASSERT_FALSE(entry.ok());
+  EXPECT_EQ(entry.error().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(XmlRegistryTest, RejectsInvalidWsdl) {
+  wsdl::Definitions bad;
+  bad.name = "X";
+  // no target namespace -> invalid
+  EXPECT_FALSE(registry_.add(bad).ok());
+}
+
+TEST_F(XmlRegistryTest, RemoveByKey) {
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  ASSERT_TRUE(key.ok());
+  EXPECT_TRUE(registry_.remove(*key).ok());
+  EXPECT_FALSE(registry_.remove(*key).ok());
+  EXPECT_EQ(registry_.size(), 0u);
+}
+
+TEST_F(XmlRegistryTest, LatestRegistrationWins) {
+  (void)registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://old:1/x"));
+  clock_.advance(kSecond);
+  (void)registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://new:1/x"));
+  auto entry = registry_.find_service("AlphaService");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->defs.services[0].ports[0].address, "http://new:1/x");
+}
+
+TEST_F(XmlRegistryTest, LeaseExpiry) {
+  auto key = registry_.add(make_service("Volatile", wsdl::BindingKind::kXdr, "xdr://v:9"),
+                           /*lease=*/kSecond);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(registry_.size(), 1u);
+  clock_.advance(kSecond / 2);
+  EXPECT_EQ(registry_.size(), 1u);
+  clock_.advance(kSecond);
+  EXPECT_EQ(registry_.size(), 0u);
+  EXPECT_FALSE(registry_.find_service("VolatileService").ok());
+}
+
+TEST_F(XmlRegistryTest, RenewExtendsLease) {
+  auto key = registry_.add(make_service("V", wsdl::BindingKind::kXdr, "xdr://v:9"), kSecond);
+  ASSERT_TRUE(key.ok());
+  clock_.advance(kSecond / 2);
+  ASSERT_TRUE(registry_.renew(*key, 2 * kSecond).ok());
+  clock_.advance(kSecond);  // would have expired without renewal
+  EXPECT_EQ(registry_.size(), 1u);
+}
+
+TEST_F(XmlRegistryTest, RenewRejectsExpiredOrMissing) {
+  auto key = registry_.add(make_service("V", wsdl::BindingKind::kXdr, "xdr://v:9"), kSecond);
+  ASSERT_TRUE(key.ok());
+  clock_.advance(2 * kSecond);
+  EXPECT_FALSE(registry_.renew(*key, kSecond).ok());
+  EXPECT_FALSE(registry_.renew("reg-999", kSecond).ok());
+  EXPECT_FALSE(registry_.renew(*key, 0).ok());
+}
+
+TEST_F(XmlRegistryTest, ExpirePurges) {
+  (void)registry_.add(make_service("A", wsdl::BindingKind::kXdr, "xdr://a:9"), kSecond);
+  (void)registry_.add(make_service("B", wsdl::BindingKind::kXdr, "xdr://b:9"));
+  clock_.advance(2 * kSecond);
+  EXPECT_EQ(registry_.expire(), 1u);
+  EXPECT_EQ(registry_.expire(), 0u);
+  EXPECT_EQ(registry_.size(), 1u);
+}
+
+TEST_F(XmlRegistryTest, NegativeLeaseRejected) {
+  EXPECT_FALSE(registry_.add(make_service("A", wsdl::BindingKind::kXdr, "xdr://a:9"), -1).ok());
+}
+
+TEST_F(XmlRegistryTest, XPathQueryByBindingKind) {
+  (void)registry_.add(make_service("SoapOnly", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  (void)registry_.add(make_service("XdrOnly", wsdl::BindingKind::kXdr, "xdr://b:9"));
+
+  auto xdr_entries = registry_.query("//binding/binding[@kind='xdr']");
+  ASSERT_TRUE(xdr_entries.ok());
+  ASSERT_EQ(xdr_entries->size(), 1u);
+  EXPECT_EQ((*xdr_entries)[0]->defs.name, "XdrOnly");
+
+  auto all = registry_.query("//service");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST_F(XmlRegistryTest, XPathQueryByAddress) {
+  (void)registry_.add(make_service("A", wsdl::BindingKind::kSoap, "http://hostA:1/x"));
+  (void)registry_.add(make_service("B", wsdl::BindingKind::kSoap, "http://hostB:1/x"));
+  auto on_b = registry_.query("//address[@location='http://hostB:1/x']");
+  ASSERT_TRUE(on_b.ok());
+  ASSERT_EQ(on_b->size(), 1u);
+  EXPECT_EQ((*on_b)[0]->defs.name, "B");
+}
+
+TEST_F(XmlRegistryTest, QueryRejectsBadXPath) {
+  EXPECT_FALSE(registry_.query("//[").ok());
+}
+
+TEST_F(XmlRegistryTest, QuerySkipsExpired) {
+  (void)registry_.add(make_service("A", wsdl::BindingKind::kXdr, "xdr://a:9"), kSecond);
+  clock_.advance(2 * kSecond);
+  auto hits = registry_.query("//service");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace h2::reg

@@ -1,0 +1,165 @@
+#include "runner/runner_box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::runner {
+namespace {
+
+TEST(RshBackend, JobsStartImmediatelyAndRunForever) {
+  auto backend = make_rsh_backend();
+  auto id = backend->run("worker");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(backend->status(*id), JobState::kRunning);
+  EXPECT_EQ(backend->running_count(), 1u);
+  ASSERT_TRUE(backend->terminate(*id).ok());
+  EXPECT_EQ(backend->status(*id), JobState::kKilled);
+  EXPECT_FALSE(backend->terminate(*id).ok());
+  EXPECT_EQ(backend->running_count(), 0u);
+}
+
+TEST(RshBackend, RejectsEmptyCommand) {
+  auto backend = make_rsh_backend();
+  EXPECT_FALSE(backend->run("").ok());
+}
+
+TEST(RshBackend, UnknownJob) {
+  auto backend = make_rsh_backend();
+  EXPECT_EQ(backend->status(99), JobState::kUnknown);
+  EXPECT_FALSE(backend->terminate(99).ok());
+}
+
+TEST(GridBackend, SlotsLimitConcurrency) {
+  VirtualClock clock;
+  auto backend = make_grid_manager_backend(clock, 2, kSecond);
+  auto a = backend->run("a");
+  auto b = backend->run("b");
+  auto c = backend->run("c");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(backend->status(*a), JobState::kRunning);
+  EXPECT_EQ(backend->status(*b), JobState::kRunning);
+  EXPECT_EQ(backend->status(*c), JobState::kQueued);  // no free slot
+  EXPECT_EQ(backend->running_count(), 2u);
+}
+
+TEST(GridBackend, JobsFinishAndQueueAdvances) {
+  VirtualClock clock;
+  auto backend = make_grid_manager_backend(clock, 1, kSecond);
+  auto a = backend->run("a");
+  auto b = backend->run("b");
+  EXPECT_EQ(backend->status(*b), JobState::kQueued);
+  clock.advance(kSecond);
+  EXPECT_EQ(backend->status(*a), JobState::kFinished);
+  EXPECT_EQ(backend->status(*b), JobState::kRunning);
+  clock.advance(kSecond);
+  EXPECT_EQ(backend->status(*b), JobState::kFinished);
+}
+
+TEST(GridBackend, KillQueuedJobNeverRuns) {
+  VirtualClock clock;
+  auto backend = make_grid_manager_backend(clock, 1, kSecond);
+  auto a = backend->run("a");
+  auto b = backend->run("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(backend->terminate(*b).ok());
+  clock.advance(10 * kSecond);
+  EXPECT_EQ(backend->status(*b), JobState::kKilled);
+}
+
+TEST(GridBackend, ZeroSlotsClampedToOne) {
+  VirtualClock clock;
+  auto backend = make_grid_manager_backend(clock, 0, kSecond);
+  auto a = backend->run("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(backend->status(*a), JobState::kRunning);
+}
+
+// The runner box's whole purpose: both backends look identical through the
+// minimal run/control/status surface.
+class RunnerBoxUniformity : public ::testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<RunnerBox> make_box() {
+    if (GetParam()) {
+      return std::make_unique<RunnerBox>("rsh-box", make_rsh_backend());
+    }
+    return std::make_unique<RunnerBox>(
+        "grid-box", make_grid_manager_backend(clock_, 4, 3600 * kSecond));
+  }
+  VirtualClock clock_;
+};
+
+TEST_P(RunnerBoxUniformity, RunControlStatusThroughDispatcher) {
+  auto box = make_box();
+  auto& d = box->dispatcher();
+
+  std::vector<Value> run_params{Value::of_string("app.bin")};
+  auto id = d.dispatch("run", run_params);
+  ASSERT_TRUE(id.ok());
+
+  std::vector<Value> status_params{*id};
+  auto state = d.dispatch("status", status_params);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state->as_string(), "running");
+
+  std::vector<Value> kill_params{*id, Value::of_string("kill")};
+  auto killed = d.dispatch("control", kill_params);
+  ASSERT_TRUE(killed.ok());
+  EXPECT_TRUE(*killed->as_bool());
+
+  state = d.dispatch("status", status_params);
+  EXPECT_EQ(*state->as_string(), "killed");
+}
+
+TEST_P(RunnerBoxUniformity, UnknownControlActionRejected) {
+  auto box = make_box();
+  std::vector<Value> params{Value::of_int(1), Value::of_string("hug")};
+  auto r = box->dispatcher().dispatch("control", params);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnsupported);
+}
+
+TEST_P(RunnerBoxUniformity, InfoIdentifiesBackend) {
+  auto box = make_box();
+  auto info = box->dispatcher().dispatch("info", {});
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info->as_string()->find(GetParam() ? "rsh" : "gridmgr"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, RunnerBoxUniformity, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "rsh" : "gridmgr";
+                         });
+
+TEST(RunnerBoxService, ExposedOverNetwork) {
+  net::SimNetwork net;
+  auto host = *net.add_host("res1");
+  auto client = *net.add_host("user");
+  RunnerBox box("res1-box", make_rsh_backend());
+  ASSERT_TRUE(box.expose(net, host).ok());
+
+  net::Endpoint endpoint{.scheme = "xdr", .host = "res1", .port = kRunnerPort, .path = ""};
+  auto channel = net::make_xdr_channel(net, client, endpoint);
+  std::vector<Value> params{Value::of_string("sim.exe")};
+  auto id = channel->invoke("run", params);
+  ASSERT_TRUE(id.ok()) << id.error().describe();
+  EXPECT_EQ(box.backend().running_count(), 1u);
+
+  box.unexpose();
+  EXPECT_FALSE(channel->invoke("run", params).ok());
+}
+
+TEST(RunnerBoxService, DescriptorGeneratesValidWsdl) {
+  auto d = RunnerBox::descriptor();
+  std::vector<wsdl::EndpointSpec> endpoints{
+      {wsdl::BindingKind::kXdr, "xdr://res1:7300", {}}};
+  auto defs = wsdl::generate(d, endpoints);
+  ASSERT_TRUE(defs.ok());
+  EXPECT_TRUE(wsdl::validate(*defs).ok());
+}
+
+TEST(ResourceInfo, Describe) {
+  ResourceInfo info{.arch = "sparc", .os = "solaris", .cpus = 8};
+  EXPECT_EQ(info.describe(), "sparc/solaris/8cpu");
+}
+
+}  // namespace
+}  // namespace h2::runner

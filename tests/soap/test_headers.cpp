@@ -1,0 +1,113 @@
+// SOAP Header entries and mustUnderstand enforcement.
+#include <gtest/gtest.h>
+
+#include "soap/envelope.hpp"
+#include "transport/http.hpp"
+#include "transport/rpc.hpp"
+
+namespace h2::soap {
+namespace {
+
+TEST(SoapHeaders, BuildAndParseRoundTrip) {
+  std::vector<HeaderEntry> headers{
+      {"TransactionId", "urn:h2:tx", "tx-42", true, ""},
+      {"Priority", "urn:h2:qos", "high", false, "http://actor.example"},
+  };
+  std::vector<Value> params{Value::of_int(1, "x")};
+  auto text = build_request("op", "urn:svc", params, headers);
+  auto call = parse_request(text);
+  ASSERT_TRUE(call.ok()) << call.error().describe();
+  ASSERT_EQ(call->headers.size(), 2u);
+  EXPECT_EQ(call->headers[0].name, "TransactionId");
+  EXPECT_EQ(call->headers[0].ns, "urn:h2:tx");
+  EXPECT_EQ(call->headers[0].value, "tx-42");
+  EXPECT_TRUE(call->headers[0].must_understand);
+  EXPECT_EQ(call->headers[1], headers[1]);
+  // The body is unaffected.
+  ASSERT_EQ(call->params.size(), 1u);
+  EXPECT_EQ(*call->params[0].as_int(), 1);
+}
+
+TEST(SoapHeaders, NoHeaderElementMeansEmptyList) {
+  auto call = parse_request(build_request("op", "urn:svc", {}));
+  ASSERT_TRUE(call.ok());
+  EXPECT_TRUE(call->headers.empty());
+}
+
+TEST(SoapHeaders, ForeignPrefixMustUnderstandRecognized) {
+  auto text = R"(<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">
+    <e:Header><t:Tx xmlns:t="urn:tx" e:mustUnderstand="1">9</t:Tx></e:Header>
+    <e:Body><op xmlns="urn:x"/></e:Body></e:Envelope>)";
+  auto call = parse_request(text);
+  ASSERT_TRUE(call.ok()) << call.error().describe();
+  ASSERT_EQ(call->headers.size(), 1u);
+  EXPECT_TRUE(call->headers[0].must_understand);
+}
+
+TEST(SoapHeaders, NonEnvelopeMustUnderstandAttributeIgnored) {
+  auto text = R"(<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">
+    <e:Header><t:Tx xmlns:t="urn:tx" t:mustUnderstand="1">9</t:Tx></e:Header>
+    <e:Body><op xmlns="urn:x"/></e:Body></e:Envelope>)";
+  auto call = parse_request(text);
+  ASSERT_TRUE(call.ok());
+  EXPECT_FALSE(call->headers[0].must_understand);
+}
+
+class MustUnderstandServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    client_ = *net_.add_host("client");
+    server_host_ = *net_.add_host("server");
+    service_ = std::make_shared<net::DispatcherMux>();
+    service_->add("hi", [](std::span<const Value>) -> Result<Value> {
+      return Value::of_string("hello");
+    });
+    server_ = std::make_unique<net::SoapHttpServer>(net_, server_host_, 8080);
+    ASSERT_TRUE(server_->start().ok());
+    ASSERT_TRUE(server_->mount("svc", service_).ok());
+  }
+
+  Result<RpcReply> post(std::span<const HeaderEntry> headers) {
+    net::http::Request request;
+    request.method = "POST";
+    request.target = "/svc";
+    request.body = build_request("hi", "urn:svc", {}, headers);
+    auto raw = net_.call(client_, server_host_, 8080, request.serialize("server").bytes());
+    if (!raw.ok()) return raw.error();
+    auto response = net::http::parse_response(raw->bytes());
+    if (!response.ok()) return response.error();
+    return parse_reply(response->body);
+  }
+
+  net::SimNetwork net_;
+  net::HostId client_ = 0, server_host_ = 0;
+  std::shared_ptr<net::DispatcherMux> service_;
+  std::unique_ptr<net::SoapHttpServer> server_;
+};
+
+TEST_F(MustUnderstandServerTest, UnknownMustUnderstandHeaderFaults) {
+  std::vector<HeaderEntry> headers{{"Exotic", "urn:x", "v", true, ""}};
+  auto reply = post(headers);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->is_fault());
+  EXPECT_EQ(reply->fault().code, "MustUnderstand");
+}
+
+TEST_F(MustUnderstandServerTest, OptionalUnknownHeaderIgnored) {
+  std::vector<HeaderEntry> headers{{"Exotic", "urn:x", "v", false, ""}};
+  auto reply = post(headers);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply->is_fault());
+  EXPECT_EQ(*reply->value().as_string(), "hello");
+}
+
+TEST_F(MustUnderstandServerTest, DeclaredHeaderAccepted) {
+  server_->declare_understood("Exotic");
+  std::vector<HeaderEntry> headers{{"Exotic", "urn:x", "v", true, ""}};
+  auto reply = post(headers);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply->is_fault());
+}
+
+}  // namespace
+}  // namespace h2::soap

@@ -1,0 +1,127 @@
+// MIME binding (SOAP-with-Attachments) tests: multipart framing, binary
+// attachments, fault paths, and the wire-size advantage over plain SOAP.
+#include "soap/mime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace h2::soap {
+namespace {
+
+TEST(Mime, RequestRoundTripWithAttachments) {
+  Rng rng(3);
+  auto a = rng.doubles(64);
+  auto blob = rng.bytes(100);
+  std::vector<Value> params{Value::of_doubles(a, "mata"),
+                            Value::of_string("note", "label"),
+                            Value::of_bytes(blob, "blob")};
+  auto message = build_mime_request("getResult", "urn:mm", params);
+  EXPECT_NE(message.content_type.find("multipart/related"), std::string::npos);
+
+  auto call = parse_mime_request(message.content_type, message.body.bytes());
+  ASSERT_TRUE(call.ok()) << call.error().describe();
+  EXPECT_EQ(call->operation, "getResult");
+  EXPECT_EQ(call->service_ns, "urn:mm");
+  ASSERT_EQ(call->params.size(), 3u);
+  EXPECT_EQ(*call->params[0].as_doubles(), a);
+  EXPECT_EQ(*call->params[1].as_string(), "note");
+  EXPECT_EQ(*call->params[2].as_bytes(), blob);
+}
+
+TEST(Mime, ResponseRoundTrip) {
+  Rng rng(4);
+  auto data = rng.doubles(128);
+  auto message = build_mime_response("getResult", "urn:mm", Value::of_doubles(data));
+  auto reply = parse_mime_reply(message.content_type, message.body.bytes());
+  ASSERT_TRUE(reply.ok()) << reply.error().describe();
+  ASSERT_FALSE(reply->is_fault());
+  EXPECT_EQ(*reply->value().as_doubles(), data);
+}
+
+TEST(Mime, ScalarResultStaysInline) {
+  auto message = build_mime_response("f", "urn:x", Value::of_double(2.5));
+  // Only the root part: no attachments for scalars.
+  auto text = message.body.to_string();
+  EXPECT_EQ(text.find("part1"), std::string::npos);
+  auto reply = parse_mime_reply(message.content_type, message.body.bytes());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply->value().as_double(), 2.5);
+}
+
+TEST(Mime, FaultRoundTrip) {
+  auto message = build_mime_fault({"Server", "exploded", "detail"});
+  auto reply = parse_mime_reply(message.content_type, message.body.bytes());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply->is_fault());
+  EXPECT_EQ(reply->fault().code, "Server");
+  EXPECT_EQ(reply->fault().message, "exploded");
+}
+
+TEST(Mime, BinaryAttachmentsSurviveArbitraryBytes) {
+  // Including bytes that look like boundaries, CRLFs, and nulls.
+  std::vector<std::uint8_t> nasty;
+  for (int i = 0; i < 256; ++i) nasty.push_back(static_cast<std::uint8_t>(i));
+  std::string trap = "\r\n--h2-mime";  // prefix of the boundary marker
+  nasty.insert(nasty.end(), trap.begin(), trap.end());
+  nasty.push_back(0);
+
+  std::vector<Value> params{Value::of_bytes(nasty, "blob")};
+  auto message = build_mime_request("store", "urn:x", params);
+  auto call = parse_mime_request(message.content_type, message.body.bytes());
+  ASSERT_TRUE(call.ok()) << call.error().describe();
+  EXPECT_EQ(*call->params[0].as_bytes(), nasty);
+}
+
+TEST(Mime, SmallerThanPlainSoapForArrays) {
+  Rng rng(5);
+  auto data = rng.doubles(4096);
+  std::vector<Value> params{Value::of_doubles(data, "mata")};
+  auto mime_size = build_mime_request("f", "urn:x", params).body.size();
+  auto soap_size = build_request("f", "urn:x", params).size();
+  // Binary attachment ~8 B/double vs ~28 B/double of XML text.
+  EXPECT_LT(mime_size, soap_size / 2);
+}
+
+TEST(Mime, RejectsMalformedInput) {
+  auto good = build_mime_request("f", "urn:x", {});
+  // Missing boundary parameter.
+  EXPECT_FALSE(parse_mime_request("multipart/related", good.body.bytes()).ok());
+  // Wrong boundary.
+  EXPECT_FALSE(parse_mime_request("multipart/related; boundary=\"nope\"",
+                                  good.body.bytes())
+                   .ok());
+  // Truncated body.
+  auto bytes = good.body.bytes();
+  ByteBuffer truncated(
+      std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + bytes.size() / 2));
+  EXPECT_FALSE(parse_mime_request(good.content_type, truncated.bytes()).ok());
+}
+
+TEST(Mime, RejectsDanglingAttachmentReference) {
+  auto message = build_mime_request("f", "urn:x",
+                                    std::vector<Value>{Value::of_doubles({1, 2}, "a")});
+  // Remove the attachment part but keep the envelope reference.
+  std::string text = message.body.to_string();
+  auto cut = text.find("Content-ID: <part1>");
+  ASSERT_NE(cut, std::string::npos);
+  auto boundary_before = text.rfind("--h2-mime", cut);
+  std::string mutilated = text.substr(0, boundary_before) +
+                          text.substr(text.rfind("--h2-mime"));
+  EXPECT_FALSE(parse_mime_request(message.content_type, ByteBuffer(mutilated).bytes()).ok());
+}
+
+TEST(Mime, DoubleArrayAttachmentSizeChecked) {
+  auto message = build_mime_request("f", "urn:x",
+                                    std::vector<Value>{Value::of_doubles({1, 2}, "a")});
+  std::string text = message.body.to_string();
+  // Chop one byte off the 16-byte attachment (not a multiple of 8 anymore).
+  auto pos = text.find("Content-ID: <part1>");
+  ASSERT_NE(pos, std::string::npos);
+  auto body_start = text.find("\r\n\r\n", pos) + 4;
+  text.erase(body_start, 1);
+  EXPECT_FALSE(parse_mime_request(message.content_type, ByteBuffer(text).bytes()).ok());
+}
+
+}  // namespace
+}  // namespace h2::soap

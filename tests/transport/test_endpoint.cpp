@@ -1,0 +1,71 @@
+#include "transport/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::net {
+namespace {
+
+TEST(Endpoint, ParseHttpFull) {
+  auto e = Endpoint::parse("http://hostA:8080/time");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scheme, "http");
+  EXPECT_EQ(e->host, "hostA");
+  EXPECT_EQ(e->port, 8080);
+  EXPECT_EQ(e->path, "time");
+}
+
+TEST(Endpoint, ParseNoPort) {
+  auto e = Endpoint::parse("local://kernelA");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scheme, "local");
+  EXPECT_EQ(e->host, "kernelA");
+  EXPECT_EQ(e->port, 0);
+  EXPECT_TRUE(e->path.empty());
+}
+
+TEST(Endpoint, ParseLocalObjectInstancePath) {
+  auto e = Endpoint::parse("localobject://kernelA/inst-42");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->path, "inst-42");
+}
+
+TEST(Endpoint, ParseXdr) {
+  auto e = Endpoint::parse("xdr://b:9001");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scheme, "xdr");
+  EXPECT_EQ(e->port, 9001);
+}
+
+TEST(Endpoint, SchemeLowercased) {
+  auto e = Endpoint::parse("HTTP://h:1/x");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scheme, "http");
+}
+
+TEST(Endpoint, NestedPathKept) {
+  auto e = Endpoint::parse("http://h:1/a/b/c");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->path, "a/b/c");
+}
+
+TEST(Endpoint, RoundTripUri) {
+  for (const char* uri : {"http://hostA:8080/time", "xdr://b:9001",
+                          "local://kernelA", "localobject://kernelA/inst-42"}) {
+    auto e = Endpoint::parse(uri);
+    ASSERT_TRUE(e.ok()) << uri;
+    EXPECT_EQ(e->to_uri(), uri);
+  }
+}
+
+TEST(Endpoint, Rejections) {
+  EXPECT_FALSE(Endpoint::parse("").ok());
+  EXPECT_FALSE(Endpoint::parse("nouri").ok());
+  EXPECT_FALSE(Endpoint::parse("://h").ok());
+  EXPECT_FALSE(Endpoint::parse("http://").ok());
+  EXPECT_FALSE(Endpoint::parse("http://:80/x").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:notaport").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:99999").ok());
+}
+
+}  // namespace
+}  // namespace h2::net

@@ -1,0 +1,115 @@
+#include "transport/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::net::http {
+namespace {
+
+TEST(HttpRequest, SerializeParseRoundTrip) {
+  Request request;
+  request.method = "POST";
+  request.target = "/mm";
+  request.headers.set("Content-Type", "text/xml");
+  request.headers.set("SOAPAction", "\"urn:mm#getResult\"");
+  request.body = "<xml/>";
+  auto wire = request.serialize("hostA");
+
+  auto back = parse_request(wire.bytes());
+  ASSERT_TRUE(back.ok()) << back.error().describe();
+  EXPECT_EQ(back->method, "POST");
+  EXPECT_EQ(back->target, "/mm");
+  EXPECT_EQ(back->body, "<xml/>");
+  EXPECT_EQ(back->headers.get_or("content-type", ""), "text/xml");
+  EXPECT_EQ(back->headers.get_or("host", ""), "hostA");
+  EXPECT_EQ(back->headers.get_or("content-length", ""), "6");
+}
+
+TEST(HttpRequest, EmptyTargetBecomesRoot) {
+  Request request;
+  request.target = "";
+  auto text = request.serialize("h").to_string();
+  EXPECT_NE(text.find("POST / HTTP/1.1"), std::string::npos);
+}
+
+TEST(HttpRequest, HeaderNamesCaseInsensitive) {
+  Headers headers;
+  headers.set("SOAPAction", "x");
+  EXPECT_EQ(headers.get_or("soapaction", ""), "x");
+  EXPECT_EQ(headers.get_or("SOAPACTION", ""), "x");
+  EXPECT_FALSE(headers.get("missing").has_value());
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  Response response;
+  response.status = 500;
+  response.reason = "Internal Server Error";
+  response.headers.set("Content-Type", "text/xml");
+  response.body = "<fault/>";
+  auto back = parse_response(response.serialize().bytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->status, 500);
+  EXPECT_EQ(back->reason, "Internal Server Error");
+  EXPECT_EQ(back->body, "<fault/>");
+}
+
+TEST(HttpResponse, EmptyBody) {
+  Response response;
+  auto back = parse_response(response.serialize().bytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->body.empty());
+}
+
+TEST(HttpParse, RejectsMissingTerminator) {
+  ByteBuffer wire(std::string_view("GET / HTTP/1.1\r\nHost: x\r\n"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsBadRequestLine) {
+  ByteBuffer wire(std::string_view("GARBAGE\r\n\r\n"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsUnsupportedVersion) {
+  ByteBuffer wire(std::string_view("GET / HTTP/2.0\r\n\r\n"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsContentLengthMismatch) {
+  ByteBuffer wire(std::string_view(
+      "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsBodyWithoutContentLength) {
+  ByteBuffer wire(std::string_view("POST /x HTTP/1.1\r\n\r\nbody"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsMalformedHeader) {
+  ByteBuffer wire(std::string_view("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"));
+  EXPECT_FALSE(parse_request(wire.bytes()).ok());
+}
+
+TEST(HttpParse, RejectsBadStatusLine) {
+  ByteBuffer wire(std::string_view("HTTP/1.1 abc OK\r\n\r\n"));
+  EXPECT_FALSE(parse_response(wire.bytes()).ok());
+  ByteBuffer wire2(std::string_view("HTTP/1.1 99 Too Low\r\n\r\n"));
+  EXPECT_FALSE(parse_response(wire2.bytes()).ok());
+}
+
+TEST(HttpParse, HeaderValueWhitespaceTrimmed) {
+  ByteBuffer wire(std::string_view("GET / HTTP/1.1\r\nX-K:    spaced   \r\n\r\n"));
+  auto request = parse_request(wire.bytes());
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->headers.get_or("x-k", ""), "spaced");
+}
+
+TEST(HttpReason, CommonCodes) {
+  EXPECT_EQ(reason_for(200), "OK");
+  EXPECT_EQ(reason_for(404), "Not Found");
+  EXPECT_EQ(reason_for(500), "Internal Server Error");
+  EXPECT_EQ(reason_for(418), "Unknown");
+}
+
+}  // namespace
+}  // namespace h2::net::http

@@ -1,0 +1,115 @@
+// The raw HTTP binding: XDR frames in HTTP bodies — HTTP's reach without
+// SOAP's encoding tax.
+#include <gtest/gtest.h>
+
+#include "transport/rpc.hpp"
+
+#include "transport/http.hpp"
+#include "transport/marshal.hpp"
+#include "util/rng.hpp"
+
+namespace h2::net {
+namespace {
+
+class HttpBindingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    client_ = *net_.add_host("client");
+    server_host_ = *net_.add_host("server");
+    service_ = std::make_shared<DispatcherMux>();
+    service_->add("scale", [](std::span<const Value> params) -> Result<Value> {
+      if (params.empty()) return err::invalid_argument("scale(v)");
+      auto values = params[0].as_doubles();
+      if (!values.ok()) return values.error();
+      for (double& v : *values) v *= 3.0;
+      return Value::of_doubles(std::move(*values));
+    });
+    service_->add("boom", [](std::span<const Value>) -> Result<Value> {
+      return err::permission_denied("nope");
+    });
+    server_ = std::make_unique<SoapHttpServer>(net_, server_host_, 8080);
+    ASSERT_TRUE(server_->start().ok());
+    ASSERT_TRUE(server_->mount_raw("svc.raw", service_).ok());
+  }
+
+  SimNetwork net_;
+  HostId client_ = 0, server_host_ = 0;
+  std::shared_ptr<DispatcherMux> service_;
+  std::unique_ptr<SoapHttpServer> server_;
+};
+
+TEST_F(HttpBindingTest, EndToEndCall) {
+  auto channel =
+      make_http_channel(net_, client_, *Endpoint::parse("http://server:8080/svc.raw"));
+  std::vector<Value> params{Value::of_doubles({1, 2})};
+  auto result = channel->invoke("scale", params);
+  ASSERT_TRUE(result.ok()) << result.error().describe();
+  EXPECT_EQ(*result->as_doubles(), (std::vector<double>{3, 6}));
+  EXPECT_STREQ(channel->binding_name(), "http");
+  EXPECT_EQ(channel->last_stats().entities_traversed, 5);
+}
+
+TEST_F(HttpBindingTest, ErrorsTravelInBand) {
+  auto channel =
+      make_http_channel(net_, client_, *Endpoint::parse("http://server:8080/svc.raw"));
+  auto result = channel->invoke("boom", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(HttpBindingTest, CheaperOnTheWireThanSoap) {
+  ASSERT_TRUE(server_->mount("svc", service_).ok());
+  Rng rng(4);
+  auto values = rng.doubles(512);
+  std::vector<Value> params{Value::of_doubles(values, "v")};
+
+  auto http_channel =
+      make_http_channel(net_, client_, *Endpoint::parse("http://server:8080/svc.raw"));
+  auto soap_channel = make_soap_channel(
+      net_, client_, *Endpoint::parse("http://server:8080/svc"), "urn:t");
+
+  auto r1 = http_channel->invoke("scale", params);
+  auto r2 = soap_channel->invoke("scale", params);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1->as_doubles(), *r2->as_doubles());
+  // Same HTTP framing, but the body is binary instead of XML text.
+  EXPECT_LT(http_channel->last_stats().request_bytes,
+            soap_channel->last_stats().request_bytes / 2);
+  EXPECT_LT(http_channel->last_stats().entities_traversed,
+            soap_channel->last_stats().entities_traversed);
+}
+
+TEST_F(HttpBindingTest, UnknownPathRejected) {
+  auto channel =
+      make_http_channel(net_, client_, *Endpoint::parse("http://server:8080/ghost"));
+  EXPECT_FALSE(channel->invoke("scale", {}).ok());
+}
+
+TEST_F(HttpBindingTest, GarbageBodyRejectedCleanly) {
+  // A hand-built POST with a non-frame body must produce an in-band error,
+  // not a crash or hang.
+  http::Request request;
+  request.method = "POST";
+  request.target = "/svc.raw";
+  request.body = "this is not an XDR frame";
+  auto raw = net_.call(client_, server_host_, 8080, request.serialize("server").bytes());
+  ASSERT_TRUE(raw.ok());
+  auto response = http::parse_response(raw->bytes());
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);  // transport ok, error is in the frame
+  ByteBuffer body(response->body);
+  auto reply = unmarshal_reply(body.bytes());
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST_F(HttpBindingTest, RawAndSoapMountsShareOnePort) {
+  ASSERT_TRUE(server_->mount("svc", service_).ok());
+  EXPECT_EQ(server_->mounted_count(), 2u);
+  EXPECT_FALSE(server_->mount_raw("svc.raw", service_).ok());  // duplicate
+  ASSERT_TRUE(server_->unmount("svc.raw").ok());
+  EXPECT_EQ(server_->mounted_count(), 1u);
+}
+
+}  // namespace
+}  // namespace h2::net

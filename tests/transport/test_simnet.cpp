@@ -1,0 +1,171 @@
+#include "transport/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::net {
+namespace {
+
+/// Echo handler used across tests.
+Handler echo() {
+  return [](std::span<const std::uint8_t> in) -> Result<ByteBuffer> {
+    return ByteBuffer(std::vector<std::uint8_t>(in.begin(), in.end()));
+  };
+}
+
+class SimNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *net_.add_host("A");
+    b_ = *net_.add_host("B");
+  }
+  SimNetwork net_;
+  HostId a_ = 0, b_ = 0;
+};
+
+TEST_F(SimNetTest, HostNamesUnique) {
+  EXPECT_FALSE(net_.add_host("A").ok());
+  EXPECT_EQ(net_.host_name(a_), "A");
+  EXPECT_EQ(*net_.resolve("B"), b_);
+  EXPECT_FALSE(net_.resolve("zzz").ok());
+}
+
+TEST_F(SimNetTest, CallRoundTrip) {
+  ASSERT_TRUE(net_.listen(b_, 80, echo()).ok());
+  ByteBuffer msg(std::string_view("ping"));
+  auto reply = net_.call(a_, b_, 80, msg.bytes());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->as_string_view(), "ping");
+}
+
+TEST_F(SimNetTest, CallToUnboundPortRefused) {
+  auto reply = net_.call(a_, b_, 81, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(net_.stats().drops, 1u);
+}
+
+TEST_F(SimNetTest, PortConflictRejected) {
+  ASSERT_TRUE(net_.listen(b_, 80, echo()).ok());
+  EXPECT_FALSE(net_.listen(b_, 80, echo()).ok());
+  EXPECT_TRUE(net_.is_listening(b_, 80));
+  ASSERT_TRUE(net_.close(b_, 80).ok());
+  EXPECT_FALSE(net_.is_listening(b_, 80));
+  EXPECT_FALSE(net_.close(b_, 80).ok());
+}
+
+TEST_F(SimNetTest, ClockAdvancesByLatencyAndBandwidth) {
+  LinkSpec link{.latency = 1 * kMillisecond, .bandwidth_bytes_per_sec = 1e6};
+  ASSERT_TRUE(net_.set_link(a_, b_, link).ok());
+  ASSERT_TRUE(net_.listen(b_, 80, echo()).ok());
+
+  std::vector<std::uint8_t> payload(1000);  // 1000 B at 1 MB/s = 1 ms
+  Nanos before = net_.clock().now();
+  ASSERT_TRUE(net_.call(a_, b_, 80, payload).ok());
+  Nanos elapsed = net_.clock().now() - before;
+  // Round trip: 2 * (1 ms latency + 1 ms transfer) = 4 ms.
+  EXPECT_EQ(elapsed, 4 * kMillisecond);
+}
+
+TEST_F(SimNetTest, SameHostUsesLoopback) {
+  ASSERT_TRUE(net_.listen(a_, 80, echo()).ok());
+  Nanos before = net_.clock().now();
+  ASSERT_TRUE(net_.call(a_, a_, 80, std::vector<std::uint8_t>(100)).ok());
+  Nanos loop_cost = net_.clock().now() - before;
+  EXPECT_GT(loop_cost, 0);
+  EXPECT_LT(loop_cost, 2 * net_.link_between(a_, b_).transfer_time(100));
+}
+
+TEST_F(SimNetTest, PartitionBlocksAndHealRestores) {
+  ASSERT_TRUE(net_.listen(b_, 80, echo()).ok());
+  ASSERT_TRUE(net_.partition(a_, b_).ok());
+  EXPECT_FALSE(net_.reachable(a_, b_));
+  EXPECT_FALSE(net_.call(a_, b_, 80, {}).ok());
+  ASSERT_TRUE(net_.heal(a_, b_).ok());
+  EXPECT_TRUE(net_.call(a_, b_, 80, {}).ok());
+}
+
+TEST_F(SimNetTest, StatsCountTraffic) {
+  ASSERT_TRUE(net_.listen(b_, 80, echo()).ok());
+  std::vector<std::uint8_t> payload(10);
+  ASSERT_TRUE(net_.call(a_, b_, 80, payload).ok());
+  EXPECT_EQ(net_.stats().calls, 1u);
+  EXPECT_EQ(net_.stats().messages, 2u);       // request + response
+  EXPECT_EQ(net_.stats().bytes, 20u);         // 10 each way
+  net_.reset_stats();
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+TEST_F(SimNetTest, SendAndPumpDeliversInArrivalOrder) {
+  std::vector<std::string> received;
+  ASSERT_TRUE(net_
+                  .listen(b_, 70,
+                          [&received](std::span<const std::uint8_t> in) -> Result<ByteBuffer> {
+                            received.emplace_back(in.begin(), in.end());
+                            return ByteBuffer{};
+                          })
+                  .ok());
+  // Two senders: A->B over a slow link, B->B loopback (arrives first).
+  ASSERT_TRUE(net_.set_link(a_, b_, {.latency = 10 * kMillisecond,
+                                     .bandwidth_bytes_per_sec = 1e9})
+                  .ok());
+  ASSERT_TRUE(net_.send(a_, b_, 70, ByteBuffer(std::string_view("slow"))).ok());
+  ASSERT_TRUE(net_.send(b_, b_, 70, ByteBuffer(std::string_view("fast"))).ok());
+  EXPECT_EQ(net_.pump(), 2u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "fast");
+  EXPECT_EQ(received[1], "slow");
+}
+
+TEST_F(SimNetTest, PumpAdvancesClockToArrival) {
+  ASSERT_TRUE(net_.listen(b_, 70, echo()).ok());
+  ASSERT_TRUE(net_.set_link(a_, b_, {.latency = 5 * kMillisecond,
+                                     .bandwidth_bytes_per_sec = 1e9})
+                  .ok());
+  ASSERT_TRUE(net_.send(a_, b_, 70, ByteBuffer(std::string_view("x"))).ok());
+  net_.pump();
+  EXPECT_GE(net_.clock().now(), 5 * kMillisecond);
+}
+
+TEST_F(SimNetTest, SendToDeadPortCountsDrop) {
+  ASSERT_TRUE(net_.send(a_, b_, 99, ByteBuffer(std::string_view("x"))).ok());
+  EXPECT_EQ(net_.pump(), 0u);
+  EXPECT_EQ(net_.stats().drops, 1u);
+}
+
+TEST_F(SimNetTest, FifoTieBreakAtEqualArrival) {
+  std::vector<std::string> received;
+  ASSERT_TRUE(net_
+                  .listen(a_, 70,
+                          [&received](std::span<const std::uint8_t> in) -> Result<ByteBuffer> {
+                            received.emplace_back(in.begin(), in.end());
+                            return ByteBuffer{};
+                          })
+                  .ok());
+  ASSERT_TRUE(net_.send(a_, a_, 70, ByteBuffer(std::string_view("first"))).ok());
+  ASSERT_TRUE(net_.send(a_, a_, 70, ByteBuffer(std::string_view("second"))).ok());
+  net_.pump();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "first");
+  EXPECT_EQ(received[1], "second");
+}
+
+TEST(LinkSpec, TransferTimeFormula) {
+  LinkSpec link{.latency = 100, .bandwidth_bytes_per_sec = 1e9};
+  EXPECT_EQ(link.transfer_time(0), 100);
+  EXPECT_EQ(link.transfer_time(1000), 100 + 1000);  // 1000 B at 1 GB/s = 1 us
+}
+
+TEST(SimNetwork, BadHostIdsRejectedEverywhere) {
+  SimNetwork net;
+  auto a = *net.add_host("A");
+  EXPECT_FALSE(net.set_link(a, 42, {}).ok());
+  EXPECT_FALSE(net.set_link(a, a, {}).ok());
+  EXPECT_FALSE(net.partition(a, 42).ok());
+  EXPECT_FALSE(net.listen(42, 1, nullptr).ok());
+  EXPECT_FALSE(net.call(a, 42, 1, {}).ok());
+  EXPECT_FALSE(net.send(42, a, 1, ByteBuffer{}).ok());
+  EXPECT_EQ(net.host_name(42), "<unknown>");
+}
+
+}  // namespace
+}  // namespace h2::net

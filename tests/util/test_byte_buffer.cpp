@@ -1,0 +1,147 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(ByteBuffer, StartsEmpty) {
+  ByteBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, WriteReadU8) {
+  ByteBuffer buf;
+  buf.write_u8(0xAB);
+  ASSERT_EQ(buf.size(), 1u);
+  auto v = buf.read_u8();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xAB);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, BigEndianLayout) {
+  ByteBuffer buf;
+  buf.write_u32_be(0x01020304);
+  auto bytes = buf.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[1], 0x02);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0x04);
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  ByteBuffer buf;
+  buf.write_u32_le(0x01020304);
+  auto bytes = buf.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(ByteBuffer, RoundTripAllWidths) {
+  ByteBuffer buf;
+  buf.write_u16_be(0xBEEF);
+  buf.write_u32_be(0xDEADBEEF);
+  buf.write_u64_be(0x0123456789ABCDEFULL);
+  buf.write_u32_le(0xCAFEBABE);
+  buf.write_u64_le(0xFEEDFACEDEADBEEFULL);
+  EXPECT_EQ(*buf.read_u16_be(), 0xBEEF);
+  EXPECT_EQ(*buf.read_u32_be(), 0xDEADBEEFu);
+  EXPECT_EQ(*buf.read_u64_be(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*buf.read_u32_le(), 0xCAFEBABEu);
+  EXPECT_EQ(*buf.read_u64_le(), 0xFEEDFACEDEADBEEFULL);
+}
+
+TEST(ByteBuffer, FloatRoundTrip) {
+  ByteBuffer buf;
+  buf.write_f32_be(3.14159f);
+  buf.write_f64_be(-2.718281828459045);
+  buf.write_f64_le(1.0e300);
+  EXPECT_EQ(*buf.read_f32_be(), 3.14159f);
+  EXPECT_EQ(*buf.read_f64_be(), -2.718281828459045);
+  EXPECT_EQ(*buf.read_f64_le(), 1.0e300);
+}
+
+TEST(ByteBuffer, UnderrunIsError) {
+  ByteBuffer buf;
+  buf.write_u8(1);
+  auto v = buf.read_u32_be();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code(), ErrorCode::kParseError);
+}
+
+TEST(ByteBuffer, ReadDoesNotConsumeOnFailure) {
+  ByteBuffer buf;
+  buf.write_u16_be(0x0102);
+  ASSERT_FALSE(buf.read_u32_be().ok());
+  // The two bytes must still be readable.
+  EXPECT_EQ(*buf.read_u16_be(), 0x0102);
+}
+
+TEST(ByteBuffer, StringAndBytes) {
+  ByteBuffer buf;
+  buf.write_string("hello");
+  buf.write_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_EQ(*buf.read_string(5), "hello");
+  auto bytes = buf.read_bytes(3);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(ByteBuffer, SkipAndSeek) {
+  ByteBuffer buf;
+  buf.write_string("abcdef");
+  ASSERT_TRUE(buf.skip(3).ok());
+  EXPECT_EQ(*buf.read_string(3), "def");
+  buf.seek(1);
+  EXPECT_EQ(*buf.read_string(2), "bc");
+  buf.seek(1000);  // clamped
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, SkipPastEndFails) {
+  ByteBuffer buf;
+  buf.write_u8(7);
+  EXPECT_FALSE(buf.skip(2).ok());
+}
+
+TEST(ByteBuffer, ConstructFromText) {
+  ByteBuffer buf("xyz");
+  EXPECT_EQ(buf.as_string_view(), "xyz");
+  EXPECT_EQ(buf.to_string(), "xyz");
+}
+
+TEST(ByteBuffer, WriteFill) {
+  ByteBuffer buf;
+  buf.write_fill(3, 0xEE);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.bytes()[2], 0xEE);
+}
+
+TEST(ByteBuffer, FuzzRoundTripMixed) {
+  Rng rng(42);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    ByteBuffer buf;
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20; ++i) {
+      std::uint64_t v = rng.next_u64();
+      values.push_back(v);
+      buf.write_u64_be(v);
+    }
+    for (std::uint64_t expected : values) {
+      auto got = buf.read_u64_be();
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, expected);
+    }
+    EXPECT_EQ(buf.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace h2

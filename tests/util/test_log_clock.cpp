@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace h2 {
+namespace {
+
+/// RAII guard: captures log lines for one test, restores defaults after.
+class LogCapture {
+ public:
+  LogCapture() {
+    LogConfig::instance().set_level(LogLevel::kTrace);
+    LogConfig::instance().set_sink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  ~LogCapture() {
+    LogConfig::instance().set_level(LogLevel::kWarn);
+    // Restore a stderr sink so later tests keep the default behaviour.
+    LogConfig::instance().set_sink(
+        [](std::string_view line) { std::fprintf(stderr, "%.*s\n",
+                                                 static_cast<int>(line.size()),
+                                                 line.data()); });
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(Logger, FormatsLevelNameAndMessage) {
+  LogCapture capture;
+  Logger log("kernel");
+  log.info("plugin loaded");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0], "[INFO] kernel: plugin loaded");
+}
+
+TEST(Logger, LevelGateSuppressesBelowThreshold) {
+  LogCapture capture;
+  LogConfig::instance().set_level(LogLevel::kError);
+  Logger log("x");
+  log.trace("no");
+  log.debug("no");
+  log.info("no");
+  log.warn("no");
+  log.error("yes");
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0], "[ERROR] x: yes");
+}
+
+TEST(Logger, OffSilencesEverything) {
+  LogCapture capture;
+  LogConfig::instance().set_level(LogLevel::kOff);
+  Logger log("x");
+  log.error("nope");
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(Logger, EnabledMatchesGate) {
+  LogCapture capture;
+  LogConfig::instance().set_level(LogLevel::kInfo);
+  Logger log("x");
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+}
+
+TEST(LogLevelNames, Stable) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(VirtualClock, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(5 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kMillisecond);
+}
+
+TEST(VirtualClock, NeverGoesBackwards) {
+  VirtualClock clock;
+  clock.advance(kSecond);
+  clock.advance(-kSecond);      // ignored
+  EXPECT_EQ(clock.now(), kSecond);
+  clock.advance_to(kSecond / 2);  // in the past: ignored
+  EXPECT_EQ(clock.now(), kSecond);
+  clock.advance_to(2 * kSecond);
+  EXPECT_EQ(clock.now(), 2 * kSecond);
+}
+
+TEST(WallClock, IsMonotonic) {
+  WallClock clock;
+  Nanos a = clock.now();
+  Nanos b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(TimeConstants, Relations) {
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace h2

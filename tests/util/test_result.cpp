@@ -1,0 +1,79 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return err::invalid_argument("must be positive");
+  return v;
+}
+
+TEST(Result, HoldsValue) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, HoldsError) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message(), "must be positive");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(-7), 3);
+  EXPECT_EQ(parse_positive(0).value_or(-7), -7);
+}
+
+TEST(Result, BoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(parse_positive(1)));
+  EXPECT_FALSE(static_cast<bool>(parse_positive(0)));
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+TEST(Error, ContextPrepends) {
+  Error e = err::not_found("plugin x");
+  Error wrapped = e.context("loading DVM");
+  EXPECT_EQ(wrapped.message(), "loading DVM: plugin x");
+  EXPECT_EQ(wrapped.code(), ErrorCode::kNotFound);
+}
+
+TEST(Error, Describe) {
+  EXPECT_EQ(err::timeout("late").describe(), "timeout: late");
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s = err::unavailable("node down");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), ErrorCode::kUnavailable);
+}
+
+TEST(ErrorCode, AllNamesStable) {
+  EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(to_string(ErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(to_string(ErrorCode::kNotFound), "not_found");
+  EXPECT_STREQ(to_string(ErrorCode::kAlreadyExists), "already_exists");
+  EXPECT_STREQ(to_string(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(to_string(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(ErrorCode::kPermissionDenied), "permission_denied");
+  EXPECT_STREQ(to_string(ErrorCode::kUnsupported), "unsupported");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,99 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::str {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = split("solo", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "solo");
+}
+
+TEST(Strings, SplitNonempty) {
+  auto parts = split_nonempty("/a//b/", '/');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n a b \r"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("ftp://x", "http://"));
+  EXPECT_TRUE(ends_with("file.wsdl", ".wsdl"));
+  EXPECT_FALSE(ends_with("x", "longer"));
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("Content-Type"), "content-type");
+  EXPECT_TRUE(iequals("SOAPAction", "soapaction"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+}
+
+TEST(Strings, ParseI64) {
+  EXPECT_EQ(*parse_i64("-42"), -42);
+  EXPECT_EQ(*parse_i64("0"), 0);
+  EXPECT_FALSE(parse_i64("12x").ok());
+  EXPECT_FALSE(parse_i64("").ok());
+  EXPECT_FALSE(parse_i64(" 1").ok());
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(*parse_u64("18446744073709551615"), 18446744073709551615ULL);
+  EXPECT_FALSE(parse_u64("-1").ok());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e-3"), -1e-3);
+  EXPECT_FALSE(parse_double("nanx").ok());
+  EXPECT_FALSE(parse_double("").ok());
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -1.5, 3.141592653589793, 1e300, -2.2250738585072014e-308}) {
+    auto text = format_double(v);
+    auto back = parse_double(text);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(*back, v) << text;
+  }
+}
+
+TEST(Strings, FormatDoubleShortForIntegers) {
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.5), "0.5");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("WSTime"));
+  EXPECT_TRUE(is_identifier("_x9.y-z"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("9abc"));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier("a:b"));
+}
+
+}  // namespace
+}  // namespace h2::str

@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/sync_queue.hpp"
+
+namespace h2 {
+namespace {
+
+TEST(ThreadPool, RunsPostedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&count] { count.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, PostAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.post([] {}));
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  auto f = pool.submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.post([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(SyncQueue, FifoOrder) {
+  SyncQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(*q.pop(), 1);
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+}
+
+TEST(SyncQueue, TryPopEmpty) {
+  SyncQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(SyncQueue, CloseDrainsThenNullopt) {
+  SyncQueue<int> q;
+  q.push(9);
+  q.close();
+  EXPECT_FALSE(q.push(10));
+  EXPECT_EQ(*q.pop(), 9);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SyncQueue, SizeTracksContents) {
+  SyncQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  q.try_pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,126 @@
+#include "wsdl/descriptor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/io.hpp"
+
+namespace h2::wsdl {
+namespace {
+
+ServiceDescriptor matmul_descriptor() {
+  ServiceDescriptor d;
+  d.name = "MatMul";
+  d.operations.push_back({"getResult",
+                          {{"mata", ValueKind::kDoubleArray},
+                           {"matb", ValueKind::kDoubleArray}},
+                          ValueKind::kDoubleArray});
+  return d;
+}
+
+TEST(Descriptor, GenerateProducesValidWsdl) {
+  std::vector<EndpointSpec> endpoints{
+      {BindingKind::kSoap, "http://hostA:8080/mm", {}},
+      {BindingKind::kLocal, "local://kernelA", {{"class", "MatMulComponent"}}},
+  };
+  auto defs = generate(matmul_descriptor(), endpoints);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_TRUE(validate(*defs).ok());
+  EXPECT_EQ(defs->name, "MatMul");
+  EXPECT_EQ(defs->target_ns, "urn:harness2:services:MatMul");
+  EXPECT_EQ(defs->messages.size(), 2u);
+  EXPECT_EQ(defs->bindings.size(), 2u);
+  ASSERT_EQ(defs->services.size(), 1u);
+  EXPECT_EQ(defs->services[0].ports.size(), 2u);
+}
+
+TEST(Descriptor, CustomNamespacePreserved) {
+  auto d = matmul_descriptor();
+  d.target_ns = "urn:custom";
+  std::vector<EndpointSpec> endpoints{{BindingKind::kXdr, "xdr://h:9", {}}};
+  auto defs = generate(d, endpoints);
+  ASSERT_TRUE(defs.ok());
+  EXPECT_EQ(defs->target_ns, "urn:custom");
+}
+
+TEST(Descriptor, VoidResultMeansOneWay) {
+  ServiceDescriptor d;
+  d.name = "Logger";
+  d.operations.push_back({"log", {{"line", ValueKind::kString}}, ValueKind::kVoid});
+  auto defs = generate(d, {});
+  ASSERT_TRUE(defs.ok());
+  EXPECT_EQ(defs->messages.size(), 1u);  // no response message
+  EXPECT_TRUE(defs->port_types[0].operations[0].output_message.empty());
+}
+
+TEST(Descriptor, MultipleEndpointsOfSameKindNamedDistinctly) {
+  std::vector<EndpointSpec> endpoints{
+      {BindingKind::kSoap, "http://a:1/x", {}},
+      {BindingKind::kSoap, "http://b:2/x", {}},
+  };
+  auto defs = generate(matmul_descriptor(), endpoints);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_NE(defs->bindings[0].name, defs->bindings[1].name);
+  EXPECT_NE(defs->services[0].ports[0].name, defs->services[0].ports[1].name);
+}
+
+TEST(Descriptor, RejectsEmptyOperations) {
+  ServiceDescriptor d;
+  d.name = "Empty";
+  EXPECT_FALSE(generate(d, {}).ok());
+}
+
+TEST(Descriptor, RejectsBadName) {
+  auto d = matmul_descriptor();
+  d.name = "has space";
+  EXPECT_FALSE(generate(d, {}).ok());
+}
+
+TEST(Descriptor, RoundTripThroughWsdl) {
+  // descriptor -> WSDL -> XML -> WSDL -> descriptor is the identity on the
+  // abstract interface (the dynamic-stub-generation path, Section 4).
+  auto original = matmul_descriptor();
+  std::vector<EndpointSpec> endpoints{{BindingKind::kSoap, "http://h:1/x", {}}};
+  auto defs = generate(original, endpoints);
+  ASSERT_TRUE(defs.ok());
+  auto reparsed = parse(to_xml_string(*defs));
+  ASSERT_TRUE(reparsed.ok());
+  auto recovered = descriptor_from(*reparsed);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().describe();
+  EXPECT_EQ(recovered->name, original.name);
+  ASSERT_EQ(recovered->operations.size(), 1u);
+  EXPECT_EQ(recovered->operations[0], original.operations[0]);
+}
+
+TEST(Descriptor, FromWsdlWithoutPortTypesFails) {
+  Definitions defs;
+  defs.name = "X";
+  defs.target_ns = "urn:x";
+  EXPECT_FALSE(descriptor_from(defs).ok());
+}
+
+TEST(Descriptor, FindOperation) {
+  auto d = matmul_descriptor();
+  EXPECT_NE(d.find_operation("getResult"), nullptr);
+  EXPECT_EQ(d.find_operation("nope"), nullptr);
+}
+
+TEST(Descriptor, WsTimeExampleFromPaper) {
+  // Fig 7: WSTime with a single getTime() returning a string.
+  ServiceDescriptor d;
+  d.name = "WSTime";
+  d.operations.push_back({"getTime", {}, ValueKind::kString});
+  std::vector<EndpointSpec> endpoints{
+      {BindingKind::kSoap, "http://hostA:8080/time", {}},
+      {BindingKind::kLocal, "local://kernelA", {{"class", "TimeComponent"}}},
+  };
+  auto defs = generate(d, endpoints);
+  ASSERT_TRUE(defs.ok());
+  EXPECT_TRUE(validate(*defs).ok());
+  auto recovered = descriptor_from(*defs);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->operations[0].result, ValueKind::kString);
+  EXPECT_TRUE(recovered->operations[0].params.empty());
+}
+
+}  // namespace
+}  // namespace h2::wsdl

@@ -1,0 +1,159 @@
+// Interop against period-accurate WSDL: documents shaped like the paper's
+// Figures 7/8 as a 2002-era toolkit (IBM WSTK wsdlgen) would emit them —
+// with <types> sections, per-operation <soap:operation> elements,
+// soapAction attributes, <documentation>, and unfamiliar namespaces. Our
+// parser must extract the model and ignore what it doesn't know.
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+#include "wsdl/io.hpp"
+
+namespace h2::wsdl {
+namespace {
+
+// A WSTime document in the style of the paper's Figure 7.
+const char* kWsTime2002 = R"(<?xml version="1.0" encoding="UTF-8"?>
+<definitions name="WSTime"
+    targetNamespace="http://www.wstimeservice.com/definitions"
+    xmlns="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:tns="http://www.wstimeservice.com/definitions"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <documentation>
+    Trivial example of a Time Web Service
+  </documentation>
+  <types>
+    <xsd:schema targetNamespace="http://www.wstimeservice.com/types">
+      <xsd:simpleType name="TimeString">
+        <xsd:restriction base="xsd:string"/>
+      </xsd:simpleType>
+    </xsd:schema>
+  </types>
+  <message name="getTimeRequest"/>
+  <message name="getTimeResponse">
+    <part name="return" type="xsd:string"/>
+  </message>
+  <portType name="WSTimePortType">
+    <operation name="getTime">
+      <documentation>Returns the current time as a string</documentation>
+      <input message="tns:getTimeRequest"/>
+      <output message="tns:getTimeResponse"/>
+    </operation>
+  </portType>
+  <binding name="WSTimeSoapBinding" type="tns:WSTimePortType">
+    <soap:binding style="rpc" transport="http://schemas.xmlsoap.org/soap/http"/>
+    <operation name="getTime">
+      <soap:operation soapAction="urn:wstime#getTime"/>
+      <input><soap:body use="encoded"/></input>
+      <output><soap:body use="encoded"/></output>
+    </operation>
+  </binding>
+  <service name="WSTimeService">
+    <documentation>Deployed at Emory</documentation>
+    <port name="WSTimePort" binding="tns:WSTimeSoapBinding">
+      <soap:address location="http://mathcs.emory.edu:8080/wstime"/>
+    </port>
+  </service>
+</definitions>
+)";
+
+TEST(GoldenWsdl, ParsesWsTimeFigure7Style) {
+  auto defs = parse(kWsTime2002);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_EQ(defs->name, "WSTime");
+  EXPECT_EQ(defs->target_ns, "http://www.wstimeservice.com/definitions");
+  ASSERT_EQ(defs->messages.size(), 2u);
+  EXPECT_TRUE(defs->messages[0].parts.empty());
+  ASSERT_EQ(defs->messages[1].parts.size(), 1u);
+  EXPECT_EQ(defs->messages[1].parts[0].type, ValueKind::kString);
+  ASSERT_EQ(defs->port_types.size(), 1u);
+  ASSERT_EQ(defs->port_types[0].operations.size(), 1u);
+  EXPECT_EQ(defs->port_types[0].operations[0].input_message, "getTimeRequest");
+  EXPECT_EQ(defs->port_types[0].operations[0].output_message, "getTimeResponse");
+  ASSERT_EQ(defs->bindings.size(), 1u);
+  EXPECT_EQ(defs->bindings[0].kind, BindingKind::kSoap);
+  ASSERT_EQ(defs->services.size(), 1u);
+  EXPECT_EQ(defs->services[0].ports[0].address, "http://mathcs.emory.edu:8080/wstime");
+  EXPECT_TRUE(validate(*defs).ok());
+}
+
+TEST(GoldenWsdl, DescriptorRecoveredFromGoldenDocument) {
+  auto defs = parse(kWsTime2002);
+  ASSERT_TRUE(defs.ok());
+  auto descriptor = descriptor_from(*defs);
+  ASSERT_TRUE(descriptor.ok());
+  EXPECT_EQ(descriptor->name, "WSTime");
+  ASSERT_EQ(descriptor->operations.size(), 1u);
+  EXPECT_EQ(descriptor->operations[0].name, "getTime");
+  EXPECT_TRUE(descriptor->operations[0].params.empty());
+  EXPECT_EQ(descriptor->operations[0].result, ValueKind::kString);
+}
+
+// A MatMul document in the style of the paper's Figure 8: both a standard
+// SOAP binding and the non-standard Java-style local binding.
+const char* kMatMul2002 = R"(<definitions name="MatMul"
+    targetNamespace="urn:matmul"
+    xmlns="http://schemas.xmlsoap.org/wsdl/"
+    xmlns:tns="urn:matmul"
+    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"
+    xmlns:java="urn:harness2:bindings"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <message name="getResultRequest">
+    <part name="mata" type="xsd:double[]"/>
+    <part name="matb" type="xsd:double[]"/>
+  </message>
+  <message name="getResultResponse">
+    <part name="return" type="xsd:double[]"/>
+  </message>
+  <portType name="MatMulPortType">
+    <operation name="getResult">
+      <input message="tns:getResultRequest"/>
+      <output message="tns:getResultResponse"/>
+    </operation>
+  </portType>
+  <binding name="MatMulSoapBinding" type="tns:MatMulPortType">
+    <soap:binding style="rpc" transport="http://schemas.xmlsoap.org/soap/http"/>
+  </binding>
+  <binding name="MatMulJavaBinding" type="tns:MatMulPortType">
+    <java:binding kind="local" class="MatMul"/>
+  </binding>
+  <service name="MatMulService">
+    <port name="SoapPort" binding="tns:MatMulSoapBinding">
+      <soap:address location="http://hostA:8080/matmul"/>
+    </port>
+    <port name="JavaPort" binding="tns:MatMulJavaBinding">
+      <java:address location="local://kernelA"/>
+    </port>
+  </service>
+</definitions>
+)";
+
+TEST(GoldenWsdl, ParsesMatMulFigure8Style) {
+  auto defs = parse(kMatMul2002);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_TRUE(validate(*defs).ok());
+  ASSERT_EQ(defs->bindings.size(), 2u);
+  EXPECT_EQ(defs->bindings[0].kind, BindingKind::kSoap);
+  EXPECT_EQ(defs->bindings[1].kind, BindingKind::kLocal);
+  EXPECT_EQ(defs->bindings[1].properties.at("class"), "MatMul");
+  EXPECT_EQ(defs->messages[0].parts[0].type, ValueKind::kDoubleArray);
+  // Both ports present with their respective address schemes.
+  auto soap_ports = defs->ports_with_kind(BindingKind::kSoap);
+  auto local_ports = defs->ports_with_kind(BindingKind::kLocal);
+  ASSERT_EQ(soap_ports.size(), 1u);
+  ASSERT_EQ(local_ports.size(), 1u);
+  EXPECT_EQ(local_ports[0]->address, "local://kernelA");
+}
+
+TEST(GoldenWsdl, RoundTripsThroughOurWriter) {
+  // Parse the golden document, re-emit with our writer, re-parse: the
+  // model must be stable even though the surface syntax normalizes.
+  auto first = parse(kMatMul2002);
+  ASSERT_TRUE(first.ok());
+  auto second = parse(to_xml_string(*first));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+}
+
+}  // namespace
+}  // namespace h2::wsdl

@@ -1,0 +1,160 @@
+#include "wsdl/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wsdl/descriptor.hpp"
+#include "xml/xpath.hpp"
+
+namespace h2::wsdl {
+namespace {
+
+/// The MatMul document from the paper's Figure 8: one operation taking two
+/// double arrays, exposed through both a SOAP and a local ("Java") binding.
+Definitions matmul_defs() {
+  Definitions defs;
+  defs.name = "MatMul";
+  defs.target_ns = "urn:h2:MatMul";
+  defs.messages.push_back({"getResultRequest",
+                           {{"mata", ValueKind::kDoubleArray},
+                            {"matb", ValueKind::kDoubleArray}}});
+  defs.messages.push_back({"getResultResponse", {{"return", ValueKind::kDoubleArray}}});
+  defs.port_types.push_back(
+      {"MatMulPortType", {{"getResult", "getResultRequest", "getResultResponse"}}});
+  defs.bindings.push_back({"MatMul_soap_Binding", "MatMulPortType", BindingKind::kSoap, {}});
+  defs.bindings.push_back({"MatMul_local_Binding", "MatMulPortType", BindingKind::kLocal,
+                           {{"class", "MatMulComponent"}}});
+  defs.services.push_back({"MatMulService",
+                           {{"SoapPort", "MatMul_soap_Binding", "http://hostA:8080/mm"},
+                            {"LocalPort", "MatMul_local_Binding", "local://kernelA"}}});
+  return defs;
+}
+
+TEST(WsdlIo, RoundTripEquality) {
+  auto defs = matmul_defs();
+  auto text = to_xml_string(defs);
+  auto back = parse(text);
+  ASSERT_TRUE(back.ok()) << back.error().describe();
+  EXPECT_EQ(*back, defs);
+}
+
+TEST(WsdlIo, RoundTripPretty) {
+  auto defs = matmul_defs();
+  auto back = parse(to_xml_string(defs, /*pretty=*/true));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, defs);
+}
+
+TEST(WsdlIo, GeneratedXmlIsQueryable) {
+  // The registry's whole premise: WSDL docs answer XPath-lite queries.
+  auto root = to_xml(matmul_defs());
+  auto ports = xml::select_values(*root, "//port/@name");
+  ASSERT_TRUE(ports.ok());
+  EXPECT_EQ(ports->size(), 2u);
+
+  auto soap_address =
+      xml::select_values(*root, "//port[@name='SoapPort']/address/@location");
+  ASSERT_TRUE(soap_address.ok());
+  ASSERT_EQ(soap_address->size(), 1u);
+  EXPECT_EQ((*soap_address)[0], "http://hostA:8080/mm");
+
+  auto local_kind = xml::select_values(*root, "//binding/binding/@kind");
+  ASSERT_TRUE(local_kind.ok());
+  ASSERT_EQ(local_kind->size(), 1u);  // only the h2 extension carries @kind
+  EXPECT_EQ((*local_kind)[0], "local");
+}
+
+TEST(WsdlIo, SoapBindingTransportDefault) {
+  auto root = to_xml(matmul_defs());
+  auto transport = xml::select_values(*root, "//binding/binding/@transport");
+  ASSERT_TRUE(transport.ok());
+  ASSERT_EQ(transport->size(), 1u);
+  EXPECT_EQ((*transport)[0], "http://schemas.xmlsoap.org/soap/http");
+}
+
+TEST(WsdlIo, AllBindingKindsRoundTrip) {
+  Definitions defs;
+  defs.name = "Kinds";
+  defs.target_ns = "urn:k";
+  defs.messages.push_back({"fRequest", {}});
+  defs.port_types.push_back({"KindsPortType", {{"f", "fRequest", ""}}});
+  defs.bindings.push_back({"B_soap", "KindsPortType", BindingKind::kSoap, {}});
+  defs.bindings.push_back({"B_http", "KindsPortType", BindingKind::kHttp, {{"verb", "GET"}}});
+  defs.bindings.push_back(
+      {"B_local", "KindsPortType", BindingKind::kLocal, {{"class", "C"}}});
+  defs.bindings.push_back({"B_lobj", "KindsPortType", BindingKind::kLocalObject,
+                           {{"instance", "i-1"}}});
+  defs.bindings.push_back({"B_xdr", "KindsPortType", BindingKind::kXdr, {}});
+  defs.services.push_back({"KindsService",
+                           {{"P1", "B_soap", "http://h:1/x"},
+                            {"P2", "B_http", "http://h:2/x"},
+                            {"P3", "B_local", "local://k"},
+                            {"P4", "B_lobj", "localobject://k/i-1"},
+                            {"P5", "B_xdr", "xdr://h:9"}}});
+  ASSERT_TRUE(validate(defs).ok());
+
+  auto back = parse(to_xml_string(defs));
+  ASSERT_TRUE(back.ok()) << back.error().describe();
+  EXPECT_EQ(*back, defs);
+  EXPECT_EQ(back->bindings[1].properties.at("verb"), "GET");
+  EXPECT_EQ(back->bindings[3].properties.at("instance"), "i-1");
+}
+
+TEST(WsdlIo, PartsPreserveTypes) {
+  auto back = parse(to_xml_string(matmul_defs()));
+  ASSERT_TRUE(back.ok());
+  const Message* req = back->find_message("getResultRequest");
+  ASSERT_NE(req, nullptr);
+  ASSERT_EQ(req->parts.size(), 2u);
+  EXPECT_EQ(req->parts[0].type, ValueKind::kDoubleArray);
+}
+
+TEST(WsdlIo, RejectsNonDefinitionsRoot) {
+  EXPECT_FALSE(parse("<service/>").ok());
+}
+
+TEST(WsdlIo, RejectsUnknownPartType) {
+  auto text = R"(<definitions name="X" targetNamespace="urn:x">
+    <message name="m"><part name="p" type="xsd:dateTime"/></message>
+  </definitions>)";
+  EXPECT_FALSE(parse(text).ok());
+}
+
+TEST(WsdlIo, RejectsBindingWithoutExtension) {
+  auto text = R"(<definitions name="X" targetNamespace="urn:x">
+    <binding name="b" type="tns:pt"/>
+  </definitions>)";
+  EXPECT_FALSE(parse(text).ok());
+}
+
+TEST(WsdlIo, RejectsUnknownHarnessKind) {
+  auto text = R"(<definitions name="X" targetNamespace="urn:x">
+    <binding name="b" type="tns:pt">
+      <h2:binding xmlns:h2="urn:harness2:bindings" kind="carrier-pigeon"/>
+    </binding>
+  </definitions>)";
+  EXPECT_FALSE(parse(text).ok());
+}
+
+TEST(WsdlIo, ParsesForeignPrefixes) {
+  // Same document, different prefix conventions.
+  auto text = R"(<w:definitions name="T" targetNamespace="urn:t"
+      xmlns:w="http://schemas.xmlsoap.org/wsdl/"
+      xmlns:sp="http://schemas.xmlsoap.org/wsdl/soap/" xmlns:my="urn:t">
+    <w:message name="fRequest"/>
+    <w:portType name="TPortType">
+      <w:operation name="f"><w:input message="my:fRequest"/></w:operation>
+    </w:portType>
+    <w:binding name="B" type="my:TPortType"><sp:binding transport="t"/></w:binding>
+    <w:service name="TService">
+      <w:port name="P" binding="my:B"><sp:address location="http://x/y"/></w:port>
+    </w:service>
+  </w:definitions>)";
+  auto defs = parse(text);
+  ASSERT_TRUE(defs.ok()) << defs.error().describe();
+  EXPECT_TRUE(validate(*defs).ok());
+  EXPECT_EQ(defs->bindings[0].kind, BindingKind::kSoap);
+  EXPECT_EQ(defs->services[0].ports[0].address, "http://x/y");
+}
+
+}  // namespace
+}  // namespace h2::wsdl

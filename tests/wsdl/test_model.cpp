@@ -1,0 +1,150 @@
+#include "wsdl/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2::wsdl {
+namespace {
+
+/// A small valid document used across validation tests (WSTime-shaped,
+/// mirroring the paper's Figure 7).
+Definitions time_defs() {
+  Definitions defs;
+  defs.name = "WSTime";
+  defs.target_ns = "urn:h2:WSTime";
+  defs.messages.push_back({"getTimeRequest", {}});
+  defs.messages.push_back({"getTimeResponse", {{"return", ValueKind::kString}}});
+  defs.port_types.push_back(
+      {"WSTimePortType", {{"getTime", "getTimeRequest", "getTimeResponse"}}});
+  defs.bindings.push_back({"WSTimeSoapBinding", "WSTimePortType", BindingKind::kSoap, {}});
+  defs.services.push_back(
+      {"WSTimeService", {{"WSTimePort", "WSTimeSoapBinding", "http://a:8080/time"}}});
+  return defs;
+}
+
+TEST(WsdlValidate, AcceptsWellFormed) {
+  auto status = validate(time_defs());
+  EXPECT_TRUE(status.ok()) << status.error().describe();
+}
+
+TEST(WsdlValidate, RejectsMissingTargetNs) {
+  auto defs = time_defs();
+  defs.target_ns.clear();
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDuplicateMessages) {
+  auto defs = time_defs();
+  defs.messages.push_back({"getTimeRequest", {}});
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDanglingInputMessage) {
+  auto defs = time_defs();
+  defs.port_types[0].operations[0].input_message = "nope";
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDanglingOutputMessage) {
+  auto defs = time_defs();
+  defs.port_types[0].operations[0].output_message = "nope";
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, OneWayOperationAllowed) {
+  auto defs = time_defs();
+  defs.port_types[0].operations[0].output_message.clear();
+  EXPECT_TRUE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDanglingPortType) {
+  auto defs = time_defs();
+  defs.bindings[0].port_type = "nope";
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDanglingBinding) {
+  auto defs = time_defs();
+  defs.services[0].ports[0].binding = "nope";
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsEmptyAddress) {
+  auto defs = time_defs();
+  defs.services[0].ports[0].address.clear();
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, LocalBindingRequiresClass) {
+  auto defs = time_defs();
+  defs.bindings.push_back({"L", "WSTimePortType", BindingKind::kLocal, {}});
+  EXPECT_FALSE(validate(defs).ok());
+  defs.bindings.back().properties["class"] = "TimeComponent";
+  EXPECT_TRUE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, LocalObjectBindingRequiresInstance) {
+  auto defs = time_defs();
+  defs.bindings.push_back({"LO", "WSTimePortType", BindingKind::kLocalObject, {}});
+  EXPECT_FALSE(validate(defs).ok());
+  defs.bindings.back().properties["instance"] = "abc-123";
+  EXPECT_TRUE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsBadIdentifiers) {
+  auto defs = time_defs();
+  defs.messages[0].name = "has space";
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlValidate, RejectsDuplicatePartNames) {
+  auto defs = time_defs();
+  defs.messages[1].parts.push_back({"return", ValueKind::kInt});
+  EXPECT_FALSE(validate(defs).ok());
+}
+
+TEST(WsdlLookups, Finders) {
+  auto defs = time_defs();
+  EXPECT_NE(defs.find_message("getTimeRequest"), nullptr);
+  EXPECT_EQ(defs.find_message("x"), nullptr);
+  EXPECT_NE(defs.find_port_type("WSTimePortType"), nullptr);
+  EXPECT_NE(defs.find_binding("WSTimeSoapBinding"), nullptr);
+  EXPECT_NE(defs.find_service("WSTimeService"), nullptr);
+  const PortType* pt = defs.find_port_type("WSTimePortType");
+  EXPECT_NE(pt->find_operation("getTime"), nullptr);
+  EXPECT_EQ(pt->find_operation("nope"), nullptr);
+  const Service* svc = defs.find_service("WSTimeService");
+  EXPECT_NE(svc->find_port("WSTimePort"), nullptr);
+}
+
+TEST(WsdlLookups, PortsWithKind) {
+  auto defs = time_defs();
+  defs.bindings.push_back({"X", "WSTimePortType", BindingKind::kXdr, {}});
+  defs.services[0].ports.push_back({"XdrPort", "X", "xdr://a:9000"});
+  EXPECT_EQ(defs.ports_with_kind(BindingKind::kSoap).size(), 1u);
+  EXPECT_EQ(defs.ports_with_kind(BindingKind::kXdr).size(), 1u);
+  EXPECT_TRUE(defs.ports_with_kind(BindingKind::kLocal).empty());
+}
+
+TEST(WsdlTypes, NameRoundTrip) {
+  for (ValueKind kind :
+       {ValueKind::kVoid, ValueKind::kBool, ValueKind::kInt, ValueKind::kDouble,
+        ValueKind::kString, ValueKind::kDoubleArray, ValueKind::kBytes}) {
+    auto back = type_from_name(type_name(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(type_from_name("xsd:whatever").ok());
+}
+
+TEST(WsdlBindingKinds, NameRoundTrip) {
+  for (BindingKind kind : {BindingKind::kSoap, BindingKind::kHttp, BindingKind::kLocal,
+                           BindingKind::kLocalObject, BindingKind::kXdr}) {
+    auto back = binding_kind_from_string(to_string(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(binding_kind_from_string("rmi").ok());
+}
+
+}  // namespace
+}  // namespace h2::wsdl

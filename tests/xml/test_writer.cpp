@@ -1,0 +1,121 @@
+#include "xml/writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+
+namespace h2::xml {
+namespace {
+
+TEST(XmlWriter, EmptyElement) {
+  auto el = Node::element("a");
+  EXPECT_EQ(write(*el), "<a/>");
+}
+
+TEST(XmlWriter, AttributesEscaped) {
+  auto el = Node::element("a");
+  el->set_attr("v", "x<\"&>y");
+  EXPECT_EQ(write(*el), "<a v=\"x&lt;&quot;&amp;&gt;y\"/>");
+}
+
+TEST(XmlWriter, TextEscaped) {
+  auto el = Node::element("t");
+  el->add_text("1 < 2 & 3");
+  EXPECT_EQ(write(*el), "<t>1 &lt; 2 &amp; 3</t>");
+}
+
+TEST(XmlWriter, NestedCompact) {
+  auto root = Node::element("a");
+  root->add_element("b")->add_element_with_text("c", "x");
+  EXPECT_EQ(write(*root), "<a><b><c>x</c></b></a>");
+}
+
+TEST(XmlWriter, PrettyIndents) {
+  auto root = Node::element("a");
+  root->add_element("b")->add_element_with_text("c", "x");
+  WriteOptions options;
+  options.pretty = true;
+  auto text = write(*root, options);
+  EXPECT_EQ(text, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>");
+}
+
+TEST(XmlWriter, DeclarationEmitted) {
+  auto el = Node::element("r");
+  WriteOptions options;
+  options.declaration = true;
+  EXPECT_EQ(write(*el, options), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+}
+
+TEST(XmlWriter, CDataPreserved) {
+  auto el = Node::element("t");
+  el->add_child(Node::cdata("<raw>&"));
+  auto text = write(*el);
+  EXPECT_EQ(text, "<t><![CDATA[<raw>&]]></t>");
+  auto back = parse_element(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->inner_text(), "<raw>&");
+}
+
+// Property: parse(write(tree)) reproduces the tree, for both compact and
+// pretty output (whitespace-only text dropped on parse).
+class RoundTrip : public ::testing::TestWithParam<bool> {};
+
+TEST_P(RoundTrip, ParseWriteFixpoint) {
+  const char* docs[] = {
+      "<a/>",
+      "<a x=\"1\" y=\"two\"/>",
+      "<a><b>text</b><c/><b>more</b></a>",
+      "<svc xmlns=\"urn:x\" xmlns:p=\"urn:y\"><p:op name=\"f\">body</p:op></svc>",
+      "<m><part type=\"xsd:double[]\"/><part type=\"xsd:string\"/></m>",
+      "<t>entity &amp; escape &lt;check&gt;</t>",
+  };
+  WriteOptions options;
+  options.pretty = GetParam();
+  for (const char* doc : docs) {
+    auto first = parse_element(doc);
+    ASSERT_TRUE(first.ok()) << doc;
+    auto text = write(**first, options);
+    auto second = parse_element(text);
+    ASSERT_TRUE(second.ok()) << text;
+    // Compare by re-serializing compactly.
+    EXPECT_EQ(write(**first), write(**second)) << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CompactAndPretty, RoundTrip, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "pretty" : "compact";
+                         });
+
+TEST(XmlDom, CloneIsDeep) {
+  auto root = Node::element("a");
+  root->set_attr("k", "v");
+  root->add_element_with_text("b", "x");
+  auto copy = root->clone();
+  root->first_child("b")->set_name("renamed");
+  root->set_attr("k", "changed");
+  EXPECT_EQ(write(*copy), "<a k=\"v\"><b>x</b></a>");
+  EXPECT_EQ(copy->parent(), nullptr);
+}
+
+TEST(XmlDom, RemoveChildAndAttr) {
+  auto root = Node::element("a");
+  Node* b = root->add_element("b");
+  root->add_element("c");
+  EXPECT_TRUE(root->remove_child(b));
+  EXPECT_FALSE(root->remove_child(b));
+  EXPECT_EQ(write(*root), "<a><c/></a>");
+
+  root->set_attr("x", "1");
+  EXPECT_TRUE(root->remove_attr("x"));
+  EXPECT_FALSE(root->remove_attr("x"));
+}
+
+TEST(XmlDom, ChildrenNamedMatchesLocalName) {
+  auto root = parse_element("<a><p:b xmlns:p=\"urn:p\"/><b/><c/></a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->children_named("b").size(), 2u);
+}
+
+}  // namespace
+}  // namespace h2::xml

@@ -1,0 +1,177 @@
+#include "xml/xpath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+
+namespace h2::xml {
+namespace {
+
+const char* kWsdlish = R"(
+<definitions name="MatMul" targetNamespace="urn:mm">
+  <message name="getResultRequest">
+    <part name="mata" type="xsd:double[]"/>
+    <part name="matb" type="xsd:double[]"/>
+  </message>
+  <message name="getResultResponse">
+    <part name="return" type="xsd:double[]"/>
+  </message>
+  <portType name="MatMulPortType">
+    <operation name="getResult">
+      <input message="tns:getResultRequest"/>
+      <output message="tns:getResultResponse"/>
+    </operation>
+  </portType>
+  <binding name="SoapBinding" type="tns:MatMulPortType">
+    <soap:binding xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/" transport="http"/>
+  </binding>
+  <service name="MatMulService">
+    <port name="SoapPort" binding="tns:SoapBinding">
+      <address location="http://hostA:8080/mm"/>
+    </port>
+    <port name="LocalPort" binding="tns:LocalBinding">
+      <address location="local://kernelA"/>
+    </port>
+  </service>
+</definitions>
+)";
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = parse_element(kWsdlish);
+    ASSERT_TRUE(parsed.ok());
+    root_ = std::move(*parsed);
+  }
+  std::unique_ptr<Node> root_;
+};
+
+TEST_F(XPathTest, AnchoredAbsolutePath) {
+  auto nodes = select(*root_, "/definitions/service/port");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+}
+
+TEST_F(XPathTest, AnchoredWrongRootNameMatchesNothing) {
+  auto nodes = select(*root_, "/nope/service");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_TRUE(nodes->empty());
+}
+
+TEST_F(XPathTest, RelativePath) {
+  auto nodes = select(*root_, "service/port");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+}
+
+TEST_F(XPathTest, DescendantAxis) {
+  auto nodes = select(*root_, "//part");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 3u);
+}
+
+TEST_F(XPathTest, AttributePredicate) {
+  auto nodes = select(*root_, "//port[@name='SoapPort']");
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_EQ(nodes->size(), 1u);
+  EXPECT_EQ((*nodes)[0]->attr_or("binding", ""), "tns:SoapBinding");
+}
+
+TEST_F(XPathTest, AttributeExistsPredicate) {
+  auto nodes = select(*root_, "//message[@name]");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 2u);
+}
+
+TEST_F(XPathTest, PositionPredicate) {
+  auto values = select_values(*root_, "//message[2]/@name");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0], "getResultResponse");
+}
+
+TEST_F(XPathTest, PositionOutOfRangeEmpty) {
+  auto nodes = select(*root_, "//message[9]");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_TRUE(nodes->empty());
+}
+
+TEST_F(XPathTest, AttributeValueExtraction) {
+  auto values = select_values(*root_, "//port/@name");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_EQ((*values)[0], "SoapPort");
+  EXPECT_EQ((*values)[1], "LocalPort");
+}
+
+TEST_F(XPathTest, WildcardStep) {
+  auto nodes = select(*root_, "/definitions/*");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(nodes->size(), 5u);  // 2 messages + portType + binding + service
+}
+
+TEST_F(XPathTest, ChildTextPredicate) {
+  auto doc = parse_element("<r><e><k>x</k></e><e><k>y</k></e></r>");
+  ASSERT_TRUE(doc.ok());
+  auto nodes = select(**doc, "//e[k='y']");
+  ASSERT_TRUE(nodes.ok());
+  ASSERT_EQ(nodes->size(), 1u);
+}
+
+TEST_F(XPathTest, TextTerminal) {
+  auto doc = parse_element("<r><a>one</a><a>two</a><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  auto values = select_values(**doc, "//a/text()");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_EQ((*values)[0], "one");
+  EXPECT_EQ((*values)[1], "two");
+}
+
+TEST_F(XPathTest, SelectFirstHelpers) {
+  auto xp = XPath::compile("//binding/@name");
+  ASSERT_TRUE(xp.ok());
+  auto v = xp->select_first_value(*root_);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "SoapBinding");
+
+  auto none = XPath::compile("//nothing");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->select_first(*root_), nullptr);
+  EXPECT_FALSE(none->select_first_value(*root_).has_value());
+}
+
+TEST_F(XPathTest, PrefixesIgnoredInMatching) {
+  auto doc = parse_element(
+      "<w:defs xmlns:w=\"urn:w\"><w:svc name=\"s\"/></w:defs>");
+  ASSERT_TRUE(doc.ok());
+  auto values = select_values(**doc, "/defs/svc/@name");
+  ASSERT_TRUE(values.ok());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_EQ((*values)[0], "s");
+}
+
+TEST(XPathCompile, RejectsBadSyntax) {
+  EXPECT_FALSE(XPath::compile("").ok());
+  EXPECT_FALSE(XPath::compile("/").ok());
+  EXPECT_FALSE(XPath::compile("a/").ok());
+  EXPECT_FALSE(XPath::compile("a[").ok());
+  EXPECT_FALSE(XPath::compile("a[]").ok());
+  EXPECT_FALSE(XPath::compile("a[@x=unquoted]").ok());
+  EXPECT_FALSE(XPath::compile("a[0]").ok());           // positions are 1-based
+  EXPECT_FALSE(XPath::compile("@x/more").ok());        // @attr must be terminal
+  EXPECT_FALSE(XPath::compile("text()/more").ok());    // text() must be terminal
+  EXPECT_FALSE(XPath::compile("a[name='v']").ok() == false &&
+               XPath::compile("a[name='v']").ok() == false);  // sanity: compiles
+}
+
+TEST(XPathCompile, AcceptsReasonableExpressions) {
+  for (const char* expr :
+       {"/a", "//a", "a/b/c", "//a[@x]", "a[@x='1'][2]", "//a/@href",
+        "a/text()", "/a/*/b", "a[child='text']"}) {
+    EXPECT_TRUE(XPath::compile(expr).ok()) << expr;
+  }
+}
+
+}  // namespace
+}  // namespace h2::xml
