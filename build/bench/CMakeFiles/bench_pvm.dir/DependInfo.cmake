@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pvm.cpp" "bench/CMakeFiles/bench_pvm.dir/bench_pvm.cpp.o" "gcc" "bench/CMakeFiles/bench_pvm.dir/bench_pvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pvm/CMakeFiles/h2_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/h2_plugins.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/h2_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/h2_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/h2_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

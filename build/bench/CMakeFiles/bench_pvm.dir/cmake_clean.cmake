@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvm.dir/bench_pvm.cpp.o"
+  "CMakeFiles/bench_pvm.dir/bench_pvm.cpp.o.d"
+  "bench_pvm"
+  "bench_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soap.dir/bench_soap.cpp.o"
+  "CMakeFiles/bench_soap.dir/bench_soap.cpp.o.d"
+  "bench_soap"
+  "bench_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

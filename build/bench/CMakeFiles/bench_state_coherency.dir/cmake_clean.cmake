@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_coherency.dir/bench_state_coherency.cpp.o"
+  "CMakeFiles/bench_state_coherency.dir/bench_state_coherency.cpp.o.d"
+  "bench_state_coherency"
+  "bench_state_coherency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_coherency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_client.dir/handheld_client.cpp.o"
+  "CMakeFiles/handheld_client.dir/handheld_client.cpp.o.d"
+  "handheld_client"
+  "handheld_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

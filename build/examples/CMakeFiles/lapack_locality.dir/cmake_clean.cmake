@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_locality.dir/lapack_locality.cpp.o"
+  "CMakeFiles/lapack_locality.dir/lapack_locality.cpp.o.d"
+  "lapack_locality"
+  "lapack_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/legacy_environments.cpp" "examples/CMakeFiles/legacy_environments.dir/legacy_environments.cpp.o" "gcc" "examples/CMakeFiles/legacy_environments.dir/legacy_environments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/h2_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvm/CMakeFiles/h2_dvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/h2_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/h2_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/plugins/CMakeFiles/h2_plugins.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/h2_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/h2_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/runner/CMakeFiles/h2_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/h2_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/h2_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_environments.dir/legacy_environments.cpp.o"
+  "CMakeFiles/legacy_environments.dir/legacy_environments.cpp.o.d"
+  "legacy_environments"
+  "legacy_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_service.dir/matmul_service.cpp.o"
+  "CMakeFiles/matmul_service.dir/matmul_service.cpp.o.d"
+  "matmul_service"
+  "matmul_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_agent.dir/mobile_agent.cpp.o"
+  "CMakeFiles/mobile_agent.dir/mobile_agent.cpp.o.d"
+  "mobile_agent"
+  "mobile_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

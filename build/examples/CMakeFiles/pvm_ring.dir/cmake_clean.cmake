@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_ring.dir/pvm_ring.cpp.o"
+  "CMakeFiles/pvm_ring.dir/pvm_ring.cpp.o.d"
+  "pvm_ring"
+  "pvm_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

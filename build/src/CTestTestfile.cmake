@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("xml")
+subdirs("encoding")
+subdirs("soap")
+subdirs("wsdl")
+subdirs("transport")
+subdirs("registry")
+subdirs("kernel")
+subdirs("container")
+subdirs("runner")
+subdirs("dvm")
+subdirs("plugins")
+subdirs("pvm")
+subdirs("core")

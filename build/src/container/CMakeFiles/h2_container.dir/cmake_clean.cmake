@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_container.dir/container.cpp.o"
+  "CMakeFiles/h2_container.dir/container.cpp.o.d"
+  "CMakeFiles/h2_container.dir/management.cpp.o"
+  "CMakeFiles/h2_container.dir/management.cpp.o.d"
+  "libh2_container.a"
+  "libh2_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_core.dir/dynamic_proxy.cpp.o"
+  "CMakeFiles/h2_core.dir/dynamic_proxy.cpp.o.d"
+  "CMakeFiles/h2_core.dir/harness2.cpp.o"
+  "CMakeFiles/h2_core.dir/harness2.cpp.o.d"
+  "CMakeFiles/h2_core.dir/mobility.cpp.o"
+  "CMakeFiles/h2_core.dir/mobility.cpp.o.d"
+  "libh2_core.a"
+  "libh2_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_dvm.dir/coherency.cpp.o"
+  "CMakeFiles/h2_dvm.dir/coherency.cpp.o.d"
+  "CMakeFiles/h2_dvm.dir/dvm.cpp.o"
+  "CMakeFiles/h2_dvm.dir/dvm.cpp.o.d"
+  "CMakeFiles/h2_dvm.dir/state.cpp.o"
+  "CMakeFiles/h2_dvm.dir/state.cpp.o.d"
+  "libh2_dvm.a"
+  "libh2_dvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_dvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

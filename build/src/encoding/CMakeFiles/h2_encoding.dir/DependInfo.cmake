@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/base64.cpp" "src/encoding/CMakeFiles/h2_encoding.dir/base64.cpp.o" "gcc" "src/encoding/CMakeFiles/h2_encoding.dir/base64.cpp.o.d"
+  "/root/repo/src/encoding/codec.cpp" "src/encoding/CMakeFiles/h2_encoding.dir/codec.cpp.o" "gcc" "src/encoding/CMakeFiles/h2_encoding.dir/codec.cpp.o.d"
+  "/root/repo/src/encoding/value.cpp" "src/encoding/CMakeFiles/h2_encoding.dir/value.cpp.o" "gcc" "src/encoding/CMakeFiles/h2_encoding.dir/value.cpp.o.d"
+  "/root/repo/src/encoding/xdr.cpp" "src/encoding/CMakeFiles/h2_encoding.dir/xdr.cpp.o" "gcc" "src/encoding/CMakeFiles/h2_encoding.dir/xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_encoding.dir/base64.cpp.o"
+  "CMakeFiles/h2_encoding.dir/base64.cpp.o.d"
+  "CMakeFiles/h2_encoding.dir/codec.cpp.o"
+  "CMakeFiles/h2_encoding.dir/codec.cpp.o.d"
+  "CMakeFiles/h2_encoding.dir/value.cpp.o"
+  "CMakeFiles/h2_encoding.dir/value.cpp.o.d"
+  "CMakeFiles/h2_encoding.dir/xdr.cpp.o"
+  "CMakeFiles/h2_encoding.dir/xdr.cpp.o.d"
+  "libh2_encoding.a"
+  "libh2_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

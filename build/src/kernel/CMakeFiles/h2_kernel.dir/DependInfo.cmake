@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/event_bus.cpp" "src/kernel/CMakeFiles/h2_kernel.dir/event_bus.cpp.o" "gcc" "src/kernel/CMakeFiles/h2_kernel.dir/event_bus.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/h2_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/h2_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/plugin.cpp" "src/kernel/CMakeFiles/h2_kernel.dir/plugin.cpp.o" "gcc" "src/kernel/CMakeFiles/h2_kernel.dir/plugin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/h2_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/h2_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

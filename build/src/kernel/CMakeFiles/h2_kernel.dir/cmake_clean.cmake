@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_kernel.dir/event_bus.cpp.o"
+  "CMakeFiles/h2_kernel.dir/event_bus.cpp.o.d"
+  "CMakeFiles/h2_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/h2_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/h2_kernel.dir/plugin.cpp.o"
+  "CMakeFiles/h2_kernel.dir/plugin.cpp.o.d"
+  "libh2_kernel.a"
+  "libh2_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

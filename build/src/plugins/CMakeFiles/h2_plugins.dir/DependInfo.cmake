@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugins/basic.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/basic.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/basic.cpp.o.d"
+  "/root/repo/src/plugins/compute.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/compute.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/compute.cpp.o.d"
+  "/root/repo/src/plugins/linalg.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/linalg.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/linalg.cpp.o.d"
+  "/root/repo/src/plugins/mpi.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/mpi.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/mpi.cpp.o.d"
+  "/root/repo/src/plugins/mpi_comm.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/mpi_comm.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/mpi_comm.cpp.o.d"
+  "/root/repo/src/plugins/p2p.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/p2p.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/p2p.cpp.o.d"
+  "/root/repo/src/plugins/standard.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/standard.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/standard.cpp.o.d"
+  "/root/repo/src/plugins/tuplespace.cpp" "src/plugins/CMakeFiles/h2_plugins.dir/tuplespace.cpp.o" "gcc" "src/plugins/CMakeFiles/h2_plugins.dir/tuplespace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/h2_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/h2_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/h2_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_plugins.dir/basic.cpp.o"
+  "CMakeFiles/h2_plugins.dir/basic.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/compute.cpp.o"
+  "CMakeFiles/h2_plugins.dir/compute.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/linalg.cpp.o"
+  "CMakeFiles/h2_plugins.dir/linalg.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/mpi.cpp.o"
+  "CMakeFiles/h2_plugins.dir/mpi.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/mpi_comm.cpp.o"
+  "CMakeFiles/h2_plugins.dir/mpi_comm.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/p2p.cpp.o"
+  "CMakeFiles/h2_plugins.dir/p2p.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/standard.cpp.o"
+  "CMakeFiles/h2_plugins.dir/standard.cpp.o.d"
+  "CMakeFiles/h2_plugins.dir/tuplespace.cpp.o"
+  "CMakeFiles/h2_plugins.dir/tuplespace.cpp.o.d"
+  "libh2_plugins.a"
+  "libh2_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_pvm.dir/hpvmd.cpp.o"
+  "CMakeFiles/h2_pvm.dir/hpvmd.cpp.o.d"
+  "libh2_pvm.a"
+  "libh2_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_registry.dir/lookup.cpp.o"
+  "CMakeFiles/h2_registry.dir/lookup.cpp.o.d"
+  "CMakeFiles/h2_registry.dir/uddi.cpp.o"
+  "CMakeFiles/h2_registry.dir/uddi.cpp.o.d"
+  "CMakeFiles/h2_registry.dir/wsil.cpp.o"
+  "CMakeFiles/h2_registry.dir/wsil.cpp.o.d"
+  "CMakeFiles/h2_registry.dir/xml_registry.cpp.o"
+  "CMakeFiles/h2_registry.dir/xml_registry.cpp.o.d"
+  "libh2_registry.a"
+  "libh2_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_runner.dir/runner_box.cpp.o"
+  "CMakeFiles/h2_runner.dir/runner_box.cpp.o.d"
+  "libh2_runner.a"
+  "libh2_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

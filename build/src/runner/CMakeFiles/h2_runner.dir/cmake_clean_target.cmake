@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libh2_runner.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_soap.dir/envelope.cpp.o"
+  "CMakeFiles/h2_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/h2_soap.dir/mime.cpp.o"
+  "CMakeFiles/h2_soap.dir/mime.cpp.o.d"
+  "libh2_soap.a"
+  "libh2_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

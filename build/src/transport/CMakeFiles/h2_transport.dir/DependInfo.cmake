@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/endpoint.cpp" "src/transport/CMakeFiles/h2_transport.dir/endpoint.cpp.o" "gcc" "src/transport/CMakeFiles/h2_transport.dir/endpoint.cpp.o.d"
+  "/root/repo/src/transport/http.cpp" "src/transport/CMakeFiles/h2_transport.dir/http.cpp.o" "gcc" "src/transport/CMakeFiles/h2_transport.dir/http.cpp.o.d"
+  "/root/repo/src/transport/marshal.cpp" "src/transport/CMakeFiles/h2_transport.dir/marshal.cpp.o" "gcc" "src/transport/CMakeFiles/h2_transport.dir/marshal.cpp.o.d"
+  "/root/repo/src/transport/rpc.cpp" "src/transport/CMakeFiles/h2_transport.dir/rpc.cpp.o" "gcc" "src/transport/CMakeFiles/h2_transport.dir/rpc.cpp.o.d"
+  "/root/repo/src/transport/simnet.cpp" "src/transport/CMakeFiles/h2_transport.dir/simnet.cpp.o" "gcc" "src/transport/CMakeFiles/h2_transport.dir/simnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

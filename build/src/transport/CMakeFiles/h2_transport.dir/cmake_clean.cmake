@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_transport.dir/endpoint.cpp.o"
+  "CMakeFiles/h2_transport.dir/endpoint.cpp.o.d"
+  "CMakeFiles/h2_transport.dir/http.cpp.o"
+  "CMakeFiles/h2_transport.dir/http.cpp.o.d"
+  "CMakeFiles/h2_transport.dir/marshal.cpp.o"
+  "CMakeFiles/h2_transport.dir/marshal.cpp.o.d"
+  "CMakeFiles/h2_transport.dir/rpc.cpp.o"
+  "CMakeFiles/h2_transport.dir/rpc.cpp.o.d"
+  "CMakeFiles/h2_transport.dir/simnet.cpp.o"
+  "CMakeFiles/h2_transport.dir/simnet.cpp.o.d"
+  "libh2_transport.a"
+  "libh2_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

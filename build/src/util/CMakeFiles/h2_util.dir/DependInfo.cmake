@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/h2_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/h2_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/h2_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/h2_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/h2_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/h2_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/uuid.cpp" "src/util/CMakeFiles/h2_util.dir/uuid.cpp.o" "gcc" "src/util/CMakeFiles/h2_util.dir/uuid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/h2_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/h2_util.dir/error.cpp.o"
+  "CMakeFiles/h2_util.dir/error.cpp.o.d"
+  "CMakeFiles/h2_util.dir/log.cpp.o"
+  "CMakeFiles/h2_util.dir/log.cpp.o.d"
+  "CMakeFiles/h2_util.dir/rng.cpp.o"
+  "CMakeFiles/h2_util.dir/rng.cpp.o.d"
+  "CMakeFiles/h2_util.dir/strings.cpp.o"
+  "CMakeFiles/h2_util.dir/strings.cpp.o.d"
+  "CMakeFiles/h2_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/h2_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/h2_util.dir/uuid.cpp.o"
+  "CMakeFiles/h2_util.dir/uuid.cpp.o.d"
+  "libh2_util.a"
+  "libh2_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

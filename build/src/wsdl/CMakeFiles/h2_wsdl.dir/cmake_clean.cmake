@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_wsdl.dir/descriptor.cpp.o"
+  "CMakeFiles/h2_wsdl.dir/descriptor.cpp.o.d"
+  "CMakeFiles/h2_wsdl.dir/io.cpp.o"
+  "CMakeFiles/h2_wsdl.dir/io.cpp.o.d"
+  "CMakeFiles/h2_wsdl.dir/model.cpp.o"
+  "CMakeFiles/h2_wsdl.dir/model.cpp.o.d"
+  "libh2_wsdl.a"
+  "libh2_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

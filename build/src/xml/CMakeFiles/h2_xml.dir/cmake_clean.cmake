@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_xml.dir/dom.cpp.o"
+  "CMakeFiles/h2_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/h2_xml.dir/escape.cpp.o"
+  "CMakeFiles/h2_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/h2_xml.dir/parser.cpp.o"
+  "CMakeFiles/h2_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/h2_xml.dir/writer.cpp.o"
+  "CMakeFiles/h2_xml.dir/writer.cpp.o.d"
+  "CMakeFiles/h2_xml.dir/xpath.cpp.o"
+  "CMakeFiles/h2_xml.dir/xpath.cpp.o.d"
+  "libh2_xml.a"
+  "libh2_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_test.dir/container/test_container.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_container.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/test_find_local.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_find_local.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/test_http_exposure.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_http_exposure.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/test_management.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_management.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/test_mime_exposure.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_mime_exposure.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/test_versioning.cpp.o"
+  "CMakeFiles/container_test.dir/container/test_versioning.cpp.o.d"
+  "container_test"
+  "container_test.pdb"
+  "container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

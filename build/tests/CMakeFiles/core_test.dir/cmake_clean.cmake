@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/test_dynamic_proxy.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_dynamic_proxy.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_framework.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_framework.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_mobility.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_mobility.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_proxy_bindings.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_proxy_bindings.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_test.dir/dvm/test_coherency_edges.cpp.o"
+  "CMakeFiles/dvm_test.dir/dvm/test_coherency_edges.cpp.o.d"
+  "CMakeFiles/dvm_test.dir/dvm/test_dvm.cpp.o"
+  "CMakeFiles/dvm_test.dir/dvm/test_dvm.cpp.o.d"
+  "CMakeFiles/dvm_test.dir/dvm/test_heartbeat.cpp.o"
+  "CMakeFiles/dvm_test.dir/dvm/test_heartbeat.cpp.o.d"
+  "dvm_test"
+  "dvm_test.pdb"
+  "dvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/encoding/test_base64.cpp" "tests/CMakeFiles/encoding_test.dir/encoding/test_base64.cpp.o" "gcc" "tests/CMakeFiles/encoding_test.dir/encoding/test_base64.cpp.o.d"
+  "/root/repo/tests/encoding/test_codec.cpp" "tests/CMakeFiles/encoding_test.dir/encoding/test_codec.cpp.o" "gcc" "tests/CMakeFiles/encoding_test.dir/encoding/test_codec.cpp.o.d"
+  "/root/repo/tests/encoding/test_value.cpp" "tests/CMakeFiles/encoding_test.dir/encoding/test_value.cpp.o" "gcc" "tests/CMakeFiles/encoding_test.dir/encoding/test_value.cpp.o.d"
+  "/root/repo/tests/encoding/test_xdr.cpp" "tests/CMakeFiles/encoding_test.dir/encoding/test_xdr.cpp.o" "gcc" "tests/CMakeFiles/encoding_test.dir/encoding/test_xdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_test.dir/encoding/test_base64.cpp.o"
+  "CMakeFiles/encoding_test.dir/encoding/test_base64.cpp.o.d"
+  "CMakeFiles/encoding_test.dir/encoding/test_codec.cpp.o"
+  "CMakeFiles/encoding_test.dir/encoding/test_codec.cpp.o.d"
+  "CMakeFiles/encoding_test.dir/encoding/test_value.cpp.o"
+  "CMakeFiles/encoding_test.dir/encoding/test_value.cpp.o.d"
+  "CMakeFiles/encoding_test.dir/encoding/test_xdr.cpp.o"
+  "CMakeFiles/encoding_test.dir/encoding/test_xdr.cpp.o.d"
+  "encoding_test"
+  "encoding_test.pdb"
+  "encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/test_fault_injection.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/test_fault_injection.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/test_full_stack.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/test_full_stack.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/test_properties.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/test_properties.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugins_test.dir/plugins/test_basic_plugins.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins/test_basic_plugins.cpp.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/test_compute_p2p.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins/test_compute_p2p.cpp.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/test_linalg.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins/test_linalg.cpp.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/test_mpi.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins/test_mpi.cpp.o.d"
+  "CMakeFiles/plugins_test.dir/plugins/test_tuplespace.cpp.o"
+  "CMakeFiles/plugins_test.dir/plugins/test_tuplespace.cpp.o.d"
+  "plugins_test"
+  "plugins_test.pdb"
+  "plugins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pvm_test.dir/pvm/test_hpvmd.cpp.o"
+  "CMakeFiles/pvm_test.dir/pvm/test_hpvmd.cpp.o.d"
+  "pvm_test"
+  "pvm_test.pdb"
+  "pvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

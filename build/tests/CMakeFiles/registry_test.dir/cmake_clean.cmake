@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_test.dir/registry/test_lookup.cpp.o"
+  "CMakeFiles/registry_test.dir/registry/test_lookup.cpp.o.d"
+  "CMakeFiles/registry_test.dir/registry/test_uddi.cpp.o"
+  "CMakeFiles/registry_test.dir/registry/test_uddi.cpp.o.d"
+  "CMakeFiles/registry_test.dir/registry/test_wsil.cpp.o"
+  "CMakeFiles/registry_test.dir/registry/test_wsil.cpp.o.d"
+  "CMakeFiles/registry_test.dir/registry/test_xml_registry.cpp.o"
+  "CMakeFiles/registry_test.dir/registry/test_xml_registry.cpp.o.d"
+  "registry_test"
+  "registry_test.pdb"
+  "registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_test.dir/soap/test_envelope.cpp.o"
+  "CMakeFiles/soap_test.dir/soap/test_envelope.cpp.o.d"
+  "CMakeFiles/soap_test.dir/soap/test_headers.cpp.o"
+  "CMakeFiles/soap_test.dir/soap/test_headers.cpp.o.d"
+  "CMakeFiles/soap_test.dir/soap/test_mime.cpp.o"
+  "CMakeFiles/soap_test.dir/soap/test_mime.cpp.o.d"
+  "soap_test"
+  "soap_test.pdb"
+  "soap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transport/test_endpoint.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_endpoint.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_endpoint.cpp.o.d"
+  "/root/repo/tests/transport/test_http.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_http.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_http.cpp.o.d"
+  "/root/repo/tests/transport/test_http_binding.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_http_binding.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_http_binding.cpp.o.d"
+  "/root/repo/tests/transport/test_rpc.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_rpc.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_rpc.cpp.o.d"
+  "/root/repo/tests/transport/test_simnet.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_simnet.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_simnet.cpp.o.d"
+  "/root/repo/tests/transport/test_simnet_advanced.cpp" "tests/CMakeFiles/transport_test.dir/transport/test_simnet_advanced.cpp.o" "gcc" "tests/CMakeFiles/transport_test.dir/transport/test_simnet_advanced.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/h2_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/h2_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/h2_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

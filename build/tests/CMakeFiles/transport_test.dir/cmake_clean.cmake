@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_test.dir/transport/test_endpoint.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_endpoint.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/test_http.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_http.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/test_http_binding.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_http_binding.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/test_rpc.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_rpc.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/test_simnet.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_simnet.cpp.o.d"
+  "CMakeFiles/transport_test.dir/transport/test_simnet_advanced.cpp.o"
+  "CMakeFiles/transport_test.dir/transport/test_simnet_advanced.cpp.o.d"
+  "transport_test"
+  "transport_test.pdb"
+  "transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_byte_buffer.cpp" "tests/CMakeFiles/util_test.dir/util/test_byte_buffer.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_byte_buffer.cpp.o.d"
+  "/root/repo/tests/util/test_log_clock.cpp" "tests/CMakeFiles/util_test.dir/util/test_log_clock.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_log_clock.cpp.o.d"
+  "/root/repo/tests/util/test_result.cpp" "tests/CMakeFiles/util_test.dir/util/test_result.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_result.cpp.o.d"
+  "/root/repo/tests/util/test_rng_uuid.cpp" "tests/CMakeFiles/util_test.dir/util/test_rng_uuid.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_rng_uuid.cpp.o.d"
+  "/root/repo/tests/util/test_strings.cpp" "tests/CMakeFiles/util_test.dir/util/test_strings.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_strings.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/util_test.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/util_test.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/util/test_byte_buffer.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_byte_buffer.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_log_clock.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_log_clock.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_result.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_result.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_rng_uuid.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_rng_uuid.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_strings.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_strings.cpp.o.d"
+  "CMakeFiles/util_test.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/util_test.dir/util/test_thread_pool.cpp.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

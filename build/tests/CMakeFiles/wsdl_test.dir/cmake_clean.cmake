@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsdl_test.dir/wsdl/test_descriptor.cpp.o"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_descriptor.cpp.o.d"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_golden.cpp.o"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_golden.cpp.o.d"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_io.cpp.o"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_io.cpp.o.d"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_model.cpp.o"
+  "CMakeFiles/wsdl_test.dir/wsdl/test_model.cpp.o.d"
+  "wsdl_test"
+  "wsdl_test.pdb"
+  "wsdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xml/test_parser.cpp" "tests/CMakeFiles/xml_test.dir/xml/test_parser.cpp.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/test_parser.cpp.o.d"
+  "/root/repo/tests/xml/test_writer.cpp" "tests/CMakeFiles/xml_test.dir/xml/test_writer.cpp.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/test_writer.cpp.o.d"
+  "/root/repo/tests/xml/test_xpath.cpp" "tests/CMakeFiles/xml_test.dir/xml/test_xpath.cpp.o" "gcc" "tests/CMakeFiles/xml_test.dir/xml/test_xpath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/h2_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
