@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Runs the SOAP-path benchmarks (EXP-SOAP) and writes JSON results next to
+# the build tree so runs can be diffed across commits.
+#
+# Usage: bench/run_bench.sh [build-dir] [min-time]
+#   build-dir  defaults to ./build
+#   min-time   per-benchmark minimum seconds, defaults to 0.2
+set -eu
+
+BUILD_DIR="${1:-build}"
+MIN_TIME="${2:-0.2}"
+OUT_DIR="${BENCH_OUT_DIR:-$BUILD_DIR}"
+
+if [ ! -x "$BUILD_DIR/bench/bench_soap" ]; then
+  echo "error: $BUILD_DIR/bench/bench_soap not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+run() {
+  name="$1"
+  echo "== $name (min_time=${MIN_TIME}s) =="
+  "$BUILD_DIR/bench/$name" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json \
+    --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
+    --benchmark_out_format=json > /dev/null
+  echo "   wrote $OUT_DIR/BENCH_${name#bench_}.json"
+}
+
+run bench_soap
+run bench_encoding

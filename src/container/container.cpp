@@ -210,7 +210,9 @@ Status Container::undeploy(std::string_view instance_id) {
   }
   deployed.plugin->shutdown();
   components_.erase(it);
-  published_keys_.erase(std::string(instance_id));
+  if (auto pub = published_keys_.find(instance_id); pub != published_keys_.end()) {
+    published_keys_.erase(pub);
+  }
   logger().debug(name_ + ": undeployed " + std::string(instance_id));
   return Status::success();
 }

@@ -22,35 +22,42 @@ constexpr auto kReverse = make_reverse_table();
 
 }  // namespace
 
+void base64_encode_to(std::string& out, std::span<const std::uint8_t> input) {
+  std::size_t old_size = out.size();
+  out.resize(old_size + base64_encoded_size(input.size()));
+  char* dst = out.data() + old_size;
+  const std::uint8_t* src = input.data();
+  std::size_t whole = input.size() / 3;
+  for (std::size_t b = 0; b < whole; ++b) {
+    std::uint32_t triple = (static_cast<std::uint32_t>(src[0]) << 16) |
+                           (static_cast<std::uint32_t>(src[1]) << 8) | src[2];
+    dst[0] = kAlphabet[(triple >> 18) & 0x3F];
+    dst[1] = kAlphabet[(triple >> 12) & 0x3F];
+    dst[2] = kAlphabet[(triple >> 6) & 0x3F];
+    dst[3] = kAlphabet[triple & 0x3F];
+    src += 3;
+    dst += 4;
+  }
+  std::size_t rest = input.size() - whole * 3;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(src[0]) << 16;
+    dst[0] = kAlphabet[(v >> 18) & 0x3F];
+    dst[1] = kAlphabet[(v >> 12) & 0x3F];
+    dst[2] = '=';
+    dst[3] = '=';
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(src[0]) << 16) |
+                      (static_cast<std::uint32_t>(src[1]) << 8);
+    dst[0] = kAlphabet[(v >> 18) & 0x3F];
+    dst[1] = kAlphabet[(v >> 12) & 0x3F];
+    dst[2] = kAlphabet[(v >> 6) & 0x3F];
+    dst[3] = '=';
+  }
+}
+
 std::string base64_encode(std::span<const std::uint8_t> input) {
   std::string out;
-  out.reserve(base64_encoded_size(input.size()));
-  std::size_t i = 0;
-  while (i + 3 <= input.size()) {
-    std::uint32_t triple = (static_cast<std::uint32_t>(input[i]) << 16) |
-                           (static_cast<std::uint32_t>(input[i + 1]) << 8) |
-                           input[i + 2];
-    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
-    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
-    out.push_back(kAlphabet[(triple >> 6) & 0x3F]);
-    out.push_back(kAlphabet[triple & 0x3F]);
-    i += 3;
-  }
-  std::size_t rest = input.size() - i;
-  if (rest == 1) {
-    std::uint32_t v = static_cast<std::uint32_t>(input[i]) << 16;
-    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
-    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
-    out.push_back('=');
-    out.push_back('=');
-  } else if (rest == 2) {
-    std::uint32_t v = (static_cast<std::uint32_t>(input[i]) << 16) |
-                      (static_cast<std::uint32_t>(input[i + 1]) << 8);
-    out.push_back(kAlphabet[(v >> 18) & 0x3F]);
-    out.push_back(kAlphabet[(v >> 12) & 0x3F]);
-    out.push_back(kAlphabet[(v >> 6) & 0x3F]);
-    out.push_back('=');
-  }
+  base64_encode_to(out, input);
   return out;
 }
 
@@ -59,19 +66,45 @@ Result<std::vector<std::uint8_t>> base64_decode(std::string_view input) {
     return err::parse("base64: length " + std::to_string(input.size()) +
                       " is not a multiple of 4");
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(input.size() / 4 * 3);
-  for (std::size_t i = 0; i < input.size(); i += 4) {
-    int pad = 0;
+  std::vector<std::uint8_t> out(input.size() / 4 * 3);
+  std::uint8_t* dst = out.data();
+  const char* src = input.data();
+  // All groups before the final one can be decoded without padding logic;
+  // a '=' there is caught by the table (it maps to -1).
+  std::size_t bulk = input.size() >= 4 ? input.size() - 4 : 0;
+  std::size_t i = 0;
+  for (; i < bulk; i += 4) {
+    std::int8_t v0 = kReverse[static_cast<unsigned char>(src[i])];
+    std::int8_t v1 = kReverse[static_cast<unsigned char>(src[i + 1])];
+    std::int8_t v2 = kReverse[static_cast<unsigned char>(src[i + 2])];
+    std::int8_t v3 = kReverse[static_cast<unsigned char>(src[i + 3])];
+    if ((v0 | v1 | v2 | v3) < 0) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        char c = src[i + j];
+        if (c == '=') return err::parse("base64: misplaced padding");
+        if (kReverse[static_cast<unsigned char>(c)] < 0) {
+          return err::parse(std::string("base64: invalid character '") + c + "'");
+        }
+      }
+    }
+    std::uint32_t quad = (static_cast<std::uint32_t>(v0) << 18) |
+                         (static_cast<std::uint32_t>(v1) << 12) |
+                         (static_cast<std::uint32_t>(v2) << 6) |
+                         static_cast<std::uint32_t>(v3);
+    dst[0] = static_cast<std::uint8_t>((quad >> 16) & 0xFF);
+    dst[1] = static_cast<std::uint8_t>((quad >> 8) & 0xFF);
+    dst[2] = static_cast<std::uint8_t>(quad & 0xFF);
+    dst += 3;
+  }
+  int pad = 0;
+  if (i < input.size()) {
     std::uint32_t quad = 0;
     for (std::size_t j = 0; j < 4; ++j) {
-      char c = input[i + j];
+      char c = src[i + j];
       if (c == '=') {
-        // Padding only legal in the last group, positions 2 or 3, and must
-        // be followed only by more '='.
-        if (i + 4 != input.size() || j < 2) {
-          return err::parse("base64: misplaced padding");
-        }
+        // Padding only legal at positions 2 or 3, and must be followed
+        // only by more '='.
+        if (j < 2) return err::parse("base64: misplaced padding");
         ++pad;
         quad <<= 6;
         continue;
@@ -83,10 +116,11 @@ Result<std::vector<std::uint8_t>> base64_decode(std::string_view input) {
       }
       quad = (quad << 6) | static_cast<std::uint32_t>(v);
     }
-    out.push_back(static_cast<std::uint8_t>((quad >> 16) & 0xFF));
-    if (pad < 2) out.push_back(static_cast<std::uint8_t>((quad >> 8) & 0xFF));
-    if (pad < 1) out.push_back(static_cast<std::uint8_t>(quad & 0xFF));
+    dst[0] = static_cast<std::uint8_t>((quad >> 16) & 0xFF);
+    if (pad < 2) dst[1] = static_cast<std::uint8_t>((quad >> 8) & 0xFF);
+    if (pad < 1) dst[2] = static_cast<std::uint8_t>(quad & 0xFF);
   }
+  out.resize(out.size() - static_cast<std::size_t>(pad));
   return out;
 }
 

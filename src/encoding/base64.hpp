@@ -16,6 +16,10 @@ namespace h2::enc {
 /// Standard alphabet, '=' padding.
 std::string base64_encode(std::span<const std::uint8_t> input);
 
+/// Appends the encoding to `out`, resizing once and writing blocks through
+/// a raw pointer — the hot path for SOAP base64 payloads.
+void base64_encode_to(std::string& out, std::span<const std::uint8_t> input);
+
 /// Strict decode: rejects characters outside the alphabet (whitespace
 /// included) and malformed padding.
 Result<std::vector<std::uint8_t>> base64_decode(std::string_view input);

@@ -1,10 +1,11 @@
 #include "encoding/codec.hpp"
 
+#include <charconv>
+
 #include "encoding/base64.hpp"
 #include "encoding/xdr.hpp"
 #include "util/strings.hpp"
-#include "xml/parser.hpp"
-#include "xml/writer.hpp"
+#include "xml/pull_parser.hpp"
 
 namespace h2::enc {
 
@@ -71,13 +72,16 @@ class SoapXmlCodec final : public Codec {
     // Hand-rolled emission (no DOM) — this is the fast path a real SOAP
     // stack would use, so the measured cost is the format's, not a DOM's.
     std::string out;
-    out.reserve(32 + values.size() * 28);
+    out.reserve(80 + values.size() * 32);
+    char buf[32];
     out += "<array xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"xsd:double[";
-    out += std::to_string(values.size());
+    auto [cend, cec] = std::to_chars(buf, buf + sizeof buf, values.size());
+    out.append(buf, static_cast<std::size_t>(cend - buf));
     out += "]\">";
     for (double v : values) {
       out += "<item>";
-      out += str::format_double(v);
+      auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+      out.append(buf, static_cast<std::size_t>(end - buf));
       out += "</item>";
     }
     out += "</array>";
@@ -85,14 +89,37 @@ class SoapXmlCodec final : public Codec {
   }
 
   Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
-    auto root = xml::parse_element(wire.as_string_view());
+    xml::PullParser p(wire.as_string_view());
+    auto root = p.next();
     if (!root.ok()) return root.error().context("soap-xml array");
     std::vector<double> out;
-    for (const xml::Node* item : (*root)->children_named("item")) {
-      auto v = str::parse_double(str::trim(item->inner_text()));
+    if (auto at = p.raw_attr("SOAP-ENC:arrayType")) {
+      auto lb = at->find('[');
+      auto rb = at->find(']');
+      if (lb != std::string_view::npos && rb != std::string_view::npos && rb > lb + 1) {
+        auto n = str::parse_u64(at->substr(lb + 1, rb - lb - 1));
+        if (n.ok()) out.reserve(std::min<std::uint64_t>(*n, 1 << 22));
+      }
+    }
+    std::string scratch;
+    while (true) {
+      auto t = p.next();
+      if (!t.ok()) return t.error().context("soap-xml array");
+      if (*t == xml::Token::kEndElement && p.depth() == 0) break;
+      if (*t != xml::Token::kStartElement) continue;
+      if (p.local_name() != "item") {
+        auto skipped = p.skip_element();
+        if (!skipped.ok()) return skipped.error().context("soap-xml array");
+        continue;
+      }
+      auto text = p.inner_text(scratch);
+      if (!text.ok()) return text.error().context("soap-xml array");
+      auto v = str::parse_double(str::trim(*text));
       if (!v.ok()) return v.error().context("soap-xml item");
       out.push_back(*v);
     }
+    auto tail = p.next();
+    if (!tail.ok()) return tail.error().context("soap-xml array");
     return out;
   }
 
@@ -115,20 +142,27 @@ class SoapBase64Codec final : public Codec {
     out += "<data xsi:type=\"xsd:base64Binary\" count=\"";
     out += std::to_string(values.size());
     out += "\">";
-    out += base64_encode(raw.bytes());
+    base64_encode_to(out, raw.bytes());
     out += "</data>";
     return ByteBuffer(out);
   }
 
   Result<std::vector<double>> decode(const ByteBuffer& wire) const override {
-    auto root = xml::parse_element(wire.as_string_view());
+    xml::PullParser p(wire.as_string_view());
+    auto root = p.next();
     if (!root.ok()) return root.error().context("soap-base64");
-    auto count_attr = (*root)->attr("count");
-    if (!count_attr) return err::parse("soap-base64: missing count attribute");
-    auto count = str::parse_u64(*count_attr);
+    std::string scratch;
+    auto count_attr = p.attr("count", scratch);
+    if (!count_attr.ok()) return count_attr.error().context("soap-base64");
+    if (!*count_attr) return err::parse("soap-base64: missing count attribute");
+    auto count = str::parse_u64(**count_attr);
     if (!count.ok()) return count.error();
-    auto bytes = base64_decode(str::trim((*root)->inner_text()));
+    auto text = p.inner_text(scratch);
+    if (!text.ok()) return text.error().context("soap-base64");
+    auto bytes = base64_decode(str::trim(*text));
     if (!bytes.ok()) return bytes.error();
+    auto tail = p.next();
+    if (!tail.ok()) return tail.error().context("soap-base64");
     if (bytes->size() != *count * 8) {
       return err::parse("soap-base64: payload size does not match count");
     }

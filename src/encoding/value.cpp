@@ -64,6 +64,11 @@ std::span<const std::uint8_t> Value::bytes_view() const {
   return {};
 }
 
+std::string_view Value::string_view() const {
+  if (auto* v = std::get_if<std::string>(&data_)) return *v;
+  return {};
+}
+
 std::string Value::describe() const {
   switch (kind()) {
     case ValueKind::kVoid: return "void";

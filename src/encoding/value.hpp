@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -64,9 +65,10 @@ class Value {
   Result<std::vector<double>> as_doubles() const;
   Result<std::vector<std::uint8_t>> as_bytes() const;
 
-  /// Borrowing accessors for large payloads (empty span on mismatch).
+  /// Borrowing accessors for large payloads (empty span/view on mismatch).
   std::span<const double> doubles_view() const;
   std::span<const std::uint8_t> bytes_view() const;
+  std::string_view string_view() const;
 
   bool operator==(const Value& other) const {
     return name_ == other.name_ && data_ == other.data_;

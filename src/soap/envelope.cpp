@@ -1,44 +1,296 @@
 #include "soap/envelope.hpp"
 
+#include <charconv>
+
 #include "encoding/base64.hpp"
 #include "util/strings.hpp"
-#include "xml/parser.hpp"
-#include "xml/writer.hpp"
+#include "xml/escape.hpp"
+#include "xml/pull_parser.hpp"
 
 namespace h2::soap {
 
 namespace {
 
-/// Builds the envelope skeleton and returns the Body element.
-xml::Node* make_skeleton(std::unique_ptr<xml::Node>& envelope) {
-  envelope = xml::Node::element("SOAP-ENV:Envelope");
-  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
-  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
-  envelope->set_attr("xmlns:xsd", kXsdNs);
-  envelope->set_attr("xmlns:xsi", kXsiNs);
-  return envelope->add_element("SOAP-ENV:Body");
+/// Appends a number with std::to_chars (shortest round-trip form for
+/// doubles — same digits str::format_double produces).
+void append_double(std::string& out, double v) {
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(end - buf));
 }
 
-void append_value(xml::Node& parent, const Value& value, std::string element_name) {
-  parent.add_child(value_to_xml(value, std::move(element_name)));
-}
-
-/// Finds the Body element of a parsed envelope, verifying namespaces.
-Result<const xml::Node*> find_body(const xml::Node& root) {
-  if (root.local_name() != "Envelope") {
-    return err::parse("soap: root element is <" + std::string(root.name()) +
-                      ">, expected Envelope");
-  }
-  auto ns = root.namespace_uri();
-  if (!ns || *ns != kEnvelopeNs) {
-    return err::parse("soap: Envelope not in SOAP 1.1 namespace");
-  }
-  const xml::Node* body = root.first_child("Body");
-  if (!body) return err::parse("soap: missing Body");
-  return body;
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, static_cast<std::size_t>(end - buf));
 }
 
 }  // namespace
+
+// ---- writer --------------------------------------------------------------------
+
+void EnvelopeWriter::envelope_open() {
+  out_ += "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"";
+  out_ += kEnvelopeNs;
+  out_ += "\" xmlns:SOAP-ENC=\"";
+  out_ += kEncodingNs;
+  out_ += "\" xmlns:xsd=\"";
+  out_ += kXsdNs;
+  out_ += "\" xmlns:xsi=\"";
+  out_ += kXsiNs;
+  out_ += "\">";
+}
+
+void EnvelopeWriter::headers(std::span<const HeaderEntry> entries) {
+  if (entries.empty()) return;
+  out_ += "<SOAP-ENV:Header>";
+  int hdr_index = 0;
+  for (const HeaderEntry& entry : entries) {
+    char prefix[16] = {'h'};
+    auto [pend, ec] = std::to_chars(prefix + 1, prefix + sizeof prefix, hdr_index++);
+    std::string_view pfx(prefix, static_cast<std::size_t>(pend - prefix));
+    out_.push_back('<');
+    out_ += pfx;
+    out_.push_back(':');
+    out_ += entry.name;
+    out_ += " xmlns:";
+    out_ += pfx;
+    out_ += "=\"";
+    xml::escape_attr_to(out_, entry.ns);
+    out_.push_back('"');
+    if (entry.must_understand) out_ += " SOAP-ENV:mustUnderstand=\"1\"";
+    if (!entry.actor.empty()) {
+      out_ += " SOAP-ENV:actor=\"";
+      xml::escape_attr_to(out_, entry.actor);
+      out_.push_back('"');
+    }
+    out_.push_back('>');
+    xml::escape_text_to(out_, entry.value);
+    out_ += "</";
+    out_ += pfx;
+    out_.push_back(':');
+    out_ += entry.name;
+    out_.push_back('>');
+  }
+  out_ += "</SOAP-ENV:Header>";
+}
+
+void EnvelopeWriter::body_open() { out_ += "<SOAP-ENV:Body>"; }
+
+void EnvelopeWriter::call_open(std::string_view operation, std::string_view service_ns,
+                               bool response) {
+  out_ += "<m:";
+  out_ += operation;
+  if (response) out_ += "Response";
+  out_ += " xmlns:m=\"";
+  xml::escape_attr_to(out_, service_ns);
+  out_ += "\">";
+}
+
+void EnvelopeWriter::param(const Value& value, std::string_view element_name) {
+  out_.push_back('<');
+  out_ += element_name;
+  switch (value.kind()) {
+    case ValueKind::kVoid:
+      out_ += " xsi:nil=\"true\"/>";
+      return;
+    case ValueKind::kBool:
+      out_ += " xsi:type=\"xsd:boolean\">";
+      out_ += value.as_bool().value() ? "true" : "false";
+      break;
+    case ValueKind::kInt:
+      out_ += " xsi:type=\"xsd:long\">";
+      append_int(out_, value.as_int().value());
+      break;
+    case ValueKind::kDouble:
+      out_ += " xsi:type=\"xsd:double\">";
+      append_double(out_, value.as_double().value());
+      break;
+    case ValueKind::kString:
+      out_ += " xsi:type=\"xsd:string\">";
+      xml::escape_text_to(out_, value.string_view());
+      break;
+    case ValueKind::kDoubleArray: {
+      auto items = value.doubles_view();
+      out_ += " xsi:type=\"SOAP-ENC:Array\" SOAP-ENC:arrayType=\"xsd:double[";
+      append_int(out_, static_cast<std::int64_t>(items.size()));
+      out_ += "]\"";
+      if (items.empty()) {
+        out_ += "/>";
+        return;
+      }
+      out_.push_back('>');
+      for (double v : items) {
+        out_ += "<item>";
+        append_double(out_, v);
+        out_ += "</item>";
+      }
+      break;
+    }
+    case ValueKind::kBytes:
+      out_ += " xsi:type=\"xsd:base64Binary\">";
+      enc::base64_encode_to(out_, value.bytes_view());
+      break;
+  }
+  out_ += "</";
+  out_ += element_name;
+  out_.push_back('>');
+}
+
+void EnvelopeWriter::href_param(std::string_view element_name, std::string_view cid,
+                                std::string_view xsi_type) {
+  out_.push_back('<');
+  out_ += element_name;
+  out_ += " href=\"";
+  xml::escape_attr_to(out_, cid);
+  out_ += "\" xsi:type=\"";
+  xml::escape_attr_to(out_, xsi_type);
+  out_ += "\"/>";
+}
+
+void EnvelopeWriter::call_close(std::string_view operation, bool response) {
+  out_ += "</m:";
+  out_ += operation;
+  if (response) out_ += "Response";
+  out_.push_back('>');
+}
+
+void EnvelopeWriter::body_close() { out_ += "</SOAP-ENV:Body>"; }
+
+void EnvelopeWriter::envelope_close() { out_ += "</SOAP-ENV:Envelope>"; }
+
+void EnvelopeWriter::fault(const Fault& f) {
+  out_ += "<SOAP-ENV:Fault><faultcode>SOAP-ENV:";
+  xml::escape_text_to(out_, f.code);
+  out_ += "</faultcode><faultstring>";
+  xml::escape_text_to(out_, f.message);
+  out_ += "</faultstring>";
+  if (!f.detail.empty()) {
+    out_ += "<detail>";
+    xml::escape_text_to(out_, f.detail);
+    out_ += "</detail>";
+  }
+  out_ += "</SOAP-ENV:Fault>";
+}
+
+std::size_t EnvelopeWriter::estimate(const Value& value, std::size_t name_len) {
+  std::size_t fixed = 2 * name_len + 40;  // tags + xsi:type attribute
+  switch (value.kind()) {
+    case ValueKind::kDoubleArray:
+      // "<item>" + up to 24 digit chars + "</item>" per element.
+      return fixed + 40 + value.doubles_view().size() * 38;
+    case ValueKind::kBytes:
+      return fixed + enc::base64_encoded_size(value.bytes_view().size());
+    case ValueKind::kString:
+      return fixed + value.string_view().size() + value.string_view().size() / 8;
+    default:
+      return fixed + 32;
+  }
+}
+
+// ---- building ------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kEnvelopeOverhead = 256;
+
+std::size_t estimate_request(std::string_view operation, std::string_view service_ns,
+                             std::span<const Value> params,
+                             std::span<const HeaderEntry> headers) {
+  std::size_t est = kEnvelopeOverhead + 2 * operation.size() + service_ns.size();
+  for (const HeaderEntry& h : headers) {
+    est += 2 * h.name.size() + h.ns.size() + h.value.size() + h.actor.size() + 64;
+  }
+  for (const Value& p : params) {
+    est += EnvelopeWriter::estimate(p, p.name().empty() ? 5 : p.name().size());
+  }
+  return est;
+}
+
+/// Writes one request parameter, defaulting unnamed params to argN.
+void write_param(EnvelopeWriter& w, const Value& p, int position) {
+  if (!p.name().empty()) {
+    w.param(p, p.name());
+    return;
+  }
+  char buf[16] = {'a', 'r', 'g'};
+  auto [end, ec] = std::to_chars(buf + 3, buf + sizeof buf, position);
+  w.param(p, std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+}  // namespace
+
+void build_request_into(std::string& out, std::string_view operation,
+                        std::string_view service_ns, std::span<const Value> params,
+                        std::span<const HeaderEntry> headers) {
+  out.clear();
+  std::size_t est = estimate_request(operation, service_ns, params, headers);
+  if (out.capacity() < est) out.reserve(est);
+  EnvelopeWriter w(out);
+  w.envelope_open();
+  w.headers(headers);
+  w.body_open();
+  w.call_open(operation, service_ns, /*response=*/false);
+  int position = 0;
+  for (const Value& p : params) write_param(w, p, position++);
+  w.call_close(operation, /*response=*/false);
+  w.body_close();
+  w.envelope_close();
+}
+
+void build_response_into(std::string& out, std::string_view operation,
+                         std::string_view service_ns, const Value& result) {
+  out.clear();
+  std::size_t est = kEnvelopeOverhead + 2 * operation.size() + service_ns.size() +
+                    EnvelopeWriter::estimate(result, 6);
+  if (out.capacity() < est) out.reserve(est);
+  EnvelopeWriter w(out);
+  w.envelope_open();
+  w.body_open();
+  w.call_open(operation, service_ns, /*response=*/true);
+  w.param(result, "return");
+  w.call_close(operation, /*response=*/true);
+  w.body_close();
+  w.envelope_close();
+}
+
+void build_fault_into(std::string& out, const Fault& fault) {
+  out.clear();
+  EnvelopeWriter w(out);
+  w.envelope_open();
+  w.body_open();
+  w.fault(fault);
+  w.body_close();
+  w.envelope_close();
+}
+
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params) {
+  return build_request(operation, service_ns, params, {});
+}
+
+std::string build_request(std::string_view operation, std::string_view service_ns,
+                          std::span<const Value> params,
+                          std::span<const HeaderEntry> headers) {
+  std::string out;
+  build_request_into(out, operation, service_ns, params, headers);
+  return out;
+}
+
+std::string build_response(std::string_view operation, std::string_view service_ns,
+                           const Value& result) {
+  std::string out;
+  build_response_into(out, operation, service_ns, result);
+  return out;
+}
+
+std::string build_fault(const Fault& fault) {
+  std::string out;
+  build_fault_into(out, fault);
+  return out;
+}
+
+// ---- DOM forms (WSDL tooling, registry, tests) ---------------------------------
 
 std::unique_ptr<xml::Node> value_to_xml(const Value& value, std::string element_name) {
   auto el = xml::Node::element(std::move(element_name));
@@ -127,167 +379,407 @@ Result<Value> xml_to_value(const xml::Node& element) {
   return err::unsupported("soap: unsupported xsi:type '" + type + "'");
 }
 
-std::string build_request(std::string_view operation, std::string_view service_ns,
-                          std::span<const Value> params) {
-  return build_request(operation, service_ns, params, {});
-}
-
-std::string build_request(std::string_view operation, std::string_view service_ns,
-                          std::span<const Value> params,
-                          std::span<const HeaderEntry> headers) {
-  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
-  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
-  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
-  envelope->set_attr("xmlns:xsd", kXsdNs);
-  envelope->set_attr("xmlns:xsi", kXsiNs);
-  if (!headers.empty()) {
-    // SOAP 1.1 §4.2: the Header element precedes the Body.
-    xml::Node* header = envelope->add_element("SOAP-ENV:Header");
-    int hdr_index = 0;
-    for (const HeaderEntry& entry : headers) {
-      std::string prefix = "h" + std::to_string(hdr_index++);
-      xml::Node* el = header->add_element(prefix + ":" + entry.name);
-      el->set_attr("xmlns:" + prefix, entry.ns);
-      if (entry.must_understand) el->set_attr("SOAP-ENV:mustUnderstand", "1");
-      if (!entry.actor.empty()) el->set_attr("SOAP-ENV:actor", entry.actor);
-      el->add_text(entry.value);
-    }
-  }
-  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
-  xml::Node* call = body->add_element("m:" + std::string(operation));
-  call->set_attr("xmlns:m", std::string(service_ns));
-  int position = 0;
-  for (const Value& p : params) {
-    std::string pname = p.name().empty() ? "arg" + std::to_string(position) : p.name();
-    append_value(*call, p, pname);
-    ++position;
-  }
-  return xml::write(*envelope);
-}
-
-std::string build_response(std::string_view operation, std::string_view service_ns,
-                           const Value& result) {
-  std::unique_ptr<xml::Node> envelope;
-  xml::Node* body = make_skeleton(envelope);
-  xml::Node* response = body->add_element("m:" + std::string(operation) + "Response");
-  response->set_attr("xmlns:m", std::string(service_ns));
-  append_value(*response, result, "return");
-  return xml::write(*envelope);
-}
-
-std::string build_fault(const Fault& fault) {
-  std::unique_ptr<xml::Node> envelope;
-  xml::Node* body = make_skeleton(envelope);
-  xml::Node* f = body->add_element("SOAP-ENV:Fault");
-  f->add_element_with_text("faultcode", "SOAP-ENV:" + fault.code);
-  f->add_element_with_text("faultstring", fault.message);
-  if (!fault.detail.empty()) {
-    f->add_element_with_text("detail", fault.detail);
-  }
-  return xml::write(*envelope);
-}
+// ---- parsing -------------------------------------------------------------------
 
 namespace {
 
-/// Looks up an envelope-namespace attribute ("mustUnderstand"/"actor") on
-/// a header entry, regardless of the producer's prefix choice.
-std::optional<std::string> env_attr(const xml::Node& el, std::string_view local) {
-  for (const auto& attr : el.attributes()) {
-    auto colon = attr.name.find(':');
-    std::string_view attr_local =
-        colon == std::string::npos ? std::string_view(attr.name)
-                                   : std::string_view(attr.name).substr(colon + 1);
-    if (attr_local != local) continue;
-    std::string_view prefix =
-        colon == std::string::npos ? std::string_view{}
-                                   : std::string_view(attr.name).substr(0, colon);
-    auto ns = el.resolve_namespace(prefix);
-    if (ns && *ns == kEnvelopeNs) return attr.value;
+using xml::PullParser;
+using xml::Token;
+
+/// Scratch buffers threaded through the parse so steady-state decoding
+/// never allocates (they only grow when content actually holds entities
+/// or spans multiple text runs).
+struct ParseScratch {
+  std::string text;
+  std::string attr;
+};
+
+/// Reads one parameter/return element (parser positioned on its start
+/// tag) into a Value, consuming through the matching end tag. Mirrors
+/// xml_to_value's type dispatch exactly.
+Result<Value> read_param(PullParser& p, const HrefResolver* resolver,
+                         ParseScratch& scratch) {
+  std::string name(p.local_name());
+
+  // Collect attributes up front: next() invalidates them.
+  bool nil = p.raw_attr("xsi:nil").has_value();
+  auto type_attr = p.attr("xsi:type", scratch.attr);
+  if (!type_attr.ok()) return type_attr.error();
+  std::string full_type;
+  std::string type;
+  if (*type_attr) {
+    full_type.assign(**type_attr);
+    auto colon = full_type.find(':');
+    type = colon == std::string::npos ? full_type : full_type.substr(colon + 1);
   }
-  return std::nullopt;
+  auto array_attr = p.raw_attr("SOAP-ENC:arrayType");
+
+  if (resolver != nullptr) {
+    auto href = p.attr("href", scratch.attr);
+    if (!href.ok()) return href.error();
+    if (*href) {
+      std::string href_value(**href);
+      auto skipped = p.skip_element();
+      if (!skipped.ok()) return skipped.error();
+      return (*resolver)(href_value, full_type, name);
+    }
+  }
+
+  if (nil) {
+    auto skipped = p.skip_element();
+    if (!skipped.ok()) return skipped.error();
+    return Value::of_void(std::move(name));
+  }
+
+  if (type == "Array" || array_attr.has_value()) {
+    std::vector<double> values;
+    if (array_attr) {
+      // "xsd:double[65536]" — pre-size from the declared count (capped so
+      // a hostile header can't force a huge allocation before parsing).
+      auto lb = array_attr->find('[');
+      auto rb = array_attr->find(']');
+      if (lb != std::string_view::npos && rb != std::string_view::npos && rb > lb + 1) {
+        auto n = str::parse_i64(array_attr->substr(lb + 1, rb - lb - 1));
+        if (n.ok() && *n > 0) {
+          values.reserve(static_cast<std::size_t>(std::min<std::int64_t>(*n, 1 << 22)));
+        }
+      }
+    }
+    int base = p.depth();
+    while (true) {
+      auto t = p.next();
+      if (!t.ok()) return t.error();
+      if (*t == Token::kEndElement && p.depth() == base - 1) break;
+      if (*t != Token::kStartElement) continue;
+      if (p.local_name() != "item") {
+        auto skipped = p.skip_element();
+        if (!skipped.ok()) return skipped.error();
+        continue;
+      }
+      auto text = p.inner_text(scratch.text);
+      if (!text.ok()) return text.error();
+      auto v = str::parse_double(str::trim(*text));
+      if (!v.ok()) return v.error().context("soap array item in <" + name + ">");
+      values.push_back(*v);
+    }
+    return Value::of_doubles(std::move(values), std::move(name));
+  }
+
+  if (type == "base64Binary") {
+    auto text = p.inner_text(scratch.text);
+    if (!text.ok()) return text.error();
+    auto bytes = enc::base64_decode(str::trim(*text));
+    if (!bytes.ok()) return bytes.error().context("soap base64 in <" + name + ">");
+    return Value::of_bytes(std::move(*bytes), std::move(name));
+  }
+  if (type == "boolean") {
+    auto raw = p.inner_text(scratch.text);
+    if (!raw.ok()) return raw.error();
+    auto text = str::trim(*raw);
+    if (text == "true" || text == "1") return Value::of_bool(true, std::move(name));
+    if (text == "false" || text == "0") return Value::of_bool(false, std::move(name));
+    return err::parse("soap: bad boolean '" + std::string(text) + "'");
+  }
+  if (type == "long" || type == "int" || type == "integer" || type == "short") {
+    auto text = p.inner_text(scratch.text);
+    if (!text.ok()) return text.error();
+    auto v = str::parse_i64(str::trim(*text));
+    if (!v.ok()) return v.error().context("soap integer in <" + name + ">");
+    return Value::of_int(*v, std::move(name));
+  }
+  if (type == "double" || type == "float" || type == "decimal") {
+    auto text = p.inner_text(scratch.text);
+    if (!text.ok()) return text.error();
+    auto v = str::parse_double(str::trim(*text));
+    if (!v.ok()) return v.error().context("soap double in <" + name + ">");
+    return Value::of_double(*v, std::move(name));
+  }
+  if (type == "string" || type.empty()) {
+    auto text = p.inner_text(scratch.text);
+    if (!text.ok()) return text.error();
+    return Value::of_string(std::string(*text), std::move(name));
+  }
+  return err::unsupported("soap: unsupported xsi:type '" + type + "'");
 }
 
-std::vector<HeaderEntry> parse_headers(const xml::Node& root) {
-  std::vector<HeaderEntry> out;
-  const xml::Node* header = root.first_child("Header");
-  if (header == nullptr) return out;
-  for (const xml::Node* el : header->element_children()) {
-    HeaderEntry entry;
-    entry.name = std::string(el->local_name());
-    if (auto ns = el->namespace_uri()) entry.ns = std::string(*ns);
-    entry.value = el->inner_text();
-    if (auto mu = env_attr(*el, "mustUnderstand")) {
-      entry.must_understand = (*mu == "1" || *mu == "true");
+/// Reads one <Header> child element (parser on its start tag).
+Result<HeaderEntry> read_header(PullParser& p, ParseScratch& scratch) {
+  HeaderEntry entry;
+  entry.name.assign(p.local_name());
+  if (auto ns = p.namespace_uri()) entry.ns.assign(*ns);
+  // Envelope-namespace attributes, regardless of the producer's prefix.
+  for (const xml::PullAttribute& attr : p.attributes()) {
+    auto colon = attr.name.find(':');
+    std::string_view local =
+        colon == std::string_view::npos ? attr.name : attr.name.substr(colon + 1);
+    if (local != "mustUnderstand" && local != "actor") continue;
+    std::string_view prefix =
+        colon == std::string_view::npos ? std::string_view{} : attr.name.substr(0, colon);
+    auto ns = p.resolve_namespace(prefix);
+    if (!ns || *ns != kEnvelopeNs) continue;
+    std::string_view value = attr.raw_value;
+    std::string decoded;
+    if (value.find('&') != std::string_view::npos) {
+      auto status = xml::decode_entities_to(value, decoded);
+      if (!status.ok()) return status.error();
+      value = decoded;
     }
-    if (auto actor = env_attr(*el, "actor")) entry.actor = *actor;
-    out.push_back(std::move(entry));
+    if (local == "mustUnderstand") {
+      entry.must_understand = (value == "1" || value == "true");
+    } else {
+      entry.actor.assign(value);
+    }
   }
-  return out;
+  auto text = p.inner_text(scratch.text);
+  if (!text.ok()) return text.error();
+  entry.value.assign(*text);
+  return entry;
+}
+
+/// Advances to the root start tag and checks it is a SOAP 1.1 Envelope.
+Status open_envelope(PullParser& p) {
+  auto first = p.next();
+  if (!first.ok()) return first.error();
+  if (p.local_name() != "Envelope") {
+    return err::parse("soap: root element is <" + std::string(p.name()) +
+                      ">, expected Envelope");
+  }
+  auto ns = p.namespace_uri();
+  if (!ns || *ns != kEnvelopeNs) {
+    return err::parse("soap: Envelope not in SOAP 1.1 namespace");
+  }
+  return Status::success();
+}
+
+/// Consumes epilog misc after the envelope's end tag; any real content is
+/// a parse error (matches the DOM parser's trailing-content check).
+Status close_document(PullParser& p) {
+  auto tail = p.next();
+  if (!tail.ok()) return tail.error();
+  return Status::success();
+}
+
+/// Parses an entire <Header> element (parser on its start tag).
+Status read_headers(PullParser& p, ParseScratch& scratch,
+                    std::vector<HeaderEntry>& out) {
+  int base = p.depth();
+  if (p.self_closing()) {
+    return p.skip_element();
+  }
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error();
+    if (*t == Token::kEndElement && p.depth() == base - 1) return Status::success();
+    if (*t != Token::kStartElement) continue;
+    auto entry = read_header(p, scratch);
+    if (!entry.ok()) return entry.error();
+    out.push_back(std::move(*entry));
+  }
 }
 
 }  // namespace
 
-Result<RpcCall> parse_request(std::string_view envelope_xml) {
-  auto root = xml::parse_element(envelope_xml);
-  if (!root.ok()) return root.error().context("soap request");
-  auto body = find_body(**root);
-  if (!body.ok()) return body.error();
+Result<RpcCall> parse_request(std::string_view envelope_xml,
+                              const HrefResolver* resolver) {
+  PullParser p(envelope_xml);
+  ParseScratch scratch;
+  if (auto st = open_envelope(p); !st.ok()) return st.error().context("soap request");
 
-  auto children = (*body)->element_children();
-  if (children.size() != 1) {
-    return err::parse("soap: request Body must contain exactly one operation element");
-  }
-  const xml::Node* call = children.front();
   RpcCall out;
-  out.headers = parse_headers(**root);
-  out.operation = std::string(call->local_name());
-  if (auto ns = call->namespace_uri()) out.service_ns = std::string(*ns);
-  for (const xml::Node* param : call->element_children()) {
-    auto v = xml_to_value(*param);
-    if (!v.ok()) return v.error().context("parameter of " + out.operation);
-    out.params.push_back(std::move(*v));
+  bool seen_header = false;
+  bool seen_body = false;
+  bool have_call = false;
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error().context("soap request");
+    if (*t == Token::kEndElement && p.depth() == 0) break;
+    if (*t != Token::kStartElement) continue;
+
+    if (p.local_name() == "Header" && !seen_header) {
+      seen_header = true;
+      auto st = read_headers(p, scratch, out.headers);
+      if (!st.ok()) return st.error().context("soap request");
+      continue;
+    }
+    if (p.local_name() == "Body" && !seen_body) {
+      seen_body = true;
+      if (p.self_closing()) {
+        auto st = p.skip_element();
+        if (!st.ok()) return st.error().context("soap request");
+        continue;
+      }
+      while (true) {
+        auto bt = p.next();
+        if (!bt.ok()) return bt.error().context("soap request");
+        if (*bt == Token::kEndElement && p.depth() == 1) break;
+        if (*bt != Token::kStartElement) continue;
+        if (have_call) {
+          return err::parse(
+              "soap: request Body must contain exactly one operation element");
+        }
+        have_call = true;
+        out.operation.assign(p.local_name());
+        if (auto ns = p.namespace_uri()) out.service_ns.assign(*ns);
+        if (p.self_closing()) {
+          auto st = p.skip_element();
+          if (!st.ok()) return st.error().context("soap request");
+          continue;
+        }
+        while (true) {
+          auto pt = p.next();
+          if (!pt.ok()) return pt.error().context("soap request");
+          if (*pt == Token::kEndElement && p.depth() == 2) break;
+          if (*pt != Token::kStartElement) continue;
+          auto v = read_param(p, resolver, scratch);
+          if (!v.ok()) return v.error().context("parameter of " + out.operation);
+          out.params.push_back(std::move(*v));
+        }
+      }
+      continue;
+    }
+    // Extra Body/Header elements or foreign envelope children: skip whole.
+    auto st = p.skip_element();
+    if (!st.ok()) return st.error().context("soap request");
+  }
+  if (auto st = close_document(p); !st.ok()) return st.error().context("soap request");
+
+  if (!seen_body) return err::parse("soap: missing Body");
+  if (!have_call) {
+    return err::parse("soap: request Body must contain exactly one operation element");
   }
   return out;
 }
 
-Result<RpcReply> parse_reply(std::string_view envelope_xml) {
-  auto root = xml::parse_element(envelope_xml);
-  if (!root.ok()) return root.error().context("soap reply");
-  auto body = find_body(**root);
-  if (!body.ok()) return body.error();
+Result<RpcCall> parse_request(std::string_view envelope_xml) {
+  return parse_request(envelope_xml, nullptr);
+}
 
-  auto children = (*body)->element_children();
-  if (children.size() != 1) {
-    return err::parse("soap: reply Body must contain exactly one element");
+namespace {
+
+/// Reads the children of a <Fault> element (parser on its start tag).
+Result<Fault> read_fault(PullParser& p, ParseScratch& scratch) {
+  Fault fault;
+  bool have_code = false, have_string = false, have_detail = false;
+  int base = p.depth();
+  if (p.self_closing()) {
+    auto st = p.skip_element();
+    if (!st.ok()) return st.error();
+    return fault;
   }
-  const xml::Node* payload = children.front();
-
-  if (payload->local_name() == "Fault") {
-    Fault fault;
-    if (const xml::Node* c = payload->first_child("faultcode")) {
-      std::string code = c->inner_text();
-      if (auto colon = code.find(':'); colon != std::string::npos) {
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error();
+    if (*t == Token::kEndElement && p.depth() == base - 1) return fault;
+    if (*t != Token::kStartElement) continue;
+    std::string_view local = p.local_name();
+    if (local == "faultcode" && !have_code) {
+      have_code = true;
+      auto text = p.inner_text(scratch.text);
+      if (!text.ok()) return text.error();
+      std::string_view code = *text;
+      if (auto colon = code.find(':'); colon != std::string_view::npos) {
         code = code.substr(colon + 1);
       }
-      fault.code = code;
+      fault.code.assign(code);
+    } else if (local == "faultstring" && !have_string) {
+      have_string = true;
+      auto text = p.inner_text(scratch.text);
+      if (!text.ok()) return text.error();
+      fault.message.assign(*text);
+    } else if (local == "detail" && !have_detail) {
+      have_detail = true;
+      auto text = p.inner_text(scratch.text);
+      if (!text.ok()) return text.error();
+      fault.detail.assign(*text);
+    } else {
+      auto st = p.skip_element();
+      if (!st.ok()) return st.error();
     }
-    if (const xml::Node* s = payload->first_child("faultstring")) {
-      fault.message = s->inner_text();
-    }
-    if (const xml::Node* d = payload->first_child("detail")) {
-      fault.detail = d->inner_text();
-    }
-    return RpcReply{std::move(fault)};
   }
+}
 
-  auto returns = payload->element_children();
-  if (returns.empty()) {
-    // Void response: <opResponse/> with no return element.
-    return RpcReply{Value::of_void("return")};
+}  // namespace
+
+Result<RpcReply> parse_reply(std::string_view envelope_xml,
+                             const HrefResolver* resolver) {
+  PullParser p(envelope_xml);
+  ParseScratch scratch;
+  if (auto st = open_envelope(p); !st.ok()) return st.error().context("soap reply");
+
+  std::optional<RpcReply> reply;
+  bool seen_body = false;
+  bool have_payload = false;
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error().context("soap reply");
+    if (*t == Token::kEndElement && p.depth() == 0) break;
+    if (*t != Token::kStartElement) continue;
+
+    if (p.local_name() == "Body" && !seen_body) {
+      seen_body = true;
+      if (p.self_closing()) {
+        auto st = p.skip_element();
+        if (!st.ok()) return st.error().context("soap reply");
+        continue;
+      }
+      while (true) {
+        auto bt = p.next();
+        if (!bt.ok()) return bt.error().context("soap reply");
+        if (*bt == Token::kEndElement && p.depth() == 1) break;
+        if (*bt != Token::kStartElement) continue;
+        if (have_payload) {
+          return err::parse("soap: reply Body must contain exactly one element");
+        }
+        have_payload = true;
+
+        if (p.local_name() == "Fault") {
+          auto fault = read_fault(p, scratch);
+          if (!fault.ok()) return fault.error().context("soap reply");
+          reply = RpcReply{std::move(*fault)};
+          continue;
+        }
+
+        // <opResponse>: first child element is the return value; a void
+        // response has none.
+        bool have_value = false;
+        if (p.self_closing()) {
+          auto st = p.skip_element();
+          if (!st.ok()) return st.error().context("soap reply");
+          reply = RpcReply{Value::of_void("return")};
+          continue;
+        }
+        int base = p.depth();
+        while (true) {
+          auto rt = p.next();
+          if (!rt.ok()) return rt.error().context("soap reply");
+          if (*rt == Token::kEndElement && p.depth() == base - 1) break;
+          if (*rt != Token::kStartElement) continue;
+          if (have_value) {
+            auto st = p.skip_element();
+            if (!st.ok()) return st.error().context("soap reply");
+            continue;
+          }
+          have_value = true;
+          auto v = read_param(p, resolver, scratch);
+          if (!v.ok()) return v.error().context("soap return value");
+          reply = RpcReply{std::move(*v)};
+        }
+        if (!have_value) reply = RpcReply{Value::of_void("return")};
+      }
+      continue;
+    }
+    auto st = p.skip_element();
+    if (!st.ok()) return st.error().context("soap reply");
   }
-  auto v = xml_to_value(*returns.front());
-  if (!v.ok()) return v.error().context("soap return value");
-  return RpcReply{std::move(*v)};
+  if (auto st = close_document(p); !st.ok()) return st.error().context("soap reply");
+
+  if (!seen_body) return err::parse("soap: missing Body");
+  if (!reply) return err::parse("soap: reply Body must contain exactly one element");
+  return std::move(*reply);
+}
+
+Result<RpcReply> parse_reply(std::string_view envelope_xml) {
+  return parse_reply(envelope_xml, nullptr);
 }
 
 }  // namespace h2::soap

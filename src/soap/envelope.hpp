@@ -3,8 +3,15 @@
 // is genuine SOAP 1.1 (Envelope/Body, SOAP-ENC arrays, xsi types); the
 // parser accepts anything this builder emits plus reasonable variations
 // (prefix choice, attribute order, whitespace).
+//
+// Fast path: building streams through EnvelopeWriter (single pass, one
+// size-estimated buffer, no DOM); parsing streams through xml::PullParser
+// (no DOM allocation, numeric payloads go straight from input slices to
+// doubles via from_chars). value_to_xml/xml_to_value keep the DOM forms
+// for WSDL tooling and tests.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -83,6 +90,49 @@ std::string build_response(std::string_view operation, std::string_view service_
 /// Serializes a fault envelope.
 std::string build_fault(const Fault& fault);
 
+/// Buffer-reusing forms: clear `out` and build into it, preserving its
+/// capacity. Steady-state callers (channels, the SOAP HTTP server) keep
+/// one scratch string alive so repeated calls stop allocating.
+void build_request_into(std::string& out, std::string_view operation,
+                        std::string_view service_ns, std::span<const Value> params,
+                        std::span<const HeaderEntry> headers = {});
+void build_response_into(std::string& out, std::string_view operation,
+                         std::string_view service_ns, const Value& result);
+void build_fault_into(std::string& out, const Fault& fault);
+
+/// Single-pass envelope writer. Appends SOAP 1.1 fragments to a
+/// caller-owned string; text/attribute content is escaped with a bulk-run
+/// scanner and numbers are formatted with std::to_chars. Produces the same
+/// bytes the DOM builder+writer used to. The mime binding drives it
+/// directly so attachments can replace bulk params with href stubs.
+class EnvelopeWriter {
+ public:
+  explicit EnvelopeWriter(std::string& out) : out_(out) {}
+
+  void envelope_open();
+  void headers(std::span<const HeaderEntry> entries);  ///< no-op when empty
+  void body_open();
+  /// `<m:{op}{Response?} xmlns:m="ns">`
+  void call_open(std::string_view operation, std::string_view service_ns,
+                 bool response);
+  /// One parameter/return element, chosen by the value's kind.
+  void param(const Value& value, std::string_view element_name);
+  /// SOAP-with-Attachments stub: `<name href="cid:..." xsi:type="..."/>`.
+  void href_param(std::string_view element_name, std::string_view cid,
+                  std::string_view xsi_type);
+  void call_close(std::string_view operation, bool response);
+  void body_close();
+  void envelope_close();
+  /// Complete `<SOAP-ENV:Fault>` element (inside an open body).
+  void fault(const Fault& fault);
+
+  /// Bytes a param() call for `value` will need, for up-front reserve().
+  static std::size_t estimate(const Value& value, std::size_t name_len);
+
+ private:
+  std::string& out_;
+};
+
 /// Converts one Value into its SOAP XML element (exposed for WSDL tooling
 /// and tests). `element_name` is used as the tag.
 std::unique_ptr<xml::Node> value_to_xml(const Value& value, std::string element_name);
@@ -94,6 +144,21 @@ Result<RpcCall> parse_request(std::string_view envelope_xml);
 
 /// Parses a response envelope into an RpcReply (result or fault).
 Result<RpcReply> parse_reply(std::string_view envelope_xml);
+
+/// Resolves a SOAP-with-Attachments parameter that carries an href
+/// attribute instead of inline content. Receives the href value as
+/// written ("cid:part1"), the element's xsi:type as written (empty when
+/// absent), and the element's local name. Used by soap::mime.
+using HrefResolver = std::function<Result<Value>(
+    std::string_view href, std::string_view xsi_type, std::string_view name)>;
+
+/// As parse_request/parse_reply, delegating href-carrying parameters to
+/// `resolver` (nullptr behaves like the plain overloads: href is ignored
+/// and the element parses by xsi:type as usual).
+Result<RpcCall> parse_request(std::string_view envelope_xml,
+                              const HrefResolver* resolver);
+Result<RpcReply> parse_reply(std::string_view envelope_xml,
+                             const HrefResolver* resolver);
 
 /// Converts a SOAP parameter element back into a Value (type chosen from
 /// xsi:type, falling back to shape inference for untyped elements).

@@ -1,8 +1,8 @@
 #include "soap/mime.hpp"
 
+#include <charconv>
+
 #include "util/strings.hpp"
-#include "xml/parser.hpp"
-#include "xml/writer.hpp"
 
 namespace h2::soap {
 
@@ -31,21 +31,19 @@ struct Attachment {
   std::vector<std::uint8_t> bytes;
 };
 
-/// Converts a value into its envelope element, exporting bulk payloads
-/// into `attachments`.
-std::unique_ptr<xml::Node> value_to_part(const Value& value, std::string element_name,
-                                         std::vector<Attachment>& attachments) {
+/// Writes one parameter into the envelope: bulk values become href stubs
+/// with the payload exported into `attachments`, scalars stay inline.
+void write_part(EnvelopeWriter& w, const Value& value, std::string_view element_name,
+                std::vector<Attachment>& attachments) {
   if (!is_bulk(value.kind())) {
-    return value_to_xml(value, std::move(element_name));
+    w.param(value, element_name);
+    return;
   }
-  auto el = xml::Node::element(std::move(element_name));
   std::string cid = "part" + std::to_string(attachments.size() + 1);
-  el->set_attr("href", "cid:" + cid);
-  el->set_attr("xsi:type", value.kind() == ValueKind::kDoubleArray
-                               ? "xsd:double[]"
-                               : "xsd:base64Binary");
+  w.href_param(element_name, "cid:" + cid,
+               value.kind() == ValueKind::kDoubleArray ? "xsd:double[]"
+                                                       : "xsd:base64Binary");
   attachments.push_back({std::move(cid), bulk_bytes(value)});
-  return el;
 }
 
 /// Assembles the multipart body from the envelope and attachments.
@@ -55,7 +53,11 @@ MultipartMessage assemble(const std::string& envelope,
   out.content_type = std::string("multipart/related; type=\"text/xml\"; boundary=\"") +
                      kBoundary + "\"";
   std::string body;
-  body.reserve(envelope.size() + 256);
+  std::size_t attachment_bytes = 0;
+  for (const Attachment& attachment : attachments) {
+    attachment_bytes += attachment.bytes.size() + 128;
+  }
+  body.reserve(envelope.size() + attachment_bytes + 256);
   body += "--";
   body += kBoundary;
   body += "\r\nContent-Type: text/xml; charset=utf-8\r\nContent-ID: <root>\r\n\r\n";
@@ -146,20 +148,18 @@ const Part* find_part(const std::vector<Part>& parts, std::string_view cid) {
   return nullptr;
 }
 
-/// Rebuilds a value from an envelope element, resolving href attachments.
-Result<Value> part_to_value(const xml::Node& element, const std::vector<Part>& parts) {
-  auto href = element.attr("href");
-  if (!href) return xml_to_value(element);
-  if (!str::starts_with(*href, "cid:")) {
-    return err::parse("mime: unsupported href '" + std::string(*href) + "'");
+/// Rebuilds a bulk value from its attachment part. `xsi_type` is the
+/// href element's type as written (empty defaults to base64Binary).
+Result<Value> attachment_to_value(const std::vector<Part>& parts, std::string_view href,
+                                  std::string_view xsi_type, std::string_view name) {
+  if (!str::starts_with(href, "cid:")) {
+    return err::parse("mime: unsupported href '" + std::string(href) + "'");
   }
-  const Part* part = find_part(parts, href->substr(4));
+  const Part* part = find_part(parts, href.substr(4));
   if (part == nullptr) {
-    return err::parse("mime: dangling attachment reference " + std::string(*href));
+    return err::parse("mime: dangling attachment reference " + std::string(href));
   }
-  std::string name(element.local_name());
-  std::string type = element.attr_or("xsi:type", "xsd:base64Binary");
-  if (type == "xsd:double[]") {
+  if (xsi_type == "xsd:double[]") {
     if (part->body.size() % 8 != 0) {
       return err::parse("mime: double[] attachment not a multiple of 8 bytes");
     }
@@ -171,10 +171,18 @@ Result<Value> part_to_value(const xml::Node& element, const std::vector<Part>& p
       if (!v.ok()) return v.error();
       values.push_back(*v);
     }
-    return Value::of_doubles(std::move(values), name);
+    return Value::of_doubles(std::move(values), std::string(name));
   }
   return Value::of_bytes(std::vector<std::uint8_t>(part->body.begin(), part->body.end()),
-                         name);
+                         std::string(name));
+}
+
+/// HrefResolver over a parsed part list, for the shared envelope parser.
+HrefResolver make_resolver(const std::vector<Part>& parts) {
+  return [&parts](std::string_view href, std::string_view xsi_type,
+                  std::string_view name) {
+    return attachment_to_value(parts, href, xsi_type, name);
+  };
 }
 
 /// Finds the root (envelope) part and the attachment list.
@@ -197,36 +205,42 @@ MultipartMessage build_mime_request(std::string_view operation,
                                     std::string_view service_ns,
                                     std::span<const Value> params) {
   std::vector<Attachment> attachments;
-  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
-  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
-  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
-  envelope->set_attr("xmlns:xsd", kXsdNs);
-  envelope->set_attr("xmlns:xsi", kXsiNs);
-  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
-  xml::Node* call = body->add_element("m:" + std::string(operation));
-  call->set_attr("xmlns:m", std::string(service_ns));
+  std::string envelope;
+  EnvelopeWriter w(envelope);
+  w.envelope_open();
+  w.body_open();
+  w.call_open(operation, service_ns, /*response=*/false);
   int position = 0;
   for (const Value& p : params) {
-    std::string name = p.name().empty() ? "arg" + std::to_string(position) : p.name();
-    call->add_child(value_to_part(p, std::move(name), attachments));
+    if (!p.name().empty()) {
+      write_part(w, p, p.name(), attachments);
+    } else {
+      char buf[16] = {'a', 'r', 'g'};
+      auto [end, ec] = std::to_chars(buf + 3, buf + sizeof buf, position);
+      write_part(w, p, std::string_view(buf, static_cast<std::size_t>(end - buf)),
+                 attachments);
+    }
     ++position;
   }
-  return assemble(xml::write(*envelope), attachments);
+  w.call_close(operation, /*response=*/false);
+  w.body_close();
+  w.envelope_close();
+  return assemble(envelope, attachments);
 }
 
 MultipartMessage build_mime_response(std::string_view operation,
                                      std::string_view service_ns, const Value& result) {
   std::vector<Attachment> attachments;
-  auto envelope = xml::Node::element("SOAP-ENV:Envelope");
-  envelope->set_attr("xmlns:SOAP-ENV", kEnvelopeNs);
-  envelope->set_attr("xmlns:SOAP-ENC", kEncodingNs);
-  envelope->set_attr("xmlns:xsd", kXsdNs);
-  envelope->set_attr("xmlns:xsi", kXsiNs);
-  xml::Node* body = envelope->add_element("SOAP-ENV:Body");
-  xml::Node* response = body->add_element("m:" + std::string(operation) + "Response");
-  response->set_attr("xmlns:m", std::string(service_ns));
-  response->add_child(value_to_part(result, "return", attachments));
-  return assemble(xml::write(*envelope), attachments);
+  std::string envelope;
+  EnvelopeWriter w(envelope);
+  w.envelope_open();
+  w.body_open();
+  w.call_open(operation, service_ns, /*response=*/true);
+  write_part(w, result, "return", attachments);
+  w.call_close(operation, /*response=*/true);
+  w.body_close();
+  w.envelope_close();
+  return assemble(envelope, attachments);
 }
 
 MultipartMessage build_mime_fault(const Fault& fault) {
@@ -238,24 +252,8 @@ Result<RpcCall> parse_mime_request(std::string_view content_type,
   auto message = open_message(content_type, body);
   if (!message.ok()) return message.error();
   const auto& [envelope_text, parts] = *message;
-
-  auto root = xml::parse_element(envelope_text);
-  if (!root.ok()) return root.error().context("mime envelope");
-  const xml::Node* body_el = (*root)->first_child("Body");
-  if (body_el == nullptr) return err::parse("mime: envelope has no Body");
-  auto children = body_el->element_children();
-  if (children.size() != 1) return err::parse("mime: Body must hold one operation");
-  const xml::Node* call = children.front();
-
-  RpcCall out;
-  out.operation = std::string(call->local_name());
-  if (auto ns = call->namespace_uri()) out.service_ns = std::string(*ns);
-  for (const xml::Node* param : call->element_children()) {
-    auto value = part_to_value(*param, parts);
-    if (!value.ok()) return value.error().context("mime param");
-    out.params.push_back(std::move(*value));
-  }
-  return out;
+  HrefResolver resolver = make_resolver(parts);
+  return parse_request(envelope_text, &resolver);
 }
 
 Result<RpcReply> parse_mime_reply(std::string_view content_type,
@@ -263,24 +261,8 @@ Result<RpcReply> parse_mime_reply(std::string_view content_type,
   auto message = open_message(content_type, body);
   if (!message.ok()) return message.error();
   const auto& [envelope_text, parts] = *message;
-
-  auto root = xml::parse_element(envelope_text);
-  if (!root.ok()) return root.error().context("mime envelope");
-  const xml::Node* body_el = (*root)->first_child("Body");
-  if (body_el == nullptr) return err::parse("mime: envelope has no Body");
-  auto children = body_el->element_children();
-  if (children.size() != 1) return err::parse("mime: Body must hold one element");
-  const xml::Node* payload = children.front();
-
-  if (payload->local_name() == "Fault") {
-    // Delegate fault decoding to the plain-envelope parser.
-    return parse_reply(envelope_text);
-  }
-  auto returns = payload->element_children();
-  if (returns.empty()) return RpcReply{Value::of_void("return")};
-  auto value = part_to_value(*returns.front(), parts);
-  if (!value.ok()) return value.error().context("mime return");
-  return RpcReply{std::move(*value)};
+  HrefResolver resolver = make_resolver(parts);
+  return parse_reply(envelope_text, &resolver);
 }
 
 }  // namespace h2::soap

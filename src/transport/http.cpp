@@ -70,7 +70,8 @@ void Headers::set(std::string name, std::string value) {
 }
 
 std::optional<std::string_view> Headers::get(std::string_view name) const {
-  auto it = entries_.find(str::to_lower(name));
+  // The comparator is transparent and case-insensitive: no lowered copy.
+  auto it = entries_.find(name);
   if (it == entries_.end()) return std::nullopt;
   return std::string_view(it->second);
 }

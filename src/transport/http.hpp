@@ -15,17 +15,38 @@
 
 namespace h2::net::http {
 
+/// ASCII case-insensitive ordering with transparent lookup, so header
+/// gets compare a string_view against stored keys without allocating.
+struct CaseInsensitiveLess {
+  using is_transparent = void;
+  static unsigned char lower(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<unsigned char>(c - 'A' + 'a')
+                                  : static_cast<unsigned char>(c);
+  }
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    std::size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      unsigned char la = lower(a[i]);
+      unsigned char lb = lower(b[i]);
+      if (la != lb) return la < lb;
+    }
+    return a.size() < b.size();
+  }
+};
+
 /// Case-insensitive header map (HTTP header names are case-insensitive).
 class Headers {
  public:
+  using Map = std::map<std::string, std::string, CaseInsensitiveLess>;
+
   void set(std::string name, std::string value);
   std::optional<std::string_view> get(std::string_view name) const;
   std::string get_or(std::string_view name, std::string_view fallback) const;
   std::size_t size() const { return entries_.size(); }
-  const std::map<std::string, std::string>& entries() const { return entries_; }
+  const Map& entries() const { return entries_; }
 
  private:
-  std::map<std::string, std::string> entries_;  // keys stored lower-case
+  Map entries_;  // keys stored lower-case
 };
 
 struct Request {

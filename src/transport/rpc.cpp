@@ -95,8 +95,12 @@ class SoapChannel final : public Channel {
     request.target = "/" + to_.path;
     request.headers.set("Content-Type", "text/xml; charset=utf-8");
     request.headers.set("SOAPAction", "\"" + service_ns_ + "#" + std::string(operation) + "\"");
-    request.body = soap::build_request(operation, service_ns_, params);
+    // Build into the channel's scratch buffer so steady-state calls reuse
+    // its capacity, then lend it to the request for serialization.
+    soap::build_request_into(envelope_, operation, service_ns_, params);
+    request.body = std::move(envelope_);
     ByteBuffer wire = request.serialize(to_.host);
+    envelope_ = std::move(request.body);
 
     // stub, soap encoder, http client, socket, http server, soap decoder
     // = 6 entities before the dispatcher runs.
@@ -131,6 +135,7 @@ class SoapChannel final : public Channel {
   HostId from_;
   Endpoint to_;
   std::string service_ns_;
+  std::string envelope_;  ///< reused request-envelope buffer
   CallStats stats_;
 };
 
@@ -338,16 +343,17 @@ Status SoapHttpServer::unmount(std::string_view path) {
 }
 
 Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
-  auto respond = [](int status, std::string body) {
+  auto make_response = [](int status) {
     http::Response response;
     response.status = status;
     response.reason = std::string(http::reason_for(status));
     response.headers.set("Content-Type", "text/xml; charset=utf-8");
-    response.body = std::move(body);
-    return response.serialize();
+    return response;
   };
   auto fault = [&](int status, const char* code, const std::string& message) {
-    return respond(status, soap::build_fault({code, message, ""}));
+    http::Response response = make_response(status);
+    soap::build_fault_into(response.body, {code, message, ""});
+    return response.serialize();
   };
 
   auto request = http::parse_request(raw);
@@ -424,7 +430,11 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
   if (!result.ok()) {
     return fault(500, fault_code_for(result.error().code()), result.error().message());
   }
-  return respond(200, soap::build_response(call->operation, call->service_ns, *result));
+  // Build the response envelope directly into the HTTP body: no
+  // intermediate envelope string to allocate and copy.
+  http::Response response = make_response(200);
+  soap::build_response_into(response.body, call->operation, call->service_ns, *result);
+  return response.serialize();
 }
 
 }  // namespace h2::net

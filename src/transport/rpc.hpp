@@ -49,7 +49,9 @@ class DispatcherMux final : public Dispatcher {
 
   Result<Value> dispatch(std::string_view operation,
                          std::span<const Value> params) override {
-    auto it = handlers_.find(std::string(operation));
+    // Transparent lookup: the map's std::less<> compares string_views
+    // directly, so the hot dispatch path doesn't allocate a key copy.
+    auto it = handlers_.find(operation);
     if (it == handlers_.end()) {
       return err::not_found("no such operation '" + std::string(operation) + "'");
     }

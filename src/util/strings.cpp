@@ -99,15 +99,12 @@ Result<double> parse_double(std::string_view s) {
 }
 
 std::string format_double(double v) {
-  // %.17g always round-trips; trim to shortest by retrying shorter widths.
-  char buf[64];
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    double back = 0;
-    std::from_chars(buf, buf + std::char_traits<char>::length(buf), back);
-    if (back == v) break;
-  }
-  return buf;
+  // std::to_chars emits the shortest form that round-trips, in one pass
+  // (the old snprintf precision-retry loop formatted each value up to 17
+  // times and dominated SOAP envelope building).
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, end);
 }
 
 bool is_identifier(std::string_view name) {

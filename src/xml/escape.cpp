@@ -1,31 +1,45 @@
 #include "xml/escape.hpp"
 
+#include <array>
 #include <cstdint>
 
 namespace h2::xml {
 
 namespace {
 
-std::string escape_impl(std::string_view raw, bool attr) {
-  std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
-    switch (c) {
+/// Per-byte "needs escaping" tables so the scanners test one byte with one
+/// load instead of a switch per character.
+constexpr std::array<bool, 256> make_special(bool attr) {
+  std::array<bool, 256> table{};
+  table[static_cast<unsigned char>('&')] = true;
+  table[static_cast<unsigned char>('<')] = true;
+  table[static_cast<unsigned char>('>')] = true;
+  if (attr) {
+    table[static_cast<unsigned char>('"')] = true;
+    table[static_cast<unsigned char>('\'')] = true;
+  }
+  return table;
+}
+
+constexpr auto kTextSpecial = make_special(false);
+constexpr auto kAttrSpecial = make_special(true);
+
+void escape_to(std::string& out, std::string_view raw,
+               const std::array<bool, 256>& special) {
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (!special[static_cast<unsigned char>(raw[i])]) continue;
+    out.append(raw, run, i - run);
+    switch (raw[i]) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
-      case '"':
-        if (attr) { out += "&quot;"; break; }
-        out.push_back(c);
-        break;
-      case '\'':
-        if (attr) { out += "&apos;"; break; }
-        out.push_back(c);
-        break;
-      default: out.push_back(c);
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
     }
+    run = i + 1;
   }
-  return out;
+  out.append(raw, run, raw.size() - run);
 }
 
 /// Appends `cp` as UTF-8.
@@ -47,53 +61,113 @@ void append_utf8(std::string& out, std::uint32_t cp) {
   }
 }
 
+/// Parses the entity reference starting at `encoded[amp]` (the '&').
+/// On success sets `cp` to the decoded code point and returns the index
+/// one past the ';'.
+Result<std::size_t> parse_entity(std::string_view encoded, std::size_t amp,
+                                 std::uint32_t& cp) {
+  std::size_t semi = encoded.find(';', amp + 1);
+  if (semi == std::string_view::npos) {
+    return err::parse("unterminated entity reference");
+  }
+  std::string_view name = encoded.substr(amp + 1, semi - amp - 1);
+  if (name == "amp") cp = '&';
+  else if (name == "lt") cp = '<';
+  else if (name == "gt") cp = '>';
+  else if (name == "quot") cp = '"';
+  else if (name == "apos") cp = '\'';
+  else if (!name.empty() && name[0] == '#') {
+    cp = 0;
+    bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+    std::string_view digits = name.substr(hex ? 2 : 1);
+    if (digits.empty()) return err::parse("empty character reference");
+    for (char d : digits) {
+      std::uint32_t v;
+      if (d >= '0' && d <= '9') v = static_cast<std::uint32_t>(d - '0');
+      else if (hex && d >= 'a' && d <= 'f') v = static_cast<std::uint32_t>(d - 'a' + 10);
+      else if (hex && d >= 'A' && d <= 'F') v = static_cast<std::uint32_t>(d - 'A' + 10);
+      else return err::parse("bad character reference: &" + std::string(name) + ";");
+      cp = cp * (hex ? 16 : 10) + v;
+      if (cp > 0x10FFFF) return err::parse("character reference out of range");
+    }
+  } else {
+    return err::parse("unknown entity: &" + std::string(name) + ";");
+  }
+  return semi + 1;
+}
+
+bool is_ascii_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+
 }  // namespace
 
-std::string escape_text(std::string_view raw) { return escape_impl(raw, false); }
-std::string escape_attr(std::string_view raw) { return escape_impl(raw, true); }
+void escape_text_to(std::string& out, std::string_view raw) {
+  escape_to(out, raw, kTextSpecial);
+}
+
+void escape_attr_to(std::string& out, std::string_view raw) {
+  escape_to(out, raw, kAttrSpecial);
+}
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  escape_text_to(out, raw);
+  return out;
+}
+
+std::string escape_attr(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  escape_attr_to(out, raw);
+  return out;
+}
+
+Status decode_entities_to(std::string_view encoded, std::string& out) {
+  std::size_t i = 0;
+  while (i < encoded.size()) {
+    std::size_t amp = encoded.find('&', i);
+    if (amp == std::string_view::npos) {
+      out.append(encoded, i, encoded.size() - i);
+      return Status::success();
+    }
+    out.append(encoded, i, amp - i);
+    std::uint32_t cp = 0;
+    auto next = parse_entity(encoded, amp, cp);
+    if (!next.ok()) return next.error();
+    append_utf8(out, cp);
+    i = *next;
+  }
+  return Status::success();
+}
 
 Result<std::string> decode_entities(std::string_view encoded) {
   std::string out;
   out.reserve(encoded.size());
+  auto status = decode_entities_to(encoded, out);
+  if (!status.ok()) return status.error();
+  return out;
+}
+
+Status validate_entities(std::string_view raw, bool* all_whitespace) {
+  bool ws = true;
   std::size_t i = 0;
-  while (i < encoded.size()) {
-    char c = encoded[i];
+  while (i < raw.size()) {
+    char c = raw[i];
     if (c != '&') {
-      out.push_back(c);
+      if (ws && !is_ascii_ws(c)) ws = false;
       ++i;
       continue;
     }
-    std::size_t semi = encoded.find(';', i + 1);
-    if (semi == std::string_view::npos) {
-      return err::parse("unterminated entity reference");
-    }
-    std::string_view name = encoded.substr(i + 1, semi - i - 1);
-    if (name == "amp") out.push_back('&');
-    else if (name == "lt") out.push_back('<');
-    else if (name == "gt") out.push_back('>');
-    else if (name == "quot") out.push_back('"');
-    else if (name == "apos") out.push_back('\'');
-    else if (!name.empty() && name[0] == '#') {
-      std::uint32_t cp = 0;
-      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
-      std::string_view digits = name.substr(hex ? 2 : 1);
-      if (digits.empty()) return err::parse("empty character reference");
-      for (char d : digits) {
-        std::uint32_t v;
-        if (d >= '0' && d <= '9') v = static_cast<std::uint32_t>(d - '0');
-        else if (hex && d >= 'a' && d <= 'f') v = static_cast<std::uint32_t>(d - 'a' + 10);
-        else if (hex && d >= 'A' && d <= 'F') v = static_cast<std::uint32_t>(d - 'A' + 10);
-        else return err::parse("bad character reference: &" + std::string(name) + ";");
-        cp = cp * (hex ? 16 : 10) + v;
-        if (cp > 0x10FFFF) return err::parse("character reference out of range");
-      }
-      append_utf8(out, cp);
-    } else {
-      return err::parse("unknown entity: &" + std::string(name) + ";");
-    }
-    i = semi + 1;
+    std::uint32_t cp = 0;
+    auto next = parse_entity(raw, i, cp);
+    if (!next.ok()) return next.error();
+    if (ws && !(cp < 0x80 && is_ascii_ws(static_cast<char>(cp)))) ws = false;
+    i = *next;
   }
-  return out;
+  if (all_whitespace != nullptr) *all_whitespace = ws;
+  return Status::success();
 }
 
 }  // namespace h2::xml

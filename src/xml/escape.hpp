@@ -1,4 +1,7 @@
-// XML character escaping and entity decoding.
+// XML character escaping and entity decoding. The *_to variants append to
+// a caller-owned buffer and scan for special characters in bulk runs —
+// they are the fast path used by the streaming SOAP writer and the pull
+// parser; the value-returning forms are conveniences built on top.
 #pragma once
 
 #include <string>
@@ -8,6 +11,13 @@
 
 namespace h2::xml {
 
+/// Escapes &, < and > (text content), appending to `out`. Ordinary
+/// characters are appended in whole runs, not one at a time.
+void escape_text_to(std::string& out, std::string_view raw);
+
+/// Escapes &, <, >, " and ' (attribute values), appending to `out`.
+void escape_attr_to(std::string& out, std::string_view raw);
+
 /// Escapes &, <, > (text content).
 std::string escape_text(std::string_view raw);
 
@@ -15,7 +25,17 @@ std::string escape_text(std::string_view raw);
 std::string escape_attr(std::string_view raw);
 
 /// Decodes the five predefined entities plus decimal/hex character
-/// references (&#65; / &#x41;). Unknown entities are a parse error.
+/// references (&#65; / &#x41;), appending to `out`. Unknown entities are
+/// a parse error.
+Status decode_entities_to(std::string_view encoded, std::string& out);
+
+/// As decode_entities_to, into a fresh string.
 Result<std::string> decode_entities(std::string_view encoded);
+
+/// Checks that every entity reference in `raw` is well formed without
+/// allocating. When `all_whitespace` is non-null it is additionally set to
+/// whether the *decoded* text would consist solely of ASCII whitespace
+/// (character references are resolved for the check; no buffer is built).
+Status validate_entities(std::string_view raw, bool* all_whitespace = nullptr);
 
 }  // namespace h2::xml
