@@ -105,6 +105,7 @@ Result<std::string> Container::deploy_impl(std::string_view plugin_name,
       return handle.error().context("xdr endpoint for " + id);
     }
     deployed.xdr_server.emplace(std::move(*handle));
+    deployed.xdr_port = port;
     endpoints.push_back({wsdl::BindingKind::kXdr,
                          "xdr://" + net_.host_name(host_) + ":" + std::to_string(port),
                          {}});
@@ -214,6 +215,49 @@ Status Container::undeploy(std::string_view instance_id) {
     published_keys_.erase(pub);
   }
   logger().debug(name_ + ": undeployed " + std::string(instance_id));
+  return Status::success();
+}
+
+Status Container::crash() {
+  if (crashed_) return Status::success();
+  bool soap_was_running = soap_server_.running();
+  for (auto& [id, deployed] : components_) {
+    deployed.xdr_server.reset();
+    deployed.plugin->on_crash();
+  }
+  soap_server_.stop();
+  // Remember whether the HTTP server must come back; a stopped server with
+  // mounts but no prior start() stays down on restart.
+  soap_was_running_ = soap_was_running;
+  kernel_.for_each_plugin([](kernel::Plugin& plugin) { plugin.on_crash(); });
+  kernel_.events().publish("container/lifecycle", Value::of_string("crash:" + name_));
+  crashed_ = true;
+  logger().warn(name_ + ": crashed (endpoints dark)");
+  return Status::success();
+}
+
+Status Container::restart() {
+  if (!crashed_) return Status::success();
+  for (auto& [id, deployed] : components_) {
+    if (deployed.xdr_port == 0) continue;
+    auto handle = net::serve_xdr(
+        net_, host_, deployed.xdr_port,
+        std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+    if (!handle.ok()) {
+      return handle.error().context("restart: xdr endpoint for " + id);
+    }
+    deployed.xdr_server.emplace(std::move(*handle));
+  }
+  if (soap_was_running_) {
+    if (auto status = soap_server_.start(); !status.ok()) {
+      return status.error().context("restart: http server of " + name_);
+    }
+  }
+  crashed_ = false;
+  for (auto& [id, deployed] : components_) deployed.plugin->on_restart();
+  kernel_.for_each_plugin([](kernel::Plugin& plugin) { plugin.on_restart(); });
+  kernel_.events().publish("container/lifecycle", Value::of_string("restart:" + name_));
+  logger().debug(name_ + ": restarted (endpoints re-bound)");
   return Status::success();
 }
 

@@ -103,6 +103,22 @@ class Container {
   std::vector<ComponentRecord> components() const;
   std::size_t component_count() const { return components_.size(); }
 
+  // ---- crash/restart (simulation lifecycle) -----------------------------------
+
+  /// Abrupt failure: every network endpoint of this container goes dark at
+  /// once — per-instance XDR servers and the shared HTTP server. Unlike
+  /// undeploy(), nothing is unregistered: component instances, WSDL and
+  /// registry bookkeeping survive in memory, modeling a node whose network
+  /// presence died but whose state is recoverable. Idempotent.
+  Status crash();
+
+  /// Re-binds every endpoint crash() tore down, on the original
+  /// addresses, and notifies plugins via on_restart(). No-op when the
+  /// container is not crashed.
+  Status restart();
+
+  bool crashed() const { return crashed_; }
+
   /// The WSDL document for one instance.
   Result<wsdl::Definitions> describe(std::string_view instance_id) const;
 
@@ -158,6 +174,7 @@ class Container {
     ComponentRecord record;
     std::unique_ptr<kernel::Plugin> plugin;
     std::optional<net::ServerHandle> xdr_server;
+    std::uint16_t xdr_port = 0;  // 0 = no xdr endpoint; kept for restart()
     std::string soap_path;  // empty if no soap endpoint
     std::string http_path;  // empty if no raw http endpoint
     std::string mime_path;  // empty if no mime endpoint
@@ -182,6 +199,8 @@ class Container {
   std::map<std::string, std::string, std::less<>> published_keys_;  // instance -> external key
   std::uint16_t next_xdr_port_ = kXdrPortBase;
   std::uint64_t next_instance_ = 1;
+  bool crashed_ = false;
+  bool soap_was_running_ = false;  // restore the HTTP server on restart()
 };
 
 }  // namespace h2::container

@@ -4,14 +4,15 @@ namespace h2::dvm {
 
 namespace {
 
-class FullSynchrony final : public CoherencyProtocol {
+class FullSynchrony : public CoherencyProtocol {
  public:
   const char* name() const override { return "full-synchrony"; }
 
   Status update(std::span<DvmNode* const> members, std::size_t origin,
                 std::string_view key, std::string_view value) override {
     members[origin]->state().set(std::string(key), std::string(value));
-    for (std::size_t i = 0; i < members.size(); ++i) {
+    std::size_t fan_out = replication_cutoff(members.size());
+    for (std::size_t i = 0; i < fan_out; ++i) {
       if (i == origin) continue;
       if (auto status = members[origin]->remote_set(*members[i], key, value);
           !status.ok()) {
@@ -57,6 +58,23 @@ class FullSynchrony final : public CoherencyProtocol {
       }
     }
     return Status::success();
+  }
+
+ protected:
+  /// How many leading members the update fan-out covers. The correct
+  /// protocol covers all of them; the test-only buggy variant overrides
+  /// this to plant a stale replica.
+  virtual std::size_t replication_cutoff(std::size_t member_count) const {
+    return member_count;
+  }
+};
+
+/// TEST ONLY — see make_full_synchrony_buggy_for_test().
+class FullSynchronyBuggy final : public FullSynchrony {
+ protected:
+  std::size_t replication_cutoff(std::size_t member_count) const override {
+    // Planted bug: the last member never receives updates.
+    return member_count > 1 ? member_count - 1 : member_count;
   }
 };
 
@@ -156,6 +174,10 @@ std::unique_ptr<CoherencyProtocol> make_decentralized() {
 
 std::unique_ptr<CoherencyProtocol> make_neighborhood(std::size_t k) {
   return std::make_unique<Neighborhood>(k);
+}
+
+std::unique_ptr<CoherencyProtocol> make_full_synchrony_buggy_for_test() {
+  return std::make_unique<FullSynchronyBuggy>();
 }
 
 }  // namespace h2::dvm

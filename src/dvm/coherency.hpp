@@ -67,4 +67,11 @@ std::unique_ptr<CoherencyProtocol> make_decentralized();
 /// Full synchrony within a ring k-neighborhood, distributed query beyond.
 std::unique_ptr<CoherencyProtocol> make_neighborhood(std::size_t k);
 
+/// TEST ONLY. Full synchrony with a deliberately planted coherency bug:
+/// the replication fan-out silently skips the last member, so its replica
+/// goes stale on every update. The simulation suite uses this to prove
+/// the invariant checkers catch real coherency violations (and that a
+/// failing seed replays them). Never wire into production paths.
+std::unique_ptr<CoherencyProtocol> make_full_synchrony_buggy_for_test();
+
 }  // namespace h2::dvm

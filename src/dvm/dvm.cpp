@@ -66,6 +66,7 @@ Result<std::size_t> Dvm::add_node(container::Container& container) {
       !status.ok()) {
     return status.error();
   }
+  ++epoch_;
   announce("dvm/membership", "joined:" + container.name());
   logger().debug(name_ + ": node " + container.name() + " joined");
   return index;
@@ -81,6 +82,7 @@ Status Dvm::remove_node(std::string_view node_name) {
   DvmNode* node = alive[*index];
   node->stop();
   node->set_alive(false);
+  ++epoch_;
   announce("dvm/membership", "left:" + std::string(node_name));
   return Status::success();
 }
@@ -96,9 +98,56 @@ Status Dvm::mark_failed(std::string_view node_name) {
     // Any survivor records the failure; errors here are secondary.
     (void)protocol_->update(survivors, 0, "node/" + std::string(node_name), "failed");
   }
+  ++epoch_;
   announce("dvm/membership", "failed:" + std::string(node_name));
   logger().warn(name_ + ": node " + std::string(node_name) + " marked failed");
   return Status::success();
+}
+
+Status Dvm::crash_node(std::string_view node_name) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  DvmNode* victim = alive_members()[*index];
+  // Endpoints first: once the container is dark, mark_failed cannot
+  // accidentally talk to the victim.
+  if (auto status = victim->container().crash(); !status.ok()) return status;
+  return mark_failed(node_name);
+}
+
+Result<std::size_t> Dvm::rejoin(std::string_view node_name) {
+  for (auto& member : members_) {
+    if (!member.node || member.node->name() != node_name) continue;
+    if (member.node->alive()) {
+      return err::already_exists("dvm " + name_ + ": node '" + std::string(node_name) +
+                                 "' is already alive");
+    }
+    if (auto status = member.node->container().restart(); !status.ok()) {
+      return status.error().context("dvm " + name_ + " rejoin");
+    }
+    if (auto status = member.node->start(); !status.ok()) {
+      return status.error().context("dvm " + name_ + " rejoin");
+    }
+    member.node->set_alive(true);
+    auto alive = alive_members();
+    auto index = alive_index(node_name);
+    if (!index.ok()) return index.error();
+    // Back-fill the returnee exactly like a fresh join, then put the
+    // membership record right again.
+    if (auto status = protocol_->on_join(alive, *index); !status.ok()) {
+      // Half-joined is worse than failed: drop the node back out.
+      member.node->set_alive(false);
+      member.node->stop();
+      (void)member.node->container().crash();
+      return status.error().context("dvm " + name_ + " rejoin back-fill");
+    }
+    (void)protocol_->update(alive, *index, "node/" + std::string(node_name), "alive");
+    ++epoch_;
+    announce("dvm/membership", "rejoined:" + std::string(node_name));
+    logger().debug(name_ + ": node " + std::string(node_name) + " rejoined");
+    return index;
+  }
+  return err::not_found("dvm " + name_ + ": node '" + std::string(node_name) +
+                        "' was never enrolled");
 }
 
 Result<std::vector<std::string>> Dvm::probe(std::string_view from_node) {
@@ -135,6 +184,14 @@ DvmNode* Dvm::node(std::string_view node_name) {
 
 bool Dvm::is_member(std::string_view node_name) const {
   return alive_index(node_name).ok();
+}
+
+std::vector<const DvmNode*> Dvm::all_members() const {
+  std::vector<const DvmNode*> out;
+  for (const auto& member : members_) {
+    if (member.node) out.push_back(member.node.get());
+  }
+  return out;
 }
 
 Status Dvm::set(std::string_view node_name, std::string_view key,

@@ -59,10 +59,30 @@ class Dvm {
   /// names of nodes newly declared failed.
   Result<std::vector<std::string>> probe(std::string_view from_node);
 
+  /// Abrupt node death: the member's container endpoints go dark
+  /// (container::Container::crash()) and the node is marked failed — the
+  /// simulation harness's "kill -9". Survivors record the failure.
+  Status crash_node(std::string_view node_name);
+
+  /// Brings a failed member back: its container restarts on the original
+  /// addresses, the state service re-binds, and the coherency protocol's
+  /// join back-fill runs so the returnee converges with the survivors.
+  /// Returns the node's index among the alive members.
+  Result<std::size_t> rejoin(std::string_view node_name);
+
   std::size_t node_count() const;  ///< alive nodes
   std::vector<std::string> node_names() const;
   DvmNode* node(std::string_view node_name);
   bool is_member(std::string_view node_name) const;
+
+  /// Every enrolled member, dead ones included — the observable membership
+  /// history the simulation invariants check against.
+  std::vector<const DvmNode*> all_members() const;
+
+  /// Monotonic membership epoch: bumped by every join, departure, failure
+  /// and rejoin. Never decreases; simulation invariants assert exactly
+  /// one bump per membership event.
+  std::uint64_t epoch() const { return epoch_; }
 
   // ---- distributed global state ------------------------------------------------
 
@@ -114,6 +134,7 @@ class Dvm {
   std::unique_ptr<CoherencyProtocol> protocol_;
   std::vector<Member> members_;
   std::size_t components_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace h2::dvm

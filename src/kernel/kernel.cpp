@@ -65,6 +65,10 @@ std::vector<PluginInfo> Kernel::loaded() const {
   return out;
 }
 
+void Kernel::for_each_plugin(const std::function<void(Plugin&)>& fn) {
+  for (auto& [name, plugin] : plugins_) fn(*plugin);
+}
+
 Result<net::Dispatcher*> Kernel::service(std::string_view plugin_name) {
   Plugin* plugin = find(plugin_name);
   if (plugin == nullptr) {

@@ -50,6 +50,10 @@ class Kernel {
   std::vector<PluginInfo> loaded() const;
   std::size_t plugin_count() const { return plugins_.size(); }
 
+  /// Deterministic lifecycle fan-out (name order): the container's
+  /// crash/restart simulation uses this to notify kernel-loaded plugins.
+  void for_each_plugin(const std::function<void(Plugin&)>& fn);
+
   // ---- inter-plugin services ---------------------------------------------------
 
   /// The service surface of a loaded plugin — how plugins leverage each

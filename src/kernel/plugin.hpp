@@ -47,6 +47,19 @@ class Plugin : public net::Dispatcher {
   /// Called before unload; release acquired services here.
   virtual void shutdown() {}
 
+  // ---- crash/restart lifecycle -------------------------------------------------
+  // The simulation harness kills and revives containers abruptly. Unlike
+  // shutdown(), a crash is not a chance to clean up — it models the
+  // process dying mid-flight. Plugins that hold network endpoints or
+  // cross-host sessions override these to drop and re-acquire them.
+
+  /// The hosting container just went dark; any network-visible resource
+  /// this plugin holds is already unreachable.
+  virtual void on_crash() {}
+
+  /// The hosting container came back on its original addresses.
+  virtual void on_restart() {}
+
   // ---- mobility hooks ---------------------------------------------------------
   // "Mobile components may even move from one host to another during run
   // time" (Section 5). A migratable plugin serializes its state into a

@@ -1,0 +1,443 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+
+#include "plugins/standard.hpp"
+#include "sim/invariant.hpp"
+
+namespace h2::sim {
+
+namespace {
+
+/// One-way datagram port the harness's noise traffic targets. Every host
+/// gets a counting sink here so dup/delay/reorder chaos is exercised by
+/// real deliveries, not just dropped frames.
+constexpr std::uint16_t kNoisePort = 7700;
+
+const char* protocol_label(SimConfig::Protocol protocol) {
+  switch (protocol) {
+    case SimConfig::Protocol::kFullSynchrony:
+      return "full-synchrony";
+    case SimConfig::Protocol::kDecentralized:
+      return "decentralized";
+    case SimConfig::Protocol::kNeighborhood:
+      return "neighborhood";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SimHarness::SimHarness(SimConfig config, std::uint64_t seed)
+    : config_(std::move(config)), seed_(seed), rng_(seed) {}
+
+SimHarness::~SimHarness() = default;
+
+void SimHarness::add_invariant(std::unique_ptr<Invariant> invariant) {
+  invariants_.push_back(std::move(invariant));
+}
+
+std::string SimHarness::node_name(std::size_t index) const {
+  return "n" + std::to_string(index);
+}
+
+std::string SimHarness::key_name(std::size_t index) const {
+  return "k" + std::to_string(index);
+}
+
+std::string SimHarness::random_alive_node() {
+  auto names = dvm_->node_names();
+  return names[rng_.next_below(names.size())];
+}
+
+Status SimHarness::setup() {
+  if (config_.nodes < 2) return err::invalid_argument("sim: need at least 2 nodes");
+  if (auto status = plugins::register_standard_plugins(repo_); !status.ok()) {
+    return status;
+  }
+  std::unique_ptr<dvm::CoherencyProtocol> protocol;
+  switch (config_.protocol) {
+    case SimConfig::Protocol::kFullSynchrony:
+      protocol = config_.buggy_coherency ? dvm::make_full_synchrony_buggy_for_test()
+                                         : dvm::make_full_synchrony();
+      break;
+    case SimConfig::Protocol::kDecentralized:
+      protocol = dvm::make_decentralized();
+      break;
+    case SimConfig::Protocol::kNeighborhood:
+      protocol = dvm::make_neighborhood(config_.neighborhood_k);
+      break;
+  }
+  dvm_ = std::make_unique<dvm::Dvm>(config_.scenario, std::move(protocol));
+
+  trace_.record(0, "boot",
+                config_.scenario + " nodes=" + std::to_string(config_.nodes) +
+                    " protocol=" + protocol_label(config_.protocol) +
+                    (config_.buggy_coherency ? "(buggy)" : "") +
+                    " seed=" + std::to_string(seed_));
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    std::string name = node_name(i);
+    auto host = net_.add_host(name);
+    if (!host.ok()) return host.error();
+    if (auto status = net_.listen(*host, kNoisePort,
+                                  [this](std::span<const std::uint8_t>) -> Result<ByteBuffer> {
+                                    ++noise_delivered_;
+                                    return ByteBuffer{};
+                                  });
+        !status.ok()) {
+      return status;
+    }
+    containers_.push_back(
+        std::make_unique<container::Container>(name, repo_, net_, *host));
+    auto index = dvm_->add_node(*containers_.back());
+    if (!index.ok()) return index.error();
+    ++membership_events_;
+    trace_.record(net_.clock().now(), "join", name);
+  }
+  return Status::success();
+}
+
+void SimHarness::install_chaos() {
+  const MessageChaos& chaos = config_.plan.message_chaos();
+  if (!chaos.enabled()) return;
+  net_.set_fault_hook([this, chaos](const net::MessageInfo& info) {
+    net::FaultDecision decision;
+    // Fixed draw order keeps the PRNG stream identical across runs.
+    decision.drop = rng_.next_bool(chaos.drop_p);
+    bool duplicate = rng_.next_bool(chaos.dup_p);
+    bool delayed = rng_.next_bool(chaos.delay_p);
+    if (info.is_call) return decision;  // calls can only be refused
+    if (duplicate) decision.duplicates = 1;
+    if (delayed && chaos.max_delay > 0) {
+      decision.delay = static_cast<Nanos>(
+          rng_.next_below(static_cast<std::uint64_t>(chaos.max_delay)));
+    }
+    return decision;
+  });
+}
+
+void SimHarness::uninstall_chaos() { net_.set_fault_hook(nullptr); }
+
+void SimHarness::prune_ledger_for_dead_node(const std::string& node) {
+  // Only full synchrony guarantees a key outlives its origin; the other
+  // protocols legitimately lose keys with the node that wrote them.
+  if (config_.protocol == SimConfig::Protocol::kFullSynchrony) return;
+  for (auto it = ledger_.begin(); it != ledger_.end();) {
+    if (it->second.origin_node == node) {
+      it = ledger_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SimHarness::note_failures(const std::vector<std::string>& failed) {
+  for (const std::string& name : failed) {
+    ++membership_events_;
+    prune_ledger_for_dead_node(name);
+    trace_.record(net_.clock().now(), "failed", name);
+  }
+}
+
+Status SimHarness::apply_action(const FaultAction& action, std::size_t step) {
+  Nanos now = net_.clock().now();
+  switch (action.kind) {
+    case FaultAction::Kind::kPartition: {
+      auto a = static_cast<net::HostId>(action.a);
+      auto b = static_cast<net::HostId>(action.b);
+      if (auto status = net_.partition(a, b); !status.ok()) return status;
+      partitions_.emplace_back(action.a, action.b);
+      trace_.record(now, "partition", node_name(action.a) + "|" + node_name(action.b));
+      break;
+    }
+    case FaultAction::Kind::kHeal: {
+      auto a = static_cast<net::HostId>(action.a);
+      auto b = static_cast<net::HostId>(action.b);
+      if (auto status = net_.heal(a, b); !status.ok()) return status;
+      std::erase(partitions_, std::make_pair(action.a, action.b));
+      trace_.record(now, "heal", node_name(action.a) + "|" + node_name(action.b));
+      break;
+    }
+    case FaultAction::Kind::kCrash: {
+      std::string name = node_name(action.a);
+      if (!dvm_->is_member(name)) {
+        trace_.record(now, "crash-skip", name + " already dead");
+        break;
+      }
+      if (auto status = dvm_->crash_node(name); !status.ok()) return status;
+      ++membership_events_;
+      prune_ledger_for_dead_node(name);
+      trace_.record(now, "crash", name);
+      break;
+    }
+    case FaultAction::Kind::kRestart: {
+      std::string name = node_name(action.a);
+      if (dvm_->is_member(name)) {
+        trace_.record(now, "restart-skip", name + " already alive");
+        break;
+      }
+      auto index = dvm_->rejoin(name);
+      if (index.ok()) {
+        ++membership_events_;
+        trace_.record(now, "restart", name);
+      } else {
+        // A rejoin blocked by an active partition is chaos, not a bug.
+        trace_.record(now, "restart-failed", name + ": " + index.error().message());
+      }
+      break;
+    }
+    case FaultAction::Kind::kClockSkew: {
+      net_.clock().advance(action.skew);
+      trace_.record(net_.clock().now(), "skew", "+" + std::to_string(action.skew) + "ns");
+      break;
+    }
+  }
+  ++report_.faults_applied;
+  (void)step;
+  return Status::success();
+}
+
+Status SimHarness::apply_random_faults(std::size_t step) {
+  const RandomFaults& profile = config_.plan.random_faults();
+  // Fixed roll order, every step, so the PRNG stream only depends on the
+  // profile — not on which faults happened to fire.
+  bool do_partition = rng_.next_bool(profile.partition_p);
+  bool do_heal = rng_.next_bool(profile.heal_p);
+  bool do_crash = rng_.next_bool(profile.crash_p);
+  bool do_restart = rng_.next_bool(profile.restart_p);
+  bool do_skew = rng_.next_bool(profile.skew_p);
+
+  if (do_partition && config_.nodes >= 2) {
+    std::size_t a = rng_.next_below(config_.nodes);
+    std::size_t b = rng_.next_below(config_.nodes - 1);
+    if (b >= a) ++b;
+    if (a > b) std::swap(a, b);
+    if (std::find(partitions_.begin(), partitions_.end(), std::make_pair(a, b)) ==
+        partitions_.end()) {
+      if (auto status = apply_action(
+              {FaultAction::Kind::kPartition, step, a, b, 0}, step);
+          !status.ok()) {
+        return status;
+      }
+    }
+  }
+  if (do_heal && !partitions_.empty()) {
+    auto [a, b] = partitions_[rng_.next_below(partitions_.size())];
+    if (auto status = apply_action({FaultAction::Kind::kHeal, step, a, b, 0}, step);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (do_crash && dvm_->node_count() > profile.min_alive) {
+    auto names = dvm_->node_names();
+    const std::string& victim = names[rng_.next_below(names.size())];
+    std::size_t index = std::stoul(victim.substr(1));
+    if (auto status = apply_action({FaultAction::Kind::kCrash, step, index, 0, 0}, step);
+        !status.ok()) {
+      return status;
+    }
+  }
+  if (do_restart) {
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < config_.nodes; ++i) {
+      if (!dvm_->is_member(node_name(i))) dead.push_back(i);
+    }
+    if (!dead.empty()) {
+      std::size_t index = dead[rng_.next_below(dead.size())];
+      if (auto status =
+              apply_action({FaultAction::Kind::kRestart, step, index, 0, 0}, step);
+          !status.ok()) {
+        return status;
+      }
+    }
+  }
+  if (do_skew && profile.max_skew > 0) {
+    auto skew = static_cast<Nanos>(
+        rng_.next_below(static_cast<std::uint64_t>(profile.max_skew)));
+    if (auto status =
+            apply_action({FaultAction::Kind::kClockSkew, step, 0, 0, skew}, step);
+        !status.ok()) {
+      return status;
+    }
+  }
+  return Status::success();
+}
+
+Status SimHarness::run_op(std::size_t step) {
+  const OpWeights& w = config_.weights;
+  double total = w.set + w.get + w.erase + w.deploy + w.probe + w.noise + w.pump;
+  double roll = rng_.next_double() * total;
+  Nanos now = net_.clock().now();
+  ++report_.ops_executed;
+
+  if ((roll -= w.set) < 0) {
+    std::string origin = random_alive_node();
+    std::string key = key_name(rng_.next_below(config_.key_space));
+    std::string value = "v" + std::to_string(step) + "-" +
+                        std::to_string(rng_.next_below(1000));
+    auto status = dvm_->set(origin, key, value);
+    if (status.ok()) {
+      ledger_[key] = LedgerEntry{value, origin, true};
+      trace_.record(now, "set", origin + " " + key + "=" + value + " ok");
+    } else {
+      // A failed fan-out may have replicated partially; the key's value is
+      // indeterminate until the settle phase rewrites it.
+      if (auto it = ledger_.find(key); it != ledger_.end()) it->second.clean = false;
+      trace_.record(now, "set", origin + " " + key + " FAILED");
+    }
+    return Status::success();
+  }
+  if ((roll -= w.get) < 0) {
+    std::string origin = random_alive_node();
+    std::string key = key_name(rng_.next_below(config_.key_space));
+    auto value = dvm_->get(origin, key);
+    trace_.record(now, "get",
+                  origin + " " + key + (value.ok() ? "=" + *value : " miss"));
+    // Full synchrony promises read-your-writes on every replica for any
+    // cleanly acknowledged key — check inline, not just at settle points.
+    if (config_.protocol == SimConfig::Protocol::kFullSynchrony) {
+      auto it = ledger_.find(key);
+      if (it != ledger_.end() && it->second.clean) {
+        if (!value.ok()) {
+          return violation(step, "read-your-writes",
+                           err::internal(origin + " lost key " + key + ": " +
+                                         value.error().message()));
+        }
+        if (*value != it->second.value) {
+          return violation(step, "read-your-writes",
+                           err::internal(origin + " read stale " + key + "='" +
+                                         *value + "', acknowledged '" +
+                                         it->second.value + "'"));
+        }
+      }
+    }
+    return Status::success();
+  }
+  if ((roll -= w.erase) < 0) {
+    std::string origin = random_alive_node();
+    std::string key = key_name(rng_.next_below(config_.key_space));
+    auto status = dvm_->erase(origin, key);
+    // Deleted (or half-deleted) keys carry no further guarantees.
+    ledger_.erase(key);
+    trace_.record(now, "erase", origin + " " + key + (status.ok() ? " ok" : " FAILED"));
+    return Status::success();
+  }
+  if ((roll -= w.deploy) < 0) {
+    std::string origin = random_alive_node();
+    auto qualified = dvm_->deploy(origin, "ping");
+    if (qualified.ok()) {
+      auto slash = qualified->rfind('/');
+      deployed_.push_back(
+          DeployedComponent{*qualified, origin, qualified->substr(slash + 1)});
+      trace_.record(now, "deploy", *qualified);
+    } else {
+      trace_.record(now, "deploy", origin + " FAILED");
+    }
+    return Status::success();
+  }
+  if ((roll -= w.probe) < 0) {
+    std::string prober = random_alive_node();
+    auto failed = dvm_->probe(prober);
+    if (!failed.ok()) return failed.error();
+    note_failures(*failed);
+    trace_.record(now, "probe",
+                  prober + " found " + std::to_string(failed->size()) + " failed");
+    return Status::success();
+  }
+  if ((roll -= w.noise) < 0) {
+    auto from = static_cast<net::HostId>(rng_.next_below(config_.nodes));
+    auto to = static_cast<net::HostId>(rng_.next_below(config_.nodes));
+    auto payload = rng_.bytes(1 + rng_.next_below(256));
+    auto status = net_.send(from, to, kNoisePort, ByteBuffer(std::move(payload)));
+    if (status.ok()) ++noise_sent_;
+    trace_.record(now, "noise",
+                  node_name(from) + ">" + node_name(to) +
+                      (status.ok() ? " sent" : " blocked"));
+    return Status::success();
+  }
+  std::size_t delivered = net_.pump();
+  trace_.record(net_.clock().now(), "pump", std::to_string(delivered) + " delivered");
+  return Status::success();
+}
+
+Status SimHarness::settle_and_check(std::size_t step) {
+  // Settle: chaos off, all links healed, all in-flight traffic delivered.
+  uninstall_chaos();
+  for (auto [a, b] : partitions_) {
+    (void)net_.heal(static_cast<net::HostId>(a), static_cast<net::HostId>(b));
+  }
+  partitions_.clear();
+  std::size_t delivered = net_.pump();
+  trace_.record(net_.clock().now(), "settle",
+                "step=" + std::to_string(step) + " drained=" + std::to_string(delivered));
+
+  // Repair: rewrite every indeterminate key so the convergence contract
+  // is meaningful again (mirrors "state written after the last failure").
+  for (auto& [key, entry] : ledger_) {
+    if (entry.clean) continue;
+    auto names = dvm_->node_names();
+    const std::string& origin = names.front();
+    std::string value = "repair" + std::to_string(step) + "-" + key;
+    auto status = dvm_->set(origin, key, value);
+    if (!status.ok()) {
+      return violation(step, "settle-repair",
+                       status.error().context("rewrite of dirty key " + key));
+    }
+    entry = LedgerEntry{value, origin, true};
+    trace_.record(net_.clock().now(), "repair", key + "=" + value);
+  }
+
+  for (auto& invariant : invariants_) {
+    ++report_.checks_run;
+    if (auto status = invariant->check(*this); !status.ok()) {
+      return violation(step, invariant->name(), status.error());
+    }
+  }
+  trace_.record(net_.clock().now(), "check",
+                std::to_string(invariants_.size()) + " invariants ok");
+  install_chaos();
+  return Status::success();
+}
+
+Error SimHarness::violation(std::size_t step, const std::string& what,
+                            const Error& cause) {
+  trace_.record(net_.clock().now(), "violation", what + ": " + cause.message());
+  return err::internal("scenario=" + config_.scenario + " seed=" + std::to_string(seed_) +
+                       " step=" + std::to_string(step) + " invariant '" + what +
+                       "': " + cause.message() + " (replay: simrunner --scenario=" +
+                       config_.scenario + " --seed=" + std::to_string(seed_) + ")");
+}
+
+Result<RunReport> SimHarness::run() {
+  report_ = RunReport{};
+  report_.seed = seed_;
+  if (auto status = setup(); !status.ok()) {
+    return status.error().context("sim setup (scenario=" + config_.scenario +
+                                  " seed=" + std::to_string(seed_) + ")");
+  }
+  install_chaos();
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    for (const FaultAction& action : config_.plan.actions_at(step)) {
+      if (auto status = apply_action(action, step); !status.ok()) {
+        return status.error();
+      }
+    }
+    if (auto status = apply_random_faults(step); !status.ok()) return status.error();
+    if (auto status = run_op(step); !status.ok()) return status.error();
+    ++report_.steps_executed;
+    if (config_.check_every > 0 && (step + 1) % config_.check_every == 0) {
+      if (auto status = settle_and_check(step); !status.ok()) return status.error();
+    }
+  }
+  if (auto status = settle_and_check(config_.steps); !status.ok()) {
+    return status.error();
+  }
+  trace_.record(net_.clock().now(), "done",
+                "ops=" + std::to_string(report_.ops_executed) +
+                    " faults=" + std::to_string(report_.faults_applied) +
+                    " noise=" + std::to_string(noise_delivered_) + "/" +
+                    std::to_string(noise_sent_));
+  return report_;
+}
+
+}  // namespace h2::sim

@@ -1,0 +1,145 @@
+// SimHarness — the deterministic simulation driver (FoundationDB-style,
+// scaled to this repo). One harness owns everything nondeterministic:
+//   - a seeded PRNG (the *only* randomness source in a run),
+//   - a SimNetwork whose VirtualClock is the only notion of time,
+//   - the kernel/container/DVM stack under test.
+// It executes a randomized schedule of DVM operations, interprets a
+// declarative FaultPlan (message chaos, partitions, crashes, restarts,
+// clock skew), and at settle points pauses the chaos and runs Invariant
+// checkers. Identical (scenario, seed) pairs produce byte-identical event
+// traces; a violation reports the seed so any failure replays with
+// `simrunner --scenario=X --seed=S`.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "dvm/dvm.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+
+namespace h2::sim {
+
+class Invariant;
+
+/// Relative frequencies of the schedule operations (normalized internally).
+struct OpWeights {
+  double set = 0.35;
+  double get = 0.25;
+  double erase = 0.05;
+  double deploy = 0.05;
+  double probe = 0.10;
+  double noise = 0.10;  ///< one-way datagram traffic (exercises dup/delay/reorder)
+  double pump = 0.10;   ///< deliver queued one-way messages
+};
+
+struct SimConfig {
+  std::string scenario = "adhoc";  ///< stamped into the trace header
+  std::size_t nodes = 4;
+  std::size_t steps = 80;
+  std::size_t check_every = 20;  ///< settle + invariant check cadence
+  std::size_t key_space = 8;     ///< distinct state keys the schedule touches
+
+  enum class Protocol { kFullSynchrony, kDecentralized, kNeighborhood };
+  Protocol protocol = Protocol::kFullSynchrony;
+  std::size_t neighborhood_k = 1;
+
+  /// TEST ONLY: plug the deliberately broken full-synchrony protocol so a
+  /// scenario can prove its invariants catch real coherency bugs.
+  bool buggy_coherency = false;
+
+  OpWeights weights;
+  FaultPlan plan;
+};
+
+/// Successful-run summary.
+struct RunReport {
+  std::uint64_t seed = 0;
+  std::size_t steps_executed = 0;
+  std::size_t ops_executed = 0;
+  std::size_t faults_applied = 0;  ///< explicit + random fault actions
+  std::size_t checks_run = 0;      ///< invariant evaluations
+};
+
+class SimHarness {
+ public:
+  SimHarness(SimConfig config, std::uint64_t seed);
+  ~SimHarness();
+
+  SimHarness(const SimHarness&) = delete;
+  SimHarness& operator=(const SimHarness&) = delete;
+
+  void add_invariant(std::unique_ptr<Invariant> invariant);
+
+  /// Builds the cluster and drives the full schedule. On an invariant
+  /// violation returns an error carrying scenario, seed and step; the
+  /// trace (including the violation event) stays readable afterwards.
+  Result<RunReport> run();
+
+  // ---- observable state (used by invariants and tests) -----------------------
+
+  /// Last acknowledged write per key. `clean` means the most recent set of
+  /// that key was fully acknowledged; a dirty entry had a failed overwrite
+  /// and only supports existence checks until repaired.
+  struct LedgerEntry {
+    std::string value;
+    std::string origin_node;  ///< node that issued the write
+    bool clean = true;
+  };
+
+  /// One successful Dvm::deploy the schedule performed.
+  struct DeployedComponent {
+    std::string qualified;  ///< "<dvm>/<node>/<instance>"
+    std::string node;
+    std::string instance;
+  };
+
+  dvm::Dvm& dvm() { return *dvm_; }
+  net::SimNetwork& net() { return net_; }
+  const std::map<std::string, LedgerEntry>& ledger() const { return ledger_; }
+  const std::vector<DeployedComponent>& deployed() const { return deployed_; }
+  std::uint64_t membership_events() const { return membership_events_; }
+  const EventTrace& trace() const { return trace_; }
+  const SimConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::string node_name(std::size_t index) const;
+  std::string random_alive_node();
+  std::string key_name(std::size_t index) const;
+
+  Status setup();
+  void install_chaos();
+  void uninstall_chaos();
+  Status apply_action(const FaultAction& action, std::size_t step);
+  Status apply_random_faults(std::size_t step);
+  Status run_op(std::size_t step);
+  Status settle_and_check(std::size_t step);
+  Error violation(std::size_t step, const std::string& what, const Error& cause);
+  void prune_ledger_for_dead_node(const std::string& node);
+  void note_failures(const std::vector<std::string>& failed);
+
+  SimConfig config_;
+  std::uint64_t seed_;
+  Rng rng_;
+  net::SimNetwork net_;
+  kernel::PluginRepository repo_;
+  std::vector<std::unique_ptr<container::Container>> containers_;
+  std::unique_ptr<dvm::Dvm> dvm_;
+  std::vector<std::unique_ptr<Invariant>> invariants_;
+  EventTrace trace_;
+
+  std::map<std::string, LedgerEntry> ledger_;
+  std::vector<DeployedComponent> deployed_;
+  std::vector<std::pair<std::size_t, std::size_t>> partitions_;  ///< active cuts
+  std::uint64_t membership_events_ = 0;
+  std::uint64_t noise_sent_ = 0;
+  std::uint64_t noise_delivered_ = 0;
+  RunReport report_;
+};
+
+}  // namespace h2::sim

@@ -1,0 +1,153 @@
+#include "sim/invariant.hpp"
+
+#include "sim/harness.hpp"
+
+namespace h2::sim {
+
+namespace {
+
+/// Full-synchrony contract: every alive replica can locally serve the
+/// ledger value of every cleanly-acknowledged key. Vacuous for protocols
+/// that only promise reachability, not replication.
+class CoherencyConvergence final : public Invariant {
+ public:
+  const char* name() const override { return "coherency-convergence"; }
+
+  Status check(SimHarness& harness) override {
+    if (harness.config().protocol != SimConfig::Protocol::kFullSynchrony) {
+      return Status::success();
+    }
+    for (const std::string& node : harness.dvm().node_names()) {
+      for (const auto& [key, entry] : harness.ledger()) {
+        if (!entry.clean) continue;
+        auto value = harness.dvm().get(node, key);
+        if (!value.ok()) {
+          return err::internal("replica " + node + " is missing key " + key +
+                               " (acknowledged '" + entry.value +
+                               "'): " + value.error().message());
+        }
+        if (*value != entry.value) {
+          return err::internal("replica " + node + " diverged on " + key + ": holds '" +
+                               *value + "', acknowledged '" + entry.value + "'");
+        }
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// No acknowledged write disappears. The vantage point matters: under
+/// decentralized/neighborhood coherency an overwrite from node X leaves
+/// stale copies on earlier writers, and a distributed query may surface
+/// them — that is the protocol's documented trade-off, not a lost key. The
+/// one read every protocol guarantees is from the last write's origin
+/// (local copy wins), so that is what we check; when the origin is dead
+/// (only kept in the ledger under full synchrony) any replica must serve
+/// it.
+class NoLostKeys final : public Invariant {
+ public:
+  const char* name() const override { return "no-lost-keys"; }
+
+  Status check(SimHarness& harness) override {
+    auto names = harness.dvm().node_names();
+    if (names.empty()) return err::internal("no alive nodes to read from");
+    for (const auto& [key, entry] : harness.ledger()) {
+      if (!entry.clean) continue;
+      const std::string& vantage = harness.dvm().is_member(entry.origin_node)
+                                       ? entry.origin_node
+                                       : names.front();
+      auto value = harness.dvm().get(vantage, key);
+      if (!value.ok()) {
+        return err::internal("key " + key + " (origin " + entry.origin_node +
+                             ", acknowledged '" + entry.value +
+                             "') is gone: " + value.error().message());
+      }
+      if (*value != entry.value) {
+        return err::internal("key " + key + " holds stale '" + *value +
+                             "', acknowledged '" + entry.value + "'");
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// Every component deployed on a currently-alive node is still locatable
+/// through the DVM name space and describable by its hosting container.
+class RegistryConsistency final : public Invariant {
+ public:
+  const char* name() const override { return "registry-consistency"; }
+
+  Status check(SimHarness& harness) override {
+    auto names = harness.dvm().node_names();
+    if (names.empty()) return err::internal("no alive nodes to query from");
+    for (const auto& component : harness.deployed()) {
+      if (!harness.dvm().is_member(component.node)) continue;  // host is down
+      auto located = harness.dvm().locate(names.front(), component.qualified);
+      if (!located.ok()) {
+        return err::internal("component " + component.qualified +
+                             " vanished from the name space: " +
+                             located.error().message());
+      }
+      auto* node = harness.dvm().node(component.node);
+      if (node == nullptr) {
+        return err::internal("alive node " + component.node + " has no DvmNode");
+      }
+      auto wsdl = node->container().describe(component.instance);
+      if (!wsdl.ok()) {
+        return err::internal("container " + component.node + " lost instance " +
+                             component.instance + ": " + wsdl.error().message());
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// The DVM epoch never decreases and matches the number of membership
+/// events the schedule performed (joins, failures, rejoins).
+class MonotonicEpoch final : public Invariant {
+ public:
+  const char* name() const override { return "monotonic-epoch"; }
+
+  Status check(SimHarness& harness) override {
+    std::uint64_t epoch = harness.dvm().epoch();
+    if (epoch < last_seen_) {
+      return err::internal("epoch went backwards: " + std::to_string(last_seen_) +
+                           " -> " + std::to_string(epoch));
+    }
+    last_seen_ = epoch;
+    if (epoch != harness.membership_events()) {
+      return err::internal("epoch " + std::to_string(epoch) + " != " +
+                           std::to_string(harness.membership_events()) +
+                           " membership events the harness performed");
+    }
+    return Status::success();
+  }
+
+ private:
+  std::uint64_t last_seen_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Invariant> make_coherency_convergence() {
+  return std::make_unique<CoherencyConvergence>();
+}
+std::unique_ptr<Invariant> make_no_lost_keys() {
+  return std::make_unique<NoLostKeys>();
+}
+std::unique_ptr<Invariant> make_registry_consistency() {
+  return std::make_unique<RegistryConsistency>();
+}
+std::unique_ptr<Invariant> make_monotonic_epoch() {
+  return std::make_unique<MonotonicEpoch>();
+}
+
+Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
+  if (name == "coherency-convergence") return make_coherency_convergence();
+  if (name == "no-lost-keys") return make_no_lost_keys();
+  if (name == "registry-consistency") return make_registry_consistency();
+  if (name == "monotonic-epoch") return make_monotonic_epoch();
+  return err::not_found("unknown invariant '" + std::string(name) + "'");
+}
+
+}  // namespace h2::sim

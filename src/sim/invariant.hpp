@@ -1,0 +1,51 @@
+// Pluggable invariant checkers. SimHarness runs every registered
+// invariant at each settle point (chaos paused, partitions healed, queues
+// pumped); a failed check aborts the run with the seed and a replayable
+// trace. Invariants observe the system through the harness accessors —
+// the DVM's membership/epoch, each node's local state store, and the
+// harness's own ledger of acknowledged writes and deployments.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace h2::sim {
+
+class SimHarness;
+
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual const char* name() const = 0;
+
+  /// Called at settle points. Returns an error describing the violation;
+  /// the harness wraps it with scenario/seed/step context.
+  virtual Status check(SimHarness& harness) = 0;
+};
+
+/// Every alive replica holds the ledger value of every cleanly-acknowledged
+/// key — the replicated-state contract of the full-synchrony protocol.
+/// Skipped (vacuously true) under other protocols.
+std::unique_ptr<Invariant> make_coherency_convergence();
+
+/// No acknowledged write disappears: every ledger key is still readable
+/// from the vantage of the protocol that stored it.
+std::unique_ptr<Invariant> make_no_lost_keys();
+
+/// Every component the harness successfully deployed on a currently-alive
+/// node is still locatable through the DVM name space and describable by
+/// its hosting container.
+std::unique_ptr<Invariant> make_registry_consistency();
+
+/// The DVM epoch is monotonic and advances exactly once per membership
+/// event the harness performed (join, failure, rejoin).
+std::unique_ptr<Invariant> make_monotonic_epoch();
+
+/// By name, for scenario definitions and the simrunner CLI:
+/// "coherency-convergence", "no-lost-keys", "registry-consistency",
+/// "monotonic-epoch".
+Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name);
+
+}  // namespace h2::sim

@@ -1,0 +1,152 @@
+#include "sim/scenario.hpp"
+
+#include "sim/invariant.hpp"
+
+namespace h2::sim {
+
+namespace {
+
+const std::vector<std::string>& all_invariants() {
+  static const std::vector<std::string> names = {
+      "coherency-convergence", "no-lost-keys", "registry-consistency",
+      "monotonic-epoch"};
+  return names;
+}
+
+ScenarioDef coherency_storm() {
+  ScenarioDef def;
+  def.name = "coherency-storm";
+  def.description =
+      "full-synchrony DVM under message drop/dup/delay chaos and random "
+      "partitions; replicas must converge at every settle point";
+  def.config.scenario = def.name;
+  def.config.nodes = 4;
+  def.config.steps = 120;
+  def.config.check_every = 20;
+  def.config.plan.chaos({.drop_p = 0.03, .dup_p = 0.05, .delay_p = 0.10})
+      .random({.partition_p = 0.04, .heal_p = 0.10});
+  def.invariants = all_invariants();
+  return def;
+}
+
+ScenarioDef failover() {
+  ScenarioDef def;
+  def.name = "failover";
+  def.description =
+      "scripted crash/restart waves plus random node churn; components on "
+      "surviving nodes stay locatable, rejoined nodes converge";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 150;
+  def.config.check_every = 30;
+  def.config.weights.probe = 0.20;
+  def.config.weights.get = 0.15;
+  def.config.plan.crash_at(25, 1)
+      .restart_at(55, 1)
+      .crash_at(80, 3)
+      .restart_at(110, 3)
+      .random({.crash_p = 0.02, .restart_p = 0.10, .min_alive = 3});
+  def.invariants = all_invariants();
+  return def;
+}
+
+ScenarioDef churn() {
+  ScenarioDef def;
+  def.name = "churn";
+  def.description =
+      "decentralized protocol under heavy membership churn; origin-local "
+      "keys survive while their writer is alive, the name space stays sane";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 150;
+  def.config.check_every = 25;
+  def.config.protocol = SimConfig::Protocol::kDecentralized;
+  def.config.plan.chaos({.drop_p = 0.02, .dup_p = 0.03, .delay_p = 0.05})
+      .random({.crash_p = 0.05, .restart_p = 0.20, .min_alive = 3});
+  def.invariants = all_invariants();
+  return def;
+}
+
+ScenarioDef mesh_skew() {
+  ScenarioDef def;
+  def.name = "mesh-skew";
+  def.description =
+      "neighborhood (ring-1) protocol with clock skew, delays and "
+      "partitions; reads through the mesh never return stale state";
+  def.config.scenario = def.name;
+  def.config.nodes = 6;
+  def.config.steps = 120;
+  def.config.check_every = 24;
+  def.config.protocol = SimConfig::Protocol::kNeighborhood;
+  def.config.neighborhood_k = 1;
+  def.config.plan.chaos({.dup_p = 0.05, .delay_p = 0.15})
+      .random({.partition_p = 0.03, .heal_p = 0.12, .skew_p = 0.10});
+  def.invariants = all_invariants();
+  return def;
+}
+
+ScenarioDef planted_bug() {
+  ScenarioDef def;
+  def.name = "planted-bug";
+  def.description =
+      "full synchrony with a deliberately broken replication fan-out "
+      "(skips the last member); an invariant must catch it";
+  def.config.scenario = def.name;
+  def.config.nodes = 4;
+  def.config.steps = 60;
+  def.config.check_every = 15;
+  def.config.buggy_coherency = true;
+  def.invariants = {"coherency-convergence", "no-lost-keys"};
+  def.expect_violation = true;
+  return def;
+}
+
+}  // namespace
+
+const std::vector<ScenarioDef>& scenarios() {
+  static const std::vector<ScenarioDef> table = {
+      coherency_storm(), failover(), churn(), mesh_skew(), planted_bug()};
+  return table;
+}
+
+Result<const ScenarioDef*> find_scenario(std::string_view name) {
+  for (const ScenarioDef& def : scenarios()) {
+    if (def.name == name) return &def;
+  }
+  std::string known;
+  for (const ScenarioDef& def : scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += def.name;
+  }
+  return err::not_found("unknown scenario '" + std::string(name) +
+                        "' (known: " + known + ")");
+}
+
+Result<RunReport> run_scenario(const ScenarioDef& scenario, std::uint64_t seed,
+                               std::string* trace_out) {
+  SimHarness harness(scenario.config, seed);
+  for (const std::string& name : scenario.invariants) {
+    auto invariant = make_invariant(name);
+    if (!invariant.ok()) return invariant.error();
+    harness.add_invariant(std::move(*invariant));
+  }
+  auto report = harness.run();
+  if (trace_out != nullptr) *trace_out = harness.trace().to_string();
+  return report;
+}
+
+SweepResult sweep_scenario(const ScenarioDef& scenario, std::uint64_t first_seed,
+                           std::size_t count) {
+  SweepResult result;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t seed = first_seed + i;
+    auto report = run_scenario(scenario, seed);
+    ++result.runs;
+    if (!report.ok()) {
+      result.failures.push_back({seed, report.error().message()});
+    }
+  }
+  return result;
+}
+
+}  // namespace h2::sim

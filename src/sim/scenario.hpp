@@ -1,0 +1,55 @@
+// Named simulation scenarios — the curated chaos schedules the sim test
+// suite and the `simrunner` CLI both run. A scenario bundles a SimConfig
+// (topology, protocol, fault plan, op mix) with the invariants that must
+// hold, plus an `expect_violation` flag for the planted-bug scenario that
+// proves the invariants have teeth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/harness.hpp"
+
+namespace h2::sim {
+
+struct ScenarioDef {
+  std::string name;
+  std::string description;
+  SimConfig config;                     ///< config.scenario mirrors `name`
+  std::vector<std::string> invariants;  ///< names for make_invariant()
+  bool expect_violation = false;        ///< planted-bug scenarios must fail
+};
+
+/// The built-in scenario table (stable order):
+///   coherency-storm  — full synchrony under message chaos + partitions
+///   failover         — crash/restart churn with scripted failover waves
+///   churn            — decentralized protocol under heavy membership churn
+///   mesh-skew        — neighborhood protocol with clock skew and delays
+///   planted-bug      — deliberately broken full synchrony (expects a catch)
+const std::vector<ScenarioDef>& scenarios();
+
+Result<const ScenarioDef*> find_scenario(std::string_view name);
+
+/// Builds a harness for (scenario, seed), registers the scenario's
+/// invariants, and runs it. Returns the report, or the violation error
+/// (which embeds seed, step and the replay command). If `trace_out` is
+/// non-null it receives the full event trace either way.
+Result<RunReport> run_scenario(const ScenarioDef& scenario, std::uint64_t seed,
+                               std::string* trace_out = nullptr);
+
+/// One failed seed within a sweep.
+struct SeedFailure {
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+struct SweepResult {
+  std::size_t runs = 0;
+  std::vector<SeedFailure> failures;
+};
+
+/// Runs `count` consecutive seeds starting at `first_seed`.
+SweepResult sweep_scenario(const ScenarioDef& scenario, std::uint64_t first_seed,
+                           std::size_t count);
+
+}  // namespace h2::sim

@@ -1,0 +1,157 @@
+// simrunner — CLI front end for the deterministic simulation harness.
+//
+//   simrunner --list
+//   simrunner --scenario=coherency-storm --seed=42 [--trace]
+//   simrunner --scenario=failover --seed=1 --seeds=100
+//   simrunner --all [--seed=1] [--seeds=25]
+//
+// Exit codes: 0 = every scenario behaved as specified (expect_violation
+// scenarios must fail), 1 = an invariant violation (or a missing expected
+// one), 2 = usage error. A violation prints the failing seed, the replay
+// command, and the tail of the event trace.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "sim/scenario.hpp"
+
+namespace {
+
+using h2::sim::ScenarioDef;
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  bool trace = false;
+  std::string scenario;
+  std::uint64_t seed = 1;
+  std::size_t seeds = 1;
+};
+
+bool parse_value(std::string_view arg, std::string_view key, std::string& out) {
+  if (!arg.starts_with(key)) return false;
+  out = std::string(arg.substr(key.size()));
+  return true;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list\n"
+               "       %s --scenario=NAME [--seed=N] [--seeds=COUNT] [--trace]\n"
+               "       %s --all [--seed=N] [--seeds=COUNT]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+/// Runs one scenario over `seeds` consecutive seeds. Returns true when the
+/// scenario behaved as specified.
+bool run_one(const ScenarioDef& def, const Options& options) {
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < options.seeds; ++i) {
+    std::uint64_t seed = options.seed + i;
+    std::string trace;
+    auto report = h2::sim::run_scenario(def, seed, &trace);
+    if (report.ok()) {
+      if (options.trace) std::fputs(trace.c_str(), stdout);
+      std::printf("ok    %-16s seed=%llu steps=%zu ops=%zu faults=%zu checks=%zu\n",
+                  def.name.c_str(), static_cast<unsigned long long>(seed),
+                  report->steps_executed, report->ops_executed,
+                  report->faults_applied, report->checks_run);
+      continue;
+    }
+    ++violations;
+    if (def.expect_violation) {
+      std::printf("caught %-15s seed=%llu (expected): %s\n", def.name.c_str(),
+                  static_cast<unsigned long long>(seed),
+                  report.error().message().c_str());
+      continue;
+    }
+    std::printf("FAIL  %-16s seed=%llu\n  %s\n", def.name.c_str(),
+                static_cast<unsigned long long>(seed),
+                report.error().message().c_str());
+    if (options.trace) {
+      std::fputs(trace.c_str(), stdout);
+    } else {
+      // Re-run is cheap and deterministic; show the last few trace events.
+      std::printf("  trace tail:\n");
+      std::size_t start = trace.size();
+      int newlines = 0;
+      while (start > 0) {
+        --start;
+        if (trace[start] == '\n' && ++newlines > 12) {
+          ++start;
+          break;
+        }
+      }
+      std::fputs(trace.substr(start).c_str(), stdout);
+    }
+  }
+  if (def.expect_violation) {
+    if (violations == 0) {
+      std::printf("FAIL  %-16s planted bug was NOT caught in %zu seed(s)\n",
+                  def.name.c_str(), options.seeds);
+      return false;
+    }
+    std::printf("      %-16s planted bug caught in %zu/%zu seed(s)\n",
+                def.name.c_str(), violations, options.seeds);
+    return true;
+  }
+  if (violations > 0) {
+    std::printf("      %-16s %zu/%zu seed(s) FAILED\n", def.name.c_str(), violations,
+                options.seeds);
+  }
+  return violations == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--trace") {
+      options.trace = true;
+    } else if (parse_value(arg, "--scenario=", value)) {
+      options.scenario = value;
+    } else if (parse_value(arg, "--seed=", value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (parse_value(arg, "--seeds=", value)) {
+      options.seeds = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.seeds == 0) options.seeds = 1;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+
+  if (options.list) {
+    for (const ScenarioDef& def : h2::sim::scenarios()) {
+      std::printf("%-16s %s%s\n", def.name.c_str(), def.description.c_str(),
+                  def.expect_violation ? " [expects violation]" : "");
+    }
+    return 0;
+  }
+
+  bool ok = true;
+  if (options.all) {
+    for (const ScenarioDef& def : h2::sim::scenarios()) {
+      ok = run_one(def, options) && ok;
+    }
+  } else if (!options.scenario.empty()) {
+    auto def = h2::sim::find_scenario(options.scenario);
+    if (!def.ok()) {
+      std::fprintf(stderr, "%s\n", def.error().message().c_str());
+      return 2;
+    }
+    ok = run_one(**def, options);
+  } else {
+    return usage(argv[0]);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,29 @@
+#include "sim/trace.hpp"
+
+namespace h2::sim {
+
+namespace {
+void append_event(std::string& out, const TraceEvent& event) {
+  out += std::to_string(event.at);
+  out += '\t';
+  out += event.kind;
+  out += '\t';
+  out += event.detail;
+  out += '\n';
+}
+}  // namespace
+
+std::string EventTrace::to_string() const {
+  std::string out;
+  for (const TraceEvent& event : events_) append_event(out, event);
+  return out;
+}
+
+std::string EventTrace::tail(std::size_t n) const {
+  std::string out;
+  std::size_t first = events_.size() > n ? events_.size() - n : 0;
+  for (std::size_t i = first; i < events_.size(); ++i) append_event(out, events_[i]);
+  return out;
+}
+
+}  // namespace h2::sim

@@ -1,0 +1,44 @@
+// Replayable event traces. Every observable step a SimHarness run takes —
+// schedule ops, fault injections, invariant checks — is recorded here with
+// its virtual timestamp. The text rendering is byte-stable: the same
+// scenario and seed must produce the same trace on every run, which is
+// what makes "simrunner --seed=S --scenario=X" a one-command repro.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace h2::sim {
+
+struct TraceEvent {
+  Nanos at = 0;        ///< virtual time of the event
+  std::string kind;    ///< short verb: "set", "crash", "partition", "check"...
+  std::string detail;  ///< deterministic free text ("n2 k3=v17 ok")
+};
+
+class EventTrace {
+ public:
+  void record(Nanos at, std::string kind, std::string detail) {
+    events_.push_back(TraceEvent{at, std::move(kind), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// One line per event: "<at-ns>\t<kind>\t<detail>\n". Deterministic
+  /// given the same event sequence; compared byte-for-byte by the
+  /// determinism tests.
+  std::string to_string() const;
+
+  /// The last `n` lines of to_string() — what simrunner prints on failure.
+  std::string tail(std::size_t n) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace h2::sim

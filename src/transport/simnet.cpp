@@ -84,6 +84,12 @@ bool SimNetwork::is_listening(HostId host, std::uint16_t port) const {
   return host < hosts_.size() && hosts_[host].servers.count(port) > 0;
 }
 
+Status SimNetwork::close_all(HostId host) {
+  if (auto s = check_host(host); !s.ok()) return s;
+  hosts_[host].servers.clear();
+  return Status::success();
+}
+
 LinkSpec SimNetwork::link_between(HostId a, HostId b) const {
   if (a == b) return loopback_link();
   auto it = links_.find(pair_key(a, b));
@@ -104,6 +110,16 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
     ++stats_.drops;
     return err::unavailable("simnet: connection refused, " + hosts_[to].name + ":" +
                             std::to_string(port));
+  }
+  if (fault_hook_) {
+    FaultDecision fault = fault_hook_(
+        MessageInfo{from, to, port, request.size(), /*is_call=*/true});
+    if (fault.drop) {
+      ++stats_.drops;
+      ++stats_.faults;
+      return err::unavailable("simnet: request lost, " + hosts_[from].name + " -> " +
+                              hosts_[to].name + ":" + std::to_string(port));
+    }
   }
 
   LinkSpec link = link_between(from, to);
@@ -129,10 +145,25 @@ Status SimNetwork::send(HostId from, HostId to, std::uint16_t port,
     ++stats_.drops;
     return err::unavailable("simnet: partitioned");
   }
+  FaultDecision fault;
+  if (fault_hook_) {
+    fault = fault_hook_(MessageInfo{from, to, port, payload.size(), /*is_call=*/false});
+  }
+  if (fault.drop) {
+    // The sender cannot tell a dropped datagram from a delivered one, so
+    // losing it is still "success" from its point of view.
+    ++stats_.drops;
+    ++stats_.faults;
+    return Status::success();
+  }
   LinkSpec link = link_between(from, to);
-  Nanos arrival = clock_.now() + link.transfer_time(payload.size());
+  Nanos arrival = clock_.now() + link.transfer_time(payload.size()) + fault.delay;
   ++stats_.messages;
   stats_.bytes += payload.size();
+  if (fault.duplicates > 0 || fault.delay > 0) ++stats_.faults;
+  for (unsigned copy = 0; copy < fault.duplicates; ++copy) {
+    queue_.push(Pending{arrival, sequence_++, to, port, payload});
+  }
   queue_.push(Pending{arrival, sequence_++, to, port, std::move(payload)});
   return Status::success();
 }

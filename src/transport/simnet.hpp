@@ -51,7 +51,32 @@ struct NetStats {
   std::uint64_t bytes = 0;
   std::uint64_t calls = 0;      ///< synchronous round trips
   std::uint64_t drops = 0;      ///< messages lost to partitions/dead ports
+  std::uint64_t faults = 0;     ///< messages dropped/duplicated/delayed by the hook
 };
+
+/// What the fault hook may do to one message. Drops win over everything;
+/// otherwise the message is delivered `1 + duplicates` times, each copy
+/// delayed by its own hook-chosen extra latency (delay > 0 on a one-way
+/// send is how reordering happens).
+struct FaultDecision {
+  bool drop = false;
+  unsigned duplicates = 0;
+  Nanos delay = 0;
+};
+
+/// Everything the hook gets to see about a message in flight.
+struct MessageInfo {
+  HostId from = kInvalidHost;
+  HostId to = kInvalidHost;
+  std::uint16_t port = 0;
+  std::size_t bytes = 0;
+  bool is_call = false;  ///< synchronous round trip vs one-way send
+};
+
+/// Installed by the simulation harness to inject message-level chaos. The
+/// hook must be deterministic given the harness PRNG: SimNetwork calls it
+/// exactly once per message, in a fixed order.
+using FaultHook = std::function<FaultDecision(const MessageInfo&)>;
 
 /// Request handler bound to a (host, port). Receives the request bytes,
 /// returns response bytes (ignored for one-way sends).
@@ -86,6 +111,11 @@ class SimNetwork {
   Status close(HostId host, std::uint16_t port);
   bool is_listening(HostId host, std::uint16_t port) const;
 
+  /// Abrupt host death: every port on `host` stops listening at once.
+  /// In-flight messages to the host are dropped at delivery time, exactly
+  /// as for any unbound port. Servers re-bind individually on restart.
+  Status close_all(HostId host);
+
   // ---- traffic ----------------------------------------------------------------
 
   /// Synchronous round trip. Charges request transfer + response transfer
@@ -107,6 +137,11 @@ class SimNetwork {
   VirtualClock& clock() { return clock_; }
   const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetStats{}; }
+
+  /// Message-level fault injection (drop/duplicate/delay). Pass nullptr to
+  /// remove. Applies to send() always; call() honours only `drop` (a
+  /// synchronous round trip cannot be reordered, merely refused).
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// The effective link between two hosts (loopback when a == b).
   LinkSpec link_between(HostId a, HostId b) const;
@@ -138,6 +173,7 @@ class SimNetwork {
   }
 
   std::vector<Host> hosts_;
+  FaultHook fault_hook_;
   std::map<std::uint64_t, LinkSpec> links_;
   std::map<std::uint64_t, bool> partitioned_;
   LinkSpec default_link_;

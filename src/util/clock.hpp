@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 
 namespace h2 {
 
@@ -34,12 +35,19 @@ class WallClock final : public Clock {
 };
 
 /// Manually advanced time, owned by the simulation driver. Never moves
-/// backwards: advance() with a negative delta is ignored.
+/// backwards: advance() with a negative delta is ignored. Additions that
+/// would overflow saturate at the representable maximum instead of
+/// wrapping into the past.
 class VirtualClock final : public Clock {
  public:
   Nanos now() const override { return now_; }
   void advance(Nanos delta) {
-    if (delta > 0) now_ += delta;
+    if (delta <= 0) return;
+    if (delta > std::numeric_limits<Nanos>::max() - now_) {
+      now_ = std::numeric_limits<Nanos>::max();
+    } else {
+      now_ += delta;
+    }
   }
   /// Jumps directly to `t` if it is in the future.
   void advance_to(Nanos t) {

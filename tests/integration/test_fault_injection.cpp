@@ -1,140 +1,84 @@
-// Fault-injection soak: random partitions, heals, heartbeats, and state
-// traffic against a live DVM. Invariants under every storm:
-//   - the surviving membership is exactly what the heartbeat reports
-//   - survivors always agree on state written after the last detection
-//   - no operation crashes; failures surface as clean Result errors
+// Fault-injection soak, rebuilt on the deterministic simulation harness.
+// The original hand-rolled storm loops (random kills, partition flapping,
+// dead-component probes) are now declarative SimHarness scenarios: the
+// harness drives the same DVM operations through seeded chaos schedules
+// and the sim invariants check what the loops used to assert inline —
+// survivors converge, healed partitions restore service, components on
+// dead nodes drop out while the rest keep working. Every failure message
+// carries the seed and a simrunner replay command.
 #include <gtest/gtest.h>
 
-#include "dvm/dvm.hpp"
-#include "plugins/standard.hpp"
-#include "util/rng.hpp"
+#include "sim/invariant.hpp"
+#include "sim/harness.hpp"
 
-namespace h2::dvm {
+namespace h2::sim {
 namespace {
 
 class FaultInjectionTest : public ::testing::TestWithParam<int> {
  protected:
-  static constexpr std::size_t kNodes = 6;
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(GetParam()) + 1; }
 
-  void SetUp() override {
-    ASSERT_TRUE(plugins::register_standard_plugins(repo_).ok());
-    dvm_ = std::make_unique<Dvm>("storm", make_full_synchrony());
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      std::string name = "s" + std::to_string(i);
-      containers_.push_back(std::make_unique<container::Container>(
-          name, repo_, net_, *net_.add_host(name)));
-      ASSERT_TRUE(dvm_->add_node(*containers_.back()).ok());
-    }
+  /// Runs `config` under every sim invariant; a violation fails the test
+  /// with the seed and replay command embedded in the error.
+  void run_and_expect_clean(SimConfig config) {
+    SimHarness harness(std::move(config), seed());
+    harness.add_invariant(make_coherency_convergence());
+    harness.add_invariant(make_no_lost_keys());
+    harness.add_invariant(make_registry_consistency());
+    harness.add_invariant(make_monotonic_epoch());
+    auto report = harness.run();
+    ASSERT_TRUE(report.ok()) << report.error().message();
+    EXPECT_EQ(report->steps_executed, harness.config().steps);
+    EXPECT_GT(report->checks_run, 0u);
   }
-
-  /// Cuts `victim` off from every node still alive.
-  void isolate(const std::string& victim) {
-    for (const auto& name : dvm_->node_names()) {
-      if (name == victim) continue;
-      (void)net_.partition(*net_.resolve(victim), *net_.resolve(name));
-    }
-  }
-
-  net::SimNetwork net_;
-  kernel::PluginRepository repo_;
-  std::vector<std::unique_ptr<container::Container>> containers_;
-  std::unique_ptr<Dvm> dvm_;
 };
 
 TEST_P(FaultInjectionTest, SurvivorsStayCoherentThroughRandomFailures) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
-  int epoch = 0;
-  // Kill up to kNodes-2 nodes, one per round, with state traffic between.
-  while (dvm_->node_count() > 2) {
-    auto names = dvm_->node_names();
-    // Normal traffic first.
-    for (int op = 0; op < 10; ++op) {
-      const std::string& origin = names[rng.next_below(names.size())];
-      ASSERT_TRUE(dvm_->set(origin, "epoch", std::to_string(epoch)).ok());
-    }
-    // Random victim dies.
-    std::string victim = names[rng.next_below(names.size())];
-    isolate(victim);
-    // A surviving prober notices. (Pick a prober that is not the victim.)
-    std::string prober;
-    for (const auto& name : names) {
-      if (name != victim) {
-        prober = name;
-        break;
-      }
-    }
-    auto failed = dvm_->probe(prober);
-    ASSERT_TRUE(failed.ok()) << failed.error().describe();
-    ASSERT_EQ(failed->size(), 1u);
-    EXPECT_EQ((*failed)[0], victim);
-
-    // Survivors agree on fresh state.
-    ++epoch;
-    auto survivors = dvm_->node_names();
-    ASSERT_TRUE(dvm_->set(survivors[0], "epoch", std::to_string(epoch)).ok());
-    for (const auto& name : survivors) {
-      auto value = dvm_->get(name, "epoch");
-      ASSERT_TRUE(value.ok()) << name;
-      EXPECT_EQ(*value, std::to_string(epoch)) << name;
-    }
-    // And the failure is on record everywhere.
-    for (const auto& name : survivors) {
-      auto state = dvm_->get(name, "node/" + victim);
-      ASSERT_TRUE(state.ok());
-      EXPECT_EQ(*state, "failed");
-    }
-  }
-  EXPECT_EQ(dvm_->status().nodes_failed, kNodes - 2);
+  // Nodes die one after another (never below 2 alive); probes detect the
+  // failures; survivors must agree on all state written in between.
+  SimConfig config;
+  config.scenario = "soak-random-failures";
+  config.nodes = 6;
+  config.steps = 120;
+  config.check_every = 20;
+  config.weights.probe = 0.20;
+  config.plan.random({.crash_p = 0.04, .min_alive = 2});
+  run_and_expect_clean(std::move(config));
 }
 
 TEST_P(FaultInjectionTest, HealedPartitionRestoresService) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 1);
-  auto a = *net_.resolve("s0");
-  auto b = *net_.resolve("s1");
-  for (int round = 0; round < 6; ++round) {
-    if (rng.next_bool(0.5)) {
-      ASSERT_TRUE(net_.partition(a, b).ok());
-      // Full synchrony updates from s0 now fail cleanly...
-      auto status = dvm_->set("s0", "k", "v");
-      EXPECT_FALSE(status.ok());
-      EXPECT_EQ(status.error().code(), ErrorCode::kUnavailable);
-      ASSERT_TRUE(net_.heal(a, b).ok());
-    }
-    // ...and succeed whenever the link is up.
-    ASSERT_TRUE(dvm_->set("s0", "k", std::to_string(round)).ok());
-    auto value = dvm_->get("s1", "k");
-    ASSERT_TRUE(value.ok());
-    EXPECT_EQ(*value, std::to_string(round));
-  }
+  // Partition flapping: cuts appear and heal continuously; writes may fail
+  // mid-cut but every settle point (all links healed) must converge.
+  SimConfig config;
+  config.scenario = "soak-partition-flap";
+  config.nodes = 6;
+  config.steps = 120;
+  config.check_every = 15;
+  config.plan.partition_at(10, 0, 1)
+      .heal_at(20, 0, 1)
+      .partition_at(40, 2, 3)
+      .heal_at(50, 2, 3)
+      .random({.partition_p = 0.08, .heal_p = 0.20});
+  run_and_expect_clean(std::move(config));
 }
 
 TEST_P(FaultInjectionTest, ComponentsOnDeadNodesAreUnreachableButOthersWork) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
-  container::DeployOptions options;
-  options.expose_xdr = true;
-  auto on_s2 = dvm_->deploy("s2", "ping", options);
-  auto on_s3 = dvm_->deploy("s3", "ping", options);
-  ASSERT_TRUE(on_s2.ok() && on_s3.ok());
-
-  isolate("s2");
-  ASSERT_TRUE(dvm_->probe("s0").ok());
-
-  auto wsdl_s2 = containers_[2]->describe("ping-1");
-  auto wsdl_s3 = containers_[3]->describe("ping-1");
-  ASSERT_TRUE(wsdl_s2.ok() && wsdl_s3.ok());
-
-  std::vector<wsdl::BindingKind> xdr_pref{wsdl::BindingKind::kXdr};
-  auto dead_channel = containers_[0]->open_channel(*wsdl_s2, xdr_pref);
-  ASSERT_TRUE(dead_channel.ok());
-  EXPECT_FALSE((*dead_channel)->invoke("ping", {}).ok());
-
-  auto live_channel = containers_[0]->open_channel(*wsdl_s3, xdr_pref);
-  ASSERT_TRUE(live_channel.ok());
-  EXPECT_TRUE((*live_channel)->invoke("ping", {}).ok());
-  (void)rng;
+  // Deploy-heavy schedule under crash/restart churn: components on dead
+  // nodes leave the checked set, components on live (and rejoined) nodes
+  // must stay locatable and describable.
+  SimConfig config;
+  config.scenario = "soak-dead-components";
+  config.nodes = 6;
+  config.steps = 120;
+  config.check_every = 30;
+  config.weights.deploy = 0.20;
+  config.weights.probe = 0.15;
+  config.plan.crash_at(35, 2).restart_at(70, 2).random(
+      {.crash_p = 0.03, .restart_p = 0.15, .min_alive = 3});
+  run_and_expect_clean(std::move(config));
 }
 
 INSTANTIATE_TEST_SUITE_P(Storms, FaultInjectionTest, ::testing::Range(0, 5));
 
 }  // namespace
-}  // namespace h2::dvm
+}  // namespace h2::sim

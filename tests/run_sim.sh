@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Runs the deterministic simulation suite: the ctest `sim` label first,
+# then a full simrunner seed sweep over every scenario. Any failing seed
+# is printed with the exact replay command.
+#
+# Usage: tests/run_sim.sh [build-dir] [seeds]
+#   build-dir  defaults to ./build
+#   seeds      seeds per scenario, defaults to 100 (seed 1..seeds)
+set -eu
+
+BUILD_DIR="${1:-build}"
+SEEDS="${2:-100}"
+
+if [ ! -x "$BUILD_DIR/src/sim/simrunner" ]; then
+  echo "error: $BUILD_DIR/src/sim/simrunner not built (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+echo "== ctest -L sim =="
+ctest --test-dir "$BUILD_DIR" -L sim --output-on-failure
+
+echo "== simrunner sweep: all scenarios, seeds 1..$SEEDS =="
+SWEEP_LOG="$BUILD_DIR/sim_sweep.log"
+STATUS=0
+"$BUILD_DIR/src/sim/simrunner" --all --seed=1 --seeds="$SEEDS" > "$SWEEP_LOG" || STATUS=$?
+
+# Per-seed "ok"/"caught" lines stay in the log; show failures + summaries.
+grep -v '^ok\|^caught' "$SWEEP_LOG" || true
+echo "   full sweep log: $SWEEP_LOG"
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "== sim sweep FAILED: replay failing seeds with the commands above ==" >&2
+  exit "$STATUS"
+fi
+echo "== sim sweep clean: every scenario behaved as specified =="

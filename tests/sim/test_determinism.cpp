@@ -1,0 +1,117 @@
+// The simulation harness's core promises:
+//   - identical (scenario, seed) pairs produce byte-identical event traces
+//   - different seeds explore different schedules
+//   - the planted coherency bug is caught by an invariant, and the failing
+//     seed replays to the same violation
+//   - violation messages carry scenario, seed, step and a replay command
+#include <gtest/gtest.h>
+
+#include "sim/invariant.hpp"
+#include "sim/scenario.hpp"
+
+namespace h2::sim {
+namespace {
+
+TEST(SimDeterminism, SameSeedSameTraceByteForByte) {
+  for (const char* name : {"coherency-storm", "failover", "churn", "mesh-skew"}) {
+    auto def = find_scenario(name);
+    ASSERT_TRUE(def.ok()) << name;
+    std::string first, second;
+    auto a = run_scenario(**def, 7, &first);
+    auto b = run_scenario(**def, 7, &second);
+    ASSERT_TRUE(a.ok()) << name << ": " << a.error().message();
+    ASSERT_TRUE(b.ok()) << name << ": " << b.error().message();
+    EXPECT_EQ(first, second) << name << ": trace diverged between identical runs";
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(a->ops_executed, b->ops_executed);
+    EXPECT_EQ(a->faults_applied, b->faults_applied);
+  }
+}
+
+TEST(SimDeterminism, DifferentSeedsDiverge) {
+  auto def = find_scenario("coherency-storm");
+  ASSERT_TRUE(def.ok());
+  std::string trace_a, trace_b;
+  ASSERT_TRUE(run_scenario(**def, 1, &trace_a).ok());
+  ASSERT_TRUE(run_scenario(**def, 2, &trace_b).ok());
+  EXPECT_NE(trace_a, trace_b);
+}
+
+TEST(SimDeterminism, ScenarioTableIsWellFormed) {
+  EXPECT_GE(scenarios().size(), 5u);
+  for (const ScenarioDef& def : scenarios()) {
+    EXPECT_EQ(def.config.scenario, def.name);
+    EXPECT_FALSE(def.invariants.empty()) << def.name;
+    for (const std::string& inv : def.invariants) {
+      EXPECT_TRUE(make_invariant(inv).ok()) << def.name << "/" << inv;
+    }
+  }
+  EXPECT_FALSE(find_scenario("no-such-scenario").ok());
+}
+
+TEST(SimDeterminism, PlantedCoherencyBugIsCaughtAndReplays) {
+  auto def = find_scenario("planted-bug");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE((*def)->expect_violation);
+
+  // Acceptance: the deliberately broken protocol must be caught by an
+  // invariant within 100 seeds.
+  std::uint64_t failing_seed = 0;
+  std::string first_message;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    auto report = run_scenario(**def, seed);
+    if (!report.ok()) {
+      failing_seed = seed;
+      first_message = report.error().message();
+      break;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u) << "planted bug survived 100 seeds";
+
+  // The violation names its seed and how to replay it.
+  EXPECT_NE(first_message.find("seed=" + std::to_string(failing_seed)),
+            std::string::npos)
+      << first_message;
+  EXPECT_NE(first_message.find("replay: simrunner"), std::string::npos)
+      << first_message;
+  EXPECT_NE(first_message.find("scenario=planted-bug"), std::string::npos);
+
+  // Replaying the failing seed reproduces the identical violation.
+  std::string replay_trace;
+  auto replay = run_scenario(**def, failing_seed, &replay_trace);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.error().message(), first_message);
+  EXPECT_NE(replay_trace.find("violation"), std::string::npos);
+
+  // The same schedule with the bug switched off is healthy.
+  ScenarioDef healthy = **def;
+  healthy.config.buggy_coherency = false;
+  auto clean = run_scenario(healthy, failing_seed);
+  EXPECT_TRUE(clean.ok()) << clean.error().message();
+}
+
+TEST(SimDeterminism, ViolationTraceSurvivesTheRun) {
+  auto def = find_scenario("planted-bug");
+  ASSERT_TRUE(def.ok());
+  SimHarness harness((*def)->config, 1);
+  harness.add_invariant(make_coherency_convergence());
+  auto report = harness.run();
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(harness.trace().empty());
+  EXPECT_EQ(harness.trace().events().back().kind, "violation");
+}
+
+TEST(SimDeterminism, ReportCountsActivity) {
+  auto def = find_scenario("failover");
+  ASSERT_TRUE(def.ok());
+  auto report = run_scenario(**def, 3);
+  ASSERT_TRUE(report.ok()) << report.error().message();
+  EXPECT_EQ(report->seed, 3u);
+  EXPECT_EQ(report->steps_executed, (*def)->config.steps);
+  EXPECT_GT(report->ops_executed, 0u);
+  EXPECT_GT(report->faults_applied, 0u);  // failover scripts 4 explicit faults
+  EXPECT_GT(report->checks_run, 0u);
+}
+
+}  // namespace
+}  // namespace h2::sim

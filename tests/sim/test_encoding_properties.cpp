@@ -1,0 +1,168 @@
+// Property-based round-trip tests for the XDR and base64 codecs, driven
+// by the simulation harness's deterministic PRNG. Every payload a writer
+// emits must decode back to the identical value, including the edges the
+// schedule rarely hits: zero-length buffers and payloads well past 64 KiB.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "encoding/base64.hpp"
+#include "encoding/xdr.hpp"
+#include "util/rng.hpp"
+
+namespace h2::enc {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260805;  // fixed: failures must reproduce
+
+TEST(XdrProperties, ScalarsRoundTripAcrossRandomValues) {
+  Rng rng(kSeed);
+  for (int round = 0; round < 200; ++round) {
+    auto i32 = static_cast<std::int32_t>(rng.next_u64());
+    auto u32 = static_cast<std::uint32_t>(rng.next_u64());
+    auto i64 = static_cast<std::int64_t>(rng.next_u64());
+    auto u64 = rng.next_u64();
+    bool flag = rng.next_bool(0.5);
+    double f64 = rng.next_double() * 1e12 - 5e11;
+    auto f32 = static_cast<float>(rng.next_double() * 1e6 - 5e5);
+
+    XdrWriter writer;
+    writer.put_i32(i32);
+    writer.put_u32(u32);
+    writer.put_i64(i64);
+    writer.put_u64(u64);
+    writer.put_bool(flag);
+    writer.put_f64(f64);
+    writer.put_f32(f32);
+
+    XdrReader reader(writer.take());
+    EXPECT_EQ(*reader.get_i32(), i32);
+    EXPECT_EQ(*reader.get_u32(), u32);
+    EXPECT_EQ(*reader.get_i64(), i64);
+    EXPECT_EQ(*reader.get_u64(), u64);
+    EXPECT_EQ(*reader.get_bool(), flag);
+    EXPECT_EQ(*reader.get_f64(), f64);
+    EXPECT_EQ(*reader.get_f32(), f32);
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(XdrProperties, OpaqueAndStringRoundTripAtAllSizes) {
+  Rng rng(kSeed + 1);
+  // Deliberate size ladder: empty, sub-word, word-aligned edges, and
+  // >64 KiB — plus random fill in between.
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 63, 64, 65, 4095, 65535, 65536, 70000};
+  for (std::size_t size : sizes) {
+    auto payload = rng.bytes(size);
+    XdrWriter writer;
+    writer.put_opaque(payload);
+    writer.put_string(std::string(payload.begin(), payload.end()));
+
+    EXPECT_EQ(writer.size() % 4, 0u) << size;  // RFC 4506 alignment
+    XdrReader reader(writer.take());
+    auto opaque = reader.get_opaque();
+    ASSERT_TRUE(opaque.ok()) << size;
+    EXPECT_EQ(*opaque, payload) << size;
+    auto text = reader.get_string();
+    ASSERT_TRUE(text.ok()) << size;
+    EXPECT_EQ(std::vector<std::uint8_t>(text->begin(), text->end()), payload) << size;
+    EXPECT_TRUE(reader.exhausted()) << size;
+  }
+  // Random sizes fill in the gaps.
+  for (int round = 0; round < 50; ++round) {
+    auto payload = rng.bytes(rng.next_below(8192));
+    XdrWriter writer;
+    writer.put_opaque(payload);
+    XdrReader reader(writer.take());
+    EXPECT_EQ(*reader.get_opaque(), payload);
+  }
+}
+
+TEST(XdrProperties, ArraysRoundTripIncludingEmptyAndHuge) {
+  Rng rng(kSeed + 2);
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                            std::size_t{1024}, std::size_t{16384}}) {
+    auto doubles = rng.doubles(count, -1e9, 1e9);
+    std::vector<std::int32_t> ints(count);
+    for (auto& v : ints) v = static_cast<std::int32_t>(rng.next_u64());
+
+    XdrWriter writer;
+    writer.put_f64_array(doubles);
+    writer.put_i32_array(ints);
+    XdrReader reader(writer.take());
+    auto d = reader.get_f64_array();
+    ASSERT_TRUE(d.ok()) << count;
+    EXPECT_EQ(*d, doubles) << count;
+    auto i = reader.get_i32_array();
+    ASSERT_TRUE(i.ok()) << count;
+    EXPECT_EQ(*i, ints) << count;
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(XdrProperties, TruncatedBuffersFailCleanly) {
+  Rng rng(kSeed + 3);
+  for (int round = 0; round < 100; ++round) {
+    auto payload = rng.bytes(1 + rng.next_below(512));
+    XdrWriter writer;
+    writer.put_opaque(payload);
+    ByteBuffer full = writer.take();
+    std::span<const std::uint8_t> bytes = full.bytes();
+    // Any strict prefix must be rejected, never read out of bounds.
+    std::size_t cut = rng.next_below(bytes.size());
+    XdrReader reader(bytes.subspan(0, cut));
+    auto result = reader.get_opaque();
+    EXPECT_FALSE(result.ok()) << "cut=" << cut << " of " << bytes.size();
+  }
+}
+
+TEST(Base64Properties, EncodeDecodeRoundTripsAtAllSizes) {
+  Rng rng(kSeed + 4);
+  const std::size_t sizes[] = {0, 1, 2, 3, 4, 5, 6, 255, 256, 257, 65536, 70001};
+  for (std::size_t size : sizes) {
+    auto payload = rng.bytes(size);
+    std::string encoded = base64_encode(payload);
+    EXPECT_EQ(encoded.size(), base64_encoded_size(size)) << size;
+    auto decoded = base64_decode(encoded);
+    ASSERT_TRUE(decoded.ok()) << size;
+    EXPECT_EQ(*decoded, payload) << size;
+
+    // The append-style hot path produces the identical encoding.
+    std::string appended = "prefix:";
+    base64_encode_to(appended, payload);
+    EXPECT_EQ(appended, "prefix:" + encoded) << size;
+  }
+  for (int round = 0; round < 200; ++round) {
+    auto payload = rng.bytes(rng.next_below(2048));
+    auto decoded = base64_decode(base64_encode(payload));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, payload);
+  }
+}
+
+TEST(Base64Properties, CorruptedEncodingsNeverRoundTripSilently) {
+  Rng rng(kSeed + 5);
+  int rejected = 0, accepted = 0;
+  for (int round = 0; round < 200; ++round) {
+    auto payload = rng.bytes(3 + rng.next_below(64));
+    std::string encoded = base64_encode(payload);
+    std::string mutated = encoded;
+    // Flip one output character to a random byte.
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    if (mutated == encoded) continue;
+    auto decoded = base64_decode(mutated);
+    if (!decoded.ok()) {
+      ++rejected;  // invalid alphabet/padding: strict decoder refuses
+    } else {
+      ++accepted;  // still-valid alphabet: must decode to different bytes
+      EXPECT_NE(*decoded, payload);
+    }
+  }
+  // The strict decoder must reject at least the clearly-invalid mutations.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(rejected + accepted, 150);
+}
+
+}  // namespace
+}  // namespace h2::enc

@@ -1,0 +1,171 @@
+// Seed-corpus fuzzing for xml::PullParser, driven by the simulation
+// harness's deterministic PRNG. The corpus is the 18 malformed fixtures
+// from the pull-parser parity suite plus a set of well-formed documents;
+// each round mutates a corpus entry (byte flips, splices, truncation) and
+// checks two properties on the result:
+//   - the pull parser never crashes or reads out of bounds — every input
+//     terminates in a bounded number of tokens or a clean error
+//   - accept/reject parity with the DOM parser holds for every mutant
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "xml/parser.hpp"
+#include "xml/pull_parser.hpp"
+
+namespace h2::xml {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;  // fixed: failures must reproduce
+
+// The malformed fixtures the PR 1 parity suite pins down.
+const std::vector<std::string>& malformed_corpus() {
+  static const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "just text",
+      "<a>",
+      "<a></b>",
+      "<a><b></a></b>",
+      "<a x=\"1\" x=\"2\"/>",
+      "<a x=1/>",
+      "<a x=\"1/>",
+      "<a>&unknown;</a>",
+      "<a>&#xZZ;</a>",
+      "<a>&amp</a>",
+      "<a t=\"&bogus;\"/>",
+      "<a/><b/>",
+      "<a/>trailing",
+      "<!-- only a comment -->",
+      "<a><!-- unterminated </a>",
+      "<a><![CDATA[open</a>",
+  };
+  return corpus;
+}
+
+const std::vector<std::string>& wellformed_corpus() {
+  static const std::vector<std::string> corpus = {
+      "<a x=\"1\"><b>hi</b><c/></a>",
+      "<a t=\"x &amp; y\">a &lt; b &#65;</a>",
+      "<r xmlns=\"urn:default\" xmlns:a=\"urn:a\">"
+      "<a:x><y xmlns:a=\"urn:inner\"><a:z/></y></a:x></r>",
+      "<a>pre<b>mid</b>post<![CDATA[<raw & stuff>]]></a>",
+      "<?xml version=\"1.0\"?><!-- head --><a><?pi data?><b/></a>",
+      "<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>",
+      "<SOAP-ENV:Envelope xmlns:SOAP-ENV=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<SOAP-ENV:Body><m:op xmlns:m=\"urn:x\"><n xsi:type=\"xsd:long\" "
+      "xmlns:xsi=\"urn:i\" xmlns:xsd=\"urn:s\">42</n></m:op>"
+      "</SOAP-ENV:Body></SOAP-ENV:Envelope>",
+  };
+  return corpus;
+}
+
+/// Drains the pull parser to EOF or error. The token bound proves
+/// termination — a parser stuck on malformed input would spin forever.
+Status drain_pull(std::string_view input, std::size_t max_tokens) {
+  PullParser p(input);
+  std::string scratch;
+  for (std::size_t i = 0; i < max_tokens; ++i) {
+    auto t = p.next();
+    if (!t.ok()) return t.error();
+    if (*t == Token::kEof) return Status::success();
+    if (*t == Token::kStartElement) {
+      // Touch the lazy surfaces too: names, attributes, namespaces.
+      (void)p.name();
+      for (const PullAttribute& attr : p.attributes()) {
+        (void)p.attr(attr.name, scratch);
+      }
+      (void)p.namespace_uri();
+    } else if (*t == Token::kText) {
+      (void)p.text(scratch);
+    }
+  }
+  ADD_FAILURE() << "pull parser did not terminate within " << max_tokens
+                << " tokens on: " << input.substr(0, 120);
+  return err::internal("non-termination");
+}
+
+/// One mutation: byte flip, byte insert, byte delete, or truncation.
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string out = base;
+  switch (rng.next_below(4)) {
+    case 0:  // flip a byte
+      if (!out.empty()) {
+        out[rng.next_below(out.size())] = static_cast<char>(rng.next_below(256));
+      }
+      break;
+    case 1:  // insert a random byte
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                   rng.next_below(out.size() + 1)),
+                 static_cast<char>(rng.next_below(256)));
+      break;
+    case 2:  // delete a byte
+      if (!out.empty()) {
+        out.erase(out.begin() +
+                  static_cast<std::ptrdiff_t>(rng.next_below(out.size())));
+      }
+      break;
+    default:  // truncate
+      if (!out.empty()) out.resize(rng.next_below(out.size()));
+      break;
+  }
+  return out;
+}
+
+/// Both parsers must agree: accept together or reject together. On accept
+/// the pull parser must also have terminated cleanly (checked inside).
+void expect_verdict_parity(const std::string& doc) {
+  bool dom_ok = parse_element(doc).ok();
+  bool pull_ok = drain_pull(doc, 2 * doc.size() + 64).ok();
+  EXPECT_EQ(dom_ok, pull_ok) << "verdict mismatch (dom=" << dom_ok
+                             << " pull=" << pull_ok
+                             << ") on: " << doc.substr(0, 160);
+}
+
+TEST(PullParserFuzz, SeedCorpusVerdictsAgree) {
+  for (const std::string& doc : malformed_corpus()) {
+    EXPECT_FALSE(parse_element(doc).ok()) << doc;
+    EXPECT_FALSE(drain_pull(doc, 2 * doc.size() + 64).ok()) << doc;
+  }
+  for (const std::string& doc : wellformed_corpus()) {
+    EXPECT_TRUE(parse_element(doc).ok()) << doc;
+    EXPECT_TRUE(drain_pull(doc, 2 * doc.size() + 64).ok()) << doc;
+  }
+}
+
+TEST(PullParserFuzz, MutatedMalformedFixturesNeverCrashAndStayInParity) {
+  Rng rng(kSeed);
+  for (int round = 0; round < 400; ++round) {
+    const auto& corpus = malformed_corpus();
+    std::string doc = mutate(corpus[rng.next_below(corpus.size())], rng);
+    // A second mutation half the time digs further from the fixture.
+    if (rng.next_bool(0.5)) doc = mutate(doc, rng);
+    expect_verdict_parity(doc);
+  }
+}
+
+TEST(PullParserFuzz, ByteFlippedWellFormedDocumentsStayInParity) {
+  Rng rng(kSeed + 1);
+  for (int round = 0; round < 400; ++round) {
+    const auto& corpus = wellformed_corpus();
+    std::string doc = mutate(corpus[rng.next_below(corpus.size())], rng);
+    if (rng.next_bool(0.3)) doc = mutate(doc, rng);
+    expect_verdict_parity(doc);
+  }
+}
+
+TEST(PullParserFuzz, RandomGarbageTerminates) {
+  Rng rng(kSeed + 2);
+  for (int round = 0; round < 200; ++round) {
+    auto raw = rng.bytes(rng.next_below(512));
+    std::string doc(raw.begin(), raw.end());
+    // Garbage virtually never parses; the property under test is clean
+    // termination and verdict parity, not rejection per se.
+    expect_verdict_parity(doc);
+  }
+}
+
+}  // namespace
+}  // namespace h2::xml

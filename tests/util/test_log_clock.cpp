@@ -94,6 +94,22 @@ TEST(VirtualClock, NeverGoesBackwards) {
   EXPECT_EQ(clock.now(), 2 * kSecond);
 }
 
+TEST(VirtualClock, AdvanceSaturatesAtMaxInsteadOfOverflowing) {
+  VirtualClock clock;
+  clock.advance(std::numeric_limits<Nanos>::max());
+  EXPECT_EQ(clock.now(), std::numeric_limits<Nanos>::max());
+  // Any further advance would overflow; it must pin at max, not wrap.
+  clock.advance(1);
+  EXPECT_EQ(clock.now(), std::numeric_limits<Nanos>::max());
+  clock.advance(std::numeric_limits<Nanos>::max());
+  EXPECT_EQ(clock.now(), std::numeric_limits<Nanos>::max());
+
+  VirtualClock near_max;
+  near_max.advance(std::numeric_limits<Nanos>::max() - 10);
+  near_max.advance(25);  // crosses the boundary mid-delta
+  EXPECT_EQ(near_max.now(), std::numeric_limits<Nanos>::max());
+}
+
 TEST(WallClock, IsMonotonic) {
   WallClock clock;
   Nanos a = clock.now();
