@@ -29,3 +29,4 @@ run() {
 
 run bench_soap
 run bench_encoding
+run bench_observability

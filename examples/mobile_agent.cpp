@@ -60,10 +60,10 @@ int main(int argc, char** argv) {
   auto matrix = rng.doubles(n * n);
   for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] += static_cast<double>(n);
   {
-    auto d = *datahost->instance(lapack_id);
+    auto& d = *datahost->instance(lapack_id);
     std::vector<h2::Value> set_params{h2::Value::of_doubles(matrix, "a")};
-    (void)d->dispatch("setMatrix", set_params);
-    (void)d->dispatch("factor", {});
+    (void)d.dispatch("setMatrix", set_params);
+    (void)d.dispatch("factor", {});
   }
   auto lapack_wsdl = *datahost->describe(lapack_id);
 
@@ -71,12 +71,12 @@ int main(int argc, char** argv) {
   // table instance on the home node).
   auto agent_id = *home->deploy("table");
   {
-    auto agent = *home->instance(agent_id);
+    auto& agent = *home->instance(agent_id);
     for (int i = 0; i < 200; ++i) {
       std::vector<h2::Value> put_params{
           h2::Value::of_string("obs" + std::to_string(i)),
           h2::Value::of_string("value-" + std::to_string(i * 7))};
-      (void)agent->dispatch("put", put_params);
+      (void)agent.dispatch("put", put_params);
     }
   }
 
@@ -97,9 +97,9 @@ int main(int argc, char** argv) {
   h2::Nanos move_cost = report->wire_time;
 
   // Verify the agent kept its memory across the move.
-  auto moved = *datahost->instance(report->new_instance_id);
+  auto& moved = *datahost->instance(report->new_instance_id);
   std::vector<h2::Value> get_params{h2::Value::of_string("obs42")};
-  auto memory = moved->dispatch("get", get_params);
+  auto memory = moved.dispatch("get", get_params);
 
   std::printf("workload: %d solves against a %zux%zu system across a WAN\n\n", solves, n, n);
   std::printf("A. agent stays home:  %8lld us of network time (data moves every call)\n",

@@ -37,7 +37,12 @@ Container::Container(std::string name, const kernel::PluginRepository& repo,
       host_(host),
       kernel_(name_, repo, net, host),
       registry_(net.clock()),
-      soap_server_(net, host, kSoapPort) {}
+      soap_server_(net, host, kSoapPort),
+      c_deploys_(net.metrics().counter("h2.container." + name_ + ".deploys")),
+      c_undeploys_(net.metrics().counter("h2.container." + name_ + ".undeploys")),
+      c_crashes_(net.metrics().counter("h2.container." + name_ + ".crashes")),
+      c_restarts_(net.metrics().counter("h2.container." + name_ + ".restarts")),
+      g_components_(net.metrics().gauge("h2.container." + name_ + ".components")) {}
 
 Container::~Container() {
   // Endpoints must die before the plugins they forward to.
@@ -191,6 +196,8 @@ Result<std::string> Container::deploy_impl(std::string_view plugin_name,
   logger().debug(name_ + ": deployed " + id);
   std::string result_id = id;
   components_[result_id] = std::move(deployed);
+  c_deploys_.add();
+  g_components_.set(static_cast<std::int64_t>(components_.size()));
   return result_id;
 }
 
@@ -214,6 +221,8 @@ Status Container::undeploy(std::string_view instance_id) {
   if (auto pub = published_keys_.find(instance_id); pub != published_keys_.end()) {
     published_keys_.erase(pub);
   }
+  c_undeploys_.add();
+  g_components_.set(static_cast<std::int64_t>(components_.size()));
   logger().debug(name_ + ": undeployed " + std::string(instance_id));
   return Status::success();
 }
@@ -231,6 +240,7 @@ Status Container::crash() {
   soap_was_running_ = soap_was_running;
   kernel_.for_each_plugin([](kernel::Plugin& plugin) { plugin.on_crash(); });
   kernel_.events().publish("container/lifecycle", Value::of_string("crash:" + name_));
+  c_crashes_.add();
   crashed_ = true;
   logger().warn(name_ + ": crashed (endpoints dark)");
   return Status::success();
@@ -257,6 +267,7 @@ Status Container::restart() {
   for (auto& [id, deployed] : components_) deployed.plugin->on_restart();
   kernel_.for_each_plugin([](kernel::Plugin& plugin) { plugin.on_restart(); });
   kernel_.events().publish("container/lifecycle", Value::of_string("restart:" + name_));
+  c_restarts_.add();
   logger().debug(name_ + ": restarted (endpoints re-bound)");
   return Status::success();
 }
@@ -282,7 +293,7 @@ Result<ComponentRecord> Container::find_local(std::string_view service_name) con
   if (!entry.ok()) return entry.error();
   // Map the registry hit back to the component record.
   for (const auto& [id, deployed] : components_) {
-    if (registry_keys_.count(id) && registry_keys_.at(id) == (*entry)->key) {
+    if (registry_keys_.count(id) && registry_keys_.at(id) == entry->key) {
       return deployed.record;
     }
   }
@@ -327,22 +338,22 @@ Status Container::set_exposure(std::string_view instance_id, Exposure exposure) 
   return Status::success();
 }
 
-Result<net::Dispatcher*> Container::instance(std::string_view instance_id) {
+Result<net::Dispatcher&> Container::instance(std::string_view instance_id) {
   auto it = components_.find(instance_id);
   if (it == components_.end()) {
     return err::not_found("container " + name_ + ": no live instance '" +
                           std::string(instance_id) + "'");
   }
-  return static_cast<net::Dispatcher*>(it->second.plugin.get());
+  return static_cast<net::Dispatcher&>(*it->second.plugin);
 }
 
-Result<kernel::Plugin*> Container::component(std::string_view instance_id) {
+Result<kernel::Plugin&> Container::component(std::string_view instance_id) {
   auto it = components_.find(instance_id);
   if (it == components_.end()) {
     return err::not_found("container " + name_ + ": no live instance '" +
                           std::string(instance_id) + "'");
   }
-  return it->second.plugin.get();
+  return *it->second.plugin;
 }
 
 Result<std::unique_ptr<net::Channel>> Container::try_open(const wsdl::Definitions& defs,
@@ -359,7 +370,7 @@ Result<std::unique_ptr<net::Channel>> Container::try_open(const wsdl::Definition
       }
       auto target = instance(endpoint->path);
       if (!target.ok()) return target.error();
-      return net::make_local_channel(**target, /*instance_bound=*/true);
+      return net::make_local_channel(*target, /*instance_bound=*/true);
     }
     case wsdl::BindingKind::kLocal: {
       if (endpoint->host != name_) {

@@ -147,11 +147,11 @@ class Container {
 
   /// The dispatcher of a specific live instance — what the localobject
   /// scheme resolves to ("the binding not only defines the object type but
-  /// also a specific instance").
-  Result<net::Dispatcher*> instance(std::string_view instance_id);
+  /// also a specific instance"). Success means the instance is live.
+  Result<net::Dispatcher&> instance(std::string_view instance_id);
 
   /// The live plugin object itself (mobility hooks live on it).
-  Result<kernel::Plugin*> component(std::string_view instance_id);
+  Result<kernel::Plugin&> component(std::string_view instance_id);
 
   // ---- binding negotiation -----------------------------------------------------------
 
@@ -201,6 +201,13 @@ class Container {
   std::uint64_t next_instance_ = 1;
   bool crashed_ = false;
   bool soap_was_running_ = false;  // restore the HTTP server on restart()
+  // Lifecycle metrics (h2.container.<name>.*), handles cached at
+  // construction so lifecycle paths never hit the metrics name map.
+  obs::Counter& c_deploys_;
+  obs::Counter& c_undeploys_;
+  obs::Counter& c_crashes_;
+  obs::Counter& c_restarts_;
+  obs::Gauge& g_components_;
 };
 
 }  // namespace h2::container

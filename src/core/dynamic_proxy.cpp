@@ -23,7 +23,8 @@ Result<DynamicProxy> DynamicProxy::create(
   auto channel = preference.empty() ? from.open_channel(defs)
                                     : from.open_channel(defs, preference);
   if (!channel.ok()) return channel.error().context("dynamic proxy");
-  return DynamicProxy(std::move(*descriptor), std::move(*channel));
+  return DynamicProxy(std::move(*descriptor), std::move(*channel),
+                      &from.network().tracer());
 }
 
 Result<Value> DynamicProxy::invoke(std::string_view operation,
@@ -53,7 +54,14 @@ Result<Value> DynamicProxy::invoke(std::string_view operation,
     named.push_back(std::move(v));
   }
 
+  obs::Span span;
+  if (tracer_->enabled()) {
+    span = tracer_->start_span("proxy.invoke." + std::string(operation));
+    span.annotate(std::string("binding=") + channel_->binding_name());
+  }
   auto result = channel_->invoke(operation, named);
+  span.set_ok(result.ok());
+  span.finish();
   if (!result.ok()) return result;
 
   if (!kind_compatible(result->kind(), spec->result)) {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "container/container.hpp"
+#include "obs/trace.hpp"
 #include "wsdl/descriptor.hpp"
 
 namespace h2 {
@@ -39,11 +40,15 @@ class DynamicProxy {
   net::CallStats last_stats() const { return channel_->last_stats(); }
 
  private:
-  DynamicProxy(wsdl::ServiceDescriptor descriptor, std::unique_ptr<net::Channel> channel)
-      : descriptor_(std::move(descriptor)), channel_(std::move(channel)) {}
+  DynamicProxy(wsdl::ServiceDescriptor descriptor, std::unique_ptr<net::Channel> channel,
+               obs::Tracer* tracer)
+      : descriptor_(std::move(descriptor)),
+        channel_(std::move(channel)),
+        tracer_(tracer) {}
 
   wsdl::ServiceDescriptor descriptor_;
   std::unique_ptr<net::Channel> channel_;
+  obs::Tracer* tracer_;  // borrowed from the caller's SimNetwork
 };
 
 }  // namespace h2

@@ -78,7 +78,7 @@ Result<std::unique_ptr<net::Channel>> Framework::connect(container::Container& f
                                                          std::string_view service_name) {
   auto entry = registry_.find_service(service_name);
   if (!entry.ok()) return entry.error().context("framework connect");
-  return from.open_channel((*entry)->defs);
+  return from.open_channel(entry->defs);
 }
 
 }  // namespace h2

@@ -8,9 +8,9 @@ Result<MigrationReport> migrate_component(container::Container& from,
                                           bool expose_soap, bool expose_xdr) {
   auto plugin = from.component(instance_id);
   if (!plugin.ok()) return plugin.error().context("migrate");
-  std::string plugin_name = (*plugin)->info().name;
+  std::string plugin_name = plugin->info().name;
 
-  auto state = (*plugin)->save_state();
+  auto state = plugin->save_state();
   if (!state.ok()) return state.error().context("migrate: snapshot");
 
   MigrationReport report;

@@ -175,12 +175,22 @@ std::vector<std::string> Dvm::node_names() const {
   return out;
 }
 
-DvmNode* Dvm::node(std::string_view node_name) {
+DvmNode* Dvm::lookup_alive(std::string_view node_name) {
   for (DvmNode* n : alive_members()) {
     if (n->name() == node_name) return n;
   }
   return nullptr;
 }
+
+Result<DvmNode&> Dvm::member(std::string_view node_name) {
+  DvmNode* found = lookup_alive(node_name);
+  if (found == nullptr) {
+    return err::not_found("dvm " + name_ + ": no node '" + std::string(node_name) + "'");
+  }
+  return *found;
+}
+
+DvmNode* Dvm::node(std::string_view node_name) { return lookup_alive(node_name); }
 
 bool Dvm::is_member(std::string_view node_name) const {
   return alive_index(node_name).ok();
@@ -194,31 +204,60 @@ std::vector<const DvmNode*> Dvm::all_members() const {
   return out;
 }
 
+void Dvm::record_round(net::SimNetwork& net, std::uint64_t messages_before, Nanos t0) {
+  if (metrics_net_ != &net) {
+    metrics_net_ = &net;
+    const std::string prefix = "h2.dvm." + name_ + ".coherency.";
+    c_rounds_ = &net.metrics().counter(prefix + "rounds");
+    c_fanout_ = &net.metrics().counter(prefix + "fanout");
+    h_convergence_ = &net.metrics().histogram(prefix + "convergence_ns");
+  }
+  c_rounds_->add();
+  c_fanout_->add(net.stats().messages - messages_before);
+  h_convergence_->observe(net.clock().now() - t0);
+}
+
 Status Dvm::set(std::string_view node_name, std::string_view key,
                 std::string_view value) {
   auto index = alive_index(node_name);
   if (!index.ok()) return index.error();
-  return protocol_->update(alive_members(), *index, key, value);
+  auto alive = alive_members();
+  net::SimNetwork& net = alive[*index]->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto status = protocol_->update(alive, *index, key, value);
+  record_round(net, before, t0);
+  return status;
 }
 
 Result<std::string> Dvm::get(std::string_view node_name, std::string_view key) {
   auto index = alive_index(node_name);
   if (!index.ok()) return index.error();
-  return protocol_->query(alive_members(), *index, key);
+  auto alive = alive_members();
+  net::SimNetwork& net = alive[*index]->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto value = protocol_->query(alive, *index, key);
+  record_round(net, before, t0);
+  return value;
 }
 
 Status Dvm::erase(std::string_view node_name, std::string_view key) {
   auto index = alive_index(node_name);
   if (!index.ok()) return index.error();
-  return protocol_->erase(alive_members(), *index, key);
+  auto alive = alive_members();
+  net::SimNetwork& net = alive[*index]->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto status = protocol_->erase(alive, *index, key);
+  record_round(net, before, t0);
+  return status;
 }
 
 Result<std::string> Dvm::deploy(std::string_view node_name, std::string_view plugin,
                                 const container::DeployOptions& options) {
-  DvmNode* target = node(node_name);
-  if (target == nullptr) {
-    return err::not_found("dvm " + name_ + ": no node '" + std::string(node_name) + "'");
-  }
+  auto target = member(node_name);
+  if (!target.ok()) return target.error();
   auto instance = target->container().deploy(plugin, options);
   if (!instance.ok()) return instance.error();
   std::string qualified = name_ + "/" + std::string(node_name) + "/" + *instance;
@@ -247,10 +286,8 @@ Status Dvm::undeploy(std::string_view qualified_name) {
     return err::invalid_argument("bad qualified component name '" +
                                  std::string(qualified_name) + "'");
   }
-  DvmNode* target = node(parts[1]);
-  if (target == nullptr) {
-    return err::not_found("dvm " + name_ + ": no node '" + parts[1] + "'");
-  }
+  auto target = member(parts[1]);
+  if (!target.ok()) return target.error();
   if (auto status = target->container().undeploy(parts[2]); !status.ok()) return status;
   (void)erase(parts[1], "component/" + std::string(qualified_name));
   --components_;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dvm/coherency.hpp"
+#include "obs/metrics.hpp"
 
 namespace h2::dvm {
 
@@ -72,7 +73,15 @@ class Dvm {
 
   std::size_t node_count() const;  ///< alive nodes
   std::vector<std::string> node_names() const;
+
+  /// Alive member by name. The primary lookup: success means the node is
+  /// enrolled and alive.
+  Result<DvmNode&> member(std::string_view node_name);
+
+  /// Alive member by name, or nullptr.
+  [[deprecated("use member(); nullptr-returning lookups are being retired")]]
   DvmNode* node(std::string_view node_name);
+
   bool is_member(std::string_view node_name) const;
 
   /// Every enrolled member, dead ones included — the observable membership
@@ -129,12 +138,23 @@ class Dvm {
   std::vector<DvmNode*> alive_members() const;
   Result<std::size_t> alive_index(std::string_view node_name) const;
   void announce(std::string_view topic, const std::string& message);
+  DvmNode* lookup_alive(std::string_view node_name);
+  /// Records one coherency round (h2.dvm.<name>.coherency.*): round count,
+  /// message fan-out (net-stats delta across the protocol call) and
+  /// convergence time (virtual ns the round consumed).
+  void record_round(net::SimNetwork& net, std::uint64_t messages_before, Nanos t0);
 
   std::string name_;
   std::unique_ptr<CoherencyProtocol> protocol_;
   std::vector<Member> members_;
   std::size_t components_ = 0;
   std::uint64_t epoch_ = 0;
+  // Coherency metric handles, cached on first use (all members share one
+  // SimNetwork; re-resolved if the network ever differs).
+  net::SimNetwork* metrics_net_ = nullptr;
+  obs::Counter* c_rounds_ = nullptr;
+  obs::Counter* c_fanout_ = nullptr;
+  obs::Histogram* h_convergence_ = nullptr;
 };
 
 }  // namespace h2::dvm

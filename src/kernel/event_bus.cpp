@@ -2,14 +2,18 @@
 
 namespace h2::kernel {
 
-EventBus::SubscriptionId EventBus::subscribe(std::string topic, Handler handler) {
+EventBus::Subscription EventBus::subscribe(std::string topic, Handler handler) {
+  return Subscription(this, add(std::move(topic), std::move(handler)));
+}
+
+EventBus::SubscriptionId EventBus::add(std::string topic, Handler handler) {
   std::lock_guard lock(mu_);
   SubscriptionId id = next_id_++;
   topics_[std::move(topic)].push_back({id, std::move(handler)});
   return id;
 }
 
-bool EventBus::unsubscribe(SubscriptionId id) {
+bool EventBus::remove(SubscriptionId id) {
   std::lock_guard lock(mu_);
   for (auto& [topic, subs] : topics_) {
     for (auto it = subs.begin(); it != subs.end(); ++it) {

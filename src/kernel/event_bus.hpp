@@ -19,11 +19,59 @@ class EventBus {
   using SubscriptionId = std::uint64_t;
   using Handler = std::function<void(const Value& payload)>;
 
-  /// Subscribes to an exact topic; returns an id for unsubscribe().
-  SubscriptionId subscribe(std::string topic, Handler handler);
+  /// RAII subscription handle: move-only, unsubscribes on destruction.
+  /// Holding the handle IS the subscription — dropping it detaches the
+  /// handler, so a subscriber can't leak a registration past its own
+  /// lifetime. The bus must outlive every handle.
+  class [[nodiscard]] Subscription {
+   public:
+    Subscription() = default;
+    Subscription(Subscription&& other) noexcept { *this = std::move(other); }
+    Subscription& operator=(Subscription&& other) noexcept {
+      if (this != &other) {
+        reset();
+        bus_ = other.bus_;
+        id_ = other.id_;
+        other.bus_ = nullptr;
+      }
+      return *this;
+    }
+    Subscription(const Subscription&) = delete;
+    Subscription& operator=(const Subscription&) = delete;
+    ~Subscription() { reset(); }
 
-  /// Removes a subscription; false if the id is unknown.
-  bool unsubscribe(SubscriptionId id);
+    bool active() const { return bus_ != nullptr; }
+    SubscriptionId id() const { return id_; }
+
+    /// Unsubscribes now. Idempotent.
+    void reset() {
+      if (bus_ != nullptr) {
+        bus_->remove(id_);
+        bus_ = nullptr;
+      }
+    }
+
+   private:
+    friend class EventBus;
+    Subscription(EventBus* bus, SubscriptionId id) : bus_(bus), id_(id) {}
+
+    EventBus* bus_ = nullptr;
+    SubscriptionId id_ = 0;
+  };
+
+  /// Subscribes to an exact topic. The returned handle owns the
+  /// registration; keep it alive for as long as events should arrive.
+  Subscription subscribe(std::string topic, Handler handler);
+
+  /// Id-based subscription: caller must pair with unsubscribe() manually.
+  [[deprecated("use subscribe(), whose RAII handle cannot leak the registration")]]
+  SubscriptionId subscribe_unmanaged(std::string topic, Handler handler) {
+    return add(std::move(topic), std::move(handler));
+  }
+
+  /// Removes a subscription by id; false if the id is unknown.
+  [[deprecated("use Subscription::reset() on the handle from subscribe()")]]
+  bool unsubscribe(SubscriptionId id) { return remove(id); }
 
   /// Delivers `payload` to every handler of `topic`, in subscription
   /// order. Returns the number of handlers invoked.
@@ -32,13 +80,16 @@ class EventBus {
   std::size_t subscriber_count(std::string_view topic) const;
 
  private:
-  struct Subscription {
+  struct Entry {
     SubscriptionId id;
     Handler handler;
   };
 
+  SubscriptionId add(std::string topic, Handler handler);
+  bool remove(SubscriptionId id);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::vector<Subscription>, std::less<>> topics_;
+  std::map<std::string, std::vector<Entry>, std::less<>> topics_;
   SubscriptionId next_id_ = 1;
 };
 

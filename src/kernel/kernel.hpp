@@ -43,8 +43,16 @@ class Kernel {
   /// Shuts down and removes a loaded plugin.
   Status unload(std::string_view plugin_name);
 
+  /// Loaded plugin by name. The primary lookup: success means the plugin
+  /// exists, failure carries a kNotFound error naming it — no nullptr in
+  /// the signature.
+  Result<Plugin&> get(std::string_view plugin_name);
+  Result<const Plugin&> get(std::string_view plugin_name) const;
+
   /// Loaded plugin by name, or nullptr.
+  [[deprecated("use get(); nullptr-returning lookups are being retired")]]
   Plugin* find(std::string_view plugin_name);
+  [[deprecated("use get(); nullptr-returning lookups are being retired")]]
   const Plugin* find(std::string_view plugin_name) const;
 
   std::vector<PluginInfo> loaded() const;
@@ -75,14 +83,33 @@ class Kernel {
 
   EventBus& events() { return events_; }
 
+  // ---- observability ---------------------------------------------------------
+
+  /// When off, call() skips metric and span recording entirely — the
+  /// uninstrumented baseline for bench_observability. On by default; the
+  /// steady-state cost is a map hit the call made anyway plus three
+  /// relaxed atomics on cached handles.
+  void set_instrumentation(bool on) { instrument_ = on; }
+  bool instrumentation() const { return instrument_; }
+
  private:
+  /// A loaded plugin plus its cached metric handles, so the call hot path
+  /// never touches the metrics name map.
+  struct Loaded {
+    std::unique_ptr<Plugin> plugin;
+    obs::Counter* calls = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
   std::string name_;
   const PluginRepository& repo_;
   net::SimNetwork& net_;
   net::HostId host_;
   EventBus events_;
+  bool instrument_ = true;
   // map keeps unload order irrelevant; shutdown() is called in unload/dtor.
-  std::map<std::string, std::unique_ptr<Plugin>, std::less<>> plugins_;
+  std::map<std::string, Loaded, std::less<>> plugins_;
 };
 
 }  // namespace h2::kernel

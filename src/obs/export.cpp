@@ -1,0 +1,101 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+
+namespace h2::obs {
+
+namespace {
+void append_number(std::string& out, std::int64_t v) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, ptr);
+}
+
+std::string sanitize(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_text(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out.append(c.name);
+    out.push_back(' ');
+    append_number(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snapshot.gauges) {
+    out.append(g.name);
+    out.push_back(' ');
+    append_number(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snapshot.histograms) {
+    out.append(h.name);
+    out.append(".count ");
+    append_number(out, h.count);
+    out.push_back('\n');
+    out.append(h.name);
+    out.append(".sum ");
+    append_number(out, h.sum);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    std::string name = sanitize(c.name);
+    out.append("# TYPE ").append(name).append(" counter\n");
+    out.append(name);
+    out.push_back(' ');
+    append_number(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::string name = sanitize(g.name);
+    out.append("# TYPE ").append(name).append(" gauge\n");
+    out.append(name);
+    out.push_back(' ');
+    append_number(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::string name = sanitize(h.name);
+    out.append("# TYPE ").append(name).append(" histogram\n");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out.append(name).append("_bucket{le=\"");
+      append_number(out, h.bounds[i]);
+      out.append("\"} ");
+      append_number(out, cumulative);
+      out.push_back('\n');
+    }
+    out.append(name).append("_bucket{le=\"+Inf\"} ");
+    append_number(out, h.count);
+    out.push_back('\n');
+    out.append(name).append("_sum ");
+    append_number(out, h.sum);
+    out.push_back('\n');
+    out.append(name).append("_count ");
+    append_number(out, h.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace h2::obs

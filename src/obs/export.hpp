@@ -1,0 +1,18 @@
+// Text exporters for a metrics Snapshot. Two formats:
+//   - to_text: "name value" lines, stable sort order — for logs, the
+//     introspection plugin's `metrics` op, and test assertions.
+//   - to_prometheus: Prometheus exposition format. Metric names are
+//     sanitized ('.' and '-' → '_'); histograms expand to the standard
+//     cumulative _bucket{le="..."} series plus _sum and _count.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace h2::obs {
+
+std::string to_text(const Snapshot& snapshot);
+std::string to_prometheus(const Snapshot& snapshot);
+
+}  // namespace h2::obs

@@ -1,0 +1,135 @@
+// MetricsRegistry — the process-local metrics store behind every
+// instrumented layer (kernel, container, DVM, transport). Design goals:
+//   - hot path ≈ one cache line: Counter/Gauge are a single relaxed
+//     atomic; Histogram is a fixed array of atomics indexed by a branchy
+//     but allocation-free bucket search.
+//   - handles are stable: counter()/gauge()/histogram() take the registry
+//     mutex once to register, then return a reference that outlives the
+//     call. Instrumented code caches the handle and never touches the
+//     name map again.
+//   - no globals: each SimNetwork (one simulated world) owns its own
+//     registry, so deterministic runs stay deterministic and tests never
+//     see each other's counters.
+// Names follow "h2.<layer>.<instance>.<metric>" (see DESIGN.md §8).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2::obs {
+
+/// Monotonically increasing count. add() is a relaxed fetch-add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (queue depth, live component count).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Buckets are upper bounds (ascending); values
+/// above the last bound land in an implicit overflow bucket. Observation
+/// is a linear scan over ≤ a dozen bounds plus two relaxed atomics (the
+/// bucket and the sum; the total count is derived from the buckets) — no
+/// locks, no allocation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::int64_t value);
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  /// Total observations — the sum over all buckets (export path only).
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) total += bucket_count(i);
+    return total;
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Default latency bounds in nanoseconds: 1us … 10s, decade steps.
+  static std::vector<std::int64_t> latency_bounds_ns();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds_.size()+1
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// Read-only copy of the registry contents at one instant, for exporters
+/// and invariant checks. Values are sampled metric-by-metric (relaxed),
+/// which is exact in the single-threaded simulator and approximately
+/// consistent under concurrency.
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    std::int64_t value;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<std::int64_t> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1 (last = overflow)
+    std::uint64_t count;
+    std::int64_t sum;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime — cache it and increment without further lookups.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only when the histogram is created; empty means
+  /// Histogram::latency_bounds_ns().
+  Histogram& histogram(std::string_view name, std::vector<std::int64_t> bounds = {});
+
+  /// Counter value by name, 0 if absent (convenient for tests/invariants).
+  std::uint64_t counter_value(std::string_view name) const;
+
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps; metric objects are lock-free
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace h2::obs

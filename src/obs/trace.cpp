@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+
+namespace h2::obs {
+
+namespace {
+thread_local TraceContext g_current;
+
+void append_hex16(std::string& out, std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(v >> shift) & 0xF]);
+  }
+}
+
+std::optional<std::uint64_t> parse_hex16(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return std::nullopt;
+  return v;
+}
+}  // namespace
+
+std::string encode_trace_header(const TraceContext& ctx) {
+  std::string out;
+  out.reserve(33);
+  append_hex16(out, ctx.trace_id);
+  out.push_back('-');
+  append_hex16(out, ctx.span_id);
+  return out;
+}
+
+std::optional<TraceContext> parse_trace_header(std::string_view text) {
+  if (text.size() != 33 || text[16] != '-') return std::nullopt;
+  auto trace = parse_hex16(text.substr(0, 16));
+  auto span = parse_hex16(text.substr(17));
+  if (!trace || !span || *trace == 0) return std::nullopt;
+  return TraceContext{*trace, *span};
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    previous_ = other.previous_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  record_.end = tracer->now();
+  g_current = previous_;
+  tracer->record(std::move(record_));
+}
+
+TraceContext Tracer::current() { return g_current; }
+
+Span Tracer::start_span(std::string_view name) {
+  if (!enabled()) return Span();
+  TraceContext parent = g_current;
+  return make_span(name, parent, /*fresh_trace=*/!parent.valid());
+}
+
+Span Tracer::start_span(std::string_view name, TraceContext parent) {
+  if (!enabled()) return Span();
+  return make_span(name, parent, /*fresh_trace=*/!parent.valid());
+}
+
+Span Tracer::make_span(std::string_view name, TraceContext parent, bool fresh_trace) {
+  SpanRecord record;
+  record.span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.trace_id = fresh_trace ? record.span_id : parent.trace_id;
+  record.parent_span = fresh_trace ? 0 : parent.span_id;
+  record.name = std::string(name);
+  record.start = now();
+  TraceContext previous = g_current;
+  g_current = {record.trace_id, record.span_id};
+  return Span(this, std::move(record), previous);
+}
+
+void Tracer::record(SpanRecord&& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() < kMaxSpans) {
+    records_.push_back(std::move(record));
+    return;
+  }
+  records_[ring_head_] = std::move(record);
+  ring_head_ = (ring_head_ + 1) % kMaxSpans;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  if (records_.empty()) return out;
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(ring_head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  ring_head_ = 0;
+}
+
+}  // namespace h2::obs

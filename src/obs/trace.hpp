@@ -1,0 +1,138 @@
+// Span tracer. A Span measures one logical operation (a kernel.call, a
+// DynamicProxy invocation, a server-side dispatch); spans carry a
+// (trace_id, span_id) pair that propagates across the wire in a SOAP
+// header (`<h2:Trace>` in the h2 trace namespace, mustUnderstand=0), so
+// one client call threads a single trace id through every hop.
+//
+// Cost model: the tracer is *disabled by default*. A disabled tracer
+// hands out inert Spans — one branch, no ids, no clock reads, no
+// recording — so instrumented hot paths stay within the <5% overhead
+// budget (see bench/bench_observability.cpp). Enabled, each span costs
+// two clock reads, an id fetch-add, and one mutex-protected append into
+// a bounded ring of SpanRecords.
+//
+// The "current span" is thread-local: starting a span makes it current
+// for its lifetime and restores the previous context on finish, which is
+// how child spans (and outbound SOAP headers) find their parent without
+// explicit plumbing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace h2::obs {
+
+/// Identity of the currently-executing span, as propagated on the wire.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One finished span, as kept in the tracer's ring buffer.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  ///< 0 for a root span
+  std::string name;
+  std::string note;  ///< free-form annotation (e.g. serving host)
+  Nanos start = 0;
+  Nanos end = 0;
+  bool ok = true;
+};
+
+/// SOAP header element carrying the context: name "Trace" in the h2
+/// trace namespace, value "<trace_id-hex>-<span_id-hex>".
+inline constexpr std::string_view kTraceHeaderName = "Trace";
+inline constexpr std::string_view kTraceHeaderNs = "http://harness2/trace";
+
+std::string encode_trace_header(const TraceContext& ctx);
+std::optional<TraceContext> parse_trace_header(std::string_view text);
+
+class Tracer;
+
+/// RAII span handle. Move-only; records itself on destruction (or an
+/// explicit finish()). A default-constructed / disabled-tracer span is
+/// inert and free.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  TraceContext context() const { return {record_.trace_id, record_.span_id}; }
+  void set_ok(bool ok) { record_.ok = ok; }
+  void annotate(std::string note) { record_.note = std::move(note); }
+
+  /// Ends the span now, records it, and restores the previous
+  /// thread-local context. Idempotent.
+  void finish();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record, TraceContext previous)
+      : tracer_(tracer), record_(std::move(record)), previous_(previous) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+  TraceContext previous_;  ///< thread-local context to restore on finish
+};
+
+class Tracer {
+ public:
+  /// `clock` supplies span timestamps; null means all timestamps are 0
+  /// (spans still carry ids and structure).
+  explicit Tracer(Clock* clock = nullptr) : clock_(clock) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Child of the calling thread's current span (or a new root trace).
+  /// Inert span when disabled.
+  Span start_span(std::string_view name);
+  /// Server-side entry point: continue the trace carried by `parent`
+  /// (typically parsed from the wire header).
+  Span start_span(std::string_view name, TraceContext parent);
+
+  /// The calling thread's current context; invalid when no span is open.
+  static TraceContext current();
+
+  /// Copy of the recorded spans, oldest first.
+  std::vector<SpanRecord> spans() const;
+  std::size_t span_count() const;
+  /// Spans the ring buffer had to evict.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void clear();
+
+ private:
+  friend class Span;
+  static constexpr std::size_t kMaxSpans = 4096;
+
+  Span make_span(std::string_view name, TraceContext parent, bool fresh_trace);
+  void record(SpanRecord&& record);
+  Nanos now() const { return clock_ != nullptr ? clock_->now() : 0; }
+
+  std::atomic<bool> enabled_{false};
+  Clock* clock_ = nullptr;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;  ///< ring once kMaxSpans is reached
+  std::size_t ring_head_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace h2::obs

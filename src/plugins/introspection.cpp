@@ -1,0 +1,100 @@
+// The introspection plugin: the observability layer made queryable through
+// the same plugin/RPC machinery it observes. Deploy it on a container and
+// any peer can pull the node's full metrics snapshot (text or Prometheus
+// exposition format), a single metric value, or the recorded trace spans
+// over SOAP or XDR — no side channel, no special transport.
+#include <string>
+
+#include "kernel/kernel.hpp"
+#include "obs/export.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+class IntrospectionPlugin final : public MuxPlugin {
+ public:
+  IntrospectionPlugin() {
+    add_op("metrics", [this](std::span<const Value>) -> Result<Value> {
+      auto reg = registry();
+      if (!reg.ok()) return reg.error();
+      return Value::of_string(obs::to_text(reg->snapshot()), "return");
+    });
+    add_op("prometheus", [this](std::span<const Value>) -> Result<Value> {
+      auto reg = registry();
+      if (!reg.ok()) return reg.error();
+      return Value::of_string(obs::to_prometheus(reg->snapshot()), "return");
+    });
+    add_op("metric", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 1) return err::invalid_argument("metric(name)");
+      auto name = params[0].as_string();
+      if (!name.ok()) return name.error();
+      auto reg = registry();
+      if (!reg.ok()) return reg.error();
+      // Counters and gauges resolve to their value, histograms to their
+      // observation count.
+      auto snapshot = reg->snapshot();
+      for (const auto& counter : snapshot.counters) {
+        if (counter.name == *name) {
+          return Value::of_int(static_cast<std::int64_t>(counter.value), "return");
+        }
+      }
+      for (const auto& gauge : snapshot.gauges) {
+        if (gauge.name == *name) return Value::of_int(gauge.value, "return");
+      }
+      for (const auto& histogram : snapshot.histograms) {
+        if (histogram.name == *name) {
+          return Value::of_int(static_cast<std::int64_t>(histogram.count), "return");
+        }
+      }
+      return err::not_found("introspection: no metric '" + *name + "'");
+    });
+    add_op("spans", [this](std::span<const Value>) -> Result<Value> {
+      if (kernel_ == nullptr) return err::internal("introspection not initialized");
+      std::string out;
+      for (const auto& span : kernel_->network().tracer().spans()) {
+        out += obs::encode_trace_header({span.trace_id, span.span_id});
+        out += ' ';
+        out += span.name;
+        out += span.ok ? " ok" : " error";
+        out += '\n';
+      }
+      return Value::of_string(std::move(out), "return");
+    });
+  }
+
+  Status init(kernel::Kernel& kernel) override {
+    kernel_ = &kernel;
+    return Status::success();
+  }
+
+  kernel::PluginInfo info() const override { return {"introspection", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Introspection";
+    d.operations.push_back({"metrics", {}, ValueKind::kString});
+    d.operations.push_back({"prometheus", {}, ValueKind::kString});
+    d.operations.push_back({"metric", {{"name", ValueKind::kString}}, ValueKind::kInt});
+    d.operations.push_back({"spans", {}, ValueKind::kString});
+    return d;
+  }
+
+ private:
+  Result<obs::MetricsRegistry&> registry() {
+    if (kernel_ == nullptr) return err::internal("introspection not initialized");
+    return kernel_->network().metrics();
+  }
+
+  kernel::Kernel* kernel_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_introspection_plugin() {
+  return std::make_unique<IntrospectionPlugin>();
+}
+
+}  // namespace h2::plugins

@@ -15,6 +15,7 @@ Status register_standard_plugins(kernel::PluginRepository& repo) {
       {"spawn", make_spawn_plugin}, {"p2p", make_p2p_plugin},
       {"mmul", make_mmul_plugin},   {"lapack", make_lapack_plugin},
       {"mpi", make_mpi_plugin},     {"space", make_tuplespace_plugin},
+      {"introspection", make_introspection_plugin},
   };
   for (const auto& spec : kSpecs) {
     if (auto status = repo.add(spec.name, "1.0", spec.factory); !status.ok()) {

@@ -29,6 +29,8 @@ std::unique_ptr<kernel::Plugin> make_mmul_plugin();
 std::unique_ptr<kernel::Plugin> make_lapack_plugin();
 /// JavaSpaces-style tuple space ("space"). See tuplespace.cpp.
 std::unique_ptr<kernel::Plugin> make_tuplespace_plugin();
+/// Metrics/trace introspection service ("introspection"). See introspection.cpp.
+std::unique_ptr<kernel::Plugin> make_introspection_plugin();
 
 /// Well-known port of the p2p plugin's inter-kernel message server.
 inline constexpr std::uint16_t kP2pPort = 7100;

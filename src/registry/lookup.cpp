@@ -28,7 +28,7 @@ std::shared_ptr<net::Dispatcher> make_registry_dispatcher(
     if (!name.ok()) return name.error();
     auto entry = registry->find_service(*name);
     if (!entry.ok()) return entry.error();
-    return Value::of_string(wsdl::to_xml_string((*entry)->defs), "wsdl");
+    return Value::of_string(wsdl::to_xml_string(entry->defs), "wsdl");
   });
   mux->add("remove", [registry](std::span<const Value> params) -> Result<Value> {
     if (params.size() != 1) return err::invalid_argument("remove(key)");
@@ -111,7 +111,7 @@ class DecentralizedLookup final : public LookupStrategy {
                                    std::string_view service_name) override {
     // Local first, then an active distributed query across every node.
     if (auto local = nodes_[from]->registry().find_service(service_name); local.ok()) {
-      return (*local)->defs;
+      return local->defs;
     }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (i == from) continue;
@@ -157,7 +157,7 @@ class NeighborhoodLookup final : public LookupStrategy {
     // we are within k of it); fall back to a distributed query for farther
     // hosts, skipping our own ring-predecessors' replicas last.
     if (auto local = nodes_[from]->registry().find_service(service_name); local.ok()) {
-      return (*local)->defs;
+      return local->defs;
     }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       if (i == from) continue;

@@ -63,7 +63,7 @@ Result<std::vector<const Entry*>> XmlRegistry::query(std::string_view xpath) con
   return out;
 }
 
-Result<const Entry*> XmlRegistry::find_service(std::string_view service_name) const {
+Result<const Entry&> XmlRegistry::find_service(std::string_view service_name) const {
   const Entry* best = nullptr;
   for (const auto& [key, stored] : stored_) {
     if (!live(stored)) continue;
@@ -75,7 +75,7 @@ Result<const Entry*> XmlRegistry::find_service(std::string_view service_name) co
   if (best == nullptr) {
     return err::not_found("registry: no service '" + std::string(service_name) + "'");
   }
-  return best;
+  return *best;
 }
 
 std::size_t XmlRegistry::expire() {

@@ -54,7 +54,9 @@ class XmlRegistry {
 
   /// Convenience: entry whose <service name="..."> matches. Most recent
   /// registration wins if several documents define the same service.
-  Result<const Entry*> find_service(std::string_view service_name) const;
+  /// Success means the entry exists; the reference is valid until the
+  /// entry is removed or expires.
+  Result<const Entry&> find_service(std::string_view service_name) const;
 
   /// Purges expired leases; returns how many were dropped.
   std::size_t expire();

@@ -88,8 +88,8 @@ class RegistryConsistency final : public Invariant {
                              " vanished from the name space: " +
                              located.error().message());
       }
-      auto* node = harness.dvm().node(component.node);
-      if (node == nullptr) {
+      auto node = harness.dvm().member(component.node);
+      if (!node.ok()) {
         return err::internal("alive node " + component.node + " has no DvmNode");
       }
       auto wsdl = node->container().describe(component.instance);
@@ -127,6 +127,37 @@ class MonotonicEpoch final : public Invariant {
   std::uint64_t last_seen_ = 0;
 };
 
+/// The h2.net.* counters must mirror SimNetwork::stats() exactly. The
+/// counters are cumulative since network construction and the harness
+/// never calls reset_stats(), so any divergence means an instrumentation
+/// path updated one ledger but not the other.
+class MetricsConsistency final : public Invariant {
+ public:
+  const char* name() const override { return "metrics-consistency"; }
+
+  Status check(SimHarness& harness) override {
+    const net::NetStats stats = harness.net().stats();
+    const auto& metrics = harness.net().metrics();
+    const struct {
+      const char* metric;
+      std::uint64_t expect;
+    } pairs[] = {
+        {"h2.net.messages", stats.messages}, {"h2.net.bytes", stats.bytes},
+        {"h2.net.calls", stats.calls},       {"h2.net.drops", stats.drops},
+        {"h2.net.faults", stats.faults},
+    };
+    for (const auto& pair : pairs) {
+      std::uint64_t got = metrics.counter_value(pair.metric);
+      if (got != pair.expect) {
+        return err::internal(std::string(pair.metric) + " counter reads " +
+                             std::to_string(got) + " but NetStats says " +
+                             std::to_string(pair.expect));
+      }
+    }
+    return Status::success();
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Invariant> make_coherency_convergence() {
@@ -141,12 +172,16 @@ std::unique_ptr<Invariant> make_registry_consistency() {
 std::unique_ptr<Invariant> make_monotonic_epoch() {
   return std::make_unique<MonotonicEpoch>();
 }
+std::unique_ptr<Invariant> make_metrics_consistency() {
+  return std::make_unique<MetricsConsistency>();
+}
 
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "coherency-convergence") return make_coherency_convergence();
   if (name == "no-lost-keys") return make_no_lost_keys();
   if (name == "registry-consistency") return make_registry_consistency();
   if (name == "monotonic-epoch") return make_monotonic_epoch();
+  if (name == "metrics-consistency") return make_metrics_consistency();
   return err::not_found("unknown invariant '" + std::string(name) + "'");
 }
 

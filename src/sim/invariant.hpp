@@ -43,9 +43,15 @@ std::unique_ptr<Invariant> make_registry_consistency();
 /// event the harness performed (join, failure, rejoin).
 std::unique_ptr<Invariant> make_monotonic_epoch();
 
+/// The observability layer agrees with the network's own accounting:
+/// every h2.net.* counter in the metrics registry equals the matching
+/// SimNetwork::stats() field. Catches instrumentation drift — a code path
+/// that bumps one but not the other.
+std::unique_ptr<Invariant> make_metrics_consistency();
+
 /// By name, for scenario definitions and the simrunner CLI:
 /// "coherency-convergence", "no-lost-keys", "registry-consistency",
-/// "monotonic-epoch".
+/// "monotonic-epoch", "metrics-consistency".
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name);
 
 }  // namespace h2::sim

@@ -9,7 +9,7 @@ namespace {
 const std::vector<std::string>& all_invariants() {
   static const std::vector<std::string> names = {
       "coherency-convergence", "no-lost-keys", "registry-consistency",
-      "monotonic-epoch"};
+      "monotonic-epoch", "metrics-consistency"};
   return names;
 }
 

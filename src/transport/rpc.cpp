@@ -1,5 +1,6 @@
 #include "transport/rpc.hpp"
 
+#include "obs/trace.hpp"
 #include "soap/envelope.hpp"
 #include "soap/mime.hpp"
 #include "transport/http.hpp"
@@ -96,8 +97,21 @@ class SoapChannel final : public Channel {
     request.headers.set("Content-Type", "text/xml; charset=utf-8");
     request.headers.set("SOAPAction", "\"" + service_ns_ + "#" + std::string(operation) + "\"");
     // Build into the channel's scratch buffer so steady-state calls reuse
-    // its capacity, then lend it to the request for serialization.
-    soap::build_request_into(envelope_, operation, service_ns_, params);
+    // its capacity, then lend it to the request for serialization. When a
+    // span is open on this thread, its context rides along as a
+    // non-mustUnderstand <h2:Trace> header so the serving host can
+    // continue the trace.
+    obs::TraceContext trace = obs::Tracer::current();
+    if (trace.valid()) {
+      soap::HeaderEntry trace_header;
+      trace_header.name = std::string(obs::kTraceHeaderName);
+      trace_header.ns = std::string(obs::kTraceHeaderNs);
+      trace_header.value = obs::encode_trace_header(trace);
+      soap::build_request_into(envelope_, operation, service_ns_, params,
+                               std::span<const soap::HeaderEntry>(&trace_header, 1));
+    } else {
+      soap::build_request_into(envelope_, operation, service_ns_, params);
+    }
     request.body = std::move(envelope_);
     ByteBuffer wire = request.serialize(to_.host);
     envelope_ = std::move(request.body);
@@ -426,7 +440,21 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
                    "header '" + header.name + "' not understood");
     }
   }
+  // Recover the trace context from the wire (if the caller sent one) and
+  // serve the dispatch under a span that continues that trace.
+  obs::TraceContext remote_parent;
+  for (const soap::HeaderEntry& header : call->headers) {
+    if (header.name == obs::kTraceHeaderName && header.ns == obs::kTraceHeaderNs) {
+      if (auto parsed = obs::parse_trace_header(header.value)) remote_parent = *parsed;
+      break;
+    }
+  }
+  obs::Span span = net_.tracer().start_span("soap.serve." + call->operation,
+                                            remote_parent);
+  if (span.active()) span.annotate("host=" + net_.host_name(host_));
   auto result = it->second.dispatcher->dispatch(call->operation, call->params);
+  span.set_ok(result.ok());
+  span.finish();
   if (!result.ok()) {
     return fault(500, fault_code_for(result.error().code()), result.error().message());
   }

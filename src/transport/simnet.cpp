@@ -2,6 +2,14 @@
 
 namespace h2::net {
 
+SimNetwork::SimNetwork()
+    : tracer_(&clock_),
+      c_messages_(metrics_.counter("h2.net.messages")),
+      c_bytes_(metrics_.counter("h2.net.bytes")),
+      c_calls_(metrics_.counter("h2.net.calls")),
+      c_drops_(metrics_.counter("h2.net.drops")),
+      c_faults_(metrics_.counter("h2.net.faults")) {}
+
 Result<HostId> SimNetwork::add_host(const std::string& name) {
   for (const auto& host : hosts_) {
     if (host.name == name) {
@@ -102,12 +110,14 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
   if (auto s = check_host(to); !s.ok()) return s.error();
   if (!reachable(from, to)) {
     ++stats_.drops;
+    c_drops_.add();
     return err::unavailable("simnet: " + hosts_[from].name + " cannot reach " +
                             hosts_[to].name + " (partitioned)");
   }
   auto it = hosts_[to].servers.find(port);
   if (it == hosts_[to].servers.end()) {
     ++stats_.drops;
+    c_drops_.add();
     return err::unavailable("simnet: connection refused, " + hosts_[to].name + ":" +
                             std::to_string(port));
   }
@@ -117,6 +127,8 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
     if (fault.drop) {
       ++stats_.drops;
       ++stats_.faults;
+      c_drops_.add();
+      c_faults_.add();
       return err::unavailable("simnet: request lost, " + hosts_[from].name + " -> " +
                               hosts_[to].name + ":" + std::to_string(port));
     }
@@ -126,6 +138,8 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
   clock_.advance(link.transfer_time(request.size()));
   ++stats_.messages;
   stats_.bytes += request.size();
+  c_messages_.add();
+  c_bytes_.add(request.size());
 
   auto response = it->second(request);
   if (!response.ok()) return response.error();
@@ -134,6 +148,9 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
   ++stats_.messages;
   ++stats_.calls;
   stats_.bytes += response->size();
+  c_messages_.add();
+  c_calls_.add();
+  c_bytes_.add(response->size());
   return response;
 }
 
@@ -143,6 +160,7 @@ Status SimNetwork::send(HostId from, HostId to, std::uint16_t port,
   if (auto s = check_host(to); !s.ok()) return s;
   if (!reachable(from, to)) {
     ++stats_.drops;
+    c_drops_.add();
     return err::unavailable("simnet: partitioned");
   }
   FaultDecision fault;
@@ -154,13 +172,20 @@ Status SimNetwork::send(HostId from, HostId to, std::uint16_t port,
     // losing it is still "success" from its point of view.
     ++stats_.drops;
     ++stats_.faults;
+    c_drops_.add();
+    c_faults_.add();
     return Status::success();
   }
   LinkSpec link = link_between(from, to);
   Nanos arrival = clock_.now() + link.transfer_time(payload.size()) + fault.delay;
   ++stats_.messages;
   stats_.bytes += payload.size();
-  if (fault.duplicates > 0 || fault.delay > 0) ++stats_.faults;
+  c_messages_.add();
+  c_bytes_.add(payload.size());
+  if (fault.duplicates > 0 || fault.delay > 0) {
+    ++stats_.faults;
+    c_faults_.add();
+  }
   for (unsigned copy = 0; copy < fault.duplicates; ++copy) {
     queue_.push(Pending{arrival, sequence_++, to, port, payload});
   }
@@ -179,6 +204,7 @@ std::size_t SimNetwork::pump() {
     auto it = hosts_[next.to].servers.find(next.port);
     if (it == hosts_[next.to].servers.end()) {
       ++stats_.drops;
+      c_drops_.add();
       continue;
     }
     // One-way delivery: the handler's response (if any) is discarded.

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
@@ -84,7 +86,10 @@ using Handler = std::function<Result<ByteBuffer>(std::span<const std::uint8_t>)>
 
 class SimNetwork {
  public:
-  SimNetwork() = default;
+  SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   // ---- topology --------------------------------------------------------------
 
@@ -138,6 +143,17 @@ class SimNetwork {
   const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetStats{}; }
 
+  /// The world's metrics registry. Every layer running over this network
+  /// (kernel, container, DVM) records here, so one snapshot covers the
+  /// whole stack and deterministic runs see deterministic counts. The
+  /// transport mirrors NetStats into the h2.net.* counters.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The world's span tracer (disabled by default; sim/tests opt in).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+
   /// Message-level fault injection (drop/duplicate/delay). Pass nullptr to
   /// remove. Applies to send() always; call() honours only `drop` (a
   /// synchronous round trip cannot be reordered, merely refused).
@@ -179,6 +195,14 @@ class SimNetwork {
   LinkSpec default_link_;
   VirtualClock clock_;
   NetStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
+  // Cached handles: the traffic hot path must not touch the name map.
+  obs::Counter& c_messages_;
+  obs::Counter& c_bytes_;
+  obs::Counter& c_calls_;
+  obs::Counter& c_drops_;
+  obs::Counter& c_faults_;
   std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
   std::uint64_t sequence_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -41,8 +42,15 @@ class Error {
   const std::string& message() const { return message_; }
 
   /// Returns a copy with `what` prepended: "what: <old message>".
-  Error context(const std::string& what) const {
-    return Error(code_, what + ": " + message_);
+  /// Takes a view so callers pass literals and built strings without an
+  /// extra copy; the combined message is assembled in one allocation.
+  Error context(std::string_view what) const {
+    std::string combined;
+    combined.reserve(what.size() + 2 + message_.size());
+    combined.append(what);
+    combined.append(": ");
+    combined.append(message_);
+    return Error(code_, std::move(combined));
   }
 
   /// "<code-name>: <message>" for logs.
@@ -83,8 +91,47 @@ class Result {
     return ok() ? value() : std::move(fallback);
   }
 
+  /// Annotate the error frame in place; no-op on success. Lets call sites
+  /// write `return kernel.get(name).context("deploy");` instead of
+  /// unwrapping just to re-wrap.
+  Result context(std::string_view what) const& {
+    return ok() ? Result(*this) : Result(error().context(what));
+  }
+  Result context(std::string_view what) && {
+    return ok() ? std::move(*this) : Result(error().context(what));
+  }
+
  private:
   std::variant<T, Error> data_;
+};
+
+/// Reference specialization: `Result<T&>` is a found-or-error lookup result.
+/// Stores a pointer internally but exposes reference semantics, so the
+/// "success means the object exists" contract is visible in the signature
+/// (vs. `T*`-in-Result, where null is representable but never valid).
+template <typename T>
+class Result<T&> {
+ public:
+  Result(T& value) : data_(&value) {}               // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T*>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Value access. Precondition: ok(). Violation terminates (std::get throws).
+  T& value() const { return *std::get<T*>(data_); }
+  T& operator*() const { return value(); }
+  T* operator->() const { return &value(); }
+
+  /// Error access. Precondition: !ok().
+  const Error& error() const { return std::get<Error>(data_); }
+
+  Result context(std::string_view what) const {
+    return ok() ? Result(*this) : Result(error().context(what));
+  }
+
+ private:
+  std::variant<T*, Error> data_;
 };
 
 /// Result<void> analogue: success carries nothing.
@@ -96,6 +143,11 @@ class Status {
   bool ok() const { return !error_.has_value(); }
   explicit operator bool() const { return ok(); }
   const Error& error() const { return *error_; }
+
+  /// Annotate the error frame in place; no-op on success.
+  Status context(std::string_view what) const {
+    return ok() ? Status() : Status(error().context(what));
+  }
 
   static Status success() { return Status(); }
 

@@ -52,11 +52,11 @@ TEST_F(ContainerTest, MultipleInstancesOfSameType) {
   auto d1 = a_->instance(*first);
   ASSERT_TRUE(d1.ok());
   std::vector<Value> set_params{Value::of_doubles({5.0}, "a")};
-  ASSERT_TRUE((*d1)->dispatch("setMatrix", set_params).ok());
+  ASSERT_TRUE(d1->dispatch("setMatrix", set_params).ok());
   auto d2 = a_->instance(*second);
   ASSERT_TRUE(d2.ok());
-  EXPECT_EQ(*(*d2)->dispatch("dim", {})->as_int(), 0);
-  EXPECT_EQ(*(*d1)->dispatch("dim", {})->as_int(), 1);
+  EXPECT_EQ(*d2->dispatch("dim", {})->as_int(), 0);
+  EXPECT_EQ(*d1->dispatch("dim", {})->as_int(), 1);
 }
 
 TEST_F(ContainerTest, UndeployRemovesEverything) {

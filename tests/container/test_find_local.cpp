@@ -57,7 +57,7 @@ TEST_F(FindLocalTest, RecordPointsAtLiveInstance) {
   ASSERT_TRUE(record.ok());
   auto dispatcher = host_->instance(record->instance_id);
   ASSERT_TRUE(dispatcher.ok());
-  EXPECT_TRUE((*dispatcher)->dispatch("getTime", {}).ok());
+  EXPECT_TRUE(dispatcher->dispatch("getTime", {}).ok());
 }
 
 }  // namespace

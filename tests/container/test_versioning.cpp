@@ -43,8 +43,8 @@ class VersioningTest : public ::testing::Test {
   }
 
   std::string deployed_version(const std::string& instance_id) {
-    auto d = *host_->instance(instance_id);
-    return *d->dispatch("version", {})->as_string();
+    auto& d = *host_->instance(instance_id);
+    return *d.dispatch("version", {})->as_string();
   }
 
   net::SimNetwork net_;

@@ -29,14 +29,14 @@ TEST_F(MobilityTest, StatefulComponentSurvivesMove) {
   options.expose_xdr = true;
   auto id = source_->deploy("lapack", options);
   ASSERT_TRUE(id.ok());
-  auto dispatcher = *source_->instance(*id);
+  auto& dispatcher = *source_->instance(*id);
 
   std::vector<double> matrix{4, 1, 0, 1, 4, 1, 0, 1, 4};
   std::vector<double> x_true{2, -1, 0.5};
   auto b = linalg::matvec(matrix, x_true, 3);
   std::vector<Value> set_params{Value::of_doubles(matrix, "a")};
-  ASSERT_TRUE(dispatcher->dispatch("setMatrix", set_params).ok());
-  ASSERT_TRUE(dispatcher->dispatch("factor", {}).ok());
+  ASSERT_TRUE(dispatcher.dispatch("setMatrix", set_params).ok());
+  ASSERT_TRUE(dispatcher.dispatch("factor", {}).ok());
 
   // ...move it...
   auto report = migrate_component(*source_, *id, "target");
@@ -47,9 +47,9 @@ TEST_F(MobilityTest, StatefulComponentSurvivesMove) {
   EXPECT_EQ(target_->component_count(), 1u);
 
   // ...and solve on the target against the migrated factorization.
-  auto moved = *target_->instance(report->new_instance_id);
+  auto& moved = *target_->instance(report->new_instance_id);
   std::vector<Value> solve_params{Value::of_doubles(b, "b")};
-  auto x = moved->dispatch("solve", solve_params);
+  auto x = moved.dispatch("solve", solve_params);
   ASSERT_TRUE(x.ok()) << x.error().describe();
   EXPECT_LT(linalg::max_abs_diff(*x->as_doubles(), x_true), 1e-10);
 }
@@ -57,18 +57,18 @@ TEST_F(MobilityTest, StatefulComponentSurvivesMove) {
 TEST_F(MobilityTest, TableContentsSurviveMove) {
   auto id = source_->deploy("table");
   ASSERT_TRUE(id.ok());
-  auto dispatcher = *source_->instance(*id);
+  auto& dispatcher = *source_->instance(*id);
   for (int i = 0; i < 10; ++i) {
     std::vector<Value> put_params{Value::of_string("k" + std::to_string(i)),
                                   Value::of_string("v" + std::to_string(i))};
-    ASSERT_TRUE(dispatcher->dispatch("put", put_params).ok());
+    ASSERT_TRUE(dispatcher.dispatch("put", put_params).ok());
   }
   auto report = migrate_component(*source_, *id, "target");
   ASSERT_TRUE(report.ok());
-  auto moved = *target_->instance(report->new_instance_id);
-  EXPECT_EQ(*moved->dispatch("size", {})->as_int(), 10);
+  auto& moved = *target_->instance(report->new_instance_id);
+  EXPECT_EQ(*moved.dispatch("size", {})->as_int(), 10);
   std::vector<Value> get_params{Value::of_string("k7")};
-  EXPECT_EQ(*moved->dispatch("get", get_params)->as_string(), "v7");
+  EXPECT_EQ(*moved.dispatch("get", get_params)->as_string(), "v7");
 }
 
 TEST_F(MobilityTest, StatelessComponentMovesWithVoidState) {
@@ -76,8 +76,8 @@ TEST_F(MobilityTest, StatelessComponentMovesWithVoidState) {
   ASSERT_TRUE(id.ok());
   auto report = migrate_component(*source_, *id, "target");
   ASSERT_TRUE(report.ok()) << report.error().describe();
-  auto moved = *target_->instance(report->new_instance_id);
-  EXPECT_TRUE(moved->dispatch("ping", {}).ok());
+  auto& moved = *target_->instance(report->new_instance_id);
+  EXPECT_TRUE(moved.dispatch("ping", {}).ok());
 }
 
 TEST_F(MobilityTest, MissingInstanceFails) {
@@ -106,10 +106,10 @@ TEST_F(MobilityTest, MigrationCostScalesWithState) {
   for (int round = 0; round < 2; ++round) {
     auto id = source_->deploy("lapack");
     ASSERT_TRUE(id.ok());
-    auto dispatcher = *source_->instance(*id);
+    auto& dispatcher = *source_->instance(*id);
     std::size_t n = sizes[round];
     std::vector<Value> set_params{Value::of_doubles(rng.doubles(n * n), "a")};
-    ASSERT_TRUE(dispatcher->dispatch("setMatrix", set_params).ok());
+    ASSERT_TRUE(dispatcher.dispatch("setMatrix", set_params).ok());
     auto report = migrate_component(*source_, *id, "target");
     ASSERT_TRUE(report.ok());
     costs[round] = report->wire_time;

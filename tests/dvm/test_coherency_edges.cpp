@@ -53,7 +53,7 @@ TEST_F(CoherencyEdgeTest, NeighborhoodLargerThanClusterActsLikeFullSynchrony) {
   // Replicated to every other member, exactly once each.
   EXPECT_EQ(net_.stats().calls, 2u);
   for (const auto& name : names) {
-    EXPECT_TRUE(dvm->node(name)->state().get("k").has_value()) << name;
+    EXPECT_TRUE(dvm->member(name)->state().get("k").has_value()) << name;
   }
   // Queries are local everywhere.
   net_.reset_stats();

@@ -54,8 +54,10 @@ TEST_P(DvmAllProtocols, MembershipBasics) {
   EXPECT_TRUE(dvm_->is_member("A"));
   EXPECT_FALSE(dvm_->is_member("Z"));
   EXPECT_EQ(dvm_->node_names(), (std::vector<std::string>{"A", "B", "C", "D"}));
-  EXPECT_NE(dvm_->node("B"), nullptr);
-  EXPECT_EQ(dvm_->node("Z"), nullptr);
+  EXPECT_TRUE(dvm_->member("B").ok());
+  auto missing = dvm_->member("Z");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
 }
 
 TEST_P(DvmAllProtocols, DuplicateEnrollmentRejected) {
@@ -155,8 +157,8 @@ TEST_P(DvmAllProtocols, FailedNodeExcludedAndSurvivorsWork) {
 
 TEST_P(DvmAllProtocols, MembershipEventsAnnounced) {
   int events = 0;
-  containers_[0]->kernel().events().subscribe("dvm/membership",
-                                              [&events](const Value&) { ++events; });
+  auto sub = containers_[0]->kernel().events().subscribe(
+      "dvm/membership", [&events](const Value&) { ++events; });
   auto extra_host = *net_.add_host("E");
   auto extra =
       std::make_unique<container::Container>("E", repo_, net_, extra_host);
@@ -240,8 +242,8 @@ TEST_F(DecentralizedTest, UpdateIsLocalOnly) {
   ASSERT_TRUE(dvm_->set("B", "k", "v").ok());
   EXPECT_EQ(net_.stats().calls, 0u);
   // The value lives only on B.
-  EXPECT_TRUE(dvm_->node("B")->state().get("k").has_value());
-  EXPECT_FALSE(dvm_->node("A")->state().get("k").has_value());
+  EXPECT_TRUE(dvm_->member("B")->state().get("k").has_value());
+  EXPECT_FALSE(dvm_->member("A")->state().get("k").has_value());
 }
 
 TEST_F(DecentralizedTest, QueryTriggersDistributedSearch) {
@@ -271,9 +273,9 @@ class NeighborhoodTest : public DvmFixtureBase {
 
 TEST_F(NeighborhoodTest, ReplicationStopsAtNeighborhoodBoundary) {
   ASSERT_TRUE(dvm_->set("A", "k", "v").ok());
-  EXPECT_TRUE(dvm_->node("A")->state().get("k").has_value());
-  EXPECT_TRUE(dvm_->node("B")->state().get("k").has_value());   // ring neighbour
-  EXPECT_FALSE(dvm_->node("C")->state().get("k").has_value());  // beyond k=1
+  EXPECT_TRUE(dvm_->member("A")->state().get("k").has_value());
+  EXPECT_TRUE(dvm_->member("B")->state().get("k").has_value());   // ring neighbour
+  EXPECT_FALSE(dvm_->member("C")->state().get("k").has_value());  // beyond k=1
 }
 
 TEST_F(NeighborhoodTest, NeighborReadIsLocalFarReadIsQuery) {

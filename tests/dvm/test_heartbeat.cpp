@@ -87,10 +87,11 @@ TEST_F(HeartbeatTest, ProbeIsIdempotent) {
 
 TEST_F(HeartbeatTest, MembershipEventOnDetection) {
   int failures = 0;
-  containers_[0]->kernel().events().subscribe("dvm/membership", [&failures](const Value& v) {
-    auto text = v.as_string();
-    if (text.ok() && text->starts_with("failed:")) ++failures;
-  });
+  auto sub = containers_[0]->kernel().events().subscribe(
+      "dvm/membership", [&failures](const Value& v) {
+        auto text = v.as_string();
+        if (text.ok() && text->starts_with("failed:")) ++failures;
+      });
   isolate("B");
   ASSERT_TRUE(dvm_->probe("A").ok());
   EXPECT_EQ(failures, 1);

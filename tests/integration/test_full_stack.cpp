@@ -93,14 +93,14 @@ TEST(FullStack, MigrationUnderLoadKeepsAnswersConsistent) {
   Rng rng(23);
   auto matrix = rng.doubles(n * n);
   for (std::size_t i = 0; i < n; ++i) matrix[i * n + i] += static_cast<double>(n);
-  auto service = *origin->instance(*id);
+  auto& service = *origin->instance(*id);
   std::vector<Value> set_params{Value::of_doubles(matrix, "a")};
-  ASSERT_TRUE(service->dispatch("setMatrix", set_params).ok());
-  ASSERT_TRUE(service->dispatch("factor", {}).ok());
+  ASSERT_TRUE(service.dispatch("setMatrix", set_params).ok());
+  ASSERT_TRUE(service.dispatch("factor", {}).ok());
 
   auto rhs = rng.doubles(n);
   std::vector<Value> solve_params{Value::of_doubles(rhs, "b")};
-  auto before = service->dispatch("solve", solve_params);
+  auto before = service.dispatch("solve", solve_params);
   ASSERT_TRUE(before.ok());
 
   auto report = mobility::migrate_component(*origin, *id, "destination");

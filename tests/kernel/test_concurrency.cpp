@@ -15,7 +15,7 @@ namespace {
 TEST(EventBusConcurrency, ParallelPublishersAllDeliver) {
   EventBus bus;
   std::atomic<int> hits{0};
-  bus.subscribe("t", [&hits](const Value&) { hits.fetch_add(1); });
+  auto sub = bus.subscribe("t", [&hits](const Value&) { hits.fetch_add(1); });
 
   constexpr int kThreads = 4;
   constexpr int kPerThread = 500;
@@ -35,7 +35,7 @@ TEST(EventBusConcurrency, SubscribeWhilePublishing) {
   EventBus bus;
   std::atomic<bool> stop{false};
   std::atomic<int> delivered{0};
-  bus.subscribe("t", [&delivered](const Value&) { delivered.fetch_add(1); });
+  auto sub = bus.subscribe("t", [&delivered](const Value&) { delivered.fetch_add(1); });
 
   std::thread publisher([&bus, &stop] {
     while (!stop.load()) bus.publish("t", Value::of_void());
@@ -44,8 +44,9 @@ TEST(EventBusConcurrency, SubscribeWhilePublishing) {
   // have started it yet), then churn subscriptions while it publishes.
   while (delivered.load() == 0) std::this_thread::yield();
   for (int i = 0; i < 200; ++i) {
-    auto id = bus.subscribe("other" + std::to_string(i % 7), [](const Value&) {});
-    EXPECT_TRUE(bus.unsubscribe(id));
+    auto churn = bus.subscribe("other" + std::to_string(i % 7), [](const Value&) {});
+    churn.reset();
+    EXPECT_FALSE(churn.active());
   }
   stop.store(true);
   publisher.join();

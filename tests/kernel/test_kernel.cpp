@@ -20,12 +20,21 @@ class KernelTest : public ::testing::Test {
   std::unique_ptr<Kernel> kernel_;
 };
 
-TEST_F(KernelTest, LoadAndFind) {
+TEST_F(KernelTest, LoadAndGet) {
   auto plugin = kernel_->load("ping");
   ASSERT_TRUE(plugin.ok()) << plugin.error().describe();
   EXPECT_EQ((*plugin)->info().name, "ping");
-  EXPECT_EQ(kernel_->find("ping"), *plugin);
+  auto found = kernel_->get("ping");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(&*found, *plugin);
   EXPECT_EQ(kernel_->plugin_count(), 1u);
+}
+
+TEST_F(KernelTest, GetMissingPluginCarriesNotFound) {
+  auto missing = kernel_->get("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
+  EXPECT_NE(missing.error().message().find("ghost"), std::string::npos);
 }
 
 TEST_F(KernelTest, LoadUnknownPluginFails) {
@@ -44,7 +53,7 @@ TEST_F(KernelTest, DoubleLoadRejected) {
 TEST_F(KernelTest, UnloadThenReload) {
   ASSERT_TRUE(kernel_->load("ping").ok());
   ASSERT_TRUE(kernel_->unload("ping").ok());
-  EXPECT_EQ(kernel_->find("ping"), nullptr);
+  EXPECT_FALSE(kernel_->get("ping").ok());
   EXPECT_FALSE(kernel_->unload("ping").ok());
   EXPECT_TRUE(kernel_->load("ping").ok());  // reconfigurability
 }
@@ -114,7 +123,7 @@ TEST_F(KernelTest, InitFailureDiscardsPlugin) {
                   .ok());
   auto plugin = kernel_->load("p2p");
   ASSERT_FALSE(plugin.ok());
-  EXPECT_EQ(kernel_->find("p2p"), nullptr);
+  EXPECT_FALSE(kernel_->get("p2p").ok());
   EXPECT_EQ(kernel_->plugin_count(), 0u);
 }
 
@@ -139,27 +148,55 @@ TEST_F(KernelTest, KernelDestructorShutsPluginsDown) {
 TEST(EventBus, PublishReachesSubscribersInOrder) {
   EventBus bus;
   std::vector<int> order;
-  bus.subscribe("t", [&order](const Value&) { order.push_back(1); });
-  bus.subscribe("t", [&order](const Value&) { order.push_back(2); });
+  auto first = bus.subscribe("t", [&order](const Value&) { order.push_back(1); });
+  auto second = bus.subscribe("t", [&order](const Value&) { order.push_back(2); });
   EXPECT_EQ(bus.publish("t", Value::of_void()), 2u);
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(EventBus, UnsubscribeStopsDelivery) {
+TEST(EventBus, ResetStopsDelivery) {
   EventBus bus;
   int hits = 0;
-  auto id = bus.subscribe("t", [&hits](const Value&) { ++hits; });
+  auto sub = bus.subscribe("t", [&hits](const Value&) { ++hits; });
+  EXPECT_TRUE(sub.active());
   bus.publish("t", Value::of_void());
-  EXPECT_TRUE(bus.unsubscribe(id));
-  EXPECT_FALSE(bus.unsubscribe(id));
+  sub.reset();
+  EXPECT_FALSE(sub.active());
+  sub.reset();  // idempotent
   bus.publish("t", Value::of_void());
   EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, SubscriptionUnsubscribesOnScopeExit) {
+  EventBus bus;
+  int hits = 0;
+  {
+    auto sub = bus.subscribe("t", [&hits](const Value&) { ++hits; });
+    bus.publish("t", Value::of_void());
+    EXPECT_EQ(bus.subscriber_count("t"), 1u);
+  }
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+  bus.publish("t", Value::of_void());
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventBus, SubscriptionMoveTransfersOwnership) {
+  EventBus bus;
+  int hits = 0;
+  auto sub = bus.subscribe("t", [&hits](const Value&) { ++hits; });
+  EventBus::Subscription moved = std::move(sub);
+  EXPECT_FALSE(sub.active());  // NOLINT(bugprone-use-after-move): deliberate
+  EXPECT_TRUE(moved.active());
+  bus.publish("t", Value::of_void());
+  EXPECT_EQ(hits, 1);
+  moved.reset();
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
 }
 
 TEST(EventBus, TopicsAreIsolated) {
   EventBus bus;
   int a_hits = 0;
-  bus.subscribe("a", [&a_hits](const Value&) { ++a_hits; });
+  auto sub = bus.subscribe("a", [&a_hits](const Value&) { ++a_hits; });
   EXPECT_EQ(bus.publish("b", Value::of_void()), 0u);
   EXPECT_EQ(a_hits, 0);
   EXPECT_EQ(bus.subscriber_count("a"), 1u);
@@ -169,7 +206,8 @@ TEST(EventBus, TopicsAreIsolated) {
 TEST(EventBus, PayloadDelivered) {
   EventBus bus;
   std::string got;
-  bus.subscribe("t", [&got](const Value& v) { got = v.as_string().value_or(""); });
+  auto sub =
+      bus.subscribe("t", [&got](const Value& v) { got = v.as_string().value_or(""); });
   bus.publish("t", Value::of_string("payload"));
   EXPECT_EQ(got, "payload");
 }
@@ -177,8 +215,9 @@ TEST(EventBus, PayloadDelivered) {
 TEST(EventBus, SubscribeInsideHandlerDoesNotDeadlock) {
   EventBus bus;
   int nested = 0;
-  bus.subscribe("t", [&bus, &nested](const Value&) {
-    bus.subscribe("t2", [&nested](const Value&) { ++nested; });
+  std::vector<EventBus::Subscription> held;
+  auto sub = bus.subscribe("t", [&bus, &nested, &held](const Value&) {
+    held.push_back(bus.subscribe("t2", [&nested](const Value&) { ++nested; }));
   });
   bus.publish("t", Value::of_void());
   bus.publish("t2", Value::of_void());

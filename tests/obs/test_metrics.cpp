@@ -1,0 +1,127 @@
+// MetricsRegistry unit tests: handle stability, concurrent increments,
+// histogram bucket-edge behaviour, snapshots, and the two exporters.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/export.hpp"
+
+namespace h2::obs {
+namespace {
+
+TEST(Counter, FindOrCreateReturnsStableHandle) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("h2.test.hits");
+  Counter& b = registry.counter("h2.test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  b.add(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.counter_value("h2.test.hits"), 5u);
+  EXPECT_EQ(registry.counter_value("h2.test.misses"), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter& hits = registry.counter("h2.test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hits] {
+      for (int i = 0; i < kPerThread; ++i) hits.add();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(hits.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& depth = registry.gauge("h2.test.depth");
+  depth.set(10);
+  depth.add(-3);
+  EXPECT_EQ(depth.value(), 7);
+  depth.set(-2);
+  EXPECT_EQ(depth.value(), -2);
+}
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h2.test.latency", {10, 100});
+  h.observe(0);
+  h.observe(10);   // exactly the first bound -> bucket 0
+  h.observe(11);   // just past it -> bucket 1
+  h.observe(100);  // exactly the second bound -> bucket 1
+  h.observe(101);  // past every bound -> overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0 + 10 + 11 + 100 + 101);
+}
+
+TEST(Histogram, UnsortedBoundsAreSorted) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h2.test.unsorted", {100, 10, 10});
+  EXPECT_EQ(h.bounds(), (std::vector<std::int64_t>{10, 100}));
+}
+
+TEST(Histogram, DefaultLatencyBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h2.test.default");
+  ASSERT_FALSE(h.bounds().empty());
+  EXPECT_EQ(h.bounds().front(), 1'000);            // 1us
+  EXPECT_EQ(h.bounds().back(), 10'000'000'000);    // 10s
+  EXPECT_TRUE(std::is_sorted(h.bounds().begin(), h.bounds().end()));
+}
+
+TEST(Snapshot, CapturesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.counter("h2.a.count").add(3);
+  registry.gauge("h2.a.depth").set(-5);
+  registry.histogram("h2.a.lat", {50}).observe(7);
+
+  Snapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "h2.a.count");
+  EXPECT_EQ(snapshot.counters[0].value, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, -5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  EXPECT_EQ(snapshot.histograms[0].sum, 7);
+  ASSERT_EQ(snapshot.histograms[0].counts.size(), 2u);  // one bound + overflow
+  EXPECT_EQ(snapshot.histograms[0].counts[0], 1u);
+}
+
+TEST(Export, TextFormat) {
+  MetricsRegistry registry;
+  registry.counter("h2.net.messages").add(12);
+  registry.histogram("h2.kernel.k.latency.ping", {100}).observe(42);
+  std::string text = to_text(registry.snapshot());
+  EXPECT_NE(text.find("h2.net.messages 12\n"), std::string::npos);
+  EXPECT_NE(text.find("h2.kernel.k.latency.ping.count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("h2.kernel.k.latency.ping.sum 42\n"), std::string::npos);
+}
+
+TEST(Export, PrometheusFormat) {
+  MetricsRegistry registry;
+  registry.counter("h2.net.messages").add(2);
+  registry.gauge("h2.container.a.components").set(3);
+  registry.histogram("h2.kernel.k.latency", {10, 100}).observe(5);
+  std::string text = to_prometheus(registry.snapshot());
+  // Dots sanitize to underscores; histogram buckets are cumulative with +Inf.
+  EXPECT_NE(text.find("h2_net_messages 2"), std::string::npos);
+  EXPECT_NE(text.find("h2_container_a_components 3"), std::string::npos);
+  EXPECT_NE(text.find("h2_kernel_k_latency_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("h2_kernel_k_latency_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("h2_kernel_k_latency_count 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE h2_net_messages counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2::obs

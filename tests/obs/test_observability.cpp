@@ -1,0 +1,240 @@
+// Observability integration tests: a trace id started by kernel.call on
+// host A crossing the wire in a SOAP header and continuing as a server
+// span on host B; the per-layer metric families; the introspection plugin
+// serving the registry over a real SOAP channel; and the transport drop
+// counters agreeing with a chaos fault plan inside the sim harness.
+#include <gtest/gtest.h>
+
+#include "core/harness2.hpp"
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+#include "sim/harness.hpp"
+#include "sim/invariant.hpp"
+#include "transport/rpc.hpp"
+
+namespace h2 {
+namespace {
+
+/// A plugin whose only operation forwards to a remote channel — the
+/// minimal "component calling across the DVM" shape for trace tests.
+class RelayPlugin final : public plugins::MuxPlugin {
+ public:
+  explicit RelayPlugin(net::Channel& channel) : channel_(channel) {
+    add_op("relay", [this](std::span<const Value> params) -> Result<Value> {
+      return channel_.invoke("greet", params);
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"relay", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Relay";
+    d.operations.push_back({"relay", {{"name", ValueKind::kString}}, ValueKind::kString});
+    return d;
+  }
+
+ private:
+  net::Channel& channel_;
+};
+
+TEST(Observability, TraceIdCrossesTheWireOnKernelCall) {
+  net::SimNetwork net;
+  auto client = *net.add_host("client");
+  auto server = *net.add_host("server");
+  net.tracer().set_enabled(true);
+
+  auto service = std::make_shared<net::DispatcherMux>();
+  service->add("greet", [](std::span<const Value> params) -> Result<Value> {
+    auto name = params.empty() ? Result<std::string>(std::string("world"))
+                               : params[0].as_string();
+    if (!name.ok()) return name.error();
+    return Value::of_string("hello " + *name, "return");
+  });
+  net::SoapHttpServer http(net, server, 8080);
+  ASSERT_TRUE(http.start().ok());
+  ASSERT_TRUE(http.mount("svc", service).ok());
+
+  auto channel = net::make_soap_channel(
+      net, client, *net::Endpoint::parse("http://server:8080/svc"), "urn:test");
+  net::Channel* raw = channel.get();
+  kernel::PluginRepository repo;
+  ASSERT_TRUE(repo.add("relay", "1.0",
+                       [raw] { return std::make_unique<RelayPlugin>(*raw); })
+                  .ok());
+  kernel::Kernel kernel("client", repo, net, client);
+  ASSERT_TRUE(kernel.load("relay").ok());
+
+  std::vector<Value> params{Value::of_string("harness", "name")};
+  auto result = kernel.call("relay", "relay", params);
+  ASSERT_TRUE(result.ok()) << result.error().describe();
+  EXPECT_EQ(*result->as_string(), "hello harness");
+
+  // The client-side kernel.call span and the server-side serve span must
+  // share one trace, with the client span as the server span's parent —
+  // proof the id went through the envelope, not through memory.
+  const obs::SpanRecord* client_span = nullptr;
+  const obs::SpanRecord* server_span = nullptr;
+  auto spans = net.tracer().spans();
+  for (const auto& span : spans) {
+    if (span.name == "kernel.call.relay.relay") client_span = &span;
+    if (span.name == "soap.serve.greet") server_span = &span;
+  }
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  EXPECT_EQ(server_span->trace_id, client_span->trace_id);
+  EXPECT_EQ(server_span->parent_span, client_span->span_id);
+  EXPECT_TRUE(server_span->ok);
+  EXPECT_NE(server_span->note.find("server"), std::string::npos);
+}
+
+TEST(Observability, KernelCallMetricsCountCallsAndErrors) {
+  net::SimNetwork net;
+  auto host = *net.add_host("alpha");
+  kernel::PluginRepository repo;
+  ASSERT_TRUE(plugins::register_standard_plugins(repo).ok());
+  kernel::Kernel kernel("alpha", repo, net, host);
+  ASSERT_TRUE(kernel.load("ping").ok());
+
+  auto& metrics = net.metrics();
+  EXPECT_EQ(metrics.counter_value("h2.kernel.alpha.loads.ping"), 1u);
+
+  ASSERT_TRUE(kernel.call("ping", "ping", {}).ok());
+  ASSERT_TRUE(kernel.call("ping", "ping", {}).ok());
+  EXPECT_FALSE(kernel.call("ping", "no-such-op", {}).ok());
+
+  EXPECT_EQ(metrics.counter_value("h2.kernel.alpha.calls.ping"), 3u);
+  EXPECT_EQ(metrics.counter_value("h2.kernel.alpha.errors.ping"), 1u);
+
+  // With instrumentation off, call() bypasses the counters entirely.
+  kernel.set_instrumentation(false);
+  ASSERT_TRUE(kernel.call("ping", "ping", {}).ok());
+  EXPECT_EQ(metrics.counter_value("h2.kernel.alpha.calls.ping"), 3u);
+}
+
+TEST(Observability, ContainerLifecycleMetrics) {
+  net::SimNetwork net;
+  kernel::PluginRepository repo;
+  ASSERT_TRUE(plugins::register_standard_plugins(repo).ok());
+  container::Container box("alpha", repo, net, *net.add_host("alpha"));
+
+  auto id = box.deploy("ping");
+  ASSERT_TRUE(id.ok());
+  auto& metrics = net.metrics();
+  EXPECT_EQ(metrics.counter_value("h2.container.alpha.deploys"), 1u);
+
+  auto components_gauge = [&metrics]() -> std::int64_t {
+    for (const auto& gauge : metrics.snapshot().gauges) {
+      if (gauge.name == "h2.container.alpha.components") return gauge.value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(components_gauge(), 1);
+
+  ASSERT_TRUE(box.crash().ok());
+  ASSERT_TRUE(box.restart().ok());
+  EXPECT_EQ(metrics.counter_value("h2.container.alpha.crashes"), 1u);
+  EXPECT_EQ(metrics.counter_value("h2.container.alpha.restarts"), 1u);
+
+  ASSERT_TRUE(box.undeploy(*id).ok());
+  EXPECT_EQ(metrics.counter_value("h2.container.alpha.undeploys"), 1u);
+  EXPECT_EQ(components_gauge(), 0);
+}
+
+TEST(Observability, DvmCoherencyMetrics) {
+  Framework fw;
+  auto a = *fw.create_container("A");
+  auto b = *fw.create_container("B");
+  auto dvm = *fw.create_dvm("grid", CoherencyMode::kFullSynchrony);
+  ASSERT_TRUE(dvm->add_node(*a).ok());
+  ASSERT_TRUE(dvm->add_node(*b).ok());
+
+  auto& metrics = fw.network().metrics();
+  std::uint64_t rounds_before = metrics.counter_value("h2.dvm.grid.coherency.rounds");
+  std::uint64_t fanout_before = metrics.counter_value("h2.dvm.grid.coherency.fanout");
+
+  ASSERT_TRUE(dvm->set("A", "k", "v").ok());
+  EXPECT_EQ(*dvm->get("B", "k"), "v");
+  ASSERT_TRUE(dvm->erase("A", "k").ok());
+
+  EXPECT_EQ(metrics.counter_value("h2.dvm.grid.coherency.rounds"), rounds_before + 3);
+  // Full synchrony replicates the set and the erase to the peer; the get
+  // is local. Either way the fan-out counter moved.
+  EXPECT_GT(metrics.counter_value("h2.dvm.grid.coherency.fanout"), fanout_before);
+}
+
+TEST(Observability, IntrospectionPluginServesMetricsOverSoap) {
+  Framework fw;
+  auto alpha = *fw.create_container("alpha");
+  auto beta = *fw.create_container("beta");
+
+  container::DeployOptions options;
+  options.expose_soap = true;
+  auto id = alpha->deploy("introspection", options);
+  ASSERT_TRUE(id.ok()) << id.error().describe();
+
+  auto defs = alpha->describe(*id);
+  ASSERT_TRUE(defs.ok());
+  auto channel = beta->open_channel(*defs);
+  ASSERT_TRUE(channel.ok()) << channel.error().describe();
+  EXPECT_STREQ((*channel)->binding_name(), "soap");
+
+  auto text = (*channel)->invoke("metrics", {});
+  ASSERT_TRUE(text.ok()) << text.error().describe();
+  EXPECT_NE((*text->as_string()).find("h2.net.messages"), std::string::npos);
+  EXPECT_NE((*text->as_string()).find("h2.container.alpha.deploys"), std::string::npos);
+
+  std::vector<Value> params{Value::of_string("h2.container.alpha.deploys", "name")};
+  auto one = (*channel)->invoke("metric", params);
+  ASSERT_TRUE(one.ok()) << one.error().describe();
+  EXPECT_GE(*one->as_int(), 1);
+
+  auto prom = (*channel)->invoke("prometheus", {});
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE((*prom->as_string()).find("# TYPE h2_net_messages counter"),
+            std::string::npos);
+
+  // The kNotFound becomes a SOAP fault on the wire; the code does not
+  // survive the mapping but the message does.
+  std::vector<Value> ghost{Value::of_string("h2.no.such.metric", "name")};
+  auto miss = (*channel)->invoke("metric", ghost);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_NE(miss.error().message().find("h2.no.such.metric"), std::string::npos);
+}
+
+TEST(Observability, TransportDropCountersMatchFaultPlan) {
+  sim::SimConfig config;
+  config.scenario = "obs-drops";
+  config.nodes = 4;
+  config.steps = 80;
+  config.check_every = 20;
+  sim::MessageChaos chaos;
+  chaos.drop_p = 0.25;
+  config.plan.chaos(chaos);
+
+  sim::SimHarness harness(config, /*seed=*/42);
+  harness.add_invariant(sim::make_metrics_consistency());
+  auto report = harness.run();
+  ASSERT_TRUE(report.ok()) << report.error().describe();
+
+  const net::NetStats stats = harness.net().stats();
+  auto& metrics = harness.net().metrics();
+  EXPECT_EQ(metrics.counter_value("h2.net.drops"), stats.drops);
+  EXPECT_EQ(metrics.counter_value("h2.net.messages"), stats.messages);
+  EXPECT_EQ(metrics.counter_value("h2.net.bytes"), stats.bytes);
+  ASSERT_GT(stats.drops, 0u);
+
+  // Every wire attempt either lands (messages) or drops; with drop_p =
+  // 0.25 chaos the observed rate must sit in the right ballpark. Calls
+  // count two delivered messages per round trip (request + response) but
+  // only the request can drop, so the ratio runs below drop_p — for pure
+  // call traffic the expectation is p / (p + 2(1-p)) ~= 0.14, hence the
+  // asymmetric [p/3, 2p] window.
+  double attempts = static_cast<double>(stats.messages + stats.drops);
+  double observed = static_cast<double>(stats.drops) / attempts;
+  EXPECT_GT(observed, chaos.drop_p / 3);
+  EXPECT_LT(observed, chaos.drop_p * 2);
+}
+
+}  // namespace
+}  // namespace h2

@@ -73,7 +73,7 @@ TEST_F(PluginTest, TableCrud) {
 TEST_F(PluginTest, EventPluginBridgesToBus) {
   ASSERT_TRUE(kernel_->load("event").ok());
   std::string got;
-  kernel_->events().subscribe("news", [&got](const Value& v) {
+  auto sub = kernel_->events().subscribe("news", [&got](const Value& v) {
     got = v.as_string().value_or("");
   });
   auto delivered =

@@ -170,7 +170,8 @@ TEST_F(PvmTestBase, KillAndStatusAcrossHosts) {
 TEST_F(PvmTestBase, SpawnEventsPublished) {
   boot_all();
   int spawns = 0;
-  kernels_[1]->events().subscribe("pvm/spawn", [&spawns](const Value&) { ++spawns; });
+  auto sub = kernels_[1]->events().subscribe("pvm/spawn",
+                                             [&spawns](const Value&) { ++spawns; });
   auto console = PvmTask::enroll(*kernels_[0], "console");
   ASSERT_TRUE(console.ok());
   ASSERT_TRUE(console->spawn("w1", "hostB").ok());

@@ -31,7 +31,7 @@ TEST_F(XmlRegistryTest, AddAndFind) {
   EXPECT_EQ(registry_.size(), 1u);
   auto entry = registry_.find_service("AlphaService");
   ASSERT_TRUE(entry.ok());
-  EXPECT_EQ((*entry)->key, *key);
+  EXPECT_EQ(entry->key, *key);
 }
 
 TEST_F(XmlRegistryTest, FindMissing) {
@@ -61,7 +61,7 @@ TEST_F(XmlRegistryTest, LatestRegistrationWins) {
   (void)registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://new:1/x"));
   auto entry = registry_.find_service("AlphaService");
   ASSERT_TRUE(entry.ok());
-  EXPECT_EQ((*entry)->defs.services[0].ports[0].address, "http://new:1/x");
+  EXPECT_EQ(entry->defs.services[0].ports[0].address, "http://new:1/x");
 }
 
 TEST_F(XmlRegistryTest, LeaseExpiry) {

@@ -19,6 +19,9 @@ fi
 echo "== ctest -L sim =="
 ctest --test-dir "$BUILD_DIR" -L sim --output-on-failure
 
+echo "== ctest -L obs =="
+ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
+
 echo "== simrunner sweep: all scenarios, seeds 1..$SEEDS =="
 SWEEP_LOG="$BUILD_DIR/sim_sweep.log"
 STATUS=0
