@@ -1,6 +1,9 @@
 #!/usr/bin/env sh
-# Runs the SOAP-path benchmarks (EXP-SOAP) and writes JSON results next to
-# the build tree so runs can be diffed across commits.
+# Runs the wire-path benchmark suites (EXP-SOAP, EXP-OBS, EXP-RESIL) and
+# writes JSON results next to the build tree so runs can be diffed across
+# commits. bench_resilience runs with repetitions and median aggregates:
+# its headline number is a <5% overhead ratio, which a single noisy run
+# cannot support.
 #
 # Usage: bench/run_bench.sh [build-dir] [min-time]
 #   build-dir  defaults to ./build
@@ -18,15 +21,17 @@ fi
 
 run() {
   name="$1"
+  shift
   echo "== $name (min_time=${MIN_TIME}s) =="
   "$BUILD_DIR/bench/$name" \
     --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json \
     --benchmark_out="$OUT_DIR/BENCH_${name#bench_}.json" \
-    --benchmark_out_format=json > /dev/null
+    --benchmark_out_format=json "$@" > /dev/null
   echo "   wrote $OUT_DIR/BENCH_${name#bench_}.json"
 }
 
 run bench_soap
 run bench_encoding
 run bench_observability
+run bench_resilience --benchmark_repetitions=5 --benchmark_report_aggregates_only

@@ -1,5 +1,7 @@
 #include "container/container.hpp"
 
+#include "resilience/breaker.hpp"
+#include "resilience/resilient_channel.hpp"
 #include "util/log.hpp"
 
 namespace h2::container {
@@ -37,12 +39,17 @@ Container::Container(std::string name, const kernel::PluginRepository& repo,
       host_(host),
       kernel_(name_, repo, net, host),
       registry_(net.clock()),
+      dedup_(std::make_shared<resil::DedupCache>(
+          resil::kDefaultDedupCapacity,
+          &net.metrics().counter("h2.resil.dedup_hits"))),
       soap_server_(net, host, kSoapPort),
       c_deploys_(net.metrics().counter("h2.container." + name_ + ".deploys")),
       c_undeploys_(net.metrics().counter("h2.container." + name_ + ".undeploys")),
       c_crashes_(net.metrics().counter("h2.container." + name_ + ".crashes")),
       c_restarts_(net.metrics().counter("h2.container." + name_ + ".restarts")),
-      g_components_(net.metrics().gauge("h2.container." + name_ + ".components")) {}
+      g_components_(net.metrics().gauge("h2.container." + name_ + ".components")) {
+  soap_server_.set_dedup(dedup_);
+}
 
 Container::~Container() {
   // Endpoints must die before the plugins they forward to.
@@ -104,7 +111,8 @@ Result<std::string> Container::deploy_impl(std::string_view plugin_name,
   if (options.expose_xdr) {
     std::uint16_t port = next_xdr_port_++;
     auto handle = net::serve_xdr(
-        net_, host_, port, std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+        net_, host_, port, std::make_shared<ForwardDispatcher>(deployed.plugin.get()),
+        dedup_);
     if (!handle.ok()) {
       deployed.plugin->shutdown();
       return handle.error().context("xdr endpoint for " + id);
@@ -252,7 +260,7 @@ Status Container::restart() {
     if (deployed.xdr_port == 0) continue;
     auto handle = net::serve_xdr(
         net_, host_, deployed.xdr_port,
-        std::make_shared<ForwardDispatcher>(deployed.plugin.get()));
+        std::make_shared<ForwardDispatcher>(deployed.plugin.get()), dedup_);
     if (!handle.ok()) {
       return handle.error().context("restart: xdr endpoint for " + id);
     }
@@ -424,6 +432,20 @@ Result<std::unique_ptr<net::Channel>> Container::open_channel(
   }
   if (last_error.has_value()) return *last_error;
   return err::not_found("no feasible binding for service '" + defs.name + "'");
+}
+
+Result<std::unique_ptr<net::Channel>> Container::open_resilient_channel(
+    const wsdl::Definitions& defs, const resil::CallPolicy& policy,
+    std::span<const wsdl::BindingKind> preference) {
+  auto channel = open_channel(defs, preference);
+  if (!channel.ok()) return channel;
+  const net::Endpoint* remote = (*channel)->remote();
+  if (remote == nullptr) return channel;  // in-process: nothing to retry
+  std::string key = remote->host;
+  resil::CircuitBreaker& breaker =
+      resil::BreakerRegistry::of(net_).for_endpoint(key);
+  return resil::make_resilient_channel(std::move(*channel), net_, policy, &breaker,
+                                       std::move(key));
 }
 
 }  // namespace h2::container

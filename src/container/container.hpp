@@ -28,6 +28,8 @@
 
 #include "kernel/kernel.hpp"
 #include "registry/xml_registry.hpp"
+#include "resilience/dedup.hpp"
+#include "resilience/policy.hpp"
 #include "transport/rpc.hpp"
 #include "wsdl/io.hpp"
 
@@ -163,6 +165,23 @@ class Container {
       const wsdl::Definitions& defs,
       std::span<const wsdl::BindingKind> preference = kDefaultPreference);
 
+  /// open_channel() plus fault tolerance: network channels (those with a
+  /// remote endpoint) come back wrapped in a resil::ResilientChannel with
+  /// `policy` and this network's shared per-host circuit breaker. Local
+  /// and localobject channels are returned as-is — in-process dispatch
+  /// cannot lose messages, so retries would only mask bugs.
+  Result<std::unique_ptr<net::Channel>> open_resilient_channel(
+      const wsdl::Definitions& defs, const resil::CallPolicy& policy,
+      std::span<const wsdl::BindingKind> preference = kDefaultPreference);
+
+  /// This container's server-side dedup cache (shared by its SOAP server
+  /// and every per-instance XDR endpoint).
+  resil::DedupCache& dedup() { return *dedup_; }
+  std::shared_ptr<resil::DedupCache> dedup_handle() const { return dedup_; }
+  /// Planted-bug hook for the simulator: turning dedup off re-exposes the
+  /// duplicate-execution hazard the retry-storm invariant looks for.
+  void set_dedup_enabled(bool enabled) { dedup_->set_enabled(enabled); }
+
   /// localobject > local > xdr > http > mime > soap — Fig 5's cost order.
   static constexpr wsdl::BindingKind kDefaultPreference[] = {
       wsdl::BindingKind::kLocalObject, wsdl::BindingKind::kLocal,
@@ -193,6 +212,7 @@ class Container {
   net::HostId host_;
   kernel::Kernel kernel_;
   reg::XmlRegistry registry_;
+  std::shared_ptr<resil::DedupCache> dedup_;
   net::SoapHttpServer soap_server_;
   std::map<std::string, Deployed, std::less<>> components_;
   std::map<std::string, std::string, std::less<>> registry_keys_;  // instance -> local reg key

@@ -82,8 +82,8 @@ ManagementService::ManagementService(Container& container)
 
 Status ManagementService::start() {
   if (server_.has_value()) return Status::success();
-  auto handle =
-      net::serve_xdr(container_.network(), container_.host(), kContainerPort, mux_);
+  auto handle = net::serve_xdr(container_.network(), container_.host(),
+                               kContainerPort, mux_, container_.dedup_handle());
   if (!handle.ok()) return handle.error().context("management service");
   server_.emplace(std::move(*handle));
   return Status::success();

@@ -27,6 +27,22 @@ Result<DynamicProxy> DynamicProxy::create(
                       &from.network().tracer());
 }
 
+Result<DynamicProxy> DynamicProxy::create(
+    container::Container& from, const wsdl::Definitions& defs,
+    const resil::CallPolicy& policy, std::span<const wsdl::BindingKind> preference) {
+  if (auto status = wsdl::validate(defs); !status.ok()) {
+    return status.error().context("dynamic proxy");
+  }
+  auto descriptor = wsdl::descriptor_from(defs);
+  if (!descriptor.ok()) return descriptor.error().context("dynamic proxy");
+  auto channel = preference.empty()
+                     ? from.open_resilient_channel(defs, policy)
+                     : from.open_resilient_channel(defs, policy, preference);
+  if (!channel.ok()) return channel.error().context("dynamic proxy");
+  return DynamicProxy(std::move(*descriptor), std::move(*channel),
+                      &from.network().tracer());
+}
+
 Result<Value> DynamicProxy::invoke(std::string_view operation,
                                    std::span<const Value> params) {
   const wsdl::OperationSpec* spec = descriptor_.find_operation(operation);

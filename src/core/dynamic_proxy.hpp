@@ -27,6 +27,14 @@ class DynamicProxy {
       container::Container& from, const wsdl::Definitions& defs,
       std::span<const wsdl::BindingKind> preference = {});
 
+  /// As create(), but network bindings are wrapped in the resilience
+  /// layer: deadline, retries with backoff, shared circuit breaker, and
+  /// idempotency keys per `policy` (see resil::CallPolicy).
+  static Result<DynamicProxy> create(
+      container::Container& from, const wsdl::Definitions& defs,
+      const resil::CallPolicy& policy,
+      std::span<const wsdl::BindingKind> preference = {});
+
   /// Typed invocation: validated against the WSDL before dispatch.
   Result<Value> invoke(std::string_view operation, std::span<const Value> params);
   Result<Value> invoke(std::string_view operation, std::initializer_list<Value> params) {

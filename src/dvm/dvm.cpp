@@ -308,6 +308,22 @@ Result<wsdl::Definitions> Dvm::find_service(std::string_view service_name) const
                         "' on any node");
 }
 
+std::vector<wsdl::Definitions> Dvm::find_all_services(
+    std::string_view service_name) const {
+  std::vector<wsdl::Definitions> out;
+  for (DvmNode* node : alive_members()) {
+    auto record = node->container().find_local(service_name);
+    if (record.ok()) out.push_back(record->wsdl);
+  }
+  return out;
+}
+
+void Dvm::announce_failover(std::string_view service_name, std::string_view from_node,
+                            std::string_view to_node) {
+  announce("dvm/failover", std::string(service_name) + ":" + std::string(from_node) +
+                               "->" + std::string(to_node));
+}
+
 DvmStatus Dvm::status() const {
   DvmStatus out;
   out.name = name_;

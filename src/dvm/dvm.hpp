@@ -126,6 +126,17 @@ class Dvm {
   /// and returns the first WSDL match (the Fig 4 lookup service).
   Result<wsdl::Definitions> find_service(std::string_view service_name) const;
 
+  /// All alive replicas of a service, in membership order — the candidate
+  /// list a FailoverChannel walks when its primary endpoint dies. Empty
+  /// vector (not an error) when nothing matches.
+  std::vector<wsdl::Definitions> find_all_services(std::string_view service_name) const;
+
+  /// Announces a completed client failover on every member's event bus
+  /// (topic "dvm/failover", payload "service:from->to"). Emitted by the
+  /// resilience layer, observable by tests and operators alike.
+  void announce_failover(std::string_view service_name, std::string_view from_node,
+                         std::string_view to_node);
+
   // ---- status -----------------------------------------------------------------
 
   DvmStatus status() const;

@@ -1,0 +1,73 @@
+// Counter plugin — the resilience layer's side-effect witness. Its one
+// mutating operation, add(id, delta), is deliberately NOT idempotent: the
+// total moves on every execution, and the plugin remembers every id it
+// has applied. If a retried call ever reaches dispatch twice (dedup
+// disabled, or a broken idempotency key), the repeat is tallied in dups —
+// which is exactly what the retry-storm scenario's at-most-once invariant
+// inspects on every replica.
+#include <set>
+
+#include "plugins/mux_plugin.hpp"
+#include "plugins/standard.hpp"
+
+namespace h2::plugins {
+
+namespace {
+
+class CounterPlugin final : public MuxPlugin {
+ public:
+  CounterPlugin() {
+    add_op("add", [this](std::span<const Value> params) -> Result<Value> {
+      if (params.size() != 2) {
+        return err::invalid_argument("counter.add wants (id, delta)");
+      }
+      auto id = params[0].as_string();
+      if (!id.ok()) return id.error();
+      auto delta = params[1].as_int();
+      if (!delta.ok()) return delta.error();
+      if (!seen_.insert(*id).second) {
+        ++dups_;  // the same logical operation executed again
+      }
+      ++applied_;
+      total_ += *delta;
+      return Value::of_int(total_, "return");
+    });
+    add_op("total", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(total_, "return");
+    });
+    add_op("applied", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(applied_, "return");
+    });
+    add_op("dups", [this](std::span<const Value>) -> Result<Value> {
+      return Value::of_int(dups_, "return");
+    });
+  }
+
+  kernel::PluginInfo info() const override { return {"counter", "1.0"}; }
+
+  wsdl::ServiceDescriptor descriptor() const override {
+    wsdl::ServiceDescriptor d;
+    d.name = "Counter";
+    d.operations.push_back({"add",
+                            {{"id", ValueKind::kString}, {"delta", ValueKind::kInt}},
+                            ValueKind::kInt});
+    d.operations.push_back({"total", {}, ValueKind::kInt});
+    d.operations.push_back({"applied", {}, ValueKind::kInt});
+    d.operations.push_back({"dups", {}, ValueKind::kInt});
+    return d;
+  }
+
+ private:
+  std::set<std::string> seen_;  ///< logical-operation ids already applied
+  std::int64_t total_ = 0;
+  std::int64_t applied_ = 0;  ///< executions, duplicates included
+  std::int64_t dups_ = 0;     ///< executions with an already-seen id
+};
+
+}  // namespace
+
+std::unique_ptr<kernel::Plugin> make_counter_plugin() {
+  return std::make_unique<CounterPlugin>();
+}
+
+}  // namespace h2::plugins

@@ -16,6 +16,7 @@ Status register_standard_plugins(kernel::PluginRepository& repo) {
       {"mmul", make_mmul_plugin},   {"lapack", make_lapack_plugin},
       {"mpi", make_mpi_plugin},     {"space", make_tuplespace_plugin},
       {"introspection", make_introspection_plugin},
+      {"counter", make_counter_plugin},
   };
   for (const auto& spec : kSpecs) {
     if (auto status = repo.add(spec.name, "1.0", spec.factory); !status.ok()) {

@@ -31,6 +31,9 @@ std::unique_ptr<kernel::Plugin> make_lapack_plugin();
 std::unique_ptr<kernel::Plugin> make_tuplespace_plugin();
 /// Metrics/trace introspection service ("introspection"). See introspection.cpp.
 std::unique_ptr<kernel::Plugin> make_introspection_plugin();
+/// Non-idempotent counter with duplicate-execution detection ("counter"),
+/// the witness service for the resilience scenarios. See counter.cpp.
+std::unique_ptr<kernel::Plugin> make_counter_plugin();
 
 /// Well-known port of the p2p plugin's inter-kernel message server.
 inline constexpr std::uint16_t kP2pPort = 7100;

@@ -25,8 +25,15 @@ Result<std::string> XmlRegistry::add(const wsdl::Definitions& defs, Nanos lease)
 
 Status XmlRegistry::renew(std::string_view key, Nanos extension) {
   auto it = stored_.find(key);
-  if (it == stored_.end() || !live(it->second)) {
+  if (it == stored_.end()) {
     return err::not_found("registry: no live entry '" + std::string(key) + "'");
+  }
+  if (!live(it->second)) {
+    // An expired lease cannot be revived: purge the corpse so the failed
+    // renew also reclaims the slot, and report the entry as gone.
+    stored_.erase(it);
+    return err::not_found("registry: lease on '" + std::string(key) +
+                          "' already expired");
   }
   if (extension <= 0) return err::invalid_argument("registry: non-positive extension");
   it->second.entry.lease_expires = clock_.now() + extension;

@@ -1,0 +1,90 @@
+#include "resilience/failover.hpp"
+
+namespace h2::resil {
+
+FailoverChannel::FailoverChannel(dvm::Dvm& dvm, container::Container& origin,
+                                 std::string service_name, CallPolicy policy,
+                                 std::vector<wsdl::BindingKind> preference)
+    : dvm_(dvm),
+      origin_(origin),
+      service_(std::move(service_name)),
+      policy_(policy),
+      preference_(std::move(preference)),
+      c_failovers_(origin.network().metrics().counter("h2.resil.failovers")) {}
+
+Result<std::unique_ptr<net::Channel>> FailoverChannel::open_candidate(
+    const wsdl::Definitions& defs) {
+  if (preference_.empty()) {
+    return origin_.open_resilient_channel(defs, policy_);
+  }
+  return origin_.open_resilient_channel(defs, policy_, preference_);
+}
+
+std::string FailoverChannel::node_of(const net::Channel& channel) const {
+  const net::Endpoint* remote = channel.remote();
+  return remote != nullptr ? remote->host : origin_.name();
+}
+
+Result<Value> FailoverChannel::invoke(std::string_view operation,
+                                      std::span<const Value> params) {
+  std::string failed_node;
+  // Sticky primary: keep using the node that last answered until it
+  // becomes unavailable — failover is an event, not a per-call lottery.
+  if (current_) {
+    auto result = current_->invoke(operation, params);
+    last_stats_ = current_->last_stats();
+    if (result.ok() || result.error().code() != ErrorCode::kUnavailable) {
+      // Success, an application answer, or kTimeout ("maybe executed" —
+      // switching replicas now could double-apply; the caller decides).
+      return result;
+    }
+    failed_node = current_node_;
+    current_.reset();
+    current_node_.clear();
+  }
+
+  Error last_error =
+      err::unavailable("no replica of '" + service_ + "' in dvm " + dvm_.name());
+  for (const wsdl::Definitions& defs : dvm_.find_all_services(service_)) {
+    auto channel = open_candidate(defs);
+    if (!channel.ok()) {
+      last_error = channel.error();
+      continue;
+    }
+    std::string node = node_of(**channel);
+    if (node == failed_node) continue;  // the replica that just failed us
+    auto result = (*channel)->invoke(operation, params);
+    last_stats_ = (*channel)->last_stats();
+    const bool definitely_not_executed =
+        !result.ok() && result.error().code() == ErrorCode::kUnavailable;
+    if (definitely_not_executed) {
+      last_error = result.error();
+      continue;
+    }
+    // This replica owns the call now (even a kTimeout pins us here: only
+    // same-node same-id retries are safe after a maybe-executed attempt).
+    if (!failed_node.empty() && node != failed_node) {
+      c_failovers_.add();
+      dvm_.announce_failover(service_, failed_node, node);
+    }
+    current_ = std::move(*channel);
+    current_node_ = std::move(node);
+    return result;
+  }
+
+  // Every replica is (currently) unreachable. No handler ran anywhere, but
+  // surfacing kUnavailable would leak transport taxonomy into callers that
+  // only want "done, answered, or try again later" — so the terminal
+  // failure of a logical call is always kTimeout.
+  return Error(ErrorCode::kTimeout, "no replica available for '" + service_ + "' (" +
+                                        last_error.message() + ")");
+}
+
+std::unique_ptr<net::Channel> make_failover_channel(
+    dvm::Dvm& dvm, container::Container& origin, std::string service_name,
+    CallPolicy policy, std::vector<wsdl::BindingKind> preference) {
+  return std::make_unique<FailoverChannel>(dvm, origin, std::move(service_name),
+                                           policy, std::move(preference));
+}
+
+}  // namespace h2::resil

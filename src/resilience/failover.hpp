@@ -1,0 +1,71 @@
+// FailoverChannel — the top of the fault-tolerance stack. Where the
+// ResilientChannel fights for one endpoint, the FailoverChannel gives up
+// on it: when retries exhaust with the request definitely un-executed
+// (kUnavailable) or the endpoint's breaker is open, it re-resolves the
+// service through the DVM's lookup (Dvm::find_all_services) and walks the
+// other replicas — the ones deploy_everywhere planted — announcing a
+// "dvm/failover" event when a different node takes over.
+//
+// The at-most-once story across replicas: a candidate is only abandoned
+// on kUnavailable, which by the transport's classification means no
+// handler ran there, so trying the next replica (with a fresh call id)
+// cannot double-apply anything. A kTimeout means "maybe executed" and is
+// returned to the caller unchanged — the NEXT logical call retries
+// through the same machinery, but this one must not touch a second
+// replica. When every replica is unavailable the error is reported as
+// kTimeout too: from the caller's point of view the operation's fate is
+// unknowable-until-later, and callers get the simple contract "calls
+// either succeed or fail with kTimeout".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "dvm/dvm.hpp"
+#include "resilience/policy.hpp"
+#include "transport/rpc.hpp"
+
+namespace h2::resil {
+
+class FailoverChannel final : public net::Channel {
+ public:
+  /// `origin` is the calling node's container (channels are opened from
+  /// its vantage); `dvm` supplies the replica list. Both must outlive the
+  /// channel. Empty `preference` means Container::kDefaultPreference.
+  FailoverChannel(dvm::Dvm& dvm, container::Container& origin,
+                  std::string service_name, CallPolicy policy,
+                  std::vector<wsdl::BindingKind> preference = {});
+
+  Result<Value> invoke(std::string_view operation,
+                       std::span<const Value> params) override;
+  const char* binding_name() const override { return "failover"; }
+  net::CallStats last_stats() const override { return last_stats_; }
+  const net::Endpoint* remote() const override {
+    return current_ ? current_->remote() : nullptr;
+  }
+
+  /// Node currently serving this channel's calls ("" before first use).
+  const std::string& current_node() const { return current_node_; }
+
+ private:
+  Result<std::unique_ptr<net::Channel>> open_candidate(const wsdl::Definitions& defs);
+  std::string node_of(const net::Channel& channel) const;
+
+  dvm::Dvm& dvm_;
+  container::Container& origin_;
+  std::string service_;
+  CallPolicy policy_;
+  std::vector<wsdl::BindingKind> preference_;
+  std::unique_ptr<net::Channel> current_;
+  std::string current_node_;
+  net::CallStats last_stats_;
+  obs::Counter& c_failovers_;
+};
+
+std::unique_ptr<net::Channel> make_failover_channel(
+    dvm::Dvm& dvm, container::Container& origin, std::string service_name,
+    CallPolicy policy, std::vector<wsdl::BindingKind> preference = {});
+
+}  // namespace h2::resil

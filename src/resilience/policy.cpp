@@ -1,0 +1,27 @@
+#include "resilience/policy.hpp"
+
+#include <algorithm>
+
+namespace h2::resil {
+
+bool transient(ErrorCode code) {
+  return code == ErrorCode::kUnavailable || code == ErrorCode::kTimeout;
+}
+
+bool maybe_executed(ErrorCode code) { return code == ErrorCode::kTimeout; }
+
+Nanos backoff_delay(const CallPolicy& policy, int attempt, Rng& rng) {
+  double base = static_cast<double>(policy.initial_backoff);
+  for (int i = 1; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff));
+  if (policy.jitter > 0.0) {
+    // Uniform in [1-jitter, 1+jitter]; one Rng draw per delay keeps the
+    // stream consumption independent of the delay magnitude.
+    double factor = 1.0 + policy.jitter * (2.0 * rng.next_double() - 1.0);
+    base *= factor;
+  }
+  auto delay = static_cast<Nanos>(base);
+  return delay < 1 ? 1 : delay;
+}
+
+}  // namespace h2::resil

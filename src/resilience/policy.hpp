@@ -1,0 +1,63 @@
+// CallPolicy — the declarative half of the fault-tolerance layer. A policy
+// says how long a logical call may take (deadline), how many transport
+// attempts it gets (retry budget), and how attempts are spaced
+// (exponential backoff with seeded jitter). Everything is driven by the
+// owning network's VirtualClock and a deterministic per-channel Rng, so a
+// simulated run with retries is exactly as reproducible as one without.
+//
+// Error classification is the load-bearing piece. A failed attempt falls
+// into one of three buckets:
+//   - kUnavailable: the request *definitely never executed* (partition,
+//     connection refused, request lost before delivery). Safe to retry
+//     anywhere, including on a different replica.
+//   - kTimeout: the request *may have executed* (reply lost, deadline).
+//     Safe to retry only on the same endpoint with the same call id —
+//     the server-side dedup cache turns the re-send into a replay.
+//   - anything else: an application-level answer. Never retried.
+// FailoverChannel relies on this split to preserve global at-most-once
+// without replicated dedup state: it only moves to a new replica on
+// kUnavailable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace h2::resil {
+
+struct CallPolicy {
+  /// Total virtual-time budget for one logical call, all attempts and
+  /// backoffs included. 0 disables the deadline.
+  Nanos deadline = 200 * kMillisecond;
+  /// Transport attempts per endpoint (1 = no retries).
+  int max_attempts = 4;
+  Nanos initial_backoff = kMillisecond;
+  Nanos max_backoff = 50 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  /// Backoff jitter as a fraction: each delay is drawn uniformly from
+  /// [base*(1-jitter), base*(1+jitter)]. 0 = fully regular.
+  double jitter = 0.2;
+  /// Mixed with the channel serial to seed the per-channel jitter Rng, so
+  /// retry timing never perturbs the harness's main PRNG stream.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Attach an idempotency key (<h2:CallId> header / XDR frame field) so
+  /// the server-side dedup cache can replay instead of re-execute.
+  bool attach_call_id = true;
+};
+
+/// Transport-level failure: the attempt did not produce an application
+/// answer and the policy may retry it.
+bool transient(ErrorCode code);
+
+/// The attempt may have reached the dispatcher (reply lost / deadline):
+/// retrying is only safe with the same call id on the same endpoint.
+bool maybe_executed(ErrorCode code);
+
+/// Backoff before retry number `attempt` (1-based: the delay after the
+/// first failed attempt is backoff_delay(policy, 1, rng)). Exponential in
+/// `attempt`, clamped to max_backoff, jittered from `rng`.
+Nanos backoff_delay(const CallPolicy& policy, int attempt, Rng& rng);
+
+}  // namespace h2::resil

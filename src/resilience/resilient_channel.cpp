@@ -1,0 +1,106 @@
+#include "resilience/resilient_channel.hpp"
+
+#include <charconv>
+
+namespace h2::resil {
+
+namespace {
+
+// "h2c-<serial>" without the std::to_string round trip — this runs on
+// every resilient call, so the stamp should cost one SSO string at most.
+std::string stamp_call_id(std::uint64_t serial) {
+  char buf[24] = {'h', '2', 'c', '-'};
+  auto [end, ec] = std::to_chars(buf + 4, buf + sizeof(buf), serial);
+  (void)ec;  // 20 digits always fit
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+ResilientChannel::ResilientChannel(std::unique_ptr<net::Channel> inner,
+                                   net::SimNetwork& net, CallPolicy policy,
+                                   CircuitBreaker* breaker, std::string endpoint_key)
+    : inner_(std::move(inner)),
+      net_(net),
+      policy_(policy),
+      breaker_(breaker),
+      endpoint_key_(std::move(endpoint_key)),
+      // One serial per channel keeps jitter streams distinct between
+      // channels while staying a pure function of construction order.
+      rng_(policy.jitter_seed ^ net.next_call_serial()),
+      c_retries_(net.metrics().counter("h2.resil.retries")),
+      c_deadline_(net.metrics().counter("h2.resil.deadline_exceeded")),
+      c_fastfail_(net.metrics().counter("h2.resil.breaker_fastfail")) {}
+
+void ResilientChannel::set_call_id(std::string id) {
+  forced_call_id_ = std::move(id);
+}
+
+Result<Value> ResilientChannel::invoke(std::string_view operation,
+                                       std::span<const Value> params) {
+  const Nanos start = net_.clock().now();
+  if (policy_.attach_call_id) {
+    std::string call_id = forced_call_id_.empty()
+                              ? stamp_call_id(net_.next_call_serial())
+                              : forced_call_id_;
+    // Every retry of this logical call re-sends the SAME id — that is the
+    // whole at-most-once contract with the server's DedupCache.
+    inner_->set_call_id(std::move(call_id));
+  }
+
+  last_attempts_ = 0;
+  bool maybe_exec = false;
+  Error last_error = err::unavailable("no attempt made");
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (policy_.deadline > 0 && net_.clock().now() - start >= policy_.deadline) {
+      c_deadline_.add();
+      return Error(ErrorCode::kTimeout,
+                   "deadline exceeded calling '" + std::string(operation) +
+                       "' on " + endpoint_key_ + " (" + last_error.message() + ")");
+    }
+    if (breaker_ != nullptr && !breaker_->allow(net_.clock().now())) {
+      c_fastfail_.add();
+      last_error = err::unavailable("circuit open for " + endpoint_key_);
+      // Fall through to backoff: advancing virtual time is what lets the
+      // breaker's cooldown elapse and admit a half-open probe.
+    } else {
+      ++last_attempts_;
+      if (last_attempts_ > 1) c_retries_.add();
+      auto result = inner_->invoke(operation, params);
+      const Nanos after = net_.clock().now();
+      if (result.ok()) {
+        if (breaker_ != nullptr) breaker_->record(true, after);
+        return result;
+      }
+      const ErrorCode code = result.error().code();
+      // Application-level answers (kNotFound, a SOAP fault, ...) mean the
+      // host is healthy: success for the breaker, final for the caller.
+      if (breaker_ != nullptr) breaker_->record(!transient(code), after);
+      if (!transient(code)) return result;
+      if (maybe_executed(code)) maybe_exec = true;
+      last_error = result.error();
+    }
+    if (attempt < policy_.max_attempts) {
+      net_.clock().advance(backoff_delay(policy_, attempt, rng_));
+    }
+  }
+
+  if (maybe_exec) {
+    // Some attempt may have reached the dispatcher; only a same-id retry
+    // (not a failover) would be safe, and the budget is spent.
+    return Error(ErrorCode::kTimeout,
+                 "retries exhausted calling '" + std::string(operation) + "' on " +
+                     endpoint_key_ + "; a reply was lost (" + last_error.message() + ")");
+  }
+  return last_error.context("retries exhausted calling '" + std::string(operation) +
+                            "' on " + endpoint_key_);
+}
+
+std::unique_ptr<net::Channel> make_resilient_channel(
+    std::unique_ptr<net::Channel> inner, net::SimNetwork& net, CallPolicy policy,
+    CircuitBreaker* breaker, std::string endpoint_key) {
+  return std::make_unique<ResilientChannel>(std::move(inner), net, policy, breaker,
+                                            std::move(endpoint_key));
+}
+
+}  // namespace h2::resil

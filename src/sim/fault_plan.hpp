@@ -20,9 +20,14 @@ struct MessageChaos {
   double drop_p = 0.0;
   double dup_p = 0.0;
   double delay_p = 0.0;
+  /// Synchronous calls only: the handler runs but the reply is lost, so the
+  /// caller sees kTimeout — the "maybe executed" case retries must handle.
+  double drop_reply_p = 0.0;
   Nanos max_delay = 2 * kMillisecond;
 
-  bool enabled() const { return drop_p > 0 || dup_p > 0 || delay_p > 0; }
+  bool enabled() const {
+    return drop_p > 0 || dup_p > 0 || delay_p > 0 || drop_reply_p > 0;
+  }
 };
 
 /// Per-step random fault draws. Each schedule step, the harness rolls

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "plugins/standard.hpp"
+#include "resilience/failover.hpp"
 #include "sim/invariant.hpp"
 
 namespace h2::sim {
@@ -94,6 +95,31 @@ Status SimHarness::setup() {
     ++membership_events_;
     trace_.record(net_.clock().now(), "join", name);
   }
+
+  if (config_.weights.rcall > 0) {
+    // The resilience workload: a counter replica on every node (the
+    // side-effect witness), called through one FailoverChannel per origin.
+    // The XDR-only preference forces calls onto the simulated network so
+    // chaos, retries and the idempotency cache are actually exercised —
+    // the local bindings would short-circuit all of it.
+    container::DeployOptions options;
+    options.expose_xdr = true;
+    if (auto status = dvm_->deploy_everywhere("counter", options); !status.ok()) {
+      return status.error().context("sim: deploying the counter witness");
+    }
+    if (config_.disable_dedup) {
+      for (auto& c : containers_) c->set_dedup_enabled(false);
+    }
+    resil::CallPolicy policy;
+    for (std::size_t i = 0; i < config_.nodes; ++i) {
+      rcall_channels_[node_name(i)] = resil::make_failover_channel(
+          *dvm_, *containers_[i], "CounterService", policy,
+          {wsdl::BindingKind::kXdr});
+    }
+    trace_.record(net_.clock().now(), "rcall-setup",
+                  "counter replicas on " + std::to_string(config_.nodes) +
+                      " nodes" + (config_.disable_dedup ? " (dedup OFF)" : ""));
+  }
   return Status::success();
 }
 
@@ -102,12 +128,19 @@ void SimHarness::install_chaos() {
   if (!chaos.enabled()) return;
   net_.set_fault_hook([this, chaos](const net::MessageInfo& info) {
     net::FaultDecision decision;
-    // Fixed draw order keeps the PRNG stream identical across runs.
+    // Fixed draw order (drop, dup, delay, reply-loss) keeps the PRNG
+    // stream identical no matter which faults fire.
     decision.drop = rng_.next_bool(chaos.drop_p);
     bool duplicate = rng_.next_bool(chaos.dup_p);
     bool delayed = rng_.next_bool(chaos.delay_p);
-    if (info.is_call) return decision;  // calls can only be refused
+    bool reply_lost = rng_.next_bool(chaos.drop_reply_p);
     if (duplicate) decision.duplicates = 1;
+    if (info.is_call) {
+      // Calls can be refused, duplicated (the handler runs again — what
+      // the idempotency cache must absorb), or answered into the void.
+      decision.drop_reply = reply_lost;
+      return decision;
+    }
     if (delayed && chaos.max_delay > 0) {
       decision.delay = static_cast<Nanos>(
           rng_.next_below(static_cast<std::uint64_t>(chaos.max_delay)));
@@ -265,7 +298,8 @@ Status SimHarness::apply_random_faults(std::size_t step) {
 
 Status SimHarness::run_op(std::size_t step) {
   const OpWeights& w = config_.weights;
-  double total = w.set + w.get + w.erase + w.deploy + w.probe + w.noise + w.pump;
+  double total =
+      w.set + w.get + w.erase + w.deploy + w.probe + w.noise + w.pump + w.rcall;
   double roll = rng_.next_double() * total;
   Nanos now = net_.clock().now();
   ++report_.ops_executed;
@@ -342,6 +376,32 @@ Status SimHarness::run_op(std::size_t step) {
     note_failures(*failed);
     trace_.record(now, "probe",
                   prober + " found " + std::to_string(failed->size()) + " failed");
+    return Status::success();
+  }
+  if ((roll -= w.rcall) < 0) {
+    std::string origin = random_alive_node();
+    auto it = rcall_channels_.find(origin);
+    if (it == rcall_channels_.end()) {
+      return err::internal("sim: no rcall channel for " + origin);
+    }
+    // One globally unique logical operation per rcall: if any replica ever
+    // applies the same id twice, a retry was double-executed.
+    std::string op_id = "op" + std::to_string(rpc_stats_.issued);
+    ++rpc_stats_.issued;
+    const Value params[] = {Value::of_string(op_id, "id"),
+                            Value::of_int(1, "delta")};
+    auto result = it->second->invoke("add", params);
+    if (result.ok()) {
+      ++rpc_stats_.succeeded;
+      trace_.record(now, "rcall", origin + " " + op_id + " ok");
+    } else if (result.error().code() == ErrorCode::kTimeout) {
+      ++rpc_stats_.timed_out;
+      trace_.record(now, "rcall", origin + " " + op_id + " timeout");
+    } else {
+      ++rpc_stats_.failed;
+      last_rpc_error_ = result.error().message();
+      trace_.record(now, "rcall", origin + " " + op_id + " FAILED");
+    }
     return Status::success();
   }
   if ((roll -= w.noise) < 0) {
@@ -432,11 +492,16 @@ Result<RunReport> SimHarness::run() {
   if (auto status = settle_and_check(config_.steps); !status.ok()) {
     return status.error();
   }
-  trace_.record(net_.clock().now(), "done",
-                "ops=" + std::to_string(report_.ops_executed) +
-                    " faults=" + std::to_string(report_.faults_applied) +
-                    " noise=" + std::to_string(noise_delivered_) + "/" +
-                    std::to_string(noise_sent_));
+  std::string done = "ops=" + std::to_string(report_.ops_executed) +
+                     " faults=" + std::to_string(report_.faults_applied) +
+                     " noise=" + std::to_string(noise_delivered_) + "/" +
+                     std::to_string(noise_sent_);
+  if (rpc_stats_.issued > 0) {
+    done += " rcalls=" + std::to_string(rpc_stats_.succeeded) + "ok/" +
+            std::to_string(rpc_stats_.timed_out) + "to/" +
+            std::to_string(rpc_stats_.failed) + "err";
+  }
+  trace_.record(net_.clock().now(), "done", done);
   return report_;
 }
 

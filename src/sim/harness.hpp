@@ -35,6 +35,7 @@ struct OpWeights {
   double probe = 0.10;
   double noise = 0.10;  ///< one-way datagram traffic (exercises dup/delay/reorder)
   double pump = 0.10;   ///< deliver queued one-way messages
+  double rcall = 0.0;   ///< resilient RPC to the replicated counter witness
 };
 
 struct SimConfig {
@@ -51,6 +52,11 @@ struct SimConfig {
   /// TEST ONLY: plug the deliberately broken full-synchrony protocol so a
   /// scenario can prove its invariants catch real coherency bugs.
   bool buggy_coherency = false;
+
+  /// TEST ONLY: disable the server-side idempotency cache on every
+  /// container, so the at-most-once invariant can prove it catches
+  /// double-applied retries (the retry-storm-nodedup planted bug).
+  bool disable_dedup = false;
 
   OpWeights weights;
   FaultPlan plan;
@@ -98,10 +104,24 @@ class SimHarness {
     std::string instance;
   };
 
+  /// Outcomes of the resilient `rcall` operations (weights.rcall > 0):
+  /// counter adds issued through a per-node FailoverChannel. The
+  /// resilience contract is that every call lands in `succeeded` or (when
+  /// its fate is genuinely unknowable) `timed_out`; anything in `failed`
+  /// leaked a transient transport error to the caller.
+  struct RpcStats {
+    std::uint64_t issued = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t timed_out = 0;  ///< failed with kTimeout (maybe executed)
+    std::uint64_t failed = 0;     ///< failed with any other code
+  };
+
   dvm::Dvm& dvm() { return *dvm_; }
   net::SimNetwork& net() { return net_; }
   const std::map<std::string, LedgerEntry>& ledger() const { return ledger_; }
   const std::vector<DeployedComponent>& deployed() const { return deployed_; }
+  const RpcStats& rpc_stats() const { return rpc_stats_; }
+  const std::string& last_rpc_error() const { return last_rpc_error_; }
   std::uint64_t membership_events() const { return membership_events_; }
   const EventTrace& trace() const { return trace_; }
   const SimConfig& config() const { return config_; }
@@ -135,6 +155,9 @@ class SimHarness {
 
   std::map<std::string, LedgerEntry> ledger_;
   std::vector<DeployedComponent> deployed_;
+  std::map<std::string, std::unique_ptr<net::Channel>> rcall_channels_;
+  RpcStats rpc_stats_;
+  std::string last_rpc_error_;  ///< message of the most recent non-timeout failure
   std::vector<std::pair<std::size_t, std::size_t>> partitions_;  ///< active cuts
   std::uint64_t membership_events_ = 0;
   std::uint64_t noise_sent_ = 0;

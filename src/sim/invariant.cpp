@@ -1,5 +1,7 @@
 #include "sim/invariant.hpp"
 
+#include <span>
+
 #include "sim/harness.hpp"
 
 namespace h2::sim {
@@ -158,6 +160,84 @@ class MetricsConsistency final : public Invariant {
   }
 };
 
+/// At-most-once for the resilient RPC workload: ask every alive counter
+/// replica (through its own container's local binding — no network, so the
+/// check itself cannot be disturbed by chaos) how many duplicate logical
+/// operations it has executed. The answer must always be zero: retried and
+/// network-duplicated calls are absorbed by the server-side idempotency
+/// cache, and failover only ever abandons an endpoint where no handler ran.
+class RpcAtMostOnce final : public Invariant {
+ public:
+  const char* name() const override { return "rpc-at-most-once"; }
+
+  Status check(SimHarness& harness) override {
+    for (const std::string& name : harness.dvm().node_names()) {
+      auto node = harness.dvm().member(name);
+      if (!node.ok()) continue;
+      auto record = node->container().find_local("CounterService");
+      if (!record.ok()) continue;  // scenario runs no counter witness here
+      auto channel = node->container().open_channel(record->wsdl);
+      if (!channel.ok()) {
+        return err::internal("cannot open counter on " + name + ": " +
+                             channel.error().message());
+      }
+      auto dups = (*channel)->invoke("dups", std::span<const Value>{});
+      if (!dups.ok()) {
+        return err::internal("cannot read dups on " + name + ": " +
+                             dups.error().message());
+      }
+      auto count = dups->as_int();
+      if (!count.ok()) return count.error();
+      if (*count != 0) {
+        return err::internal("replica " + name + " executed " +
+                             std::to_string(*count) +
+                             " duplicate add(s) — a retried or duplicated "
+                             "call was applied more than once");
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// The resilience layer's error contract: callers only ever see success or
+/// kTimeout. Anything in RpcStats::failed means a transient transport
+/// error (kUnavailable and friends) escaped the retry/failover stack.
+class RpcTimeoutOnly final : public Invariant {
+ public:
+  const char* name() const override { return "rpc-timeout-only"; }
+
+  Status check(SimHarness& harness) override {
+    const SimHarness::RpcStats& stats = harness.rpc_stats();
+    if (stats.failed != 0) {
+      return err::internal(std::to_string(stats.failed) + " of " +
+                           std::to_string(stats.issued) +
+                           " rcall(s) failed with a code other than kTimeout"
+                           " (last: " + harness.last_rpc_error() + ")");
+    }
+    return Status::success();
+  }
+};
+
+/// Full availability: with at least one replica alive at all times and no
+/// reply loss, failover must mask every crash — all rcalls succeed.
+class RpcAvailability final : public Invariant {
+ public:
+  const char* name() const override { return "rpc-availability"; }
+
+  Status check(SimHarness& harness) override {
+    const SimHarness::RpcStats& stats = harness.rpc_stats();
+    if (stats.succeeded != stats.issued) {
+      return err::internal(std::to_string(stats.succeeded) + " of " +
+                           std::to_string(stats.issued) +
+                           " rcall(s) succeeded (" +
+                           std::to_string(stats.timed_out) + " timed out, " +
+                           std::to_string(stats.failed) + " failed: " +
+                           harness.last_rpc_error() + ")");
+    }
+    return Status::success();
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Invariant> make_coherency_convergence() {
@@ -175,6 +255,15 @@ std::unique_ptr<Invariant> make_monotonic_epoch() {
 std::unique_ptr<Invariant> make_metrics_consistency() {
   return std::make_unique<MetricsConsistency>();
 }
+std::unique_ptr<Invariant> make_rpc_at_most_once() {
+  return std::make_unique<RpcAtMostOnce>();
+}
+std::unique_ptr<Invariant> make_rpc_timeout_only() {
+  return std::make_unique<RpcTimeoutOnly>();
+}
+std::unique_ptr<Invariant> make_rpc_availability() {
+  return std::make_unique<RpcAvailability>();
+}
 
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "coherency-convergence") return make_coherency_convergence();
@@ -182,6 +271,9 @@ Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "registry-consistency") return make_registry_consistency();
   if (name == "monotonic-epoch") return make_monotonic_epoch();
   if (name == "metrics-consistency") return make_metrics_consistency();
+  if (name == "rpc-at-most-once") return make_rpc_at_most_once();
+  if (name == "rpc-timeout-only") return make_rpc_timeout_only();
+  if (name == "rpc-availability") return make_rpc_availability();
   return err::not_found("unknown invariant '" + std::string(name) + "'");
 }
 

@@ -49,9 +49,27 @@ std::unique_ptr<Invariant> make_monotonic_epoch();
 /// that bumps one but not the other.
 std::unique_ptr<Invariant> make_metrics_consistency();
 
+/// At-most-once: no counter replica has ever executed the same logical
+/// add() twice. Retries, network duplicates and failovers all funnel
+/// through the idempotency machinery; a nonzero `dups` reading on any
+/// replica means a side effect was double-applied. Vacuous when the
+/// scenario deploys no counter witness.
+std::unique_ptr<Invariant> make_rpc_at_most_once();
+
+/// Resilience error contract: every rcall the schedule issued either
+/// succeeded or failed with kTimeout ("fate unknown"). Any other failure
+/// leaked a transient transport error past the retry/failover stack.
+std::unique_ptr<Invariant> make_rpc_timeout_only();
+
+/// Availability: every rcall succeeded outright. Only meaningful for
+/// scenarios (like failover-cascade) where some replica is always alive
+/// and reply loss is off, so failover must mask every crash completely.
+std::unique_ptr<Invariant> make_rpc_availability();
+
 /// By name, for scenario definitions and the simrunner CLI:
 /// "coherency-convergence", "no-lost-keys", "registry-consistency",
-/// "monotonic-epoch", "metrics-consistency".
+/// "monotonic-epoch", "metrics-consistency", "rpc-at-most-once",
+/// "rpc-timeout-only", "rpc-availability".
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name);
 
 }  // namespace h2::sim

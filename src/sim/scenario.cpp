@@ -85,6 +85,80 @@ ScenarioDef mesh_skew() {
   return def;
 }
 
+ScenarioDef retry_storm() {
+  ScenarioDef def;
+  def.name = "retry-storm";
+  def.description =
+      "resilient counter RPC under heavy drop/duplicate/reply-loss chaos; "
+      "retries and network duplicates must never double-apply a side "
+      "effect, and calls only ever fail with kTimeout";
+  def.config.scenario = def.name;
+  def.config.nodes = 4;
+  def.config.steps = 150;
+  def.config.check_every = 30;
+  def.config.weights.set = 0.10;
+  def.config.weights.get = 0.05;
+  def.config.weights.erase = 0.0;
+  def.config.weights.deploy = 0.0;
+  // No probes: under 25% call drop a prober would mass-evict healthy
+  // nodes, which is a membership scenario, not a retry scenario.
+  def.config.weights.probe = 0.0;
+  def.config.weights.noise = 0.10;
+  def.config.weights.pump = 0.15;
+  def.config.weights.rcall = 0.60;
+  def.config.plan.chaos(
+      {.drop_p = 0.25, .dup_p = 0.10, .delay_p = 0.05, .drop_reply_p = 0.10});
+  def.invariants = all_invariants();
+  def.invariants.push_back("rpc-at-most-once");
+  def.invariants.push_back("rpc-timeout-only");
+  return def;
+}
+
+ScenarioDef failover_cascade() {
+  ScenarioDef def;
+  def.name = "failover-cascade";
+  def.description =
+      "serial scripted crashes plus random churn while resilient counter "
+      "calls keep flowing; as long as one replica lives, every call "
+      "succeeds and no side effect is applied twice";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 150;
+  def.config.check_every = 30;
+  def.config.weights.set = 0.10;
+  def.config.weights.get = 0.05;
+  def.config.weights.erase = 0.0;
+  def.config.weights.deploy = 0.0;
+  def.config.weights.probe = 0.15;
+  def.config.weights.noise = 0.05;
+  def.config.weights.pump = 0.15;
+  def.config.weights.rcall = 0.50;
+  def.config.plan.crash_at(20, 1)
+      .restart_at(50, 1)
+      .crash_at(70, 2)
+      .restart_at(100, 2)
+      .crash_at(120, 3)
+      .random({.crash_p = 0.03, .restart_p = 0.15, .min_alive = 2});
+  def.invariants = all_invariants();
+  def.invariants.push_back("rpc-at-most-once");
+  def.invariants.push_back("rpc-timeout-only");
+  def.invariants.push_back("rpc-availability");
+  return def;
+}
+
+ScenarioDef retry_storm_nodedup() {
+  ScenarioDef def = retry_storm();
+  def.name = "retry-storm-nodedup";
+  def.description =
+      "retry-storm with the server-side idempotency cache disabled; the "
+      "at-most-once invariant must catch a double-applied retry";
+  def.config.scenario = def.name;
+  def.config.disable_dedup = true;
+  def.invariants = {"rpc-at-most-once"};
+  def.expect_violation = true;
+  return def;
+}
+
 ScenarioDef planted_bug() {
   ScenarioDef def;
   def.name = "planted-bug";
@@ -105,7 +179,9 @@ ScenarioDef planted_bug() {
 
 const std::vector<ScenarioDef>& scenarios() {
   static const std::vector<ScenarioDef> table = {
-      coherency_storm(), failover(), churn(), mesh_skew(), planted_bug()};
+      coherency_storm(), failover(),          churn(),
+      mesh_skew(),       retry_storm(),       failover_cascade(),
+      planted_bug(),     retry_storm_nodedup()};
   return table;
 }
 

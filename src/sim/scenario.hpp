@@ -21,11 +21,14 @@ struct ScenarioDef {
 };
 
 /// The built-in scenario table (stable order):
-///   coherency-storm  — full synchrony under message chaos + partitions
-///   failover         — crash/restart churn with scripted failover waves
-///   churn            — decentralized protocol under heavy membership churn
-///   mesh-skew        — neighborhood protocol with clock skew and delays
-///   planted-bug      — deliberately broken full synchrony (expects a catch)
+///   coherency-storm     — full synchrony under message chaos + partitions
+///   failover            — crash/restart churn with scripted failover waves
+///   churn               — decentralized protocol under heavy membership churn
+///   mesh-skew           — neighborhood protocol with clock skew and delays
+///   retry-storm         — resilient RPC under drop/dup/reply-loss chaos
+///   failover-cascade    — resilient RPC across serial node crashes
+///   planted-bug         — deliberately broken full synchrony (expects a catch)
+///   retry-storm-nodedup — idempotency cache disabled (expects a catch)
 const std::vector<ScenarioDef>& scenarios();
 
 Result<const ScenarioDef*> find_scenario(std::string_view name);

@@ -3,8 +3,9 @@
 namespace h2::net {
 
 namespace {
-constexpr std::uint32_t kCallMagic = 0x48325251;   // "H2RQ"
-constexpr std::uint32_t kReplyMagic = 0x48325250;  // "H2RP"
+constexpr std::uint32_t kCallMagic = 0x48325251;          // "H2RQ"
+constexpr std::uint32_t kResilientCallMagic = 0x48325243;  // "H2RC"
+constexpr std::uint32_t kReplyMagic = 0x48325250;          // "H2RP"
 }  // namespace
 
 void marshal_value(enc::XdrWriter& writer, const Value& value) {
@@ -76,9 +77,15 @@ Result<Value> unmarshal_value(enc::XdrReader& reader) {
   return err::parse("xdr frame: unknown value kind tag " + std::to_string(*tag));
 }
 
-ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params) {
+ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params,
+                        std::string_view call_id) {
   enc::XdrWriter writer;
-  writer.put_u32(kCallMagic);
+  if (call_id.empty()) {
+    writer.put_u32(kCallMagic);
+  } else {
+    writer.put_u32(kResilientCallMagic);
+    writer.put_string(call_id);
+  }
   writer.put_string(operation);
   writer.put_u32(static_cast<std::uint32_t>(params.size()));
   for (const Value& p : params) marshal_value(writer, p);
@@ -89,8 +96,15 @@ Result<UnmarshaledCall> unmarshal_call(std::span<const std::uint8_t> bytes) {
   enc::XdrReader reader(bytes);
   auto magic = reader.get_u32();
   if (!magic.ok()) return magic.error();
-  if (*magic != kCallMagic) return err::parse("xdr frame: bad call magic");
+  if (*magic != kCallMagic && *magic != kResilientCallMagic) {
+    return err::parse("xdr frame: bad call magic");
+  }
   UnmarshaledCall out;
+  if (*magic == kResilientCallMagic) {
+    auto id = reader.get_string();
+    if (!id.ok()) return id.error().context("call id");
+    out.call_id = std::move(*id);
+  }
   auto op = reader.get_string();
   if (!op.ok()) return op.error().context("call operation");
   out.operation = std::move(*op);

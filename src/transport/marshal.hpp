@@ -4,8 +4,13 @@
 //
 // Frames:
 //   call  := magic "H2RQ" | string operation | u32 nparams | value*
+//   rcall := magic "H2RC" | string call-id | string operation | u32 nparams | value*
 //   reply := magic "H2RP" | bool ok | (value | u32 errcode, string errmsg)
 //   value := string name | u32 kind-tag | payload(kind)
+//
+// "H2RC" is the resilient-call variant: identical to "H2RQ" plus a
+// leading idempotency key, so servers can deduplicate retried calls.
+// Plain "H2RQ" frames remain valid — old clients need not change.
 #pragma once
 
 #include <span>
@@ -25,12 +30,16 @@ void marshal_value(enc::XdrWriter& writer, const Value& value);
 /// Reads one Value from an XDR stream.
 Result<Value> unmarshal_value(enc::XdrReader& reader);
 
-/// Builds a complete call frame.
-ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params);
+/// Builds a complete call frame. A non-empty `call_id` selects the "H2RC"
+/// resilient-call frame carrying the idempotency key; empty keeps the
+/// classic "H2RQ" layout byte-for-byte.
+ByteBuffer marshal_call(std::string_view operation, std::span<const Value> params,
+                        std::string_view call_id = {});
 
 struct UnmarshaledCall {
   std::string operation;
   std::vector<Value> params;
+  std::string call_id;  ///< empty for plain "H2RQ" frames
 };
 Result<UnmarshaledCall> unmarshal_call(std::span<const std::uint8_t> bytes);
 

@@ -1,6 +1,7 @@
 #include "transport/rpc.hpp"
 
 #include "obs/trace.hpp"
+#include "resilience/dedup.hpp"
 #include "soap/envelope.hpp"
 #include "soap/mime.hpp"
 #include "transport/http.hpp"
@@ -61,7 +62,7 @@ class XdrChannel final : public Channel {
                        std::span<const Value> params) override {
     auto host = net_.resolve(to_.host);
     if (!host.ok()) return host.error();
-    ByteBuffer frame = marshal_call(operation, params);
+    ByteBuffer frame = marshal_call(operation, params, call_id_);
     stats_ = CallStats{.entities_traversed = 4,  // stub, socket, skeleton, dispatcher
                        .request_bytes = frame.size(),
                        .response_bytes = 0};
@@ -73,11 +74,14 @@ class XdrChannel final : public Channel {
 
   const char* binding_name() const override { return "xdr"; }
   CallStats last_stats() const override { return stats_; }
+  void set_call_id(std::string call_id) override { call_id_ = std::move(call_id); }
+  const Endpoint* remote() const override { return &to_; }
 
  private:
   SimNetwork& net_;
   HostId from_;
   Endpoint to_;
+  std::string call_id_;
   CallStats stats_;
 };
 
@@ -101,17 +105,25 @@ class SoapChannel final : public Channel {
     // span is open on this thread, its context rides along as a
     // non-mustUnderstand <h2:Trace> header so the serving host can
     // continue the trace.
+    headers_.clear();
     obs::TraceContext trace = obs::Tracer::current();
     if (trace.valid()) {
       soap::HeaderEntry trace_header;
       trace_header.name = std::string(obs::kTraceHeaderName);
       trace_header.ns = std::string(obs::kTraceHeaderNs);
       trace_header.value = obs::encode_trace_header(trace);
-      soap::build_request_into(envelope_, operation, service_ns_, params,
-                               std::span<const soap::HeaderEntry>(&trace_header, 1));
-    } else {
-      soap::build_request_into(envelope_, operation, service_ns_, params);
+      headers_.push_back(std::move(trace_header));
     }
+    if (!call_id_.empty()) {
+      // Idempotency key, same non-mustUnderstand shape as Trace: servers
+      // without dedup simply ignore it.
+      soap::HeaderEntry id_header;
+      id_header.name = std::string(resil::kCallIdHeaderName);
+      id_header.ns = std::string(resil::kCallIdHeaderNs);
+      id_header.value = call_id_;
+      headers_.push_back(std::move(id_header));
+    }
+    soap::build_request_into(envelope_, operation, service_ns_, params, headers_);
     request.body = std::move(envelope_);
     ByteBuffer wire = request.serialize(to_.host);
     envelope_ = std::move(request.body);
@@ -143,13 +155,17 @@ class SoapChannel final : public Channel {
 
   const char* binding_name() const override { return "soap"; }
   CallStats last_stats() const override { return stats_; }
+  void set_call_id(std::string call_id) override { call_id_ = std::move(call_id); }
+  const Endpoint* remote() const override { return &to_; }
 
  private:
   SimNetwork& net_;
   HostId from_;
   Endpoint to_;
   std::string service_ns_;
+  std::string call_id_;
   std::string envelope_;  ///< reused request-envelope buffer
+  std::vector<soap::HeaderEntry> headers_;  ///< reused header scratch
   CallStats stats_;
 };
 
@@ -167,7 +183,7 @@ class HttpChannel final : public Channel {
     request.method = "POST";
     request.target = "/" + to_.path;
     request.headers.set("Content-Type", "application/octet-stream");
-    ByteBuffer frame = marshal_call(operation, params);
+    ByteBuffer frame = marshal_call(operation, params, call_id_);
     request.body = frame.to_string();
     ByteBuffer wire = request.serialize(to_.host);
 
@@ -193,11 +209,14 @@ class HttpChannel final : public Channel {
 
   const char* binding_name() const override { return "http"; }
   CallStats last_stats() const override { return stats_; }
+  void set_call_id(std::string call_id) override { call_id_ = std::move(call_id); }
+  const Endpoint* remote() const override { return &to_; }
 
  private:
   SimNetwork& net_;
   HostId from_;
   Endpoint to_;
+  std::string call_id_;
   CallStats stats_;
 };
 
@@ -244,6 +263,11 @@ class MimeChannel final : public Channel {
 
   const char* binding_name() const override { return "mime"; }
   CallStats last_stats() const override { return stats_; }
+  // set_call_id stays the no-op default: the multipart request format has
+  // no header slot for per-call metadata, so mime channels get retries
+  // and breakers but not dedup (callers needing at-most-once pick another
+  // binding).
+  const Endpoint* remote() const override { return &to_; }
 
  private:
   SimNetwork& net_;
@@ -279,20 +303,30 @@ std::unique_ptr<Channel> make_soap_channel(SimNetwork& net, HostId from,
   return std::make_unique<SoapChannel>(net, from, to, std::move(service_ns));
 }
 
-ServerHandle::~ServerHandle() {
-  if (net_ != nullptr) (void)net_->close(host_, port_);
+Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+                               std::shared_ptr<Dispatcher> dispatcher) {
+  return serve_xdr(net, host, port, std::move(dispatcher), nullptr);
 }
 
 Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
-                               std::shared_ptr<Dispatcher> dispatcher) {
+                               std::shared_ptr<Dispatcher> dispatcher,
+                               std::shared_ptr<resil::DedupCache> dedup) {
   auto status = net.listen(
       host, port,
-      [dispatcher](std::span<const std::uint8_t> raw) -> Result<ByteBuffer> {
+      [dispatcher, dedup](std::span<const std::uint8_t> raw) -> Result<ByteBuffer> {
         auto call = unmarshal_call(raw);
         if (!call.ok()) {
           return marshal_reply(call.error().context("xdr server"));
         }
-        return marshal_reply(dispatcher->dispatch(call->operation, call->params));
+        if (dedup && !call->call_id.empty()) {
+          if (auto cached = dedup->lookup(call->call_id)) return std::move(*cached);
+        }
+        ByteBuffer reply =
+            marshal_reply(dispatcher->dispatch(call->operation, call->params));
+        // Cache faults too: the dispatcher ran, and a duplicate must see
+        // the same outcome rather than a second execution.
+        if (dedup && !call->call_id.empty()) dedup->store(call->call_id, reply);
+        return reply;
       });
   if (!status.ok()) return status.error();
   return ServerHandle(&net, host, port);
@@ -321,6 +355,7 @@ void SoapHttpServer::stop() {
 
 Status SoapHttpServer::mount(std::string path, std::shared_ptr<Dispatcher> dispatcher) {
   if (!path.empty() && path.front() == '/') path.erase(0, 1);
+  std::lock_guard lock(mounts_mu_);
   if (mounts_.count(path)) {
     return err::already_exists("soap server: path '/" + path + "' already mounted");
   }
@@ -330,6 +365,7 @@ Status SoapHttpServer::mount(std::string path, std::shared_ptr<Dispatcher> dispa
 
 Status SoapHttpServer::mount_raw(std::string path, std::shared_ptr<Dispatcher> dispatcher) {
   if (!path.empty() && path.front() == '/') path.erase(0, 1);
+  std::lock_guard lock(mounts_mu_);
   if (mounts_.count(path)) {
     return err::already_exists("http server: path '/" + path + "' already mounted");
   }
@@ -339,6 +375,7 @@ Status SoapHttpServer::mount_raw(std::string path, std::shared_ptr<Dispatcher> d
 
 Status SoapHttpServer::mount_mime(std::string path, std::shared_ptr<Dispatcher> dispatcher) {
   if (!path.empty() && path.front() == '/') path.erase(0, 1);
+  std::lock_guard lock(mounts_mu_);
   if (mounts_.count(path)) {
     return err::already_exists("http server: path '/" + path + "' already mounted");
   }
@@ -348,12 +385,23 @@ Status SoapHttpServer::mount_mime(std::string path, std::shared_ptr<Dispatcher> 
 
 Status SoapHttpServer::unmount(std::string_view path) {
   if (!path.empty() && path.front() == '/') path.remove_prefix(1);
+  std::lock_guard lock(mounts_mu_);
   auto it = mounts_.find(path);
   if (it == mounts_.end()) {
     return err::not_found("soap server: path '/" + std::string(path) + "' not mounted");
   }
   mounts_.erase(it);
   return Status::success();
+}
+
+std::size_t SoapHttpServer::mounted_count() const {
+  std::lock_guard lock(mounts_mu_);
+  return mounts_.size();
+}
+
+void SoapHttpServer::set_dedup(std::shared_ptr<resil::DedupCache> dedup) {
+  std::lock_guard lock(mounts_mu_);
+  dedup_ = std::move(dedup);
 }
 
 Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
@@ -379,12 +427,24 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
   }
   std::string_view path(request->target);
   if (!path.empty() && path.front() == '/') path.remove_prefix(1);
-  auto it = mounts_.find(path);
-  if (it == mounts_.end()) {
-    return fault(404, "Client", "no service at " + request->target);
+  // Copy the mount (and the dedup handle) out under the lock, then
+  // dispatch without it: a concurrent — or reentrant — unmount may erase
+  // the map entry mid-call, but our shared_ptr keeps the dispatcher alive.
+  MountKind kind;
+  std::shared_ptr<Dispatcher> dispatcher;
+  std::shared_ptr<resil::DedupCache> dedup;
+  {
+    std::lock_guard lock(mounts_mu_);
+    auto it = mounts_.find(path);
+    if (it == mounts_.end()) {
+      return fault(404, "Client", "no service at " + request->target);
+    }
+    kind = it->second.kind;
+    dispatcher = it->second.dispatcher;
+    dedup = dedup_;
   }
 
-  if (it->second.kind == MountKind::kMime) {
+  if (kind == MountKind::kMime) {
     // SOAP-with-Attachments: parse the multipart request, dispatch, and
     // answer with a multipart response (faults as single-part envelopes).
     std::string content_type = request->headers.get_or("content-type", "");
@@ -396,7 +456,7 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
       reply = soap::build_mime_fault({"Client", call.error().message(), ""});
       status_code = 400;
     } else {
-      auto result = it->second.dispatcher->dispatch(call->operation, call->params);
+      auto result = dispatcher->dispatch(call->operation, call->params);
       if (!result.ok()) {
         reply = soap::build_mime_fault(
             {fault_code_for(result.error().code()), result.error().message(), ""});
@@ -413,21 +473,25 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
     return response.serialize();
   }
 
-  if (it->second.kind == MountKind::kRaw) {
+  if (kind == MountKind::kRaw) {
     // The http binding: XDR call frame in, XDR reply frame out; dispatch
     // errors travel in-band inside the reply frame.
     ByteBuffer body(request->body);
     auto call = unmarshal_call(body.bytes());
+    if (call.ok() && dedup && !call->call_id.empty()) {
+      if (auto cached = dedup->lookup(call->call_id)) return std::move(*cached);
+    }
     ByteBuffer reply =
-        call.ok() ? marshal_reply(it->second.dispatcher->dispatch(call->operation,
-                                                                  call->params))
+        call.ok() ? marshal_reply(dispatcher->dispatch(call->operation, call->params))
                   : marshal_reply(Result<Value>(call.error()));
     http::Response response;
     response.status = 200;
     response.reason = "OK";
     response.headers.set("Content-Type", "application/octet-stream");
     response.body = reply.to_string();
-    return response.serialize();
+    ByteBuffer wire = response.serialize();
+    if (call.ok() && dedup && !call->call_id.empty()) dedup->store(call->call_id, wire);
+    return wire;
   }
 
   auto call = soap::parse_request(request->body);
@@ -440,29 +504,40 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
                    "header '" + header.name + "' not understood");
     }
   }
-  // Recover the trace context from the wire (if the caller sent one) and
-  // serve the dispatch under a span that continues that trace.
+  // Recover the trace context and the idempotency key from the wire.
   obs::TraceContext remote_parent;
+  std::string call_id;
   for (const soap::HeaderEntry& header : call->headers) {
     if (header.name == obs::kTraceHeaderName && header.ns == obs::kTraceHeaderNs) {
       if (auto parsed = obs::parse_trace_header(header.value)) remote_parent = *parsed;
-      break;
+    } else if (header.name == resil::kCallIdHeaderName &&
+               header.ns == resil::kCallIdHeaderNs) {
+      call_id = header.value;
     }
+  }
+  if (dedup && !call_id.empty()) {
+    if (auto cached = dedup->lookup(call_id)) return std::move(*cached);
   }
   obs::Span span = net_.tracer().start_span("soap.serve." + call->operation,
                                             remote_parent);
   if (span.active()) span.annotate("host=" + net_.host_name(host_));
-  auto result = it->second.dispatcher->dispatch(call->operation, call->params);
+  auto result = dispatcher->dispatch(call->operation, call->params);
   span.set_ok(result.ok());
   span.finish();
+  ByteBuffer wire;
   if (!result.ok()) {
-    return fault(500, fault_code_for(result.error().code()), result.error().message());
+    wire = fault(500, fault_code_for(result.error().code()), result.error().message());
+  } else {
+    // Build the response envelope directly into the HTTP body: no
+    // intermediate envelope string to allocate and copy.
+    http::Response response = make_response(200);
+    soap::build_response_into(response.body, call->operation, call->service_ns, *result);
+    wire = response.serialize();
   }
-  // Build the response envelope directly into the HTTP body: no
-  // intermediate envelope string to allocate and copy.
-  http::Response response = make_response(200);
-  soap::build_response_into(response.body, call->operation, call->service_ns, *result);
-  return response.serialize();
+  // Cache success and dispatch faults alike — the handler executed either
+  // way, and a duplicate must observe the same outcome.
+  if (dedup && !call_id.empty()) dedup->store(call_id, wire);
+  return wire;
 }
 
 }  // namespace h2::net

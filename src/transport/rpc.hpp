@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -26,6 +27,10 @@
 #include "transport/endpoint.hpp"
 #include "transport/simnet.hpp"
 #include "util/error.hpp"
+
+namespace h2::resil {
+class DedupCache;
+}  // namespace h2::resil
 
 namespace h2::net {
 
@@ -81,6 +86,16 @@ class Channel {
   virtual const char* binding_name() const = 0;
   /// Accounting for the most recent invoke().
   virtual CallStats last_stats() const = 0;
+
+  /// Idempotency key to attach to the next invoke()s (SOAP <h2:CallId>
+  /// header / XDR "H2RC" frame field). Channels without a header path
+  /// (local, localobject, mime) ignore it — their transports either
+  /// cannot lose replies or do not support per-call metadata.
+  virtual void set_call_id(std::string call_id) { (void)call_id; }
+
+  /// The remote endpoint this channel targets, or nullptr for in-process
+  /// channels. The resilience layer uses this to key circuit breakers.
+  virtual const Endpoint* remote() const { return nullptr; }
 };
 
 // ---- channels (client side) -------------------------------------------------
@@ -119,7 +134,7 @@ class ServerHandle {
  public:
   ServerHandle(SimNetwork* net, HostId host, std::uint16_t port)
       : net_(net), host_(host), port_(port) {}
-  ~ServerHandle();
+  ~ServerHandle() { release(); }
   ServerHandle(ServerHandle&& other) noexcept
       : net_(other.net_), host_(other.host_), port_(other.port_) {
     other.net_ = nullptr;
@@ -128,7 +143,7 @@ class ServerHandle {
   ServerHandle& operator=(const ServerHandle&) = delete;
   ServerHandle& operator=(ServerHandle&& other) noexcept {
     if (this != &other) {
-      if (net_ != nullptr) (void)net_->close(host_, port_);
+      release();
       net_ = other.net_;
       host_ = other.host_;
       port_ = other.port_;
@@ -139,6 +154,15 @@ class ServerHandle {
 
   std::uint16_t port() const { return port_; }
 
+  /// Unbinds the port and disarms the handle. Both the destructor and
+  /// move-assignment funnel through here; a port already closed by
+  /// someone else (crash_node's close_all, a stopped container) is fine —
+  /// close()'s kNotFound is deliberately ignored.
+  void release() {
+    if (net_ != nullptr) (void)net_->close(host_, port_);
+    net_ = nullptr;
+  }
+
  private:
   SimNetwork* net_;
   HostId host_;
@@ -147,6 +171,13 @@ class ServerHandle {
 
 Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
                                std::shared_ptr<Dispatcher> dispatcher);
+
+/// As above, but duplicate calls (same "H2RC" call id) are answered from
+/// `dedup` instead of re-executing the dispatcher — the server half of
+/// the resilience layer's at-most-once guarantee.
+Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+                               std::shared_ptr<Dispatcher> dispatcher,
+                               std::shared_ptr<resil::DedupCache> dedup);
 
 /// An HTTP server hosting SOAP services at paths ("/time", "/mm", ...).
 /// One per (host, port); services mount and unmount dynamically — this is
@@ -176,7 +207,13 @@ class SoapHttpServer {
   Status mount_mime(std::string path, std::shared_ptr<Dispatcher> dispatcher);
 
   Status unmount(std::string_view path);
-  std::size_t mounted_count() const { return mounts_.size(); }
+  std::size_t mounted_count() const;
+
+  /// Enables at-most-once execution for the soap and raw mounts: requests
+  /// carrying a CallId (SOAP header / "H2RC" frame) already seen in
+  /// `dedup` are answered with the cached serialized response instead of
+  /// dispatching again. Pass nullptr to disable.
+  void set_dedup(std::shared_ptr<resil::DedupCache> dedup);
 
   /// Declares a SOAP header (by local name) as understood by this server.
   /// Requests carrying a mustUnderstand="1" header NOT declared here are
@@ -198,8 +235,14 @@ class SoapHttpServer {
   HostId host_;
   std::uint16_t port_;
   bool running_ = false;
+  // mounts_mu_ makes mount/unmount safe against a dispatch in flight on
+  // another thread (and against a handler unmounting its own path):
+  // handle() copies the Mount's shared_ptr under the lock, then dispatches
+  // without it, so the dispatcher outlives any concurrent unmount.
+  mutable std::mutex mounts_mu_;
   std::map<std::string, Mount, std::less<>> mounts_;
   std::set<std::string, std::less<>> understood_;
+  std::shared_ptr<resil::DedupCache> dedup_;
 };
 
 }  // namespace h2::net

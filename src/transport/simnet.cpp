@@ -121,9 +121,9 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
     return err::unavailable("simnet: connection refused, " + hosts_[to].name + ":" +
                             std::to_string(port));
   }
+  FaultDecision fault;
   if (fault_hook_) {
-    FaultDecision fault = fault_hook_(
-        MessageInfo{from, to, port, request.size(), /*is_call=*/true});
+    fault = fault_hook_(MessageInfo{from, to, port, request.size(), /*is_call=*/true});
     if (fault.drop) {
       ++stats_.drops;
       ++stats_.faults;
@@ -131,6 +131,10 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
       c_faults_.add();
       return err::unavailable("simnet: request lost, " + hosts_[from].name + " -> " +
                               hosts_[to].name + ":" + std::to_string(port));
+    }
+    if (fault.duplicates > 0 || fault.drop_reply) {
+      ++stats_.faults;
+      c_faults_.add();
     }
   }
 
@@ -142,7 +146,32 @@ Result<ByteBuffer> SimNetwork::call(HostId from, HostId to, std::uint16_t port,
   c_bytes_.add(request.size());
 
   auto response = it->second(request);
+
+  // Duplicated request frames: the server executes each extra copy too;
+  // those replies go nowhere (the caller consumes only the first). The
+  // handler is re-resolved per copy in case the first execution unbound
+  // the port.
+  for (unsigned copy = 0; copy < fault.duplicates; ++copy) {
+    auto again = hosts_[to].servers.find(port);
+    if (again == hosts_[to].servers.end()) break;
+    clock_.advance(link.transfer_time(request.size()));
+    ++stats_.messages;
+    stats_.bytes += request.size();
+    c_messages_.add();
+    c_bytes_.add(request.size());
+    (void)again->second(request);
+  }
+
   if (!response.ok()) return response.error();
+
+  if (fault.drop_reply) {
+    // The handler already ran — the caller cannot distinguish this from a
+    // slow server, hence kTimeout ("maybe executed"), never kUnavailable.
+    ++stats_.drops;
+    c_drops_.add();
+    return err::timeout("simnet: reply lost, " + hosts_[to].name + ":" +
+                        std::to_string(port) + " -> " + hosts_[from].name);
+  }
 
   clock_.advance(link.transfer_time(response->size()));
   ++stats_.messages;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "util/byte_buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
+
+namespace h2::resil {
+class BreakerRegistry;
+}  // namespace h2::resil
 
 namespace h2::net {
 
@@ -59,11 +64,16 @@ struct NetStats {
 /// What the fault hook may do to one message. Drops win over everything;
 /// otherwise the message is delivered `1 + duplicates` times, each copy
 /// delayed by its own hook-chosen extra latency (delay > 0 on a one-way
-/// send is how reordering happens).
+/// send is how reordering happens). On a synchronous call, `duplicates`
+/// means the request frame arrives (and executes) again at the server,
+/// and `drop_reply` loses the response on the way back — the handler ran
+/// but the caller sees kTimeout. This is the failure mode that makes
+/// retried non-idempotent calls dangerous without dedup.
 struct FaultDecision {
   bool drop = false;
   unsigned duplicates = 0;
-  Nanos delay = 0;
+  Nanos delay = 0;          ///< one-way sends only
+  bool drop_reply = false;  ///< synchronous calls only
 };
 
 /// Everything the hook gets to see about a message in flight.
@@ -155,9 +165,26 @@ class SimNetwork {
   const obs::Tracer& tracer() const { return tracer_; }
 
   /// Message-level fault injection (drop/duplicate/delay). Pass nullptr to
-  /// remove. Applies to send() always; call() honours only `drop` (a
-  /// synchronous round trip cannot be reordered, merely refused).
+  /// remove. Applies to send() always; call() honours `drop` (request
+  /// refused before execution), `duplicates` (the handler runs again per
+  /// extra copy, replies discarded) and `drop_reply` (handler runs, caller
+  /// sees kTimeout) — `delay` is meaningless for a synchronous round trip.
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Monotonic serial for idempotency keys and channel seeds. Drawing from
+  /// the network keeps ids unique across all hosts of one world and keeps
+  /// them deterministic (no wall clock, no global state).
+  std::uint64_t next_call_serial() { return ++call_serial_; }
+
+  /// Per-world circuit-breaker registry slot (lazily attached by the
+  /// resilience layer; see resil::BreakerRegistry::of). Held as an opaque
+  /// shared_ptr so the transport does not link against h2_resilience.
+  const std::shared_ptr<resil::BreakerRegistry>& breaker_registry() const {
+    return breakers_;
+  }
+  void set_breaker_registry(std::shared_ptr<resil::BreakerRegistry> registry) {
+    breakers_ = std::move(registry);
+  }
 
   /// The effective link between two hosts (loopback when a == b).
   LinkSpec link_between(HostId a, HostId b) const;
@@ -205,6 +232,8 @@ class SimNetwork {
   obs::Counter& c_faults_;
   std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
   std::uint64_t sequence_ = 0;
+  std::uint64_t call_serial_ = 0;
+  std::shared_ptr<resil::BreakerRegistry> breakers_;
 };
 
 }  // namespace h2::net

@@ -9,8 +9,9 @@ TEST(Framework, VersionAndRepositoryPopulated) {
   Framework fw;
   EXPECT_STREQ(version(), "2.0.0");
   // Standard plugins + hpvmd.
-  EXPECT_EQ(fw.repository().size(), 12u);
+  EXPECT_EQ(fw.repository().size(), 13u);
   EXPECT_TRUE(fw.repository().has("introspection"));
+  EXPECT_TRUE(fw.repository().has("counter"));
   EXPECT_TRUE(fw.repository().has("hpvmd"));
   EXPECT_TRUE(fw.repository().has("lapack"));
 }

@@ -89,9 +89,29 @@ TEST_F(XmlRegistryTest, RenewRejectsExpiredOrMissing) {
   auto key = registry_.add(make_service("V", wsdl::BindingKind::kXdr, "xdr://v:9"), kSecond);
   ASSERT_TRUE(key.ok());
   clock_.advance(2 * kSecond);
-  EXPECT_FALSE(registry_.renew(*key, kSecond).ok());
-  EXPECT_FALSE(registry_.renew("reg-999", kSecond).ok());
+  auto expired = registry_.renew(*key, kSecond);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.error().code(), ErrorCode::kNotFound);
+  auto missing = registry_.renew("reg-999", kSecond);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kNotFound);
   EXPECT_FALSE(registry_.renew(*key, 0).ok());
+}
+
+TEST_F(XmlRegistryTest, RenewOfExpiredEntryPurgesIt) {
+  auto key = registry_.add(make_service("V", wsdl::BindingKind::kXdr, "xdr://v:9"), kSecond);
+  ASSERT_TRUE(key.ok());
+  clock_.advance(2 * kSecond);
+  // The failed renew reclaims the corpse: a second attempt reports the key
+  // as plain missing, and expire() finds nothing left to sweep.
+  auto first = registry_.renew(*key, kSecond);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.error().code(), ErrorCode::kNotFound);
+  auto second = registry_.renew(*key, kSecond);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(registry_.expire(), 0u);
+  EXPECT_EQ(registry_.size(), 0u);
 }
 
 TEST_F(XmlRegistryTest, ExpirePurges) {

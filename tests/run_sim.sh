@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
 # Runs the deterministic simulation suite: the ctest `sim` label first,
-# then a full simrunner seed sweep over every scenario. Any failing seed
-# is printed with the exact replay command.
+# then a full simrunner seed sweep over every scenario — the four
+# membership/coherency scenarios (coherency-storm, failover, churn,
+# mesh-skew), the two fault-tolerant-RPC scenarios (retry-storm,
+# failover-cascade), and the two planted-bug scenarios (planted-bug,
+# retry-storm-nodedup) that must be CAUGHT on every seed. Any failing
+# seed is printed with the exact replay command.
 #
 # Usage: tests/run_sim.sh [build-dir] [seeds]
 #   build-dir  defaults to ./build

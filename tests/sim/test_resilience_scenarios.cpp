@@ -1,0 +1,73 @@
+// The resilience chaos scenarios' promises:
+//   - retry-storm: under drop/dup/reply-loss chaos, no side effect is ever
+//     applied twice and calls only ever fail with kTimeout
+//   - failover-cascade: while at least one replica lives, every call
+//     succeeds (failover masks serial crashes completely)
+//   - retry-storm-nodedup: with the idempotency cache disabled, the
+//     at-most-once invariant catches a double-applied retry on every seed
+//   - both chaos scenarios replay byte-identically per (scenario, seed)
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace h2::sim {
+namespace {
+
+TEST(SimResilience, RetryStormSweepStaysClean) {
+  auto def = find_scenario("retry-storm");
+  ASSERT_TRUE(def.ok());
+  SweepResult sweep = sweep_scenario(**def, 1, 10);
+  EXPECT_EQ(sweep.runs, 10u);
+  for (const SeedFailure& failure : sweep.failures) {
+    ADD_FAILURE() << "seed " << failure.seed << ": " << failure.message;
+  }
+}
+
+TEST(SimResilience, FailoverCascadeSweepStaysClean) {
+  auto def = find_scenario("failover-cascade");
+  ASSERT_TRUE(def.ok());
+  SweepResult sweep = sweep_scenario(**def, 1, 10);
+  EXPECT_EQ(sweep.runs, 10u);
+  for (const SeedFailure& failure : sweep.failures) {
+    ADD_FAILURE() << "seed " << failure.seed << ": " << failure.message;
+  }
+}
+
+TEST(SimResilience, ResilientTracesAreDeterministic) {
+  for (const char* name : {"retry-storm", "failover-cascade"}) {
+    auto def = find_scenario(name);
+    ASSERT_TRUE(def.ok()) << name;
+    std::string first, second;
+    auto a = run_scenario(**def, 11, &first);
+    auto b = run_scenario(**def, 11, &second);
+    ASSERT_TRUE(a.ok()) << name << ": " << a.error().message();
+    ASSERT_TRUE(b.ok()) << name << ": " << b.error().message();
+    EXPECT_EQ(first, second) << name << ": trace diverged between identical runs";
+  }
+}
+
+TEST(SimResilience, DisabledDedupIsCaughtOnEverySeed) {
+  auto def = find_scenario("retry-storm-nodedup");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE((*def)->expect_violation);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto report = run_scenario(**def, seed);
+    ASSERT_FALSE(report.ok()) << "seed " << seed
+                              << ": double execution went undetected";
+    EXPECT_NE(report.error().message().find("rpc-at-most-once"), std::string::npos)
+        << report.error().message();
+  }
+}
+
+TEST(SimResilience, ViolationReplaysIdentically) {
+  auto def = find_scenario("retry-storm-nodedup");
+  ASSERT_TRUE(def.ok());
+  auto first = run_scenario(**def, 5);
+  auto second = run_scenario(**def, 5);
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.error().message(), second.error().message());
+}
+
+}  // namespace
+}  // namespace h2::sim
