@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Runs the wire-path benchmark suites (EXP-SOAP, EXP-OBS, EXP-RESIL) and
+# Runs the wire-path benchmark suites (EXP-SOAP, EXP-OBS, EXP-RESIL,
+# EXP-BATCH) and
 # writes JSON results next to the build tree so runs can be diffed across
 # commits. bench_resilience runs with repetitions and median aggregates:
 # its headline number is a <5% overhead ratio, which a single noisy run
@@ -35,3 +36,4 @@ run bench_soap
 run bench_encoding
 run bench_observability
 run bench_resilience --benchmark_repetitions=5 --benchmark_report_aggregates_only
+run bench_batching

@@ -4,6 +4,24 @@ namespace h2::dvm {
 
 namespace {
 
+/// Last-write-wins per key, first-occurrence order: what a destination
+/// must end up storing after an in-order write storm, minus the
+/// overwritten intermediates it never needs to see.
+std::vector<KV> coalesce_writes(std::span<const KV> writes) {
+  std::vector<KV> out;
+  out.reserve(writes.size());
+  std::map<std::string_view, std::size_t> index;
+  for (const KV& kv : writes) {
+    auto [it, inserted] = index.try_emplace(kv.key, out.size());
+    if (inserted) {
+      out.push_back(kv);
+    } else {
+      out[it->second].value = kv.value;
+    }
+  }
+  return out;
+}
+
 class FullSynchrony : public CoherencyProtocol {
  public:
   const char* name() const override { return "full-synchrony"; }
@@ -17,6 +35,24 @@ class FullSynchrony : public CoherencyProtocol {
       if (auto status = members[origin]->remote_set(*members[i], key, value);
           !status.ok()) {
         return status.error().context("full-synchrony replication to " +
+                                      members[i]->name());
+      }
+    }
+    return Status::success();
+  }
+
+  Status update_batch(std::span<DvmNode* const> members, std::size_t origin,
+                      std::span<const KV> writes) override {
+    const std::vector<KV> coalesced = coalesce_writes(writes);
+    for (const KV& kv : coalesced) {
+      members[origin]->state().set(std::string(kv.key), std::string(kv.value));
+    }
+    std::size_t fan_out = replication_cutoff(members.size());
+    for (std::size_t i = 0; i < fan_out; ++i) {
+      if (i == origin) continue;
+      if (auto status = members[origin]->remote_set_batch(*members[i], coalesced);
+          !status.ok()) {
+        return status.error().context("full-synchrony batch replication to " +
                                       members[i]->name());
       }
     }
@@ -126,6 +162,22 @@ class Neighborhood final : public CoherencyProtocol {
       if (auto status = members[origin]->remote_set(*members[neighbor], key, value);
           !status.ok()) {
         return status.error().context("neighborhood replication");
+      }
+    }
+    return Status::success();
+  }
+
+  Status update_batch(std::span<DvmNode* const> members, std::size_t origin,
+                      std::span<const KV> writes) override {
+    const std::vector<KV> coalesced = coalesce_writes(writes);
+    for (const KV& kv : coalesced) {
+      members[origin]->state().set(std::string(kv.key), std::string(kv.value));
+    }
+    for (std::size_t step = 1; step <= k_ && step < members.size(); ++step) {
+      std::size_t neighbor = (origin + step) % members.size();
+      if (auto status = members[origin]->remote_set_batch(*members[neighbor], coalesced);
+          !status.ok()) {
+        return status.error().context("neighborhood batch replication");
       }
     }
     return Status::success();

@@ -40,6 +40,22 @@ class CoherencyProtocol {
   virtual Status update(std::span<DvmNode* const> members, std::size_t origin,
                         std::string_view key, std::string_view value) = 0;
 
+  /// A storm of state changes originated at members[origin], presented
+  /// together so the protocol can coalesce the wire traffic. The default
+  /// keeps exact update() semantics — one call per write. Replicating
+  /// protocols override it to send each destination ONE batched message
+  /// carrying the last-written value per key (first-write order), cutting
+  /// an N-write storm from N×M messages to M.
+  virtual Status update_batch(std::span<DvmNode* const> members, std::size_t origin,
+                              std::span<const KV> writes) {
+    for (const KV& kv : writes) {
+      if (auto status = update(members, origin, kv.key, kv.value); !status.ok()) {
+        return status;
+      }
+    }
+    return Status::success();
+  }
+
   /// A state query issued at members[origin].
   virtual Result<std::string> query(std::span<DvmNode* const> members,
                                     std::size_t origin, std::string_view key) = 0;

@@ -230,6 +230,18 @@ Status Dvm::set(std::string_view node_name, std::string_view key,
   return status;
 }
 
+Status Dvm::set_batch(std::string_view node_name, std::span<const KV> writes) {
+  auto index = alive_index(node_name);
+  if (!index.ok()) return index.error();
+  auto alive = alive_members();
+  net::SimNetwork& net = alive[*index]->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto status = protocol_->update_batch(alive, *index, writes);
+  record_round(net, before, t0);
+  return status;
+}
+
 Result<std::string> Dvm::get(std::string_view node_name, std::string_view key) {
   auto index = alive_index(node_name);
   if (!index.ok()) return index.error();

@@ -97,6 +97,11 @@ class Dvm {
 
   /// Writes a global state entry, originated at `node_name`.
   Status set(std::string_view node_name, std::string_view key, std::string_view value);
+
+  /// Applies all of `writes` as one coherency round from `node_name`.
+  /// Replicating protocols coalesce the storm (last write per key) and
+  /// send each destination ONE batched message instead of one per write.
+  Status set_batch(std::string_view node_name, std::span<const KV> writes);
   /// Reads a global state entry from the vantage point of `node_name`.
   Result<std::string> get(std::string_view node_name, std::string_view key);
   /// Deletes a global state entry.

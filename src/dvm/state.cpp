@@ -64,6 +64,35 @@ Status DvmNode::remote_set(DvmNode& target, std::string_view key,
   return Status::success();
 }
 
+Status DvmNode::remote_set_batch(DvmNode& target, std::span<const KV> writes) {
+  if (writes.empty()) return Status::success();
+  std::vector<net::BatchItem> calls;
+  calls.reserve(writes.size());
+  for (const KV& kv : writes) {
+    net::BatchItem item;
+    item.operation = "set";
+    item.params.push_back(Value::of_string(std::string(kv.key), "key"));
+    item.params.push_back(Value::of_string(std::string(kv.value), "value"));
+    calls.push_back(std::move(item));
+  }
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = target.name(),
+                         .port = kStatePort,
+                         .path = ""};
+  auto channel = net::make_xdr_channel(network(), host(), endpoint);
+  std::vector<Result<Value>> results;
+  if (auto status = channel->invoke_batch(calls, results); !status.ok()) {
+    return status.error().context("batched set to " + target.name());
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return results[i].error().context("batched set of '" +
+                                        std::string(writes[i].key) + "'");
+    }
+  }
+  return Status::success();
+}
+
 Result<std::string> DvmNode::remote_get(DvmNode& target, std::string_view key) {
   std::vector<Value> params{Value::of_string(std::string(key), "key")};
   auto result = invoke_on(target, "get", params);

@@ -19,6 +19,14 @@ namespace h2::dvm {
 /// Well-known port of the DVM state service.
 inline constexpr std::uint16_t kStatePort = 7400;
 
+/// One key/value write. Batched replication (CoherencyProtocol::
+/// update_batch, DvmNode::remote_set_batch) moves spans of these; the
+/// views borrow the caller's storage for the duration of the call.
+struct KV {
+  std::string_view key;
+  std::string_view value;
+};
+
 /// The local (per-node) slice of global DVM state.
 class StateStore {
  public:
@@ -71,6 +79,9 @@ class DvmNode {
 
   /// set on a peer node's store, issued from this node.
   Status remote_set(DvmNode& target, std::string_view key, std::string_view value);
+  /// All of `writes` applied on a peer in ONE wire message (an XDR batch
+  /// frame of "set" sub-calls) — the transport leg of write coalescing.
+  Status remote_set_batch(DvmNode& target, std::span<const KV> writes);
   /// get from a peer node's store, issued from this node.
   Result<std::string> remote_get(DvmNode& target, std::string_view key);
   /// del on a peer node's store, issued from this node.

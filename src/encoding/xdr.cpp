@@ -1,5 +1,8 @@
 #include "encoding/xdr.hpp"
 
+#include <bit>
+#include <cstring>
+
 namespace h2::enc {
 
 void XdrWriter::put_opaque(std::span<const std::uint8_t> bytes) {
@@ -33,21 +36,42 @@ void XdrWriter::put_i32_array(std::span<const std::int32_t> values) {
   for (std::int32_t v : values) put_i32(v);
 }
 
+Status XdrReader::ensure(std::size_t n) const {
+  if (remaining() < n) {
+    return err::parse("byte buffer underrun: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+  }
+  return Status::success();
+}
+
 Result<std::int32_t> XdrReader::get_i32() {
-  auto v = buffer_.read_u32_be();
+  auto v = get_u32();
   if (!v.ok()) return v.error();
   return static_cast<std::int32_t>(*v);
 }
 
-Result<std::uint32_t> XdrReader::get_u32() { return buffer_.read_u32_be(); }
+Result<std::uint32_t> XdrReader::get_u32() {
+  if (auto s = ensure(4); !s.ok()) return s.error();
+  const std::uint8_t* p = cursor();
+  pos_ += 4;
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
 
 Result<std::int64_t> XdrReader::get_i64() {
-  auto v = buffer_.read_u64_be();
+  auto v = get_u64();
   if (!v.ok()) return v.error();
   return static_cast<std::int64_t>(*v);
 }
 
-Result<std::uint64_t> XdrReader::get_u64() { return buffer_.read_u64_be(); }
+Result<std::uint64_t> XdrReader::get_u64() {
+  if (auto s = ensure(8); !s.ok()) return s.error();
+  const std::uint8_t* p = cursor();
+  pos_ += 8;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out = (out << 8) | p[i];
+  return out;
+}
 
 Result<bool> XdrReader::get_bool() {
   auto v = get_u32();
@@ -56,16 +80,25 @@ Result<bool> XdrReader::get_bool() {
   return *v == 1;
 }
 
-Result<float> XdrReader::get_f32() { return buffer_.read_f32_be(); }
-Result<double> XdrReader::get_f64() { return buffer_.read_f64_be(); }
+Result<float> XdrReader::get_f32() {
+  auto v = get_u32();
+  if (!v.ok()) return v.error();
+  return std::bit_cast<float>(*v);
+}
+
+Result<double> XdrReader::get_f64() {
+  auto v = get_u64();
+  if (!v.ok()) return v.error();
+  return std::bit_cast<double>(*v);
+}
 
 Status XdrReader::skip_padding(std::size_t payload) {
   std::size_t pad = xdr_padded(payload) - payload;
+  if (auto s = ensure(pad); !s.ok()) return s;
   for (std::size_t i = 0; i < pad; ++i) {
-    auto b = buffer_.read_u8();
-    if (!b.ok()) return b.error();
-    if (*b != 0) return err::parse("xdr: nonzero padding byte");
+    if (cursor()[i] != 0) return err::parse("xdr: nonzero padding byte");
   }
+  pos_ += pad;
   return Status::success();
 }
 
@@ -76,19 +109,31 @@ Result<std::vector<std::uint8_t>> XdrReader::get_opaque() {
 }
 
 Result<std::vector<std::uint8_t>> XdrReader::get_opaque_fixed(std::size_t n) {
-  auto bytes = buffer_.read_bytes(n);
-  if (!bytes.ok()) return bytes.error();
+  if (auto s = ensure(n); !s.ok()) return s.error();
+  std::vector<std::uint8_t> bytes(cursor(), cursor() + n);
+  pos_ += n;
   if (auto s = skip_padding(n); !s.ok()) return s.error();
   return bytes;
+}
+
+Result<std::span<const std::uint8_t>> XdrReader::get_opaque_view() {
+  auto len = get_u32();
+  if (!len.ok()) return len.error();
+  if (auto s = ensure(*len); !s.ok()) return s.error();
+  auto out = view_.subspan(pos_, *len);
+  pos_ += *len;
+  if (auto s = skip_padding(*len); !s.ok()) return s.error();
+  return out;
 }
 
 Result<std::string> XdrReader::get_string() {
   auto len = get_u32();
   if (!len.ok()) return len.error();
-  auto s = buffer_.read_string(*len);
-  if (!s.ok()) return s.error();
+  if (auto s = ensure(*len); !s.ok()) return s.error();
+  std::string out(reinterpret_cast<const char*>(cursor()), *len);
+  pos_ += *len;
   if (auto pad = skip_padding(*len); !pad.ok()) return pad.error();
-  return s;
+  return out;
 }
 
 Result<std::vector<double>> XdrReader::get_f64_array() {

@@ -44,6 +44,9 @@ class XdrWriter {
   void put_i32_array(std::span<const std::int32_t> values);
 
   const ByteBuffer& buffer() const { return buffer_; }
+  /// Mutable access for length backpatching of nested frames (write a
+  /// u32 placeholder, emit the payload, patch_u32_be the real length).
+  ByteBuffer& buffer() { return buffer_; }
   ByteBuffer take() { return std::move(buffer_); }
   std::size_t size() const { return buffer_.size(); }
 
@@ -52,11 +55,18 @@ class XdrWriter {
 };
 
 /// Deserializes XDR items; every accessor checks bounds and padding.
+///
+/// Two construction modes: the owning form takes a ByteBuffer and keeps
+/// it alive; the span form BORROWS — it decodes in place over the
+/// caller's bytes with no copy, so the bytes must outlive the reader
+/// (and any view returned by get_opaque_view). Borrowing is what lets a
+/// batch frame be split into sub-frames without ever duplicating the
+/// payload.
 class XdrReader {
  public:
-  explicit XdrReader(ByteBuffer buffer) : buffer_(std::move(buffer)) {}
-  explicit XdrReader(std::span<const std::uint8_t> bytes)
-      : buffer_(std::vector<std::uint8_t>(bytes.begin(), bytes.end())) {}
+  explicit XdrReader(ByteBuffer buffer)
+      : owned_(std::move(buffer)), view_(owned_.unread()) {}
+  explicit XdrReader(std::span<const std::uint8_t> bytes) : view_(bytes) {}
 
   Result<std::int32_t> get_i32();
   Result<std::uint32_t> get_u32();
@@ -72,12 +82,22 @@ class XdrReader {
   Result<std::vector<float>> get_f32_array();
   Result<std::vector<std::int32_t>> get_i32_array();
 
-  std::size_t remaining() const { return buffer_.remaining(); }
+  /// Zero-copy variable-length opaque: a view into the reader's bytes
+  /// (valid only while the underlying storage lives). Padding is checked
+  /// and skipped like get_opaque.
+  Result<std::span<const std::uint8_t>> get_opaque_view();
+
+  std::size_t remaining() const { return view_.size() - pos_; }
   bool exhausted() const { return remaining() == 0; }
 
  private:
+  Status ensure(std::size_t n) const;
   Status skip_padding(std::size_t payload);
-  ByteBuffer buffer_;
+  const std::uint8_t* cursor() const { return view_.data() + pos_; }
+
+  ByteBuffer owned_;  ///< empty in the borrowing mode
+  std::span<const std::uint8_t> view_;
+  std::size_t pos_ = 0;
 };
 
 /// Pad `n` up to the next multiple of 4 (RFC 4506 §3).

@@ -80,6 +80,55 @@ Result<Value> FailoverChannel::invoke(std::string_view operation,
                                         last_error.message() + ")");
 }
 
+Status FailoverChannel::invoke_batch(std::span<const net::BatchItem> calls,
+                                     std::vector<Result<Value>>& results) {
+  if (calls.empty()) {
+    results.clear();
+    return Status::success();
+  }
+  std::string failed_node;
+  if (current_) {
+    Status status = current_->invoke_batch(calls, results);
+    last_stats_ = current_->last_stats();
+    if (status.ok() || status.error().code() != ErrorCode::kUnavailable) {
+      return status;
+    }
+    failed_node = current_node_;
+    current_.reset();
+    current_node_.clear();
+  }
+
+  Error last_error =
+      err::unavailable("no replica of '" + service_ + "' in dvm " + dvm_.name());
+  for (const wsdl::Definitions& defs : dvm_.find_all_services(service_)) {
+    auto channel = open_candidate(defs);
+    if (!channel.ok()) {
+      last_error = channel.error();
+      continue;
+    }
+    std::string node = node_of(**channel);
+    if (node == failed_node) continue;
+    Status status = (*channel)->invoke_batch(calls, results);
+    last_stats_ = (*channel)->last_stats();
+    if (!status.ok() && status.error().code() == ErrorCode::kUnavailable) {
+      last_error = status.error();
+      continue;
+    }
+    if (!failed_node.empty() && node != failed_node) {
+      c_failovers_.add();
+      dvm_.announce_failover(service_, failed_node, node);
+    }
+    current_ = std::move(*channel);
+    current_node_ = std::move(node);
+    return status;
+  }
+
+  Error timeout(ErrorCode::kTimeout, "no replica available for '" + service_ +
+                                         "' (" + last_error.message() + ")");
+  results.assign(calls.size(), Result<Value>(timeout));
+  return Status(std::move(timeout));
+}
+
 std::unique_ptr<net::Channel> make_failover_channel(
     dvm::Dvm& dvm, container::Container& origin, std::string service_name,
     CallPolicy policy, std::vector<wsdl::BindingKind> preference) {

@@ -40,6 +40,11 @@ class FailoverChannel final : public net::Channel {
 
   Result<Value> invoke(std::string_view operation,
                        std::span<const Value> params) override;
+  /// The whole batch fails over as one unit: kUnavailable from a replica
+  /// means none of its sub-calls executed, so walking to the next replica
+  /// (with the same sub-call ids) cannot double-apply anything.
+  Status invoke_batch(std::span<const net::BatchItem> calls,
+                      std::vector<Result<Value>>& results) override;
   const char* binding_name() const override { return "failover"; }
   net::CallStats last_stats() const override { return last_stats_; }
   const net::Endpoint* remote() const override {

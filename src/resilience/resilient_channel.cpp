@@ -96,6 +96,83 @@ Result<Value> ResilientChannel::invoke(std::string_view operation,
                             "' on " + endpoint_key_);
 }
 
+Status ResilientChannel::invoke_batch(std::span<const net::BatchItem> calls,
+                                      std::vector<Result<Value>>& results) {
+  if (calls.empty()) {
+    results.clear();
+    return Status::success();
+  }
+
+  // Sub-call ids make a re-sent batch dedup-safe; stamp any the caller
+  // (usually a BatchChannel) left empty. One copy, reused by every attempt
+  // so all re-sends carry the SAME ids.
+  std::vector<net::BatchItem> stamped;
+  std::span<const net::BatchItem> effective = calls;
+  if (policy_.attach_call_id) {
+    bool missing = false;
+    for (const net::BatchItem& item : calls) {
+      if (item.call_id.empty()) {
+        missing = true;
+        break;
+      }
+    }
+    if (missing) {
+      stamped.assign(calls.begin(), calls.end());
+      for (net::BatchItem& item : stamped) {
+        if (item.call_id.empty()) item.call_id = stamp_call_id(net_.next_call_serial());
+      }
+      effective = stamped;
+    }
+  }
+
+  const std::string label = "batch[" + std::to_string(calls.size()) + "]";
+  const Nanos start = net_.clock().now();
+  last_attempts_ = 0;
+  bool maybe_exec = false;
+  Error last_error = err::unavailable("no attempt made");
+  auto fail = [&](Error error) -> Status {
+    results.assign(calls.size(), Result<Value>(error));
+    return Status(std::move(error));
+  };
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (policy_.deadline > 0 && net_.clock().now() - start >= policy_.deadline) {
+      c_deadline_.add();
+      return fail(Error(ErrorCode::kTimeout,
+                        "deadline exceeded calling '" + label + "' on " +
+                            endpoint_key_ + " (" + last_error.message() + ")"));
+    }
+    if (breaker_ != nullptr && !breaker_->allow(net_.clock().now())) {
+      c_fastfail_.add();
+      last_error = err::unavailable("circuit open for " + endpoint_key_);
+    } else {
+      ++last_attempts_;
+      if (last_attempts_ > 1) c_retries_.add();
+      Status status = inner_->invoke_batch(effective, results);
+      const Nanos after = net_.clock().now();
+      if (status.ok()) {
+        if (breaker_ != nullptr) breaker_->record(true, after);
+        return status;
+      }
+      const ErrorCode code = status.error().code();
+      if (breaker_ != nullptr) breaker_->record(!transient(code), after);
+      if (!transient(code)) return fail(status.error());
+      if (maybe_executed(code)) maybe_exec = true;
+      last_error = status.error();
+    }
+    if (attempt < policy_.max_attempts) {
+      net_.clock().advance(backoff_delay(policy_, attempt, rng_));
+    }
+  }
+
+  if (maybe_exec) {
+    return fail(Error(ErrorCode::kTimeout,
+                      "retries exhausted calling '" + label + "' on " + endpoint_key_ +
+                          "; a reply was lost (" + last_error.message() + ")"));
+  }
+  return fail(last_error.context("retries exhausted calling '" + label + "' on " +
+                                 endpoint_key_));
+}
+
 std::unique_ptr<net::Channel> make_resilient_channel(
     std::unique_ptr<net::Channel> inner, net::SimNetwork& net, CallPolicy policy,
     CircuitBreaker* breaker, std::string endpoint_key) {

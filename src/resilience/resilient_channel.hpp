@@ -39,6 +39,11 @@ class ResilientChannel final : public net::Channel {
 
   Result<Value> invoke(std::string_view operation,
                        std::span<const Value> params) override;
+  /// Same retry/deadline/breaker loop around ONE wire message for the
+  /// whole batch. Sub-call ids left empty by the caller are stamped once
+  /// so re-sent batches stay at-most-once per sub-call.
+  Status invoke_batch(std::span<const net::BatchItem> calls,
+                      std::vector<Result<Value>>& results) override;
   const char* binding_name() const override { return inner_->binding_name(); }
   net::CallStats last_stats() const override { return inner_->last_stats(); }
   void set_call_id(std::string id) override;

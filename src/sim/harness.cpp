@@ -96,7 +96,7 @@ Status SimHarness::setup() {
     trace_.record(net_.clock().now(), "join", name);
   }
 
-  if (config_.weights.rcall > 0) {
+  if (config_.weights.rcall > 0 || config_.weights.batch > 0) {
     // The resilience workload: a counter replica on every node (the
     // side-effect witness), called through one FailoverChannel per origin.
     // The XDR-only preference forces calls onto the simulated network so
@@ -112,9 +112,20 @@ Status SimHarness::setup() {
     }
     resil::CallPolicy policy;
     for (std::size_t i = 0; i < config_.nodes; ++i) {
-      rcall_channels_[node_name(i)] = resil::make_failover_channel(
-          *dvm_, *containers_[i], "CounterService", policy,
-          {wsdl::BindingKind::kXdr});
+      if (config_.weights.rcall > 0) {
+        rcall_channels_[node_name(i)] = resil::make_failover_channel(
+            *dvm_, *containers_[i], "CounterService", policy,
+            {wsdl::BindingKind::kXdr});
+      }
+      if (config_.weights.batch > 0) {
+        // Batched variant of the same stack: the BatchChannel packs each
+        // storm into one H2RB frame, the failover/resilient layers below
+        // retry and re-route it as a unit under the SAME sub-call ids.
+        batch_channels_[node_name(i)] = net::make_batch_channel(
+            resil::make_failover_channel(*dvm_, *containers_[i], "CounterService",
+                                         policy, {wsdl::BindingKind::kXdr}),
+            net_, net::BatchPolicy{.max_batch = 64});
+      }
     }
     trace_.record(net_.clock().now(), "rcall-setup",
                   "counter replicas on " + std::to_string(config_.nodes) +
@@ -298,8 +309,8 @@ Status SimHarness::apply_random_faults(std::size_t step) {
 
 Status SimHarness::run_op(std::size_t step) {
   const OpWeights& w = config_.weights;
-  double total =
-      w.set + w.get + w.erase + w.deploy + w.probe + w.noise + w.pump + w.rcall;
+  double total = w.set + w.get + w.erase + w.deploy + w.probe + w.noise + w.pump +
+                 w.rcall + w.batch;
   double roll = rng_.next_double() * total;
   Nanos now = net_.clock().now();
   ++report_.ops_executed;
@@ -402,6 +413,49 @@ Status SimHarness::run_op(std::size_t step) {
       last_rpc_error_ = result.error().message();
       trace_.record(now, "rcall", origin + " " + op_id + " FAILED");
     }
+    return Status::success();
+  }
+  if ((roll -= w.batch) < 0) {
+    std::string origin = random_alive_node();
+    auto it = batch_channels_.find(origin);
+    if (it == batch_channels_.end()) {
+      return err::internal("sim: no batch channel for " + origin);
+    }
+    // A storm of 2..8 counter adds, packed into one wire message. Each
+    // sub-call keeps a globally unique logical id so the at-most-once
+    // witness counts a double-applied replayed batch as a dup.
+    const std::size_t count = 2 + rng_.next_below(7);
+    std::vector<net::BatchChannel::Ticket> tickets;
+    tickets.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string op_id = "op" + std::to_string(rpc_stats_.issued);
+      ++rpc_stats_.issued;
+      std::vector<Value> params;
+      params.push_back(Value::of_string(std::move(op_id), "id"));
+      params.push_back(Value::of_int(1, "delta"));
+      tickets.push_back(it->second->enqueue("add", std::move(params)));
+    }
+    (void)it->second->flush();
+    std::size_t ok_count = 0, timeouts = 0, failures = 0;
+    for (const auto& ticket : tickets) {
+      auto result = it->second->take(ticket);
+      if (result.ok()) {
+        ++rpc_stats_.succeeded;
+        ++ok_count;
+      } else if (result.error().code() == ErrorCode::kTimeout) {
+        ++rpc_stats_.timed_out;
+        ++timeouts;
+      } else {
+        ++rpc_stats_.failed;
+        last_rpc_error_ = result.error().message();
+        ++failures;
+      }
+    }
+    trace_.record(now, "batch",
+                  origin + " n=" + std::to_string(count) + " ok=" +
+                      std::to_string(ok_count) + " timeout=" +
+                      std::to_string(timeouts) +
+                      (failures > 0 ? " FAILED=" + std::to_string(failures) : ""));
     return Status::success();
   }
   if ((roll -= w.noise) < 0) {

@@ -20,6 +20,7 @@
 #include "dvm/dvm.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/trace.hpp"
+#include "transport/batch.hpp"
 #include "util/rng.hpp"
 
 namespace h2::sim {
@@ -36,6 +37,7 @@ struct OpWeights {
   double noise = 0.10;  ///< one-way datagram traffic (exercises dup/delay/reorder)
   double pump = 0.10;   ///< deliver queued one-way messages
   double rcall = 0.0;   ///< resilient RPC to the replicated counter witness
+  double batch = 0.0;   ///< batched resilient RPC storm (BatchChannel over failover)
 };
 
 struct SimConfig {
@@ -156,6 +158,7 @@ class SimHarness {
   std::map<std::string, LedgerEntry> ledger_;
   std::vector<DeployedComponent> deployed_;
   std::map<std::string, std::unique_ptr<net::Channel>> rcall_channels_;
+  std::map<std::string, std::unique_ptr<net::BatchChannel>> batch_channels_;
   RpcStats rpc_stats_;
   std::string last_rpc_error_;  ///< message of the most recent non-timeout failure
   std::vector<std::pair<std::size_t, std::size_t>> partitions_;  ///< active cuts

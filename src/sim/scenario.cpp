@@ -114,6 +114,37 @@ ScenarioDef retry_storm() {
   return def;
 }
 
+ScenarioDef batch_storm() {
+  ScenarioDef def;
+  def.name = "batch-storm";
+  def.description =
+      "batched resilient counter RPC (multi-call H2RB frames) under "
+      "drop/duplicate/reply-loss chaos; a replayed batch frame must be "
+      "answered from the dedup cache without re-executing any sub-call, "
+      "and sub-calls only ever fail with kTimeout";
+  def.config.scenario = def.name;
+  def.config.nodes = 4;
+  def.config.steps = 150;
+  def.config.check_every = 30;
+  def.config.weights.set = 0.10;
+  def.config.weights.get = 0.05;
+  def.config.weights.erase = 0.0;
+  def.config.weights.deploy = 0.0;
+  // No probes, as in retry-storm: heavy call drop would mass-evict
+  // healthy nodes and turn this into a membership scenario.
+  def.config.weights.probe = 0.0;
+  def.config.weights.noise = 0.10;
+  def.config.weights.pump = 0.15;
+  def.config.weights.rcall = 0.0;
+  def.config.weights.batch = 0.60;
+  def.config.plan.chaos(
+      {.drop_p = 0.25, .dup_p = 0.10, .delay_p = 0.05, .drop_reply_p = 0.10});
+  def.invariants = all_invariants();
+  def.invariants.push_back("rpc-at-most-once");
+  def.invariants.push_back("rpc-timeout-only");
+  return def;
+}
+
 ScenarioDef failover_cascade() {
   ScenarioDef def;
   def.name = "failover-cascade";
@@ -179,9 +210,9 @@ ScenarioDef planted_bug() {
 
 const std::vector<ScenarioDef>& scenarios() {
   static const std::vector<ScenarioDef> table = {
-      coherency_storm(), failover(),          churn(),
-      mesh_skew(),       retry_storm(),       failover_cascade(),
-      planted_bug(),     retry_storm_nodedup()};
+      coherency_storm(), failover(),           churn(),
+      mesh_skew(),       retry_storm(),        batch_storm(),
+      failover_cascade(), planted_bug(),       retry_storm_nodedup()};
   return table;
 }
 

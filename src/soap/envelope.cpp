@@ -782,4 +782,170 @@ Result<RpcReply> parse_reply(std::string_view envelope_xml) {
   return parse_reply(envelope_xml, nullptr);
 }
 
+// ---- batching -----------------------------------------------------------------
+
+void build_batch_request_into(std::string& out, std::string_view service_ns,
+                              std::span<const BatchCall> calls,
+                              std::span<const HeaderEntry> headers) {
+  out.clear();
+  std::size_t est = kEnvelopeOverhead + service_ns.size();
+  for (const HeaderEntry& h : headers) {
+    est += 2 * h.name.size() + h.ns.size() + h.value.size() + h.actor.size() + 64;
+  }
+  for (const BatchCall& call : calls) {
+    est += 2 * call.operation.size() + 32;
+    for (const Value& p : call.params) {
+      est += EnvelopeWriter::estimate(p, p.name().empty() ? 5 : p.name().size());
+    }
+  }
+  if (out.capacity() < est) out.reserve(est);
+  EnvelopeWriter w(out);
+  w.envelope_open();
+  w.headers(headers);
+  w.body_open();
+  for (const BatchCall& call : calls) {
+    w.call_open(call.operation, service_ns, /*response=*/false);
+    int position = 0;
+    for (const Value& p : call.params) write_param(w, p, position++);
+    w.call_close(call.operation, /*response=*/false);
+  }
+  w.body_close();
+  w.envelope_close();
+}
+
+Result<BatchRpcCall> parse_batch_request(std::string_view envelope_xml) {
+  PullParser p(envelope_xml);
+  ParseScratch scratch;
+  if (auto st = open_envelope(p); !st.ok()) return st.error().context("soap request");
+
+  BatchRpcCall out;
+  bool seen_header = false;
+  bool seen_body = false;
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error().context("soap request");
+    if (*t == Token::kEndElement && p.depth() == 0) break;
+    if (*t != Token::kStartElement) continue;
+
+    if (p.local_name() == "Header" && !seen_header) {
+      seen_header = true;
+      auto st = read_headers(p, scratch, out.headers);
+      if (!st.ok()) return st.error().context("soap request");
+      continue;
+    }
+    if (p.local_name() == "Body" && !seen_body) {
+      seen_body = true;
+      if (p.self_closing()) {
+        auto st = p.skip_element();
+        if (!st.ok()) return st.error().context("soap request");
+        continue;
+      }
+      while (true) {
+        auto bt = p.next();
+        if (!bt.ok()) return bt.error().context("soap request");
+        if (*bt == Token::kEndElement && p.depth() == 1) break;
+        if (*bt != Token::kStartElement) continue;
+        BatchRpcCall::Call call;
+        call.operation.assign(p.local_name());
+        if (auto ns = p.namespace_uri(); ns && out.service_ns.empty()) {
+          out.service_ns.assign(*ns);
+        }
+        if (p.self_closing()) {
+          auto st = p.skip_element();
+          if (!st.ok()) return st.error().context("soap request");
+          out.calls.push_back(std::move(call));
+          continue;
+        }
+        while (true) {
+          auto pt = p.next();
+          if (!pt.ok()) return pt.error().context("soap request");
+          if (*pt == Token::kEndElement && p.depth() == 2) break;
+          if (*pt != Token::kStartElement) continue;
+          auto v = read_param(p, /*resolver=*/nullptr, scratch);
+          if (!v.ok()) return v.error().context("parameter of " + call.operation);
+          call.params.push_back(std::move(*v));
+        }
+        out.calls.push_back(std::move(call));
+      }
+      continue;
+    }
+    auto st = p.skip_element();
+    if (!st.ok()) return st.error().context("soap request");
+  }
+  if (auto st = close_document(p); !st.ok()) return st.error().context("soap request");
+
+  if (!seen_body) return err::parse("soap: missing Body");
+  return out;
+}
+
+Result<std::vector<RpcReply>> parse_batch_reply(std::string_view envelope_xml) {
+  PullParser p(envelope_xml);
+  ParseScratch scratch;
+  if (auto st = open_envelope(p); !st.ok()) return st.error().context("soap reply");
+
+  std::vector<RpcReply> out;
+  bool seen_body = false;
+  while (true) {
+    auto t = p.next();
+    if (!t.ok()) return t.error().context("soap reply");
+    if (*t == Token::kEndElement && p.depth() == 0) break;
+    if (*t != Token::kStartElement) continue;
+
+    if (p.local_name() == "Body" && !seen_body) {
+      seen_body = true;
+      if (p.self_closing()) {
+        auto st = p.skip_element();
+        if (!st.ok()) return st.error().context("soap reply");
+        continue;
+      }
+      while (true) {
+        auto bt = p.next();
+        if (!bt.ok()) return bt.error().context("soap reply");
+        if (*bt == Token::kEndElement && p.depth() == 1) break;
+        if (*bt != Token::kStartElement) continue;
+
+        if (p.local_name() == "Fault") {
+          auto fault = read_fault(p, scratch);
+          if (!fault.ok()) return fault.error().context("soap reply");
+          out.push_back(RpcReply{std::move(*fault)});
+          continue;
+        }
+
+        bool have_value = false;
+        if (p.self_closing()) {
+          auto st = p.skip_element();
+          if (!st.ok()) return st.error().context("soap reply");
+          out.push_back(RpcReply{Value::of_void("return")});
+          continue;
+        }
+        int base = p.depth();
+        RpcReply reply{Value::of_void("return")};
+        while (true) {
+          auto rt = p.next();
+          if (!rt.ok()) return rt.error().context("soap reply");
+          if (*rt == Token::kEndElement && p.depth() == base - 1) break;
+          if (*rt != Token::kStartElement) continue;
+          if (have_value) {
+            auto st = p.skip_element();
+            if (!st.ok()) return st.error().context("soap reply");
+            continue;
+          }
+          have_value = true;
+          auto v = read_param(p, /*resolver=*/nullptr, scratch);
+          if (!v.ok()) return v.error().context("soap return value");
+          reply = RpcReply{std::move(*v)};
+        }
+        out.push_back(std::move(reply));
+      }
+      continue;
+    }
+    auto st = p.skip_element();
+    if (!st.ok()) return st.error().context("soap reply");
+  }
+  if (auto st = close_document(p); !st.ok()) return st.error().context("soap reply");
+
+  if (!seen_body) return err::parse("soap: missing Body");
+  return out;
+}
+
 }  // namespace h2::soap

@@ -164,4 +164,45 @@ Result<RpcReply> parse_reply(std::string_view envelope_xml,
 /// xsi:type, falling back to shape inference for untyped elements).
 Result<Value> xml_to_value(const xml::Node& element);
 
+// ---- batching -----------------------------------------------------------------
+// A batch envelope is ordinary SOAP 1.1 with REPEATED operation elements
+// in one Body — one HTTP round trip carries N calls. The transport layer
+// marks batches with headers (net::kBatchCountHeaderName et al.); this
+// layer only builds/parses the repeated-element shape.
+
+/// One sub-call of a batch request (views into caller-owned storage).
+struct BatchCall {
+  std::string_view operation;
+  std::span<const Value> params;
+};
+
+/// A decoded multi-call request: shared headers plus the Body's operation
+/// elements in order. `service_ns` is the first operation's namespace
+/// (sub-calls of one service share it). A singleton request parses as a
+/// one-element batch.
+struct BatchRpcCall {
+  std::string service_ns;
+  std::vector<HeaderEntry> headers;
+  struct Call {
+    std::string operation;
+    std::vector<Value> params;
+  };
+  std::vector<Call> calls;
+};
+
+/// Serializes a batch request: each call becomes one operation element of
+/// a single Body; `headers` are shared by the whole batch. Clears `out`
+/// and reuses its capacity, like build_request_into.
+void build_batch_request_into(std::string& out, std::string_view service_ns,
+                              std::span<const BatchCall> calls,
+                              std::span<const HeaderEntry> headers = {});
+
+/// Parses a request Body carrying ANY number of operation elements (the
+/// strict parse_request is the exactly-one special case).
+Result<BatchRpcCall> parse_batch_request(std::string_view envelope_xml);
+
+/// Parses a reply Body carrying one element per sub-call (opResponse or
+/// Fault), in order.
+Result<std::vector<RpcReply>> parse_batch_reply(std::string_view envelope_xml);
+
 }  // namespace h2::soap

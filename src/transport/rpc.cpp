@@ -28,6 +28,99 @@ ErrorCode error_code_for_fault(const std::string& fault_code) {
   return fault_code == "Client" ? ErrorCode::kInvalidArgument : ErrorCode::kUnavailable;
 }
 
+// ---- batching helpers ---------------------------------------------------------
+
+/// Gives every pending sub-call the same transport-level verdict.
+void fill_results(std::vector<Result<Value>>& results, std::size_t count,
+                  const Error& error) {
+  results.clear();
+  results.assign(count, Result<Value>(error));
+}
+
+/// Appends one length-prefixed sub-reply directly into the batch frame:
+/// u32 placeholder, marshal in place, backpatch — no staging buffer.
+void append_sub_reply(enc::XdrWriter& out, const Result<Value>& outcome) {
+  const std::size_t length_at = out.size();
+  out.put_u32(0);
+  const std::size_t start = out.size();
+  marshal_reply_into(out, outcome);
+  out.buffer().patch_u32_be(length_at, static_cast<std::uint32_t>(out.size() - start));
+}
+
+/// Server half of XDR batching, shared by serve_xdr and the raw HTTP
+/// mount: splits the "H2RB" frame, runs sub-calls in order, and streams
+/// an "H2RZ" frame of sub-replies. Sub-calls carrying an idempotency key
+/// go through `dedup` exactly like singleton calls — the cached unit is
+/// the singleton "H2RP" frame, so replays splice straight into the batch.
+ByteBuffer serve_batch_frame(std::span<const std::uint8_t> raw,
+                             Dispatcher& dispatcher, resil::DedupCache* dedup,
+                             ByteBuffer scratch) {
+  auto frames = split_batch_call(raw);
+  if (!frames.ok()) {
+    // Unreadable outer frame: answer with a singleton error reply. The
+    // client demux recognizes the "H2RP" magic and applies the error to
+    // every pending sub-call.
+    return marshal_reply(frames.error().context("xdr server"));
+  }
+  scratch.clear();
+  enc::XdrWriter out(std::move(scratch));
+  marshal_batch_reply_begin(out, static_cast<std::uint32_t>(frames->size()));
+  for (std::span<const std::uint8_t> frame : *frames) {
+    auto call = unmarshal_call(frame);
+    if (!call.ok()) {
+      append_sub_reply(out, call.error().context("xdr server"));
+      continue;
+    }
+    if (dedup != nullptr && !call->call_id.empty()) {
+      if (auto cached = dedup->lookup(call->call_id)) {
+        out.put_opaque(cached->bytes());
+        continue;
+      }
+      ByteBuffer reply =
+          marshal_reply(dispatcher.dispatch(call->operation, call->params));
+      out.put_opaque(reply.bytes());
+      dedup->store(call->call_id, std::move(reply));
+      continue;
+    }
+    append_sub_reply(out, dispatcher.dispatch(call->operation, call->params));
+  }
+  return out.take();
+}
+
+/// Client half: turns the server's answer into per-call results. Accepts
+/// either an "H2RZ" frame (count must match) or a bare "H2RP" error reply
+/// covering the whole batch.
+Status demux_batch_reply(std::span<const std::uint8_t> bytes, std::size_t expected,
+                         std::vector<Result<Value>>& results) {
+  if (!is_batch_reply(bytes)) {
+    auto outcome = unmarshal_reply(bytes);
+    Error error = outcome.ok()
+                      ? Error(ErrorCode::kParseError,
+                              "xdr frame: singleton reply to a batch call")
+                      : outcome.error();
+    fill_results(results, expected, error);
+    return error;
+  }
+  auto frames = split_batch_reply(bytes);
+  if (!frames.ok()) {
+    fill_results(results, expected, frames.error());
+    return frames.error();
+  }
+  if (frames->size() != expected) {
+    Error error(ErrorCode::kParseError,
+                "xdr frame: batch reply count " + std::to_string(frames->size()) +
+                    " != request count " + std::to_string(expected));
+    fill_results(results, expected, error);
+    return error;
+  }
+  results.clear();
+  results.reserve(expected);
+  for (std::span<const std::uint8_t> frame : *frames) {
+    results.push_back(unmarshal_reply(frame));
+  }
+  return Status::success();
+}
+
 class LocalChannel final : public Channel {
  public:
   LocalChannel(Dispatcher& dispatcher, bool instance_bound)
@@ -62,14 +155,49 @@ class XdrChannel final : public Channel {
                        std::span<const Value> params) override {
     auto host = net_.resolve(to_.host);
     if (!host.ok()) return host.error();
-    ByteBuffer frame = marshal_call(operation, params, call_id_);
+    // Marshal into a pooled buffer: after the first few calls the frame
+    // capacity is recycled instead of reallocated per call.
+    enc::XdrWriter writer(net_.buffer_pool().acquire());
+    marshal_call_into(writer, operation, params, call_id_);
+    ByteBuffer frame = writer.take();
     stats_ = CallStats{.entities_traversed = 4,  // stub, socket, skeleton, dispatcher
                        .request_bytes = frame.size(),
                        .response_bytes = 0};
     auto response = net_.call(from_, *host, to_.port, frame.bytes());
+    net_.buffer_pool().release(std::move(frame));
     if (!response.ok()) return response.error().context("xdr call " + std::string(operation));
     stats_.response_bytes = response->size();
-    return unmarshal_reply(response->bytes());
+    // unmarshal_reply borrows the response bytes (the decoded Value owns
+    // its own storage), so the reply buffer can be recycled immediately.
+    auto reply = unmarshal_reply(response->bytes());
+    net_.buffer_pool().release(std::move(*response));
+    return reply;
+  }
+
+  Status invoke_batch(std::span<const BatchItem> calls,
+                      std::vector<Result<Value>>& results) override {
+    results.clear();
+    if (calls.empty()) return Status::success();
+    auto host = net_.resolve(to_.host);
+    if (!host.ok()) {
+      fill_results(results, calls.size(), host.error());
+      return host.error();
+    }
+    ByteBuffer frame = marshal_batch_call(calls, net_.buffer_pool().acquire());
+    stats_ = CallStats{.entities_traversed = 4,
+                       .request_bytes = frame.size(),
+                       .response_bytes = 0};
+    auto response = net_.call(from_, *host, to_.port, frame.bytes());
+    net_.buffer_pool().release(std::move(frame));
+    if (!response.ok()) {
+      Error error = response.error().context("xdr batch");
+      fill_results(results, calls.size(), error);
+      return error;
+    }
+    stats_.response_bytes = response->size();
+    Status verdict = demux_batch_reply(response->bytes(), calls.size(), results);
+    net_.buffer_pool().release(std::move(*response));
+    return verdict;
   }
 
   const char* binding_name() const override { return "xdr"; }
@@ -153,6 +281,117 @@ class SoapChannel final : public Channel {
     return reply->value();
   }
 
+  Status invoke_batch(std::span<const BatchItem> calls,
+                      std::vector<Result<Value>>& results) override {
+    results.clear();
+    if (calls.empty()) return Status::success();
+    auto host = net_.resolve(to_.host);
+    if (!host.ok()) {
+      fill_results(results, calls.size(), host.error());
+      return host.error();
+    }
+
+    http::Request request;
+    request.method = "POST";
+    request.target = "/" + to_.path;
+    request.headers.set("Content-Type", "text/xml; charset=utf-8");
+    request.headers.set("SOAPAction", "\"" + service_ns_ + "#batch\"");
+    headers_.clear();
+    obs::TraceContext trace = obs::Tracer::current();
+    if (trace.valid()) {
+      soap::HeaderEntry trace_header;
+      trace_header.name = std::string(obs::kTraceHeaderName);
+      trace_header.ns = std::string(obs::kTraceHeaderNs);
+      trace_header.value = obs::encode_trace_header(trace);
+      headers_.push_back(std::move(trace_header));
+    }
+    // The batch marker: count + comma-joined per-sub-call idempotency keys
+    // (position i names sub-call i; empty slots mean "no key"). Both are
+    // plain non-mustUnderstand headers.
+    soap::HeaderEntry count_header;
+    count_header.name = kBatchCountHeaderName;
+    count_header.ns = kBatchHeaderNs;
+    count_header.value = std::to_string(calls.size());
+    headers_.push_back(std::move(count_header));
+    bool any_ids = false;
+    for (const BatchItem& item : calls) any_ids = any_ids || !item.call_id.empty();
+    if (any_ids) {
+      soap::HeaderEntry ids_header;
+      ids_header.name = kBatchIdsHeaderName;
+      ids_header.ns = kBatchHeaderNs;
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (i > 0) ids_header.value += ',';
+        ids_header.value += calls[i].call_id;
+      }
+      headers_.push_back(std::move(ids_header));
+    }
+
+    batch_scratch_.clear();
+    batch_scratch_.reserve(calls.size());
+    for (const BatchItem& item : calls) {
+      batch_scratch_.push_back({item.operation, item.params});
+    }
+    soap::build_batch_request_into(envelope_, service_ns_, batch_scratch_, headers_);
+    request.body = std::move(envelope_);
+    ByteBuffer wire = request.serialize(to_.host);
+    envelope_ = std::move(request.body);
+    stats_ = CallStats{.entities_traversed = 6,
+                       .request_bytes = wire.size(),
+                       .response_bytes = 0};
+
+    auto raw = net_.call(from_, *host, to_.port, wire.bytes());
+    if (!raw.ok()) {
+      Error error = raw.error().context("soap batch");
+      fill_results(results, calls.size(), error);
+      return error;
+    }
+    stats_.response_bytes = raw->size();
+
+    auto response = http::parse_response(raw->bytes());
+    if (!response.ok()) {
+      Error error = response.error().context("soap http response");
+      fill_results(results, calls.size(), error);
+      return error;
+    }
+    if (response->status != 200 && response->status != 500) {
+      Error error = err::unavailable("soap: http status " +
+                                     std::to_string(response->status) + " " +
+                                     response->reason);
+      fill_results(results, calls.size(), error);
+      return error;
+    }
+    auto replies = soap::parse_batch_reply(response->body);
+    if (!replies.ok()) {
+      fill_results(results, calls.size(), replies.error());
+      return replies.error();
+    }
+    if (replies->size() != calls.size()) {
+      // A single fault element answering a multi-call batch is a
+      // whole-envelope rejection (bad request, MustUnderstand, ...).
+      if (replies->size() == 1 && (*replies)[0].is_fault()) {
+        const soap::Fault& f = (*replies)[0].fault();
+        Error error(error_code_for_fault(f.code), "soap fault: " + f.describe());
+        fill_results(results, calls.size(), error);
+        return error;
+      }
+      Error error(ErrorCode::kParseError,
+                  "soap: batch reply count " + std::to_string(replies->size()) +
+                      " != request count " + std::to_string(calls.size()));
+      fill_results(results, calls.size(), error);
+      return error;
+    }
+    results.reserve(calls.size());
+    for (soap::RpcReply& reply : *replies) {
+      if (reply.is_fault()) {
+        results.push_back(Result<Value>(Error(error_code_for_fault(reply.fault().code),
+                                              "soap fault: " + reply.fault().describe())));
+      } else {
+        results.push_back(Result<Value>(std::move(std::get<Value>(reply.payload))));
+      }
+    }
+    return Status::success();
+  }
+
   const char* binding_name() const override { return "soap"; }
   CallStats last_stats() const override { return stats_; }
   void set_call_id(std::string call_id) override { call_id_ = std::move(call_id); }
@@ -166,6 +405,7 @@ class SoapChannel final : public Channel {
   std::string call_id_;
   std::string envelope_;  ///< reused request-envelope buffer
   std::vector<soap::HeaderEntry> headers_;  ///< reused header scratch
+  std::vector<soap::BatchCall> batch_scratch_;  ///< reused batch-call views
   CallStats stats_;
 };
 
@@ -203,8 +443,8 @@ class HttpChannel final : public Channel {
       return err::unavailable("http: status " + std::to_string(response->status) + " " +
                               response->reason);
     }
-    ByteBuffer body(response->body);
-    return unmarshal_reply(body.bytes());
+    // View the body in place — the reply frame was copied here before.
+    return unmarshal_reply(as_byte_span(response->body));
   }
 
   const char* binding_name() const override { return "http"; }
@@ -250,9 +490,8 @@ class MimeChannel final : public Channel {
 
     auto response = http::parse_response(raw->bytes());
     if (!response.ok()) return response.error().context("mime http response");
-    ByteBuffer body(response->body);
     auto reply = soap::parse_mime_reply(response->headers.get_or("content-type", ""),
-                                        body.bytes());
+                                        as_byte_span(response->body));
     if (!reply.ok()) return reply.error();
     if (reply->is_fault()) {
       return Error(error_code_for_fault(reply->fault().code),
@@ -313,7 +552,11 @@ Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
                                std::shared_ptr<resil::DedupCache> dedup) {
   auto status = net.listen(
       host, port,
-      [dispatcher, dedup](std::span<const std::uint8_t> raw) -> Result<ByteBuffer> {
+      [&net, dispatcher, dedup](std::span<const std::uint8_t> raw) -> Result<ByteBuffer> {
+        if (is_batch_call(raw)) {
+          return serve_batch_frame(raw, *dispatcher, dedup.get(),
+                                   net.buffer_pool().acquire());
+        }
         auto call = unmarshal_call(raw);
         if (!call.ok()) {
           return marshal_reply(call.error().context("xdr server"));
@@ -448,8 +691,7 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
     // SOAP-with-Attachments: parse the multipart request, dispatch, and
     // answer with a multipart response (faults as single-part envelopes).
     std::string content_type = request->headers.get_or("content-type", "");
-    ByteBuffer body(request->body);
-    auto call = soap::parse_mime_request(content_type, body.bytes());
+    auto call = soap::parse_mime_request(content_type, as_byte_span(request->body));
     soap::MultipartMessage reply;
     int status_code = 200;
     if (!call.ok()) {
@@ -475,9 +717,21 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
 
   if (kind == MountKind::kRaw) {
     // The http binding: XDR call frame in, XDR reply frame out; dispatch
-    // errors travel in-band inside the reply frame.
-    ByteBuffer body(request->body);
-    auto call = unmarshal_call(body.bytes());
+    // errors travel in-band inside the reply frame. The body is viewed in
+    // place — no per-request copy.
+    std::span<const std::uint8_t> body = as_byte_span(request->body);
+    if (is_batch_call(body)) {
+      ByteBuffer reply = serve_batch_frame(body, *dispatcher, dedup.get(),
+                                           net_.buffer_pool().acquire());
+      http::Response response;
+      response.status = 200;
+      response.reason = "OK";
+      response.headers.set("Content-Type", "application/octet-stream");
+      response.body = reply.to_string();
+      net_.buffer_pool().release(std::move(reply));
+      return response.serialize();
+    }
+    auto call = unmarshal_call(body);
     if (call.ok() && dedup && !call->call_id.empty()) {
       if (auto cached = dedup->lookup(call->call_id)) return std::move(*cached);
     }
@@ -494,7 +748,11 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
     return wire;
   }
 
-  auto call = soap::parse_request(request->body);
+  // One batch-tolerant parse serves both shapes: a body with exactly one
+  // operation element and no BatchCount header is the classic singleton
+  // path (byte-identical responses); a BatchCount header selects batch
+  // dispatch over however many operation elements the body carries.
+  auto call = soap::parse_batch_request(request->body);
   if (!call.ok()) {
     return fault(400, "Client", call.error().message());
   }
@@ -504,40 +762,125 @@ Result<ByteBuffer> SoapHttpServer::handle(std::span<const std::uint8_t> raw) {
                    "header '" + header.name + "' not understood");
     }
   }
-  // Recover the trace context and the idempotency key from the wire.
+  // Recover the trace context, idempotency key(s) and batch marker.
   obs::TraceContext remote_parent;
   std::string call_id;
+  std::string batch_count;
+  std::string batch_ids;
   for (const soap::HeaderEntry& header : call->headers) {
     if (header.name == obs::kTraceHeaderName && header.ns == obs::kTraceHeaderNs) {
       if (auto parsed = obs::parse_trace_header(header.value)) remote_parent = *parsed;
     } else if (header.name == resil::kCallIdHeaderName &&
                header.ns == resil::kCallIdHeaderNs) {
       call_id = header.value;
+    } else if (header.ns == kBatchHeaderNs) {
+      if (header.name == kBatchCountHeaderName) batch_count = header.value;
+      if (header.name == kBatchIdsHeaderName) batch_ids = header.value;
     }
   }
-  if (dedup && !call_id.empty()) {
-    if (auto cached = dedup->lookup(call_id)) return std::move(*cached);
+
+  if (batch_count.empty()) {
+    // Singleton path, unchanged semantics.
+    if (call->calls.size() != 1) {
+      return fault(400, "Client",
+                   "soap: request Body must contain exactly one operation element");
+    }
+    const soap::BatchRpcCall::Call& single = call->calls.front();
+    if (dedup && !call_id.empty()) {
+      if (auto cached = dedup->lookup(call_id)) return std::move(*cached);
+    }
+    // Name string only when it will be recorded (tracing is usually off).
+    obs::Span span;
+    if (net_.tracer().enabled()) {
+      span = net_.tracer().start_span("soap.serve." + single.operation, remote_parent);
+      if (span.active()) span.annotate("host=" + net_.host_name(host_));
+    }
+    auto result = dispatcher->dispatch(single.operation, single.params);
+    span.set_ok(result.ok());
+    span.finish();
+    ByteBuffer wire;
+    if (!result.ok()) {
+      wire = fault(500, fault_code_for(result.error().code()), result.error().message());
+    } else {
+      // Build the response envelope directly into the HTTP body: no
+      // intermediate envelope string to allocate and copy.
+      http::Response response = make_response(200);
+      soap::build_response_into(response.body, single.operation, call->service_ns,
+                                *result);
+      wire = response.serialize();
+    }
+    // Cache success and dispatch faults alike — the handler executed either
+    // way, and a duplicate must observe the same outcome.
+    if (dedup && !call_id.empty()) dedup->store(call_id, wire);
+    return wire;
   }
-  obs::Span span = net_.tracer().start_span("soap.serve." + call->operation,
-                                            remote_parent);
-  if (span.active()) span.annotate("host=" + net_.host_name(host_));
-  auto result = dispatcher->dispatch(call->operation, call->params);
-  span.set_ok(result.ok());
-  span.finish();
-  ByteBuffer wire;
-  if (!result.ok()) {
-    wire = fault(500, fault_code_for(result.error().code()), result.error().message());
-  } else {
-    // Build the response envelope directly into the HTTP body: no
-    // intermediate envelope string to allocate and copy.
-    http::Response response = make_response(200);
-    soap::build_response_into(response.body, call->operation, call->service_ns, *result);
-    wire = response.serialize();
+
+  // Batch path: sub-calls execute in order, each result (or fault) is one
+  // Body element of a single 200 response. Dedup works per sub-call: the
+  // cached unit is the response/fault XML FRAGMENT, spliced back into
+  // whatever batch a replayed id arrives in.
+  std::size_t declared = 0;
+  for (char c : batch_count) {
+    if (c < '0' || c > '9') return fault(400, "Client", "soap: bad BatchCount header");
+    declared = declared * 10 + static_cast<std::size_t>(c - '0');
   }
-  // Cache success and dispatch faults alike — the handler executed either
-  // way, and a duplicate must observe the same outcome.
-  if (dedup && !call_id.empty()) dedup->store(call_id, wire);
-  return wire;
+  if (declared != call->calls.size()) {
+    return fault(400, "Client",
+                 "soap: BatchCount " + batch_count + " != " +
+                     std::to_string(call->calls.size()) + " operation elements");
+  }
+  std::vector<std::string_view> ids;
+  if (!batch_ids.empty()) {
+    std::string_view rest = batch_ids;
+    while (true) {
+      std::size_t comma = rest.find(',');
+      ids.push_back(rest.substr(0, comma));
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+    if (ids.size() != call->calls.size()) {
+      return fault(400, "Client", "soap: BatchCallIds count mismatch");
+    }
+  }
+
+  http::Response response = make_response(200);
+  soap::EnvelopeWriter writer(response.body);
+  writer.envelope_open();
+  writer.body_open();
+  std::string fragment;
+  for (std::size_t i = 0; i < call->calls.size(); ++i) {
+    const soap::BatchRpcCall::Call& sub = call->calls[i];
+    const std::string_view id = ids.empty() ? std::string_view{} : ids[i];
+    if (dedup && !id.empty()) {
+      if (auto cached = dedup->lookup(id)) {
+        response.body.append(cached->as_string_view());
+        continue;
+      }
+    }
+    obs::Span span;
+    if (net_.tracer().enabled()) {
+      span = net_.tracer().start_span("soap.serve." + sub.operation, remote_parent);
+      if (span.active()) span.annotate("host=" + net_.host_name(host_));
+    }
+    auto result = dispatcher->dispatch(sub.operation, sub.params);
+    span.set_ok(result.ok());
+    span.finish();
+    fragment.clear();
+    soap::EnvelopeWriter sub_writer(fragment);
+    if (!result.ok()) {
+      sub_writer.fault({fault_code_for(result.error().code()),
+                        result.error().message(), ""});
+    } else {
+      sub_writer.call_open(sub.operation, call->service_ns, /*response=*/true);
+      sub_writer.param(*result, "return");
+      sub_writer.call_close(sub.operation, /*response=*/true);
+    }
+    response.body += fragment;
+    if (dedup && !id.empty()) dedup->store(id, ByteBuffer(fragment));
+  }
+  writer.body_close();
+  writer.envelope_close();
+  return response.serialize();
 }
 
 }  // namespace h2::net

@@ -25,6 +25,7 @@
 
 #include "encoding/value.hpp"
 #include "transport/endpoint.hpp"
+#include "transport/marshal.hpp"
 #include "transport/simnet.hpp"
 #include "util/error.hpp"
 
@@ -96,6 +97,31 @@ class Channel {
   /// The remote endpoint this channel targets, or nullptr for in-process
   /// channels. The resilience layer uses this to key circuit breakers.
   virtual const Endpoint* remote() const { return nullptr; }
+
+  /// Invokes `calls` as one logical round — wire bindings override this to
+  /// pack all calls into ONE message (XDR "H2RB" frame / SOAP batch
+  /// envelope), amortizing the per-call stub/encoder/socket/server
+  /// overhead the paper's Section 5 localizes.
+  ///
+  /// The returned Status is the TRANSPORT outcome: an error means no
+  /// per-call verdicts exist (the whole batch may be retried under its
+  /// sub-call ids); success means `results` holds one final Result per
+  /// call, in order — individual sub-calls may still carry application
+  /// errors. On transport failure `results` is filled with that error for
+  /// every call. The default implementation loops over invoke(), so every
+  /// channel supports the API even when its binding has no batch framing.
+  virtual Status invoke_batch(std::span<const BatchItem> calls,
+                              std::vector<Result<Value>>& results) {
+    results.clear();
+    results.reserve(calls.size());
+    for (const BatchItem& item : calls) {
+      // Stamp unconditionally: a channel's forced id is sticky, so an
+      // empty id must overwrite the previous sub-call's.
+      set_call_id(item.call_id);
+      results.push_back(invoke(item.operation, item.params));
+    }
+    return Status::success();
+  }
 };
 
 // ---- channels (client side) -------------------------------------------------

@@ -20,6 +20,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
@@ -176,6 +177,10 @@ class SimNetwork {
   /// them deterministic (no wall clock, no global state).
   std::uint64_t next_call_serial() { return ++call_serial_; }
 
+  /// Shared frame/body buffer pool: channels and servers of this world
+  /// recycle their wire buffers here instead of reallocating per call.
+  ByteBufferPool& buffer_pool() { return buffer_pool_; }
+
   /// Per-world circuit-breaker registry slot (lazily attached by the
   /// resilience layer; see resil::BreakerRegistry::of). Held as an opaque
   /// shared_ptr so the transport does not link against h2_resilience.
@@ -233,6 +238,7 @@ class SimNetwork {
   std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
   std::uint64_t sequence_ = 0;
   std::uint64_t call_serial_ = 0;
+  ByteBufferPool buffer_pool_;
   std::shared_ptr<resil::BreakerRegistry> breakers_;
 };
 

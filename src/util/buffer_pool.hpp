@@ -1,0 +1,59 @@
+// ByteBufferPool — a bounded free list of ByteBuffers so steady-state
+// wire paths (frame assembly, batch scratch, reply buffers) reuse heap
+// capacity instead of reallocating per call. ByteBuffer::clear() keeps
+// its vector's capacity, so a recycled buffer starts warm: after the
+// first few calls through a channel the pool serves buffers already
+// sized for that channel's typical frame.
+//
+// Thread-safe (channels on different threads may share one SimNetwork's
+// pool); the lock is two pointer moves wide. The pool is bounded so a
+// burst of giant frames cannot pin unbounded memory — excess buffers
+// are simply dropped and freed.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+
+namespace h2 {
+
+class ByteBufferPool {
+ public:
+  static constexpr std::size_t kMaxPooled = 64;
+
+  explicit ByteBufferPool(std::size_t max_pooled = kMaxPooled)
+      : max_pooled_(max_pooled) {}
+
+  ByteBufferPool(const ByteBufferPool&) = delete;
+  ByteBufferPool& operator=(const ByteBufferPool&) = delete;
+
+  /// An empty buffer, recycled (with retained capacity) when available.
+  ByteBuffer acquire() {
+    std::lock_guard lock(mu_);
+    if (free_.empty()) return ByteBuffer{};
+    ByteBuffer out = std::move(free_.back());
+    free_.pop_back();
+    return out;
+  }
+
+  /// Returns a buffer to the pool. Contents are discarded, capacity kept.
+  void release(ByteBuffer buffer) {
+    buffer.clear();
+    std::lock_guard lock(mu_);
+    if (free_.size() < max_pooled_) free_.push_back(std::move(buffer));
+  }
+
+  std::size_t pooled() const {
+    std::lock_guard lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<ByteBuffer> free_;
+};
+
+}  // namespace h2

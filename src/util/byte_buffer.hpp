@@ -69,6 +69,15 @@ class ByteBuffer {
 
   void write_u16_be(std::uint16_t v);
   void write_u32_be(std::uint32_t v);
+  /// Overwrites 4 already-written bytes at `offset` with `v` in big-endian
+  /// order (length backpatching for frames whose size is known only after
+  /// the payload is written). `offset + 4` must not exceed size().
+  void patch_u32_be(std::size_t offset, std::uint32_t v) {
+    data_[offset] = static_cast<std::uint8_t>(v >> 24);
+    data_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+    data_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+    data_[offset + 3] = static_cast<std::uint8_t>(v);
+  }
   void write_u64_be(std::uint64_t v);
   void write_u32_le(std::uint32_t v);
   void write_u64_le(std::uint64_t v);
@@ -108,5 +117,11 @@ class ByteBuffer {
   std::vector<std::uint8_t> data_;
   std::size_t read_pos_ = 0;
 };
+
+/// Views text as bytes without copying (HTTP bodies feeding binary
+/// decoders). The view aliases `text`'s storage.
+inline std::span<const std::uint8_t> as_byte_span(std::string_view text) {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
 
 }  // namespace h2

@@ -1,6 +1,5 @@
 #include "util/uuid.hpp"
 
-#include <mutex>
 #include <random>
 
 namespace h2 {
@@ -65,9 +64,10 @@ std::string UuidGenerator::next() {
 }
 
 std::string new_uuid() {
-  static UuidGenerator gen;
-  static std::mutex mu;
-  std::lock_guard lock(mu);
+  // One generator per thread: no lock on the hot path, and each thread's
+  // stream is seeded independently from std::random_device, so streams
+  // cannot collide the way a shared generator under a mutex could contend.
+  thread_local UuidGenerator gen;
   return gen.next();
 }
 

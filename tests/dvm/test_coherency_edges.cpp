@@ -99,6 +99,75 @@ TEST_F(CoherencyEdgeTest, OverwriteVisibleEverywhere) {
   }
 }
 
+TEST_F(CoherencyEdgeTest, FullSynchronyBatchIsOneCallPerMember) {
+  // The batched write path: N keys replicate to M members in M-1 batched
+  // calls (2(M-1) wire messages), not N*(M-1) — the EXP-BATCH bound.
+  auto dvm = build(make_full_synchrony(), 4);
+  auto names = dvm->node_names();
+  const KV writes[] = {{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+                       {"e", "5"}, {"f", "6"}, {"g", "7"}, {"h", "8"}};
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(names[0], writes).ok());
+  EXPECT_EQ(net_.stats().calls, 3u);     // M-1, independent of N=8
+  EXPECT_EQ(net_.stats().messages, 6u);  // request+reply per call <= M+N
+  for (const auto& name : names) {
+    for (const KV& kv : writes) {
+      auto value = dvm->get(name, kv.key);
+      ASSERT_TRUE(value.ok()) << name << "/" << kv.key;
+      EXPECT_EQ(*value, kv.value);
+    }
+  }
+}
+
+TEST_F(CoherencyEdgeTest, BatchCoalescesToLastWritePerKey) {
+  auto dvm = build(make_full_synchrony(), 3);
+  auto names = dvm->node_names();
+  // Three writes to "hot" must collapse into one replicated write carrying
+  // the final value; "cold" rides along in the same batch.
+  const KV writes[] = {
+      {"hot", "v1"}, {"cold", "c"}, {"hot", "v2"}, {"hot", "v3"}};
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(names[0], writes).ok());
+  EXPECT_EQ(net_.stats().calls, 2u);  // still M-1 batched calls
+  for (const auto& name : names) {
+    EXPECT_EQ(*dvm->get(name, "hot"), "v3") << name;
+    EXPECT_EQ(*dvm->get(name, "cold"), "c") << name;
+  }
+}
+
+TEST_F(CoherencyEdgeTest, NeighborhoodBatchReplicatesAlongTheRing) {
+  auto dvm = build(make_neighborhood(1), 4);
+  auto names = dvm->node_names();
+  const KV writes[] = {{"x", "1"}, {"y", "2"}, {"z", "3"}};
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(names[0], writes).ok());
+  EXPECT_EQ(net_.stats().calls, 1u);  // one batched call to the successor
+  // Present on origin and its ring successor, absent elsewhere.
+  EXPECT_TRUE(dvm->member(names[0])->state().get("x").has_value());
+  EXPECT_TRUE(dvm->member(names[1])->state().get("x").has_value());
+  EXPECT_FALSE(dvm->member(names[2])->state().get("x").has_value());
+  EXPECT_FALSE(dvm->member(names[3])->state().get("x").has_value());
+}
+
+TEST_F(CoherencyEdgeTest, DecentralizedBatchStaysLocal) {
+  auto dvm = build(make_decentralized(), 3);
+  auto names = dvm->node_names();
+  const KV writes[] = {{"k1", "v1"}, {"k2", "v2"}};
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(names[1], writes).ok());
+  EXPECT_EQ(net_.stats().calls, 0u);
+  EXPECT_TRUE(dvm->member(names[1])->state().get("k1").has_value());
+  EXPECT_FALSE(dvm->member(names[0])->state().get("k1").has_value());
+}
+
+TEST_F(CoherencyEdgeTest, EmptyBatchIsANoOp) {
+  auto dvm = build(make_full_synchrony(), 3);
+  auto names = dvm->node_names();
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(names[0], {}).ok());
+  EXPECT_EQ(net_.stats().calls, 0u);
+}
+
 TEST_F(CoherencyEdgeTest, ProtocolObjectsAreReusableAcrossMembershipChanges) {
   auto dvm = build(make_full_synchrony(), 2);
   auto names = dvm->node_names();

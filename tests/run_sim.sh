@@ -2,8 +2,8 @@
 # Runs the deterministic simulation suite: the ctest `sim` label first,
 # then a full simrunner seed sweep over every scenario — the four
 # membership/coherency scenarios (coherency-storm, failover, churn,
-# mesh-skew), the two fault-tolerant-RPC scenarios (retry-storm,
-# failover-cascade), and the two planted-bug scenarios (planted-bug,
+# mesh-skew), the three fault-tolerant-RPC scenarios (retry-storm,
+# batch-storm, failover-cascade), and the two planted-bug scenarios (planted-bug,
 # retry-storm-nodedup) that must be CAUGHT on every seed. Any failing
 # seed is printed with the exact replay command.
 #

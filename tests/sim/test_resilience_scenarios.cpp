@@ -23,6 +23,16 @@ TEST(SimResilience, RetryStormSweepStaysClean) {
   }
 }
 
+TEST(SimResilience, BatchStormSweepStaysClean) {
+  auto def = find_scenario("batch-storm");
+  ASSERT_TRUE(def.ok());
+  SweepResult sweep = sweep_scenario(**def, 1, 10);
+  EXPECT_EQ(sweep.runs, 10u);
+  for (const SeedFailure& failure : sweep.failures) {
+    ADD_FAILURE() << "seed " << failure.seed << ": " << failure.message;
+  }
+}
+
 TEST(SimResilience, FailoverCascadeSweepStaysClean) {
   auto def = find_scenario("failover-cascade");
   ASSERT_TRUE(def.ok());
@@ -34,7 +44,7 @@ TEST(SimResilience, FailoverCascadeSweepStaysClean) {
 }
 
 TEST(SimResilience, ResilientTracesAreDeterministic) {
-  for (const char* name : {"retry-storm", "failover-cascade"}) {
+  for (const char* name : {"retry-storm", "batch-storm", "failover-cascade"}) {
     auto def = find_scenario(name);
     ASSERT_TRUE(def.ok()) << name;
     std::string first, second;
