@@ -1,0 +1,196 @@
+// EXP-NET: first hardware numbers. Every other benchmark in this tree
+// runs over the simulated network and reports virtual time; this one
+// drives the identical channel/server stack over real kernel sockets —
+// loopback TCP and Unix-domain — and reports real calls/sec and latency
+// percentiles for the XDR and SOAP bindings, singles and batch=64.
+//
+// Standalone binary (not google-benchmark): per-call latencies feed a
+// percentile computation and a hand-rolled JSON report, which the
+// library's fixed aggregate set does not express.
+//
+// Usage: bench_sockets [--singles N] [--batches N] [--warmup N] [--out FILE]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "transport/marshal.hpp"
+#include "transport/rpc.hpp"
+#include "transport/socknet.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using namespace h2;
+using namespace h2::net;
+
+constexpr int kBatchSize = 64;
+
+struct Row {
+  std::string transport;  // "tcp" | "uds"
+  std::string binding;    // "xdr" | "soap"
+  int batch = 1;          // calls per wire round trip
+  std::uint64_t calls = 0;
+  double wall_seconds = 0;
+  double calls_per_sec = 0;
+  double p50_us = 0;  // latency of one wire round trip
+  double p99_us = 0;
+  double bytes_per_call = 0;
+};
+
+std::shared_ptr<DispatcherMux> make_scale_service() {
+  auto mux = std::make_shared<DispatcherMux>();
+  mux->add("scale", [](std::span<const Value> params) -> Result<Value> {
+    auto values = params[0].as_doubles();
+    if (!values.ok()) return values.error();
+    for (double& v : *values) v *= 2.0;
+    return Value::of_doubles(std::move(*values));
+  });
+  return mux;
+}
+
+double percentile(std::vector<Nanos>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::size_t idx = static_cast<std::size_t>(p * double(sorted.size() - 1));
+  return double(sorted[idx]) / 1e3;  // ns -> us
+}
+
+Row run_config(SockFamily family, bool soap, int batch, int rounds, int warmup) {
+  SockNet net(family);
+  HostId client = *net.add_host("client");
+  HostId server = *net.add_host("server");
+  auto service = make_scale_service();
+
+  Result<ServerHandle> xdr_handle = err::unavailable("unused");
+  SoapHttpServer http(net, server, 8080);
+  std::unique_ptr<Channel> channel;
+  if (soap) {
+    if (!http.start().ok() || !http.mount("svc", service).ok()) {
+      std::fprintf(stderr, "fatal: soap server failed to start\n");
+      std::exit(1);
+    }
+    channel = make_soap_channel(net, client, *Endpoint::parse("http://server:8080/svc"),
+                                "urn:bench");
+  } else {
+    xdr_handle = serve_xdr(net, server, 9001, service);
+    if (!xdr_handle.ok()) {
+      std::fprintf(stderr, "fatal: xdr server failed to start\n");
+      std::exit(1);
+    }
+    channel = make_xdr_channel(net, client, *Endpoint::parse("xdr://server:9001"));
+  }
+
+  std::vector<Value> params{Value::of_doubles({1, 2, 3, 4, 5, 6, 7, 8})};
+  std::vector<BatchItem> items;
+  for (int i = 0; i < batch; ++i) items.push_back(BatchItem{"scale", params, ""});
+  std::vector<Result<Value>> results;
+
+  auto once = [&]() -> bool {
+    if (batch == 1) return channel->invoke("scale", params).ok();
+    if (!channel->invoke_batch(items, results).ok()) return false;
+    for (const auto& r : results) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  };
+
+  WallClock wall;
+  for (int i = 0; i < warmup; ++i) {
+    if (!once()) {
+      std::fprintf(stderr, "fatal: warmup call failed\n");
+      std::exit(1);
+    }
+  }
+  net.reset_stats();
+
+  std::vector<Nanos> latencies;
+  latencies.reserve(rounds);
+  Nanos begin = wall.now();
+  for (int i = 0; i < rounds; ++i) {
+    Nanos t0 = wall.now();
+    if (!once()) {
+      std::fprintf(stderr, "fatal: measured call failed\n");
+      std::exit(1);
+    }
+    latencies.push_back(wall.now() - t0);
+  }
+  Nanos elapsed = wall.now() - begin;
+
+  std::sort(latencies.begin(), latencies.end());
+  Row row;
+  row.transport = net.transport_name();
+  row.binding = soap ? "soap" : "xdr";
+  row.batch = batch;
+  row.calls = std::uint64_t(rounds) * batch;
+  row.wall_seconds = double(elapsed) / 1e9;
+  row.calls_per_sec = double(row.calls) / row.wall_seconds;
+  row.p50_us = percentile(latencies, 0.50);
+  row.p99_us = percentile(latencies, 0.99);
+  row.bytes_per_call = double(net.stats().bytes) / double(row.calls);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int singles = 1500;
+  int batches = 60;
+  int warmup = 50;
+  std::string out_path = "BENCH_sockets.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--singles") == 0) singles = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--batches") == 0) batches = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--warmup") == 0) warmup = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  std::vector<Row> rows;
+  for (SockFamily family : {SockFamily::kTcp, SockFamily::kUds}) {
+    for (bool soap : {false, true}) {
+      rows.push_back(run_config(family, soap, 1, singles, warmup));
+      rows.push_back(run_config(family, soap, kBatchSize, batches, warmup / 10 + 1));
+    }
+  }
+
+  std::printf("%-4s %-5s %-8s %12s %12s %10s %10s %10s\n", "net", "bind", "mode",
+              "calls", "calls/sec", "p50(us)", "p99(us)", "B/call");
+  for (const Row& r : rows) {
+    std::printf("%-4s %-5s batch=%-2d %12llu %12.0f %10.1f %10.1f %10.1f\n",
+                r.transport.c_str(), r.binding.c_str(), r.batch,
+                static_cast<unsigned long long>(r.calls), r.calls_per_sec, r.p50_us,
+                r.p99_us, r.bytes_per_call);
+  }
+
+  // Headline ratio: what batch=64 buys over singles for XDR over TCP.
+  double single_rate = 0, batch_rate = 0;
+  for (const Row& r : rows) {
+    if (r.transport == "tcp" && r.binding == "xdr") {
+      (r.batch == 1 ? single_rate : batch_rate) = r.calls_per_sec;
+    }
+  }
+  double speedup = single_rate > 0 ? batch_rate / single_rate : 0;
+  std::printf("\nbatch=64 vs singles (tcp/xdr): %.1fx throughput\n", speedup);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "fatal: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"sockets\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"transport\": \"%s\", \"binding\": \"%s\", \"batch\": %d, "
+                 "\"calls\": %llu, \"wall_seconds\": %.6f, \"calls_per_sec\": %.1f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f, \"bytes_per_call\": %.1f}%s\n",
+                 r.transport.c_str(), r.binding.c_str(), r.batch,
+                 static_cast<unsigned long long>(r.calls), r.wall_seconds,
+                 r.calls_per_sec, r.p50_us, r.p99_us, r.bytes_per_call,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"batch64_vs_singles_tcp_xdr\": %.2f\n}\n", speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

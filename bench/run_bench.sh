@@ -37,3 +37,9 @@ run bench_encoding
 run bench_observability
 run bench_resilience --benchmark_repetitions=5 --benchmark_report_aggregates_only
 run bench_batching
+
+# EXP-NET: real sockets (loopback TCP + UDS). Not a google-benchmark
+# binary — it takes its own flags and writes its own JSON report.
+echo "== bench_sockets (hardware) =="
+"$BUILD_DIR/bench/bench_sockets" --out "$OUT_DIR/BENCH_sockets.json"
+echo "   wrote $OUT_DIR/BENCH_sockets.json"

@@ -98,7 +98,7 @@ CircuitBreaker& BreakerRegistry::for_endpoint(std::string_view key) {
   return *pos->second;
 }
 
-BreakerRegistry& BreakerRegistry::of(net::SimNetwork& net) {
+BreakerRegistry& BreakerRegistry::of(net::Transport& net) {
   if (!net.breaker_registry()) {
     net.set_breaker_registry(std::make_shared<BreakerRegistry>(&net.metrics()));
   }

@@ -34,7 +34,7 @@
 #include "util/clock.hpp"
 
 namespace h2::net {
-class SimNetwork;
+class Transport;
 }  // namespace h2::net
 
 namespace h2::resil {
@@ -103,10 +103,10 @@ class BreakerRegistry {
   CircuitBreaker& for_endpoint(std::string_view key);
 
   /// The registry shared by everything on one network world, attached
-  /// lazily to the SimNetwork's opaque slot on first use. All channels in
+  /// lazily to the Transport's opaque slot on first use. All channels in
   /// that world share breakers, so one channel learning a host is dead
   /// makes every channel to it fail fast.
-  static BreakerRegistry& of(net::SimNetwork& net);
+  static BreakerRegistry& of(net::Transport& net);
 
   void set_config(BreakerConfig config);
   std::size_t size() const;

@@ -18,7 +18,7 @@ std::string stamp_call_id(std::uint64_t serial) {
 }  // namespace
 
 ResilientChannel::ResilientChannel(std::unique_ptr<net::Channel> inner,
-                                   net::SimNetwork& net, CallPolicy policy,
+                                   net::Transport& net, CallPolicy policy,
                                    CircuitBreaker* breaker, std::string endpoint_key)
     : inner_(std::move(inner)),
       net_(net),
@@ -38,7 +38,7 @@ void ResilientChannel::set_call_id(std::string id) {
 
 Result<Value> ResilientChannel::invoke(std::string_view operation,
                                        std::span<const Value> params) {
-  const Nanos start = net_.clock().now();
+  const Nanos start = net_.now();
   if (policy_.attach_call_id) {
     std::string call_id = forced_call_id_.empty()
                               ? stamp_call_id(net_.next_call_serial())
@@ -52,13 +52,13 @@ Result<Value> ResilientChannel::invoke(std::string_view operation,
   bool maybe_exec = false;
   Error last_error = err::unavailable("no attempt made");
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    if (policy_.deadline > 0 && net_.clock().now() - start >= policy_.deadline) {
+    if (policy_.deadline > 0 && net_.now() - start >= policy_.deadline) {
       c_deadline_.add();
       return Error(ErrorCode::kTimeout,
                    "deadline exceeded calling '" + std::string(operation) +
                        "' on " + endpoint_key_ + " (" + last_error.message() + ")");
     }
-    if (breaker_ != nullptr && !breaker_->allow(net_.clock().now())) {
+    if (breaker_ != nullptr && !breaker_->allow(net_.now())) {
       c_fastfail_.add();
       last_error = err::unavailable("circuit open for " + endpoint_key_);
       // Fall through to backoff: advancing virtual time is what lets the
@@ -67,7 +67,7 @@ Result<Value> ResilientChannel::invoke(std::string_view operation,
       ++last_attempts_;
       if (last_attempts_ > 1) c_retries_.add();
       auto result = inner_->invoke(operation, params);
-      const Nanos after = net_.clock().now();
+      const Nanos after = net_.now();
       if (result.ok()) {
         if (breaker_ != nullptr) breaker_->record(true, after);
         return result;
@@ -81,7 +81,7 @@ Result<Value> ResilientChannel::invoke(std::string_view operation,
       last_error = result.error();
     }
     if (attempt < policy_.max_attempts) {
-      net_.clock().advance(backoff_delay(policy_, attempt, rng_));
+      net_.sleep_for(backoff_delay(policy_, attempt, rng_));
     }
   }
 
@@ -126,7 +126,7 @@ Status ResilientChannel::invoke_batch(std::span<const net::BatchItem> calls,
   }
 
   const std::string label = "batch[" + std::to_string(calls.size()) + "]";
-  const Nanos start = net_.clock().now();
+  const Nanos start = net_.now();
   last_attempts_ = 0;
   bool maybe_exec = false;
   Error last_error = err::unavailable("no attempt made");
@@ -135,20 +135,20 @@ Status ResilientChannel::invoke_batch(std::span<const net::BatchItem> calls,
     return Status(std::move(error));
   };
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
-    if (policy_.deadline > 0 && net_.clock().now() - start >= policy_.deadline) {
+    if (policy_.deadline > 0 && net_.now() - start >= policy_.deadline) {
       c_deadline_.add();
       return fail(Error(ErrorCode::kTimeout,
                         "deadline exceeded calling '" + label + "' on " +
                             endpoint_key_ + " (" + last_error.message() + ")"));
     }
-    if (breaker_ != nullptr && !breaker_->allow(net_.clock().now())) {
+    if (breaker_ != nullptr && !breaker_->allow(net_.now())) {
       c_fastfail_.add();
       last_error = err::unavailable("circuit open for " + endpoint_key_);
     } else {
       ++last_attempts_;
       if (last_attempts_ > 1) c_retries_.add();
       Status status = inner_->invoke_batch(effective, results);
-      const Nanos after = net_.clock().now();
+      const Nanos after = net_.now();
       if (status.ok()) {
         if (breaker_ != nullptr) breaker_->record(true, after);
         return status;
@@ -160,7 +160,7 @@ Status ResilientChannel::invoke_batch(std::span<const net::BatchItem> calls,
       last_error = status.error();
     }
     if (attempt < policy_.max_attempts) {
-      net_.clock().advance(backoff_delay(policy_, attempt, rng_));
+      net_.sleep_for(backoff_delay(policy_, attempt, rng_));
     }
   }
 
@@ -174,7 +174,7 @@ Status ResilientChannel::invoke_batch(std::span<const net::BatchItem> calls,
 }
 
 std::unique_ptr<net::Channel> make_resilient_channel(
-    std::unique_ptr<net::Channel> inner, net::SimNetwork& net, CallPolicy policy,
+    std::unique_ptr<net::Channel> inner, net::Transport& net, CallPolicy policy,
     CircuitBreaker* breaker, std::string endpoint_key) {
   return std::make_unique<ResilientChannel>(std::move(inner), net, policy, breaker,
                                             std::move(endpoint_key));

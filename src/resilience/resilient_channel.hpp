@@ -33,7 +33,7 @@ class ResilientChannel final : public net::Channel {
   /// `breaker` may be null (no breaker protection); if non-null it must
   /// outlive the channel (registry-owned). `endpoint_key` names the
   /// target for error messages (typically the remote host name).
-  ResilientChannel(std::unique_ptr<net::Channel> inner, net::SimNetwork& net,
+  ResilientChannel(std::unique_ptr<net::Channel> inner, net::Transport& net,
                    CallPolicy policy, CircuitBreaker* breaker,
                    std::string endpoint_key);
 
@@ -54,7 +54,7 @@ class ResilientChannel final : public net::Channel {
 
  private:
   std::unique_ptr<net::Channel> inner_;
-  net::SimNetwork& net_;
+  net::Transport& net_;
   CallPolicy policy_;
   CircuitBreaker* breaker_;
   std::string endpoint_key_;
@@ -68,7 +68,7 @@ class ResilientChannel final : public net::Channel {
 
 /// Convenience factory mirroring the make_*_channel free functions.
 std::unique_ptr<net::Channel> make_resilient_channel(
-    std::unique_ptr<net::Channel> inner, net::SimNetwork& net, CallPolicy policy,
+    std::unique_ptr<net::Channel> inner, net::Transport& net, CallPolicy policy,
     CircuitBreaker* breaker, std::string endpoint_key);
 
 }  // namespace h2::resil

@@ -18,7 +18,7 @@ std::string stamp_call_id(std::uint64_t serial) {
 
 }  // namespace
 
-BatchChannel::BatchChannel(std::unique_ptr<Channel> inner, SimNetwork& net,
+BatchChannel::BatchChannel(std::unique_ptr<Channel> inner, Transport& net,
                            BatchPolicy policy)
     : inner_(std::move(inner)), net_(net), policy_(policy) {
   if (policy_.max_batch == 0) policy_.max_batch = 1;
@@ -29,10 +29,10 @@ BatchChannel::Ticket BatchChannel::enqueue(std::string operation,
   // Linger check first: a late arrival must not extend the wait of calls
   // already queued past the policy bound.
   if (policy_.max_linger > 0 && !pending_.empty() &&
-      net_.clock().now() - oldest_pending_ >= policy_.max_linger) {
+      net_.now() - oldest_pending_ >= policy_.max_linger) {
     (void)flush();
   }
-  if (pending_.empty()) oldest_pending_ = net_.clock().now();
+  if (pending_.empty()) oldest_pending_ = net_.now();
 
   Ticket ticket{net_.next_call_serial()};
   BatchItem item;
@@ -95,7 +95,7 @@ Status BatchChannel::invoke_batch(std::span<const BatchItem> calls,
 }
 
 std::unique_ptr<BatchChannel> make_batch_channel(std::unique_ptr<Channel> inner,
-                                                 SimNetwork& net, BatchPolicy policy) {
+                                                 Transport& net, BatchPolicy policy) {
   return std::make_unique<BatchChannel>(std::move(inner), net, policy);
 }
 

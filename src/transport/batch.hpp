@@ -6,8 +6,9 @@
 // argument applied to the wire: when N calls must traverse the full
 // stub/encoder/socket/server chain anyway, traverse it once, not N times.
 //
-// Single-threaded by design, like the SimNetwork it runs over: enqueue,
-// flush and take must be called from one thread.
+// Single-threaded by design: enqueue, flush and take must be called from
+// one thread (over SockNet the wire I/O happens inside that thread's
+// blocking call; the mux thread never touches the batch state).
 #pragma once
 
 #include <cstddef>
@@ -39,7 +40,7 @@ class BatchChannel final : public Channel {
     std::uint64_t serial = 0;
   };
 
-  BatchChannel(std::unique_ptr<Channel> inner, SimNetwork& net, BatchPolicy policy);
+  BatchChannel(std::unique_ptr<Channel> inner, Transport& net, BatchPolicy policy);
 
   /// Queues one call; may auto-flush (the max_batch'th call flushes the
   /// batch it completes; a call arriving max_linger after the oldest
@@ -78,7 +79,7 @@ class BatchChannel final : public Channel {
   };
 
   std::unique_ptr<Channel> inner_;
-  SimNetwork& net_;
+  Transport& net_;
   BatchPolicy policy_;
   std::vector<BatchItem> pending_;
   std::vector<std::uint64_t> pending_serials_;
@@ -88,7 +89,7 @@ class BatchChannel final : public Channel {
 };
 
 std::unique_ptr<BatchChannel> make_batch_channel(std::unique_ptr<Channel> inner,
-                                                 SimNetwork& net,
+                                                 Transport& net,
                                                  BatchPolicy policy = {});
 
 }  // namespace h2::net

@@ -3,6 +3,11 @@
 //   xdr://<host>:<port>              direct socket-level XDR binding
 //   local://<container>              same-container type-level binding
 //   localobject://<container>/<id>   same-container instance binding
+//
+// A scheme may also carry an explicit transport prefix, selecting which
+// Transport moves the bytes while the binding stays the same:
+//   tcp+xdr://<host>:<port>          XDR frames over loopback/LAN TCP
+//   uds+http://<host>:<port>/<path>  HTTP over a Unix-domain socket
 #pragma once
 
 #include <cstdint>
@@ -14,16 +19,30 @@
 namespace h2::net {
 
 struct Endpoint {
-  std::string scheme;  ///< "http", "xdr", "local", "localobject"
+  std::string scheme;  ///< lower-cased; may be composite, e.g. "tcp+xdr"
   std::string host;    ///< sim host / container name
   std::uint16_t port = 0;
   std::string path;    ///< leading '/' stripped; instance id for localobject
 
-  /// Parses "scheme://host[:port][/path]".
+  /// Parses "scheme://host[:port][/path]". The scheme is validated
+  /// (RFC-3986 charset, at most one '+' transport separator) and
+  /// lower-cased; a missing port takes the scheme's default (http → 80);
+  /// a bare trailing slash is an empty path.
   static Result<Endpoint> parse(std::string_view uri);
 
-  /// Canonical URI form (inverse of parse()).
+  /// Canonical URI form. parse(to_uri()) reproduces the Endpoint exactly.
   std::string to_uri() const;
+
+  /// The binding half of the scheme: "xdr" for "tcp+xdr", or the whole
+  /// scheme when no transport prefix is present.
+  std::string_view binding_scheme() const;
+
+  /// The transport half: "tcp" for "tcp+xdr", empty when unspecified.
+  std::string_view transport_scheme() const;
+
+  /// Well-known default port for a binding scheme (http → 80); 0 when the
+  /// scheme has none.
+  static std::uint16_t default_port(std::string_view scheme);
 
   bool operator==(const Endpoint&) const = default;
 };

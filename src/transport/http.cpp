@@ -162,6 +162,44 @@ Result<Response> parse_response(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
+Result<std::size_t> message_size(std::span<const std::uint8_t> bytes) {
+  std::string_view text(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  auto head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (text.size() > kMaxHeadBytes) {
+      return err::parse("http: header exceeds " + std::to_string(kMaxHeadBytes) +
+                        " bytes without terminator");
+    }
+    return std::size_t{0};
+  }
+  // Scan the (complete) head for Content-Length. This is framing only —
+  // full header validation stays in parse_request/parse_response once the
+  // whole message is in hand.
+  std::size_t body_len = 0;
+  std::string_view head = text.substr(0, head_end);
+  std::size_t start = 0;
+  while (start < head.size()) {
+    auto eol = head.find("\r\n", start);
+    std::string_view line =
+        eol == std::string_view::npos ? head.substr(start) : head.substr(start, eol - start);
+    auto colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view name = str::trim(line.substr(0, colon));
+      if (name.size() == 14 && CaseInsensitiveLess::lower(name[0]) == 'c' &&
+          !CaseInsensitiveLess{}(name, "content-length") &&
+          !CaseInsensitiveLess{}("content-length", name)) {
+        auto n = str::parse_u64(str::trim(line.substr(colon + 1)));
+        if (!n.ok()) return err::parse("http: bad Content-Length");
+        body_len = static_cast<std::size_t>(*n);
+        break;
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    start = eol + 2;
+  }
+  return head_end + 4 + body_len;
+}
+
 std::string_view reason_for(int status) {
   switch (status) {
     case 200: return "OK";

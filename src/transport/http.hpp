@@ -69,11 +69,28 @@ struct Response {
   ByteBuffer serialize() const;
 };
 
-/// Parses a complete request (as delivered by SimNetwork in one unit).
+/// Parses a complete request (one whole message: SimNetwork delivers it
+/// in one unit; socket transports cut it out of the stream with
+/// message_size() first).
 Result<Request> parse_request(std::span<const std::uint8_t> bytes);
 
 /// Parses a complete response.
 Result<Response> parse_response(std::span<const std::uint8_t> bytes);
+
+/// A head that hasn't terminated within this many bytes is hostile or
+/// garbage, not merely fragmented.
+inline constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+
+/// Incremental framing for persistent connections carrying fragmented or
+/// pipelined messages: how many bytes at the front of `bytes` form ONE
+/// complete head+body message?
+///   0  — incomplete; feed more bytes and retry
+///   n  — bytes[0..n) is a complete message for parse_request/response
+/// Fails when the head exceeds kMaxHeadBytes without its CRLFCRLF
+/// terminator, or a complete head declares an unparseable Content-Length.
+/// A complete head with no Content-Length frames a bodyless message
+/// (every message we emit declares its length explicitly).
+Result<std::size_t> message_size(std::span<const std::uint8_t> bytes);
 
 /// Canonical reason phrase for common status codes.
 std::string_view reason_for(int status);

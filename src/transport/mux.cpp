@@ -1,0 +1,244 @@
+#include "transport/mux.hpp"
+
+#include <cerrno>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <set>
+
+#include "transport/http.hpp"
+
+namespace h2::net::sock {
+
+Result<std::optional<std::span<const std::uint8_t>>> FrameAssembler::next() {
+  std::span<const std::uint8_t> data = buffer_.unread();
+  if (data.empty()) return std::optional<std::span<const std::uint8_t>>{};
+  if (proto_ == Proto::kUnknown) {
+    proto_ = data[0] < 0x20 ? Proto::kXdr : Proto::kHttp;
+  }
+  if (proto_ == Proto::kXdr) {
+    if (data.size() < 4) return std::optional<std::span<const std::uint8_t>>{};
+    std::size_t frame = (std::size_t{data[0]} << 24) | (std::size_t{data[1]} << 16) |
+                        (std::size_t{data[2]} << 8) | std::size_t{data[3]};
+    if (frame > kMaxFrameBytes) {
+      return err::parse("socknet: frame length " + std::to_string(frame) +
+                        " exceeds cap " + std::to_string(kMaxFrameBytes));
+    }
+    if (data.size() < 4 + frame) return std::optional<std::span<const std::uint8_t>>{};
+    (void)buffer_.skip(4 + frame);
+    return std::optional(data.subspan(4, frame));
+  }
+  auto size = http::message_size(data);
+  if (!size.ok()) return size.error();
+  if (*size == 0 || data.size() < *size) {
+    return std::optional<std::span<const std::uint8_t>>{};
+  }
+  (void)buffer_.skip(*size);
+  return std::optional(data.subspan(0, *size));
+}
+
+ConnMux::ConnMux(ByteBufferPool& pool) : pool_(pool) {}
+
+ConnMux::~ConnMux() { shutdown(); }
+
+Result<int> ConnMux::add_listener(OwnedFd listener, Handler handler) {
+  std::lock_guard lock(mu_);
+  if (stop_) return err::unavailable("socknet: mux is shut down");
+  if (!running_) {
+    if (::pipe(wake_pipe_) < 0) {
+      return err::internal("socknet: cannot create wake pipe");
+    }
+    set_nonblocking(wake_pipe_[0], true);
+    set_nonblocking(wake_pipe_[1], true);
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+  }
+  int id = next_listener_id_++;
+  listeners_.push_back(Listener{id, std::move(listener), std::move(handler)});
+  wake();
+  return id;
+}
+
+Status ConnMux::remove_listener(int id) {
+  std::lock_guard lock(mu_);
+  auto it = std::find_if(listeners_.begin(), listeners_.end(),
+                         [id](const Listener& l) { return l.id == id; });
+  if (it == listeners_.end()) {
+    return err::not_found("socknet: no listener " + std::to_string(id));
+  }
+  // Closing the fd here releases the port immediately; the loop sweeps
+  // this listener's live connections on its next pass.
+  listeners_.erase(it);
+  wake();
+  return Status::success();
+}
+
+void ConnMux::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_ || stop_) {
+      stop_ = true;
+      return;
+    }
+    stop_ = true;
+    wake();
+  }
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  listeners_.clear();
+  for (auto& conn : conns_) pool_.release(conn->assembler.release());
+  conns_.clear();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+ConnMux::Stats ConnMux::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void ConnMux::wake() {
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+bool ConnMux::service_conn(Conn& conn) {
+  // Drain the socket. The fd is non-blocking: read until EAGAIN or EOF,
+  // feeding the assembler as fragments arrive.
+  std::uint8_t chunk[64 * 1024];
+  bool saw_eof = false;
+  while (true) {
+    ssize_t n = ::read(conn.fd.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      conn.assembler.append({chunk, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // hard error
+  }
+
+  while (true) {
+    auto message = conn.assembler.next();
+    if (!message.ok()) return false;  // protocol violation: drop the conn
+    if (!message->has_value()) break;
+    auto reply = conn.handler(**message);
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.served;
+    }
+    // Handlers encode errors in-band (reply frames / HTTP faults); an
+    // out-of-band error means the server cannot answer at all — the only
+    // honest signal left on a byte stream is closing the connection.
+    if (!reply.ok()) return false;
+    if (conn.assembler.proto() == Proto::kXdr) {
+      std::uint8_t prefix[4] = {
+          static_cast<std::uint8_t>(reply->size() >> 24),
+          static_cast<std::uint8_t>(reply->size() >> 16),
+          static_cast<std::uint8_t>(reply->size() >> 8),
+          static_cast<std::uint8_t>(reply->size()),
+      };
+      // One gathering syscall: length prefix + pooled reply body.
+      if (!write_all(conn.fd.get(), {prefix, 4}, reply->bytes()).ok()) return false;
+    } else {
+      if (!write_all(conn.fd.get(), reply->bytes()).ok()) return false;
+    }
+  }
+  return !saw_eof;
+}
+
+void ConnMux::loop() {
+  std::vector<pollfd> pfds;
+  std::vector<int> listener_ids;
+  std::vector<Conn*> round_conns;
+  while (true) {
+    pfds.clear();
+    listener_ids.clear();
+    round_conns.clear();
+    {
+      std::lock_guard lock(mu_);
+      if (stop_) return;
+      pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+      for (const Listener& listener : listeners_) {
+        pfds.push_back(pollfd{listener.fd.get(), POLLIN, 0});
+        listener_ids.push_back(listener.id);
+      }
+      // Sweep connections orphaned by remove_listener before polling.
+      std::set<int> live;
+      for (const Listener& listener : listeners_) live.insert(listener.id);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if (!live.count((*it)->listener_id)) {
+          pool_.release((*it)->assembler.release());
+          it = conns_.erase(it);
+          ++stats_.closed;
+        } else {
+          ++it;
+        }
+      }
+      for (const auto& conn : conns_) {
+        pfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
+        round_conns.push_back(conn.get());
+      }
+    }
+
+    int rc;
+    do {
+      rc = ::poll(pfds.data(), pfds.size(), 100);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) return;  // poll itself failing is unrecoverable
+
+    if (pfds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    const std::size_t listener_count = listener_ids.size();
+    for (std::size_t i = 0; i < listener_count; ++i) {
+      if (!(pfds[1 + i].revents & POLLIN)) continue;
+      // Re-check under the lock: the listener may have been removed (and
+      // its fd closed/reused) while we were polling.
+      std::lock_guard lock(mu_);
+      auto it = std::find_if(listeners_.begin(), listeners_.end(),
+                             [&](const Listener& l) { return l.id == listener_ids[i]; });
+      if (it == listeners_.end()) continue;
+      while (true) {
+        auto accepted = accept_on(it->fd.get(), /*tcp_nodelay=*/true);
+        if (!accepted.ok()) break;  // EAGAIN: queue drained
+        auto conn = std::make_unique<Conn>();
+        conn->listener_id = it->id;
+        conn->fd = std::move(*accepted);
+        conn->assembler = FrameAssembler(pool_.acquire());
+        conn->handler = it->handler;
+        conns_.push_back(std::move(conn));
+        ++stats_.accepted;
+      }
+    }
+
+    for (std::size_t i = 0; i < round_conns.size(); ++i) {
+      if (!(pfds[1 + listener_count + i].revents & (POLLIN | POLLHUP | POLLERR))) {
+        continue;
+      }
+      Conn* conn = round_conns[i];
+      if (service_conn(*conn)) continue;
+      std::lock_guard lock(mu_);
+      auto it = std::find_if(conns_.begin(), conns_.end(),
+                             [conn](const std::unique_ptr<Conn>& c) { return c.get() == conn; });
+      if (it != conns_.end()) {
+        pool_.release((*it)->assembler.release());
+        conns_.erase(it);
+        ++stats_.closed;
+      }
+    }
+  }
+}
+
+}  // namespace h2::net::sock

@@ -1,0 +1,132 @@
+// ConnMux — the poll-driven accept/read loop serving every socket
+// listener of one SockNet: one background thread multiplexes all
+// listening sockets and their accepted connections, reassembles complete
+// messages out of the fragmented byte stream (length-framed XDR or
+// keep-alive HTTP/1.1, sniffed per connection), invokes the bound
+// Handler, and writes the reply back with a single gathering writev.
+// Modeled on the hakoniwa endpoint_comm_multiplexer / BigWorld
+// EventDispatcher pattern: readiness callbacks around non-blocking fds,
+// per-connection state machines, no thread per connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "transport/tcp.hpp"
+#include "transport/transport.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace h2::net::sock {
+
+/// Wire protocol of one connection, decided once from its first byte: a
+/// length-framed XDR stream's 4-byte big-endian prefix starts 0x00-0x03
+/// (frames are capped at kMaxFrameBytes), while HTTP starts with an ASCII
+/// method or version token (>= 0x20).
+enum class Proto { kUnknown, kXdr, kHttp };
+
+/// Hard cap on one length-framed XDR message; a larger prefix is a
+/// protocol violation (or an HTTP stream mis-sniffed), not a real frame.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// Reassembles complete messages from an incremental byte stream. Bytes
+/// arrive in arbitrary fragments via append(); next() yields one complete
+/// message at a time — the XDR frame payload (prefix stripped) or a whole
+/// HTTP head+body message. Returned spans alias the internal buffer and
+/// stay valid until the next append()/next().
+class FrameAssembler {
+ public:
+  /// `buffer` donates recycled capacity (pass a pooled buffer). A known
+  /// protocol skips sniffing — clients know what they dialed for.
+  explicit FrameAssembler(ByteBuffer buffer = ByteBuffer{},
+                          Proto proto = Proto::kUnknown)
+      : buffer_(std::move(buffer)), proto_(proto) {
+    buffer_.clear();
+  }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    // Compact before growing: once everything buffered has been consumed
+    // the storage can restart from zero instead of creeping forward.
+    if (buffer_.remaining() == 0 && buffer_.size() > 0) buffer_.clear();
+    buffer_.write_bytes(bytes);
+  }
+
+  /// One complete message, std::nullopt when more bytes are needed, or a
+  /// parse error on protocol violation (oversized frame/head).
+  Result<std::optional<std::span<const std::uint8_t>>> next();
+
+  Proto proto() const { return proto_; }
+  std::size_t buffered() const { return buffer_.remaining(); }
+
+  /// Surrenders the internal buffer (for returning capacity to a pool).
+  ByteBuffer release() { return std::move(buffer_); }
+
+ private:
+  ByteBuffer buffer_;
+  Proto proto_;
+};
+
+class ConnMux {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< connections accepted over all listeners
+    std::uint64_t served = 0;     ///< complete messages dispatched to handlers
+    std::uint64_t closed = 0;     ///< connections torn down (EOF/error/unbind)
+  };
+
+  explicit ConnMux(ByteBufferPool& pool);
+  ~ConnMux();
+  ConnMux(const ConnMux&) = delete;
+  ConnMux& operator=(const ConnMux&) = delete;
+
+  /// Registers a listening socket; its accepted connections dispatch to
+  /// `handler`. Starts the mux thread on first use. Returns a listener id
+  /// for remove_listener.
+  Result<int> add_listener(OwnedFd listener, Handler handler);
+
+  /// Closes the listener AND every connection accepted from it — after an
+  /// unbind, a client reusing a kept-alive connection must see a closed
+  /// socket, exactly as SimNetwork's closed port refuses delivery.
+  Status remove_listener(int id);
+
+  /// Stops the thread and closes everything. Idempotent.
+  void shutdown();
+
+  Stats stats() const;
+
+ private:
+  struct Listener {
+    int id;
+    OwnedFd fd;
+    Handler handler;
+  };
+  struct Conn {
+    int listener_id;
+    OwnedFd fd;
+    FrameAssembler assembler;
+    Handler handler;  ///< copied from the listener at accept time
+  };
+
+  void loop();
+  void wake();
+  /// Drains readable bytes, dispatches complete messages, writes replies.
+  /// False → connection is done (EOF, error, protocol violation).
+  bool service_conn(Conn& conn);
+
+  ByteBufferPool& pool_;
+  mutable std::mutex mu_;
+  std::vector<Listener> listeners_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  Stats stats_;
+  int next_listener_id_ = 1;
+  bool running_ = false;
+  bool stop_ = false;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+}  // namespace h2::net::sock

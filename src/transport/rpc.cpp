@@ -148,7 +148,7 @@ class LocalChannel final : public Channel {
 
 class XdrChannel final : public Channel {
  public:
-  XdrChannel(SimNetwork& net, HostId from, Endpoint to)
+  XdrChannel(Transport& net, HostId from, Endpoint to)
       : net_(net), from_(from), to_(std::move(to)) {}
 
   Result<Value> invoke(std::string_view operation,
@@ -206,7 +206,7 @@ class XdrChannel final : public Channel {
   const Endpoint* remote() const override { return &to_; }
 
  private:
-  SimNetwork& net_;
+  Transport& net_;
   HostId from_;
   Endpoint to_;
   std::string call_id_;
@@ -215,7 +215,7 @@ class XdrChannel final : public Channel {
 
 class SoapChannel final : public Channel {
  public:
-  SoapChannel(SimNetwork& net, HostId from, Endpoint to, std::string service_ns)
+  SoapChannel(Transport& net, HostId from, Endpoint to, std::string service_ns)
       : net_(net), from_(from), to_(std::move(to)), service_ns_(std::move(service_ns)) {}
 
   Result<Value> invoke(std::string_view operation,
@@ -398,7 +398,7 @@ class SoapChannel final : public Channel {
   const Endpoint* remote() const override { return &to_; }
 
  private:
-  SimNetwork& net_;
+  Transport& net_;
   HostId from_;
   Endpoint to_;
   std::string service_ns_;
@@ -411,7 +411,7 @@ class SoapChannel final : public Channel {
 
 class HttpChannel final : public Channel {
  public:
-  HttpChannel(SimNetwork& net, HostId from, Endpoint to)
+  HttpChannel(Transport& net, HostId from, Endpoint to)
       : net_(net), from_(from), to_(std::move(to)) {}
 
   Result<Value> invoke(std::string_view operation,
@@ -453,7 +453,7 @@ class HttpChannel final : public Channel {
   const Endpoint* remote() const override { return &to_; }
 
  private:
-  SimNetwork& net_;
+  Transport& net_;
   HostId from_;
   Endpoint to_;
   std::string call_id_;
@@ -462,7 +462,7 @@ class HttpChannel final : public Channel {
 
 class MimeChannel final : public Channel {
  public:
-  MimeChannel(SimNetwork& net, HostId from, Endpoint to, std::string service_ns)
+  MimeChannel(Transport& net, HostId from, Endpoint to, std::string service_ns)
       : net_(net), from_(from), to_(std::move(to)), service_ns_(std::move(service_ns)) {}
 
   Result<Value> invoke(std::string_view operation,
@@ -509,7 +509,7 @@ class MimeChannel final : public Channel {
   const Endpoint* remote() const override { return &to_; }
 
  private:
-  SimNetwork& net_;
+  Transport& net_;
   HostId from_;
   Endpoint to_;
   std::string service_ns_;
@@ -518,12 +518,12 @@ class MimeChannel final : public Channel {
 
 }  // namespace
 
-std::unique_ptr<Channel> make_http_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_http_channel(Transport& net, HostId from,
                                            const Endpoint& to) {
   return std::make_unique<HttpChannel>(net, from, to);
 }
 
-std::unique_ptr<Channel> make_mime_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_mime_channel(Transport& net, HostId from,
                                            const Endpoint& to, std::string service_ns) {
   return std::make_unique<MimeChannel>(net, from, to, std::move(service_ns));
 }
@@ -532,22 +532,22 @@ std::unique_ptr<Channel> make_local_channel(Dispatcher& dispatcher, bool instanc
   return std::make_unique<LocalChannel>(dispatcher, instance_bound);
 }
 
-std::unique_ptr<Channel> make_xdr_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_xdr_channel(Transport& net, HostId from,
                                           const Endpoint& to) {
   return std::make_unique<XdrChannel>(net, from, to);
 }
 
-std::unique_ptr<Channel> make_soap_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_soap_channel(Transport& net, HostId from,
                                            const Endpoint& to, std::string service_ns) {
   return std::make_unique<SoapChannel>(net, from, to, std::move(service_ns));
 }
 
-Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+Result<ServerHandle> serve_xdr(Transport& net, HostId host, std::uint16_t port,
                                std::shared_ptr<Dispatcher> dispatcher) {
   return serve_xdr(net, host, port, std::move(dispatcher), nullptr);
 }
 
-Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+Result<ServerHandle> serve_xdr(Transport& net, HostId host, std::uint16_t port,
                                std::shared_ptr<Dispatcher> dispatcher,
                                std::shared_ptr<resil::DedupCache> dedup) {
   auto status = net.listen(
@@ -575,7 +575,7 @@ Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
   return ServerHandle(&net, host, port);
 }
 
-SoapHttpServer::SoapHttpServer(SimNetwork& net, HostId host, std::uint16_t port)
+SoapHttpServer::SoapHttpServer(Transport& net, HostId host, std::uint16_t port)
     : net_(net), host_(host), port_(port) {}
 
 SoapHttpServer::~SoapHttpServer() { stop(); }

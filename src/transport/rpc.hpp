@@ -131,25 +131,25 @@ class Channel {
 std::unique_ptr<Channel> make_local_channel(Dispatcher& dispatcher,
                                             bool instance_bound = false);
 
-/// XDR frames over a direct SimNetwork "socket".
-std::unique_ptr<Channel> make_xdr_channel(SimNetwork& net, HostId from,
+/// XDR frames over a direct transport "socket" (simulated or real).
+std::unique_ptr<Channel> make_xdr_channel(Transport& net, HostId from,
                                           const Endpoint& to);
 
-/// SOAP 1.1 over HTTP/1.1 over SimNetwork.
-std::unique_ptr<Channel> make_soap_channel(SimNetwork& net, HostId from,
+/// SOAP 1.1 over HTTP/1.1 over any Transport.
+std::unique_ptr<Channel> make_soap_channel(Transport& net, HostId from,
                                            const Endpoint& to,
                                            std::string service_ns);
 
 /// Raw HTTP binding: POST with an XDR call frame as an
 /// application/octet-stream body — HTTP's firewall friendliness without
 /// SOAP's XML encoding tax.
-std::unique_ptr<Channel> make_http_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_http_channel(Transport& net, HostId from,
                                            const Endpoint& to);
 
 /// MIME binding (SOAP-with-Attachments): XML envelope for control, raw
 /// binary multipart attachments for bulk arrays — standards-compliant SOAP
 /// without the BASE64/per-item encoding tax on scientific payloads.
-std::unique_ptr<Channel> make_mime_channel(SimNetwork& net, HostId from,
+std::unique_ptr<Channel> make_mime_channel(Transport& net, HostId from,
                                            const Endpoint& to, std::string service_ns);
 
 // ---- servers ----------------------------------------------------------------
@@ -158,7 +158,7 @@ std::unique_ptr<Channel> make_mime_channel(SimNetwork& net, HostId from,
 /// The returned handle unbinds on destruction.
 class ServerHandle {
  public:
-  ServerHandle(SimNetwork* net, HostId host, std::uint16_t port)
+  ServerHandle(Transport* net, HostId host, std::uint16_t port)
       : net_(net), host_(host), port_(port) {}
   ~ServerHandle() { release(); }
   ServerHandle(ServerHandle&& other) noexcept
@@ -190,18 +190,18 @@ class ServerHandle {
   }
 
  private:
-  SimNetwork* net_;
+  Transport* net_;
   HostId host_;
   std::uint16_t port_;
 };
 
-Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+Result<ServerHandle> serve_xdr(Transport& net, HostId host, std::uint16_t port,
                                std::shared_ptr<Dispatcher> dispatcher);
 
 /// As above, but duplicate calls (same "H2RC" call id) are answered from
 /// `dedup` instead of re-executing the dispatcher — the server half of
 /// the resilience layer's at-most-once guarantee.
-Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
+Result<ServerHandle> serve_xdr(Transport& net, HostId host, std::uint16_t port,
                                std::shared_ptr<Dispatcher> dispatcher,
                                std::shared_ptr<resil::DedupCache> dedup);
 
@@ -210,7 +210,7 @@ Result<ServerHandle> serve_xdr(SimNetwork& net, HostId host, std::uint16_t port,
 /// the "service container" of the paper's Figure 3.
 class SoapHttpServer {
  public:
-  SoapHttpServer(SimNetwork& net, HostId host, std::uint16_t port);
+  SoapHttpServer(Transport& net, HostId host, std::uint16_t port);
   ~SoapHttpServer();
   SoapHttpServer(const SoapHttpServer&) = delete;
   SoapHttpServer& operator=(const SoapHttpServer&) = delete;
@@ -257,7 +257,7 @@ class SoapHttpServer {
 
   Result<ByteBuffer> handle(std::span<const std::uint8_t> raw);
 
-  SimNetwork& net_;
+  Transport& net_;
   HostId host_;
   std::uint16_t port_;
   bool running_ = false;

@@ -2,13 +2,10 @@
 
 namespace h2::net {
 
-SimNetwork::SimNetwork()
-    : tracer_(&clock_),
-      c_messages_(metrics_.counter("h2.net.messages")),
-      c_bytes_(metrics_.counter("h2.net.bytes")),
-      c_calls_(metrics_.counter("h2.net.calls")),
-      c_drops_(metrics_.counter("h2.net.drops")),
-      c_faults_(metrics_.counter("h2.net.faults")) {}
+// The base class only stores the clock's address during construction, so
+// handing it a not-yet-initialized member is safe (VirtualClock is
+// value-initialized before any now() can run).
+SimNetwork::SimNetwork() : Transport(&clock_) {}
 
 Result<HostId> SimNetwork::add_host(const std::string& name) {
   for (const auto& host : hosts_) {

@@ -4,6 +4,8 @@
 // by links with configurable latency and bandwidth, and time-on-the-wire
 // advances a deterministic VirtualClock. All payloads are real bytes that
 // travel through real framing/parsing code — only the clock is virtual.
+// For the real-socket sibling, see transport/socknet.hpp; both implement
+// the Transport seam the binding layer is written against.
 //
 // Determinism: the network is single-threaded by design. Synchronous
 // call() charges the round-trip cost immediately; asynchronous send() is
@@ -18,21 +20,11 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "util/buffer_pool.hpp"
-#include "util/byte_buffer.hpp"
+#include "transport/transport.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 
-namespace h2::resil {
-class BreakerRegistry;
-}  // namespace h2::resil
-
 namespace h2::net {
-
-using HostId = std::uint32_t;
-inline constexpr HostId kInvalidHost = 0xFFFFFFFF;
 
 /// One direction of a link. Cost of moving n bytes = latency + n/bandwidth.
 struct LinkSpec {
@@ -52,15 +44,6 @@ struct LinkSpec {
 inline LinkSpec loopback_link() {
   return LinkSpec{.latency = 10 * kMicrosecond, .bandwidth_bytes_per_sec = 2e9};
 }
-
-/// Cumulative traffic counters (virtual-time benches read these).
-struct NetStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-  std::uint64_t calls = 0;      ///< synchronous round trips
-  std::uint64_t drops = 0;      ///< messages lost to partitions/dead ports
-  std::uint64_t faults = 0;     ///< messages dropped/duplicated/delayed by the hook
-};
 
 /// What the fault hook may do to one message. Drops win over everything;
 /// otherwise the message is delivered `1 + duplicates` times, each copy
@@ -91,24 +74,18 @@ struct MessageInfo {
 /// exactly once per message, in a fixed order.
 using FaultHook = std::function<FaultDecision(const MessageInfo&)>;
 
-/// Request handler bound to a (host, port). Receives the request bytes,
-/// returns response bytes (ignored for one-way sends).
-using Handler = std::function<Result<ByteBuffer>(std::span<const std::uint8_t>)>;
-
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
   SimNetwork();
-
-  SimNetwork(const SimNetwork&) = delete;
-  SimNetwork& operator=(const SimNetwork&) = delete;
 
   // ---- topology --------------------------------------------------------------
 
   /// Adds a named host; names must be unique.
   Result<HostId> add_host(const std::string& name);
-  Result<HostId> resolve(std::string_view name) const;
-  const std::string& host_name(HostId id) const;
+  Result<HostId> resolve(std::string_view name) const override;
+  const std::string& host_name(HostId id) const override;
   std::size_t host_count() const { return hosts_.size(); }
+  const char* transport_name() const override { return "sim"; }
 
   /// Sets the (symmetric) link between two distinct hosts.
   Status set_link(HostId a, HostId b, LinkSpec spec);
@@ -122,10 +99,9 @@ class SimNetwork {
 
   // ---- servers ----------------------------------------------------------------
 
-  /// Binds `handler` to (host, port). Fails if the port is taken.
-  Status listen(HostId host, std::uint16_t port, Handler handler);
-  Status close(HostId host, std::uint16_t port);
-  bool is_listening(HostId host, std::uint16_t port) const;
+  Status listen(HostId host, std::uint16_t port, Handler handler) override;
+  Status close(HostId host, std::uint16_t port) override;
+  bool is_listening(HostId host, std::uint16_t port) const override;
 
   /// Abrupt host death: every port on `host` stops listening at once.
   /// In-flight messages to the host are dropped at delivery time, exactly
@@ -138,7 +114,7 @@ class SimNetwork {
   /// to the virtual clock (handler CPU time is not modeled). Same-host
   /// calls use the loopback link.
   Result<ByteBuffer> call(HostId from, HostId to, std::uint16_t port,
-                          std::span<const std::uint8_t> request);
+                          std::span<const std::uint8_t> request) override;
 
   /// One-way message, delivered at its arrival timestamp by pump().
   Status send(HostId from, HostId to, std::uint16_t port, ByteBuffer payload);
@@ -148,22 +124,13 @@ class SimNetwork {
   /// handlers during delivery are processed too (until quiescence).
   std::size_t pump();
 
-  // ---- observability ----------------------------------------------------------
+  // ---- time -------------------------------------------------------------------
 
   VirtualClock& clock() { return clock_; }
-  const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NetStats{}; }
+  /// Waiting in sim is a clock advance — deterministic, costless in CPU.
+  void sleep_for(Nanos duration) override { clock_.advance(duration); }
 
-  /// The world's metrics registry. Every layer running over this network
-  /// (kernel, container, DVM) records here, so one snapshot covers the
-  /// whole stack and deterministic runs see deterministic counts. The
-  /// transport mirrors NetStats into the h2.net.* counters.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
-
-  /// The world's span tracer (disabled by default; sim/tests opt in).
-  obs::Tracer& tracer() { return tracer_; }
-  const obs::Tracer& tracer() const { return tracer_; }
+  // ---- fault injection --------------------------------------------------------
 
   /// Message-level fault injection (drop/duplicate/delay). Pass nullptr to
   /// remove. Applies to send() always; call() honours `drop` (request
@@ -171,25 +138,6 @@ class SimNetwork {
   /// extra copy, replies discarded) and `drop_reply` (handler runs, caller
   /// sees kTimeout) — `delay` is meaningless for a synchronous round trip.
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
-
-  /// Monotonic serial for idempotency keys and channel seeds. Drawing from
-  /// the network keeps ids unique across all hosts of one world and keeps
-  /// them deterministic (no wall clock, no global state).
-  std::uint64_t next_call_serial() { return ++call_serial_; }
-
-  /// Shared frame/body buffer pool: channels and servers of this world
-  /// recycle their wire buffers here instead of reallocating per call.
-  ByteBufferPool& buffer_pool() { return buffer_pool_; }
-
-  /// Per-world circuit-breaker registry slot (lazily attached by the
-  /// resilience layer; see resil::BreakerRegistry::of). Held as an opaque
-  /// shared_ptr so the transport does not link against h2_resilience.
-  const std::shared_ptr<resil::BreakerRegistry>& breaker_registry() const {
-    return breakers_;
-  }
-  void set_breaker_registry(std::shared_ptr<resil::BreakerRegistry> registry) {
-    breakers_ = std::move(registry);
-  }
 
   /// The effective link between two hosts (loopback when a == b).
   LinkSpec link_between(HostId a, HostId b) const;
@@ -220,26 +168,14 @@ class SimNetwork {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  VirtualClock clock_;
   std::vector<Host> hosts_;
   FaultHook fault_hook_;
   std::map<std::uint64_t, LinkSpec> links_;
   std::map<std::uint64_t, bool> partitioned_;
   LinkSpec default_link_;
-  VirtualClock clock_;
-  NetStats stats_;
-  obs::MetricsRegistry metrics_;
-  obs::Tracer tracer_;
-  // Cached handles: the traffic hot path must not touch the name map.
-  obs::Counter& c_messages_;
-  obs::Counter& c_bytes_;
-  obs::Counter& c_calls_;
-  obs::Counter& c_drops_;
-  obs::Counter& c_faults_;
   std::priority_queue<Pending, std::vector<Pending>, PendingLater> queue_;
   std::uint64_t sequence_ = 0;
-  std::uint64_t call_serial_ = 0;
-  ByteBufferPool buffer_pool_;
-  std::shared_ptr<resil::BreakerRegistry> breakers_;
 };
 
 }  // namespace h2::net

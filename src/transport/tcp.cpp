@@ -1,0 +1,221 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace h2::net::sock {
+
+namespace {
+
+Error errno_error(const std::string& what) {
+  return err::unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Polls one fd for `events`, honouring the deadline. Returns true when
+/// ready, false on timeout.
+Result<bool> wait_ready(int fd, short events, Nanos timeout) {
+  pollfd pfd{fd, events, 0};
+  int ms = timeout <= 0 ? 0 : static_cast<int>((timeout + kMillisecond - 1) / kMillisecond);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return errno_error("poll");
+  return rc > 0;
+}
+
+Result<sockaddr_un> uds_sockaddr(const std::string& path) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(sa.sun_path)) {
+    return err::invalid_argument("uds path too long: " + path);
+  }
+  std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+  return sa;
+}
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+std::string SockAddr::describe() const {
+  if (uds) return "uds:" + path;
+  return ip + ":" + std::to_string(port);
+}
+
+Result<OwnedFd> listen_on(SockAddr& addr, int backlog) {
+  OwnedFd fd(::socket(addr.uds ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+
+  if (addr.uds) {
+    ::unlink(addr.path.c_str());
+    auto sa = uds_sockaddr(addr.path);
+    if (!sa.ok()) return sa.error();
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*sa), sizeof(*sa)) < 0) {
+      return errno_error("bind " + addr.describe());
+    }
+  } else {
+    int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.ip.c_str(), &sa.sin_addr) != 1) {
+      return err::invalid_argument("bad IPv4 literal: " + addr.ip);
+    }
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+      return errno_error("bind " + addr.describe());
+    }
+    // Report the kernel-assigned port back for ephemeral binds.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      addr.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    return errno_error("listen " + addr.describe());
+  }
+  set_nonblocking(fd.get(), true);
+  return fd;
+}
+
+Result<OwnedFd> dial(const SockAddr& addr, Nanos timeout) {
+  OwnedFd fd(::socket(addr.uds ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+  set_nonblocking(fd.get(), true);
+
+  int rc;
+  if (addr.uds) {
+    auto sa = uds_sockaddr(addr.path);
+    if (!sa.ok()) return sa.error();
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*sa), sizeof(*sa));
+  } else {
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.ip.c_str(), &sa.sin_addr) != 1) {
+      return err::invalid_argument("bad IPv4 literal: " + addr.ip);
+    }
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  }
+  if (rc < 0 && errno == EINPROGRESS) {
+    auto ready = wait_ready(fd.get(), POLLOUT, timeout);
+    if (!ready.ok()) return ready.error();
+    if (!*ready) return err::timeout("connect " + addr.describe() + ": timed out");
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 || soerr != 0) {
+      errno = soerr != 0 ? soerr : errno;
+      return errno_error("connect " + addr.describe());
+    }
+  } else if (rc < 0) {
+    return errno_error("connect " + addr.describe());
+  }
+  if (!addr.uds) set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+Result<OwnedFd> accept_on(int listener_fd, bool tcp_nodelay) {
+  int fd;
+  do {
+    fd = ::accept(listener_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return errno_error("accept");
+  OwnedFd owned(fd);
+  set_nonblocking(fd, true);
+  if (tcp_nodelay) set_tcp_nodelay(fd);
+  return owned;
+}
+
+void set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  if (on) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  } else {
+    (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  }
+}
+
+Status write_all(int fd, std::span<const std::uint8_t> first,
+                 std::span<const std::uint8_t> second) {
+  iovec iov[2];
+  int iovcnt = 0;
+  if (!first.empty()) {
+    iov[iovcnt++] = {const_cast<std::uint8_t*>(first.data()), first.size()};
+  }
+  if (!second.empty()) {
+    iov[iovcnt++] = {const_cast<std::uint8_t*>(second.data()), second.size()};
+  }
+  while (iovcnt > 0) {
+    // sendmsg(MSG_NOSIGNAL) instead of writev: a peer that closed mid-write
+    // must surface as EPIPE, not kill the process with SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Receiver hasn't drained its window yet; wait for writability.
+        auto ready = wait_ready(fd, POLLOUT, 5 * kSecond);
+        if (!ready.ok()) return ready.error();
+        if (!*ready) return err::timeout("write: peer not draining");
+        continue;
+      }
+      return errno_error("write");
+    }
+    // Consume n bytes from the front of the gather list.
+    auto consumed = static_cast<std::size_t>(n);
+    int keep = 0;
+    for (int i = 0; i < iovcnt; ++i) {
+      if (consumed >= iov[i].iov_len) {
+        consumed -= iov[i].iov_len;
+        continue;
+      }
+      iov[keep] = {static_cast<std::uint8_t*>(iov[i].iov_base) + consumed,
+                   iov[i].iov_len - consumed};
+      consumed = 0;
+      ++keep;
+      for (int j = i + 1; j < iovcnt; ++j) iov[keep++] = iov[j];
+      break;
+    }
+    iovcnt = keep;
+  }
+  return Status::success();
+}
+
+Result<std::size_t> read_some(int fd, std::span<std::uint8_t> out, Nanos timeout) {
+  // A spurious poll wakeup (readable, then EAGAIN) loops back to waiting
+  // rather than masquerading as EOF.
+  while (true) {
+    auto ready = wait_ready(fd, POLLIN, timeout);
+    if (!ready.ok()) return ready.error();
+    if (!*ready) return err::timeout("read: no data within deadline");
+    ssize_t n;
+    do {
+      n = ::read(fd, out.data(), out.size());
+    } while (n < 0 && errno == EINTR);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return errno_error("read");
+  }
+}
+
+}  // namespace h2::net::sock

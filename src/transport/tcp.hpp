@@ -1,0 +1,89 @@
+// Low-level socket endpoints for the SockNet transport: RAII fds,
+// TCP (loopback/LAN) and Unix-domain listeners and dialers, and the small
+// set of I/O helpers the multiplexer and client paths share — gathered
+// writev, poll-gated reads with deadlines, TCP_NODELAY. Everything here
+// is plain POSIX; the state-machine endpoint style follows the BigWorld
+// logger_endpoint / hakoniwa comm_tcp exemplars.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "util/byte_buffer.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace h2::net::sock {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Where a listener or dialer points: a TCP (ip, port) or a UDS path.
+struct SockAddr {
+  bool uds = false;
+  std::string ip = "127.0.0.1";  ///< TCP only; IPv4 literal
+  std::uint16_t port = 0;        ///< TCP only; 0 = kernel-assigned
+  std::string path;              ///< UDS only; filesystem path
+
+  std::string describe() const;
+};
+
+/// Binds + listens. For TCP with port 0 the kernel picks a free port;
+/// the actual port is written back into `addr.port` — this is how SockNet
+/// maps logical ports onto collision-free ephemeral ones. For UDS a stale
+/// socket file at `addr.path` is unlinked first.
+Result<OwnedFd> listen_on(SockAddr& addr, int backlog = 64);
+
+/// Connects (blocking) to a listener. TCP connections get TCP_NODELAY:
+/// RPC round trips must not wait out Nagle.
+Result<OwnedFd> dial(const SockAddr& addr, Nanos timeout);
+
+/// Accepts one pending connection (listener must be readable). The
+/// accepted fd is set non-blocking with TCP_NODELAY where applicable.
+Result<OwnedFd> accept_on(int listener_fd, bool tcp_nodelay);
+
+void set_nonblocking(int fd, bool on);
+
+/// Writes the gather list fully, polling for writability as needed (the
+/// fd may be non-blocking). One writev syscall in the common case — this
+/// is how a length prefix + pooled payload leave in a single syscall.
+Status write_all(int fd, std::span<const std::uint8_t> first,
+                 std::span<const std::uint8_t> second = {});
+
+/// Reads whatever is available into `out`, waiting up to `timeout` for
+/// readability first. Returns the byte count; 0 means orderly EOF.
+/// kTimeout if nothing arrived in time.
+Result<std::size_t> read_some(int fd, std::span<std::uint8_t> out, Nanos timeout);
+
+}  // namespace h2::net::sock

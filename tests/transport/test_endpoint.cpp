@@ -67,5 +67,94 @@ TEST(Endpoint, Rejections) {
   EXPECT_FALSE(Endpoint::parse("http://h:99999").ok());
 }
 
+TEST(Endpoint, MissingPortTakesSchemeDefault) {
+  auto e = Endpoint::parse("http://hostA/time");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->port, 80);
+  // The default is visible in the canonical form, and parsing that form
+  // reproduces the endpoint.
+  EXPECT_EQ(e->to_uri(), "http://hostA:80/time");
+
+  auto x = Endpoint::parse("xdr://b");
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->port, 0);  // xdr has no well-known default
+}
+
+TEST(Endpoint, TrailingSlashIsEmptyPath) {
+  auto e = Endpoint::parse("http://h:8080/");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e->path.empty());
+  EXPECT_EQ(e->to_uri(), "http://h:8080");
+  EXPECT_EQ(*e, *Endpoint::parse("http://h:8080"));
+}
+
+TEST(Endpoint, CompositeSchemeSplitsTransportAndBinding) {
+  auto e = Endpoint::parse("tcp+xdr://hostA:9001");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->scheme, "tcp+xdr");
+  EXPECT_EQ(e->transport_scheme(), "tcp");
+  EXPECT_EQ(e->binding_scheme(), "xdr");
+
+  auto u = Endpoint::parse("uds+http://hostA/svc");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->transport_scheme(), "uds");
+  EXPECT_EQ(u->binding_scheme(), "http");
+  EXPECT_EQ(u->port, 80);  // binding half supplies the default
+
+  auto plain = Endpoint::parse("xdr://b:1");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->transport_scheme().empty());
+  EXPECT_EQ(plain->binding_scheme(), "xdr");
+}
+
+TEST(Endpoint, SchemeCharsetValidation) {
+  EXPECT_FALSE(Endpoint::parse("tcp+xdr+more://h:1").ok());  // one '+' only
+  EXPECT_FALSE(Endpoint::parse("+xdr://h:1").ok());          // empty transport
+  EXPECT_FALSE(Endpoint::parse("tcp+://h:1").ok());          // empty binding
+  EXPECT_FALSE(Endpoint::parse("1tcp://h:1").ok());          // must start alpha
+  EXPECT_FALSE(Endpoint::parse("ht tp://h:1").ok());
+  EXPECT_FALSE(Endpoint::parse("ht_tp://h:1").ok());
+  EXPECT_TRUE(Endpoint::parse("a-b.c://h:1").ok());  // RFC-3986 extras ok
+}
+
+TEST(Endpoint, GarbagePortsRejected) {
+  EXPECT_FALSE(Endpoint::parse("http://h:").ok());      // empty port
+  EXPECT_FALSE(Endpoint::parse("http://h:0").ok());     // explicit zero
+  EXPECT_FALSE(Endpoint::parse("http://h:-80").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:+80").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:80x").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:8 0").ok());
+  EXPECT_FALSE(Endpoint::parse("http://h:65536").ok());
+  EXPECT_TRUE(Endpoint::parse("http://h:65535").ok());  // boundary in-range
+}
+
+// Property: to_uri() is a canonical form — parse(to_uri(parse(u))) is a
+// fixed point for every valid URI, whatever mix of defaults, composite
+// schemes, ports and paths produced it.
+TEST(Endpoint, RoundTripPropertyAcrossGrid) {
+  const char* schemes[] = {"http", "xdr", "local", "tcp+xdr", "uds+http"};
+  const char* hosts[] = {"a", "hostA", "node-3.rack1"};
+  const char* ports[] = {"", ":1", ":80", ":9001", ":65535"};
+  const char* paths[] = {"", "/", "/svc", "/a/b/c", "/inst-42"};
+  int checked = 0;
+  for (const char* scheme : schemes) {
+    for (const char* host : hosts) {
+      for (const char* port : ports) {
+        for (const char* path : paths) {
+          std::string uri = std::string(scheme) + "://" + host + port + path;
+          auto first = Endpoint::parse(uri);
+          ASSERT_TRUE(first.ok()) << uri;
+          auto second = Endpoint::parse(first->to_uri());
+          ASSERT_TRUE(second.ok()) << first->to_uri() << " from " << uri;
+          EXPECT_EQ(*first, *second) << uri;
+          EXPECT_EQ(first->to_uri(), second->to_uri()) << uri;
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(checked, 5 * 3 * 5 * 5);
+}
+
 }  // namespace
 }  // namespace h2::net

@@ -1,0 +1,165 @@
+// SockNet specifics that SimNetwork has no analogue for: persistent
+// connection pooling, ephemeral port virtualization, kernel-level read
+// fragmentation of large frames, and the multiplexer's accept/serve/close
+// bookkeeping.
+#include "transport/socknet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "transport/rpc.hpp"
+
+namespace h2::net {
+namespace {
+
+std::shared_ptr<DispatcherMux> scale_service() {
+  auto mux = std::make_shared<DispatcherMux>();
+  mux->add("scale", [](std::span<const Value> params) -> Result<Value> {
+    auto values = params[0].as_doubles();
+    if (!values.ok()) return values.error();
+    for (double& v : *values) v *= 2.0;
+    return Value::of_doubles(std::move(*values));
+  });
+  return mux;
+}
+
+class SockNetTest : public ::testing::TestWithParam<SockFamily> {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<SockNet>(GetParam());
+    client_ = *net_->add_host("client");
+    server_ = *net_->add_host("server");
+  }
+  std::unique_ptr<SockNet> net_;
+  HostId client_ = 0, server_ = 0;
+};
+
+TEST_P(SockNetTest, PersistentConnectionServesManyCalls) {
+  auto handle = serve_xdr(*net_, server_, 9001, scale_service());
+  ASSERT_TRUE(handle.ok());
+  auto channel = make_xdr_channel(*net_, client_, *Endpoint::parse("xdr://server:9001"));
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Value> params{Value::of_doubles({double(i)})};
+    ASSERT_TRUE(channel->invoke("scale", params).ok()) << i;
+  }
+  // All 20 round trips share ONE dialed connection — this is the
+  // keep-alive the benchmark numbers depend on.
+  EXPECT_EQ(net_->connections_dialed(), 1u);
+  auto mux = net_->mux_stats();
+  EXPECT_EQ(mux.accepted, 1u);
+  EXPECT_EQ(mux.served, 20u);
+}
+
+TEST_P(SockNetTest, LogicalPortsMapToRealEndpoints) {
+  auto handle = serve_xdr(*net_, server_, 9001, scale_service());
+  ASSERT_TRUE(handle.ok());
+  auto addr = net_->endpoint_of(server_, 9001);
+  ASSERT_TRUE(addr.ok());
+  if (GetParam() == SockFamily::kTcp) {
+    EXPECT_FALSE(addr->uds);
+    EXPECT_NE(addr->port, 0);     // kernel-assigned, collision-free
+    EXPECT_NE(addr->port, 9001);  // logical port is NOT the wire port
+  } else {
+    EXPECT_TRUE(addr->uds);
+    EXPECT_FALSE(addr->path.empty());
+  }
+  EXPECT_FALSE(net_->endpoint_of(server_, 1234).ok());
+}
+
+TEST_P(SockNetTest, ServerRestartBindsFreshAndClientRedials) {
+  auto service = scale_service();
+  auto handle = serve_xdr(*net_, server_, 9001, service);
+  ASSERT_TRUE(handle.ok());
+  auto channel = make_xdr_channel(*net_, client_, *Endpoint::parse("xdr://server:9001"));
+  std::vector<Value> params{Value::of_doubles({3.0})};
+  ASSERT_TRUE(channel->invoke("scale", params).ok());
+
+  handle->release();
+  auto refused = channel->invoke("scale", params);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code(), ErrorCode::kUnavailable);
+
+  auto restarted = serve_xdr(*net_, server_, 9001, service);
+  ASSERT_TRUE(restarted.ok());
+  auto r = channel->invoke("scale", params);
+  ASSERT_TRUE(r.ok()) << r.error().describe();
+  EXPECT_EQ(*r->as_doubles(), (std::vector<double>{6.0}));
+  EXPECT_EQ(net_->connections_dialed(), 2u);  // old pool was invalidated
+}
+
+// A frame far larger than any single read() chunk: both the request and
+// the reply must cross the socket in many fragments and still reassemble.
+TEST_P(SockNetTest, LargeFramesSurviveKernelFragmentation) {
+  auto handle = serve_xdr(*net_, server_, 9001, scale_service());
+  ASSERT_TRUE(handle.ok());
+  auto channel = make_xdr_channel(*net_, client_, *Endpoint::parse("xdr://server:9001"));
+
+  std::vector<double> big(50'000);  // ~400KB of payload, 64KB read chunks
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = double(i);
+  std::vector<Value> params{Value::of_doubles(big)};
+  auto r = channel->invoke("scale", params);
+  ASSERT_TRUE(r.ok()) << r.error().describe();
+  auto out = r->as_doubles();
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), big.size());
+  EXPECT_EQ((*out)[0], 0.0);
+  EXPECT_EQ((*out)[49'999], 2.0 * 49'999);
+}
+
+TEST_P(SockNetTest, OneMuxThreadServesManyPorts) {
+  auto service = scale_service();
+  std::vector<ServerHandle> handles;
+  for (std::uint16_t port = 9001; port < 9006; ++port) {
+    auto handle = serve_xdr(*net_, server_, port, service);
+    ASSERT_TRUE(handle.ok()) << port;
+    handles.push_back(std::move(*handle));
+  }
+  std::vector<std::unique_ptr<Channel>> channels;
+  for (std::uint16_t port = 9001; port < 9006; ++port) {
+    channels.push_back(make_xdr_channel(
+        *net_, client_, *Endpoint::parse("xdr://server:" + std::to_string(port))));
+  }
+  // Interleave calls across all five ports.
+  for (int round = 0; round < 3; ++round) {
+    for (auto& channel : channels) {
+      std::vector<Value> params{Value::of_doubles({1.0})};
+      ASSERT_TRUE(channel->invoke("scale", params).ok());
+    }
+  }
+  auto mux = net_->mux_stats();
+  EXPECT_EQ(mux.accepted, 5u);
+  EXPECT_EQ(mux.served, 15u);
+}
+
+TEST_P(SockNetTest, NeverBoundPortRefusesAndCounts) {
+  auto r = net_->call(client_, server_, 4242, as_byte_span("H2RQ...."));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kUnavailable);
+  EXPECT_NE(r.error().message().find("connection refused"), std::string::npos);
+  EXPECT_EQ(net_->stats().drops, 1u);
+  EXPECT_EQ(net_->stats().calls, 0u);
+}
+
+TEST_P(SockNetTest, HostBookkeepingMatchesSim) {
+  EXPECT_FALSE(net_->add_host("client").ok());  // duplicate name
+  auto id = net_->resolve("server");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, server_);
+  EXPECT_EQ(net_->host_name(server_), "server");
+  EXPECT_FALSE(net_->resolve("nobody").ok());
+  EXPECT_EQ(net_->host_name(99), "<unknown>");
+}
+
+TEST_P(SockNetTest, SleepForReallyWaits) {
+  Nanos before = net_->now();
+  net_->sleep_for(2 * kMillisecond);
+  EXPECT_GE(net_->now() - before, 2 * kMillisecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SockNetTest,
+                         ::testing::Values(SockFamily::kTcp, SockFamily::kUds),
+                         [](const ::testing::TestParamInfo<SockFamily>& info) {
+                           return info.param == SockFamily::kTcp ? "tcp" : "uds";
+                         });
+
+}  // namespace
+}  // namespace h2::net
