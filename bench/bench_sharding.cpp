@@ -1,0 +1,215 @@
+// EXP-SHARD: the sharded coherency mode's scaling claim made measurable.
+// Full synchrony pays O(M) messages per write (every member gets a copy);
+// the consistent-hash sharded mode pays O(R) (only the R shard owners do),
+// so the per-write wire cost must stay flat as the cluster grows from 64
+// to 1024 nodes while full synchrony's grows linearly. Also reports the
+// per-round anti-entropy cost (O(shards·R) digest exchanges) and a
+// convergence check: a manually diverged replica is repaired in one round.
+//
+// Standalone binary (not google-benchmark): the quantities of interest are
+// exact deterministic message counts from SimNetwork::stats(), not wall
+// times, and the report is a hand-rolled JSON schema diffable across
+// commits.
+//
+// Usage: bench_sharding [--writes N] [--quick] [--out FILE]
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "dvm/dvm.hpp"
+#include "plugins/standard.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace h2;
+
+constexpr std::size_t kReplicas = 3;
+constexpr std::size_t kShards = 256;
+
+struct Row {
+  std::size_t nodes = 0;
+  double full_sync_msgs_per_write = 0;
+  double sharded_msgs_per_write = 0;
+  double ratio = 0;  ///< full synchrony / sharded
+  std::uint64_t sharded_ae_round_msgs = 0;
+};
+
+struct Convergence {
+  bool diverged = false;
+  std::uint64_t repaired = 0;
+  bool converged_after_one_round = false;
+};
+
+/// One cluster under test: M containers enrolled in a DVM running the
+/// given protocol over a fresh SimNetwork.
+struct Cluster {
+  net::SimNetwork net;
+  kernel::PluginRepository repo;
+  std::vector<std::unique_ptr<container::Container>> containers;
+  std::unique_ptr<dvm::Dvm> dvm;
+
+  Cluster(std::unique_ptr<dvm::CoherencyProtocol> protocol, std::size_t nodes) {
+    (void)plugins::register_standard_plugins(repo);
+    dvm = std::make_unique<dvm::Dvm>("bench", std::move(protocol));
+    for (std::size_t i = 0; i < nodes; ++i) {
+      std::string name = "n" + std::to_string(i);
+      auto host = *net.add_host(name);
+      containers.push_back(
+          std::make_unique<container::Container>(name, repo, net, host));
+      if (!dvm->add_node(*containers.back()).ok()) {
+        std::fprintf(stderr, "add_node %s failed\n", name.c_str());
+        std::exit(1);
+      }
+    }
+  }
+
+  /// Messages per write over `writes` single-key sets from rotating origins.
+  double msgs_per_write(std::size_t writes) {
+    Rng rng(7);
+    net.reset_stats();
+    for (std::size_t i = 0; i < writes; ++i) {
+      const auto& origin = containers[rng.next_below(containers.size())]->name();
+      std::string key = "bench/key-" + std::to_string(i);
+      if (!dvm->set(origin, key, "v" + std::to_string(i)).ok()) {
+        std::fprintf(stderr, "set %s from %s failed\n", key.c_str(), origin.c_str());
+        std::exit(1);
+      }
+    }
+    return static_cast<double>(net.stats().messages) / static_cast<double>(writes);
+  }
+};
+
+Row measure(std::size_t nodes, std::size_t writes) {
+  Row row;
+  row.nodes = nodes;
+  {
+    Cluster full(dvm::make_full_synchrony(), nodes);
+    row.full_sync_msgs_per_write = full.msgs_per_write(writes);
+  }
+  {
+    Cluster sharded(dvm::make_sharded(dvm::ShardConfig{.shards = kShards,
+                                                       .replicas = kReplicas}),
+                    nodes);
+    row.sharded_msgs_per_write = sharded.msgs_per_write(writes);
+    sharded.net.reset_stats();
+    if (!sharded.dvm->anti_entropy().ok()) {
+      std::fprintf(stderr, "anti_entropy failed at M=%zu\n", nodes);
+      std::exit(1);
+    }
+    row.sharded_ae_round_msgs = sharded.net.stats().messages;
+  }
+  row.ratio = row.full_sync_msgs_per_write / row.sharded_msgs_per_write;
+  return row;
+}
+
+Convergence check_convergence() {
+  Convergence out;
+  Cluster cluster(dvm::make_sharded(dvm::ShardConfig{.shards = 16, .replicas = 3}), 8);
+  auto& dvm = *cluster.dvm;
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "conv/" + std::to_string(i);
+    if (!dvm.set("n0", key, "v").ok()) return out;
+  }
+  // Hand one replica of one key a newer version behind the protocol's back.
+  const dvm::ShardMap* map = dvm.shard_map();
+  auto owners = map->owners(map->shard_of("conv/0"));
+  auto& store = dvm.member(owners.back())->state();
+  auto version = store.version_of("conv/0");
+  if (!version.has_value()) return out;
+  store.apply({"conv/0", "newer", {version->ts + 50, version->writer}, false});
+  out.diverged = true;
+
+  auto report = dvm.anti_entropy();
+  if (!report.ok()) return out;
+  out.repaired = report->entries_repaired;
+  auto second = dvm.anti_entropy();
+  out.converged_after_one_round = second.ok() && second->shards_divergent == 0;
+  return out;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                const Convergence& conv, std::size_t writes) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"sharding\",\n");
+  std::fprintf(f,
+               "  \"config\": {\"replicas\": %zu, \"shards\": %zu, \"writes\": %zu},\n",
+               kReplicas, kShards, writes);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"full_synchrony_msgs_per_write\": %.2f, "
+                 "\"sharded_msgs_per_write\": %.2f, \"ratio\": %.1f, "
+                 "\"sharded_ae_round_msgs\": %llu}%s\n",
+                 r.nodes, r.full_sync_msgs_per_write, r.sharded_msgs_per_write,
+                 r.ratio, static_cast<unsigned long long>(r.sharded_ae_round_msgs),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"convergence\": {\"diverged\": %s, \"entries_repaired\": %llu, "
+               "\"converged_after_one_round\": %s}\n}\n",
+               conv.diverged ? "true" : "false",
+               static_cast<unsigned long long>(conv.repaired),
+               conv.converged_after_one_round ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t writes = 64;
+  bool quick = false;
+  const char* out = "BENCH_sharding.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--writes") == 0 && i + 1 < argc) {
+      writes = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sharding [--writes N] [--quick] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> sizes = quick ? std::vector<std::size_t>{64}
+                                         : std::vector<std::size_t>{64, 256, 1024};
+  std::vector<Row> rows;
+  for (std::size_t nodes : sizes) {
+    // Fewer writes at the largest size: full synchrony's O(M) per-write
+    // cost makes each write 1000+ calls there, and the count is exact
+    // regardless of sample size.
+    const std::size_t n = nodes >= 1024 ? std::min<std::size_t>(writes, 16) : writes;
+    Row row = measure(nodes, n);
+    rows.push_back(row);
+    std::printf(
+        "M=%-5zu full-synchrony %8.1f msgs/write   sharded %5.1f msgs/write   "
+        "(%.0fx)   ae-round %llu msgs\n",
+        row.nodes, row.full_sync_msgs_per_write, row.sharded_msgs_per_write,
+        row.ratio, static_cast<unsigned long long>(row.sharded_ae_round_msgs));
+  }
+
+  Convergence conv = check_convergence();
+  std::printf("convergence: diverged=%d repaired=%llu one-round=%d\n",
+              conv.diverged, static_cast<unsigned long long>(conv.repaired),
+              conv.converged_after_one_round);
+
+  write_json(out, rows, conv, writes);
+  std::printf("wrote %s\n", out);
+  if (!conv.diverged || conv.repaired == 0 || !conv.converged_after_one_round) {
+    std::fprintf(stderr, "FAIL: anti-entropy did not repair the planted divergence\n");
+    return 1;
+  }
+  return 0;
+}

@@ -43,3 +43,10 @@ run bench_batching
 echo "== bench_sockets (hardware) =="
 "$BUILD_DIR/bench/bench_sockets" --out "$OUT_DIR/BENCH_sockets.json"
 echo "   wrote $OUT_DIR/BENCH_sockets.json"
+
+# EXP-SHARD: O(R) sharded vs O(M) full-synchrony write fan-out at
+# M=64/256/1024, plus an anti-entropy convergence check. Exact message
+# counts, own JSON schema; exits non-zero if repair fails.
+echo "== bench_sharding (message counts) =="
+"$BUILD_DIR/bench/bench_sharding" --out "$OUT_DIR/BENCH_sharding.json"
+echo "   wrote $OUT_DIR/BENCH_sharding.json"

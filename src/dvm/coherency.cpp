@@ -2,11 +2,6 @@
 
 namespace h2::dvm {
 
-namespace {
-
-/// Last-write-wins per key, first-occurrence order: what a destination
-/// must end up storing after an in-order write storm, minus the
-/// overwritten intermediates it never needs to see.
 std::vector<KV> coalesce_writes(std::span<const KV> writes) {
   std::vector<KV> out;
   out.reserve(writes.size());
@@ -21,6 +16,8 @@ std::vector<KV> coalesce_writes(std::span<const KV> writes) {
   }
   return out;
 }
+
+namespace {
 
 class FullSynchrony : public CoherencyProtocol {
  public:

@@ -26,10 +26,20 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
+#include "dvm/ring.hpp"
 #include "dvm/state.hpp"
 
 namespace h2::dvm {
+
+/// What one anti-entropy pass did (sharded mode; zeroes elsewhere).
+struct AntiEntropyReport {
+  std::size_t shards_checked = 0;    ///< shards with ≥2 alive owners examined
+  std::size_t shards_divergent = 0;  ///< shards whose digests disagreed
+  std::size_t entries_repaired = 0;  ///< LWW merges applied across all replicas
+  std::size_t exchange_failures = 0; ///< pairwise syncs that errored (tolerated)
+};
 
 class CoherencyProtocol {
  public:
@@ -72,7 +82,50 @@ class CoherencyProtocol {
     (void)joined;
     return Status::success();
   }
+
+  /// A member left (graceful leave or declared failure); `members` is the
+  /// surviving membership. Protocols that place state by membership (the
+  /// sharded ring) hand off the departed member's shards here; the default
+  /// does nothing.
+  virtual Status on_leave(std::span<DvmNode* const> members,
+                          std::string_view departed) {
+    (void)members;
+    (void)departed;
+    return Status::success();
+  }
+
+  /// Which members the heartbeat prober at members[origin] should contact.
+  /// The default is every other member (broadcast heartbeat); the sharded
+  /// protocol narrows it to replica-set peers.
+  virtual std::vector<std::size_t> heartbeat_peers(
+      std::span<DvmNode* const> members, std::size_t origin) {
+    std::vector<std::size_t> out;
+    out.reserve(members.size() > 0 ? members.size() - 1 : 0);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i != origin) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// One anti-entropy repair pass over `members`. Replica digests are
+  /// compared per shard and divergent shards LWW-merged to byte-equal.
+  /// Default: nothing to repair (broadcast protocols converge on write).
+  virtual Result<AntiEntropyReport> anti_entropy(std::span<DvmNode* const> members) {
+    (void)members;
+    return AntiEntropyReport{};
+  }
+
+  /// The live shard→owners map, or nullptr when the protocol does not
+  /// shard (everything except make_sharded). The shard-routed resilient
+  /// channel reads placement through this.
+  virtual const ShardMap* shard_map() const { return nullptr; }
 };
+
+/// Last-write-wins per key, first-occurrence order: what a destination
+/// must end up storing after an in-order write storm, minus the
+/// overwritten intermediates it never needs to see. Shared by every
+/// protocol's update_batch override.
+std::vector<KV> coalesce_writes(std::span<const KV> writes);
 
 /// Full replication, synchronous fan-out on every change; local reads.
 std::unique_ptr<CoherencyProtocol> make_full_synchrony();
@@ -82,6 +135,17 @@ std::unique_ptr<CoherencyProtocol> make_decentralized();
 
 /// Full synchrony within a ring k-neighborhood, distributed query beyond.
 std::unique_ptr<CoherencyProtocol> make_neighborhood(std::size_t k);
+
+/// Sharded mode: consistent-hash ring placement, LWW deltas to the R
+/// shard owners only, periodic anti-entropy digest exchange for repair.
+std::unique_ptr<CoherencyProtocol> make_sharded(ShardConfig config);
+
+/// TEST ONLY. Sharded mode with a deliberately planted repair bug: the
+/// anti-entropy pass silently skips `skip_shard`, so divergence in that
+/// shard is never repaired. The shard sim sweeps use it to prove the
+/// shard-convergence/no-lost-keys invariants catch real repair gaps.
+std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(ShardConfig config,
+                                                               std::size_t skip_shard);
 
 /// TEST ONLY. Full synchrony with a deliberately planted coherency bug:
 /// the replication fan-out silently skips the last member, so its replica

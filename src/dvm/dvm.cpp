@@ -82,6 +82,7 @@ Status Dvm::remove_node(std::string_view node_name) {
   DvmNode* node = alive[*index];
   node->stop();
   node->set_alive(false);
+  (void)protocol_->on_leave(alive_members(), node_name);
   ++epoch_;
   announce("dvm/membership", "left:" + std::string(node_name));
   return Status::success();
@@ -95,6 +96,10 @@ Status Dvm::mark_failed(std::string_view node_name) {
   failed->stop();
   auto survivors = alive_members();
   if (!survivors.empty()) {
+    // Placement first: the ring must stop counting the dead member before
+    // the failure record is written (else the record could be addressed to
+    // the member that just died).
+    (void)protocol_->on_leave(survivors, node_name);
     // Any survivor records the failure; errors here are secondary.
     (void)protocol_->update(survivors, 0, "node/" + std::string(node_name), "failed");
   }
@@ -156,7 +161,10 @@ Result<std::vector<std::string>> Dvm::probe(std::string_view from_node) {
   auto alive = alive_members();
   DvmNode* prober = alive[*index];
   std::vector<std::string> failed;
-  for (DvmNode* peer : alive) {
+  // The protocol chooses the probe set: broadcast for the classic modes,
+  // replica-set peers only for the sharded ring.
+  for (std::size_t peer_index : protocol_->heartbeat_peers(alive, *index)) {
+    DvmNode* peer = alive[peer_index];
     if (peer == prober) continue;
     if (prober->remote_ping(*peer).ok()) continue;
     failed.push_back(peer->name());
@@ -264,6 +272,17 @@ Status Dvm::erase(std::string_view node_name, std::string_view key) {
   auto status = protocol_->erase(alive, *index, key);
   record_round(net, before, t0);
   return status;
+}
+
+Result<AntiEntropyReport> Dvm::anti_entropy() {
+  auto alive = alive_members();
+  if (alive.empty()) return AntiEntropyReport{};
+  net::SimNetwork& net = alive.front()->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto report = protocol_->anti_entropy(alive);
+  record_round(net, before, t0);
+  return report;
 }
 
 Result<std::string> Dvm::deploy(std::string_view node_name, std::string_view plugin,

@@ -107,6 +107,15 @@ class Dvm {
   /// Deletes a global state entry.
   Status erase(std::string_view node_name, std::string_view key);
 
+  /// One anti-entropy repair pass over the alive membership (sharded
+  /// coherency; a no-op report under the broadcast protocols). The sim
+  /// harness drives this periodically and at settle time.
+  Result<AntiEntropyReport> anti_entropy();
+
+  /// Live shard→owners placement, or nullptr when the plugged-in protocol
+  /// does not shard. The shard-routed resilient channel reads this.
+  const ShardMap* shard_map() const { return protocol_->shard_map(); }
+
   // ---- component deployment and the unified name space ---------------------------
 
   /// Deploys a plugin on one node and records it in global state under

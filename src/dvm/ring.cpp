@@ -1,0 +1,102 @@
+#include "dvm/ring.hpp"
+
+#include <algorithm>
+
+namespace h2::dvm {
+
+HashRing::HashRing(std::size_t vnodes, std::uint64_t seed)
+    : vnodes_(vnodes == 0 ? 1 : vnodes), seed_(seed) {}
+
+std::uint64_t HashRing::point_of(std::string_view member, std::size_t vnode) const {
+  // Each virtual node gets its own decorrelated ring position; the seed
+  // shifts the whole placement so property tests can sweep layouts.
+  return mix64(hash64(member) ^ (seed_ + 0x9e3779b97f4a7c15ULL * (vnode + 1)));
+}
+
+void HashRing::rebuild_points() {
+  points_.clear();
+  points_.reserve(members_.size() * vnodes_);
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.emplace_back(point_of(members_[m], v), m);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void HashRing::add(std::string member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it != members_.end() && *it == member) return;
+  members_.insert(it, std::move(member));
+  rebuild_points();
+}
+
+void HashRing::remove(std::string_view member) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), member);
+  if (it == members_.end() || *it != member) return;
+  members_.erase(it);
+  rebuild_points();
+}
+
+bool HashRing::contains(std::string_view member) const {
+  return std::binary_search(members_.begin(), members_.end(), member);
+}
+
+std::vector<std::string> HashRing::owners(std::string_view token,
+                                          std::size_t count) const {
+  std::vector<std::string> out;
+  if (points_.empty() || count == 0) return out;
+  count = std::min(count, members_.size());
+  out.reserve(count);
+  const std::uint64_t pos = mix64(hash64(token) ^ seed_);
+  auto start = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const auto& point, std::uint64_t p) { return point.first < p; });
+  std::vector<bool> taken(members_.size(), false);
+  for (std::size_t walked = 0; walked < points_.size() && out.size() < count;
+       ++walked) {
+    if (start == points_.end()) start = points_.begin();
+    std::uint32_t m = start->second;
+    if (!taken[m]) {
+      taken[m] = true;
+      out.push_back(members_[m]);
+    }
+    ++start;
+  }
+  return out;
+}
+
+std::string HashRing::primary(std::string_view token) const {
+  auto one = owners(token, 1);
+  return one.empty() ? std::string() : std::move(one.front());
+}
+
+ShardMap::ShardMap(ShardConfig config)
+    : config_(config), ring_(config.vnodes, config.seed) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.replicas == 0) config_.replicas = 1;
+  owners_.resize(config_.shards);
+}
+
+void ShardMap::rebuild(std::span<const std::string> members) {
+  HashRing fresh(config_.vnodes, config_.seed);
+  for (const std::string& member : members) fresh.add(member);
+  ring_ = std::move(fresh);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    owners_[s] = ring_.owners("shard/" + std::to_string(s), config_.replicas);
+  }
+}
+
+std::span<const std::string> ShardMap::owners(std::size_t shard) const {
+  if (shard >= owners_.size()) return {};
+  return owners_[shard];
+}
+
+bool ShardMap::is_owner(std::size_t shard, std::string_view member) const {
+  for (const std::string& owner : owners(shard)) {
+    if (owner == member) return true;
+  }
+  return false;
+}
+
+}  // namespace h2::dvm

@@ -1,0 +1,335 @@
+// Sharded coherency mode: the keyspace is split into fixed shards placed
+// on a consistent-hash ring (dvm/ring.hpp); every write becomes a
+// last-write-wins delta sent only to the R shard owners, reads walk the
+// owner list, and a periodic anti-entropy pass (digest compare + pull +
+// push, state.cpp) repairs replicas that diverged across partitions or
+// crashes. Versions are stamped from one protocol-global counter, so the
+// order writes are acknowledged in IS their LWW order — a write can never
+// be silently shadowed by an earlier acknowledged one.
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "dvm/coherency.hpp"
+#include "obs/metrics.hpp"
+
+namespace h2::dvm {
+
+namespace {
+
+class ShardedCoherency final : public CoherencyProtocol {
+ public:
+  explicit ShardedCoherency(ShardConfig config,
+                            std::optional<std::size_t> skip_shard = std::nullopt)
+      : map_(config), skip_shard_(skip_shard) {}
+
+  const char* name() const override { return "sharded"; }
+
+  Status update(std::span<DvmNode* const> members, std::size_t origin,
+                std::string_view key, std::string_view value) override {
+    ensure(members);
+    return write_one(members, origin, key, value, /*deleted=*/false);
+  }
+
+  Status update_batch(std::span<DvmNode* const> members, std::size_t origin,
+                      std::span<const KV> writes) override {
+    ensure(members);
+    const std::vector<KV> coalesced = coalesce_writes(writes);
+    if (coalesced.empty()) return Status::success();
+    DvmNode* origin_node = members[origin];
+    bind_metrics(*origin_node);
+    counter_ = std::max(counter_, origin_node->state().clock());
+
+    // One version per write; group remote deltas into ONE batched vset
+    // frame per destination owner (the PR 5 coalescing discipline).
+    struct TargetBatch {
+      DvmNode* node;
+      std::vector<VersionedEntry> entries;
+      std::vector<std::size_t> write_idx;
+    };
+    std::vector<TargetBatch> batches;
+    std::map<std::string_view, std::size_t> batch_index;
+    std::vector<std::size_t> applied(coalesced.size(), 0);
+
+    for (std::size_t i = 0; i < coalesced.size(); ++i) {
+      const KV& kv = coalesced[i];
+      Version v{++counter_, writer_id(origin_node->name())};
+      VersionedEntry entry{std::string(kv.key), std::string(kv.value), v, false};
+      for (const std::string& owner : map_.owners(map_.shard_of(kv.key))) {
+        DvmNode* target = find_member(members, owner);
+        if (target == nullptr) continue;
+        if (target == origin_node) {
+          (void)origin_node->state().apply(entry);
+          ++applied[i];
+          continue;
+        }
+        auto [it, inserted] = batch_index.try_emplace(target->name(), batches.size());
+        if (inserted) batches.push_back(TargetBatch{target, {}, {}});
+        batches[it->second].entries.push_back(entry);
+        batches[it->second].write_idx.push_back(i);
+      }
+      c_writes_->add();
+    }
+    for (TargetBatch& batch : batches) {
+      if (origin_node->remote_vset_batch(*batch.node, batch.entries).ok()) {
+        for (std::size_t idx : batch.write_idx) ++applied[idx];
+      } else {
+        c_write_misses_->add(batch.entries.size());
+      }
+    }
+    for (std::size_t i = 0; i < coalesced.size(); ++i) {
+      if (applied[i] == 0) {
+        return err::unavailable("sharded batch write of '" +
+                                std::string(coalesced[i].key) +
+                                "': no shard owner reachable");
+      }
+    }
+    return Status::success();
+  }
+
+  Result<std::string> query(std::span<DvmNode* const> members, std::size_t origin,
+                            std::string_view key) override {
+    ensure(members);
+    DvmNode* origin_node = members[origin];
+    const std::size_t shard = map_.shard_of(key);
+    if (map_.is_owner(shard, origin_node->name())) {
+      if (auto value = origin_node->state().get(key); value.has_value()) {
+        return *value;
+      }
+    }
+    std::optional<Result<std::string>> hard_failure;
+    for (const std::string& owner : map_.owners(shard)) {
+      DvmNode* target = find_member(members, owner);
+      if (target == nullptr || target == origin_node) continue;
+      auto value = origin_node->remote_get(*target, key);
+      if (value.ok()) return value;
+      if (value.error().code() != ErrorCode::kNotFound) {
+        hard_failure = std::move(value);  // replica unreachable ≠ key absent
+      }
+    }
+    if (hard_failure.has_value()) return *hard_failure;
+    return err::not_found("state: no key '" + std::string(key) +
+                          "' on any shard owner");
+  }
+
+  Status erase(std::span<DvmNode* const> members, std::size_t origin,
+               std::string_view key) override {
+    ensure(members);
+    // Tombstone, not removal: the version must survive so a stale write
+    // that lost the race cannot resurrect the key.
+    return write_one(members, origin, key, "", /*deleted=*/true);
+  }
+
+  Status on_join(std::span<DvmNode* const> members, std::size_t joined) override {
+    (void)joined;
+    handoff(members);
+    return Status::success();
+  }
+
+  Status on_leave(std::span<DvmNode* const> members,
+                  std::string_view departed) override {
+    (void)departed;
+    handoff(members);
+    return Status::success();
+  }
+
+  std::vector<std::size_t> heartbeat_peers(std::span<DvmNode* const> members,
+                                           std::size_t origin) override {
+    ensure(members);
+    // Probe only replica-set peers: members sharing at least one shard
+    // with the prober. O(R·shards) probes instead of O(M) broadcast.
+    const std::string& self = members[origin]->name();
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i == origin) continue;
+      const std::string& peer = members[i]->name();
+      for (std::size_t s = 0; s < map_.shard_count(); ++s) {
+        if (map_.is_owner(s, self) && map_.is_owner(s, peer)) {
+          out.push_back(i);
+          break;
+        }
+      }
+    }
+    if (out.empty()) {
+      // Owner of nothing (tiny ring slice): fall back to broadcast so the
+      // member still participates in failure detection.
+      return CoherencyProtocol::heartbeat_peers(members, origin);
+    }
+    return out;
+  }
+
+  Result<AntiEntropyReport> anti_entropy(std::span<DvmNode* const> members) override {
+    ensure(members);
+    AntiEntropyReport report;
+    if (members.empty()) return report;
+    bind_metrics(*members[0]);
+    for (std::size_t s = 0; s < map_.shard_count(); ++s) {
+      if (skip_shard_.has_value() && s == *skip_shard_) continue;  // TEST ONLY bug
+      std::vector<DvmNode*> owners;
+      for (const std::string& owner : map_.owners(s)) {
+        if (DvmNode* node = find_member(members, owner)) owners.push_back(node);
+      }
+      if (owners.size() < 2) continue;
+      ++report.shards_checked;
+      DvmNode* primary = owners.front();
+      bool divergent = false;
+      // Two passes: round one accumulates every replica's entries into the
+      // primary (it ends holding the shard-wide LWW maximum), round two
+      // pushes that maximum back out. After a clean double pass all owner
+      // snapshots are byte-equal.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t r = 1; r < owners.size(); ++r) {
+          auto channel = primary->open_state_channel(*owners[r]);
+          auto stats = sync_shard_with_peer(*channel, primary->state(), s,
+                                            map_.shard_count());
+          if (!stats.ok()) {
+            ++report.exchange_failures;
+            continue;
+          }
+          if (stats->differed) divergent = true;
+          report.entries_repaired += stats->merged;
+        }
+      }
+      if (divergent) ++report.shards_divergent;
+      counter_ = std::max(counter_, primary->state().clock());
+    }
+    c_ae_rounds_->add();
+    c_ae_divergent_->add(report.shards_divergent);
+    c_ae_repaired_->add(report.entries_repaired);
+    return report;
+  }
+
+  const ShardMap* shard_map() const override { return &map_; }
+
+ private:
+  static DvmNode* find_member(std::span<DvmNode* const> members,
+                              std::string_view name) {
+    for (DvmNode* node : members) {
+      if (node->name() == name) return node;
+    }
+    return nullptr;
+  }
+
+  void ensure(std::span<DvmNode* const> members) {
+    std::vector<std::string> names;
+    names.reserve(members.size());
+    for (DvmNode* node : members) names.push_back(node->name());
+    std::sort(names.begin(), names.end());
+    if (names == map_.members()) return;
+    map_.rebuild(names);
+  }
+
+  void bind_metrics(DvmNode& any_member) {
+    net::SimNetwork& net = any_member.network();
+    if (metrics_net_ == &net) return;
+    metrics_net_ = &net;
+    c_writes_ = &net.metrics().counter("h2.dvm.shard.writes");
+    c_write_misses_ = &net.metrics().counter("h2.dvm.shard.write_owner_misses");
+    c_ae_rounds_ = &net.metrics().counter("h2.dvm.shard.ae_rounds");
+    c_ae_divergent_ = &net.metrics().counter("h2.dvm.shard.ae_shards_divergent");
+    c_ae_repaired_ = &net.metrics().counter("h2.dvm.shard.ae_entries_repaired");
+    c_handoff_ = &net.metrics().counter("h2.dvm.shard.handoff_entries");
+  }
+
+  Status write_one(std::span<DvmNode* const> members, std::size_t origin,
+                   std::string_view key, std::string_view value, bool deleted) {
+    DvmNode* origin_node = members[origin];
+    bind_metrics(*origin_node);
+    counter_ = std::max(counter_, origin_node->state().clock());
+    Version v{++counter_, writer_id(origin_node->name())};
+    VersionedEntry entry{std::string(key), std::string(value), v, deleted};
+    std::size_t applied = 0;
+    for (const std::string& owner : map_.owners(map_.shard_of(key))) {
+      DvmNode* target = find_member(members, owner);
+      if (target == nullptr) continue;
+      if (target == origin_node) {
+        (void)origin_node->state().apply(entry);
+        ++applied;
+        continue;
+      }
+      if (origin_node->remote_vset(*target, entry).ok()) {
+        ++applied;
+      } else {
+        c_write_misses_->add();
+      }
+    }
+    c_writes_->add();
+    if (applied == 0) {
+      // Every owner unreachable: the write definitively did not land, the
+      // caller must treat the key as dirty.
+      return err::unavailable("sharded write of '" + std::string(key) +
+                              "': no shard owner reachable");
+    }
+    // Partial landings are fine — anti-entropy spreads the delta to the
+    // owners the partition hid.
+    return Status::success();
+  }
+
+  /// Rebuild placement for a changed membership and push the shards whose
+  /// owner set changed from a surviving old owner to each new owner.
+  /// Best-effort by design: a partitioned target simply stays stale until
+  /// anti-entropy reaches it.
+  void handoff(std::span<DvmNode* const> members) {
+    const bool had_map = !map_.members().empty();
+    std::vector<std::vector<std::string>> old_owners;
+    old_owners.reserve(map_.shard_count());
+    for (std::size_t s = 0; s < map_.shard_count(); ++s) {
+      auto owners = map_.owners(s);
+      old_owners.emplace_back(owners.begin(), owners.end());
+    }
+    ensure(members);
+    if (!had_map) return;
+    for (std::size_t s = 0; s < map_.shard_count(); ++s) {
+      auto new_owners = map_.owners(s);
+      if (std::equal(new_owners.begin(), new_owners.end(), old_owners[s].begin(),
+                     old_owners[s].end())) {
+        continue;
+      }
+      DvmNode* donor = nullptr;
+      for (const std::string& owner : old_owners[s]) {
+        if (DvmNode* node = find_member(members, owner)) {
+          donor = node;
+          break;
+        }
+      }
+      if (donor == nullptr) continue;  // every old owner gone; AE must rebuild
+      auto entries = donor->state().shard_snapshot(s, map_.shard_count());
+      if (entries.empty()) continue;
+      for (const std::string& owner : new_owners) {
+        if (std::find(old_owners[s].begin(), old_owners[s].end(), owner) !=
+            old_owners[s].end()) {
+          continue;  // already held the shard
+        }
+        DvmNode* target = find_member(members, owner);
+        if (target == nullptr || target == donor) continue;
+        if (donor->remote_vset_batch(*target, entries).ok() && c_handoff_ != nullptr) {
+          c_handoff_->add(entries.size());
+        }
+      }
+    }
+  }
+
+  ShardMap map_;
+  std::optional<std::size_t> skip_shard_;  ///< TEST ONLY: AE skips this shard
+  std::uint64_t counter_ = 0;  ///< global LWW timestamp source (see header comment)
+  net::SimNetwork* metrics_net_ = nullptr;
+  obs::Counter* c_writes_ = nullptr;
+  obs::Counter* c_write_misses_ = nullptr;
+  obs::Counter* c_ae_rounds_ = nullptr;
+  obs::Counter* c_ae_divergent_ = nullptr;
+  obs::Counter* c_ae_repaired_ = nullptr;
+  obs::Counter* c_handoff_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<CoherencyProtocol> make_sharded(ShardConfig config) {
+  return std::make_unique<ShardedCoherency>(config);
+}
+
+std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(ShardConfig config,
+                                                               std::size_t skip_shard) {
+  return std::make_unique<ShardedCoherency>(config, skip_shard);
+}
+
+}  // namespace h2::dvm

@@ -1,13 +1,151 @@
 #include "dvm/state.hpp"
 
+#include <algorithm>
+#include <charconv>
+
 namespace h2::dvm {
 
-DvmNode::DvmNode(container::Container& container)
-    : container_(container),
-      state_(std::make_shared<StateStore>()),
-      service_(std::make_shared<net::DispatcherMux>()) {
-  auto state = state_;
-  service_->add("set", [state](std::span<const Value> params) -> Result<Value> {
+// ---- StateStore: versioned LWW entries ----------------------------------------
+
+bool StateStore::apply(const VersionedEntry& entry) {
+  clock_ = std::max(clock_, entry.version.ts);
+  auto it = versions_.find(entry.key);
+  if (it != versions_.end() && !(it->second.version < entry.version)) {
+    return false;  // we already hold this version or something newer
+  }
+  if (it != versions_.end()) {
+    it->second = Meta{entry.version, entry.deleted};
+  } else {
+    versions_.emplace(entry.key, Meta{entry.version, entry.deleted});
+  }
+  if (entry.deleted) {
+    map_.erase(entry.key);
+  } else {
+    map_[entry.key] = entry.value;
+  }
+  return true;
+}
+
+Version StateStore::assign_and_apply(std::string_view key, std::string_view value,
+                                     std::uint64_t writer, bool deleted) {
+  Version version{++clock_, writer};
+  VersionedEntry entry{std::string(key), std::string(value), version, deleted};
+  (void)apply(entry);  // always wins: ts is greater than anything seen
+  return version;
+}
+
+std::optional<Version> StateStore::version_of(std::string_view key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+std::vector<VersionedEntry> StateStore::shard_snapshot(std::size_t shard,
+                                                       std::size_t shard_count) const {
+  std::vector<VersionedEntry> out;
+  for (const auto& [key, meta] : versions_) {
+    if (shard_of_key(key, shard_count) != shard) continue;
+    VersionedEntry entry;
+    entry.key = key;
+    entry.version = meta.version;
+    entry.deleted = meta.deleted;
+    if (!meta.deleted) {
+      if (auto it = map_.find(key); it != map_.end()) entry.value = it->second;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::uint64_t StateStore::shard_digest(std::size_t shard,
+                                       std::size_t shard_count) const {
+  // Chained mix over the key-sorted snapshot: any difference in keys,
+  // values, versions or tombstone flags changes the digest.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& [key, meta] : versions_) {
+    if (shard_of_key(key, shard_count) != shard) continue;
+    h = mix64(h ^ hash64(key));
+    h = mix64(h ^ meta.version.ts);
+    h = mix64(h ^ meta.version.writer);
+    h = mix64(h ^ (meta.deleted ? 1u : 0u));
+    if (!meta.deleted) {
+      if (auto it = map_.find(key); it != map_.end()) h = mix64(h ^ hash64(it->second));
+    }
+  }
+  return h;
+}
+
+// ---- wire codec for shard transfers --------------------------------------------
+
+std::string encode_entries(std::span<const VersionedEntry> entries) {
+  std::string out = "H2SH " + std::to_string(entries.size()) + "\n";
+  for (const VersionedEntry& e : entries) {
+    out += std::to_string(e.version.ts) + " " + std::to_string(e.version.writer) +
+           " " + (e.deleted ? "1" : "0") + " " + std::to_string(e.key.size()) + " " +
+           std::to_string(e.value.size()) + "\n";
+    out += e.key;
+    out += e.value;
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::uint64_t> take_number(std::string_view& rest, char terminator) {
+  std::size_t end = rest.find(terminator);
+  if (end == std::string_view::npos) return err::invalid_argument("shard blob: truncated");
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + end, value);
+  if (ec != std::errc() || ptr != rest.data() + end) {
+    return err::invalid_argument("shard blob: bad number");
+  }
+  rest.remove_prefix(end + 1);
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<VersionedEntry>> decode_entries(std::string_view blob) {
+  if (!blob.starts_with("H2SH ")) {
+    return err::invalid_argument("shard blob: bad magic");
+  }
+  blob.remove_prefix(5);
+  auto count = take_number(blob, '\n');
+  if (!count.ok()) return count.error();
+  std::vector<VersionedEntry> out;
+  out.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto ts = take_number(blob, ' ');
+    if (!ts.ok()) return ts.error();
+    auto writer = take_number(blob, ' ');
+    if (!writer.ok()) return writer.error();
+    auto deleted = take_number(blob, ' ');
+    if (!deleted.ok()) return deleted.error();
+    auto key_len = take_number(blob, ' ');
+    if (!key_len.ok()) return key_len.error();
+    auto value_len = take_number(blob, '\n');
+    if (!value_len.ok()) return value_len.error();
+    if (blob.size() < *key_len + *value_len) {
+      return err::invalid_argument("shard blob: truncated entry payload");
+    }
+    VersionedEntry entry;
+    entry.version = Version{*ts, *writer};
+    entry.deleted = *deleted != 0;
+    entry.key = std::string(blob.substr(0, *key_len));
+    entry.value = std::string(blob.substr(*key_len, *value_len));
+    blob.remove_prefix(*key_len + *value_len);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// ---- state service dispatcher ---------------------------------------------------
+
+std::shared_ptr<net::DispatcherMux> make_state_service(
+    std::shared_ptr<StateStore> store, std::uint64_t self_writer) {
+  auto service = std::make_shared<net::DispatcherMux>();
+  auto state = std::move(store);
+  service->add("set", [state](std::span<const Value> params) -> Result<Value> {
     if (params.size() != 2) return err::invalid_argument("set(key, value)");
     auto key = params[0].as_string();
     if (!key.ok()) return key.error();
@@ -16,7 +154,7 @@ DvmNode::DvmNode(container::Container& container)
     state->set(std::move(*key), std::move(*value));
     return Value::of_void();
   });
-  service_->add("get", [state](std::span<const Value> params) -> Result<Value> {
+  service->add("get", [state](std::span<const Value> params) -> Result<Value> {
     if (params.size() != 1) return err::invalid_argument("get(key)");
     auto key = params[0].as_string();
     if (!key.ok()) return key.error();
@@ -24,16 +162,155 @@ DvmNode::DvmNode(container::Container& container)
     if (!value.has_value()) return err::not_found("state: no key '" + *key + "'");
     return Value::of_string(std::move(*value), "return");
   });
-  service_->add("ping", [](std::span<const Value>) -> Result<Value> {
+  service->add("ping", [](std::span<const Value>) -> Result<Value> {
     return Value::of_bool(true, "return");
   });
-  service_->add("del", [state](std::span<const Value> params) -> Result<Value> {
+  service->add("del", [state](std::span<const Value> params) -> Result<Value> {
     if (params.size() != 1) return err::invalid_argument("del(key)");
     auto key = params[0].as_string();
     if (!key.ok()) return key.error();
     return Value::of_bool(state->erase(*key), "return");
   });
+  // Sharded-mode surface: LWW deltas and the anti-entropy primitives.
+  service->add("vset", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 5) return err::invalid_argument("vset(key, value, ts, writer, deleted)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    auto value = params[1].as_string();
+    if (!value.ok()) return value.error();
+    auto ts = params[2].as_int();
+    if (!ts.ok()) return ts.error();
+    auto writer = params[3].as_int();
+    if (!writer.ok()) return writer.error();
+    auto deleted = params[4].as_bool();
+    if (!deleted.ok()) return deleted.error();
+    VersionedEntry entry{std::move(*key), std::move(*value),
+                         Version{static_cast<std::uint64_t>(*ts),
+                                 static_cast<std::uint64_t>(*writer)},
+                         *deleted};
+    return Value::of_bool(state->apply(entry), "applied");
+  });
+  service->add("wset", [state, self_writer](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("wset(key, value)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    auto value = params[1].as_string();
+    if (!value.ok()) return value.error();
+    // The serving replica coordinates: it assigns the version (so writes
+    // through it are totally ordered by its clock) and the caller
+    // replicates the returned version to the other owners.
+    Version v = state->assign_and_apply(*key, *value, self_writer);
+    return Value::of_string(std::to_string(v.ts) + " " + std::to_string(v.writer),
+                            "version");
+  });
+  service->add("digest", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("digest(shard, shards)");
+    auto shard = params[0].as_int();
+    if (!shard.ok()) return shard.error();
+    auto shards = params[1].as_int();
+    if (!shards.ok()) return shards.error();
+    std::uint64_t digest = state->shard_digest(static_cast<std::size_t>(*shard),
+                                               static_cast<std::size_t>(*shards));
+    return Value::of_int(static_cast<std::int64_t>(digest), "digest");
+  });
+  service->add("pull", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 2) return err::invalid_argument("pull(shard, shards)");
+    auto shard = params[0].as_int();
+    if (!shard.ok()) return shard.error();
+    auto shards = params[1].as_int();
+    if (!shards.ok()) return shards.error();
+    auto snapshot = state->shard_snapshot(static_cast<std::size_t>(*shard),
+                                          static_cast<std::size_t>(*shards));
+    return Value::of_string(encode_entries(snapshot), "entries");
+  });
+  return service;
 }
+
+// ---- pairwise anti-entropy exchange --------------------------------------------
+
+namespace {
+
+std::vector<Value> shard_params(std::size_t shard, std::size_t shard_count) {
+  return {Value::of_int(static_cast<std::int64_t>(shard), "shard"),
+          Value::of_int(static_cast<std::int64_t>(shard_count), "shards")};
+}
+
+net::BatchItem vset_item(const VersionedEntry& entry) {
+  net::BatchItem item;
+  item.operation = "vset";
+  item.params.push_back(Value::of_string(entry.key, "key"));
+  item.params.push_back(Value::of_string(entry.value, "value"));
+  item.params.push_back(
+      Value::of_int(static_cast<std::int64_t>(entry.version.ts), "ts"));
+  item.params.push_back(
+      Value::of_int(static_cast<std::int64_t>(entry.version.writer), "writer"));
+  item.params.push_back(Value::of_bool(entry.deleted, "deleted"));
+  return item;
+}
+
+}  // namespace
+
+Result<ShardSyncStats> sync_shard_with_peer(net::Channel& peer, StateStore& local,
+                                            std::size_t shard,
+                                            std::size_t shard_count) {
+  ShardSyncStats stats;
+  const std::vector<Value> params = shard_params(shard, shard_count);
+  auto remote_digest = peer.invoke("digest", params);
+  if (!remote_digest.ok()) {
+    return remote_digest.error().context("anti-entropy digest, shard " +
+                                         std::to_string(shard));
+  }
+  auto digest_value = remote_digest->as_int();
+  if (!digest_value.ok()) return digest_value.error();
+  if (static_cast<std::uint64_t>(*digest_value) ==
+      local.shard_digest(shard, shard_count)) {
+    return stats;  // replicas already byte-equal
+  }
+  stats.differed = true;
+
+  // Pull the peer's shard and LWW-merge it; newer local entries survive.
+  auto blob = peer.invoke("pull", params);
+  if (!blob.ok()) {
+    return blob.error().context("anti-entropy pull, shard " + std::to_string(shard));
+  }
+  auto blob_str = blob->as_string();
+  if (!blob_str.ok()) return blob_str.error();
+  auto entries = decode_entries(*blob_str);
+  if (!entries.ok()) return entries.error();
+  stats.pulled = entries->size();
+  for (const VersionedEntry& entry : *entries) {
+    if (local.apply(entry)) ++stats.merged;
+  }
+
+  // Push the merged shard back in one batch frame; the peer's LWW merge
+  // drops anything it already holds.
+  auto snapshot = local.shard_snapshot(shard, shard_count);
+  if (!snapshot.empty()) {
+    std::vector<net::BatchItem> calls;
+    calls.reserve(snapshot.size());
+    for (const VersionedEntry& entry : snapshot) calls.push_back(vset_item(entry));
+    std::vector<Result<Value>> results;
+    if (auto status = peer.invoke_batch(calls, results); !status.ok()) {
+      return status.error().context("anti-entropy push, shard " +
+                                    std::to_string(shard));
+    }
+    for (const auto& result : results) {
+      if (!result.ok()) {
+        return result.error().context("anti-entropy push entry, shard " +
+                                      std::to_string(shard));
+      }
+    }
+    stats.pushed = snapshot.size();
+  }
+  return stats;
+}
+
+// ---- DvmNode -------------------------------------------------------------------
+
+DvmNode::DvmNode(container::Container& container)
+    : container_(container),
+      state_(std::make_shared<StateStore>()),
+      service_(make_state_service(state_, writer_id(container.name()))) {}
 
 Status DvmNode::start() {
   if (server_.has_value()) return Status::success();
@@ -53,6 +330,14 @@ Result<Value> DvmNode::invoke_on(DvmNode& target, std::string_view operation,
                          .path = ""};
   auto channel = net::make_xdr_channel(network(), host(), endpoint);
   return channel->invoke(operation, params);
+}
+
+std::unique_ptr<net::Channel> DvmNode::open_state_channel(DvmNode& target) {
+  net::Endpoint endpoint{.scheme = "xdr",
+                         .host = target.name(),
+                         .port = kStatePort,
+                         .path = ""};
+  return net::make_xdr_channel(network(), host(), endpoint);
 }
 
 Status DvmNode::remote_set(DvmNode& target, std::string_view key,
@@ -110,6 +395,32 @@ Status DvmNode::remote_del(DvmNode& target, std::string_view key) {
   std::vector<Value> params{Value::of_string(std::string(key), "key")};
   auto result = invoke_on(target, "del", params);
   if (!result.ok()) return result.error();
+  return Status::success();
+}
+
+Result<bool> DvmNode::remote_vset(DvmNode& target, const VersionedEntry& entry) {
+  net::BatchItem item = vset_item(entry);
+  auto result = invoke_on(target, "vset", item.params);
+  if (!result.ok()) return result.error();
+  return result->as_bool();
+}
+
+Status DvmNode::remote_vset_batch(DvmNode& target,
+                                  std::span<const VersionedEntry> entries) {
+  if (entries.empty()) return Status::success();
+  std::vector<net::BatchItem> calls;
+  calls.reserve(entries.size());
+  for (const VersionedEntry& entry : entries) calls.push_back(vset_item(entry));
+  auto channel = open_state_channel(target);
+  std::vector<Result<Value>> results;
+  if (auto status = channel->invoke_batch(calls, results); !status.ok()) {
+    return status.error().context("batched vset to " + target.name());
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return results[i].error().context("batched vset of '" + entries[i].key + "'");
+    }
+  }
   return Status::success();
 }
 

@@ -1,5 +1,9 @@
 #include "resilience/failover.hpp"
 
+#include <charconv>
+
+#include "resilience/resilient_channel.hpp"
+
 namespace h2::resil {
 
 FailoverChannel::FailoverChannel(dvm::Dvm& dvm, container::Container& origin,
@@ -127,6 +131,247 @@ Status FailoverChannel::invoke_batch(std::span<const net::BatchItem> calls,
                                          "' (" + last_error.message() + ")");
   results.assign(calls.size(), Result<Value>(timeout));
   return Status(std::move(timeout));
+}
+
+// ---- ShardRoutedChannel ---------------------------------------------------------
+
+namespace {
+
+/// Parses the "ts writer" reply of the state service's wset operation.
+std::optional<dvm::Version> parse_version(std::string_view reply) {
+  const std::size_t space = reply.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  dvm::Version v;
+  auto [p1, e1] = std::from_chars(reply.data(), reply.data() + space, v.ts);
+  auto [p2, e2] =
+      std::from_chars(reply.data() + space + 1, reply.data() + reply.size(), v.writer);
+  if (e1 != std::errc() || e2 != std::errc()) return std::nullopt;
+  return v;
+}
+
+std::vector<Value> wset_params(std::string_view key, std::string_view value) {
+  return {Value::of_string(std::string(key), "key"),
+          Value::of_string(std::string(value), "value")};
+}
+
+std::vector<Value> vset_params(const dvm::VersionedEntry& entry) {
+  return {Value::of_string(entry.key, "key"), Value::of_string(entry.value, "value"),
+          Value::of_int(static_cast<std::int64_t>(entry.version.ts), "ts"),
+          Value::of_int(static_cast<std::int64_t>(entry.version.writer), "writer"),
+          Value::of_bool(entry.deleted, "deleted")};
+}
+
+}  // namespace
+
+ShardRoutedChannel::ShardRoutedChannel(dvm::Dvm& dvm, container::Container& origin,
+                                       CallPolicy policy)
+    : dvm_(dvm),
+      origin_(origin),
+      policy_(policy),
+      c_failovers_(origin.network().metrics().counter("h2.resil.shard.failovers")) {}
+
+net::Channel& ShardRoutedChannel::channel_to(const std::string& node) {
+  auto it = channels_.find(node);
+  if (it == channels_.end()) {
+    net::Endpoint endpoint{
+        .scheme = "xdr", .host = node, .port = dvm::kStatePort, .path = ""};
+    auto inner = net::make_xdr_channel(origin_.network(), origin_.host(), endpoint);
+    it = channels_
+             .emplace(node, make_resilient_channel(
+                                std::move(inner), origin_.network(), policy_,
+                                /*breaker=*/nullptr,
+                                "xdr://" + node + ":" + std::to_string(dvm::kStatePort)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::string> ShardRoutedChannel::owner_order(
+    std::size_t shard, std::span<const std::string> owners) const {
+  // Sticky owner first (if it still owns the shard), then ring order.
+  std::vector<std::string> out;
+  out.reserve(owners.size());
+  auto sticky = sticky_.find(shard);
+  if (sticky != sticky_.end()) {
+    for (const std::string& owner : owners) {
+      if (owner == sticky->second) {
+        out.push_back(owner);
+        break;
+      }
+    }
+  }
+  for (const std::string& owner : owners) {
+    if (out.empty() || owner != out.front()) out.push_back(owner);
+  }
+  return out;
+}
+
+void ShardRoutedChannel::note_served(std::size_t shard, const std::string& node) {
+  auto it = sticky_.find(shard);
+  if (it != sticky_.end() && it->second != node) {
+    ++failovers_;
+    c_failovers_.add();
+    dvm_.announce_failover("dvm-state", it->second, node);
+  }
+  sticky_[shard] = node;
+}
+
+std::string ShardRoutedChannel::routed_node(std::string_view key) const {
+  const dvm::ShardMap* map = dvm_.shard_map();
+  if (map == nullptr) return "";
+  auto it = sticky_.find(map->shard_of(key));
+  return it == sticky_.end() ? "" : it->second;
+}
+
+Result<std::string> ShardRoutedChannel::get(std::string_view key) {
+  const dvm::ShardMap* map = dvm_.shard_map();
+  if (map == nullptr) {
+    return err::unsupported("shard routing requires the sharded coherency mode");
+  }
+  const std::size_t shard = map->shard_of(key);
+  std::vector<Value> params{Value::of_string(std::string(key), "key")};
+  bool any_answered = false;
+  Error last_error = err::unavailable("shard " + std::to_string(shard) + " has no owners");
+  for (const std::string& node : owner_order(shard, map->owners(shard))) {
+    auto result = channel_to(node).invoke("get", params);
+    if (result.ok()) {
+      note_served(shard, node);
+      return result->as_string();
+    }
+    if (result.error().code() == ErrorCode::kNotFound) {
+      // This replica is reachable but lacks the key (stale or the key is
+      // simply absent); another owner may still hold it.
+      any_answered = true;
+      continue;
+    }
+    if (result.error().code() != ErrorCode::kUnavailable) {
+      return result.error();  // application answer or maybe-executed
+    }
+    last_error = result.error();
+  }
+  if (any_answered) {
+    return err::not_found("state: no key '" + std::string(key) +
+                          "' on any reachable shard owner");
+  }
+  return Error(ErrorCode::kTimeout, "no owner of shard " + std::to_string(shard) +
+                                        " available (" + last_error.message() + ")");
+}
+
+Status ShardRoutedChannel::replicate(const dvm::VersionedEntry& entry,
+                                     std::span<const std::string> owners,
+                                     const std::string& already_applied) {
+  // Best-effort fan-out of the assigned version to the remaining owners;
+  // anti-entropy covers any owner this leg cannot reach.
+  for (const std::string& owner : owners) {
+    if (owner == already_applied) continue;
+    (void)channel_to(owner).invoke("vset", vset_params(entry));
+  }
+  return Status::success();
+}
+
+Status ShardRoutedChannel::set(std::string_view key, std::string_view value) {
+  const dvm::ShardMap* map = dvm_.shard_map();
+  if (map == nullptr) {
+    return err::unsupported("shard routing requires the sharded coherency mode");
+  }
+  const std::size_t shard = map->shard_of(key);
+  auto owners = map->owners(shard);
+  Error last_error = err::unavailable("shard " + std::to_string(shard) + " has no owners");
+  for (const std::string& node : owner_order(shard, owners)) {
+    auto result = channel_to(node).invoke("wset", wset_params(key, value));
+    if (result.ok()) {
+      note_served(shard, node);
+      auto reply = result->as_string();
+      if (!reply.ok()) return reply.error();
+      auto version = parse_version(*reply);
+      if (!version.has_value()) {
+        return err::internal("bad wset version reply '" + *reply + "'");
+      }
+      dvm::VersionedEntry entry{std::string(key), std::string(value), *version, false};
+      return replicate(entry, owners, node);
+    }
+    if (result.error().code() != ErrorCode::kUnavailable) {
+      return result.error();  // kTimeout: maybe executed, do not double-apply
+    }
+    last_error = result.error();
+  }
+  return Error(ErrorCode::kTimeout, "no owner of shard " + std::to_string(shard) +
+                                        " available (" + last_error.message() + ")");
+}
+
+Status ShardRoutedChannel::set_batch(std::span<const dvm::KV> writes) {
+  const dvm::ShardMap* map = dvm_.shard_map();
+  if (map == nullptr) {
+    return err::unsupported("shard routing requires the sharded coherency mode");
+  }
+  if (writes.empty()) return Status::success();
+
+  // Group writes by the owner each one routes to (sticky/primary of its
+  // shard) so each routed owner receives ONE batched wset frame.
+  struct Group {
+    std::vector<std::size_t> write_idx;
+  };
+  std::map<std::string, Group> groups;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    const std::size_t shard = map->shard_of(writes[i].key);
+    auto order = owner_order(shard, map->owners(shard));
+    if (order.empty()) {
+      return Error(ErrorCode::kTimeout,
+                   "no owner of shard " + std::to_string(shard) + " available");
+    }
+    groups[order.front()].write_idx.push_back(i);
+  }
+
+  // One replication entry per write, accumulated across groups and sent as
+  // ONE best-effort vset batch per secondary owner at the end.
+  std::map<std::string, std::vector<net::BatchItem>> replication;
+  for (auto& [node, group] : groups) {
+    std::vector<net::BatchItem> calls;
+    calls.reserve(group.write_idx.size());
+    for (std::size_t idx : group.write_idx) {
+      net::BatchItem item;
+      item.operation = "wset";
+      item.params = wset_params(writes[idx].key, writes[idx].value);
+      calls.push_back(std::move(item));
+    }
+    std::vector<Result<Value>> results;
+    Status status = channel_to(node).invoke_batch(calls, results);
+    if (!status.ok() && status.error().code() == ErrorCode::kUnavailable) {
+      // The whole frame definitely did not execute: re-route each write
+      // individually through the owner walk.
+      for (std::size_t idx : group.write_idx) {
+        if (auto one = set(writes[idx].key, writes[idx].value); !one.ok()) return one;
+      }
+      continue;
+    }
+    if (!status.ok()) return status;
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      const std::size_t idx = group.write_idx[r];
+      if (!results[r].ok()) return results[r].error();
+      auto reply = results[r]->as_string();
+      if (!reply.ok()) return reply.error();
+      auto version = parse_version(*reply);
+      if (!version.has_value()) {
+        return err::internal("bad wset version reply '" + *reply + "'");
+      }
+      const std::size_t shard = map->shard_of(writes[idx].key);
+      note_served(shard, node);
+      dvm::VersionedEntry entry{std::string(writes[idx].key),
+                                std::string(writes[idx].value), *version, false};
+      for (const std::string& owner : map->owners(shard)) {
+        if (owner == node) continue;
+        net::BatchItem item;
+        item.operation = "vset";
+        item.params = vset_params(entry);
+        replication[owner].push_back(std::move(item));
+      }
+    }
+  }
+  for (auto& [owner, calls] : replication) {
+    std::vector<Result<Value>> ignored;
+    (void)channel_to(owner).invoke_batch(calls, ignored);  // best-effort
+  }
+  return Status::success();
 }
 
 std::unique_ptr<net::Channel> make_failover_channel(

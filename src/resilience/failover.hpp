@@ -18,6 +18,7 @@
 // either succeed or fail with kTimeout".
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -72,5 +73,51 @@ class FailoverChannel final : public net::Channel {
 std::unique_ptr<net::Channel> make_failover_channel(
     dvm::Dvm& dvm, container::Container& origin, std::string service_name,
     CallPolicy policy, std::vector<wsdl::BindingKind> preference = {});
+
+/// ShardRoutedChannel — the failover discipline applied to sharded DVM
+/// state. Where the FailoverChannel walks *service* replicas, this walks
+/// *shard* owners: each get/set/set_batch is routed by the DVM's shard map
+/// (dvm::Dvm::shard_map()) to the R members owning the key's shard. Calls
+/// are sticky to the shard's primary until it turns kUnavailable, then
+/// fail over inside the replica set, counting h2.resil.shard.failovers and
+/// announcing "dvm/failover" like its service-level sibling. A set goes to
+/// one owner (which assigns the LWW version) and is then replicated
+/// best-effort to the remaining owners; anti-entropy repairs whatever the
+/// best-effort leg missed. Terminal failures are always kTimeout — the
+/// same "done, answered, or try again later" contract as FailoverChannel.
+class ShardRoutedChannel final {
+ public:
+  /// `origin` is the calling node's container; `dvm` must be running the
+  /// sharded coherency mode (calls fail with kUnsupported otherwise).
+  /// Both must outlive the channel.
+  ShardRoutedChannel(dvm::Dvm& dvm, container::Container& origin, CallPolicy policy);
+
+  Result<std::string> get(std::string_view key);
+  Status set(std::string_view key, std::string_view value);
+  /// Writes grouped into ONE batched wire message per routed owner.
+  Status set_batch(std::span<const dvm::KV> writes);
+
+  /// Completed owner switches (sticky primary changed under failure).
+  std::uint64_t failovers() const { return failovers_; }
+  /// Node that served the last routed call for `key`'s shard ("" if none).
+  std::string routed_node(std::string_view key) const;
+
+ private:
+  net::Channel& channel_to(const std::string& node);
+  std::vector<std::string> owner_order(std::size_t shard,
+                                       std::span<const std::string> owners) const;
+  void note_served(std::size_t shard, const std::string& node);
+  Status replicate(const dvm::VersionedEntry& entry,
+                   std::span<const std::string> owners,
+                   const std::string& already_applied);
+
+  dvm::Dvm& dvm_;
+  container::Container& origin_;
+  CallPolicy policy_;
+  std::map<std::string, std::unique_ptr<net::Channel>, std::less<>> channels_;
+  std::map<std::size_t, std::string> sticky_;  ///< shard → last serving owner
+  std::uint64_t failovers_ = 0;
+  obs::Counter& c_failovers_;
+};
 
 }  // namespace h2::resil

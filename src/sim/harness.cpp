@@ -23,6 +23,8 @@ const char* protocol_label(SimConfig::Protocol protocol) {
       return "decentralized";
     case SimConfig::Protocol::kNeighborhood:
       return "neighborhood";
+    case SimConfig::Protocol::kSharded:
+      return "sharded";
   }
   return "?";
 }
@@ -68,6 +70,13 @@ Status SimHarness::setup() {
     case SimConfig::Protocol::kNeighborhood:
       protocol = dvm::make_neighborhood(config_.neighborhood_k);
       break;
+    case SimConfig::Protocol::kSharded:
+      protocol = config_.buggy_shard
+                     ? dvm::make_sharded_buggy_for_test(
+                           config_.shard,
+                           dvm::shard_of_key(key_name(0), config_.shard.shards))
+                     : dvm::make_sharded(config_.shard);
+      break;
   }
   dvm_ = std::make_unique<dvm::Dvm>(config_.scenario, std::move(protocol));
 
@@ -75,6 +84,7 @@ Status SimHarness::setup() {
                 config_.scenario + " nodes=" + std::to_string(config_.nodes) +
                     " protocol=" + protocol_label(config_.protocol) +
                     (config_.buggy_coherency ? "(buggy)" : "") +
+                    (config_.buggy_shard ? "(buggy-ae)" : "") +
                     " seed=" + std::to_string(seed_));
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     std::string name = node_name(i);
@@ -166,6 +176,11 @@ void SimHarness::prune_ledger_for_dead_node(const std::string& node) {
   // Only full synchrony guarantees a key outlives its origin; the other
   // protocols legitimately lose keys with the node that wrote them.
   if (config_.protocol == SimConfig::Protocol::kFullSynchrony) return;
+  // Sharded keys are owned by their shard's replica set, not their origin:
+  // they survive the writer. Genuine loss (every owner copy gone) is
+  // detected by the settle-time owner scan, which dirties the key so the
+  // repair pass rewrites it.
+  if (config_.protocol == SimConfig::Protocol::kSharded) return;
   for (auto it = ledger_.begin(); it != ledger_.end();) {
     if (it->second.origin_node == node) {
       it = ledger_.erase(it);
@@ -485,6 +500,54 @@ Status SimHarness::settle_and_check(std::size_t step) {
   trace_.record(net_.clock().now(), "settle",
                 "step=" + std::to_string(step) + " drained=" + std::to_string(delivered));
 
+  if (config_.protocol == SimConfig::Protocol::kSharded) {
+    // Owner scan: a sharded key is genuinely lost when no alive owner of
+    // its shard holds the acknowledged value any more (e.g. the only owner
+    // a partial write reached has crashed, or a membership wave evicted
+    // every owner that had a copy before handoff could run). Such keys are
+    // dirtied so the repair pass below rewrites them; partial divergence
+    // (some owner still has the value) is left for anti-entropy.
+    const dvm::ShardMap* map = dvm_->shard_map();
+    for (auto& [key, entry] : ledger_) {
+      if (!entry.clean) continue;
+      bool held = false;
+      for (const std::string& owner : map->owners(map->shard_of(key))) {
+        auto node = dvm_->member(owner);
+        if (!node.ok()) continue;
+        if (auto value = node->state().get(key);
+            value.has_value() && *value == entry.value) {
+          held = true;
+          break;
+        }
+      }
+      if (!held) {
+        entry.clean = false;
+        trace_.record(net_.clock().now(), "shard-lost",
+                      key + " no alive owner copy");
+      }
+    }
+    // Same rule for the name-space records of components whose host is
+    // still alive: if every owner copy of "component/<q>" died with its
+    // replicas, re-seed the record from the (alive) hosting node.
+    for (const auto& component : deployed_) {
+      if (!dvm_->is_member(component.node)) continue;
+      std::string key = "component/" + component.qualified;
+      bool held = false;
+      for (const std::string& owner : map->owners(map->shard_of(key))) {
+        auto node = dvm_->member(owner);
+        if (!node.ok()) continue;
+        if (node->state().get(key).has_value()) {
+          held = true;
+          break;
+        }
+      }
+      if (!held) {
+        (void)dvm_->set(component.node, key, component.node);
+        trace_.record(net_.clock().now(), "shard-reseed", key);
+      }
+    }
+  }
+
   // Repair: rewrite every indeterminate key so the convergence contract
   // is meaningful again (mirrors "state written after the last failure").
   for (auto& [key, entry] : ledger_) {
@@ -499,6 +562,20 @@ Status SimHarness::settle_and_check(std::size_t step) {
     }
     entry = LedgerEntry{value, origin, true};
     trace_.record(net_.clock().now(), "repair", key + "=" + value);
+  }
+
+  if (config_.protocol == SimConfig::Protocol::kSharded) {
+    // Converge the replicas before judging them: with the network healed a
+    // full anti-entropy pass must leave every owner set byte-equal (except
+    // where a planted bug skips a shard — which the invariants then catch).
+    auto report = dvm_->anti_entropy();
+    if (!report.ok()) {
+      return violation(step, "settle-anti-entropy", report.error());
+    }
+    trace_.record(net_.clock().now(), "anti-entropy",
+                  "settle checked=" + std::to_string(report->shards_checked) +
+                      " divergent=" + std::to_string(report->shards_divergent) +
+                      " repaired=" + std::to_string(report->entries_repaired));
   }
 
   for (auto& invariant : invariants_) {
@@ -538,6 +615,21 @@ Result<RunReport> SimHarness::run() {
     }
     if (auto status = apply_random_faults(step); !status.ok()) return status.error();
     if (auto status = run_op(step); !status.ok()) return status.error();
+    if (config_.protocol == SimConfig::Protocol::kSharded &&
+        config_.anti_entropy_every > 0 &&
+        (step + 1) % config_.anti_entropy_every == 0) {
+      // Mid-run repair under live chaos; unreachable replicas are simply
+      // skipped this round (tolerated exchange failures).
+      auto report = dvm_->anti_entropy();
+      trace_.record(net_.clock().now(), "anti-entropy",
+                    !report.ok()
+                        ? "FAILED"
+                        : "divergent=" + std::to_string(report->shards_divergent) +
+                              " repaired=" +
+                              std::to_string(report->entries_repaired) +
+                              " failures=" +
+                              std::to_string(report->exchange_failures));
+    }
     ++report_.steps_executed;
     if (config_.check_every > 0 && (step + 1) % config_.check_every == 0) {
       if (auto status = settle_and_check(step); !status.ok()) return status.error();

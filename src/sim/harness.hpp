@@ -47,13 +47,23 @@ struct SimConfig {
   std::size_t check_every = 20;  ///< settle + invariant check cadence
   std::size_t key_space = 8;     ///< distinct state keys the schedule touches
 
-  enum class Protocol { kFullSynchrony, kDecentralized, kNeighborhood };
+  enum class Protocol { kFullSynchrony, kDecentralized, kNeighborhood, kSharded };
   Protocol protocol = Protocol::kFullSynchrony;
   std::size_t neighborhood_k = 1;
+
+  /// Sharded-mode placement (protocol == kSharded only).
+  dvm::ShardConfig shard;
+  /// Periodic anti-entropy cadence in steps (kSharded; 0 = settle-only).
+  std::size_t anti_entropy_every = 0;
 
   /// TEST ONLY: plug the deliberately broken full-synchrony protocol so a
   /// scenario can prove its invariants catch real coherency bugs.
   bool buggy_coherency = false;
+
+  /// TEST ONLY: plug the sharded protocol whose anti-entropy pass skips
+  /// the shard holding key "k0", so divergence there is never repaired —
+  /// the shard invariants must catch it.
+  bool buggy_shard = false;
 
   /// TEST ONLY: disable the server-side idempotency cache on every
   /// container, so the at-most-once invariant can prove it catches

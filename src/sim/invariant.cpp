@@ -1,5 +1,7 @@
 #include "sim/invariant.hpp"
 
+#include <algorithm>
+#include <set>
 #include <span>
 
 #include "sim/harness.hpp"
@@ -238,6 +240,130 @@ class RpcAvailability final : public Invariant {
   }
 };
 
+/// Sharded replication contract: with anti-entropy settled, every alive
+/// owner of a shard holds the identical shard snapshot — same keys, same
+/// values, same versions, same tombstones. A skipped or broken repair
+/// pass leaves replicas diverged and fails here.
+class ShardConvergence final : public Invariant {
+ public:
+  const char* name() const override { return "shard-convergence"; }
+
+  Status check(SimHarness& harness) override {
+    if (harness.config().protocol != SimConfig::Protocol::kSharded) {
+      return Status::success();
+    }
+    const dvm::ShardMap* map = harness.dvm().shard_map();
+    if (map == nullptr) {
+      return err::internal("sharded protocol exposes no shard map");
+    }
+    for (std::size_t s = 0; s < map->shard_count(); ++s) {
+      std::string reference_owner;
+      std::vector<dvm::VersionedEntry> reference;
+      for (const std::string& owner : map->owners(s)) {
+        auto node = harness.dvm().member(owner);
+        if (!node.ok()) continue;  // owner died between map rebuilds
+        auto snapshot = node->state().shard_snapshot(s, map->shard_count());
+        if (reference_owner.empty()) {
+          reference_owner = owner;
+          reference = std::move(snapshot);
+          continue;
+        }
+        if (snapshot != reference) {
+          return err::internal(
+              "shard " + std::to_string(s) + ": replica " + owner + " (" +
+              std::to_string(snapshot.size()) + " entries) diverges from " +
+              reference_owner + " (" + std::to_string(reference.size()) +
+              " entries) after anti-entropy settled");
+        }
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// Sharded no-lost-keys: every cleanly-acknowledged write reads back with
+/// its acknowledged value from every alive vantage point — the shard
+/// query must route to an owner holding the key no matter where it is
+/// issued.
+class NoLostKeysSharded final : public Invariant {
+ public:
+  const char* name() const override { return "no-lost-keys-sharded"; }
+
+  Status check(SimHarness& harness) override {
+    if (harness.config().protocol != SimConfig::Protocol::kSharded) {
+      return Status::success();
+    }
+    auto names = harness.dvm().node_names();
+    if (names.empty()) return err::internal("no alive nodes to read from");
+    for (const auto& [key, entry] : harness.ledger()) {
+      if (!entry.clean) continue;
+      for (const std::string& vantage : names) {
+        auto value = harness.dvm().get(vantage, key);
+        if (!value.ok()) {
+          return err::internal("key " + key + " (acknowledged '" + entry.value +
+                               "') unreadable from " + vantage + ": " +
+                               value.error().message());
+        }
+        if (*value != entry.value) {
+          return err::internal("key " + key + " reads '" + *value + "' from " +
+                               vantage + ", acknowledged '" + entry.value + "'");
+        }
+      }
+    }
+    return Status::success();
+  }
+};
+
+/// Placement sanity: the protocol's live shard map must equal a freshly
+/// rebuilt map over the current membership (no stale routing), and every
+/// shard must have exactly min(R, alive) distinct alive owners.
+class SingleOwnerPerShard final : public Invariant {
+ public:
+  const char* name() const override { return "single-owner-per-shard"; }
+
+  Status check(SimHarness& harness) override {
+    if (harness.config().protocol != SimConfig::Protocol::kSharded) {
+      return Status::success();
+    }
+    const dvm::ShardMap* map = harness.dvm().shard_map();
+    if (map == nullptr) {
+      return err::internal("sharded protocol exposes no shard map");
+    }
+    auto names = harness.dvm().node_names();
+    std::sort(names.begin(), names.end());
+    dvm::ShardMap fresh(map->config());
+    fresh.rebuild(names);
+    const std::size_t expected =
+        std::min(map->config().replicas, names.size());
+    for (std::size_t s = 0; s < map->shard_count(); ++s) {
+      auto live = map->owners(s);
+      auto want = fresh.owners(s);
+      if (!std::equal(live.begin(), live.end(), want.begin(), want.end())) {
+        return err::internal("shard " + std::to_string(s) +
+                             " has a stale owner list (live map disagrees "
+                             "with a rebuild over current membership)");
+      }
+      if (live.size() != expected) {
+        return err::internal("shard " + std::to_string(s) + " has " +
+                             std::to_string(live.size()) + " owners, expected " +
+                             std::to_string(expected));
+      }
+      std::set<std::string_view> seen;
+      for (const std::string& owner : live) {
+        if (!harness.dvm().is_member(owner)) {
+          return err::internal("shard " + std::to_string(s) + " owner " + owner +
+                               " is not an alive member");
+        }
+        if (!seen.insert(owner).second) {
+          return err::internal("shard " + std::to_string(s) +
+                               " lists owner " + owner + " twice");
+        }
+      }
+    }
+    return Status::success();
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Invariant> make_coherency_convergence() {
@@ -264,6 +390,15 @@ std::unique_ptr<Invariant> make_rpc_timeout_only() {
 std::unique_ptr<Invariant> make_rpc_availability() {
   return std::make_unique<RpcAvailability>();
 }
+std::unique_ptr<Invariant> make_shard_convergence() {
+  return std::make_unique<ShardConvergence>();
+}
+std::unique_ptr<Invariant> make_no_lost_keys_sharded() {
+  return std::make_unique<NoLostKeysSharded>();
+}
+std::unique_ptr<Invariant> make_single_owner_per_shard() {
+  return std::make_unique<SingleOwnerPerShard>();
+}
 
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "coherency-convergence") return make_coherency_convergence();
@@ -274,6 +409,9 @@ Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "rpc-at-most-once") return make_rpc_at_most_once();
   if (name == "rpc-timeout-only") return make_rpc_timeout_only();
   if (name == "rpc-availability") return make_rpc_availability();
+  if (name == "shard-convergence") return make_shard_convergence();
+  if (name == "no-lost-keys-sharded") return make_no_lost_keys_sharded();
+  if (name == "single-owner-per-shard") return make_single_owner_per_shard();
   return err::not_found("unknown invariant '" + std::string(name) + "'");
 }
 

@@ -66,10 +66,29 @@ std::unique_ptr<Invariant> make_rpc_timeout_only();
 /// and reply loss is off, so failover must mask every crash completely.
 std::unique_ptr<Invariant> make_rpc_availability();
 
+/// Sharded replication contract: after the settle-time anti-entropy pass,
+/// every alive owner of every shard holds a byte-identical shard snapshot
+/// (keys, values, versions and tombstones). Vacuous unless the scenario
+/// runs the sharded protocol. This is the invariant the planted
+/// skip-one-shard anti-entropy bug must trip.
+std::unique_ptr<Invariant> make_shard_convergence();
+
+/// No acknowledged sharded write disappears: every cleanly-acknowledged
+/// ledger key reads back with its acknowledged value from EVERY alive
+/// node's vantage (the shard query walks the owner set, so this also
+/// exercises read routing). Vacuous unless sharded.
+std::unique_ptr<Invariant> make_no_lost_keys_sharded();
+
+/// Placement sanity: the live shard map equals a freshly rebuilt map over
+/// the current membership, and each shard has exactly min(R, alive)
+/// distinct, alive owners. Vacuous unless sharded.
+std::unique_ptr<Invariant> make_single_owner_per_shard();
+
 /// By name, for scenario definitions and the simrunner CLI:
 /// "coherency-convergence", "no-lost-keys", "registry-consistency",
 /// "monotonic-epoch", "metrics-consistency", "rpc-at-most-once",
-/// "rpc-timeout-only", "rpc-availability".
+/// "rpc-timeout-only", "rpc-availability", "shard-convergence",
+/// "no-lost-keys-sharded", "single-owner-per-shard".
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name);
 
 }  // namespace h2::sim

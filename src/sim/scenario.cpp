@@ -206,13 +206,99 @@ ScenarioDef planted_bug() {
   return def;
 }
 
+const std::vector<std::string>& shard_invariants() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all = all_invariants();
+    all.push_back("shard-convergence");
+    all.push_back("no-lost-keys-sharded");
+    all.push_back("single-owner-per-shard");
+    return all;
+  }();
+  return names;
+}
+
+ScenarioDef shard_partition_heal() {
+  ScenarioDef def;
+  def.name = "shard-partition-heal";
+  def.description =
+      "sharded DVM (16 shards, R=3) under drop/dup/delay chaos and random "
+      "partitions; periodic anti-entropy repairs divergence, and at every "
+      "settle point all replica sets are byte-equal and no acknowledged "
+      "key is lost";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 150;
+  def.config.check_every = 25;
+  def.config.key_space = 12;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  def.config.shard = {.shards = 16, .replicas = 3, .vnodes = 8};
+  def.config.anti_entropy_every = 10;
+  def.config.plan.chaos({.drop_p = 0.08, .dup_p = 0.05, .delay_p = 0.10})
+      .random({.partition_p = 0.05, .heal_p = 0.12});
+  def.invariants = shard_invariants();
+  return def;
+}
+
+ScenarioDef shard_churn() {
+  ScenarioDef def;
+  def.name = "shard-churn";
+  def.description =
+      "sharded DVM under crash/restart churn; membership changes trigger "
+      "bounded handoff, the shard map tracks the survivors, and "
+      "anti-entropy re-converges every replica set";
+  def.config.scenario = def.name;
+  def.config.nodes = 6;
+  def.config.steps = 180;
+  def.config.check_every = 30;
+  def.config.key_space = 12;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  def.config.shard = {.shards = 16, .replicas = 3, .vnodes = 8};
+  def.config.anti_entropy_every = 15;
+  def.config.plan.chaos({.drop_p = 0.04, .dup_p = 0.04, .delay_p = 0.08})
+      .random({.crash_p = 0.04, .restart_p = 0.20, .min_alive = 4});
+  def.invariants = shard_invariants();
+  return def;
+}
+
+ScenarioDef shard_ae_skip() {
+  ScenarioDef def;
+  def.name = "shard-ae-skip";
+  def.description =
+      "sharded DVM whose anti-entropy pass silently skips one shard (the "
+      "planted repair bug); under write-heavy drop chaos the skipped "
+      "shard's replicas diverge and shard-convergence must catch it";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 210;
+  def.config.check_every = 15;
+  def.config.key_space = 16;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  // Few, fat shards: ~4 of the 16 keys land in the skipped shard, so
+  // every settle window sees fresh unrepaired divergence there.
+  def.config.shard = {.shards = 4, .replicas = 3, .vnodes = 8};
+  def.config.anti_entropy_every = 10;
+  def.config.buggy_shard = true;
+  // Write-heavy, no erases (a tombstone storm could mask divergence), no
+  // probes (35% call drop would mass-evict healthy nodes).
+  def.config.weights.set = 0.45;
+  def.config.weights.get = 0.20;
+  def.config.weights.erase = 0.0;
+  def.config.weights.deploy = 0.0;
+  def.config.weights.probe = 0.0;
+  def.config.plan.chaos({.drop_p = 0.35, .dup_p = 0.05, .delay_p = 0.05});
+  def.invariants = {"shard-convergence", "no-lost-keys-sharded"};
+  def.expect_violation = true;
+  return def;
+}
+
 }  // namespace
 
 const std::vector<ScenarioDef>& scenarios() {
   static const std::vector<ScenarioDef> table = {
       coherency_storm(), failover(),           churn(),
       mesh_skew(),       retry_storm(),        batch_storm(),
-      failover_cascade(), planted_bug(),       retry_storm_nodedup()};
+      failover_cascade(), planted_bug(),       retry_storm_nodedup(),
+      shard_partition_heal(), shard_churn(),   shard_ae_skip()};
   return table;
 }
 

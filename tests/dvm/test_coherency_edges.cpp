@@ -35,7 +35,8 @@ class CoherencyEdgeTest : public ::testing::Test {
 TEST_F(CoherencyEdgeTest, SingleNodeDvmWorksUnderEveryProtocol) {
   for (auto factory : {+[] { return make_full_synchrony(); },
                        +[] { return make_decentralized(); },
-                       +[] { return make_neighborhood(3); }}) {
+                       +[] { return make_neighborhood(3); },
+                       +[] { return make_sharded(ShardConfig{}); }}) {
     auto dvm = build(factory(), 1);
     auto name = dvm->node_names()[0];
     ASSERT_TRUE(dvm->set(name, "k", "v").ok());
@@ -86,7 +87,8 @@ TEST_F(CoherencyEdgeTest, NeighborhoodEraseCoversItsReplicas) {
 
 TEST_F(CoherencyEdgeTest, OverwriteVisibleEverywhere) {
   for (auto factory : {+[] { return make_full_synchrony(); },
-                       +[] { return make_neighborhood(2); }}) {
+                       +[] { return make_neighborhood(2); },
+                       +[] { return make_sharded(ShardConfig{.replicas = 2}); }}) {
     auto dvm = build(factory(), 3);
     auto names = dvm->node_names();
     ASSERT_TRUE(dvm->set(names[0], "k", "old").ok());
@@ -166,6 +168,56 @@ TEST_F(CoherencyEdgeTest, EmptyBatchIsANoOp) {
   net_.reset_stats();
   ASSERT_TRUE(dvm->set_batch(names[0], {}).ok());
   EXPECT_EQ(net_.stats().calls, 0u);
+}
+
+TEST_F(CoherencyEdgeTest, ShardedEraseIsGlobalViaTombstones) {
+  auto dvm = build(make_sharded(ShardConfig{.shards = 8, .replicas = 2}), 3);
+  auto names = dvm->node_names();
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  ASSERT_TRUE(dvm->erase(names[1], "k").ok());  // erase from a non-writer
+  for (const auto& name : names) {
+    auto value = dvm->get(name, "k");
+    ASSERT_FALSE(value.ok()) << name;
+    EXPECT_EQ(value.error().code(), ErrorCode::kNotFound) << name;
+  }
+  // The tombstone outranks a stale resurrection attempt: an owner replica
+  // that re-applies the old write version rejects it.
+  const ShardMap* map = dvm->shard_map();
+  const std::string owner = map->owners(map->shard_of("k")).front();
+  auto* state = &dvm->member(owner)->state();
+  EXPECT_FALSE(state->apply({"k", "v", {1, 1}, false}));
+  EXPECT_FALSE(dvm->get(owner, "k").ok());
+}
+
+TEST_F(CoherencyEdgeTest, ShardedReplicasClampToClusterSize) {
+  // R=3 on a 2-node cluster: every shard gets both members, and the API
+  // contract still holds.
+  auto dvm = build(make_sharded(ShardConfig{.shards = 8, .replicas = 3}), 2);
+  auto names = dvm->node_names();
+  ASSERT_TRUE(dvm->set(names[0], "k", "v").ok());
+  for (const auto& name : names) {
+    EXPECT_EQ(*dvm->get(name, "k"), "v") << name;
+    EXPECT_TRUE(dvm->member(name)->state().get("k").has_value()) << name;
+  }
+}
+
+TEST_F(CoherencyEdgeTest, ShardedBatchIsEmptySafe) {
+  auto dvm = build(make_sharded(ShardConfig{}), 3);
+  net_.reset_stats();
+  ASSERT_TRUE(dvm->set_batch(dvm->node_names()[0], {}).ok());
+  EXPECT_EQ(net_.stats().calls, 0u);
+}
+
+TEST_F(CoherencyEdgeTest, ShardedBatchCoalescesToLastWritePerKey) {
+  auto dvm = build(make_sharded(ShardConfig{.shards = 8, .replicas = 2}), 3);
+  auto names = dvm->node_names();
+  const KV writes[] = {
+      {"hot", "v1"}, {"cold", "c"}, {"hot", "v2"}, {"hot", "v3"}};
+  ASSERT_TRUE(dvm->set_batch(names[0], writes).ok());
+  for (const auto& name : names) {
+    EXPECT_EQ(*dvm->get(name, "hot"), "v3") << name;
+    EXPECT_EQ(*dvm->get(name, "cold"), "c") << name;
+  }
 }
 
 TEST_F(CoherencyEdgeTest, ProtocolObjectsAreReusableAcrossMembershipChanges) {

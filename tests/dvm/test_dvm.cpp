@@ -6,18 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "plugins/standard.hpp"
 
 namespace h2::dvm {
 namespace {
 
-enum class Mode { kFullSynchrony, kDecentralized, kNeighborhood };
+enum class Mode { kFullSynchrony, kDecentralized, kNeighborhood, kSharded };
 
 std::unique_ptr<CoherencyProtocol> make_protocol(Mode mode) {
   switch (mode) {
     case Mode::kFullSynchrony: return make_full_synchrony();
     case Mode::kDecentralized: return make_decentralized();
     case Mode::kNeighborhood: return make_neighborhood(1);
+    case Mode::kSharded: return make_sharded(ShardConfig{.shards = 16, .replicas = 2});
   }
   return nullptr;
 }
@@ -179,12 +182,13 @@ TEST_P(DvmAllProtocols, StatusSnapshot) {
 
 INSTANTIATE_TEST_SUITE_P(Protocols, DvmAllProtocols,
                          ::testing::Values(Mode::kFullSynchrony, Mode::kDecentralized,
-                                           Mode::kNeighborhood),
+                                           Mode::kNeighborhood, Mode::kSharded),
                          [](const ::testing::TestParamInfo<Mode>& info) {
                            switch (info.param) {
                              case Mode::kFullSynchrony: return "full_synchrony";
                              case Mode::kDecentralized: return "decentralized";
                              case Mode::kNeighborhood: return "neighborhood";
+                             case Mode::kSharded: return "sharded";
                            }
                            return "?";
                          });
@@ -276,6 +280,130 @@ TEST_F(NeighborhoodTest, ReplicationStopsAtNeighborhoodBoundary) {
   EXPECT_TRUE(dvm_->member("A")->state().get("k").has_value());
   EXPECT_TRUE(dvm_->member("B")->state().get("k").has_value());   // ring neighbour
   EXPECT_FALSE(dvm_->member("C")->state().get("k").has_value());  // beyond k=1
+}
+
+class ShardedTest : public DvmFixtureBase {
+ protected:
+  void SetUp() override { build(Mode::kSharded); }
+};
+
+TEST_F(ShardedTest, WriteTouchesOnlyTheReplicaSet) {
+  // O(R) write fan-out: at most R vset calls (R-1 when the origin is
+  // itself an owner), never the M-1 of full synchrony.
+  net_.reset_stats();
+  ASSERT_TRUE(dvm_->set("A", "user/k", "v").ok());
+  EXPECT_LE(net_.stats().calls, 2u);  // R = 2
+  EXPECT_GE(net_.stats().calls, 1u);
+}
+
+TEST_F(ShardedTest, ValueLivesExactlyOnTheOwners) {
+  ASSERT_TRUE(dvm_->set("A", "user/k", "v").ok());
+  const ShardMap* map = dvm_->shard_map();
+  ASSERT_NE(map, nullptr);
+  auto owners = map->owners(map->shard_of("user/k"));
+  ASSERT_EQ(owners.size(), 2u);
+  for (const auto& name : dvm_->node_names()) {
+    const bool is_owner =
+        std::find(owners.begin(), owners.end(), name) != owners.end();
+    EXPECT_EQ(dvm_->member(name)->state().get("user/k").has_value(), is_owner)
+        << name;
+  }
+}
+
+TEST_F(ShardedTest, ReadFromNonOwnerWalksTheOwnerSet) {
+  ASSERT_TRUE(dvm_->set("A", "user/k", "v").ok());
+  const ShardMap* map = dvm_->shard_map();
+  auto owners = map->owners(map->shard_of("user/k"));
+  for (const auto& name : dvm_->node_names()) {
+    if (std::find(owners.begin(), owners.end(), name) != owners.end()) continue;
+    net_.reset_stats();
+    auto value = dvm_->get(name, "user/k");
+    ASSERT_TRUE(value.ok()) << name;
+    EXPECT_EQ(*value, "v");
+    EXPECT_GT(net_.stats().calls, 0u) << name;  // had to reach an owner
+    return;
+  }
+  FAIL() << "no non-owner in a 4-node cluster with R=2";
+}
+
+TEST_F(ShardedTest, BatchGroupsWritesPerOwnerNode) {
+  // N writes fan out as at most one batched call per distinct remote
+  // owner (≤ M-1 targets), not N×R individual calls.
+  const KV writes[] = {{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+                       {"e", "5"}, {"f", "6"}, {"g", "7"}, {"h", "8"}};
+  net_.reset_stats();
+  ASSERT_TRUE(dvm_->set_batch("A", writes).ok());
+  EXPECT_LE(net_.stats().calls, kNodes - 1);
+  for (const KV& kv : writes) {
+    auto value = dvm_->get("C", kv.key);
+    ASSERT_TRUE(value.ok()) << kv.key;
+    EXPECT_EQ(*value, kv.value);
+  }
+}
+
+TEST_F(ShardedTest, AntiEntropyRepairsAManuallyDivergedReplica) {
+  ASSERT_TRUE(dvm_->set("A", "user/k", "v1").ok());
+  const ShardMap* map = dvm_->shard_map();
+  auto owners = map->owners(map->shard_of("user/k"));
+  ASSERT_EQ(owners.size(), 2u);
+  // Hand one replica a newer version behind the protocol's back.
+  auto& store = dvm_->member(owners[1])->state();
+  auto version = store.version_of("user/k");
+  ASSERT_TRUE(version.has_value());
+  store.apply({"user/k", "v2", {version->ts + 10, version->writer}, false});
+  EXPECT_NE(dvm_->member(owners[0])->state().get("user/k"),
+            dvm_->member(owners[1])->state().get("user/k"));
+
+  auto report = dvm_->anti_entropy();
+  ASSERT_TRUE(report.ok()) << report.error().describe();
+  EXPECT_EQ(report->shards_checked, map->shard_count());
+  EXPECT_GE(report->shards_divergent, 1u);
+  EXPECT_GE(report->entries_repaired, 1u);
+  EXPECT_EQ(report->exchange_failures, 0u);
+  // LWW: the newer version wins on every owner.
+  for (const auto& owner : owners) {
+    EXPECT_EQ(dvm_->member(owner)->state().get("user/k"), "v2") << owner;
+  }
+}
+
+TEST_F(ShardedTest, AntiEntropyOnConvergedClusterReportsNoDivergence) {
+  ASSERT_TRUE(dvm_->set("B", "k1", "v").ok());
+  ASSERT_TRUE(dvm_->anti_entropy().ok());  // converge first
+  auto report = dvm_->anti_entropy();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->shards_divergent, 0u);
+  EXPECT_EQ(report->entries_repaired, 0u);
+}
+
+TEST_F(ShardedTest, LeaveHandsOffToTheReplacementOwner) {
+  // Write a spread of keys, remove a node, and require every key to stay
+  // readable: departures trigger bounded handoff to the new owner sets.
+  for (int i = 0; i < 12; ++i) {
+    std::string key = "key/" + std::to_string(i);
+    ASSERT_TRUE(dvm_->set("A", key, "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(dvm_->remove_node("D").ok());
+  const ShardMap* map = dvm_->shard_map();
+  EXPECT_EQ(map->members().size(), kNodes - 1);
+  for (int i = 0; i < 12; ++i) {
+    std::string key = "key/" + std::to_string(i);
+    auto value = dvm_->get("A", key);
+    ASSERT_TRUE(value.ok()) << key << ": " << value.error().describe();
+    EXPECT_EQ(*value, "v" + std::to_string(i));
+    // And the new owner set really holds it.
+    for (const auto& owner : map->owners(map->shard_of(key))) {
+      EXPECT_TRUE(dvm_->member(owner)->state().get(key).has_value())
+          << key << " missing on " << owner;
+    }
+  }
+}
+
+TEST_F(ShardedTest, ShardWriteMetricsAccumulate) {
+  ASSERT_TRUE(dvm_->set("A", "m1", "v").ok());
+  ASSERT_TRUE(dvm_->set("B", "m2", "v").ok());
+  EXPECT_GE(net_.metrics().counter_value("h2.dvm.shard.writes"), 2u);
+  (void)dvm_->anti_entropy();
+  EXPECT_GE(net_.metrics().counter_value("h2.dvm.shard.ae_rounds"), 1u);
 }
 
 TEST_F(NeighborhoodTest, NeighborReadIsLocalFarReadIsQuery) {

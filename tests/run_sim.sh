@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
-# Runs the deterministic simulation suite: the ctest `sim` label first,
-# then a full simrunner seed sweep over every scenario — the four
-# membership/coherency scenarios (coherency-storm, failover, churn,
-# mesh-skew), the three fault-tolerant-RPC scenarios (retry-storm,
-# batch-storm, failover-cascade), and the two planted-bug scenarios (planted-bug,
-# retry-storm-nodedup) that must be CAUGHT on every seed. Any failing
-# seed is printed with the exact replay command.
+# Runs the deterministic simulation suite: the ctest `sim`, `obs` and
+# `shard` labels first, then a full simrunner seed sweep over every
+# scenario — the four membership/coherency scenarios (coherency-storm,
+# failover, churn, mesh-skew), the three fault-tolerant-RPC scenarios
+# (retry-storm, batch-storm, failover-cascade), the two sharded-DVM
+# scenarios (shard-partition-heal, shard-churn), and the three planted-bug
+# scenarios (planted-bug, retry-storm-nodedup, shard-ae-skip) that must be
+# CAUGHT on every seed. Any failing seed is printed with the exact replay
+# command; a non-zero simrunner exit fails the whole sweep.
 #
 # Usage: tests/run_sim.sh [build-dir] [seeds]
 #   build-dir  defaults to ./build
@@ -25,6 +27,9 @@ ctest --test-dir "$BUILD_DIR" -L sim --output-on-failure
 
 echo "== ctest -L obs =="
 ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
+
+echo "== ctest -L shard =="
+ctest --test-dir "$BUILD_DIR" -L shard --output-on-failure
 
 echo "== simrunner sweep: all scenarios, seeds 1..$SEEDS =="
 SWEEP_LOG="$BUILD_DIR/sim_sweep.log"
