@@ -1,0 +1,306 @@
+// EXP-LOOP: the multi-reactor dividend. Three measurements on real
+// threads and real sockets:
+//   1. cross-loop post latency — how long a task posted from a foreign
+//      thread waits before an EpollDriver loop runs it,
+//   2. timer-wheel accuracy — how far from its requested deadline a
+//      wheel timer actually fires under a live reactor,
+//   3. RPC scaling — aggregate XDR calls/sec over loopback TCP with 1
+//      vs 4 reactor loops serving 4 listeners (the PR 6 single-mux
+//      shape vs the per-container-loop shape this PR introduces).
+//
+// Standalone binary (not google-benchmark): latency percentiles from
+// raw samples plus a multi-section JSON report.
+//
+// Usage: bench_eventloop [--post-samples N] [--timer-samples N]
+//                        [--rpc-rounds N] [--out FILE]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "loop/epoll_driver.hpp"
+#include "loop/event_loop.hpp"
+#include "transport/marshal.hpp"
+#include "transport/rpc.hpp"
+#include "transport/socknet.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using namespace h2;
+using namespace h2::net;
+
+double percentile(std::vector<Nanos>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::size_t idx = static_cast<std::size_t>(p * double(sorted.size() - 1));
+  return double(sorted[idx]) / 1e3;  // ns -> us
+}
+
+struct Percentiles {
+  std::size_t samples = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+Percentiles summarize(std::vector<Nanos> samples) {
+  std::sort(samples.begin(), samples.end());
+  return Percentiles{samples.size(), percentile(samples, 0.50),
+                     percentile(samples, 0.99)};
+}
+
+/// Latency from a foreign-thread post() to the task running on the
+/// loop's reactor thread. Sequential samples: each waits for delivery,
+/// so the queue is empty and the number is pure wakeup + handoff cost.
+Percentiles measure_post_latency(int samples) {
+  loop::EventLoop target("bench/target");
+  loop::EpollDriver driver(target);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "fatal: epoll driver failed to start\n");
+    std::exit(1);
+  }
+  WallClock wall;
+  std::vector<Nanos> latencies;
+  latencies.reserve(std::size_t(samples));
+  for (int i = 0; i < samples; ++i) {
+    std::atomic<Nanos> executed_at{-1};
+    Nanos posted_at = wall.now();
+    target.post([&executed_at, &wall] {
+      executed_at.store(wall.now(), std::memory_order_release);
+    });
+    while (executed_at.load(std::memory_order_acquire) < 0) {
+      // spin: the handoff is microseconds, a sleep would dominate it
+    }
+    latencies.push_back(executed_at.load() - posted_at);
+  }
+  driver.stop();
+  return summarize(std::move(latencies));
+}
+
+/// Absolute error between a timer's requested deadline and the moment
+/// its callback runs on the reactor thread. The wheel's tick (1ms) plus
+/// epoll_wait's ms-granularity timeout bound the expected error.
+Percentiles measure_timer_accuracy(int samples) {
+  loop::EventLoop target("bench/timers");
+  loop::EpollDriver driver(target);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "fatal: epoll driver failed to start\n");
+    std::exit(1);
+  }
+  WallClock wall;
+  const Nanos delays[] = {kMillisecond, 2 * kMillisecond, 5 * kMillisecond};
+  std::vector<Nanos> errors;
+  errors.reserve(std::size_t(samples));
+  for (int i = 0; i < samples; ++i) {
+    const Nanos delay = delays[std::size_t(i) % (sizeof delays / sizeof delays[0])];
+    std::atomic<Nanos> fired_at{-1};
+    const Nanos armed_at = wall.now();
+    (void)target.schedule(delay, [&fired_at, &wall] {
+      fired_at.store(wall.now(), std::memory_order_release);
+    });
+    while (fired_at.load(std::memory_order_acquire) < 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    Nanos error = fired_at.load() - (armed_at + delay);
+    errors.push_back(error < 0 ? -error : error);
+  }
+  driver.stop();
+  return summarize(std::move(errors));
+}
+
+struct RpcRow {
+  std::size_t reactors = 0;
+  std::size_t client_threads = 0;
+  std::size_t ports = 0;
+  std::uint64_t calls = 0;
+  double wall_seconds = 0;
+  double calls_per_sec = 0;
+};
+
+std::shared_ptr<DispatcherMux> make_scale_service() {
+  auto mux = std::make_shared<DispatcherMux>();
+  mux->add("scale", [](std::span<const Value> params) -> Result<Value> {
+    auto values = params[0].as_doubles();
+    if (!values.ok()) return values.error();
+    for (double& v : *values) v *= 2.0;
+    return Value::of_doubles(std::move(*values));
+  });
+  return mux;
+}
+
+/// Aggregate XDR calls/sec: `ports` listeners spread round-robin over
+/// `reactors` loops, `threads` clients each hammering its own port over
+/// a persistent connection. reactors=1 reproduces the single-mux PR 6
+/// server; more reactors only helps if the loops genuinely run in
+/// parallel on separate cores.
+RpcRow run_rpc_once(std::size_t reactors, std::size_t threads, std::size_t ports,
+                    int rounds_per_thread) {
+  SockNet net(SockFamily::kTcp, reactors);
+  HostId server = *net.add_host("server");
+  auto service = make_scale_service();
+
+  std::vector<ServerHandle> handles;
+  for (std::size_t p = 0; p < ports; ++p) {
+    auto handle = serve_xdr(net, server, std::uint16_t(9001 + p), service);
+    if (!handle.ok()) {
+      std::fprintf(stderr, "fatal: xdr server failed to start\n");
+      std::exit(1);
+    }
+    handles.push_back(std::move(*handle));
+  }
+
+  std::vector<Value> params{Value::of_doubles({1, 2, 3, 4, 5, 6, 7, 8})};
+  std::atomic<bool> failed{false};
+  auto client_body = [&](std::size_t index) {
+    HostId client = *net.add_host("client" + std::to_string(index));
+    auto endpoint =
+        Endpoint::parse("xdr://server:" + std::to_string(9001 + index % ports));
+    auto channel = make_xdr_channel(net, client, *endpoint);
+    for (int i = 0; i < rounds_per_thread && !failed.load(); ++i) {
+      if (!channel->invoke("scale", params).ok()) {
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  // Warmup: dial every connection and fault in the code paths once.
+  {
+    std::vector<std::thread> warm;
+    for (std::size_t t = 0; t < threads; ++t) {
+      warm.emplace_back([&, t] {
+        HostId client = *net.add_host("warm" + std::to_string(t));
+        auto endpoint =
+            Endpoint::parse("xdr://server:" + std::to_string(9001 + t % ports));
+        auto channel = make_xdr_channel(net, client, *endpoint);
+        for (int i = 0; i < 20; ++i) (void)channel->invoke("scale", params);
+      });
+    }
+    for (auto& t : warm) t.join();
+  }
+
+  WallClock wall;
+  Nanos begin = wall.now();
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) clients.emplace_back(client_body, t);
+  for (auto& t : clients) t.join();
+  Nanos elapsed = wall.now() - begin;
+  if (failed.load()) {
+    std::fprintf(stderr, "fatal: rpc call failed mid-benchmark\n");
+    std::exit(1);
+  }
+
+  RpcRow row;
+  row.reactors = net.reactor_count();
+  row.client_threads = threads;
+  row.ports = ports;
+  row.calls = std::uint64_t(threads) * std::uint64_t(rounds_per_thread);
+  row.wall_seconds = double(elapsed) / 1e9;
+  row.calls_per_sec = double(row.calls) / row.wall_seconds;
+  return row;
+}
+
+/// Best of `trials` runs. Every config gets the same trial count, so
+/// the comparison stays fair; taking the max suppresses scheduler noise
+/// from sharing cores with the host (the usual loopback-bench practice).
+RpcRow run_rpc_config(std::size_t reactors, std::size_t threads, std::size_t ports,
+                      int rounds_per_thread, int trials) {
+  RpcRow best;
+  for (int t = 0; t < trials; ++t) {
+    RpcRow row = run_rpc_once(reactors, threads, ports, rounds_per_thread);
+    if (row.calls_per_sec > best.calls_per_sec) best = row;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int post_samples = 2000;
+  int timer_samples = 150;
+  int rpc_rounds = 4000;
+  int trials = 3;
+  // The tcp/xdr singles row of BENCH_sockets.json — the PR 6 single-mux
+  // rate this PR's aggregate is judged against. Override after re-running
+  // bench_sockets on different hardware.
+  double recorded_baseline = 40868.5;
+  std::string out_path = "BENCH_eventloop.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--post-samples") == 0) post_samples = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--timer-samples") == 0) timer_samples = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--rpc-rounds") == 0) rpc_rounds = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--trials") == 0) trials = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--baseline") == 0) recorded_baseline = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  Percentiles post = measure_post_latency(post_samples);
+  std::printf("cross-loop post:  %zu samples  p50 %.1f us  p99 %.1f us\n",
+              post.samples, post.p50_us, post.p99_us);
+
+  Percentiles timer = measure_timer_accuracy(timer_samples);
+  std::printf("timer accuracy:   %zu samples  p50 err %.1f us  p99 err %.1f us\n",
+              timer.samples, timer.p50_us, timer.p99_us);
+
+  constexpr std::size_t kPorts = 4;
+  std::vector<RpcRow> rows;
+  rows.push_back(run_rpc_config(1, 1, kPorts, rpc_rounds, trials));  // PR 6 baseline shape
+  rows.push_back(run_rpc_config(1, 4, kPorts, rpc_rounds, trials));  // parallel clients, one mux
+  rows.push_back(run_rpc_config(4, 4, kPorts, rpc_rounds, trials));  // one loop per listener
+
+  std::printf("%-9s %-8s %-6s %12s %12s\n", "reactors", "clients", "ports", "calls",
+              "calls/sec");
+  for (const RpcRow& r : rows) {
+    std::printf("%-9zu %-8zu %-6zu %12llu %12.0f\n", r.reactors, r.client_threads,
+                r.ports, static_cast<unsigned long long>(r.calls), r.calls_per_sec);
+  }
+
+  // Headline: 4 reactor loops vs the single-mux single-client baseline —
+  // the number the BENCH_sockets.json tcp/xdr singles row anchors.
+  double single_rate = rows[0].calls_per_sec;
+  double multi_rate = rows[2].calls_per_sec;
+  double speedup = single_rate > 0 ? multi_rate / single_rate : 0;
+  double reactor_gain =
+      rows[1].calls_per_sec > 0 ? multi_rate / rows[1].calls_per_sec : 0;
+  double vs_recorded = recorded_baseline > 0 ? multi_rate / recorded_baseline : 0;
+  std::printf("\n4 reactors vs same-run single-mux: %.2fx aggregate "
+              "(%.2fx from reactors alone)\n",
+              speedup, reactor_gain);
+  std::printf("4 reactors vs recorded BENCH_sockets baseline (%.0f calls/s): %.2fx\n",
+              recorded_baseline, vs_recorded);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "fatal: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"eventloop\",\n");
+  std::fprintf(out,
+               "  \"cross_loop_post\": {\"samples\": %zu, \"p50_us\": %.2f, "
+               "\"p99_us\": %.2f},\n",
+               post.samples, post.p50_us, post.p99_us);
+  std::fprintf(out,
+               "  \"timer_accuracy\": {\"samples\": %zu, \"p50_error_us\": %.2f, "
+               "\"p99_error_us\": %.2f},\n",
+               timer.samples, timer.p50_us, timer.p99_us);
+  std::fprintf(out, "  \"rpc_rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RpcRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"reactors\": %zu, \"client_threads\": %zu, \"ports\": %zu, "
+                 "\"calls\": %llu, \"wall_seconds\": %.6f, \"calls_per_sec\": %.1f}%s\n",
+                 r.reactors, r.client_threads, r.ports,
+                 static_cast<unsigned long long>(r.calls), r.wall_seconds,
+                 r.calls_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"multi_reactor_vs_single_mux\": %.2f,\n", speedup);
+  std::fprintf(out, "  \"reactor_scaling_at_4_clients\": %.2f,\n", reactor_gain);
+  std::fprintf(out, "  \"recorded_baseline_calls_per_sec\": %.1f,\n", recorded_baseline);
+  std::fprintf(out, "  \"multi_reactor_vs_recorded_baseline\": %.2f\n}\n", vs_recorded);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

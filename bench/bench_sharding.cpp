@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,16 @@ using namespace h2;
 
 constexpr std::size_t kReplicas = 3;
 constexpr std::size_t kShards = 256;
+
+// Loop-posted anti-entropy; the DVM loop is eager here (no driver), so
+// the completion lands before post_anti_entropy returns.
+Result<dvm::AntiEntropyReport> run_anti_entropy(dvm::Dvm& dvm) {
+  std::optional<Result<dvm::AntiEntropyReport>> outcome;
+  dvm.post_anti_entropy(
+      [&outcome](Result<dvm::AntiEntropyReport> r) { outcome = std::move(r); });
+  if (!outcome.has_value()) return err::internal("anti-entropy never completed");
+  return std::move(*outcome);
+}
 
 struct Row {
   std::size_t nodes = 0;
@@ -96,7 +107,7 @@ Row measure(std::size_t nodes, std::size_t writes) {
                     nodes);
     row.sharded_msgs_per_write = sharded.msgs_per_write(writes);
     sharded.net.reset_stats();
-    if (!sharded.dvm->anti_entropy().ok()) {
+    if (!run_anti_entropy(*sharded.dvm).ok()) {
       std::fprintf(stderr, "anti_entropy failed at M=%zu\n", nodes);
       std::exit(1);
     }
@@ -123,10 +134,10 @@ Convergence check_convergence() {
   store.apply({"conv/0", "newer", {version->ts + 50, version->writer}, false});
   out.diverged = true;
 
-  auto report = dvm.anti_entropy();
+  auto report = run_anti_entropy(dvm);
   if (!report.ok()) return out;
   out.repaired = report->entries_repaired;
-  auto second = dvm.anti_entropy();
+  auto second = run_anti_entropy(dvm);
   out.converged_after_one_round = second.ok() && second->shards_divergent == 0;
   return out;
 }

@@ -83,6 +83,12 @@ class Container {
   net::SimNetwork& network() { return net_; }
   net::HostId host() const { return host_; }
 
+  /// The container's dispatch loop (shared with its kernel): deploy
+  /// notifications, coherency completions, and per-container timers run
+  /// here. Eager until a driver is attached.
+  loop::EventLoop& loop() { return kernel_.loop(); }
+  const loop::EventLoop& loop() const { return kernel_.loop(); }
+
   // ---- component lifecycle ---------------------------------------------------
 
   /// Deploys a new instance of `plugin_name`: instantiates it from the

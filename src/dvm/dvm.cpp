@@ -13,7 +13,8 @@ Logger& logger() {
 }  // namespace
 
 Dvm::Dvm(std::string name, std::unique_ptr<CoherencyProtocol> protocol)
-    : name_(std::move(name)), protocol_(std::move(protocol)) {}
+    : name_(std::move(name)), protocol_(std::move(protocol)),
+      loop_("dvm/" + name_) {}
 
 Dvm::~Dvm() {
   for (auto& member : members_) {
@@ -156,6 +157,28 @@ Result<std::size_t> Dvm::rejoin(std::string_view node_name) {
 }
 
 Result<std::vector<std::string>> Dvm::probe(std::string_view from_node) {
+  return probe_now(from_node);
+}
+
+void Dvm::post_probe(std::string_view from_node, ProbeCompletion done) {
+  loop_.dispatch([this, from = std::string(from_node), done = std::move(done)] {
+    auto result = probe_now(from);
+    if (done) done(std::move(result));
+  });
+}
+
+loop::TimerId Dvm::start_heartbeat(
+    Nanos period, std::function<void(const std::vector<std::string>&)> on_failures) {
+  return loop_.schedule_periodic(period, [this, on_failures = std::move(on_failures)] {
+    auto alive = alive_members();
+    if (alive.empty()) return;
+    DvmNode* prober = alive[heartbeat_rr_++ % alive.size()];
+    auto failed = probe_now(prober->name());
+    if (failed.ok() && on_failures) on_failures(*failed);
+  });
+}
+
+Result<std::vector<std::string>> Dvm::probe_now(std::string_view from_node) {
   auto index = alive_index(from_node);
   if (!index.ok()) return index.error();
   auto alive = alive_members();
@@ -274,7 +297,24 @@ Status Dvm::erase(std::string_view node_name, std::string_view key) {
   return status;
 }
 
-Result<AntiEntropyReport> Dvm::anti_entropy() {
+Result<AntiEntropyReport> Dvm::anti_entropy() { return anti_entropy_now(); }
+
+void Dvm::post_anti_entropy(AntiEntropyCompletion done) {
+  loop_.dispatch([this, done = std::move(done)] {
+    auto report = anti_entropy_now();
+    if (done) done(std::move(report));
+  });
+}
+
+loop::TimerId Dvm::start_anti_entropy(
+    Nanos period, std::function<void(const AntiEntropyReport&)> on_report) {
+  return loop_.schedule_periodic(period, [this, on_report = std::move(on_report)] {
+    auto report = anti_entropy_now();
+    if (report.ok() && on_report) on_report(*report);
+  });
+}
+
+Result<AntiEntropyReport> Dvm::anti_entropy_now() {
   auto alive = alive_members();
   if (alive.empty()) return AntiEntropyReport{};
   net::SimNetwork& net = alive.front()->network();

@@ -10,11 +10,13 @@
 // CoherencyProtocol; the DVM API is identical for all protocols.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dvm/coherency.hpp"
+#include "loop/event_loop.hpp"
 #include "obs/metrics.hpp"
 
 namespace h2::dvm {
@@ -54,10 +56,9 @@ class Dvm {
   /// be unreachable); membership state is updated on the survivors.
   Status mark_failed(std::string_view node_name);
 
-  /// Heartbeat sweep: `from_node` probes every other alive member's state
-  /// service; unreachable members are marked failed (robustness — the
-  /// original Harness goal the plugin architecture serves). Returns the
-  /// names of nodes newly declared failed.
+  /// Blocking heartbeat sweep. Superseded by post_probe() — completions
+  /// belong on the DVM loop, not the caller's stack.
+  [[deprecated("use post_probe(); blocking DVM entry points are being retired")]]
   Result<std::vector<std::string>> probe(std::string_view from_node);
 
   /// Abrupt node death: the member's container endpoints go dark
@@ -107,10 +108,45 @@ class Dvm {
   /// Deletes a global state entry.
   Status erase(std::string_view node_name, std::string_view key);
 
-  /// One anti-entropy repair pass over the alive membership (sharded
-  /// coherency; a no-op report under the broadcast protocols). The sim
-  /// harness drives this periodically and at settle time.
+  /// Blocking anti-entropy pass. Superseded by post_anti_entropy().
+  [[deprecated("use post_anti_entropy(); blocking DVM entry points are being retired")]]
   Result<AntiEntropyReport> anti_entropy();
+
+  // ---- event-loop dispatch -------------------------------------------------------
+
+  /// The DVM's dispatch loop: probe / anti-entropy completions and the
+  /// periodic membership timers run here. Eager (inline) until a driver
+  /// is attached — the sim harness attaches its SimDriver, real
+  /// deployments an EpollDriver.
+  loop::EventLoop& loop() { return loop_; }
+  const loop::EventLoop& loop() const { return loop_; }
+
+  using ProbeCompletion = std::function<void(Result<std::vector<std::string>>)>;
+  using AntiEntropyCompletion = std::function<void(Result<AntiEntropyReport>)>;
+
+  /// Loop-posted heartbeat sweep: `from_node` probes its heartbeat peers
+  /// on the DVM loop; the names of nodes newly declared failed are
+  /// delivered to `done` there. Eager mode completes before returning;
+  /// under a driver the completion runs when the loop is next pumped.
+  void post_probe(std::string_view from_node, ProbeCompletion done);
+
+  /// Loop-posted anti-entropy pass; the repair report reaches `done` on
+  /// the DVM loop (sharded coherency; a no-op report under the
+  /// broadcast protocols).
+  void post_anti_entropy(AntiEntropyCompletion done);
+
+  /// Arms a periodic heartbeat on the timer wheel: each firing probes
+  /// from the next alive member (round-robin) and reports the names of
+  /// nodes the sweep newly declared failed — usually empty — to
+  /// `on_failures`, so the owner can account for membership changes.
+  /// Cancel with loop().cancel_timer().
+  loop::TimerId start_heartbeat(
+      Nanos period,
+      std::function<void(const std::vector<std::string>&)> on_failures = {});
+
+  /// Arms periodic anti-entropy repair on the timer wheel.
+  loop::TimerId start_anti_entropy(
+      Nanos period, std::function<void(const AntiEntropyReport&)> on_report = {});
 
   /// Live shard→owners placement, or nullptr when the plugged-in protocol
   /// does not shard. The shard-routed resilient channel reads this.
@@ -162,6 +198,10 @@ class Dvm {
 
   std::vector<DvmNode*> alive_members() const;
   Result<std::size_t> alive_index(std::string_view node_name) const;
+  /// Blocking bodies behind both the deprecated entry points and the
+  /// loop-posted forms (which run them with loop affinity).
+  Result<std::vector<std::string>> probe_now(std::string_view from_node);
+  Result<AntiEntropyReport> anti_entropy_now();
   void announce(std::string_view topic, const std::string& message);
   DvmNode* lookup_alive(std::string_view node_name);
   /// Records one coherency round (h2.dvm.<name>.coherency.*): round count,
@@ -171,9 +211,11 @@ class Dvm {
 
   std::string name_;
   std::unique_ptr<CoherencyProtocol> protocol_;
+  loop::EventLoop loop_;
   std::vector<Member> members_;
   std::size_t components_ = 0;
   std::uint64_t epoch_ = 0;
+  std::size_t heartbeat_rr_ = 0;  ///< round-robin prober for start_heartbeat
   // Coherency metric handles, cached on first use (all members share one
   // SimNetwork; re-resolved if the network ever differs).
   net::SimNetwork* metrics_net_ = nullptr;

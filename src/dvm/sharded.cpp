@@ -91,21 +91,43 @@ class ShardedCoherency final : public CoherencyProtocol {
                             std::string_view key) override {
     ensure(members);
     DvmNode* origin_node = members[origin];
+    bind_metrics(*origin_node);
     const std::size_t shard = map_.shard_of(key);
-    if (map_.is_owner(shard, origin_node->name())) {
+    const bool origin_owns = map_.is_owner(shard, origin_node->name());
+    if (origin_owns) {
+      // Fast path: an owner serving its own copy answers locally with no
+      // wire traffic. A *stale* (older-version) local hit is invisible
+      // here by design — detecting it would cost a remote round per read;
+      // anti-entropy bounds that window instead.
       if (auto value = origin_node->state().get(key); value.has_value()) {
         return *value;
       }
     }
-    std::optional<Result<std::string>> hard_failure;
+    // Slow path: walk the other owners with versioned reads. Owners that
+    // answer not-found while a later owner holds the key are stale — a
+    // rejoin/handoff gap — and get an immediate per-key repair scheduled
+    // on their container loop (the dispatch is inline until a driver is
+    // attached, queued under one).
+    std::optional<Error> hard_failure;
+    std::vector<DvmNode*> stale;
     for (const std::string& owner : map_.owners(shard)) {
       DvmNode* target = find_member(members, owner);
       if (target == nullptr || target == origin_node) continue;
-      auto value = origin_node->remote_get(*target, key);
-      if (value.ok()) return value;
-      if (value.error().code() != ErrorCode::kNotFound) {
-        hard_failure = std::move(value);  // replica unreachable ≠ key absent
+      auto entry = origin_node->remote_vget(*target, key);
+      if (!entry.ok()) {
+        if (entry.error().code() == ErrorCode::kNotFound) {
+          stale.push_back(target);  // reachable but missing the key
+        } else {
+          hard_failure = entry.error();  // replica unreachable ≠ key absent
+        }
+        continue;
       }
+      if (entry->deleted) continue;  // tombstone: the key is gone here
+      if (origin_owns) stale.push_back(origin_node);  // local miss, remote hit
+      for (DvmNode* node : stale) {
+        schedule_read_repair(*node, *entry);
+      }
+      return entry->value;
     }
     if (hard_failure.has_value()) return *hard_failure;
     return err::not_found("state: no key '" + std::string(key) +
@@ -219,6 +241,17 @@ class ShardedCoherency final : public CoherencyProtocol {
     map_.rebuild(names);
   }
 
+  /// Read-repair: the stale owner's loop applies the winning entry with
+  /// loop affinity (inline in eager mode, on the next pump under a
+  /// driver). LWW apply keeps it safe against a racing newer write.
+  void schedule_read_repair(DvmNode& stale_owner, const VersionedEntry& entry) {
+    obs::Counter* repairs = c_read_repairs_;
+    StateStore* store = &stale_owner.state();
+    stale_owner.container().loop().dispatch([store, entry, repairs] {
+      if (store->apply(entry) && repairs != nullptr) repairs->add();
+    });
+  }
+
   void bind_metrics(DvmNode& any_member) {
     net::SimNetwork& net = any_member.network();
     if (metrics_net_ == &net) return;
@@ -229,6 +262,7 @@ class ShardedCoherency final : public CoherencyProtocol {
     c_ae_divergent_ = &net.metrics().counter("h2.dvm.shard.ae_shards_divergent");
     c_ae_repaired_ = &net.metrics().counter("h2.dvm.shard.ae_entries_repaired");
     c_handoff_ = &net.metrics().counter("h2.dvm.shard.handoff_entries");
+    c_read_repairs_ = &net.metrics().counter("h2.dvm.shard.read_repairs");
   }
 
   Status write_one(std::span<DvmNode* const> members, std::size_t origin,
@@ -319,6 +353,7 @@ class ShardedCoherency final : public CoherencyProtocol {
   obs::Counter* c_ae_divergent_ = nullptr;
   obs::Counter* c_ae_repaired_ = nullptr;
   obs::Counter* c_handoff_ = nullptr;
+  obs::Counter* c_read_repairs_ = nullptr;
 };
 
 }  // namespace

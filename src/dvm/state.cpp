@@ -40,6 +40,19 @@ std::optional<Version> StateStore::version_of(std::string_view key) const {
   return it->second.version;
 }
 
+std::optional<VersionedEntry> StateStore::ventry(std::string_view key) const {
+  auto it = versions_.find(key);
+  if (it == versions_.end()) return std::nullopt;
+  VersionedEntry entry;
+  entry.key = std::string(key);
+  entry.version = it->second.version;
+  entry.deleted = it->second.deleted;
+  if (!entry.deleted) {
+    if (auto value = map_.find(key); value != map_.end()) entry.value = value->second;
+  }
+  return entry;
+}
+
 std::vector<VersionedEntry> StateStore::shard_snapshot(std::size_t shard,
                                                        std::size_t shard_count) const {
   std::vector<VersionedEntry> out;
@@ -189,6 +202,18 @@ std::shared_ptr<net::DispatcherMux> make_state_service(
                                  static_cast<std::uint64_t>(*writer)},
                          *deleted};
     return Value::of_bool(state->apply(entry), "applied");
+  });
+  service->add("vget", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 1) return err::invalid_argument("vget(key)");
+    auto key = params[0].as_string();
+    if (!key.ok()) return key.error();
+    auto entry = state->ventry(*key);
+    if (!entry.has_value()) {
+      return err::not_found("state: no versioned key '" + *key + "'");
+    }
+    // Single-entry shard blob: reuses the pull codec (version + tombstone
+    // metadata travel with the value).
+    return Value::of_string(encode_entries({&*entry, 1}), "entry");
   });
   service->add("wset", [state, self_writer](std::span<const Value> params) -> Result<Value> {
     if (params.size() != 2) return err::invalid_argument("wset(key, value)");
@@ -403,6 +428,21 @@ Result<bool> DvmNode::remote_vset(DvmNode& target, const VersionedEntry& entry) 
   auto result = invoke_on(target, "vset", item.params);
   if (!result.ok()) return result.error();
   return result->as_bool();
+}
+
+Result<VersionedEntry> DvmNode::remote_vget(DvmNode& target, std::string_view key) {
+  std::vector<Value> params{Value::of_string(std::string(key), "key")};
+  auto result = invoke_on(target, "vget", params);
+  if (!result.ok()) return result.error();
+  auto blob = result->as_string();
+  if (!blob.ok()) return blob.error();
+  auto entries = decode_entries(*blob);
+  if (!entries.ok()) return entries.error();
+  if (entries->size() != 1) {
+    return err::parse("vget: expected one entry, got " +
+                      std::to_string(entries->size()));
+  }
+  return std::move(entries->front());
 }
 
 Status DvmNode::remote_vset_batch(DvmNode& target,

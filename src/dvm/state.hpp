@@ -95,6 +95,10 @@ class StateStore {
                            std::uint64_t writer, bool deleted = false);
 
   std::optional<Version> version_of(std::string_view key) const;
+  /// Full versioned record of one key (tombstones included), or nullopt
+  /// when the key was never versioned here — the unit `vget` serves and
+  /// the read-repair path applies.
+  std::optional<VersionedEntry> ventry(std::string_view key) const;
   std::uint64_t clock() const { return clock_; }
 
   /// Every versioned entry of one shard (tombstones included), key-sorted —
@@ -122,8 +126,9 @@ Result<std::vector<VersionedEntry>> decode_entries(std::string_view blob);
 
 /// Builds the state service dispatcher over `store`: the classic
 /// set/get/ping/del plus the sharded-mode surface — vset (LWW delta),
-/// wset (server-assigned version, stamped with `self_writer`), digest and
-/// pull. Factored out of DvmNode so tests can serve the same service over
+/// vget (versioned read), wset (server-assigned version, stamped with
+/// `self_writer`), digest and pull. Factored out of DvmNode so tests can
+/// serve the same service over
 /// any Transport (the sim/tcp/uds-parametrized anti-entropy suite).
 std::shared_ptr<net::DispatcherMux> make_state_service(
     std::shared_ptr<StateStore> store, std::uint64_t self_writer);
@@ -184,6 +189,9 @@ class DvmNode {
   /// Versioned LWW delta to a peer (sharded mode). Returns whether the
   /// peer applied it (false: the peer already held something newer).
   Result<bool> remote_vset(DvmNode& target, const VersionedEntry& entry);
+  /// Versioned read from a peer (sharded mode): the full entry including
+  /// version and tombstone flag — what the read-repair path compares.
+  Result<VersionedEntry> remote_vget(DvmNode& target, std::string_view key);
   /// All of `entries` LWW-applied on a peer in ONE wire message.
   Status remote_vset_batch(DvmNode& target, std::span<const VersionedEntry> entries);
   /// Channel to a peer's state service, from this node's vantage — the

@@ -1,6 +1,10 @@
-// Topic-based synchronous event bus: the "general event management"
-// service plugins leverage from each other (Fig 2). Handlers run inline
-// on the publisher's thread; the bus is thread-safe.
+// Topic-based event bus: the "general event management" service plugins
+// leverage from each other (Fig 2). Delivery goes through the owning
+// kernel's EventLoop (`bind_loop`): with no driver attached the loop
+// dispatches inline on the publisher's thread (the original synchronous
+// behavior); under a driver, publishes from off the loop thread are
+// posted so handlers always run with loop affinity. The bus is
+// thread-safe either way.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +15,10 @@
 #include <vector>
 
 #include "encoding/value.hpp"
+
+namespace h2::loop {
+class EventLoop;
+}
 
 namespace h2::kernel {
 
@@ -73,8 +81,15 @@ class EventBus {
   [[deprecated("use Subscription::reset() on the handle from subscribe()")]]
   bool unsubscribe(SubscriptionId id) { return remove(id); }
 
+  /// Binds delivery to `loop` (nullptr reverts to inline delivery).
+  /// Kernel binds its own loop at construction.
+  void bind_loop(loop::EventLoop* loop);
+  loop::EventLoop* bound_loop() const;
+
   /// Delivers `payload` to every handler of `topic`, in subscription
-  /// order. Returns the number of handlers invoked.
+  /// order, via the bound loop's dispatch (inline when no loop or no
+  /// driver is attached). Returns the number of handlers that will be
+  /// invoked — the subscriber snapshot taken at publish time.
   std::size_t publish(std::string_view topic, const Value& payload);
 
   std::size_t subscriber_count(std::string_view topic) const;
@@ -91,6 +106,7 @@ class EventBus {
   mutable std::mutex mu_;
   std::map<std::string, std::vector<Entry>, std::less<>> topics_;
   SubscriptionId next_id_ = 1;
+  loop::EventLoop* loop_ = nullptr;
 };
 
 }  // namespace h2::kernel

@@ -13,7 +13,10 @@ Logger& logger() {
 
 Kernel::Kernel(std::string name, const PluginRepository& repo, net::SimNetwork& net,
                net::HostId host)
-    : name_(std::move(name)), repo_(repo), net_(net), host_(host) {}
+    : name_(std::move(name)), repo_(repo), net_(net), host_(host),
+      loop_("kernel/" + name_) {
+  events_.bind_loop(&loop_);
+}
 
 Kernel::~Kernel() {
   for (auto& [name, entry] : plugins_) entry.plugin->shutdown();

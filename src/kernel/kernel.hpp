@@ -12,6 +12,7 @@
 
 #include "kernel/event_bus.hpp"
 #include "kernel/plugin.hpp"
+#include "loop/event_loop.hpp"
 #include "transport/simnet.hpp"
 
 namespace h2::kernel {
@@ -83,6 +84,13 @@ class Kernel {
 
   EventBus& events() { return events_; }
 
+  /// The kernel's dispatch loop. Event-bus deliveries, plugin timers,
+  /// and DVM completions targeting this kernel run through it. Eager
+  /// (inline, synchronous) until a driver is attached — the sim harness
+  /// attaches a SimDriver, real deployments an EpollDriver.
+  loop::EventLoop& loop() { return loop_; }
+  const loop::EventLoop& loop() const { return loop_; }
+
   // ---- observability ---------------------------------------------------------
 
   /// When off, call() skips metric and span recording entirely — the
@@ -106,6 +114,7 @@ class Kernel {
   const PluginRepository& repo_;
   net::SimNetwork& net_;
   net::HostId host_;
+  loop::EventLoop loop_;
   EventBus events_;
   bool instrument_ = true;
   // map keeps unload order irrelevant; shutdown() is called in unload/dtor.

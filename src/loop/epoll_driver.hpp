@@ -1,0 +1,65 @@
+// EpollDriver — runs one EventLoop on its own OS thread: epoll for fd
+// readiness, an eventfd for cross-thread wakeups (post/schedule/stop),
+// and the loop's timer-wheel deadline as the wait timeout. An optional
+// shared ThreadPool serves EventLoop::offload() so plugin work never
+// blocks the reactor.
+//
+// Lifecycle: the constructor attaches to the loop and starts the
+// thread; stop() (or the destructor) signals it, joins, runs one final
+// drain so run_sync() waiters posted before the stop complete, and
+// detaches — the loop reverts to eager mode with its state intact.
+// Shut down the loop's clients (muxes, timers) before stopping the
+// driver; a post() that races a completed stop() runs at the next
+// eager drain instead of being lost.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "loop/event_loop.hpp"
+
+namespace h2 {
+class ThreadPool;
+}
+
+namespace h2::loop {
+
+class EpollDriver final : public Driver {
+ public:
+  /// Attaches to `loop` and starts the reactor thread. `pool` (may be
+  /// nullptr) is borrowed for offload() work and must outlive stop().
+  explicit EpollDriver(EventLoop& loop, ThreadPool* pool = nullptr);
+  ~EpollDriver() override;
+
+  EpollDriver(const EpollDriver&) = delete;
+  EpollDriver& operator=(const EpollDriver&) = delete;
+
+  /// False when epoll/eventfd setup failed; the loop stays eager.
+  bool ok() const { return epoll_fd_ >= 0; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops and joins the reactor thread, detaches the loop. Idempotent.
+  void stop();
+
+  // --- Driver ---
+  void wake() override;
+  Nanos now() const override { return wall_.now(); }
+  bool threaded() const override { return true; }
+  Status fd_add(int fd, unsigned interest) override;
+  void fd_remove(int fd) override;
+  ThreadPool* worker_pool() override { return pool_; }
+
+ private:
+  void run();
+
+  EventLoop& loop_;
+  ThreadPool* pool_;
+  WallClock wall_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace h2::loop

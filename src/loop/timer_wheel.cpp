@@ -1,0 +1,128 @@
+#include "loop/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace h2::loop {
+
+namespace {
+
+Nanos saturating_add(Nanos a, Nanos b) {
+  if (b > 0 && a > std::numeric_limits<Nanos>::max() - b) {
+    return std::numeric_limits<Nanos>::max();
+  }
+  return a + b;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(Nanos tick, std::size_t slots)
+    : tick_(tick > 0 ? tick : kMillisecond),
+      slots_(slots > 0 ? slots : 256) {}
+
+void TimerWheel::hang(TimerId id, Nanos deadline) {
+  slots_[tick_of(deadline) % slots_.size()].push_back(id);
+}
+
+TimerId TimerWheel::add(Nanos now, Nanos delay, TimerTask task, Nanos period) {
+  if (!started_) {
+    cursor_ = tick_of(now);
+    started_ = true;
+  }
+  Nanos deadline = saturating_add(now, std::max<Nanos>(delay, 0));
+  // A caller's `now` must never land a timer in a tick the cursor has
+  // already passed (it would wait a full rotation); clamp forward.
+  if (tick_of(deadline) < cursor_) {
+    deadline = static_cast<Nanos>(cursor_) * tick_;
+  }
+  TimerId id = next_id_++;
+  entries_.emplace(id, Entry{deadline, std::max<Nanos>(period, 0), std::move(task)});
+  deadlines_.insert(deadline);
+  hang(id, deadline);
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  deadlines_.erase(deadlines_.find(it->second.deadline));
+  entries_.erase(it);  // the slot keeps a stale id; collections drop it lazily
+  return true;
+}
+
+void TimerWheel::collect_bucket(std::size_t slot, std::uint64_t tick,
+                                bool full_sweep, Nanos now,
+                                std::vector<Due>& out) {
+  auto& bucket = slots_[slot];
+  std::size_t keep = 0;
+  // Indexed loop: a periodic re-hang may push_back into this very
+  // bucket; the appended entry's deadline is > now, so it is kept.
+  for (std::size_t r = 0; r < bucket.size(); ++r) {
+    TimerId id = bucket[r];
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // cancelled: drop the stale id
+    Entry& entry = it->second;
+    bool due = entry.deadline <= now &&
+               (full_sweep || tick_of(entry.deadline) == tick);
+    if (!due) {
+      bucket[keep++] = id;  // future rotation of this slot
+      continue;
+    }
+    deadlines_.erase(deadlines_.find(entry.deadline));
+    if (entry.period > 0) {
+      out.push_back({id, entry.deadline, entry.task});
+      Nanos next = entry.deadline;
+      for (;;) {
+        next = saturating_add(next, entry.period);
+        if (next > now) break;
+        out.push_back({id, next, entry.task});  // catch-up: one per missed period
+      }
+      entry.deadline = next;
+      deadlines_.insert(next);
+      hang(id, next);
+    } else {
+      out.push_back({id, entry.deadline, std::move(entry.task)});
+      entries_.erase(it);
+    }
+  }
+  bucket.resize(keep);
+}
+
+std::size_t TimerWheel::collect_due(Nanos now, std::vector<Due>& out) {
+  if (!started_) {
+    cursor_ = tick_of(now);
+    started_ = true;
+    return 0;
+  }
+  std::uint64_t now_tick = tick_of(now);
+  if (entries_.empty()) {
+    cursor_ = std::max(cursor_, now_tick);
+    return 0;
+  }
+  if (now_tick < cursor_) return 0;
+  std::size_t before = out.size();
+  const std::size_t n = slots_.size();
+  if (now_tick - cursor_ >= n) {
+    // The whole wheel rotated at least once since the last collection:
+    // visit each slot exactly once instead of every elapsed tick.
+    for (std::size_t s = 0; s < n; ++s) {
+      collect_bucket(s, 0, /*full_sweep=*/true, now, out);
+    }
+    cursor_ = now_tick;
+  } else {
+    while (cursor_ < now_tick) {
+      collect_bucket(cursor_ % n, cursor_, false, now, out);
+      ++cursor_;
+    }
+    // The current tick is collected but not passed: a sub-tick deadline
+    // later in this same tick must still fire from a later collection.
+    collect_bucket(now_tick % n, now_tick, false, now, out);
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const Due& a, const Due& b) {
+              return a.deadline != b.deadline ? a.deadline < b.deadline
+                                              : a.id < b.id;
+            });
+  return out.size() - before;
+}
+
+}  // namespace h2::loop

@@ -1,0 +1,92 @@
+// Hashed timing wheel backing EventLoop::schedule(). Timers hang in
+// slots_[deadline_tick % slots]; firing walks only the ticks that
+// elapsed since the last collection, so a collection is O(elapsed
+// ticks + fired) rather than O(all timers). A jump larger than one
+// rotation (virtual-clock skew can leap years) degrades gracefully to
+// a single full sweep of the wheel instead of walking every tick.
+//
+// Determinism: collect_due() returns timers sorted by (deadline, id) —
+// two timers due in the same collection always fire in that order, so
+// the sim harness replays byte-identical schedules. Periodic timers
+// that fall behind fire once per missed period (catch-up entries are
+// emitted inline, still in global deadline order after the sort).
+//
+// Not thread-safe: EventLoop serializes access under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace h2::loop {
+
+using TimerId = std::uint64_t;
+using TimerTask = std::function<void()>;
+
+/// Sentinel returned by next_deadline() when no timer is armed.
+constexpr Nanos kNoDeadline = std::numeric_limits<Nanos>::max();
+
+class TimerWheel {
+ public:
+  /// `tick` is the wheel granularity (slot width); deadlines keep full
+  /// nanosecond precision — the tick only bounds how much bucket
+  /// walking a collection does.
+  explicit TimerWheel(Nanos tick = kMillisecond, std::size_t slots = 256);
+
+  /// Arms a timer `delay` from `now` (delay <= 0 fires at the next
+  /// collection). `period` > 0 makes it periodic: after each firing it
+  /// re-arms at deadline + period.
+  TimerId add(Nanos now, Nanos delay, TimerTask task, Nanos period = 0);
+
+  /// Disarms; false if the id is unknown or already fired.
+  bool cancel(TimerId id);
+
+  /// A timer that became due in a collection. `task` is a copy for
+  /// periodic timers (the armed entry keeps its own) and the moved-out
+  /// original for one-shots.
+  struct Due {
+    TimerId id;
+    Nanos deadline;
+    TimerTask task;
+  };
+
+  /// Moves every timer with deadline <= now into `out`, sorted by
+  /// (deadline, id); periodic timers are re-armed. Returns the count.
+  std::size_t collect_due(Nanos now, std::vector<Due>& out);
+
+  /// Earliest armed deadline, or kNoDeadline.
+  Nanos next_deadline() const {
+    return deadlines_.empty() ? kNoDeadline : *deadlines_.begin();
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Nanos deadline;
+    Nanos period;  // 0 = one-shot
+    TimerTask task;
+  };
+
+  std::uint64_t tick_of(Nanos t) const {
+    return static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(tick_);
+  }
+  void hang(TimerId id, Nanos deadline);
+  void collect_bucket(std::size_t slot, std::uint64_t tick, bool full_sweep,
+                      Nanos now, std::vector<Due>& out);
+
+  Nanos tick_;
+  std::vector<std::vector<TimerId>> slots_;
+  std::map<TimerId, Entry> entries_;
+  std::multiset<Nanos> deadlines_;  // mirror of armed deadlines for next_deadline()
+  TimerId next_id_ = 1;
+  std::uint64_t cursor_ = 0;  // first tick not yet fully collected
+  bool started_ = false;      // cursor_ lazily pinned to the first add/collect
+};
+
+}  // namespace h2::loop

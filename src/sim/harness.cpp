@@ -1,6 +1,7 @@
 #include "sim/harness.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "plugins/standard.hpp"
 #include "resilience/failover.hpp"
@@ -141,7 +142,54 @@ Status SimHarness::setup() {
                   "counter replicas on " + std::to_string(config_.nodes) +
                       " nodes" + (config_.disable_dedup ? " (dedup OFF)" : ""));
   }
+
+  if (config_.loop_driver) {
+    // Attach after enrolment so setup traffic matches the eager schedule.
+    // Registration order (DVM loop, then containers by index) is the
+    // deterministic service order for the whole run.
+    loop_driver_ = std::make_unique<loop::SimDriver>(net_.clock());
+    loop_driver_->add_loop(dvm_->loop());
+    for (auto& container : containers_) loop_driver_->add_loop(container->loop());
+    if (config_.heartbeat_period > 0) {
+      dvm_->start_heartbeat(config_.heartbeat_period,
+                            [this](const std::vector<std::string>& failed) {
+                              ++heartbeat_fires_;
+                              note_failures(failed);
+                              trace_.record(net_.clock().now(), "heartbeat",
+                                            "timer sweep found " +
+                                                std::to_string(failed.size()) +
+                                                " failed");
+                            });
+    }
+    if (config_.anti_entropy_period > 0) {
+      dvm_->start_anti_entropy(
+          config_.anti_entropy_period, [this](const dvm::AntiEntropyReport& report) {
+            ++anti_entropy_fires_;
+            trace_.record(net_.clock().now(), "anti-entropy",
+                          "timer divergent=" + std::to_string(report.shards_divergent) +
+                              " repaired=" + std::to_string(report.entries_repaired));
+          });
+    }
+    trace_.record(net_.clock().now(), "loop-driver",
+                  "sim driver over " + std::to_string(loop_driver_->loop_count()) +
+                      " loops");
+  }
   return Status::success();
+}
+
+void SimHarness::pump_loops() {
+  if (loop_driver_ != nullptr) (void)loop_driver_->run_ready();
+}
+
+Result<dvm::AntiEntropyReport> SimHarness::run_anti_entropy() {
+  auto outcome = std::make_shared<std::optional<Result<dvm::AntiEntropyReport>>>();
+  dvm_->post_anti_entropy(
+      [outcome](Result<dvm::AntiEntropyReport> report) { *outcome = std::move(report); });
+  pump_loops();
+  if (!outcome->has_value()) {
+    return err::internal("sim: anti-entropy completion never delivered");
+  }
+  return std::move(**outcome);
 }
 
 void SimHarness::install_chaos() {
@@ -397,7 +445,16 @@ Status SimHarness::run_op(std::size_t step) {
   }
   if ((roll -= w.probe) < 0) {
     std::string prober = random_alive_node();
-    auto failed = dvm_->probe(prober);
+    auto outcome =
+        std::make_shared<std::optional<Result<std::vector<std::string>>>>();
+    dvm_->post_probe(prober, [outcome](Result<std::vector<std::string>> r) {
+      *outcome = std::move(r);
+    });
+    pump_loops();  // eager mode already completed inline
+    if (!outcome->has_value()) {
+      return err::internal("sim: probe completion never delivered");
+    }
+    auto& failed = **outcome;
     if (!failed.ok()) return failed.error();
     note_failures(*failed);
     trace_.record(now, "probe",
@@ -497,6 +554,7 @@ Status SimHarness::settle_and_check(std::size_t step) {
   }
   partitions_.clear();
   std::size_t delivered = net_.pump();
+  pump_loops();  // queued bus deliveries / completions land before checks
   trace_.record(net_.clock().now(), "settle",
                 "step=" + std::to_string(step) + " drained=" + std::to_string(delivered));
 
@@ -568,7 +626,7 @@ Status SimHarness::settle_and_check(std::size_t step) {
     // Converge the replicas before judging them: with the network healed a
     // full anti-entropy pass must leave every owner set byte-equal (except
     // where a planted bug skips a shard — which the invariants then catch).
-    auto report = dvm_->anti_entropy();
+    auto report = run_anti_entropy();
     if (!report.ok()) {
       return violation(step, "settle-anti-entropy", report.error());
     }
@@ -615,12 +673,21 @@ Result<RunReport> SimHarness::run() {
     }
     if (auto status = apply_random_faults(step); !status.ok()) return status.error();
     if (auto status = run_op(step); !status.ok()) return status.error();
+    if (loop_driver_ != nullptr) {
+      // Queued mode: advance virtual time so wheel timers (heartbeat,
+      // anti-entropy) fire, then run everything they triggered.
+      if (config_.step_time > 0) {
+        (void)loop_driver_->advance(config_.step_time);
+      } else {
+        pump_loops();
+      }
+    }
     if (config_.protocol == SimConfig::Protocol::kSharded &&
         config_.anti_entropy_every > 0 &&
         (step + 1) % config_.anti_entropy_every == 0) {
       // Mid-run repair under live chaos; unreachable replicas are simply
       // skipped this round (tolerated exchange failures).
-      auto report = dvm_->anti_entropy();
+      auto report = run_anti_entropy();
       trace_.record(net_.clock().now(), "anti-entropy",
                     !report.ok()
                         ? "FAILED"

@@ -18,6 +18,7 @@
 
 #include "container/container.hpp"
 #include "dvm/dvm.hpp"
+#include "loop/sim_driver.hpp"
 #include "sim/fault_plan.hpp"
 #include "sim/trace.hpp"
 #include "transport/batch.hpp"
@@ -55,6 +56,18 @@ struct SimConfig {
   dvm::ShardConfig shard;
   /// Periodic anti-entropy cadence in steps (kSharded; 0 = settle-only).
   std::size_t anti_entropy_every = 0;
+
+  /// Attach a loop::SimDriver: the DVM and every container loop run in
+  /// queued mode, pumped deterministically between ops. Off by default —
+  /// eager loops reproduce the pre-driver schedules byte-identically.
+  bool loop_driver = false;
+  /// Virtual time the clock advances per step under the driver (fires
+  /// due wheel timers along the way). 0 = no per-step advance.
+  Nanos step_time = 0;
+  /// Arm Dvm::start_heartbeat at this period (loop_driver only; 0 = off).
+  Nanos heartbeat_period = 0;
+  /// Arm Dvm::start_anti_entropy at this period (loop_driver only; 0 = off).
+  Nanos anti_entropy_period = 0;
 
   /// TEST ONLY: plug the deliberately broken full-synchrony protocol so a
   /// scenario can prove its invariants catch real coherency bugs.
@@ -135,6 +148,11 @@ class SimHarness {
   const RpcStats& rpc_stats() const { return rpc_stats_; }
   const std::string& last_rpc_error() const { return last_rpc_error_; }
   std::uint64_t membership_events() const { return membership_events_; }
+  /// The deterministic loop driver, or nullptr (eager mode).
+  loop::SimDriver* loop_driver() { return loop_driver_.get(); }
+  /// Timer-driven sweeps observed via start_heartbeat / start_anti_entropy.
+  std::uint64_t heartbeat_fires() const { return heartbeat_fires_; }
+  std::uint64_t anti_entropy_fires() const { return anti_entropy_fires_; }
   const EventTrace& trace() const { return trace_; }
   const SimConfig& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }
@@ -151,6 +169,12 @@ class SimHarness {
   Status apply_random_faults(std::size_t step);
   Status run_op(std::size_t step);
   Status settle_and_check(std::size_t step);
+  /// Runs every registered loop to quiescence (no-op in eager mode, where
+  /// posted work already ran inline).
+  void pump_loops();
+  /// Loop-posted anti-entropy pass: post_anti_entropy + pump, returning
+  /// the completion's report.
+  Result<dvm::AntiEntropyReport> run_anti_entropy();
   Error violation(std::size_t step, const std::string& what, const Error& cause);
   void prune_ledger_for_dead_node(const std::string& node);
   void note_failures(const std::vector<std::string>& failed);
@@ -162,6 +186,11 @@ class SimHarness {
   kernel::PluginRepository repo_;
   std::vector<std::unique_ptr<container::Container>> containers_;
   std::unique_ptr<dvm::Dvm> dvm_;
+  /// Owns queued-mode stepping when config_.loop_driver is set. Declared
+  /// after the loop owners so it detaches before they destruct.
+  std::unique_ptr<loop::SimDriver> loop_driver_;
+  std::uint64_t heartbeat_fires_ = 0;
+  std::uint64_t anti_entropy_fires_ = 0;
   std::vector<std::unique_ptr<Invariant>> invariants_;
   EventTrace trace_;
 

@@ -162,6 +162,41 @@ class MetricsConsistency final : public Invariant {
   }
 };
 
+/// No-lost-events: checked after the settle pump, when every loop must be
+/// quiescent. `pending` catches stuck queues (a task enqueued but never
+/// drained); `posted == executed` catches the accounting variant — a
+/// cross-loop post that was consumed without running or ran twice.
+class NoLostEvents final : public Invariant {
+ public:
+  const char* name() const override { return "no-lost-events"; }
+
+  Status check(SimHarness& harness) override {
+    auto inspect = [](const loop::EventLoop& loop) -> Status {
+      const loop::LoopStats stats = loop.stats();
+      if (stats.pending != 0) {
+        return err::internal("loop '" + std::string(loop.name()) + "' still has " +
+                             std::to_string(stats.pending) +
+                             " queued tasks after the settle pump");
+      }
+      if (stats.posted != stats.executed) {
+        return err::internal("loop '" + std::string(loop.name()) + "' posted " +
+                             std::to_string(stats.posted) + " tasks but executed " +
+                             std::to_string(stats.executed));
+      }
+      return Status::success();
+    };
+    if (auto status = inspect(harness.dvm().loop()); !status.ok()) return status;
+    for (const std::string& name : harness.dvm().node_names()) {
+      auto member = harness.dvm().member(name);
+      if (!member.ok()) continue;
+      if (auto status = inspect(member->container().loop()); !status.ok()) {
+        return status;
+      }
+    }
+    return Status::success();
+  }
+};
+
 /// At-most-once for the resilient RPC workload: ask every alive counter
 /// replica (through its own container's local binding — no network, so the
 /// check itself cannot be disturbed by chaos) how many duplicate logical
@@ -381,6 +416,9 @@ std::unique_ptr<Invariant> make_monotonic_epoch() {
 std::unique_ptr<Invariant> make_metrics_consistency() {
   return std::make_unique<MetricsConsistency>();
 }
+std::unique_ptr<Invariant> make_no_lost_events() {
+  return std::make_unique<NoLostEvents>();
+}
 std::unique_ptr<Invariant> make_rpc_at_most_once() {
   return std::make_unique<RpcAtMostOnce>();
 }
@@ -406,6 +444,7 @@ Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "registry-consistency") return make_registry_consistency();
   if (name == "monotonic-epoch") return make_monotonic_epoch();
   if (name == "metrics-consistency") return make_metrics_consistency();
+  if (name == "no-lost-events") return make_no_lost_events();
   if (name == "rpc-at-most-once") return make_rpc_at_most_once();
   if (name == "rpc-timeout-only") return make_rpc_timeout_only();
   if (name == "rpc-availability") return make_rpc_availability();

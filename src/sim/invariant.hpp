@@ -49,6 +49,12 @@ std::unique_ptr<Invariant> make_monotonic_epoch();
 /// that bumps one but not the other.
 std::unique_ptr<Invariant> make_metrics_consistency();
 
+/// No lost events: at a settle point (all loops pumped to quiescence)
+/// every event loop in the cluster — the DVM's and each alive member's —
+/// has an empty queue and has executed exactly as many tasks as were
+/// posted. A gap means a cross-loop post was dropped or double-counted.
+std::unique_ptr<Invariant> make_no_lost_events();
+
 /// At-most-once: no counter replica has ever executed the same logical
 /// add() twice. Retries, network duplicates and failovers all funnel
 /// through the idempotency machinery; a nonzero `dups` reading on any

@@ -291,6 +291,58 @@ ScenarioDef shard_ae_skip() {
   return def;
 }
 
+ScenarioDef loop_storm() {
+  ScenarioDef def;
+  def.name = "loop-storm";
+  def.description =
+      "full-synchrony DVM with every loop in queued mode under a "
+      "SimDriver: probes and bus events cross loops as posted tasks, "
+      "heartbeat and anti-entropy ride the timer wheel, and after every "
+      "settle pump no loop may hold an undelivered event";
+  def.config.scenario = def.name;
+  def.config.nodes = 4;
+  def.config.steps = 120;
+  def.config.check_every = 20;
+  def.config.loop_driver = true;
+  def.config.step_time = 2 * kMillisecond;
+  def.config.heartbeat_period = 9 * kMillisecond;
+  def.config.plan.chaos({.drop_p = 0.02, .dup_p = 0.04, .delay_p = 0.08})
+      .random({.partition_p = 0.03, .heal_p = 0.15});
+  def.invariants = all_invariants();
+  def.invariants.push_back("no-lost-events");
+  return def;
+}
+
+ScenarioDef shard_read_repair() {
+  ScenarioDef def;
+  def.name = "shard-read-repair";
+  def.description =
+      "sharded DVM, read-heavy under write-drop chaos: owners that missed "
+      "a write get per-key repairs scheduled on their loops by the read "
+      "path, wheel-timed anti-entropy catches the rest, and replica sets "
+      "are byte-equal at every settle point";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 150;
+  def.config.check_every = 25;
+  def.config.key_space = 10;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  def.config.shard = {.shards = 16, .replicas = 3, .vnodes = 8};
+  def.config.loop_driver = true;
+  def.config.step_time = 2 * kMillisecond;
+  def.config.anti_entropy_period = 40 * kMillisecond;
+  // Read-heavy, lossy writes: dropped vset legs create exactly the
+  // stale-owner windows the read-repair path must close.
+  def.config.weights.set = 0.30;
+  def.config.weights.get = 0.45;
+  def.config.weights.erase = 0.02;
+  def.config.weights.probe = 0.05;
+  def.config.plan.chaos({.drop_p = 0.10, .dup_p = 0.04, .delay_p = 0.08});
+  def.invariants = shard_invariants();
+  def.invariants.push_back("no-lost-events");
+  return def;
+}
+
 }  // namespace
 
 const std::vector<ScenarioDef>& scenarios() {
@@ -298,7 +350,8 @@ const std::vector<ScenarioDef>& scenarios() {
       coherency_storm(), failover(),           churn(),
       mesh_skew(),       retry_storm(),        batch_storm(),
       failover_cascade(), planted_bug(),       retry_storm_nodedup(),
-      shard_partition_heal(), shard_churn(),   shard_ae_skip()};
+      shard_partition_heal(), shard_churn(),   shard_ae_skip(),
+      loop_storm(),      shard_read_repair()};
   return table;
 }
 

@@ -1,7 +1,6 @@
 #include "transport/mux.hpp"
 
 #include <cerrno>
-#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -38,60 +37,96 @@ Result<std::optional<std::span<const std::uint8_t>>> FrameAssembler::next() {
   return std::optional(data.subspan(0, *size));
 }
 
-ConnMux::ConnMux(ByteBufferPool& pool) : pool_(pool) {}
+ConnMux::ConnMux(ByteBufferPool& pool, loop::EventLoop* loop)
+    : pool_(pool), loop_(loop) {}
 
 ConnMux::~ConnMux() { shutdown(); }
+
+void ConnMux::set_conn_down(ConnDownFn fn) {
+  std::lock_guard lock(mu_);
+  conn_down_ = std::move(fn);
+}
+
+loop::EventLoop* ConnMux::event_loop() const {
+  std::lock_guard lock(mu_);
+  return loop_;
+}
 
 Result<int> ConnMux::add_listener(OwnedFd listener, Handler handler) {
   std::lock_guard lock(mu_);
   if (stop_) return err::unavailable("socknet: mux is shut down");
-  if (!running_) {
-    if (::pipe(wake_pipe_) < 0) {
-      return err::internal("socknet: cannot create wake pipe");
+  if (loop_ == nullptr) {
+    // Standalone mode: private reactor, started on first use.
+    owned_loop_ = std::make_unique<loop::EventLoop>("connmux");
+    owned_driver_ = std::make_unique<loop::EpollDriver>(*owned_loop_);
+    if (!owned_driver_->ok()) {
+      owned_driver_.reset();
+      owned_loop_.reset();
+      return err::internal("socknet: cannot start mux reactor");
     }
-    set_nonblocking(wake_pipe_[0], true);
-    set_nonblocking(wake_pipe_[1], true);
-    running_ = true;
-    thread_ = std::thread([this] { loop(); });
+    loop_ = owned_loop_.get();
   }
   int id = next_listener_id_++;
+  int raw = listener.get();
   listeners_.push_back(Listener{id, std::move(listener), std::move(handler)});
-  wake();
+  auto watched = loop_->watch_fd(
+      raw, loop::kFdRead, [this, id](unsigned) { on_listener_ready(id); });
+  if (!watched.ok()) {
+    listeners_.pop_back();
+    return watched.error();
+  }
   return id;
 }
 
 Status ConnMux::remove_listener(int id) {
-  std::lock_guard lock(mu_);
-  auto it = std::find_if(listeners_.begin(), listeners_.end(),
-                         [id](const Listener& l) { return l.id == id; });
-  if (it == listeners_.end()) {
-    return err::not_found("socknet: no listener " + std::to_string(id));
+  loop::EventLoop* loop = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(listeners_.begin(), listeners_.end(),
+                           [id](const Listener& l) { return l.id == id; });
+    if (it == listeners_.end()) {
+      return err::not_found("socknet: no listener " + std::to_string(id));
+    }
+    if (loop_ != nullptr) (void)loop_->unwatch_fd(it->fd.get());
+    // Closing the fd here releases the port immediately; the listener's
+    // live connections die on the loop thread (where their callbacks run).
+    listeners_.erase(it);
+    loop = loop_;
   }
-  // Closing the fd here releases the port immediately; the loop sweeps
-  // this listener's live connections on its next pass.
-  listeners_.erase(it);
-  wake();
+  if (loop != nullptr) {
+    loop->dispatch([this] { sweep_orphans(); });
+  }
   return Status::success();
 }
 
 void ConnMux::shutdown() {
+  loop::EventLoop* loop = nullptr;
   {
     std::lock_guard lock(mu_);
-    if (!running_ || stop_) {
-      stop_ = true;
-      return;
-    }
+    if (stop_) return;
     stop_ = true;
-    wake();
+    loop = loop_;
   }
-  if (thread_.joinable()) thread_.join();
+  // Private driver: join its thread first so teardown cannot race event
+  // delivery; the loop reverts to eager and run_sync runs inline.
+  if (owned_driver_ != nullptr) owned_driver_->stop();
+  if (loop != nullptr) {
+    loop->run_sync([this] { teardown_all(); });
+  }
+}
+
+void ConnMux::teardown_all() {
   std::lock_guard lock(mu_);
-  listeners_.clear();
-  for (auto& conn : conns_) pool_.release(conn->assembler.release());
+  for (auto& conn : conns_) {
+    if (loop_ != nullptr) (void)loop_->unwatch_fd(conn->fd.get());
+    pool_.release(conn->assembler.release());
+    ++stats_.closed;
+  }
   conns_.clear();
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
-  wake_pipe_[0] = wake_pipe_[1] = -1;
+  for (auto& listener : listeners_) {
+    if (loop_ != nullptr) (void)loop_->unwatch_fd(listener.fd.get());
+  }
+  listeners_.clear();
 }
 
 ConnMux::Stats ConnMux::stats() const {
@@ -99,10 +134,88 @@ ConnMux::Stats ConnMux::stats() const {
   return stats_;
 }
 
-void ConnMux::wake() {
-  if (wake_pipe_[1] >= 0) {
-    char byte = 0;
-    (void)!::write(wake_pipe_[1], &byte, 1);
+void ConnMux::on_listener_ready(int id) {
+  std::lock_guard lock(mu_);
+  if (stop_) return;
+  auto it = std::find_if(listeners_.begin(), listeners_.end(),
+                         [id](const Listener& l) { return l.id == id; });
+  if (it == listeners_.end()) return;  // removed while the event was in flight
+  while (true) {
+    auto accepted = accept_on(it->fd.get(), /*tcp_nodelay=*/true);
+    if (!accepted.ok()) break;  // EAGAIN: queue drained
+    auto conn = std::make_unique<Conn>();
+    conn->listener_id = it->id;
+    conn->fd = std::move(*accepted);
+    conn->assembler = FrameAssembler(pool_.acquire());
+    conn->handler = it->handler;
+    Conn* raw = conn.get();
+    auto watched = loop_->watch_fd(
+        conn->fd.get(), loop::kFdRead,
+        [this, raw](unsigned events) { on_conn_ready(raw, events); });
+    if (!watched.ok()) {
+      pool_.release(conn->assembler.release());
+      continue;  // drop this connection; keep accepting
+    }
+    conns_.push_back(std::move(conn));
+    ++stats_.accepted;
+  }
+}
+
+void ConnMux::on_conn_ready(Conn* conn, unsigned events) {
+  if ((events & loop::kFdError) != 0) {
+    // POLLERR-class: the socket is dead (RST, transport failure). Tear
+    // down now — no read attempt, no timeout — and say so.
+    teardown_conn(conn, "error-event", /*immediate=*/true);
+    return;
+  }
+  // Readable and/or hangup: drain first — an orderly close may still
+  // deliver final pipelined requests ahead of the EOF.
+  if (!service_conn(*conn)) {
+    teardown_conn(conn, "closed", /*immediate=*/false);
+  }
+}
+
+void ConnMux::teardown_conn(Conn* conn, std::string_view reason, bool immediate) {
+  ConnDownFn down;
+  int listener_id = -1;
+  {
+    std::lock_guard lock(mu_);
+    auto it = std::find_if(conns_.begin(), conns_.end(),
+                           [conn](const std::unique_ptr<Conn>& c) { return c.get() == conn; });
+    if (it == conns_.end()) return;
+    if (loop_ != nullptr) (void)loop_->unwatch_fd(conn->fd.get());
+    listener_id = conn->listener_id;
+    pool_.release(conn->assembler.release());
+    conns_.erase(it);
+    ++stats_.closed;
+    if (immediate) ++stats_.conn_errors;
+    down = conn_down_;
+  }
+  if (down) down(listener_id, reason, immediate);
+}
+
+void ConnMux::sweep_orphans() {
+  std::vector<int> downed;
+  ConnDownFn down;
+  {
+    std::lock_guard lock(mu_);
+    std::set<int> live;
+    for (const Listener& listener : listeners_) live.insert(listener.id);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (live.count((*it)->listener_id) == 0) {
+        if (loop_ != nullptr) (void)loop_->unwatch_fd((*it)->fd.get());
+        pool_.release((*it)->assembler.release());
+        downed.push_back((*it)->listener_id);
+        it = conns_.erase(it);
+        ++stats_.closed;
+      } else {
+        ++it;
+      }
+    }
+    down = conn_down_;
+  }
+  if (down) {
+    for (int id : downed) down(id, "listener-removed", /*immediate=*/false);
   }
 }
 
@@ -153,92 +266,6 @@ bool ConnMux::service_conn(Conn& conn) {
     }
   }
   return !saw_eof;
-}
-
-void ConnMux::loop() {
-  std::vector<pollfd> pfds;
-  std::vector<int> listener_ids;
-  std::vector<Conn*> round_conns;
-  while (true) {
-    pfds.clear();
-    listener_ids.clear();
-    round_conns.clear();
-    {
-      std::lock_guard lock(mu_);
-      if (stop_) return;
-      pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-      for (const Listener& listener : listeners_) {
-        pfds.push_back(pollfd{listener.fd.get(), POLLIN, 0});
-        listener_ids.push_back(listener.id);
-      }
-      // Sweep connections orphaned by remove_listener before polling.
-      std::set<int> live;
-      for (const Listener& listener : listeners_) live.insert(listener.id);
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        if (!live.count((*it)->listener_id)) {
-          pool_.release((*it)->assembler.release());
-          it = conns_.erase(it);
-          ++stats_.closed;
-        } else {
-          ++it;
-        }
-      }
-      for (const auto& conn : conns_) {
-        pfds.push_back(pollfd{conn->fd.get(), POLLIN, 0});
-        round_conns.push_back(conn.get());
-      }
-    }
-
-    int rc;
-    do {
-      rc = ::poll(pfds.data(), pfds.size(), 100);
-    } while (rc < 0 && errno == EINTR);
-    if (rc < 0) return;  // poll itself failing is unrecoverable
-
-    if (pfds[0].revents & POLLIN) {
-      char drain[64];
-      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
-      }
-    }
-
-    const std::size_t listener_count = listener_ids.size();
-    for (std::size_t i = 0; i < listener_count; ++i) {
-      if (!(pfds[1 + i].revents & POLLIN)) continue;
-      // Re-check under the lock: the listener may have been removed (and
-      // its fd closed/reused) while we were polling.
-      std::lock_guard lock(mu_);
-      auto it = std::find_if(listeners_.begin(), listeners_.end(),
-                             [&](const Listener& l) { return l.id == listener_ids[i]; });
-      if (it == listeners_.end()) continue;
-      while (true) {
-        auto accepted = accept_on(it->fd.get(), /*tcp_nodelay=*/true);
-        if (!accepted.ok()) break;  // EAGAIN: queue drained
-        auto conn = std::make_unique<Conn>();
-        conn->listener_id = it->id;
-        conn->fd = std::move(*accepted);
-        conn->assembler = FrameAssembler(pool_.acquire());
-        conn->handler = it->handler;
-        conns_.push_back(std::move(conn));
-        ++stats_.accepted;
-      }
-    }
-
-    for (std::size_t i = 0; i < round_conns.size(); ++i) {
-      if (!(pfds[1 + listener_count + i].revents & (POLLIN | POLLHUP | POLLERR))) {
-        continue;
-      }
-      Conn* conn = round_conns[i];
-      if (service_conn(*conn)) continue;
-      std::lock_guard lock(mu_);
-      auto it = std::find_if(conns_.begin(), conns_.end(),
-                             [conn](const std::unique_ptr<Conn>& c) { return c.get() == conn; });
-      if (it != conns_.end()) {
-        pool_.release((*it)->assembler.release());
-        conns_.erase(it);
-        ++stats_.closed;
-      }
-    }
-  }
 }
 
 }  // namespace h2::net::sock

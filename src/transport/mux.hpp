@@ -1,22 +1,32 @@
-// ConnMux — the poll-driven accept/read loop serving every socket
-// listener of one SockNet: one background thread multiplexes all
-// listening sockets and their accepted connections, reassembles complete
-// messages out of the fragmented byte stream (length-framed XDR or
-// keep-alive HTTP/1.1, sniffed per connection), invokes the bound
-// Handler, and writes the reply back with a single gathering writev.
-// Modeled on the hakoniwa endpoint_comm_multiplexer / BigWorld
-// EventDispatcher pattern: readiness callbacks around non-blocking fds,
-// per-connection state machines, no thread per connection.
+// ConnMux — the reactor serving socket listeners of one SockNet. Each
+// mux registers its listening sockets and accepted connections with an
+// EventLoop (fd-readiness callbacks, BigWorld EventDispatcher style):
+// the loop's driver — normally an EpollDriver thread — delivers
+// readiness, the mux reassembles complete messages out of the
+// fragmented byte stream (length-framed XDR or keep-alive HTTP/1.1,
+// sniffed per connection), invokes the bound Handler, and writes the
+// reply back with a single gathering writev. No thread per connection,
+// and no thread per mux either: several muxes can share one loop, and
+// a multi-reactor SockNet runs one mux per loop.
+//
+// Error events (POLLERR-class) tear the connection down immediately —
+// before any read attempt — and fire the conn-down callback, so circuit
+// breakers learn about a dead peer without waiting for a timeout.
+// Hangups still drain buffered bytes first: an orderly close may carry
+// final pipelined requests.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
+#include <string_view>
 #include <vector>
 
+#include "loop/epoll_driver.hpp"
+#include "loop/event_loop.hpp"
 #include "transport/tcp.hpp"
 #include "transport/transport.hpp"
 #include "util/buffer_pool.hpp"
@@ -73,19 +83,30 @@ class FrameAssembler {
 class ConnMux {
  public:
   struct Stats {
-    std::uint64_t accepted = 0;   ///< connections accepted over all listeners
-    std::uint64_t served = 0;     ///< complete messages dispatched to handlers
-    std::uint64_t closed = 0;     ///< connections torn down (EOF/error/unbind)
+    std::uint64_t accepted = 0;     ///< connections accepted over all listeners
+    std::uint64_t served = 0;       ///< complete messages dispatched to handlers
+    std::uint64_t closed = 0;       ///< connections torn down (EOF/error/unbind)
+    std::uint64_t conn_errors = 0;  ///< closed by an immediate error event (RST-class)
   };
 
-  explicit ConnMux(ByteBufferPool& pool);
+  /// Told when a connection goes down. `immediate` is true for
+  /// error-event teardowns (no read attempt was needed) — the signal
+  /// breakers want right away.
+  using ConnDownFn =
+      std::function<void(int listener_id, std::string_view reason, bool immediate)>;
+
+  /// With `loop == nullptr` the mux lazily creates a private loop plus
+  /// its own EpollDriver on first use (the standalone, PR 6-compatible
+  /// shape). Passing a loop makes this mux one reactor client among
+  /// many; the caller pairs the loop with a driver and keeps both alive
+  /// until after shutdown().
+  explicit ConnMux(ByteBufferPool& pool, loop::EventLoop* loop = nullptr);
   ~ConnMux();
   ConnMux(const ConnMux&) = delete;
   ConnMux& operator=(const ConnMux&) = delete;
 
   /// Registers a listening socket; its accepted connections dispatch to
-  /// `handler`. Starts the mux thread on first use. Returns a listener id
-  /// for remove_listener.
+  /// `handler`. Returns a listener id for remove_listener.
   Result<int> add_listener(OwnedFd listener, Handler handler);
 
   /// Closes the listener AND every connection accepted from it — after an
@@ -93,10 +114,18 @@ class ConnMux {
   /// socket, exactly as SimNetwork's closed port refuses delivery.
   Status remove_listener(int id);
 
-  /// Stops the thread and closes everything. Idempotent.
+  /// Registers the conn-down callback (invoked off the mux mutex, on
+  /// the loop thread). Set before traffic starts.
+  void set_conn_down(ConnDownFn fn);
+
+  /// Unregisters and closes everything (stopping the private driver if
+  /// one was created). Idempotent.
   void shutdown();
 
   Stats stats() const;
+
+  /// The loop this mux reacts on (null until first use in private mode).
+  loop::EventLoop* event_loop() const;
 
  private:
   struct Listener {
@@ -111,22 +140,30 @@ class ConnMux {
     Handler handler;  ///< copied from the listener at accept time
   };
 
-  void loop();
-  void wake();
+  /// Loop callbacks (run on the loop thread).
+  void on_listener_ready(int id);
+  void on_conn_ready(Conn* conn, unsigned events);
   /// Drains readable bytes, dispatches complete messages, writes replies.
   /// False → connection is done (EOF, error, protocol violation).
   bool service_conn(Conn& conn);
+  /// Unwatches + frees one connection; fires the conn-down callback.
+  /// Only ever runs on the loop thread (or after the driver stopped).
+  void teardown_conn(Conn* conn, std::string_view reason, bool immediate);
+  /// Drops connections whose listener is gone (loop thread).
+  void sweep_orphans();
+  void teardown_all();
 
   ByteBufferPool& pool_;
   mutable std::mutex mu_;
+  loop::EventLoop* loop_ = nullptr;
+  std::unique_ptr<loop::EventLoop> owned_loop_;
+  std::unique_ptr<loop::EpollDriver> owned_driver_;
   std::vector<Listener> listeners_;
   std::vector<std::unique_ptr<Conn>> conns_;
+  ConnDownFn conn_down_;
   Stats stats_;
   int next_listener_id_ = 1;
-  bool running_ = false;
   bool stop_ = false;
-  int wake_pipe_[2] = {-1, -1};
-  std::thread thread_;
 };
 
 }  // namespace h2::net::sock

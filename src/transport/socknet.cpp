@@ -8,11 +8,31 @@
 
 namespace h2::net {
 
-SockNet::SockNet(SockFamily family)
-    : Transport(&wall_), family_(family), mux_(buffer_pool_) {}
+SockNet::SockNet(SockFamily family, std::size_t reactors)
+    : Transport(&wall_), family_(family) {
+  if (reactors == 0) reactors = 1;
+  obs::Counter& conn_errors = metrics_.counter("h2.net.conn_errors");
+  for (std::size_t i = 0; i < reactors; ++i) {
+    loops_.push_back(
+        std::make_unique<loop::EventLoop>("socknet/r" + std::to_string(i)));
+    drivers_.push_back(std::make_unique<loop::EpollDriver>(*loops_.back()));
+    muxes_.push_back(
+        std::make_unique<sock::ConnMux>(buffer_pool_, loops_.back().get()));
+    // Immediate error-event teardowns surface on the shared metric the
+    // moment they happen — breakers and dashboards see a dead peer
+    // without waiting for a client timeout.
+    muxes_.back()->set_conn_down(
+        [&conn_errors](int, std::string_view, bool immediate) {
+          if (immediate) conn_errors.add();
+        });
+  }
+}
 
 SockNet::~SockNet() {
-  mux_.shutdown();
+  // Muxes unregister their fds from the loops first; only then stop the
+  // reactor threads (the reverse order would tear down under live events).
+  for (auto& mux : muxes_) mux->shutdown();
+  for (auto& driver : drivers_) driver->stop();
   std::lock_guard lock(mu_);
   conn_pool_.clear();
   for (const auto& host : hosts_) {
@@ -83,9 +103,11 @@ Status SockNet::listen(HostId host, std::uint16_t port, Handler handler) {
 
   auto fd = sock::listen_on(addr);
   if (!fd.ok()) return fd.error();
-  auto listener_id = mux_.add_listener(std::move(*fd), std::move(handler));
+  std::size_t mux_index = next_mux_++ % muxes_.size();
+  auto listener_id =
+      muxes_[mux_index]->add_listener(std::move(*fd), std::move(handler));
   if (!listener_id.ok()) return listener_id.error();
-  servers[port] = Binding{*listener_id, addr};
+  servers[port] = Binding{*listener_id, mux_index, addr};
   return Status::success();
 }
 
@@ -97,7 +119,7 @@ Status SockNet::close(HostId host, std::uint16_t port) {
   if (it == servers.end()) {
     return err::not_found("socknet: port " + std::to_string(port) + " not bound");
   }
-  (void)mux_.remove_listener(it->second.listener_id);
+  (void)muxes_[it->second.mux_index]->remove_listener(it->second.listener_id);
   if (it->second.addr.uds) ::unlink(it->second.addr.path.c_str());
   servers.erase(it);
   // Idle pooled connections to this port are now dead weight: drop them so
@@ -136,6 +158,18 @@ Result<sock::SockAddr> SockNet::endpoint_of(HostId host, std::uint16_t port) con
 std::uint64_t SockNet::connections_dialed() const {
   std::lock_guard lock(mu_);
   return dialed_;
+}
+
+sock::ConnMux::Stats SockNet::mux_stats() const {
+  sock::ConnMux::Stats total;
+  for (const auto& mux : muxes_) {
+    auto s = mux->stats();
+    total.accepted += s.accepted;
+    total.served += s.served;
+    total.closed += s.closed;
+    total.conn_errors += s.conn_errors;
+  }
+  return total;
 }
 
 void SockNet::sleep_for(Nanos duration) {

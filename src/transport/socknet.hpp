@@ -5,18 +5,23 @@
 //
 // Hosts are still logical names registered in-process (the container has
 // one machine), but every byte now crosses a real socket: servers sit
-// behind ConnMux's poll loop, clients keep persistent connections per
-// (destination, port) and frame requests exactly as a remote peer would.
-// Logical ports are virtualized — each listen() binds an ephemeral kernel
-// port (or a unique socket path) so concurrent test runs never collide.
+// behind reactor event loops (one ConnMux per EventLoop/EpollDriver
+// pair, listeners spread round-robin), clients keep persistent
+// connections per (destination, port) and frame requests exactly as a
+// remote peer would. Logical ports are virtualized — each listen()
+// binds an ephemeral kernel port (or a unique socket path) so
+// concurrent test runs never collide.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "loop/epoll_driver.hpp"
+#include "loop/event_loop.hpp"
 #include "transport/mux.hpp"
 #include "transport/tcp.hpp"
 #include "transport/transport.hpp"
@@ -28,7 +33,11 @@ enum class SockFamily { kTcp, kUds };
 
 class SockNet final : public Transport {
  public:
-  explicit SockNet(SockFamily family = SockFamily::kTcp);
+  /// `reactors` is the number of event loops serving listeners (each on
+  /// its own EpollDriver thread). Listeners are assigned round-robin at
+  /// listen() time; 1 reproduces the PR 6 single-mux shape.
+  explicit SockNet(SockFamily family = SockFamily::kTcp,
+                   std::size_t reactors = 1);
   ~SockNet() override;
 
   // ---- topology (mirrors SimNetwork so harness code is interchangeable) ------
@@ -73,11 +82,16 @@ class SockNet final : public Transport {
   /// Client connections dialed so far; persistent reuse keeps this far
   /// below the call count.
   std::uint64_t connections_dialed() const;
-  sock::ConnMux::Stats mux_stats() const { return mux_.stats(); }
+  /// Aggregated over every reactor's mux.
+  sock::ConnMux::Stats mux_stats() const;
+  std::size_t reactor_count() const { return muxes_.size(); }
+  /// Server connections torn down by an immediate error event.
+  std::uint64_t conn_errors() const { return mux_stats().conn_errors; }
 
  private:
   struct Binding {
     int listener_id = 0;
+    std::size_t mux_index = 0;
     sock::SockAddr addr;
   };
   struct Host {
@@ -98,7 +112,12 @@ class SockNet final : public Transport {
 
   SockFamily family_;
   WallClock wall_;
-  sock::ConnMux mux_;
+  /// One reactor = one loop + its epoll thread + the mux reacting on it.
+  /// Construction order matters: muxes shut down before drivers stop.
+  std::vector<std::unique_ptr<loop::EventLoop>> loops_;
+  std::vector<std::unique_ptr<loop::EpollDriver>> drivers_;
+  std::vector<std::unique_ptr<sock::ConnMux>> muxes_;
+  std::size_t next_mux_ = 0;
 
   mutable std::mutex mu_;
   std::vector<Host> hosts_;

@@ -7,11 +7,22 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "plugins/standard.hpp"
 
 namespace h2::dvm {
 namespace {
+
+/// Loop-posted anti-entropy pass; the DVM loop is eager here (no driver),
+/// so the completion runs before post_anti_entropy returns.
+Result<AntiEntropyReport> run_anti_entropy(Dvm& dvm) {
+  std::optional<Result<AntiEntropyReport>> outcome;
+  dvm.post_anti_entropy(
+      [&outcome](Result<AntiEntropyReport> r) { outcome = std::move(r); });
+  if (!outcome.has_value()) return err::internal("anti-entropy never completed");
+  return std::move(*outcome);
+}
 
 enum class Mode { kFullSynchrony, kDecentralized, kNeighborhood, kSharded };
 
@@ -354,7 +365,7 @@ TEST_F(ShardedTest, AntiEntropyRepairsAManuallyDivergedReplica) {
   EXPECT_NE(dvm_->member(owners[0])->state().get("user/k"),
             dvm_->member(owners[1])->state().get("user/k"));
 
-  auto report = dvm_->anti_entropy();
+  auto report = run_anti_entropy(*dvm_);
   ASSERT_TRUE(report.ok()) << report.error().describe();
   EXPECT_EQ(report->shards_checked, map->shard_count());
   EXPECT_GE(report->shards_divergent, 1u);
@@ -368,8 +379,8 @@ TEST_F(ShardedTest, AntiEntropyRepairsAManuallyDivergedReplica) {
 
 TEST_F(ShardedTest, AntiEntropyOnConvergedClusterReportsNoDivergence) {
   ASSERT_TRUE(dvm_->set("B", "k1", "v").ok());
-  ASSERT_TRUE(dvm_->anti_entropy().ok());  // converge first
-  auto report = dvm_->anti_entropy();
+  ASSERT_TRUE(run_anti_entropy(*dvm_).ok());  // converge first
+  auto report = run_anti_entropy(*dvm_);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->shards_divergent, 0u);
   EXPECT_EQ(report->entries_repaired, 0u);
@@ -402,7 +413,7 @@ TEST_F(ShardedTest, ShardWriteMetricsAccumulate) {
   ASSERT_TRUE(dvm_->set("A", "m1", "v").ok());
   ASSERT_TRUE(dvm_->set("B", "m2", "v").ok());
   EXPECT_GE(net_.metrics().counter_value("h2.dvm.shard.writes"), 2u);
-  (void)dvm_->anti_entropy();
+  (void)run_anti_entropy(*dvm_);
   EXPECT_GE(net_.metrics().counter_value("h2.dvm.shard.ae_rounds"), 1u);
 }
 

@@ -1,8 +1,9 @@
-// DVM heartbeat / failure detection: probe() discovers partitioned nodes
-// and converts them into membership failures.
+// DVM heartbeat / failure detection: a loop-posted probe sweep discovers
+// partitioned nodes and converts them into membership failures.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "dvm/dvm.hpp"
@@ -10,6 +11,17 @@
 
 namespace h2::dvm {
 namespace {
+
+/// Loop-posted sweep; DVM loops here are eager (no driver attached), so
+/// the completion runs before post_probe returns.
+Result<std::vector<std::string>> probe(Dvm& dvm, std::string_view from) {
+  std::optional<Result<std::vector<std::string>>> outcome;
+  dvm.post_probe(from, [&outcome](Result<std::vector<std::string>> r) {
+    outcome = std::move(r);
+  });
+  if (!outcome.has_value()) return err::internal("probe never completed");
+  return std::move(*outcome);
+}
 
 class HeartbeatTest : public ::testing::Test {
  protected:
@@ -38,7 +50,7 @@ class HeartbeatTest : public ::testing::Test {
 };
 
 TEST_F(HeartbeatTest, HealthyClusterReportsNothing) {
-  auto failed = dvm_->probe("A");
+  auto failed = probe(*dvm_, "A");
   ASSERT_TRUE(failed.ok());
   EXPECT_TRUE(failed->empty());
   EXPECT_EQ(dvm_->node_count(), 4u);
@@ -46,7 +58,7 @@ TEST_F(HeartbeatTest, HealthyClusterReportsNothing) {
 
 TEST_F(HeartbeatTest, DetectsIsolatedNode) {
   isolate("C");
-  auto failed = dvm_->probe("A");
+  auto failed = probe(*dvm_, "A");
   ASSERT_TRUE(failed.ok());
   ASSERT_EQ(failed->size(), 1u);
   EXPECT_EQ((*failed)[0], "C");
@@ -61,7 +73,7 @@ TEST_F(HeartbeatTest, DetectsIsolatedNode) {
 TEST_F(HeartbeatTest, DetectsMultipleFailures) {
   isolate("B");
   isolate("D");
-  auto failed = dvm_->probe("A");
+  auto failed = probe(*dvm_, "A");
   ASSERT_TRUE(failed.ok());
   EXPECT_EQ(failed->size(), 2u);
   EXPECT_EQ(dvm_->node_count(), 2u);
@@ -69,7 +81,7 @@ TEST_F(HeartbeatTest, DetectsMultipleFailures) {
 
 TEST_F(HeartbeatTest, SurvivorsStillCoherentAfterSweep) {
   isolate("D");
-  ASSERT_TRUE(dvm_->probe("A").ok());
+  ASSERT_TRUE(probe(*dvm_, "A").ok());
   ASSERT_TRUE(dvm_->set("B", "post", "ok").ok());
   auto value = dvm_->get("C", "post");
   ASSERT_TRUE(value.ok());
@@ -77,13 +89,13 @@ TEST_F(HeartbeatTest, SurvivorsStillCoherentAfterSweep) {
 }
 
 TEST_F(HeartbeatTest, ProbeFromUnknownNodeFails) {
-  EXPECT_FALSE(dvm_->probe("Z").ok());
+  EXPECT_FALSE(probe(*dvm_, "Z").ok());
 }
 
 TEST_F(HeartbeatTest, ProbeIsIdempotent) {
   isolate("C");
-  ASSERT_TRUE(dvm_->probe("A").ok());
-  auto second = dvm_->probe("A");
+  ASSERT_TRUE(probe(*dvm_, "A").ok());
+  auto second = probe(*dvm_, "A");
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->empty());  // already removed, not re-reported
 }
@@ -96,7 +108,7 @@ TEST_F(HeartbeatTest, MembershipEventOnDetection) {
         if (text.ok() && text->starts_with("failed:")) ++failures;
       });
   isolate("B");
-  ASSERT_TRUE(dvm_->probe("A").ok());
+  ASSERT_TRUE(probe(*dvm_, "A").ok());
   EXPECT_EQ(failures, 1);
 }
 
@@ -150,7 +162,7 @@ TEST_F(ShardHeartbeatTest, ProbePingsExactlyTheShardPeers) {
     auto peers = shard_peers(origin);
     const std::size_t expected = peers.empty() ? kNodes - 1 : peers.size();
     net_.reset_stats();
-    auto failed = dvm_->probe(origin);
+    auto failed = probe(*dvm_, origin);
     ASSERT_TRUE(failed.ok()) << origin;
     EXPECT_TRUE(failed->empty()) << origin;
     EXPECT_EQ(net_.stats().calls, expected) << origin;
@@ -171,7 +183,7 @@ TEST_F(ShardHeartbeatTest, IsolatedShardPeerIsDetected) {
       if (other == victim) continue;
       ASSERT_TRUE(net_.partition(*net_.resolve(victim), *net_.resolve(other)).ok());
     }
-    auto failed = dvm_->probe(origin);
+    auto failed = probe(*dvm_, origin);
     ASSERT_TRUE(failed.ok());
     ASSERT_EQ(failed->size(), 1u);
     EXPECT_EQ((*failed)[0], victim);
@@ -200,7 +212,7 @@ TEST_F(ShardHeartbeatTest, NonShardedProtocolsStillBroadcast) {
     ASSERT_TRUE(dvm->add_node(*containers.back()).ok());
   }
   net.reset_stats();
-  ASSERT_TRUE(dvm->probe("A").ok());
+  ASSERT_TRUE(probe(*dvm, "A").ok());
   EXPECT_EQ(net.stats().calls, 2u);
 }
 

@@ -2,6 +2,8 @@
 // single tests — the kind of runs a downstream adopter would script.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "core/dynamic_proxy.hpp"
 #include "core/harness2.hpp"
 #include "core/mobility.hpp"
@@ -58,7 +60,12 @@ TEST(FullStack, ScientificCampaignLifecycle) {
     ASSERT_TRUE(fw.network().partition(*fw.network().resolve("n2"),
                                        *fw.network().resolve(other)).ok());
   }
-  auto failed = dvm->probe("n0");
+  std::optional<Result<std::vector<std::string>>> probe_outcome;
+  dvm->post_probe("n0", [&probe_outcome](Result<std::vector<std::string>> r) {
+    probe_outcome = std::move(r);
+  });
+  ASSERT_TRUE(probe_outcome.has_value());  // eager loop: completion ran inline
+  auto& failed = *probe_outcome;
   ASSERT_TRUE(failed.ok());
   ASSERT_EQ(failed->size(), 1u);
   EXPECT_EQ((*failed)[0], "n2");

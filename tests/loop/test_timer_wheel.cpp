@@ -1,0 +1,132 @@
+// TimerWheel unit tests: deterministic (deadline, id) firing order,
+// periodic re-arm and catch-up, lazy cancel, and the full-sweep fallback
+// a virtual-clock leap larger than one wheel rotation triggers.
+#include "loop/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace h2::loop {
+namespace {
+
+std::vector<TimerWheel::Due> collect(TimerWheel& wheel, Nanos now) {
+  std::vector<TimerWheel::Due> due;
+  wheel.collect_due(now, due);
+  return due;
+}
+
+TEST(TimerWheel, FiresInDeadlineThenIdOrder) {
+  TimerWheel wheel;
+  std::vector<int> order;
+  // Armed out of deadline order on purpose; same-deadline ties break by id.
+  TimerId late = wheel.add(0, 5 * kMillisecond, [&order] { order.push_back(3); });
+  TimerId early = wheel.add(0, kMillisecond, [&order] { order.push_back(1); });
+  TimerId tied = wheel.add(0, 5 * kMillisecond, [&order] { order.push_back(4); });
+  ASSERT_LT(late, tied);
+  ASSERT_LT(early, tied);
+
+  auto due = collect(wheel, 10 * kMillisecond);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].id, early);
+  EXPECT_EQ(due[1].id, late);
+  EXPECT_EQ(due[2].id, tied);
+  for (auto& d : due) d.task();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, NothingFiresBeforeItsDeadline) {
+  TimerWheel wheel;
+  (void)wheel.add(0, 10 * kMillisecond, [] {});
+  EXPECT_TRUE(collect(wheel, 9 * kMillisecond).empty());
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(collect(wheel, 10 * kMillisecond).size(), 1u);
+}
+
+TEST(TimerWheel, NonPositiveDelayFiresAtNextCollection) {
+  TimerWheel wheel;
+  (void)wheel.add(5 * kMillisecond, 0, [] {});
+  (void)wheel.add(5 * kMillisecond, -3, [] {});
+  EXPECT_EQ(collect(wheel, 5 * kMillisecond).size(), 2u);
+}
+
+TEST(TimerWheel, NextDeadlineTracksArmedTimers) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.next_deadline(), kNoDeadline);
+  TimerId a = wheel.add(0, 7 * kMillisecond, [] {});
+  (void)wheel.add(0, 3 * kMillisecond, [] {});
+  EXPECT_EQ(wheel.next_deadline(), 3 * kMillisecond);
+  ASSERT_EQ(collect(wheel, 3 * kMillisecond).size(), 1u);
+  EXPECT_EQ(wheel.next_deadline(), 7 * kMillisecond);
+  EXPECT_TRUE(wheel.cancel(a));
+  EXPECT_EQ(wheel.next_deadline(), kNoDeadline);
+}
+
+TEST(TimerWheel, CancelledTimerNeverFires) {
+  TimerWheel wheel;
+  TimerId id = wheel.add(0, kMillisecond, [] {});
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  EXPECT_TRUE(collect(wheel, 10 * kMillisecond).empty());
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, PeriodicRearmsAtEachPeriod) {
+  TimerWheel wheel;
+  TimerId id = wheel.add(0, 2 * kMillisecond, [] {}, 2 * kMillisecond);
+  for (int round = 1; round <= 3; ++round) {
+    auto due = collect(wheel, round * 2 * kMillisecond);
+    ASSERT_EQ(due.size(), 1u) << round;
+    EXPECT_EQ(due[0].id, id);
+    EXPECT_EQ(due[0].deadline, round * 2 * kMillisecond);
+  }
+  EXPECT_EQ(wheel.size(), 1u);  // still armed
+  EXPECT_TRUE(wheel.cancel(id));
+}
+
+TEST(TimerWheel, PeriodicCatchUpFiresOncePerMissedPeriod) {
+  TimerWheel wheel;
+  (void)wheel.add(0, kMillisecond, [] {}, kMillisecond);
+  // Collecting far past the deadline: one Due per missed period, in
+  // deadline order, and the timer stays armed for the future.
+  auto due = collect(wheel, 5 * kMillisecond + kMillisecond / 2);
+  ASSERT_EQ(due.size(), 5u);
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    EXPECT_EQ(due[i].deadline, static_cast<Nanos>(i + 1) * kMillisecond);
+  }
+  EXPECT_EQ(wheel.next_deadline(), 6 * kMillisecond);
+}
+
+TEST(TimerWheel, ClockLeapBeyondOneRotationStillFiresEverything) {
+  // 256 slots x 1ms tick = one rotation ~ 256ms; leap years ahead. The
+  // wheel must fall back to a full sweep and find every armed timer.
+  TimerWheel wheel;
+  std::vector<TimerId> armed;
+  for (int i = 0; i < 40; ++i) {
+    armed.push_back(wheel.add(0, (i + 1) * 3 * kMillisecond, [] {}));
+  }
+  auto due = collect(wheel, 365LL * 24 * 3600 * kSecond);
+  ASSERT_EQ(due.size(), armed.size());
+  for (std::size_t i = 1; i < due.size(); ++i) {
+    EXPECT_LT(due[i - 1].deadline, due[i].deadline);
+  }
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(TimerWheel, ManyTimersAcrossManyCollections) {
+  TimerWheel wheel(kMillisecond, 16);  // tiny wheel: forces slot collisions
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    (void)wheel.add(0, (i % 97 + 1) * kMillisecond, [&fired] { ++fired; });
+  }
+  Nanos now = 0;
+  while (wheel.size() > 0) {
+    now += 7 * kMillisecond;
+    for (auto& due : collect(wheel, now)) due.task();
+  }
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace h2::loop

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Runs the deterministic simulation suite: the ctest `sim`, `obs` and
-# `shard` labels first, then a full simrunner seed sweep over every
-# scenario — the four membership/coherency scenarios (coherency-storm,
-# failover, churn, mesh-skew), the three fault-tolerant-RPC scenarios
-# (retry-storm, batch-storm, failover-cascade), the two sharded-DVM
-# scenarios (shard-partition-heal, shard-churn), and the three planted-bug
-# scenarios (planted-bug, retry-storm-nodedup, shard-ae-skip) that must be
-# CAUGHT on every seed. Any failing seed is printed with the exact replay
-# command; a non-zero simrunner exit fails the whole sweep.
+# Runs the deterministic simulation suite: the ctest `sim`, `obs`,
+# `shard` and `loop` labels first, then a full simrunner seed sweep over
+# every scenario — the four membership/coherency scenarios
+# (coherency-storm, failover, churn, mesh-skew), the three
+# fault-tolerant-RPC scenarios (retry-storm, batch-storm,
+# failover-cascade), the two sharded-DVM scenarios (shard-partition-heal,
+# shard-churn), the two event-loop scenarios (loop-storm,
+# shard-read-repair, both driving queued loops from virtual time), and
+# the three planted-bug scenarios (planted-bug, retry-storm-nodedup,
+# shard-ae-skip) that must be CAUGHT on every seed. Any failing seed is
+# printed with the exact replay command; a non-zero simrunner exit fails
+# the whole sweep.
 #
 # Usage: tests/run_sim.sh [build-dir] [seeds]
 #   build-dir  defaults to ./build
@@ -30,6 +33,9 @@ ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
 echo "== ctest -L shard =="
 ctest --test-dir "$BUILD_DIR" -L shard --output-on-failure
+
+echo "== ctest -L loop =="
+ctest --test-dir "$BUILD_DIR" -L loop --output-on-failure
 
 echo "== simrunner sweep: all scenarios, seeds 1..$SEEDS =="
 SWEEP_LOG="$BUILD_DIR/sim_sweep.log"
