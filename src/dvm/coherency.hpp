@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "dvm/hints.hpp"
 #include "dvm/ring.hpp"
 #include "dvm/state.hpp"
 
@@ -39,6 +40,8 @@ struct AntiEntropyReport {
   std::size_t shards_divergent = 0;  ///< shards whose digests disagreed
   std::size_t entries_repaired = 0;  ///< LWW merges applied across all replicas
   std::size_t exchange_failures = 0; ///< pairwise syncs that errored (tolerated)
+  std::size_t buckets_diverged = 0;  ///< Merkle leaf buckets that transferred
+  std::size_t bytes_transferred = 0; ///< blob bytes moved by the repairs
 };
 
 class CoherencyProtocol {
@@ -119,6 +122,33 @@ class CoherencyProtocol {
   /// shard (everything except make_sharded). The shard-routed resilient
   /// channel reads placement through this.
   virtual const ShardMap* shard_map() const { return nullptr; }
+
+  /// Parks a hinted-handoff entry at `coordinator` for a replication leg
+  /// that never reached `target` (sharded mode). The shard-routed
+  /// resilient channel calls this when a replica write fails; the default
+  /// drops it — non-sharded protocols converge through their own fan-out.
+  virtual void park_hint(std::string_view coordinator, std::string_view target,
+                         const VersionedEntry& entry) {
+    (void)coordinator;
+    (void)target;
+    (void)entry;
+  }
+
+  /// One hint-replay pass: each alive coordinator redelivers its parked
+  /// hints to their targets, within the rebalance budget (one refill per
+  /// pass). Default: nothing pending.
+  virtual Result<HintReplayReport> replay_hints(std::span<DvmNode* const> members) {
+    (void)members;
+    return HintReplayReport{};
+  }
+
+  /// Hints currently parked across all coordinators (sharded mode).
+  virtual std::size_t pending_hints() const { return 0; }
+
+  /// Distinct keys with a parked hint (sharded mode): their replication
+  /// debt is recorded and will be paid by replay, so durability checks
+  /// must not count them as lost.
+  virtual std::vector<std::string> hinted_keys() const { return {}; }
 };
 
 /// Last-write-wins per key, first-occurrence order: what a destination
@@ -142,10 +172,20 @@ std::unique_ptr<CoherencyProtocol> make_sharded(ShardConfig config);
 
 /// TEST ONLY. Sharded mode with a deliberately planted repair bug: the
 /// anti-entropy pass silently skips `skip_shard`, so divergence in that
-/// shard is never repaired. The shard sim sweeps use it to prove the
+/// shard is never repaired. `drop_hints` additionally discards parked
+/// hints (see make_sharded_hint_drop_for_test) — the AE-skip sweeps set
+/// it so hinted handoff cannot repair what the broken AE pass left
+/// behind. The shard sim sweeps use this to prove the
 /// shard-convergence/no-lost-keys invariants catch real repair gaps.
-std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(ShardConfig config,
-                                                               std::size_t skip_shard);
+std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(
+    ShardConfig config, std::size_t skip_shard, bool drop_hints = false);
+
+/// TEST ONLY. Sharded mode with a deliberately planted durability bug:
+/// park_hint silently discards every hint, so a write that missed an
+/// owner is never redelivered by replay — only anti-entropy can repair
+/// it. The hint-drop sim scenario uses it to prove the
+/// no-under-replicated-writes invariant catches real handoff gaps.
+std::unique_ptr<CoherencyProtocol> make_sharded_hint_drop_for_test(ShardConfig config);
 
 /// TEST ONLY. Full synchrony with a deliberately planted coherency bug:
 /// the replication fan-out silently skips the last member, so its replica

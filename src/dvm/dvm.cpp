@@ -156,10 +156,6 @@ Result<std::size_t> Dvm::rejoin(std::string_view node_name) {
                         "' was never enrolled");
 }
 
-Result<std::vector<std::string>> Dvm::probe(std::string_view from_node) {
-  return probe_now(from_node);
-}
-
 void Dvm::post_probe(std::string_view from_node, ProbeCompletion done) {
   loop_.dispatch([this, from = std::string(from_node), done = std::move(done)] {
     auto result = probe_now(from);
@@ -297,8 +293,6 @@ Status Dvm::erase(std::string_view node_name, std::string_view key) {
   return status;
 }
 
-Result<AntiEntropyReport> Dvm::anti_entropy() { return anti_entropy_now(); }
-
 void Dvm::post_anti_entropy(AntiEntropyCompletion done) {
   loop_.dispatch([this, done = std::move(done)] {
     auto report = anti_entropy_now();
@@ -321,6 +315,32 @@ Result<AntiEntropyReport> Dvm::anti_entropy_now() {
   const std::uint64_t before = net.stats().messages;
   const Nanos t0 = net.clock().now();
   auto report = protocol_->anti_entropy(alive);
+  record_round(net, before, t0);
+  return report;
+}
+
+void Dvm::post_hint_replay(HintReplayCompletion done) {
+  loop_.dispatch([this, done = std::move(done)] {
+    auto report = hint_replay_now();
+    if (done) done(std::move(report));
+  });
+}
+
+loop::TimerId Dvm::start_hint_replay(
+    Nanos period, std::function<void(const HintReplayReport&)> on_report) {
+  return loop_.schedule_periodic(period, [this, on_report = std::move(on_report)] {
+    auto report = hint_replay_now();
+    if (report.ok() && on_report) on_report(*report);
+  });
+}
+
+Result<HintReplayReport> Dvm::hint_replay_now() {
+  auto alive = alive_members();
+  if (alive.empty()) return HintReplayReport{};
+  net::SimNetwork& net = alive.front()->network();
+  const std::uint64_t before = net.stats().messages;
+  const Nanos t0 = net.clock().now();
+  auto report = protocol_->replay_hints(alive);
   record_round(net, before, t0);
   return report;
 }

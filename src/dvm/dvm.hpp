@@ -56,11 +56,6 @@ class Dvm {
   /// be unreachable); membership state is updated on the survivors.
   Status mark_failed(std::string_view node_name);
 
-  /// Blocking heartbeat sweep. Superseded by post_probe() — completions
-  /// belong on the DVM loop, not the caller's stack.
-  [[deprecated("use post_probe(); blocking DVM entry points are being retired")]]
-  Result<std::vector<std::string>> probe(std::string_view from_node);
-
   /// Abrupt node death: the member's container endpoints go dark
   /// (container::Container::crash()) and the node is marked failed — the
   /// simulation harness's "kill -9". Survivors record the failure.
@@ -108,10 +103,6 @@ class Dvm {
   /// Deletes a global state entry.
   Status erase(std::string_view node_name, std::string_view key);
 
-  /// Blocking anti-entropy pass. Superseded by post_anti_entropy().
-  [[deprecated("use post_anti_entropy(); blocking DVM entry points are being retired")]]
-  Result<AntiEntropyReport> anti_entropy();
-
   // ---- event-loop dispatch -------------------------------------------------------
 
   /// The DVM's dispatch loop: probe / anti-entropy completions and the
@@ -123,6 +114,7 @@ class Dvm {
 
   using ProbeCompletion = std::function<void(Result<std::vector<std::string>>)>;
   using AntiEntropyCompletion = std::function<void(Result<AntiEntropyReport>)>;
+  using HintReplayCompletion = std::function<void(Result<HintReplayReport>)>;
 
   /// Loop-posted heartbeat sweep: `from_node` probes its heartbeat peers
   /// on the DVM loop; the names of nodes newly declared failed are
@@ -147,6 +139,34 @@ class Dvm {
   /// Arms periodic anti-entropy repair on the timer wheel.
   loop::TimerId start_anti_entropy(
       Nanos period, std::function<void(const AntiEntropyReport&)> on_report = {});
+
+  /// Loop-posted hint-replay pass: the coherency protocol's parked
+  /// hinted-handoff entries are redelivered (within the rebalance budget)
+  /// and the report reaches `done` on the DVM loop. A no-op report under
+  /// protocols without hinted handoff.
+  void post_hint_replay(HintReplayCompletion done);
+
+  /// Arms periodic hint replay on the timer wheel — the loop half of
+  /// hinted handoff: each firing drains one budget's worth of parked
+  /// hints back to owners that have come back.
+  loop::TimerId start_hint_replay(
+      Nanos period, std::function<void(const HintReplayReport&)> on_report = {});
+
+  /// Hinted-handoff entries currently parked (0 for protocols without
+  /// hinted handoff).
+  std::size_t pending_hints() const { return protocol_->pending_hints(); }
+
+  /// Distinct keys with a parked hint: replication debt that replay still
+  /// owes. Durability invariants exempt these from full-replication checks.
+  std::vector<std::string> hinted_keys() const { return protocol_->hinted_keys(); }
+
+  /// Parks a hint at `coordinator` for a replica write that never reached
+  /// `target` — the resilience layer's entry point when a shard-routed
+  /// replication leg fails.
+  void park_hint(std::string_view coordinator, std::string_view target,
+                 const VersionedEntry& entry) {
+    protocol_->park_hint(coordinator, target, entry);
+  }
 
   /// Live shard→owners placement, or nullptr when the plugged-in protocol
   /// does not shard. The shard-routed resilient channel reads this.
@@ -198,10 +218,11 @@ class Dvm {
 
   std::vector<DvmNode*> alive_members() const;
   Result<std::size_t> alive_index(std::string_view node_name) const;
-  /// Blocking bodies behind both the deprecated entry points and the
-  /// loop-posted forms (which run them with loop affinity).
+  /// Blocking bodies behind the loop-posted entry points (which run them
+  /// with loop affinity).
   Result<std::vector<std::string>> probe_now(std::string_view from_node);
   Result<AntiEntropyReport> anti_entropy_now();
+  Result<HintReplayReport> hint_replay_now();
   void announce(std::string_view topic, const std::string& message);
   DvmNode* lookup_alive(std::string_view node_name);
   /// Records one coherency round (h2.dvm.<name>.coherency.*): round count,

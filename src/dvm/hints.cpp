@@ -1,0 +1,67 @@
+#include "dvm/hints.hpp"
+
+#include <algorithm>
+
+namespace h2::dvm {
+
+bool HintStore::park(std::string_view coordinator, std::string_view target,
+                     const VersionedEntry& entry,
+                     std::vector<std::string> owners_at_park) {
+  auto it = hints_.find(coordinator);
+  if (it == hints_.end()) {
+    it = hints_.emplace(std::string(coordinator), std::deque<Hint>{}).first;
+  }
+  auto& queue = it->second;
+  ++parked_total_;
+  for (auto& hint : queue) {
+    if (hint.target == target && hint.entry.key == entry.key) {
+      if (hint.entry.version < entry.version) {
+        hint.entry = entry;
+        hint.owners_at_park = std::move(owners_at_park);
+      }
+      return false;
+    }
+  }
+  queue.push_back(Hint{std::string(target), entry, std::move(owners_at_park)});
+  if (queue.size() > max_per_coordinator_) {
+    queue.pop_front();
+    ++evicted_;
+  }
+  return true;
+}
+
+std::size_t HintStore::pending() const {
+  std::size_t total = 0;
+  for (const auto& [name, queue] : hints_) total += queue.size();
+  return total;
+}
+
+std::size_t HintStore::pending_for(std::string_view coordinator) const {
+  auto it = hints_.find(coordinator);
+  return it == hints_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> HintStore::coordinators() const {
+  std::vector<std::string> names;
+  for (const auto& [name, queue] : hints_) {
+    if (!queue.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::string> HintStore::keys() const {
+  std::vector<std::string> out;
+  for (const auto& [name, queue] : hints_) {
+    for (const Hint& hint : queue) out.push_back(hint.entry.key);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void HintStore::drop_coordinator(std::string_view coordinator) {
+  auto it = hints_.find(coordinator);
+  if (it != hints_.end()) hints_.erase(it);
+}
+
+}  // namespace h2::dvm

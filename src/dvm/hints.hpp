@@ -1,0 +1,146 @@
+// Hinted handoff (Dynamo-style, scaled to this repo): when a sharded
+// write cannot reach one of its R replica-set owners, the coordinator
+// applies the write wherever it can and parks a *hint* — the versioned
+// entry plus the owner it never reached. A periodic replay pass drains
+// hints back to their targets once those are reachable again, restoring
+// R-replication without waiting for the next anti-entropy round. Hints
+// live in coordinator memory: while the coordinator is down its hints are
+// not replayable and anti-entropy is the backstop.
+//
+// The TokenBucket is the shared recovery budget: hint replay and
+// join/leave handoff both draw from it, so repair traffic is bounded per
+// tick and cannot starve foreground writes (the "bounded rebalance" half
+// of the degraded-mode story).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dvm/state.hpp"
+
+namespace h2::dvm {
+
+/// One parked write: the versioned entry and the owner it must reach.
+/// `owners_at_park` records the key's owner set when the hint was parked:
+/// every owner in it either took the write or got a hint of its own, so
+/// replay only needs to reach `target` plus owners that joined the set
+/// afterwards (those may have been seeded by a stale donor). An empty
+/// set means "unknown" and replay falls back to the whole owner set.
+struct Hint {
+  std::string target;  ///< member the replication leg never reached
+  VersionedEntry entry;
+  std::vector<std::string> owners_at_park;
+};
+
+/// What one hint-replay pass did (sharded mode; zeroes elsewhere).
+struct HintReplayReport {
+  std::size_t attempted = 0;  ///< hints a delivery was tried for
+  std::size_t delivered = 0;  ///< hints applied at their target(s) and retired
+  std::size_t requeued = 0;   ///< delivery failed; kept for the next pass
+  std::size_t skipped = 0;    ///< coordinator dead or budget exhausted this tick
+};
+
+/// Per-tick recovery budget: `refill()` starts a tick, `try_consume()`
+/// charges one message of `bytes` against it. A zero cap means unlimited
+/// on that axis. Both axes must have room for a consume to succeed.
+class TokenBucket {
+ public:
+  TokenBucket(std::size_t bytes_per_tick, std::size_t msgs_per_tick)
+      : bytes_cap_(bytes_per_tick), msgs_cap_(msgs_per_tick) {
+    refill();
+  }
+
+  void refill() {
+    bytes_left_ = bytes_cap_;
+    msgs_left_ = msgs_cap_;
+  }
+
+  bool try_consume(std::size_t bytes) {
+    if (bytes_cap_ != 0 && bytes > bytes_left_) return false;
+    if (msgs_cap_ != 0 && msgs_left_ == 0) return false;
+    if (bytes_cap_ != 0) bytes_left_ -= bytes;
+    if (msgs_cap_ != 0) --msgs_left_;
+    return true;
+  }
+
+  /// Split-axis consumes for batched senders: entries charge bytes as
+  /// they are collected, the one wire frame that carries them charges a
+  /// single message. try_consume() remains the combined form for
+  /// unbatched per-entry sends.
+  bool try_consume_bytes(std::size_t bytes) {
+    if (bytes_cap_ != 0 && bytes > bytes_left_) return false;
+    if (bytes_cap_ != 0) bytes_left_ -= bytes;
+    return true;
+  }
+  bool try_consume_msg() {
+    if (msgs_cap_ != 0 && msgs_left_ == 0) return false;
+    if (msgs_cap_ != 0) --msgs_left_;
+    return true;
+  }
+
+  std::size_t bytes_left() const { return bytes_cap_ == 0 ? SIZE_MAX : bytes_left_; }
+  std::size_t msgs_left() const { return msgs_cap_ == 0 ? SIZE_MAX : msgs_left_; }
+
+ private:
+  std::size_t bytes_cap_;
+  std::size_t msgs_cap_;
+  std::size_t bytes_left_ = 0;
+  std::size_t msgs_left_ = 0;
+};
+
+/// Hints parked per coordinator (the member that originated the write).
+/// Bounded: each coordinator holds at most `max_per_coordinator` hints;
+/// overflow evicts the oldest (counted in `evicted()` — anti-entropy must
+/// then repair what the evicted hint would have delivered). Parking a
+/// newer version of a (target, key) pair already hinted replaces the old
+/// hint in place — replaying the superseded version would be a wasted
+/// message, the LWW merge at the target drops it anyway.
+class HintStore {
+ public:
+  static constexpr std::size_t kDefaultMaxPerCoordinator = 1024;
+
+  explicit HintStore(std::size_t max_per_coordinator = kDefaultMaxPerCoordinator)
+      : max_per_coordinator_(max_per_coordinator) {}
+
+  /// Returns false when the hint superseded an existing one (no growth).
+  /// `owners_at_park` is the key's owner set at park time (may be empty
+  /// when the caller does not know it — see Hint).
+  bool park(std::string_view coordinator, std::string_view target,
+            const VersionedEntry& entry,
+            std::vector<std::string> owners_at_park = {});
+
+  std::size_t pending() const;
+  std::size_t pending_for(std::string_view coordinator) const;
+  std::uint64_t parked_total() const { return parked_total_; }
+  std::uint64_t evicted() const { return evicted_; }
+
+  /// Coordinators with at least one parked hint, in name order (the
+  /// deterministic replay order).
+  std::vector<std::string> coordinators() const;
+
+  /// Distinct keys with at least one parked hint anywhere, sorted. These
+  /// are the keys whose replication debt is recorded but not yet paid —
+  /// invariant checkers exempt them from full-replication checks.
+  std::vector<std::string> keys() const;
+
+  /// Mutable FIFO queue of one coordinator's hints; replay walks it and
+  /// erases what it delivered.
+  std::deque<Hint>& hints_for(const std::string& coordinator) {
+    return hints_[coordinator];
+  }
+
+  /// Drops every hint parked at `coordinator` (its memory is gone).
+  void drop_coordinator(std::string_view coordinator);
+
+ private:
+  std::size_t max_per_coordinator_;
+  std::map<std::string, std::deque<Hint>, std::less<>> hints_;
+  std::uint64_t parked_total_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace h2::dvm

@@ -77,6 +77,18 @@ struct ShardConfig {
   std::size_t replicas = 2;   ///< R owners per shard
   std::size_t vnodes = 8;     ///< virtual nodes per member on the ring
   std::uint64_t seed = 0x4841524e45535332ULL;  ///< ring placement seed
+
+  /// Merkle anti-entropy: leaf buckets per shard tree (rounded up to a
+  /// power of two). More buckets → finer diffs → fewer bytes repaired per
+  /// diverged key, at the cost of a deeper digest exchange.
+  std::size_t merkle_buckets = 32;
+
+  /// Rebalance budget: bytes/messages of recovery traffic (join/leave
+  /// handoff + hint replay) allowed per tick. 0 = unlimited on that axis.
+  /// Handoff entries beyond the budget are deferred as hints and drained
+  /// by later replay ticks instead of moving in one burst.
+  std::size_t rebalance_bytes_per_tick = 0;
+  std::size_t rebalance_msgs_per_tick = 0;
 };
 
 /// shard → owner-list map derived from a HashRing over the current

@@ -1,27 +1,41 @@
 // Sharded coherency mode: the keyspace is split into fixed shards placed
 // on a consistent-hash ring (dvm/ring.hpp); every write becomes a
 // last-write-wins delta sent only to the R shard owners, reads walk the
-// owner list, and a periodic anti-entropy pass (digest compare + pull +
-// push, state.cpp) repairs replicas that diverged across partitions or
-// crashes. Versions are stamped from one protocol-global counter, so the
-// order writes are acknowledged in IS their LWW order — a write can never
-// be silently shadowed by an earlier acknowledged one.
+// owner list, and a periodic Merkle anti-entropy pass (top-down digest
+// descent + per-bucket pull/push, merkle.cpp) repairs replicas that
+// diverged across partitions or crashes. A replication leg that cannot
+// reach its owner parks a hint at the coordinator (hints.hpp); replay
+// redelivers those once the owner is back, so R-replication is restored
+// without waiting for anti-entropy. Versions are stamped from one
+// protocol-global counter, so the order writes are acknowledged in IS
+// their LWW order — a write can never be silently shadowed by an earlier
+// acknowledged one.
 #include <algorithm>
 #include <map>
 #include <optional>
 
 #include "dvm/coherency.hpp"
+#include "dvm/merkle.hpp"
 #include "obs/metrics.hpp"
 
 namespace h2::dvm {
 
 namespace {
 
+/// Budget charge of one replicated entry: payload plus framing overhead.
+std::size_t entry_wire_size(const VersionedEntry& entry) {
+  return entry.key.size() + entry.value.size() + 32;
+}
+
 class ShardedCoherency final : public CoherencyProtocol {
  public:
   explicit ShardedCoherency(ShardConfig config,
-                            std::optional<std::size_t> skip_shard = std::nullopt)
-      : map_(config), skip_shard_(skip_shard) {}
+                            std::optional<std::size_t> skip_shard = std::nullopt,
+                            bool drop_hints = false)
+      : map_(config),
+        skip_shard_(skip_shard),
+        drop_hints_(drop_hints),
+        budget_(config.rebalance_bytes_per_tick, config.rebalance_msgs_per_tick) {}
 
   const char* name() const override { return "sharded"; }
 
@@ -75,6 +89,9 @@ class ShardedCoherency final : public CoherencyProtocol {
         for (std::size_t idx : batch.write_idx) ++applied[idx];
       } else {
         c_write_misses_->add(batch.entries.size());
+        for (const VersionedEntry& entry : batch.entries) {
+          park(origin_node->name(), batch.node->name(), entry);
+        }
       }
     }
     for (std::size_t i = 0; i < coalesced.size(); ++i) {
@@ -198,18 +215,22 @@ class ShardedCoherency final : public CoherencyProtocol {
       // Two passes: round one accumulates every replica's entries into the
       // primary (it ends holding the shard-wide LWW maximum), round two
       // pushes that maximum back out. After a clean double pass all owner
-      // snapshots are byte-equal.
+      // snapshots are byte-equal. Each pairwise exchange is a Merkle
+      // descent, so only diverged buckets cross the wire.
       for (int pass = 0; pass < 2; ++pass) {
         for (std::size_t r = 1; r < owners.size(); ++r) {
           auto channel = primary->open_state_channel(*owners[r]);
-          auto stats = sync_shard_with_peer(*channel, primary->state(), s,
-                                            map_.shard_count());
+          auto stats = merkle_sync_shard_with_peer(*channel, primary->state(), s,
+                                                   map_.shard_count(),
+                                                   map_.config().merkle_buckets);
           if (!stats.ok()) {
             ++report.exchange_failures;
             continue;
           }
           if (stats->differed) divergent = true;
           report.entries_repaired += stats->merged;
+          report.buckets_diverged += stats->buckets_diverged;
+          report.bytes_transferred += stats->bytes_pulled + stats->bytes_pushed;
         }
       }
       if (divergent) ++report.shards_divergent;
@@ -218,6 +239,126 @@ class ShardedCoherency final : public CoherencyProtocol {
     c_ae_rounds_->add();
     c_ae_divergent_->add(report.shards_divergent);
     c_ae_repaired_->add(report.entries_repaired);
+    c_ae_bytes_->add(report.bytes_transferred);
+    return report;
+  }
+
+  void park_hint(std::string_view coordinator, std::string_view target,
+                 const VersionedEntry& entry) override {
+    park(coordinator, target, entry);
+  }
+
+  std::size_t pending_hints() const override { return hints_.pending(); }
+
+  std::vector<std::string> hinted_keys() const override { return hints_.keys(); }
+
+  Result<HintReplayReport> replay_hints(std::span<DvmNode* const> members) override {
+    HintReplayReport report;
+    if (members.empty() || hints_.pending() == 0) return report;
+    ensure(members);
+    bind_metrics(*members[0]);
+    budget_.refill();
+    bool exhausted = false;
+    for (const std::string& coordinator : hints_.coordinators()) {
+      if (exhausted) {
+        report.skipped += hints_.pending_for(coordinator);
+        continue;
+      }
+      DvmNode* coord = find_member(members, coordinator);
+      if (coord == nullptr) {
+        // The coordinator is out of the membership; its hints live in its
+        // memory and replay when it rejoins. Anti-entropy is the backstop
+        // for anything lost with it.
+        report.skipped += hints_.pending_for(coordinator);
+        continue;
+      }
+      auto& queue = hints_.hints_for(coordinator);
+      // Collect one budget's worth of hints, grouping every remote leg
+      // into a single batched vset frame per target: the pass then costs
+      // O(distinct targets) round trips, not O(hints x R), which is what
+      // keeps a throttled replay slice comparable to one foreground
+      // write. Entries charge the byte axis as they are collected; each
+      // frame charges one message when it is sent. Self-legs (the
+      // coordinator is itself an owner) apply locally for free.
+      std::size_t taken = 0;
+      std::vector<bool> complete;  // hint's every leg resolved and afforded
+      std::map<std::string, std::vector<std::size_t>, std::less<>> legs;
+      for (std::size_t i = 0; i < queue.size() && !exhausted; ++i) {
+        const Hint& hint = queue[i];
+        ++report.attempted;
+        ++taken;
+        const std::size_t shard = map_.shard_of(hint.entry.key);
+        // Deliver to the hint's target plus any owner that joined the set
+        // after the hint was parked: ownership may have moved, and a new
+        // owner seeded by a donor that was itself missing this entry has
+        // no hint of its own. Owners already present at park time took
+        // the write or carry their own hint, so re-sending to them would
+        // only burn budget. A hint with no park-time stamp falls back to
+        // the whole owner set. LWW apply makes duplicates harmless.
+        auto owners = map_.owners(shard);
+        std::vector<std::string> targets;
+        for (const std::string& name : owners) {
+          const bool joined_since =
+              !hint.owners_at_park.empty() &&
+              std::find(hint.owners_at_park.begin(), hint.owners_at_park.end(),
+                        name) == hint.owners_at_park.end();
+          if (hint.owners_at_park.empty() || name == hint.target ||
+              joined_since) {
+            targets.push_back(name);
+          }
+        }
+        bool ok = true;
+        for (const std::string& name : targets) {
+          DvmNode* target = find_member(members, name);
+          if (target == nullptr) {
+            ok = false;
+            continue;
+          }
+          if (target == coord) {
+            (void)coord->state().apply(hint.entry);
+            continue;
+          }
+          if (!budget_.try_consume_bytes(entry_wire_size(hint.entry))) {
+            exhausted = true;
+            ok = false;
+            break;
+          }
+          legs[name].push_back(i);
+        }
+        complete.push_back(ok);
+      }
+      if (exhausted) report.skipped += queue.size() - taken;
+      // Send the frames; a frame that fails (or that the message budget
+      // cannot afford) requeues every hint that had a leg in it.
+      std::vector<bool> delivered(complete);
+      for (auto& [name, indexes] : legs) {
+        DvmNode* target = find_member(members, name);
+        bool sent = false;
+        if (budget_.try_consume_msg()) {
+          std::vector<VersionedEntry> entries;
+          entries.reserve(indexes.size());
+          for (std::size_t i : indexes) entries.push_back(queue[i].entry);
+          sent = target != nullptr &&
+                 coord->remote_vset_batch(*target, entries).ok();
+        } else {
+          exhausted = true;
+        }
+        if (!sent) {
+          for (std::size_t i : indexes) delivered[i] = false;
+        }
+      }
+      // Retire delivered hints back-to-front so stored indexes stay valid.
+      for (std::size_t i = taken; i-- > 0;) {
+        if (delivered[i]) {
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+          ++report.delivered;
+          if (c_hints_replayed_ != nullptr) c_hints_replayed_->add();
+        } else {
+          ++report.requeued;
+          if (c_hints_requeued_ != nullptr) c_hints_requeued_->add();
+        }
+      }
+    }
     return report;
   }
 
@@ -261,8 +402,29 @@ class ShardedCoherency final : public CoherencyProtocol {
     c_ae_rounds_ = &net.metrics().counter("h2.dvm.shard.ae_rounds");
     c_ae_divergent_ = &net.metrics().counter("h2.dvm.shard.ae_shards_divergent");
     c_ae_repaired_ = &net.metrics().counter("h2.dvm.shard.ae_entries_repaired");
-    c_handoff_ = &net.metrics().counter("h2.dvm.shard.handoff_entries");
+    c_ae_bytes_ = &net.metrics().counter("h2.dvm.shard.ae_bytes");
+    c_handoff_ = &net.metrics().counter("h2.dvm.shard.handoff.entries");
+    c_handoff_bytes_ = &net.metrics().counter("h2.dvm.shard.handoff.bytes");
+    c_handoff_deferred_ = &net.metrics().counter("h2.dvm.shard.handoff.deferred");
+    c_hints_parked_ = &net.metrics().counter("h2.dvm.shard.hints.parked");
+    c_hints_replayed_ = &net.metrics().counter("h2.dvm.shard.hints.replayed");
+    c_hints_requeued_ = &net.metrics().counter("h2.dvm.shard.hints.requeued");
     c_read_repairs_ = &net.metrics().counter("h2.dvm.shard.read_repairs");
+  }
+
+  /// The one parking point (write misses, failed handoff legs, the
+  /// resilience channel via park_hint). The TEST-ONLY drop bug lives
+  /// here: it silently discards instead of parking.
+  void park(std::string_view coordinator, std::string_view target,
+            const VersionedEntry& entry) {
+    if (drop_hints_) return;  // TEST ONLY planted durability bug
+    // Stamp the owner set as of now: every one of these owners either
+    // took the write or is getting a hint of its own, so replay can skip
+    // them and reach only `target` plus owners that join later.
+    auto owners = map_.owners(map_.shard_of(entry.key));
+    hints_.park(coordinator, target, entry,
+                std::vector<std::string>(owners.begin(), owners.end()));
+    if (c_hints_parked_ != nullptr) c_hints_parked_->add();
   }
 
   Status write_one(std::span<DvmNode* const> members, std::size_t origin,
@@ -285,6 +447,7 @@ class ShardedCoherency final : public CoherencyProtocol {
         ++applied;
       } else {
         c_write_misses_->add();
+        park(origin_node->name(), owner, entry);
       }
     }
     c_writes_->add();
@@ -294,15 +457,17 @@ class ShardedCoherency final : public CoherencyProtocol {
       return err::unavailable("sharded write of '" + std::string(key) +
                               "': no shard owner reachable");
     }
-    // Partial landings are fine — anti-entropy spreads the delta to the
-    // owners the partition hid.
+    // Partial landings are acknowledged — the parked hints restore
+    // R-replication at the next replay tick, anti-entropy backstops.
     return Status::success();
   }
 
   /// Rebuild placement for a changed membership and push the shards whose
-  /// owner set changed from a surviving old owner to each new owner.
-  /// Best-effort by design: a partitioned target simply stays stale until
-  /// anti-entropy reaches it.
+  /// owner set changed from a surviving old owner to each new owner,
+  /// within the rebalance budget (one refill per membership event).
+  /// Entries past the budget — and entries whose transfer failed — are
+  /// parked as hints at the donor, so replay ticks finish the move
+  /// instead of one unbounded burst; anti-entropy backstops the rest.
   void handoff(std::span<DvmNode* const> members) {
     const bool had_map = !map_.members().empty();
     std::vector<std::vector<std::string>> old_owners;
@@ -313,6 +478,7 @@ class ShardedCoherency final : public CoherencyProtocol {
     }
     ensure(members);
     if (!had_map) return;
+    budget_.refill();
     for (std::size_t s = 0; s < map_.shard_count(); ++s) {
       auto new_owners = map_.owners(s);
       if (std::equal(new_owners.begin(), new_owners.end(), old_owners[s].begin(),
@@ -327,6 +493,33 @@ class ShardedCoherency final : public CoherencyProtocol {
         }
       }
       if (donor == nullptr) continue;  // every old owner gone; AE must rebuild
+      // The donor may itself be missing exactly the writes that are
+      // hint-covered (its own hint is still parked somewhere), so a
+      // snapshot seed can hand a new owner stale data with no record.
+      // Re-target every pending hint whose key lives in this shard at
+      // each added owner: replay then delivers the authoritative copy
+      // regardless of how stale the donor was.
+      std::vector<std::string> added;
+      for (const std::string& owner : new_owners) {
+        if (std::find(old_owners[s].begin(), old_owners[s].end(), owner) ==
+                old_owners[s].end() &&
+            find_member(members, owner) != nullptr) {
+          added.push_back(owner);
+        }
+      }
+      if (!added.empty()) {
+        for (const std::string& coordinator : hints_.coordinators()) {
+          auto& queue = hints_.hints_for(coordinator);
+          const std::size_t existing = queue.size();  // park() may append here
+          for (std::size_t i = 0; i < existing && i < queue.size(); ++i) {
+            const Hint hint = queue[i];  // copy: park() can evict from the deque
+            if (map_.shard_of(hint.entry.key) != s) continue;
+            for (const std::string& owner : added) {
+              if (owner != hint.target) park(coordinator, owner, hint.entry);
+            }
+          }
+        }
+      }
       auto entries = donor->state().shard_snapshot(s, map_.shard_count());
       if (entries.empty()) continue;
       for (const std::string& owner : new_owners) {
@@ -336,8 +529,28 @@ class ShardedCoherency final : public CoherencyProtocol {
         }
         DvmNode* target = find_member(members, owner);
         if (target == nullptr || target == donor) continue;
-        if (donor->remote_vset_batch(*target, entries).ok() && c_handoff_ != nullptr) {
-          c_handoff_->add(entries.size());
+        std::vector<VersionedEntry> send;
+        std::size_t send_bytes = 0;
+        std::size_t deferred = 0;
+        for (const VersionedEntry& entry : entries) {
+          if (budget_.try_consume(entry_wire_size(entry))) {
+            send.push_back(entry);
+            send_bytes += entry_wire_size(entry);
+          } else {
+            park(donor->name(), owner, entry);
+            ++deferred;
+          }
+        }
+        if (deferred > 0 && c_handoff_deferred_ != nullptr) {
+          c_handoff_deferred_->add(deferred);
+        }
+        if (send.empty()) continue;
+        if (donor->remote_vset_batch(*target, send).ok()) {
+          if (c_handoff_ != nullptr) c_handoff_->add(send.size());
+          if (c_handoff_bytes_ != nullptr) c_handoff_bytes_->add(send_bytes);
+        } else {
+          // The burst never landed: park it so replay retries leg by leg.
+          for (const VersionedEntry& entry : send) park(donor->name(), owner, entry);
         }
       }
     }
@@ -345,14 +558,23 @@ class ShardedCoherency final : public CoherencyProtocol {
 
   ShardMap map_;
   std::optional<std::size_t> skip_shard_;  ///< TEST ONLY: AE skips this shard
+  bool drop_hints_;                        ///< TEST ONLY: park() discards hints
   std::uint64_t counter_ = 0;  ///< global LWW timestamp source (see header comment)
+  HintStore hints_;
+  TokenBucket budget_;  ///< shared handoff + replay budget (one refill per tick)
   net::SimNetwork* metrics_net_ = nullptr;
   obs::Counter* c_writes_ = nullptr;
   obs::Counter* c_write_misses_ = nullptr;
   obs::Counter* c_ae_rounds_ = nullptr;
   obs::Counter* c_ae_divergent_ = nullptr;
   obs::Counter* c_ae_repaired_ = nullptr;
+  obs::Counter* c_ae_bytes_ = nullptr;
   obs::Counter* c_handoff_ = nullptr;
+  obs::Counter* c_handoff_bytes_ = nullptr;
+  obs::Counter* c_handoff_deferred_ = nullptr;
+  obs::Counter* c_hints_parked_ = nullptr;
+  obs::Counter* c_hints_replayed_ = nullptr;
+  obs::Counter* c_hints_requeued_ = nullptr;
   obs::Counter* c_read_repairs_ = nullptr;
 };
 
@@ -362,9 +584,14 @@ std::unique_ptr<CoherencyProtocol> make_sharded(ShardConfig config) {
   return std::make_unique<ShardedCoherency>(config);
 }
 
-std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(ShardConfig config,
-                                                               std::size_t skip_shard) {
-  return std::make_unique<ShardedCoherency>(config, skip_shard);
+std::unique_ptr<CoherencyProtocol> make_sharded_buggy_for_test(
+    ShardConfig config, std::size_t skip_shard, bool drop_hints) {
+  return std::make_unique<ShardedCoherency>(config, skip_shard, drop_hints);
+}
+
+std::unique_ptr<CoherencyProtocol> make_sharded_hint_drop_for_test(ShardConfig config) {
+  return std::make_unique<ShardedCoherency>(config, std::nullopt,
+                                            /*drop_hints=*/true);
 }
 
 }  // namespace h2::dvm

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "dvm/merkle.hpp"
+
 namespace h2::dvm {
 
 // ---- StateStore: versioned LWW entries ----------------------------------------
@@ -248,6 +250,91 @@ std::shared_ptr<net::DispatcherMux> make_state_service(
                                           static_cast<std::size_t>(*shards));
     return Value::of_string(encode_entries(snapshot), "entries");
   });
+  // Merkle anti-entropy surface: node digests for the top-down descent and
+  // per-bucket pulls so a diverged shard transfers only diverged buckets.
+  service->add("mnode", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 5) {
+      return err::invalid_argument("mnode(shard, shards, buckets, level, index)");
+    }
+    std::int64_t args[5];
+    for (std::size_t i = 0; i < 5; ++i) {
+      auto value = params[i].as_int();
+      if (!value.ok()) return value.error();
+      args[i] = *value;
+    }
+    std::size_t buckets = merkle_bucket_count(static_cast<std::size_t>(args[2]));
+    MerkleTree tree = build_merkle_tree(*state, static_cast<std::size_t>(args[0]),
+                                        static_cast<std::size_t>(args[1]), buckets);
+    auto level = static_cast<std::size_t>(args[3]);
+    auto index = static_cast<std::size_t>(args[4]);
+    if (level > tree.depth() || index >= (std::size_t{1} << level)) {
+      return err::invalid_argument("mnode: node out of range");
+    }
+    return Value::of_int(static_cast<std::int64_t>(tree.node(level, index)),
+                         "digest");
+  });
+  // Packed variant for the descent's hot path: one call per tree level,
+  // indexes as an 8-byte big-endian blob, digests back the same way. The
+  // per-node named-param framing of "mnode" would otherwise dominate the
+  // exchange's bytes and defeat the O(diff) bandwidth claim.
+  service->add("mnodes", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 5) {
+      return err::invalid_argument("mnodes(shard, shards, buckets, level, indexes)");
+    }
+    std::int64_t args[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto value = params[i].as_int();
+      if (!value.ok()) return value.error();
+      args[i] = *value;
+    }
+    auto blob = params[4].as_string();
+    if (!blob.ok()) return blob.error();
+    if (blob->size() % 8 != 0) {
+      return err::invalid_argument("mnodes: index blob not a multiple of 8");
+    }
+    std::size_t buckets = merkle_bucket_count(static_cast<std::size_t>(args[2]));
+    MerkleTree tree = build_merkle_tree(*state, static_cast<std::size_t>(args[0]),
+                                        static_cast<std::size_t>(args[1]), buckets);
+    auto level = static_cast<std::size_t>(args[3]);
+    if (level > tree.depth()) return err::invalid_argument("mnodes: level out of range");
+    std::string digests;
+    digests.reserve(blob->size());
+    for (std::size_t off = 0; off < blob->size(); off += 8) {
+      std::uint64_t index = 0;
+      for (std::size_t b = 0; b < 8; ++b) {
+        index = (index << 8) | static_cast<std::uint8_t>((*blob)[off + b]);
+      }
+      if (index >= (std::size_t{1} << level)) {
+        return err::invalid_argument("mnodes: node out of range");
+      }
+      std::uint64_t digest = tree.node(level, static_cast<std::size_t>(index));
+      for (std::size_t b = 8; b-- > 0;) {
+        digests.push_back(static_cast<char>((digest >> (8 * b)) & 0xFF));
+      }
+    }
+    return Value::of_string(std::move(digests), "digests");
+  });
+  service->add("mpull", [state](std::span<const Value> params) -> Result<Value> {
+    if (params.size() != 4) {
+      return err::invalid_argument("mpull(shard, shards, buckets, bucket)");
+    }
+    std::int64_t args[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto value = params[i].as_int();
+      if (!value.ok()) return value.error();
+      args[i] = *value;
+    }
+    std::size_t buckets = merkle_bucket_count(static_cast<std::size_t>(args[2]));
+    auto bucket = static_cast<std::size_t>(args[3]);
+    if (bucket >= buckets) return err::invalid_argument("mpull: bucket out of range");
+    auto snapshot = state->shard_snapshot(static_cast<std::size_t>(args[0]),
+                                          static_cast<std::size_t>(args[1]));
+    std::vector<VersionedEntry> out;
+    for (VersionedEntry& entry : snapshot) {
+      if (bucket_of_key(entry.key, buckets) == bucket) out.push_back(std::move(entry));
+    }
+    return Value::of_string(encode_entries(out), "entries");
+  });
   return service;
 }
 
@@ -259,6 +346,8 @@ std::vector<Value> shard_params(std::size_t shard, std::size_t shard_count) {
   return {Value::of_int(static_cast<std::int64_t>(shard), "shard"),
           Value::of_int(static_cast<std::int64_t>(shard_count), "shards")};
 }
+
+}  // namespace
 
 net::BatchItem vset_item(const VersionedEntry& entry) {
   net::BatchItem item;
@@ -272,8 +361,6 @@ net::BatchItem vset_item(const VersionedEntry& entry) {
   item.params.push_back(Value::of_bool(entry.deleted, "deleted"));
   return item;
 }
-
-}  // namespace
 
 Result<ShardSyncStats> sync_shard_with_peer(net::Channel& peer, StateStore& local,
                                             std::size_t shard,
@@ -307,27 +394,41 @@ Result<ShardSyncStats> sync_shard_with_peer(net::Channel& peer, StateStore& loca
     if (local.apply(entry)) ++stats.merged;
   }
 
-  // Push the merged shard back in one batch frame; the peer's LWW merge
+  // Push the merged shard back in batched frames; the peer's LWW merge
   // drops anything it already holds.
   auto snapshot = local.shard_snapshot(shard, shard_count);
   if (!snapshot.empty()) {
-    std::vector<net::BatchItem> calls;
-    calls.reserve(snapshot.size());
-    for (const VersionedEntry& entry : snapshot) calls.push_back(vset_item(entry));
-    std::vector<Result<Value>> results;
-    if (auto status = peer.invoke_batch(calls, results); !status.ok()) {
-      return status.error().context("anti-entropy push, shard " +
-                                    std::to_string(shard));
-    }
-    for (const auto& result : results) {
-      if (!result.ok()) {
-        return result.error().context("anti-entropy push entry, shard " +
-                                      std::to_string(shard));
-      }
+    if (auto status = push_entries_batched(
+            peer, snapshot, "anti-entropy push, shard " + std::to_string(shard));
+        !status.ok()) {
+      return status.error();
     }
     stats.pushed = snapshot.size();
   }
   return stats;
+}
+
+Status push_entries_batched(net::Channel& peer,
+                            std::span<const VersionedEntry> entries,
+                            std::string_view context) {
+  for (std::size_t offset = 0; offset < entries.size();
+       offset += net::kMaxBatchCalls) {
+    const std::size_t count =
+        std::min<std::size_t>(net::kMaxBatchCalls, entries.size() - offset);
+    std::vector<net::BatchItem> calls;
+    calls.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      calls.push_back(vset_item(entries[offset + i]));
+    }
+    std::vector<Result<Value>> results;
+    if (auto status = peer.invoke_batch(calls, results); !status.ok()) {
+      return status.error().context(std::string(context));
+    }
+    for (const auto& result : results) {
+      if (!result.ok()) return result.error().context(std::string(context));
+    }
+  }
+  return Status::success();
 }
 
 // ---- DvmNode -------------------------------------------------------------------

@@ -124,6 +124,18 @@ class StateStore {
 std::string encode_entries(std::span<const VersionedEntry> entries);
 Result<std::vector<VersionedEntry>> decode_entries(std::string_view blob);
 
+/// One "vset" sub-call of a batched LWW push — shared by the anti-entropy
+/// exchanges (flat and Merkle) and the hint-replay path.
+net::BatchItem vset_item(const VersionedEntry& entry);
+
+/// Pushes `entries` to the peer as batched "vset" frames, chunked so no
+/// frame exceeds the wire's batch-call limit (a whole-shard push can be
+/// tens of thousands of entries). Fails on the first frame or sub-call
+/// error, with `context` prefixed.
+Status push_entries_batched(net::Channel& peer,
+                            std::span<const VersionedEntry> entries,
+                            std::string_view context);
+
 /// Builds the state service dispatcher over `store`: the classic
 /// set/get/ping/del plus the sharded-mode surface — vset (LWW delta),
 /// vget (versioned read), wset (server-assigned version, stamped with

@@ -94,6 +94,25 @@ Status EventLoop::unwatch_fd(int fd) {
   return {};
 }
 
+Status EventLoop::set_fd_interest(int fd, unsigned interest) {
+  std::lock_guard lock(mu_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return err::not_found("fd " + std::to_string(fd) + " not watched on loop " +
+                          name_);
+  }
+  if (it->second.interest == interest) return {};
+  it->second.interest = interest;
+  if (driver_ != nullptr) {
+    // Drivers register with ADD-only semantics, so re-register.
+    driver_->fd_remove(fd);
+    if (auto status = driver_->fd_add(fd, interest); !status.ok()) {
+      return status.context("set_fd_interest(" + name_ + ")");
+    }
+  }
+  return {};
+}
+
 void EventLoop::run_sync(Task task) {
   bool inline_ok;
   {

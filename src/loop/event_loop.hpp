@@ -128,6 +128,10 @@ class EventLoop {
   /// always delivered regardless of `interest`.
   Status watch_fd(int fd, unsigned interest, FdCallback cb);
   Status unwatch_fd(int fd);
+  /// Changes a watched fd's readiness interest in place, keeping its
+  /// callback — how a connection toggles write interest on and off as its
+  /// outbound buffer fills and drains. Thread-safe, like watch_fd.
+  Status set_fd_interest(int fd, unsigned interest);
 
   /// Runs `task` to completion before returning: inline when safe
   /// (eager mode, non-threaded driver, or already on the loop thread),

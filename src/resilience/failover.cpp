@@ -260,11 +260,16 @@ Result<std::string> ShardRoutedChannel::get(std::string_view key) {
 Status ShardRoutedChannel::replicate(const dvm::VersionedEntry& entry,
                                      std::span<const std::string> owners,
                                      const std::string& already_applied) {
-  // Best-effort fan-out of the assigned version to the remaining owners;
-  // anti-entropy covers any owner this leg cannot reach.
+  // Fan-out of the assigned version to the remaining owners. A leg that
+  // fails parks a hint at this channel's origin — replay redelivers it
+  // when the owner is back, so the write regains R-replication without
+  // waiting for anti-entropy. The write itself is already acknowledged by
+  // the coordinating owner, so this never fails the call.
   for (const std::string& owner : owners) {
     if (owner == already_applied) continue;
-    (void)channel_to(owner).invoke("vset", vset_params(entry));
+    if (!channel_to(owner).invoke("vset", vset_params(entry)).ok()) {
+      dvm_.park_hint(origin_.name(), owner, entry);
+    }
   }
   return Status::success();
 }
@@ -323,8 +328,9 @@ Status ShardRoutedChannel::set_batch(std::span<const dvm::KV> writes) {
   }
 
   // One replication entry per write, accumulated across groups and sent as
-  // ONE best-effort vset batch per secondary owner at the end.
-  std::map<std::string, std::vector<net::BatchItem>> replication;
+  // ONE vset batch per secondary owner at the end (failed legs become
+  // hints).
+  std::map<std::string, std::vector<dvm::VersionedEntry>> replication;
   for (auto& [node, group] : groups) {
     std::vector<net::BatchItem> calls;
     calls.reserve(group.write_idx.size());
@@ -360,16 +366,30 @@ Status ShardRoutedChannel::set_batch(std::span<const dvm::KV> writes) {
                                 std::string(writes[idx].value), *version, false};
       for (const std::string& owner : map->owners(shard)) {
         if (owner == node) continue;
-        net::BatchItem item;
-        item.operation = "vset";
-        item.params = vset_params(entry);
-        replication[owner].push_back(std::move(item));
+        replication[owner].push_back(entry);
       }
     }
   }
-  for (auto& [owner, calls] : replication) {
-    std::vector<Result<Value>> ignored;
-    (void)channel_to(owner).invoke_batch(calls, ignored);  // best-effort
+  for (auto& [owner, entries] : replication) {
+    std::vector<net::BatchItem> calls;
+    calls.reserve(entries.size());
+    for (const dvm::VersionedEntry& entry : entries) {
+      net::BatchItem item;
+      item.operation = "vset";
+      item.params = vset_params(entry);
+      calls.push_back(std::move(item));
+    }
+    std::vector<Result<Value>> results;
+    if (!channel_to(owner).invoke_batch(calls, results).ok()) {
+      // The whole frame missed this owner: park every leg as a hint.
+      for (const dvm::VersionedEntry& entry : entries) {
+        dvm_.park_hint(origin_.name(), owner, entry);
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < results.size() && r < entries.size(); ++r) {
+      if (!results[r].ok()) dvm_.park_hint(origin_.name(), owner, entries[r]);
+    }
   }
   return Status::success();
 }

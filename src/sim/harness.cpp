@@ -72,11 +72,15 @@ Status SimHarness::setup() {
       protocol = dvm::make_neighborhood(config_.neighborhood_k);
       break;
     case SimConfig::Protocol::kSharded:
-      protocol = config_.buggy_shard
-                     ? dvm::make_sharded_buggy_for_test(
-                           config_.shard,
-                           dvm::shard_of_key(key_name(0), config_.shard.shards))
-                     : dvm::make_sharded(config_.shard);
+      if (config_.buggy_shard) {
+        protocol = dvm::make_sharded_buggy_for_test(
+            config_.shard, dvm::shard_of_key(key_name(0), config_.shard.shards),
+            config_.buggy_hint_drop);
+      } else if (config_.buggy_hint_drop) {
+        protocol = dvm::make_sharded_hint_drop_for_test(config_.shard);
+      } else {
+        protocol = dvm::make_sharded(config_.shard);
+      }
       break;
   }
   dvm_ = std::make_unique<dvm::Dvm>(config_.scenario, std::move(protocol));
@@ -86,6 +90,7 @@ Status SimHarness::setup() {
                     " protocol=" + protocol_label(config_.protocol) +
                     (config_.buggy_coherency ? "(buggy)" : "") +
                     (config_.buggy_shard ? "(buggy-ae)" : "") +
+                    (config_.buggy_hint_drop ? "(buggy-hints)" : "") +
                     " seed=" + std::to_string(seed_));
   for (std::size_t i = 0; i < config_.nodes; ++i) {
     std::string name = node_name(i);
@@ -170,6 +175,15 @@ Status SimHarness::setup() {
                               " repaired=" + std::to_string(report.entries_repaired));
           });
     }
+    if (config_.hint_replay_period > 0) {
+      dvm_->start_hint_replay(
+          config_.hint_replay_period, [this](const dvm::HintReplayReport& report) {
+            ++hint_replay_fires_;
+            trace_.record(net_.clock().now(), "hint-replay",
+                          "timer delivered=" + std::to_string(report.delivered) +
+                              " requeued=" + std::to_string(report.requeued));
+          });
+    }
     trace_.record(net_.clock().now(), "loop-driver",
                   "sim driver over " + std::to_string(loop_driver_->loop_count()) +
                       " loops");
@@ -188,6 +202,17 @@ Result<dvm::AntiEntropyReport> SimHarness::run_anti_entropy() {
   pump_loops();
   if (!outcome->has_value()) {
     return err::internal("sim: anti-entropy completion never delivered");
+  }
+  return std::move(**outcome);
+}
+
+Result<dvm::HintReplayReport> SimHarness::run_hint_replay() {
+  auto outcome = std::make_shared<std::optional<Result<dvm::HintReplayReport>>>();
+  dvm_->post_hint_replay(
+      [outcome](Result<dvm::HintReplayReport> report) { *outcome = std::move(report); });
+  pump_loops();
+  if (!outcome->has_value()) {
+    return err::internal("sim: hint-replay completion never delivered");
   }
   return std::move(**outcome);
 }
@@ -623,6 +648,38 @@ Status SimHarness::settle_and_check(std::size_t step) {
   }
 
   if (config_.protocol == SimConfig::Protocol::kSharded) {
+    // Drain hinted handoff before judging durability: with the network
+    // healed, replay must redeliver every parked hint whose coordinator is
+    // alive. Budget-limited protocols need several passes (one refill
+    // each); stop when a pass makes no progress — what remains is debt
+    // parked at dead coordinators, which the invariant exempts.
+    std::size_t pending = dvm_->pending_hints();
+    for (std::size_t pass = 0; pending > 0 && pass < 32; ++pass) {
+      auto replay = run_hint_replay();
+      if (!replay.ok()) {
+        return violation(step, "settle-hint-replay", replay.error());
+      }
+      std::size_t still_pending = dvm_->pending_hints();
+      trace_.record(net_.clock().now(), "hint-replay",
+                    "settle delivered=" + std::to_string(replay->delivered) +
+                        " pending=" + std::to_string(still_pending));
+      if (still_pending >= pending) break;
+      pending = still_pending;
+    }
+  }
+
+  // Pre-anti-entropy invariants judge what hinted handoff alone restored;
+  // running them before the settle repair pass keeps an AE backstop from
+  // masking a dropped hint.
+  for (auto& invariant : invariants_) {
+    if (!invariant->pre_anti_entropy()) continue;
+    ++report_.checks_run;
+    if (auto status = invariant->check(*this); !status.ok()) {
+      return violation(step, invariant->name(), status.error());
+    }
+  }
+
+  if (config_.protocol == SimConfig::Protocol::kSharded) {
     // Converge the replicas before judging them: with the network healed a
     // full anti-entropy pass must leave every owner set byte-equal (except
     // where a planted bug skips a shard — which the invariants then catch).
@@ -637,6 +694,7 @@ Status SimHarness::settle_and_check(std::size_t step) {
   }
 
   for (auto& invariant : invariants_) {
+    if (invariant->pre_anti_entropy()) continue;  // already checked above
     ++report_.checks_run;
     if (auto status = invariant->check(*this); !status.ok()) {
       return violation(step, invariant->name(), status.error());
@@ -696,6 +754,19 @@ Result<RunReport> SimHarness::run() {
                               std::to_string(report->entries_repaired) +
                               " failures=" +
                               std::to_string(report->exchange_failures));
+    }
+    if (config_.protocol == SimConfig::Protocol::kSharded &&
+        config_.hint_replay_every > 0 &&
+        (step + 1) % config_.hint_replay_every == 0) {
+      // Mid-run hint replay under live chaos; legs that still cannot reach
+      // their target are requeued for the next tick.
+      auto report = run_hint_replay();
+      trace_.record(net_.clock().now(), "hint-replay",
+                    !report.ok()
+                        ? "FAILED"
+                        : "delivered=" + std::to_string(report->delivered) +
+                              " requeued=" + std::to_string(report->requeued) +
+                              " skipped=" + std::to_string(report->skipped));
     }
     ++report_.steps_executed;
     if (config_.check_every > 0 && (step + 1) % config_.check_every == 0) {

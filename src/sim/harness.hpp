@@ -56,6 +56,8 @@ struct SimConfig {
   dvm::ShardConfig shard;
   /// Periodic anti-entropy cadence in steps (kSharded; 0 = settle-only).
   std::size_t anti_entropy_every = 0;
+  /// Periodic hint-replay cadence in steps (kSharded; 0 = settle-only).
+  std::size_t hint_replay_every = 0;
 
   /// Attach a loop::SimDriver: the DVM and every container loop run in
   /// queued mode, pumped deterministically between ops. Off by default —
@@ -68,6 +70,8 @@ struct SimConfig {
   Nanos heartbeat_period = 0;
   /// Arm Dvm::start_anti_entropy at this period (loop_driver only; 0 = off).
   Nanos anti_entropy_period = 0;
+  /// Arm Dvm::start_hint_replay at this period (loop_driver only; 0 = off).
+  Nanos hint_replay_period = 0;
 
   /// TEST ONLY: plug the deliberately broken full-synchrony protocol so a
   /// scenario can prove its invariants catch real coherency bugs.
@@ -77,6 +81,12 @@ struct SimConfig {
   /// the shard holding key "k0", so divergence there is never repaired —
   /// the shard invariants must catch it.
   bool buggy_shard = false;
+
+  /// TEST ONLY: plug the sharded protocol that silently DROPS every hint
+  /// instead of parking it, so a write that missed an owner is never
+  /// redelivered by replay — the no-under-replicated-writes invariant
+  /// must catch it before anti-entropy masks the gap.
+  bool buggy_hint_drop = false;
 
   /// TEST ONLY: disable the server-side idempotency cache on every
   /// container, so the at-most-once invariant can prove it catches
@@ -150,9 +160,11 @@ class SimHarness {
   std::uint64_t membership_events() const { return membership_events_; }
   /// The deterministic loop driver, or nullptr (eager mode).
   loop::SimDriver* loop_driver() { return loop_driver_.get(); }
-  /// Timer-driven sweeps observed via start_heartbeat / start_anti_entropy.
+  /// Timer-driven sweeps observed via start_heartbeat / start_anti_entropy
+  /// / start_hint_replay.
   std::uint64_t heartbeat_fires() const { return heartbeat_fires_; }
   std::uint64_t anti_entropy_fires() const { return anti_entropy_fires_; }
+  std::uint64_t hint_replay_fires() const { return hint_replay_fires_; }
   const EventTrace& trace() const { return trace_; }
   const SimConfig& config() const { return config_; }
   std::uint64_t seed() const { return seed_; }
@@ -175,6 +187,9 @@ class SimHarness {
   /// Loop-posted anti-entropy pass: post_anti_entropy + pump, returning
   /// the completion's report.
   Result<dvm::AntiEntropyReport> run_anti_entropy();
+  /// Loop-posted hint-replay pass: post_hint_replay + pump, returning the
+  /// completion's report.
+  Result<dvm::HintReplayReport> run_hint_replay();
   Error violation(std::size_t step, const std::string& what, const Error& cause);
   void prune_ledger_for_dead_node(const std::string& node);
   void note_failures(const std::vector<std::string>& failed);
@@ -191,6 +206,7 @@ class SimHarness {
   std::unique_ptr<loop::SimDriver> loop_driver_;
   std::uint64_t heartbeat_fires_ = 0;
   std::uint64_t anti_entropy_fires_ = 0;
+  std::uint64_t hint_replay_fires_ = 0;
   std::vector<std::unique_ptr<Invariant>> invariants_;
   EventTrace trace_;
 

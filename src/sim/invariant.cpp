@@ -399,6 +399,56 @@ class SingleOwnerPerShard final : public Invariant {
   }
 };
 
+/// Degraded-mode durability, checked BEFORE the settle anti-entropy pass
+/// (pre_anti_entropy), after the harness drained hint replay: every
+/// cleanly-acknowledged key must be held (with the acknowledged value) by
+/// every alive owner of its shard, unless a parked hint still records the
+/// debt — hints survive while their coordinator is dead or the rebalance
+/// budget is exhausted, and that is accounted-for, not lost. A key that is
+/// both under-replicated and unhinted means a failed replication leg was
+/// silently forgotten: exactly what the planted hint-drop bug does, and
+/// what anti-entropy would otherwise quietly mask.
+class NoUnderReplicatedWrites final : public Invariant {
+ public:
+  const char* name() const override { return "no-under-replicated-writes"; }
+
+  bool pre_anti_entropy() const override { return true; }
+
+  Status check(SimHarness& harness) override {
+    if (harness.config().protocol != SimConfig::Protocol::kSharded) {
+      return Status::success();
+    }
+    const dvm::ShardMap* map = harness.dvm().shard_map();
+    if (map == nullptr) {
+      return err::internal("sharded protocol exposes no shard map");
+    }
+    auto hinted_list = harness.dvm().hinted_keys();
+    std::set<std::string_view> hinted(hinted_list.begin(), hinted_list.end());
+    for (const auto& [key, entry] : harness.ledger()) {
+      if (!entry.clean) continue;
+      if (hinted.count(key) != 0) continue;  // debt recorded; replay owes it
+      for (const std::string& owner : map->owners(map->shard_of(key))) {
+        auto node = harness.dvm().member(owner);
+        if (!node.ok()) continue;  // owner died between map rebuilds
+        auto value = node->state().get(key);
+        if (!value.has_value()) {
+          return err::internal(
+              "owner " + owner + " is missing key " + key + " (acknowledged '" +
+              entry.value +
+              "') with no parked hint — the failed replication leg was "
+              "forgotten");
+        }
+        if (*value != entry.value) {
+          return err::internal("owner " + owner + " holds stale " + key + "='" +
+                               *value + "', acknowledged '" + entry.value +
+                               "', with no parked hint");
+        }
+      }
+    }
+    return Status::success();
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Invariant> make_coherency_convergence() {
@@ -437,6 +487,9 @@ std::unique_ptr<Invariant> make_no_lost_keys_sharded() {
 std::unique_ptr<Invariant> make_single_owner_per_shard() {
   return std::make_unique<SingleOwnerPerShard>();
 }
+std::unique_ptr<Invariant> make_no_under_replicated_writes() {
+  return std::make_unique<NoUnderReplicatedWrites>();
+}
 
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "coherency-convergence") return make_coherency_convergence();
@@ -451,6 +504,7 @@ Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name) {
   if (name == "shard-convergence") return make_shard_convergence();
   if (name == "no-lost-keys-sharded") return make_no_lost_keys_sharded();
   if (name == "single-owner-per-shard") return make_single_owner_per_shard();
+  if (name == "no-under-replicated-writes") return make_no_under_replicated_writes();
   return err::not_found("unknown invariant '" + std::string(name) + "'");
 }
 

@@ -23,6 +23,12 @@ class Invariant {
   /// Called at settle points. Returns an error describing the violation;
   /// the harness wraps it with scenario/seed/step context.
   virtual Status check(SimHarness& harness) = 0;
+
+  /// Pre-anti-entropy invariants run after the settle-time hint-replay
+  /// drain but BEFORE the settle anti-entropy pass: they judge what
+  /// hinted handoff alone restored, so an AE backstop cannot mask a
+  /// dropped hint. Default: checked at the normal (post-AE) point.
+  virtual bool pre_anti_entropy() const { return false; }
 };
 
 /// Every alive replica holds the ledger value of every cleanly-acknowledged
@@ -90,11 +96,20 @@ std::unique_ptr<Invariant> make_no_lost_keys_sharded();
 /// distinct, alive owners. Vacuous unless sharded.
 std::unique_ptr<Invariant> make_single_owner_per_shard();
 
+/// Degraded-mode durability (pre-anti-entropy): after the settle-time
+/// hint-replay drain, every cleanly-acknowledged key is either held by
+/// EVERY alive owner of its shard or still has a parked hint recording
+/// the debt. An under-replicated key with no hint means a failed
+/// replication leg was silently forgotten — the violation the planted
+/// hint-drop bug must produce. Vacuous unless sharded.
+std::unique_ptr<Invariant> make_no_under_replicated_writes();
+
 /// By name, for scenario definitions and the simrunner CLI:
 /// "coherency-convergence", "no-lost-keys", "registry-consistency",
 /// "monotonic-epoch", "metrics-consistency", "rpc-at-most-once",
 /// "rpc-timeout-only", "rpc-availability", "shard-convergence",
-/// "no-lost-keys-sharded", "single-owner-per-shard".
+/// "no-lost-keys-sharded", "single-owner-per-shard",
+/// "no-under-replicated-writes".
 Result<std::unique_ptr<Invariant>> make_invariant(std::string_view name);
 
 }  // namespace h2::sim

@@ -265,8 +265,10 @@ ScenarioDef shard_ae_skip() {
   def.name = "shard-ae-skip";
   def.description =
       "sharded DVM whose anti-entropy pass silently skips one shard (the "
-      "planted repair bug); under write-heavy drop chaos the skipped "
-      "shard's replicas diverge and shard-convergence must catch it";
+      "planted repair bug), with hinted handoff also disabled so it "
+      "cannot repair what the broken AE pass leaves behind; under "
+      "write-heavy drop chaos the skipped shard's replicas diverge and "
+      "shard-convergence must catch it";
   def.config.scenario = def.name;
   def.config.nodes = 5;
   def.config.steps = 210;
@@ -278,6 +280,7 @@ ScenarioDef shard_ae_skip() {
   def.config.shard = {.shards = 4, .replicas = 3, .vnodes = 8};
   def.config.anti_entropy_every = 10;
   def.config.buggy_shard = true;
+  def.config.buggy_hint_drop = true;
   // Write-heavy, no erases (a tombstone storm could mask divergence), no
   // probes (35% call drop would mass-evict healthy nodes).
   def.config.weights.set = 0.45;
@@ -343,6 +346,112 @@ ScenarioDef shard_read_repair() {
   return def;
 }
 
+ScenarioDef shard_owner_down_write() {
+  ScenarioDef def;
+  def.name = "shard-owner-down-write";
+  def.description =
+      "sharded DVM writing through partitions, drop chaos and "
+      "crash/restart churn: replication legs that miss an owner park "
+      "hints, periodic replay redelivers them, and at every settle point "
+      "each acknowledged key is fully replicated or its debt is still "
+      "hinted — never silently forgotten";
+  def.config.scenario = def.name;
+  def.config.nodes = 6;
+  def.config.steps = 180;
+  def.config.check_every = 30;
+  def.config.key_space = 12;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  def.config.shard = {.shards = 16, .replicas = 3, .vnodes = 8};
+  def.config.anti_entropy_every = 15;
+  def.config.hint_replay_every = 10;
+  // Write-heavy with a modest probe budget: heavy call drop plus frequent
+  // probes would mass-evict healthy nodes and drown the handoff story in
+  // membership churn.
+  def.config.weights.set = 0.40;
+  def.config.weights.get = 0.15;
+  def.config.weights.probe = 0.05;
+  def.config.plan.chaos({.drop_p = 0.15, .dup_p = 0.04, .delay_p = 0.06})
+      .partition_at(20, 0, 3)
+      .partition_at(25, 1, 4)
+      .heal_at(45, 0, 3)
+      .heal_at(50, 1, 4)
+      .partition_at(90, 2, 5)
+      .heal_at(115, 2, 5)
+      .random({.crash_p = 0.02, .restart_p = 0.20, .min_alive = 4});
+  def.invariants = shard_invariants();
+  def.invariants.push_back("no-under-replicated-writes");
+  return def;
+}
+
+ScenarioDef shard_hint_drop() {
+  ScenarioDef def;
+  def.name = "shard-hint-drop";
+  def.description =
+      "sharded DVM that silently DROPS every hinted-handoff entry (the "
+      "planted durability bug); writes that miss an owner under drop "
+      "chaos leave replicas under-replicated with no recorded debt, and "
+      "no-under-replicated-writes must catch it before anti-entropy "
+      "masks the gap";
+  def.config.scenario = def.name;
+  def.config.nodes = 5;
+  def.config.steps = 210;
+  def.config.check_every = 15;
+  def.config.key_space = 16;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  // Few, fat shards concentrate the keyspace so most settle windows see a
+  // write whose dropped replication leg was never hinted.
+  def.config.shard = {.shards = 4, .replicas = 3, .vnodes = 8};
+  def.config.anti_entropy_every = 0;  // settle AE runs AFTER the pre-AE check
+  def.config.buggy_hint_drop = true;
+  // Write-heavy, read-light: reads can mask the bug via read repair, and
+  // erases via tombstones. No probes under 35% call drop, no membership
+  // churn — the only repair channel in play is the (broken) hint path.
+  def.config.weights.set = 0.45;
+  def.config.weights.get = 0.10;
+  def.config.weights.erase = 0.0;
+  def.config.weights.deploy = 0.0;
+  def.config.weights.probe = 0.0;
+  def.config.plan.chaos({.drop_p = 0.35, .dup_p = 0.05, .delay_p = 0.05});
+  def.invariants = {"no-under-replicated-writes"};
+  def.expect_violation = true;
+  return def;
+}
+
+ScenarioDef shard_repair_storm() {
+  ScenarioDef def;
+  def.name = "shard-repair-storm";
+  def.description =
+      "sharded DVM in queued-loop mode with a deliberately tight "
+      "rebalance budget: crash/restart churn floods handoff and hint "
+      "replay, the token bucket spreads the repair traffic over wheel "
+      "ticks, and every replica set still converges at settle points";
+  def.config.scenario = def.name;
+  def.config.nodes = 6;
+  def.config.steps = 180;
+  def.config.check_every = 30;
+  def.config.key_space = 12;
+  def.config.protocol = SimConfig::Protocol::kSharded;
+  def.config.shard = {.shards = 16, .replicas = 3, .vnodes = 8};
+  // Tight per-tick budget: a few KB and a few dozen messages per refill,
+  // so a churn wave's handoff must spill into hints and drain over many
+  // replay ticks instead of one unbounded burst.
+  def.config.shard.rebalance_bytes_per_tick = 4096;
+  def.config.shard.rebalance_msgs_per_tick = 64;
+  def.config.loop_driver = true;
+  def.config.step_time = 2 * kMillisecond;
+  def.config.anti_entropy_period = 40 * kMillisecond;
+  def.config.hint_replay_period = 10 * kMillisecond;
+  def.config.weights.set = 0.40;
+  def.config.weights.get = 0.15;
+  def.config.weights.probe = 0.05;
+  def.config.plan.chaos({.drop_p = 0.06, .dup_p = 0.04, .delay_p = 0.08})
+      .random({.crash_p = 0.04, .restart_p = 0.20, .min_alive = 4});
+  def.invariants = shard_invariants();
+  def.invariants.push_back("no-under-replicated-writes");
+  def.invariants.push_back("no-lost-events");
+  return def;
+}
+
 }  // namespace
 
 const std::vector<ScenarioDef>& scenarios() {
@@ -351,7 +460,8 @@ const std::vector<ScenarioDef>& scenarios() {
       mesh_skew(),       retry_storm(),        batch_storm(),
       failover_cascade(), planted_bug(),       retry_storm_nodedup(),
       shard_partition_heal(), shard_churn(),   shard_ae_skip(),
-      loop_storm(),      shard_read_repair()};
+      loop_storm(),      shard_read_repair(),  shard_owner_down_write(),
+      shard_hint_drop(), shard_repair_storm()};
   return table;
 }
 

@@ -29,6 +29,12 @@ struct ScenarioDef {
 ///   failover-cascade    — resilient RPC across serial node crashes
 ///   planted-bug         — deliberately broken full synchrony (expects a catch)
 ///   retry-storm-nodedup — idempotency cache disabled (expects a catch)
+///   shard-partition-heal / shard-churn / shard-read-repair — sharded repair
+///   shard-ae-skip       — AE skips one shard, hints dropped (expects a catch)
+///   loop-storm          — queued loops under a SimDriver
+///   shard-owner-down-write — hinted handoff restores R-replication
+///   shard-hint-drop     — hints silently dropped (expects a catch)
+///   shard-repair-storm  — churn against a tight rebalance budget
 const std::vector<ScenarioDef>& scenarios();
 
 Result<const ScenarioDef*> find_scenario(std::string_view name);

@@ -1,14 +1,46 @@
 #include "transport/mux.hpp"
 
 #include <cerrno>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "transport/http.hpp"
 
 namespace h2::net::sock {
+
+namespace {
+
+/// One non-blocking gathering write. Returns the bytes the socket
+/// accepted (0 on would-block), or -1 on a hard error.
+ssize_t write_some(int fd, std::span<const std::uint8_t> first,
+                   std::span<const std::uint8_t> second) {
+  struct iovec iov[2];
+  int iovcnt = 0;
+  if (!first.empty()) {
+    iov[iovcnt].iov_base = const_cast<std::uint8_t*>(first.data());
+    iov[iovcnt].iov_len = first.size();
+    ++iovcnt;
+  }
+  if (!second.empty()) {
+    iov[iovcnt].iov_base = const_cast<std::uint8_t*>(second.data());
+    iov[iovcnt].iov_len = second.size();
+    ++iovcnt;
+  }
+  if (iovcnt == 0) return 0;
+  while (true) {
+    ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+}  // namespace
 
 Result<std::optional<std::span<const std::uint8_t>>> FrameAssembler::next() {
   std::span<const std::uint8_t> data = buffer_.unread();
@@ -45,6 +77,11 @@ ConnMux::~ConnMux() { shutdown(); }
 void ConnMux::set_conn_down(ConnDownFn fn) {
   std::lock_guard lock(mu_);
   conn_down_ = std::move(fn);
+}
+
+void ConnMux::set_max_outbound_bytes(std::size_t cap) {
+  std::lock_guard lock(mu_);
+  max_outbound_ = cap;
 }
 
 loop::EventLoop* ConnMux::event_loop() const {
@@ -168,10 +205,24 @@ void ConnMux::on_conn_ready(Conn* conn, unsigned events) {
     teardown_conn(conn, "error-event", /*immediate=*/true);
     return;
   }
+  if ((events & loop::kFdWrite) != 0) {
+    // Writable again: drain queued reply bytes before taking new work.
+    if (!flush_outbox(*conn)) {
+      std::string reason =
+          conn->close_reason.empty() ? "closed" : conn->close_reason;
+      teardown_conn(conn, reason, /*immediate=*/false);
+      return;
+    }
+    if ((events & (loop::kFdRead | loop::kFdHangup)) == 0) return;
+  }
   // Readable and/or hangup: drain first — an orderly close may still
   // deliver final pipelined requests ahead of the EOF.
   if (!service_conn(*conn)) {
-    teardown_conn(conn, "closed", /*immediate=*/false);
+    std::string reason =
+        conn->close_reason.empty() ? "closed" : conn->close_reason;
+    // Overflow is an immediate conn-down: the peer stopped reading, the
+    // server chose to shed it, and breakers should hear kUnavailable now.
+    teardown_conn(conn, reason, /*immediate=*/conn->overflowed);
   }
 }
 
@@ -259,13 +310,86 @@ bool ConnMux::service_conn(Conn& conn) {
           static_cast<std::uint8_t>(reply->size() >> 8),
           static_cast<std::uint8_t>(reply->size()),
       };
-      // One gathering syscall: length prefix + pooled reply body.
-      if (!write_all(conn.fd.get(), {prefix, 4}, reply->bytes()).ok()) return false;
+      // One gathering syscall: length prefix + pooled reply body; any
+      // remainder the socket won't take queues in the per-conn outbox.
+      if (!send_or_buffer(conn, {prefix, 4}, reply->bytes())) return false;
     } else {
-      if (!write_all(conn.fd.get(), reply->bytes()).ok()) return false;
+      if (!send_or_buffer(conn, reply->bytes(), {})) return false;
     }
   }
   return !saw_eof;
+}
+
+bool ConnMux::send_or_buffer(Conn& conn, std::span<const std::uint8_t> first,
+                             std::span<const std::uint8_t> second) {
+  // Replies are ordered: while earlier bytes wait in the outbox, new
+  // bytes must queue behind them rather than jump the socket.
+  if (conn.outbox.remaining() == 0) {
+    while (!first.empty() || !second.empty()) {
+      ssize_t n = write_some(conn.fd.get(), first, second);
+      if (n < 0) {
+        conn.close_reason = "write-error";
+        return false;
+      }
+      if (n == 0) break;  // socket full: spill the rest to the outbox
+      std::size_t wrote = static_cast<std::size_t>(n);
+      std::size_t from_first = std::min(wrote, first.size());
+      first = first.subspan(from_first);
+      second = second.subspan(wrote - from_first);
+    }
+    if (first.empty() && second.empty()) return true;
+  }
+  std::size_t cap;
+  loop::EventLoop* loop;
+  {
+    std::lock_guard lock(mu_);
+    cap = max_outbound_;
+    loop = loop_;
+  }
+  // Compact consumed storage before growing, as the assembler does.
+  if (conn.outbox.remaining() == 0 && conn.outbox.size() > 0) conn.outbox.clear();
+  conn.outbox.write_bytes(first);
+  conn.outbox.write_bytes(second);
+  if (cap != 0 && conn.outbox.remaining() > cap) {
+    {
+      std::lock_guard lock(mu_);
+      ++stats_.overflows;
+    }
+    conn.overflowed = true;
+    conn.close_reason = "backpressure-overflow";
+    return false;
+  }
+  if (!conn.write_watched && loop != nullptr) {
+    conn.write_watched = true;
+    (void)loop->set_fd_interest(conn.fd.get(),
+                                loop::kFdRead | loop::kFdWrite);
+  }
+  return true;
+}
+
+bool ConnMux::flush_outbox(Conn& conn) {
+  while (conn.outbox.remaining() > 0) {
+    ssize_t n = write_some(conn.fd.get(), conn.outbox.unread(), {});
+    if (n < 0) {
+      conn.close_reason = "write-error";
+      return false;
+    }
+    if (n == 0) return true;  // still full; keep write interest armed
+    (void)conn.outbox.skip(static_cast<std::size_t>(n));
+  }
+  conn.outbox.clear();
+  if (conn.write_watched) {
+    conn.write_watched = false;
+    loop::EventLoop* loop;
+    {
+      std::lock_guard lock(mu_);
+      loop = loop_;
+    }
+    if (loop != nullptr) {
+      (void)loop->set_fd_interest(conn.fd.get(), loop::kFdRead);
+    }
+  }
+  return true;
 }
 
 }  // namespace h2::net::sock

@@ -82,11 +82,17 @@ class FrameAssembler {
 
 class ConnMux {
  public:
+  /// Default per-connection cap on queued outbound reply bytes. A client
+  /// that stops reading can absorb this much buffering; past it the
+  /// connection is torn down (see set_max_outbound_bytes).
+  static constexpr std::size_t kDefaultMaxOutboundBytes = 4u << 20;
+
   struct Stats {
     std::uint64_t accepted = 0;     ///< connections accepted over all listeners
     std::uint64_t served = 0;       ///< complete messages dispatched to handlers
     std::uint64_t closed = 0;       ///< connections torn down (EOF/error/unbind)
     std::uint64_t conn_errors = 0;  ///< closed by an immediate error event (RST-class)
+    std::uint64_t overflows = 0;    ///< closed by the outbound-backpressure cap
   };
 
   /// Told when a connection goes down. `immediate` is true for
@@ -118,6 +124,14 @@ class ConnMux {
   /// the loop thread). Set before traffic starts.
   void set_conn_down(ConnDownFn fn);
 
+  /// Caps the outbound bytes queued per connection. Replies that cannot
+  /// be written immediately (a slow or stalled reader) buffer in the
+  /// connection's outbox and drain on writability; once the outbox would
+  /// exceed `cap`, the connection is torn down as "backpressure-overflow"
+  /// (an immediate conn-down, so breakers see kUnavailable) instead of
+  /// buffering without bound. 0 = unlimited.
+  void set_max_outbound_bytes(std::size_t cap);
+
   /// Unregisters and closes everything (stopping the private driver if
   /// one was created). Idempotent.
   void shutdown();
@@ -138,6 +152,10 @@ class ConnMux {
     OwnedFd fd;
     FrameAssembler assembler;
     Handler handler;  ///< copied from the listener at accept time
+    ByteBuffer outbox;          ///< reply bytes the socket would not take yet
+    bool write_watched = false; ///< kFdWrite interest currently armed
+    bool overflowed = false;    ///< outbox blew the cap; teardown pending
+    std::string close_reason;   ///< set by the write path for teardown
   };
 
   /// Loop callbacks (run on the loop thread).
@@ -146,6 +164,12 @@ class ConnMux {
   /// Drains readable bytes, dispatches complete messages, writes replies.
   /// False → connection is done (EOF, error, protocol violation).
   bool service_conn(Conn& conn);
+  /// Writes what the socket takes now and queues the rest in the outbox
+  /// (arming write interest); false → hard error or backpressure cap hit.
+  bool send_or_buffer(Conn& conn, std::span<const std::uint8_t> first,
+                      std::span<const std::uint8_t> second);
+  /// Drains the outbox on writability; disarms write interest when empty.
+  bool flush_outbox(Conn& conn);
   /// Unwatches + frees one connection; fires the conn-down callback.
   /// Only ever runs on the loop thread (or after the driver stopped).
   void teardown_conn(Conn* conn, std::string_view reason, bool immediate);
@@ -162,6 +186,7 @@ class ConnMux {
   std::vector<std::unique_ptr<Conn>> conns_;
   ConnDownFn conn_down_;
   Stats stats_;
+  std::size_t max_outbound_ = kDefaultMaxOutboundBytes;
   int next_listener_id_ = 1;
   bool stop_ = false;
 };

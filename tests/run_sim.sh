@@ -4,13 +4,15 @@
 # every scenario — the four membership/coherency scenarios
 # (coherency-storm, failover, churn, mesh-skew), the three
 # fault-tolerant-RPC scenarios (retry-storm, batch-storm,
-# failover-cascade), the two sharded-DVM scenarios (shard-partition-heal,
-# shard-churn), the two event-loop scenarios (loop-storm,
-# shard-read-repair, both driving queued loops from virtual time), and
-# the three planted-bug scenarios (planted-bug, retry-storm-nodedup,
-# shard-ae-skip) that must be CAUGHT on every seed. Any failing seed is
-# printed with the exact replay command; a non-zero simrunner exit fails
-# the whole sweep.
+# failover-cascade), the sharded-DVM repair scenarios
+# (shard-partition-heal, shard-churn, shard-owner-down-write), the
+# event-loop scenarios (loop-storm, shard-read-repair,
+# shard-repair-storm, all driving queued loops from virtual time — the
+# last against a tight rebalance budget), and the planted-bug scenarios
+# (planted-bug, retry-storm-nodedup, shard-ae-skip, shard-hint-drop)
+# that must be CAUGHT on every seed. Any failing seed is printed with
+# the exact replay command; a non-zero simrunner exit fails the whole
+# sweep.
 #
 # Usage: tests/run_sim.sh [build-dir] [seeds]
 #   build-dir  defaults to ./build
