@@ -15,9 +15,11 @@
 //                        [--rpc-rounds N] [--out FILE]
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -109,6 +111,50 @@ Percentiles measure_timer_accuracy(int samples) {
   }
   driver.stop();
   return summarize(std::move(errors));
+}
+
+/// Wake coalescing under bursty cross-thread posting: hold the reactor
+/// inside a task while a burst of posts piles up behind one pending
+/// eventfd wakeup, release, and let a single drain swallow the burst.
+/// The driver's own counters report how many eventfd writes were
+/// suppressed and how the drain batch sizes distributed.
+loop::EpollDriver::WakeStats measure_wake_coalescing(int bursts, int burst_size) {
+  loop::EventLoop target("bench/wake");
+  loop::EpollDriver driver(target);
+  if (!driver.ok()) {
+    std::fprintf(stderr, "fatal: epoll driver failed to start\n");
+    std::exit(1);
+  }
+  for (int b = 0; b < bursts; ++b) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<bool> blocked{false};
+    std::atomic<int> ran{0};
+    target.post([&] {
+      blocked.store(true);
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+    while (!blocked.load()) std::this_thread::yield();
+    for (int i = 0; i < burst_size; ++i) {
+      target.post([&ran] { ran.fetch_add(1, std::memory_order_release); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_one();
+    // Acquire pairs with the tasks' release increments: the reactor
+    // thread is provably past this burst's locals before the next
+    // iteration reuses their stack slots.
+    while (ran.load(std::memory_order_acquire) < burst_size) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  loop::EpollDriver::WakeStats stats = driver.wake_stats();
+  driver.stop();
+  return stats;
 }
 
 struct RpcRow {
@@ -245,6 +291,22 @@ int main(int argc, char** argv) {
   std::printf("timer accuracy:   %zu samples  p50 err %.1f us  p99 err %.1f us\n",
               timer.samples, timer.p50_us, timer.p99_us);
 
+  loop::EpollDriver::WakeStats wake = measure_wake_coalescing(
+      /*bursts=*/20, /*burst_size=*/256);
+  std::printf("wake coalescing:  %llu requests -> %llu eventfd writes "
+              "(%.1fx suppressed)  max batch %llu  batches 1/2-7/8-63/64+: "
+              "%llu/%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(wake.wake_requests),
+              static_cast<unsigned long long>(wake.wake_writes),
+              wake.wake_writes > 0
+                  ? double(wake.wake_requests) / double(wake.wake_writes)
+                  : 0.0,
+              static_cast<unsigned long long>(wake.max_batch),
+              static_cast<unsigned long long>(wake.batch_1),
+              static_cast<unsigned long long>(wake.batch_2_7),
+              static_cast<unsigned long long>(wake.batch_8_63),
+              static_cast<unsigned long long>(wake.batch_64_plus));
+
   constexpr std::size_t kPorts = 4;
   std::vector<RpcRow> rows;
   rows.push_back(run_rpc_config(1, 1, kPorts, rpc_rounds, trials));  // PR 6 baseline shape
@@ -286,6 +348,20 @@ int main(int argc, char** argv) {
                "  \"timer_accuracy\": {\"samples\": %zu, \"p50_error_us\": %.2f, "
                "\"p99_error_us\": %.2f},\n",
                timer.samples, timer.p50_us, timer.p99_us);
+  std::fprintf(out,
+               "  \"wake_coalescing\": {\"wake_requests\": %llu, "
+               "\"wake_writes\": %llu, \"batches\": %llu, \"tasks\": %llu, "
+               "\"max_batch\": %llu, \"batch_size_distribution\": "
+               "{\"1\": %llu, \"2_7\": %llu, \"8_63\": %llu, \"64_plus\": %llu}},\n",
+               static_cast<unsigned long long>(wake.wake_requests),
+               static_cast<unsigned long long>(wake.wake_writes),
+               static_cast<unsigned long long>(wake.batches),
+               static_cast<unsigned long long>(wake.tasks),
+               static_cast<unsigned long long>(wake.max_batch),
+               static_cast<unsigned long long>(wake.batch_1),
+               static_cast<unsigned long long>(wake.batch_2_7),
+               static_cast<unsigned long long>(wake.batch_8_63),
+               static_cast<unsigned long long>(wake.batch_64_plus));
   std::fprintf(out, "  \"rpc_rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RpcRow& r = rows[i];

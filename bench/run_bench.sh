@@ -44,6 +44,14 @@ echo "== bench_sockets (hardware) =="
 "$BUILD_DIR/bench/bench_sockets" --out "$OUT_DIR/BENCH_sockets.json"
 echo "   wrote $OUT_DIR/BENCH_sockets.json"
 
+# EXP-REG: indexed registry at scale. Not a google-benchmark binary —
+# it sweeps 10k/100k/1M-entry registries and writes its own JSON report;
+# exits non-zero if the indexed and linear-scan paths disagree or the
+# 1M-entry find speedup drops under 100x.
+echo "== bench_registry (indexed registry sweep) =="
+"$BUILD_DIR/bench/bench_registry" --out "$OUT_DIR/BENCH_registry.json"
+echo "   wrote $OUT_DIR/BENCH_registry.json"
+
 # EXP-SHARD: O(R) sharded vs O(M) full-synchrony write fan-out at
 # M=64/256/1024, plus an anti-entropy convergence check. Exact message
 # counts, own JSON schema; exits non-zero if repair fails.

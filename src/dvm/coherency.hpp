@@ -42,6 +42,7 @@ struct AntiEntropyReport {
   std::size_t exchange_failures = 0; ///< pairwise syncs that errored (tolerated)
   std::size_t buckets_diverged = 0;  ///< Merkle leaf buckets that transferred
   std::size_t bytes_transferred = 0; ///< blob bytes moved by the repairs
+  std::size_t max_buckets = 0;       ///< largest adaptive Merkle leaf count used
 };
 
 class CoherencyProtocol {

@@ -28,6 +28,26 @@ constexpr std::size_t merkle_bucket_count(std::size_t requested) {
   return buckets;
 }
 
+/// Upper bound on adaptive bucket counts: a 64k-leaf tree is ~1MB of
+/// digests per shard, plenty of resolution for any shard the sim runs.
+constexpr std::size_t kMaxMerkleBuckets = std::size_t{1} << 16;
+
+/// Bucket count for a shard of `entries` entries aiming at about
+/// `target_per_bucket` entries per leaf: the power of two covering
+/// entries/target, floored at `floor_buckets` (the fixed config count, so
+/// small shards keep their old trees bit-for-bit) and capped at
+/// kMaxMerkleBuckets. target 0 = adaptation off, returns the floor.
+constexpr std::size_t adaptive_merkle_buckets(std::size_t entries,
+                                              std::size_t target_per_bucket,
+                                              std::size_t floor_buckets) {
+  std::size_t floor = merkle_bucket_count(floor_buckets);
+  if (target_per_bucket == 0) return floor;
+  std::size_t want =
+      merkle_bucket_count((entries + target_per_bucket - 1) / target_per_bucket);
+  if (want < floor) want = floor;
+  return want < kMaxMerkleBuckets ? want : kMaxMerkleBuckets;
+}
+
 /// Which leaf bucket a key hashes into. mix64 decorrelates this from the
 /// shard placement hash (shard_of_key uses raw hash64), so keys of one
 /// shard spread evenly over the buckets. `buckets` must be a power of two.

@@ -35,6 +35,7 @@ class ShardedCoherency final : public CoherencyProtocol {
       : map_(config),
         skip_shard_(skip_shard),
         drop_hints_(drop_hints),
+        hints_(config.hint_capacity),
         budget_(config.rebalance_bytes_per_tick, config.rebalance_msgs_per_tick) {}
 
   const char* name() const override { return "sharded"; }
@@ -211,6 +212,15 @@ class ShardedCoherency final : public CoherencyProtocol {
       if (owners.size() < 2) continue;
       ++report.shards_checked;
       DvmNode* primary = owners.front();
+      // Adaptive tree resolution: size the leaf count to the shard as the
+      // primary sees it, so a shard that grew 100x diffs at the same
+      // per-bucket granularity instead of transferring 100x per diverged
+      // leaf. The count rides the wire with every mnode/mnodes/mpull call,
+      // so both sides always build the same tree.
+      const std::size_t buckets = adaptive_merkle_buckets(
+          primary->state().shard_entry_count(s, map_.shard_count()),
+          map_.config().merkle_target_per_bucket, map_.config().merkle_buckets);
+      report.max_buckets = std::max(report.max_buckets, buckets);
       bool divergent = false;
       // Two passes: round one accumulates every replica's entries into the
       // primary (it ends holding the shard-wide LWW maximum), round two
@@ -221,8 +231,7 @@ class ShardedCoherency final : public CoherencyProtocol {
         for (std::size_t r = 1; r < owners.size(); ++r) {
           auto channel = primary->open_state_channel(*owners[r]);
           auto stats = merkle_sync_shard_with_peer(*channel, primary->state(), s,
-                                                   map_.shard_count(),
-                                                   map_.config().merkle_buckets);
+                                                   map_.shard_count(), buckets);
           if (!stats.ok()) {
             ++report.exchange_failures;
             continue;
@@ -409,6 +418,7 @@ class ShardedCoherency final : public CoherencyProtocol {
     c_hints_parked_ = &net.metrics().counter("h2.dvm.shard.hints.parked");
     c_hints_replayed_ = &net.metrics().counter("h2.dvm.shard.hints.replayed");
     c_hints_requeued_ = &net.metrics().counter("h2.dvm.shard.hints.requeued");
+    c_hint_evictions_ = &net.metrics().counter("h2.dvm.shard.hint_evictions");
     c_read_repairs_ = &net.metrics().counter("h2.dvm.shard.read_repairs");
   }
 
@@ -425,6 +435,13 @@ class ShardedCoherency final : public CoherencyProtocol {
     hints_.park(coordinator, target, entry,
                 std::vector<std::string>(owners.begin(), owners.end()));
     if (c_hints_parked_ != nullptr) c_hints_parked_->add();
+    // Surface capacity-pressure drops: each eviction is durability lost
+    // until anti-entropy catches it, so operators need the count.
+    const std::uint64_t evicted = hints_.evicted();
+    if (c_hint_evictions_ != nullptr && evicted > hint_evictions_seen_) {
+      c_hint_evictions_->add(evicted - hint_evictions_seen_);
+      hint_evictions_seen_ = evicted;
+    }
   }
 
   Status write_one(std::span<DvmNode* const> members, std::size_t origin,
@@ -575,7 +592,9 @@ class ShardedCoherency final : public CoherencyProtocol {
   obs::Counter* c_hints_parked_ = nullptr;
   obs::Counter* c_hints_replayed_ = nullptr;
   obs::Counter* c_hints_requeued_ = nullptr;
+  obs::Counter* c_hint_evictions_ = nullptr;
   obs::Counter* c_read_repairs_ = nullptr;
+  std::uint64_t hint_evictions_seen_ = 0;  ///< HintStore::evicted() already counted
 };
 
 }  // namespace

@@ -90,6 +90,15 @@ std::uint64_t StateStore::shard_digest(std::size_t shard,
   return h;
 }
 
+std::size_t StateStore::shard_entry_count(std::size_t shard,
+                                          std::size_t shard_count) const {
+  std::size_t count = 0;
+  for (const auto& [key, meta] : versions_) {
+    if (shard_of_key(key, shard_count) == shard) ++count;
+  }
+  return count;
+}
+
 // ---- wire codec for shard transfers --------------------------------------------
 
 std::string encode_entries(std::span<const VersionedEntry> entries) {

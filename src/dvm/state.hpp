@@ -109,6 +109,10 @@ class StateStore {
   /// equal digests ⇔ byte-equal replicas, version metadata included.
   std::uint64_t shard_digest(std::size_t shard, std::size_t shard_count) const;
 
+  /// How many versioned entries (tombstones included) one shard holds —
+  /// what the adaptive Merkle sizing feeds on. O(versioned entries).
+  std::size_t shard_entry_count(std::size_t shard, std::size_t shard_count) const;
+
  private:
   struct Meta {
     Version version;

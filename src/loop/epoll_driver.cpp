@@ -83,6 +83,15 @@ void EpollDriver::stop() {
 
 void EpollDriver::wake() {
   if (wake_fd_ < 0) return;
+  wake_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Coalesce: while one eventfd write is in flight, further wakes skip
+  // the syscall — the reactor drains the whole queue on that one wakeup.
+  // The flag clears (in run()) after the eventfd is read and before the
+  // drain; a post that enqueues after that drain started observes the
+  // cleared flag (the task queue's mutex orders it) and writes afresh,
+  // so no wakeup is ever lost.
+  if (wake_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  wake_writes_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t one = 1;
   // The eventfd counter is persistent: a write before epoll_wait still
   // wakes it, so there is no enqueue-vs-wait race to handle.
@@ -134,15 +143,48 @@ void EpollDriver::run() {
         std::uint64_t drained;
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
+        // Open the next coalescing window before draining, so a post
+        // racing the drain below either lands in it or wakes us again.
+        wake_pending_.store(false, std::memory_order_release);
         continue;
       }
       loop_.deliver_fd_event(fd, from_epoll(events[i].events));
     }
     loop_.fire_timers(wall_.now());
-    loop_.drain();
+    std::size_t ran = loop_.drain();
+    if (ran > 0) {
+      batches_.fetch_add(1, std::memory_order_relaxed);
+      tasks_.fetch_add(ran, std::memory_order_relaxed);
+      if (ran > max_batch_.load(std::memory_order_relaxed)) {
+        max_batch_.store(ran, std::memory_order_relaxed);  // single writer
+      }
+      if (ran == 1) {
+        batch_1_.fetch_add(1, std::memory_order_relaxed);
+      } else if (ran < 8) {
+        batch_2_7_.fetch_add(1, std::memory_order_relaxed);
+      } else if (ran < 64) {
+        batch_8_63_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        batch_64_plus_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   loop_.drain();  // release run_sync() waiters posted before the stop
   running_.store(false, std::memory_order_release);
+}
+
+EpollDriver::WakeStats EpollDriver::wake_stats() const {
+  WakeStats out;
+  out.wake_requests = wake_requests_.load(std::memory_order_relaxed);
+  out.wake_writes = wake_writes_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.tasks = tasks_.load(std::memory_order_relaxed);
+  out.max_batch = max_batch_.load(std::memory_order_relaxed);
+  out.batch_1 = batch_1_.load(std::memory_order_relaxed);
+  out.batch_2_7 = batch_2_7_.load(std::memory_order_relaxed);
+  out.batch_8_63 = batch_8_63_.load(std::memory_order_relaxed);
+  out.batch_64_plus = batch_64_plus_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace h2::loop

@@ -1,0 +1,190 @@
+#include "registry/index.hpp"
+
+#include <algorithm>
+
+namespace h2::reg {
+
+namespace {
+
+/// Short lists erase dead ids in place; longer ones defer to amortized
+/// compaction so a hot term's unlink stays O(1).
+constexpr std::size_t kEagerEraseLimit = 64;
+
+std::string element_term(std::string_view elem) {
+  return "e:" + std::string(elem);
+}
+
+std::string attr_term(std::string_view elem, std::string_view attr) {
+  std::string out = "a:";
+  if (elem != "*") out += elem;
+  out += '@';
+  out += attr;
+  return out;
+}
+
+std::string value_term(std::string_view elem, std::string_view attr,
+                       std::string_view value) {
+  std::string out = "v:";
+  if (elem != "*") out += elem;
+  out += '@';
+  out += attr;
+  out += '=';
+  out += value;
+  return out;
+}
+
+}  // namespace
+
+void RegistryIndex::collect_doc_terms(const xml::Node& node,
+                                      std::vector<std::string>& out) {
+  if (!node.is_element()) return;
+  std::string_view elem = node.local_name();
+  out.push_back(element_term(elem));
+  for (const xml::Attribute& attr : node.attributes()) {
+    // Both the scoped and the unscoped ("any element") spellings, so
+    // queries over "*" steps still hit the index.
+    out.push_back(attr_term(elem, attr.name));
+    out.push_back(attr_term("*", attr.name));
+    out.push_back(value_term(elem, attr.name, attr.value));
+    out.push_back(value_term("*", attr.name, attr.value));
+  }
+  for (const auto& child : node.children()) {
+    collect_doc_terms(*child, out);
+  }
+}
+
+RegistryIndex::TermId RegistryIndex::intern(std::string term) {
+  auto it = term_ids_.find(term);
+  if (it != term_ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(lists_.size());
+  lists_.emplace_back();
+  term_ids_.emplace(std::move(term), id);
+  return id;
+}
+
+const RegistryIndex::PostingList* RegistryIndex::find(std::string_view term) const {
+  auto it = term_ids_.find(term);
+  if (it == term_ids_.end()) return nullptr;
+  return &lists_[it->second];
+}
+
+void RegistryIndex::add(DocId id, const wsdl::Definitions& defs,
+                        const xml::Node& doc) {
+  std::vector<std::string> terms;
+  for (const wsdl::Service& service : defs.services) {
+    terms.push_back("s:" + service.name);
+  }
+  for (const wsdl::Binding& binding : defs.bindings) {
+    terms.push_back("t:" + std::string(wsdl::to_string(binding.kind)));
+  }
+  collect_doc_terms(doc, terms);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  std::vector<TermId>& doc_terms = docs_[id];
+  doc_terms.reserve(terms.size());
+  for (std::string& term : terms) {
+    TermId term_id = intern(std::move(term));
+    lists_[term_id].ids.push_back(id);  // ids are monotonic: stays sorted
+    doc_terms.push_back(term_id);
+  }
+  postings_ += doc_terms.size();
+}
+
+void RegistryIndex::unlink(TermId term, DocId id) {
+  PostingList& list = lists_[term];
+  if (list.ids.size() <= kEagerEraseLimit) {
+    auto it = std::find(list.ids.begin(), list.ids.end(), id);
+    if (it != list.ids.end()) {
+      list.ids.erase(it);
+      --postings_;
+    }
+    return;
+  }
+  ++list.dead;
+  ++dead_;
+  if (list.dead * 2 < list.ids.size()) return;
+  // Compact: a posting is live iff its doc is still indexed. Other
+  // pending-dead ids of this list drop along the way.
+  std::size_t kept = 0;
+  for (DocId candidate : list.ids) {
+    if (docs_.count(candidate) != 0) list.ids[kept++] = candidate;
+  }
+  std::size_t dropped = list.ids.size() - kept;
+  list.ids.resize(kept);
+  list.ids.shrink_to_fit();
+  postings_ -= dropped;
+  dead_ -= list.dead;
+  list.dead = 0;
+  ++compactions_;
+}
+
+void RegistryIndex::remove(DocId id) {
+  auto it = docs_.find(id);
+  if (it == docs_.end()) return;
+  std::vector<TermId> terms = std::move(it->second);
+  // Erase the doc first: compaction inside unlink treats "not in docs_"
+  // as dead, which must include the id being removed right now.
+  docs_.erase(it);
+  for (TermId term : terms) unlink(term, id);
+}
+
+std::span<const RegistryIndex::DocId> RegistryIndex::service_postings(
+    std::string_view service_name) const {
+  const PostingList* list = find("s:" + std::string(service_name));
+  return list == nullptr ? std::span<const DocId>() : std::span(list->ids);
+}
+
+std::span<const RegistryIndex::DocId> RegistryIndex::tmodel_postings(
+    std::string_view tmodel) const {
+  const PostingList* list = find("t:" + std::string(tmodel));
+  return list == nullptr ? std::span<const DocId>() : std::span(list->ids);
+}
+
+std::optional<std::vector<RegistryIndex::DocId>> RegistryIndex::candidates(
+    const xml::XPath& query) const {
+  auto terms = query.required_terms();
+  if (terms.empty()) return std::nullopt;  // nothing indexable: caller scans
+  std::vector<const PostingList*> lists;
+  lists.reserve(terms.size());
+  for (const auto& term : terms) {
+    std::string key;
+    switch (term.kind) {
+      case xml::XPath::IndexTerm::Kind::kElement:
+        key = element_term(term.element);
+        break;
+      case xml::XPath::IndexTerm::Kind::kAttrExists:
+        key = attr_term(term.element, term.attr);
+        break;
+      case xml::XPath::IndexTerm::Kind::kAttrEquals:
+        key = value_term(term.element, term.attr, term.value);
+        break;
+    }
+    const PostingList* list = find(key);
+    // A required term no live-or-dead doc ever produced: provably empty.
+    if (list == nullptr) return std::vector<DocId>();
+    lists.push_back(list);
+  }
+  // Intersect starting from the shortest list — the usual case is one
+  // highly selective value term against a couple of broad element terms.
+  std::sort(lists.begin(), lists.end(),
+            [](const PostingList* a, const PostingList* b) {
+              return a->ids.size() < b->ids.size();
+            });
+  std::vector<DocId> result(lists[0]->ids);
+  std::vector<DocId> next;
+  for (std::size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    next.reserve(result.size());
+    std::set_intersection(result.begin(), result.end(), lists[i]->ids.begin(),
+                          lists[i]->ids.end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  return result;
+}
+
+RegistryIndex::Stats RegistryIndex::stats() const {
+  return Stats{term_ids_.size(), postings_, dead_, compactions_};
+}
+
+}  // namespace h2::reg

@@ -183,7 +183,9 @@ RegistryNode::RegistryNode(net::SimNetwork& net, net::HostId host, const Clock& 
     : net_(net),
       host_(host),
       registry_(std::make_shared<XmlRegistry>(clock)),
-      dispatcher_(make_registry_dispatcher(registry_)) {}
+      dispatcher_(make_registry_dispatcher(registry_)) {
+  registry_->bind_metrics(net.metrics());
+}
 
 Status RegistryNode::start() {
   if (server_.has_value()) return Status::success();

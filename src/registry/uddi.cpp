@@ -20,8 +20,10 @@ std::vector<BusinessService> UddiFacade::services_of(const Entry& entry) {
 }
 
 std::vector<BusinessService> UddiFacade::find_service(std::string_view name) const {
+  // Served off the registry's service-name posting list: only entries
+  // actually defining `name` are materialized into rows.
   std::vector<BusinessService> out;
-  for (const Entry* entry : registry_.entries()) {
+  for (const Entry* entry : registry_.find_service_all(name)) {
     for (auto& row : services_of(*entry)) {
       if (row.name == name) out.push_back(std::move(row));
     }
@@ -30,9 +32,10 @@ std::vector<BusinessService> UddiFacade::find_service(std::string_view name) con
 }
 
 std::vector<BusinessService> UddiFacade::find_by_tmodel(wsdl::BindingKind kind) const {
+  // tModels are binding kinds, which the registry indexes directly.
   std::string tmodel(wsdl::to_string(kind));
   std::vector<BusinessService> out;
-  for (const Entry* entry : registry_.entries()) {
+  for (const Entry* entry : registry_.entries_with_tmodel(tmodel)) {
     for (auto& row : services_of(*entry)) {
       bool matches = false;
       for (const auto& binding : row.bindings) {
@@ -48,15 +51,15 @@ std::vector<BusinessService> UddiFacade::find_by_tmodel(wsdl::BindingKind kind) 
 }
 
 Result<BusinessService> UddiFacade::get_service_detail(std::string_view service_key) const {
-  for (const Entry* entry : registry_.entries()) {
-    if (entry->key != service_key) continue;
-    auto rows = services_of(*entry);
-    if (rows.empty()) {
-      return err::not_found("uddi: entry has no services");
-    }
-    return rows.front();
+  auto entry = registry_.find_key(service_key);
+  if (!entry.ok()) {
+    return err::not_found("uddi: no entry with key '" + std::string(service_key) + "'");
   }
-  return err::not_found("uddi: no entry with key '" + std::string(service_key) + "'");
+  auto rows = services_of(*entry);
+  if (rows.empty()) {
+    return err::not_found("uddi: entry has no services");
+  }
+  return rows.front();
 }
 
 std::vector<BusinessService> UddiFacade::all_services() const {

@@ -258,6 +258,50 @@ std::vector<const Node*> XPath::select(const Node& root) const {
   return current;
 }
 
+std::vector<XPath::IndexTerm> XPath::required_terms() const {
+  std::vector<IndexTerm> out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& step = steps_[i];
+    if (step.kind == StepKind::kElement) {
+      // Every named element step must match some element in the doc
+      // (anchored steps match the root, child/descendant steps match a
+      // real element node) — so the name's existence is necessary.
+      if (step.name != "*") {
+        out.push_back({IndexTerm::Kind::kElement, step.name, "", ""});
+      }
+      for (const auto& pred : step.predicates) {
+        switch (pred.kind) {
+          case Predicate::Kind::kAttrExists:
+            out.push_back({IndexTerm::Kind::kAttrExists, step.name, pred.name, ""});
+            break;
+          case Predicate::Kind::kAttrEquals:
+            out.push_back(
+                {IndexTerm::Kind::kAttrEquals, step.name, pred.name, pred.value});
+            break;
+          case Predicate::Kind::kChildTextEquals:
+            // The compared child element must at least exist; the text
+            // comparison itself re-runs in select().
+            out.push_back({IndexTerm::Kind::kElement, pred.name, "", ""});
+            break;
+          case Predicate::Kind::kPosition:
+            break;  // positional filters constrain order, not content
+        }
+      }
+    } else if (step.kind == StepKind::kAttribute) {
+      // Terminal @attr keeps elements owning the attribute; the owner is
+      // whatever the previous element step selected (or unknown when the
+      // path is just "@attr" / ends in "*").
+      std::string owner = "*";
+      if (i > 0 && steps_[i - 1].kind == StepKind::kElement) {
+        owner = steps_[i - 1].name;
+      }
+      out.push_back({IndexTerm::Kind::kAttrExists, std::move(owner), step.name, ""});
+    }
+    // kText adds nothing: non-empty text is not worth a posting list.
+  }
+  return out;
+}
+
 std::vector<std::string> XPath::select_values(const Node& root) const {
   std::vector<std::string> out;
   const Step& last = steps_.back();

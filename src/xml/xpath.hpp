@@ -47,6 +47,29 @@ class XPath {
   const Node* select_first(const Node& root) const;
   std::optional<std::string> select_first_value(const Node& root) const;
 
+  /// One *necessary* condition a document must satisfy to match this
+  /// query — never sufficient (structure and positions still need a full
+  /// select()), but any document violating one term provably has no
+  /// match. Inverted indexes prefilter candidate documents with these.
+  struct IndexTerm {
+    enum class Kind {
+      kElement,     ///< an element with local name `element` exists
+      kAttrExists,  ///< an `element` (or any element if "*") carries `attr`
+      kAttrEquals,  ///< ... and its value is exactly `value`
+    };
+    Kind kind;
+    std::string element;  ///< local name, or "*" when the owner is unnamed
+    std::string attr;
+    std::string value;
+  };
+
+  /// The conjunction of necessary terms for this query. Empty when the
+  /// query constrains nothing indexable (e.g. "//*"): callers must then
+  /// fall back to scanning. Text comparisons and positions contribute
+  /// only their element-existence terms — those predicates re-run
+  /// exactly in select(), so the terms stay necessary, never lossy.
+  std::vector<IndexTerm> required_terms() const;
+
   const std::string& expression() const { return expression_; }
 
  private:

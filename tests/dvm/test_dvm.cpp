@@ -386,6 +386,38 @@ TEST_F(ShardedTest, AntiEntropyOnConvergedClusterReportsNoDivergence) {
   EXPECT_EQ(report->entries_repaired, 0u);
 }
 
+TEST(ShardedAdaptiveMerkle, MaxBucketsGrowsWithShardSize) {
+  // Adaptive leaf sizing: an empty cluster digests at the configured
+  // floor; once shards fill past target_per_bucket the per-shard bucket
+  // count (surfaced via AntiEntropyReport::max_buckets) scales up.
+  net::SimNetwork net;
+  kernel::PluginRepository repo;
+  ASSERT_TRUE(plugins::register_standard_plugins(repo).ok());
+  Dvm dvm("am", make_sharded(ShardConfig{.shards = 2,
+                                         .replicas = 2,
+                                         .merkle_buckets = 4,
+                                         .merkle_target_per_bucket = 2}));
+  std::vector<std::unique_ptr<container::Container>> containers;
+  for (const char* name : {"A", "B"}) {
+    auto host = *net.add_host(name);
+    containers.push_back(
+        std::make_unique<container::Container>(name, repo, net, host));
+    ASSERT_TRUE(dvm.add_node(*containers.back()).ok());
+  }
+
+  auto before = run_anti_entropy(dvm);
+  ASSERT_TRUE(before.ok()) << before.error().describe();
+  EXPECT_EQ(before->max_buckets, 4u);  // empty shards sit at the floor
+
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_TRUE(dvm.set("A", "am/" + std::to_string(i), "v").ok());
+  }
+  auto after = run_anti_entropy(dvm);
+  ASSERT_TRUE(after.ok()) << after.error().describe();
+  // ~64 entries per shard at 2 per bucket wants ≥ 32 leaves.
+  EXPECT_GE(after->max_buckets, 32u);
+}
+
 TEST_F(ShardedTest, LeaveHandsOffToTheReplacementOwner) {
   // Write a spread of keys, remove a node, and require every key to stay
   // readable: departures trigger bounded handoff to the new owner sets.

@@ -7,6 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/container.hpp"
+#include "dvm/dvm.hpp"
+#include "plugins/standard.hpp"
+
 namespace h2::dvm {
 namespace {
 
@@ -181,6 +189,38 @@ TEST(HintStore, DropCoordinatorForgetsItsQueueOnly) {
   EXPECT_EQ(store.pending(), 1u);
   EXPECT_EQ(store.pending_for("node-a"), 0u);
   EXPECT_EQ(store.keys(), (std::vector<std::string>{"k2"}));
+}
+
+TEST(HintStore, ForcedEvictionBumpsTheSharedCounter) {
+  // The h2.dvm.shard.hint_evictions surface: cut one coordinator off
+  // from every peer, push far more distinct keys than its per-target
+  // hint budget, and the overflow must show up as evictions — capacity
+  // pressure is durability silently lost until anti-entropy, so it has
+  // to be visible to operators, not just to HintStore::evicted().
+  net::SimNetwork net;
+  kernel::PluginRepository repo;
+  ASSERT_TRUE(plugins::register_standard_plugins(repo).ok());
+  auto dvm = std::make_unique<Dvm>(
+      "ev", make_sharded(ShardConfig{
+                .shards = 4, .replicas = 2, .hint_capacity = 2}));
+  std::vector<std::unique_ptr<container::Container>> containers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::string name = "n" + std::to_string(i);
+    auto host = *net.add_host(name);
+    containers.push_back(
+        std::make_unique<container::Container>(name, repo, net, host));
+    ASSERT_TRUE(dvm->add_node(*containers.back()).ok());
+  }
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(net.partition(*net.resolve("n0"), *net.resolve("n" + std::to_string(i))).ok());
+  }
+  // Every remote owner is unreachable from n0, so each write parks one
+  // hint per missed owner; with a 2-entry budget the surplus evicts.
+  for (int i = 0; i < 64; ++i) {
+    (void)dvm->set("n0", "ev/" + std::to_string(i), "v");
+  }
+  EXPECT_GE(net.metrics().counter_value("h2.dvm.shard.hints.parked"), 3u);
+  EXPECT_GE(net.metrics().counter_value("h2.dvm.shard.hint_evictions"), 1u);
 }
 
 }  // namespace

@@ -48,6 +48,22 @@ TEST(MerkleTree, BucketCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(merkle_bucket_count(33), 64u);
 }
 
+TEST(MerkleTree, AdaptiveBucketsScaleWithShardSize) {
+  // Floor: small shards stay at the configured (power-of-two-rounded)
+  // minimum regardless of target.
+  EXPECT_EQ(adaptive_merkle_buckets(0, 8, 32), 32u);
+  EXPECT_EQ(adaptive_merkle_buckets(100, 8, 32), 32u);  // 13 wanted < floor
+  EXPECT_EQ(adaptive_merkle_buckets(10, 8, 33), 64u);   // floor rounds up too
+  // Growth: nearest power of two at or above entries/target.
+  EXPECT_EQ(adaptive_merkle_buckets(256, 8, 32), 32u);
+  EXPECT_EQ(adaptive_merkle_buckets(257, 8, 32), 64u);
+  EXPECT_EQ(adaptive_merkle_buckets(10'000, 8, 32), 2048u);  // 1250 → 2048
+  // Target 0 disables adaptation entirely: the fixed floor wins.
+  EXPECT_EQ(adaptive_merkle_buckets(1'000'000, 0, 32), 32u);
+  // Cap: runaway shard sizes cannot blow up the digest exchange.
+  EXPECT_EQ(adaptive_merkle_buckets(1'000'000'000, 1, 32), kMaxMerkleBuckets);
+}
+
 TEST(MerkleTree, BucketOfKeyStaysInRange) {
   for (std::size_t i = 0; i < 1000; ++i) {
     EXPECT_LT(bucket_of_key(key_of(i), kBuckets), kBuckets);

@@ -242,6 +242,49 @@ TEST(EpollDriver, TwoLoopsPingPong) {
   EXPECT_EQ(b.stats().posted, b.stats().executed);
 }
 
+TEST(EpollDriver, CoalescesCrossThreadWakeups) {
+  EventLoop loop("t");
+  EpollDriver driver(loop);
+  ASSERT_TRUE(driver.ok());
+  ASSERT_TRUE(wait_for([&] { return driver.running(); }));
+
+  // Hold the reactor inside a task so a burst of posts piles up behind a
+  // single in-flight wakeup.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> blocked{false};
+  loop.post([&] {
+    blocked.store(true);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  ASSERT_TRUE(wait_for([&] { return blocked.load(); }));
+
+  constexpr int kPosts = 200;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kPosts; ++i) {
+    loop.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  ASSERT_TRUE(wait_for([&] { return ran.load() == kPosts; }));
+  driver.stop();
+
+  auto stats = driver.wake_stats();
+  // The whole burst posted while one wakeup was pending: at most a
+  // handful of eventfd writes for 200+ wake requests.
+  EXPECT_GE(stats.wake_requests, static_cast<std::uint64_t>(kPosts));
+  EXPECT_LT(stats.wake_writes, stats.wake_requests);
+  // The blocked drain ran the whole burst as one batch.
+  EXPECT_GE(stats.max_batch, static_cast<std::uint64_t>(kPosts));
+  EXPECT_GE(stats.batch_64_plus, 1u);
+  EXPECT_GE(stats.tasks, static_cast<std::uint64_t>(kPosts) + 1);
+}
+
 TEST(EpollDriver, PostAfterStopRunsAtNextEagerDrain) {
   EventLoop loop("t");
   {

@@ -1,0 +1,159 @@
+// Unit tests of the registry's indexed surface: the new lookup APIs
+// (find_key, find_service_all, entries_with_tmodel), the h2.reg.*
+// metrics, index statistics, and the candidates() fast paths — the
+// provably-empty short-circuit and the "//*" scan fallback.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "registry/xml_registry.hpp"
+#include "wsdl/descriptor.hpp"
+
+namespace h2::reg {
+namespace {
+
+wsdl::Definitions make_service(const std::string& name, wsdl::BindingKind kind,
+                               const std::string& address) {
+  wsdl::ServiceDescriptor d;
+  d.name = name;
+  d.operations.push_back({"run", {}, ValueKind::kString});
+  std::vector<wsdl::EndpointSpec> endpoints{{kind, address, {}}};
+  auto defs = wsdl::generate(d, endpoints);
+  EXPECT_TRUE(defs.ok());
+  return *defs;
+}
+
+class RegistryIndexTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  XmlRegistry registry_{clock_};
+  obs::MetricsRegistry metrics_;
+};
+
+TEST_F(RegistryIndexTest, FindKeyReturnsLiveEntriesOnly) {
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"),
+                           kMillisecond);
+  ASSERT_TRUE(key.ok());
+  auto found = registry_.find_key(*key);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->key, *key);
+  EXPECT_FALSE(registry_.find_key("reg-999").ok());
+  EXPECT_FALSE(registry_.find_key("bogus").ok());
+
+  clock_.advance(2 * kMillisecond);
+  EXPECT_FALSE(registry_.find_key(*key).ok());  // expired, not yet purged
+}
+
+TEST_F(RegistryIndexTest, FindServiceAllReturnsRegistrationOrder) {
+  auto k1 = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  (void)registry_.add(make_service("Beta", wsdl::BindingKind::kSoap, "http://b:1/x"));
+  auto k2 = registry_.add(make_service("Alpha", wsdl::BindingKind::kXdr, "xdr://a:2/x"));
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+
+  auto all = registry_.find_service_all("AlphaService");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->key, *k1);
+  EXPECT_EQ(all[1]->key, *k2);
+  EXPECT_TRUE(registry_.find_service_all("Nope").empty());
+}
+
+TEST_F(RegistryIndexTest, EntriesWithTmodelFiltersByBindingKind) {
+  auto soap = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  auto xdr = registry_.add(make_service("Beta", wsdl::BindingKind::kXdr, "xdr://b:1/x"));
+  ASSERT_TRUE(soap.ok());
+  ASSERT_TRUE(xdr.ok());
+
+  auto xdr_entries = registry_.entries_with_tmodel("xdr");
+  ASSERT_EQ(xdr_entries.size(), 1u);
+  EXPECT_EQ(xdr_entries[0]->key, *xdr);
+  EXPECT_TRUE(registry_.entries_with_tmodel("carrier-pigeon").empty());
+
+  ASSERT_TRUE(registry_.remove(*xdr).ok());
+  EXPECT_TRUE(registry_.entries_with_tmodel("xdr").empty());
+}
+
+TEST_F(RegistryIndexTest, MetricsCountOperations) {
+  registry_.bind_metrics(metrics_);
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  ASSERT_TRUE(key.ok());
+  (void)registry_.add(make_service("Beta", wsdl::BindingKind::kXdr, "xdr://b:1/x"),
+                      kMillisecond);
+  (void)registry_.find_service("AlphaService");
+  ASSERT_TRUE(registry_.query("//service").ok());
+  ASSERT_TRUE(registry_.query("//*").ok());  // unindexable: scan path
+  clock_.advance(kSecond);
+  EXPECT_EQ(registry_.expire(), 1u);
+
+  EXPECT_EQ(metrics_.counter_value("h2.reg.adds"), 2u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.finds"), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.queries"), 2u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.index.hits"), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.index.scans"), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.expired"), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.expire_ticks"), 1u);
+
+  auto snapshot = metrics_.snapshot();
+  std::int64_t entries = -1;
+  std::int64_t timers = -1;
+  for (const auto& g : snapshot.gauges) {
+    if (g.name == "h2.reg.entries") entries = g.value;
+    if (g.name == "h2.reg.lease.timers") timers = g.value;
+  }
+  EXPECT_EQ(entries, 1);  // Beta expired and was purged
+  EXPECT_EQ(timers, 0);   // its wheel slot went with it
+}
+
+TEST_F(RegistryIndexTest, ProvablyEmptyQuerySkipsDocumentWork) {
+  registry_.bind_metrics(metrics_);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(registry_
+                    .add(make_service("Svc" + std::to_string(i),
+                                      wsdl::BindingKind::kSoap, "http://a:1/x"))
+                    .ok());
+  }
+  // The value term never occurs in any document: the intersection proves
+  // emptiness from the index alone — counted as a hit, never a scan.
+  auto got = registry_.query("//address[@location='http://nowhere:1/x']");
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+  EXPECT_EQ(metrics_.counter_value("h2.reg.index.hits"), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.index.scans"), 0u);
+}
+
+TEST_F(RegistryIndexTest, IndexStatsTrackPostingsAndRemovals) {
+  auto stats0 = registry_.index_stats();
+  EXPECT_EQ(stats0.terms, 0u);
+  EXPECT_EQ(stats0.postings, 0u);
+
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"));
+  ASSERT_TRUE(key.ok());
+  auto stats1 = registry_.index_stats();
+  EXPECT_GT(stats1.terms, 0u);
+  EXPECT_GT(stats1.postings, 0u);
+
+  ASSERT_TRUE(registry_.remove(*key).ok());
+  auto stats2 = registry_.index_stats();
+  EXPECT_EQ(stats2.postings, 0u);  // short lists erase eagerly
+  EXPECT_EQ(stats2.dead, 0u);
+}
+
+TEST_F(RegistryIndexTest, RenewRearmsTheLeaseTimer) {
+  registry_.bind_metrics(metrics_);
+  auto key = registry_.add(make_service("Alpha", wsdl::BindingKind::kSoap, "http://a:1/x"),
+                           10 * kMillisecond);
+  ASSERT_TRUE(key.ok());
+  clock_.advance(5 * kMillisecond);
+  ASSERT_TRUE(registry_.renew(*key, 20 * kMillisecond).ok());
+  clock_.advance(10 * kMillisecond);  // past the original deadline
+  EXPECT_EQ(registry_.expire(), 0u);  // renewed: the old timer must not fire
+  EXPECT_EQ(registry_.size(), 1u);
+  clock_.advance(20 * kMillisecond);
+  EXPECT_EQ(registry_.expire(), 1u);
+  EXPECT_EQ(metrics_.counter_value("h2.reg.renews"), 1u);
+}
+
+}  // namespace
+}  // namespace h2::reg
